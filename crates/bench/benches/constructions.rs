@@ -1,0 +1,97 @@
+//! Criterion benches for the paper's lower-bound constructions:
+//! encoding graphs, the 4-cut-query decoder, and `G_{x,y}` with its
+//! Lemma 5.5 verification.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dircut_core::foreach::{ForEachDecoder, ForEachEncoding};
+use dircut_core::mincut_lb::GxyGraph;
+use dircut_core::{ForAllEncoding, ForAllParams, ForEachParams};
+use dircut_sketch::ExactOracle;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_foreach_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("foreach_construction");
+    group.sample_size(20);
+    for (inv_eps, sqrt_beta) in [(8usize, 1usize), (16, 2), (32, 2)] {
+        let params = ForEachParams::new(inv_eps, sqrt_beta, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let s: Vec<i8> =
+            (0..params.total_bits()).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("e{inv_eps}b{sqrt_beta}")),
+            &s,
+            |b, s| {
+                b.iter(|| ForEachEncoding::encode(params, black_box(s)));
+            },
+        );
+        let enc = ForEachEncoding::encode(params, &s);
+        let decoder = ForEachDecoder::new(params);
+        group.bench_with_input(
+            BenchmarkId::new("decode_bit", format!("e{inv_eps}b{sqrt_beta}")),
+            &enc,
+            |b, enc| {
+                let oracle = ExactOracle::new(enc.graph());
+                b.iter(|| decoder.decode_bit(black_box(&oracle), 0));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_forall_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forall_construction");
+    group.sample_size(20);
+    for (beta, inv_eps_sq) in [(1usize, 16usize), (2, 16)] {
+        let params = ForAllParams::new(beta, inv_eps_sq, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let strings: Vec<Vec<bool>> = (0..params.num_strings())
+            .map(|_| (0..inv_eps_sq).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("b{beta}e{inv_eps_sq}")),
+            &strings,
+            |b, strings| {
+                b.iter(|| ForAllEncoding::encode(params, black_box(strings)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gxy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gxy");
+    group.sample_size(10);
+    for ell in [16usize, 32, 64] {
+        let n = ell * ell;
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let gamma = ell / 4;
+        let mut x = vec![false; n];
+        let mut y = vec![false; n];
+        for p in 0..gamma {
+            x[p] = true;
+            y[p] = true;
+        }
+        for p in gamma..n {
+            match rng.gen_range(0..4) {
+                0 => x[p] = true,
+                1 => y[p] = true,
+                _ => {}
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("build", ell), &(x.clone(), y.clone()), |b, (x, y)| {
+            b.iter(|| GxyGraph::build(black_box(x), black_box(y)));
+        });
+        if ell <= 32 {
+            let g = GxyGraph::build(&x, &y);
+            group.bench_with_input(BenchmarkId::new("verify_lemma_5_5", ell), &g, |b, g| {
+                b.iter(|| g.verify_lemma_5_5());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_foreach_construction, bench_forall_construction, bench_gxy);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Criterion benches for the graph substrate: cut scans, max-flow,
+//! global min-cut (deterministic and randomized), sparse certificates.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dircut_graph::flow::max_flow_digraph;
+use dircut_graph::gomory_hu::GomoryHuTree;
+use dircut_graph::generators::{connected_gnp, random_balanced_digraph};
+use dircut_graph::karger::karger_stein_once;
+use dircut_graph::mincut::{min_cut_unweighted, stoer_wagner};
+use dircut_graph::nagamochi::sparse_certificate;
+use dircut_graph::{NodeId, NodeSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_cuts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_scan");
+    for n in [64usize, 256] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = random_balanced_digraph(n, 0.5, 4.0, &mut rng);
+        let s = NodeSet::from_indices(n, 0..n / 2);
+        group.bench_with_input(BenchmarkId::new("cut_both", g.num_edges()), &g, |b, g| {
+            b.iter(|| g.cut_both(black_box(&s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(20);
+    for n in [64usize, 128] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = random_balanced_digraph(n, 0.4, 2.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dinic", n), &g, |b, g| {
+            b.iter(|| max_flow_digraph(black_box(g), NodeId::new(0), NodeId::new(n - 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_global_mincut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_mincut");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random_balanced_digraph(n, 0.4, 2.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("stoer_wagner", n), &g, |b, g| {
+            b.iter(|| stoer_wagner(black_box(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("karger_stein", n), &g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| karger_stein_once(black_box(g), &mut rng));
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let ug = connected_gnp(48, 0.3, &mut rng);
+    group.bench_function("edge_connectivity_48", |b| {
+        b.iter(|| min_cut_unweighted(black_box(&ug)));
+    });
+    group.finish();
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nagamochi");
+    for n in [128usize, 512] {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = connected_gnp(n, 0.2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("certificate_k4", g.num_edges()), &g, |b, g| {
+            b.iter(|| sparse_certificate(black_box(g), 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gomory_hu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gomory_hu");
+    group.sample_size(10);
+    for n in [24usize, 48] {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = random_balanced_digraph(n, 0.4, 2.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("build", n), &g, |b, g| {
+            b.iter(|| GomoryHuTree::build(black_box(g)));
+        });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let g = random_balanced_digraph(32, 0.4, 2.0, &mut rng);
+    let tree = GomoryHuTree::build(&g);
+    group.bench_function("query_32", |b| {
+        b.iter(|| tree.min_cut(NodeId::new(3), NodeId::new(29)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cuts,
+    bench_flow,
+    bench_global_mincut,
+    bench_certificates,
+    bench_gomory_hu
+);
+criterion_main!(benches);

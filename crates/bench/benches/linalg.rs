@@ -1,0 +1,54 @@
+//! Criterion benches for the Hadamard/FWHT machinery behind the
+//! Section 3 encoding: the fast 2-D transform is what makes encoding
+//! `O(ε⁻² log(1/ε))` instead of `O(ε⁻⁴)`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dircut_linalg::{fwht, fwht2d, Lemma32Matrix};
+
+fn bench_fwht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fwht");
+    for log_d in [8u32, 12, 16] {
+        let d = 1usize << log_d;
+        let v: Vec<f64> = (0..d).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("1d", d), &d, |b, _| {
+            b.iter_batched(
+                || v.clone(),
+                |mut w| fwht(black_box(&mut w)),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    for d in [32usize, 64, 128] {
+        let m: Vec<f64> = (0..d * d).map(|i| (i as f64).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("2d", d), &d, |b, &d| {
+            b.iter_batched(
+                || m.clone(),
+                |mut w| fwht2d(black_box(&mut w), d),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_lemma32(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma32");
+    for d in [16usize, 64, 128] {
+        let m = Lemma32Matrix::new(d);
+        let z: Vec<i8> = (0..m.num_rows()).map(|t| if t % 2 == 0 { 1 } else { -1 }).collect();
+        group.bench_with_input(BenchmarkId::new("encode", d), &d, |b, _| {
+            b.iter(|| m.encode(black_box(&z)));
+        });
+        let w = m.encode(&z);
+        group.bench_with_input(BenchmarkId::new("decode_all", d), &d, |b, _| {
+            b.iter(|| m.decode_all(black_box(&w)));
+        });
+        group.bench_with_input(BenchmarkId::new("decode_one", d), &d, |b, _| {
+            b.iter(|| m.decode_one(black_box(&w), 0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fwht, bench_lemma32);
+criterion_main!(benches);

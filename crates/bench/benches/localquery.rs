@@ -1,0 +1,85 @@
+//! Criterion benches for the local-query algorithms: VERIFY-GUESS and
+//! the full BGMP21 search (both variants).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dircut_graph::generators::connected_gnp;
+use dircut_localquery::{
+    global_min_cut_local, query_degrees, verify_guess, AdjOracle, MultiAdjOracle, SearchVariant,
+    VerifyGuessConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_verify_guess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_guess");
+    group.sample_size(10);
+    let mut gen = ChaCha8Rng::seed_from_u64(0);
+    let g = connected_gnp(80, 0.4, &mut gen);
+    let oracle = AdjOracle::new(&g);
+    let degrees = query_degrees(&oracle);
+    for t in [4.0f64, 64.0] {
+        group.bench_with_input(BenchmarkId::new("t", t as u64), &t, |b, &t| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| {
+                verify_guess(
+                    black_box(&oracle),
+                    &degrees,
+                    t,
+                    0.3,
+                    VerifyGuessConfig::default(),
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgmp_search");
+    group.sample_size(10);
+    let mut gen = ChaCha8Rng::seed_from_u64(2);
+    let g = connected_gnp(80, 0.4, &mut gen);
+    let oracle = AdjOracle::new(&g);
+    group.bench_function("original_eps0.2", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            global_min_cut_local(
+                black_box(&oracle),
+                0.2,
+                SearchVariant::Original,
+                VerifyGuessConfig::default(),
+                &mut rng,
+            )
+        });
+    });
+    group.bench_function("modified_eps0.2", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        b.iter(|| {
+            global_min_cut_local(
+                black_box(&oracle),
+                0.2,
+                SearchVariant::Modified { beta0: 0.5 },
+                VerifyGuessConfig::default(),
+                &mut rng,
+            )
+        });
+    });
+    let blowup = MultiAdjOracle::cycle_blowup(12, 2000);
+    group.bench_function("modified_blowup_eps0.3", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            global_min_cut_local(
+                black_box(&blowup),
+                0.3,
+                SearchVariant::Modified { beta0: 0.5 },
+                VerifyGuessConfig::default(),
+                &mut rng,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify_guess, bench_full_search);
+criterion_main!(benches);

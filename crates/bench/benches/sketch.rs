@@ -1,0 +1,95 @@
+//! Criterion benches for sketch construction and cut queries in both
+//! models (the upper bounds of the paper).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dircut_graph::generators::random_balanced_digraph;
+use dircut_graph::NodeSet;
+use dircut_sketch::streaming::TurnstileLinearSketch;
+use dircut_sketch::{
+    BalancedForAllSketcher, BalancedForEachSketcher, CutOracle, CutSketcher,
+    DecomposedForEachSketcher, LinearSketcher, StrengthSketcher, UniformSketcher,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_build");
+    group.sample_size(20);
+    for n in [64usize, 128] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = random_balanced_digraph(n, 0.6, 4.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("uniform", n), &g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let sk = UniformSketcher::new(0.3);
+            b.iter(|| sk.sketch(black_box(g), &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("strength", n), &g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let sk = StrengthSketcher::new(0.3);
+            b.iter(|| sk.sketch(black_box(g), &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("balanced_forall", n), &g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let sk = BalancedForAllSketcher::new(0.3, 4.0);
+            b.iter(|| sk.sketch(black_box(g), &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("balanced_foreach", n), &g, |b, g| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let sk = BalancedForEachSketcher::new(0.3, 4.0);
+            b.iter(|| sk.sketch(black_box(g), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_query");
+    let n = 128;
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let g = random_balanced_digraph(n, 0.6, 4.0, &mut rng);
+    let s = NodeSet::from_indices(n, 0..n / 2);
+    let forall = BalancedForAllSketcher::new(0.3, 4.0).sketch(&g, &mut rng);
+    let foreach = BalancedForEachSketcher::new(0.3, 4.0).sketch(&g, &mut rng);
+    group.bench_function("forall_cut_query", |b| {
+        b.iter(|| forall.cut_out_estimate(black_box(&s)));
+    });
+    group.bench_function("foreach_cut_query", |b| {
+        b.iter(|| foreach.cut_out_estimate(black_box(&s)));
+    });
+    group.bench_function("exact_cut_query", |b| {
+        b.iter(|| g.cut_out(black_box(&s)));
+    });
+    group.finish();
+}
+
+fn bench_linear_and_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linear_streaming");
+    group.sample_size(20);
+    let n = 96;
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let g = random_balanced_digraph(n, 0.5, 2.0, &mut rng);
+    group.bench_function("linear_build_eps0.3", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let sk = LinearSketcher::new(0.3);
+        b.iter(|| sk.sketch(black_box(&g), &mut rng));
+    });
+    group.bench_function("decomposed_build_eps0.3", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let sk = DecomposedForEachSketcher::new(0.3, 2.0);
+        b.iter(|| sk.sketch(black_box(&g), &mut rng));
+    });
+    group.bench_function("turnstile_update", |b| {
+        let mut sk = TurnstileLinearSketch::new(n, 128, 11);
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = dircut_graph::NodeId::new(i % n);
+            let v = dircut_graph::NodeId::new((i + 1) % n);
+            sk.insert(u, v, 1.0);
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query, bench_linear_and_streaming);
+criterion_main!(benches);

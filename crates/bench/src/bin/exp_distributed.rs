@@ -1,0 +1,53 @@
+//! Experiment E6 (Section 1 application): distributed min-cut
+//! communication vs ε.
+//!
+//! Servers ship a coarse `(1±0.2)` for-all sketch plus a fine `(1±ε)`
+//! for-each sketch; the coordinator enumerates candidate cuts from the
+//! coarse union and re-queries them through the fine sketches. The
+//! coarse bits are ε-independent; the fine bits should grow like 1/ε
+//! — the linear dependence the paper proves optimal (and which a
+//! for-all-only protocol, paying 1/ε², cannot match).
+
+use dircut_bench::{print_header, print_row};
+use dircut_dist::{distributed_min_cut, symmetric_graph, ProtocolConfig};
+use dircut_graph::mincut::stoer_wagner;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    println!("=== E6: distributed min-cut over sketches (Section 1) ===\n");
+    // Dense and heavily connected so per-server subgraphs keep a large
+    // min-cut: that is the regime where the fine sketch samples below
+    // rate 1 and its 1/ε size scaling is visible.
+    let n = 72;
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v, rng.gen_range(4.0..8.0)));
+        }
+    }
+    let g = symmetric_graph(n, &edges);
+    let truth = stoer_wagner(&g).value / 2.0;
+    println!("graph: n = {n}, arcs = {}, true min cut = {truth:.3}, servers = 4\n", g.num_edges());
+
+    print_header(&["eps", "estimate", "rel err", "coarse bits", "fine bits", "candidates"]);
+    for eps in [0.4, 0.2, 0.1, 0.05, 0.025] {
+        let mut cfg = ProtocolConfig::new(eps);
+        cfg.enumeration_trials = 150;
+        let res = distributed_min_cut(&g, 4, cfg, 17);
+        print_row(&[
+            format!("{eps}"),
+            format!("{:.3}", res.estimate),
+            format!("{:.3}", (res.estimate - truth).abs() / truth),
+            res.coarse_bits.to_string(),
+            res.fine_bits.to_string(),
+            res.candidates.to_string(),
+        ]);
+    }
+    println!(
+        "\nReading: coarse bits constant in ε; fine bits grow ≈ linearly in 1/ε\n\
+         until the sampling cap stores every edge."
+    );
+}

@@ -1,0 +1,126 @@
+//! Experiment E4 (Theorem 5.7): the ε⁴ → ε² query-complexity
+//! improvement of the paper's Section 5.4 modification, measured.
+//!
+//! Two regimes:
+//!
+//! 1. **Simple graph** (`G(n, p)`): `k = O(n)` so `ε²k ≪ log n` for
+//!    small ε and every VERIFY-GUESS call caps at `p = 1`. Both
+//!    variants read Θ(m) slots — the `min{m, ·}` branch of
+//!    Theorem 1.3, observable as flat query counts.
+//! 2. **Blow-up cycle multigraph** (`k = 2·multiplicity ≫ log n/ε²`):
+//!    the sampling probability is genuinely below 1 and the final
+//!    VERIFY-GUESS call — made at guess `t = t_acc/κ`, where κ is the
+//!    Lemma 5.8 safety gap of the *search* error — dominates. The
+//!    original algorithm searches at error ε, so κ = Θ(log n/ε²) and
+//!    the final call costs Θ̃(m/(ε⁴k)); the modified algorithm searches
+//!    at constant β₀, κ = Θ(log n), and pays Θ̃(m/(ε²k)).
+
+use dircut_bench::{print_header, print_row};
+use dircut_graph::generators::connected_gnp;
+use dircut_graph::mincut::min_cut_unweighted;
+use dircut_localquery::{
+    global_min_cut_local, AdjOracle, GraphOracle, MultiAdjOracle, SearchVariant,
+    VerifyGuessConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn fit_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    cov / var
+}
+
+fn sweep<O: GraphOracle>(
+    oracle: &O,
+    label: &str,
+    eps_sweep: &[f64],
+    true_k: f64,
+    reps: u64,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    println!("--- {label} ---");
+    print_header(&["eps", "orig total", "orig final", "mod total", "mod final", "est err"]);
+    let beta0 = 0.5;
+    let mut log_inv_eps = Vec::new();
+    let mut log_orig = Vec::new();
+    let mut log_modi = Vec::new();
+    for &eps in eps_sweep {
+        let (mut ot, mut of, mut mt, mut mf) = (0u64, 0u64, 0u64, 0u64);
+        let mut worst_err: f64 = 0.0;
+        for rep in 0..reps {
+            let mut rng = ChaCha8Rng::seed_from_u64(100 + rep);
+            let orig = global_min_cut_local(
+                oracle,
+                eps,
+                SearchVariant::Original,
+                VerifyGuessConfig::default(),
+                &mut rng,
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(200 + rep);
+            let modi = global_min_cut_local(
+                oracle,
+                eps,
+                SearchVariant::Modified { beta0 },
+                VerifyGuessConfig::default(),
+                &mut rng,
+            );
+            ot += orig.total_queries;
+            of += orig.final_call_queries;
+            mt += modi.total_queries;
+            mf += modi.final_call_queries;
+            worst_err = worst_err
+                .max((orig.estimate - true_k).abs() / true_k)
+                .max((modi.estimate - true_k).abs() / true_k);
+        }
+        let (ot, of, mt, mf) = (ot / reps, of / reps, mt / reps, mf / reps);
+        print_row(&[
+            format!("{eps}"),
+            ot.to_string(),
+            of.to_string(),
+            mt.to_string(),
+            mf.to_string(),
+            format!("{worst_err:.3}"),
+        ]);
+        log_inv_eps.push((1.0 / eps).ln());
+        log_orig.push((ot as f64).ln());
+        log_modi.push((mt as f64).ln());
+    }
+    (log_inv_eps, log_orig, log_modi)
+}
+
+fn main() {
+    println!("=== E4: original vs modified BGMP21 query scaling in ε (Theorem 5.7) ===\n");
+
+    // Regime 1: simple graph, everything caps at p = 1 (min{m, ·}).
+    let mut gen = ChaCha8Rng::seed_from_u64(0);
+    let g = connected_gnp(140, 0.5, &mut gen);
+    let k = min_cut_unweighted(&g);
+    println!("simple G(140, 0.5): m = {}, k = {k} (ε²k ≪ ln n ⇒ p caps at 1)\n", g.num_edges());
+    let oracle = AdjOracle::new(&g);
+    let _ = sweep(&oracle, "simple graph (cap regime)", &[0.4, 0.2, 0.1], k as f64, 3);
+
+    // Regime 2: blow-up cycle, k = 12000 ≫ ln n/ε².
+    let mult = 6000usize;
+    let blowup = MultiAdjOracle::cycle_blowup(12, mult);
+    let true_k = (2 * mult) as f64;
+    println!(
+        "\nblow-up cycle: n = 12, multiplicity = {mult}, m = {}, k = {true_k}\n",
+        blowup.num_edges()
+    );
+    let eps_sweep = [0.5, 0.4, 0.3, 0.25, 0.2, 0.15, 0.1];
+    let (lx, lo, lm) = sweep(&blowup, "blow-up cycle (scaling regime)", &eps_sweep, true_k, 3);
+
+    // Fit slopes on the uncapped windows: original is uncapped only for
+    // the first ~3 points, modified for the first ~6.
+    println!(
+        "\nlog-log slopes in 1/ε: original (ε ∈ [0.3, 0.5]) ≈ {:.2}, \
+         modified (ε ∈ [0.2, 0.5]) ≈ {:.2}",
+        fit_slope(&lx[..3], &lo[..3]),
+        fit_slope(&lx[..5], &lm[..5]),
+    );
+    println!("paper: original scales like ε⁻⁴ (slope → 4), modified like ε⁻² (slope → 2);");
+    println!("past its window each variant caps at Θ(m) slots — the min{{m, ·}} of Theorem 1.3.");
+}

@@ -1,0 +1,184 @@
+//! Experiment E2 (Theorem 1.2): the for-all lower bound made
+//! observable.
+//!
+//! Runs the Section 4 Gap-Hamming game: Bob enumerates half-subsets
+//! `Q ⊂ L`, re-queries each through the oracle, and answers from
+//! `ℓ_i ∈ Q`. We report success against exact and `(1 ± c₂ε)` noisy
+//! oracles, plus the measurable Lemma 4.3 / 4.4 events
+//! (`L_high`/`L_low` densities and argmax-subset recall).
+
+use dircut_bench::{print_header, print_row};
+use dircut_comm::gap_hamming::random_weighted_string;
+use dircut_core::forall::{high_low_split, ForAllDecoder, ForAllEncoding};
+use dircut_core::games::{plant_gap_target, run_forall_gap_hamming_game};
+use dircut_core::{ForAllParams, SubsetSearch};
+use dircut_sketch::adversarial::{NoiseModel, NoisyOracle};
+use dircut_sketch::EdgeListSketch;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    println!("=== E2: for-all cut sketch lower bound (Theorem 1.2) ===\n");
+    println!("--- decoding success vs oracle error ---");
+    print_header(&["n", "beta", "1/eps^2", "oracle", "success", "cut queries"]);
+
+    let trials = 40;
+    for (beta, inv_eps_sq) in [(1, 8), (1, 16), (2, 8)] {
+        let params = ForAllParams::new(beta, inv_eps_sq, 2);
+        let eps = params.epsilon();
+        let half_gap = ((0.4 / eps) / 2.0).ceil() as usize;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let exact = run_forall_gap_hamming_game(
+            params,
+            half_gap,
+            SubsetSearch::Exact,
+            trials,
+            |g, _| EdgeListSketch::from_graph(g),
+            &mut rng,
+        );
+        print_row(&[
+            params.num_nodes().to_string(),
+            beta.to_string(),
+            inv_eps_sq.to_string(),
+            "exact".into(),
+            format!("{:.3}", exact.success_rate()),
+            format!("{:.0}", exact.mean_queries),
+        ]);
+
+        for c2 in [0.05, 0.2, 0.8] {
+            let err = (c2 * eps).min(0.9);
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let rep = run_forall_gap_hamming_game(
+                params,
+                half_gap,
+                SubsetSearch::Exact,
+                trials,
+                |g, r| NoisyOracle::new(g.clone(), err, r.gen(), NoiseModel::UniformRelative),
+                &mut rng,
+            );
+            print_row(&[
+                params.num_nodes().to_string(),
+                beta.to_string(),
+                inv_eps_sq.to_string(),
+                format!("noisy(1±{err:.3})"),
+                format!("{:.3}", rep.success_rate()),
+                format!("{:.0}", rep.mean_queries),
+            ]);
+        }
+        println!();
+    }
+
+    println!("--- single-cut baseline vs enumeration under (1±c₂ε) noise ---");
+    {
+        use dircut_core::forall::ForAllEncoding;
+        print_header(&["1/eps^2", "noise", "single cut", "enumeration"]);
+        let params = ForAllParams::new(1, 16, 2);
+        let noise = 0.8 * params.epsilon();
+        let reps = 60;
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let (mut single_ok, mut enum_ok) = (0usize, 0usize);
+        for trial in 0..reps {
+            let l = params.inv_eps_sq;
+            let mut strings: Vec<Vec<bool>> = (0..params.num_strings())
+                .map(|_| random_weighted_string(l, l / 2, &mut rng))
+                .collect();
+            let q = (trial * 5) % params.num_strings();
+            let is_far = trial % 2 == 0;
+            let t = random_weighted_string(l, l / 2, &mut rng);
+            strings[q] = plant_gap_target(&t, 2, is_far, &mut rng);
+            let enc = ForAllEncoding::encode(params, &strings);
+            let dec = ForAllDecoder::new(params, SubsetSearch::Exact);
+            let noisy = NoisyOracle::new(
+                enc.graph().clone(),
+                noise,
+                rng.gen(),
+                NoiseModel::UniformRelative,
+            );
+            if dec.decide_single_cut(&noisy, q, &t) == is_far {
+                single_ok += 1;
+            }
+            if dec.decide(&noisy, q, &t, &mut rng).is_far == is_far {
+                enum_ok += 1;
+            }
+        }
+        print_row(&[
+            "16".into(),
+            format!("{noise:.3}"),
+            format!("{:.3}", single_ok as f64 / reps as f64),
+            format!("{:.3}", enum_ok as f64 / reps as f64),
+        ]);
+        println!();
+    }
+
+    println!("--- decoding success vs sketch bit budget ---");
+    {
+        let params = ForAllParams::new(1, 16, 2);
+        let lb = params.lower_bound_bits();
+        println!(
+            "construction: n = {}, β = 1, 1/ε² = 16, Ω(nβ/ε²) reference = {lb} bits",
+            params.num_nodes()
+        );
+        print_header(&["budget bits", "x(LB)", "success"]);
+        for factor in [64usize, 16, 4, 1] {
+            let budget = lb * factor;
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let rep = run_forall_gap_hamming_game(
+                params,
+                2,
+                SubsetSearch::Exact,
+                trials,
+                |g, _| dircut_sketch::BudgetedSketch::new(g, budget),
+                &mut rng,
+            );
+            print_row(&[
+                budget.to_string(),
+                format!("{factor}x"),
+                format!("{:.3}", rep.success_rate()),
+            ]);
+        }
+        println!();
+    }
+
+    println!("--- Lemma 4.3 / 4.4: L_high density and argmax-Q recall ---");
+    print_header(&["1/eps^2", "|L|", "high frac", "low frac", "Q recall"]);
+    for inv_eps_sq in [8usize, 16] {
+        let params = ForAllParams::new(1, inv_eps_sq, 2);
+        let l = params.inv_eps_sq;
+        let k = params.group_size();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let reps = 25;
+        let (mut high_frac, mut low_frac, mut recall) = (0.0, 0.0, 0.0);
+        let mut recall_samples = 0usize;
+        for _ in 0..reps {
+            let mut strings: Vec<Vec<bool>> = (0..params.num_strings())
+                .map(|_| random_weighted_string(l, l / 2, &mut rng))
+                .collect();
+            let q = rng.gen_range(0..params.num_strings());
+            let t = random_weighted_string(l, l / 2, &mut rng);
+            strings[q] = plant_gap_target(&t, 1, false, &mut rng);
+            let enc = ForAllEncoding::encode(params, &strings);
+            let split = high_low_split(&enc, q, &t, 0.1);
+            high_frac += split.high.len() as f64 / k as f64;
+            low_frac += split.low.len() as f64 / k as f64;
+            // Lemma 4.4: the argmax subset should capture most of L_high.
+            let decoder = ForAllDecoder::new(params, SubsetSearch::Exact);
+            let oracle = EdgeListSketch::from_graph(enc.graph());
+            let decision = decoder.decide(&oracle, q, &t, &mut rng);
+            if !split.high.is_empty() {
+                let captured =
+                    split.high.iter().filter(|i| decision.q_subset.contains(i)).count();
+                recall += captured as f64 / split.high.len() as f64;
+                recall_samples += 1;
+            }
+        }
+        print_row(&[
+            inv_eps_sq.to_string(),
+            k.to_string(),
+            format!("{:.3}", high_frac / reps as f64),
+            format!("{:.3}", low_frac / reps as f64),
+            format!("{:.3}", recall / recall_samples.max(1) as f64),
+        ]);
+    }
+}

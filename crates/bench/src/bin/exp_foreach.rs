@@ -1,0 +1,129 @@
+//! Experiment E1 (Theorem 1.1): the for-each lower bound made
+//! observable.
+//!
+//! For each `(β, ε, ℓ)` we run the Section 3 Index game and report
+//! Bob's decoding success rate against: an exact oracle, `(1 ± err)`
+//! worst-case noisy oracles at and above the `c₂ε/ln(1/ε)` threshold,
+//! and bit-budgeted sketches around the Ω̃(n√β/ε) line. The theorem
+//! predicts: success at/below the threshold error, collapse above it,
+//! and collapse once the budget sinks well below the lower bound.
+
+use dircut_bench::{print_header, print_row};
+use dircut_core::games::run_foreach_index_game;
+use dircut_core::ForEachParams;
+use dircut_sketch::adversarial::{BudgetedSketch, NoiseModel, NoisyOracle};
+use dircut_sketch::EdgeListSketch;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let trials = 120;
+    println!("=== E1: for-each cut sketch lower bound (Theorem 1.1) ===\n");
+    println!("--- decoding success vs oracle error ---");
+    print_header(&["n", "beta", "1/eps", "ell", "oracle", "success"]);
+
+    for (inv_eps, sqrt_beta, ell) in [(4, 1, 2), (8, 1, 2), (8, 2, 2), (4, 2, 3), (16, 1, 2)] {
+        let params = ForEachParams::new(inv_eps, sqrt_beta, ell);
+        let eps = params.epsilon();
+        let threshold = 0.25 * eps / (1.0 / eps).ln();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let exact =
+            run_foreach_index_game(params, trials, |g, _| EdgeListSketch::from_graph(g), &mut rng);
+        print_row(&[
+            params.num_nodes().to_string(),
+            format!("{}", params.beta()),
+            inv_eps.to_string(),
+            ell.to_string(),
+            "exact".into(),
+            format!("{:.3}", exact.success_rate()),
+        ]);
+
+        for (label, err) in [
+            ("noise@thresh", threshold),
+            ("noise@4x", 4.0 * threshold),
+            ("noise@16x", 16.0 * threshold),
+            ("noise@64x", 64.0 * threshold),
+        ] {
+            let err = err.min(0.9);
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let rep = run_foreach_index_game(
+                params,
+                trials,
+                |g, r| NoisyOracle::new(g.clone(), err, r.gen(), NoiseModel::SignedRelative),
+                &mut rng,
+            );
+            print_row(&[
+                params.num_nodes().to_string(),
+                format!("{}", params.beta()),
+                inv_eps.to_string(),
+                ell.to_string(),
+                format!("{label}({err:.4})"),
+                format!("{:.3}", rep.success_rate()),
+            ]);
+        }
+        println!();
+    }
+
+    println!("--- Section 1.2 head-to-head: Hadamard vs naive one-bit-per-edge ---");
+    {
+        use dircut_core::naive::{run_naive_index_game, NaiveParams};
+        print_header(&["1/eps", "sqrt_beta", "noise", "hadamard", "naive"]);
+        for (inv_eps, sqrt_beta) in [(8usize, 1usize), (8, 2), (16, 2)] {
+            let eps = 1.0 / inv_eps as f64;
+            let noise = 0.25 * eps / (1.0 / eps).ln();
+            let hadamard = ForEachParams::new(inv_eps, sqrt_beta, 2);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let good = run_foreach_index_game(
+                hadamard,
+                trials,
+                |g, r| NoisyOracle::new(g.clone(), noise, r.gen(), NoiseModel::SignedRelative),
+                &mut rng,
+            );
+            let naive = NaiveParams::new(sqrt_beta * inv_eps, (sqrt_beta * sqrt_beta) as f64);
+            let mut rng = ChaCha8Rng::seed_from_u64(8);
+            let bad = run_naive_index_game(
+                naive,
+                trials,
+                |g, r| NoisyOracle::new(g.clone(), noise, r.gen(), NoiseModel::SignedRelative),
+                &mut rng,
+            );
+            print_row(&[
+                inv_eps.to_string(),
+                sqrt_beta.to_string(),
+                format!("{noise:.4}"),
+                format!("{:.3}", good.success_rate()),
+                format!("{:.3}", bad.success_rate()),
+            ]);
+        }
+        println!();
+    }
+
+    println!("--- decoding success vs sketch bit budget ---");
+    let params = ForEachParams::new(8, 2, 2);
+    println!(
+        "construction: n = {}, β = {}, ε = {}, Ω̃(n√β/ε) reference = {} bits",
+        params.num_nodes(),
+        params.beta(),
+        params.epsilon(),
+        params.lower_bound_bits()
+    );
+    print_header(&["budget bits", "x(LB)", "success"]);
+    let lb = params.lower_bound_bits();
+    for factor in [256usize, 64, 16, 4, 1] {
+        let budget = lb * factor;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let rep = run_foreach_index_game(
+            params,
+            trials,
+            |g, _| BudgetedSketch::new(g, budget),
+            &mut rng,
+        );
+        print_row(&[
+            budget.to_string(),
+            format!("{factor}x"),
+            format!("{:.3}", rep.success_rate()),
+        ]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Experiment E8: the reductions as *literal one-way protocols* with
+//! measured message bits.
+//!
+//! Alice's message is a serialized sketch; `dircut_comm::measure`
+//! counts every bit on the channel and every decoding success. The
+//! information-theoretic floors: any protocol winning the Index game
+//! needs Ω(#bits-encoded) bits (Lemma 3.1), and the encoding carries
+//! Ω(n√β/ε) bits (Theorem 1.1); likewise Ω(nβ/ε²) for the Gap-Hamming
+//! game (Lemma 4.1 / Theorem 1.2). Every correct row must sit above
+//! its floor — and does.
+
+use dircut_bench::{print_header, print_row};
+use dircut_comm::protocol::measure;
+use dircut_comm::IndexInstance;
+use dircut_core::games::plant_gap_target;
+use dircut_core::protocol::{ExactEdgeListSketcher, ForAllGapHammingProtocol, ForEachIndexProtocol};
+use dircut_core::{ForAllParams, ForEachParams, SubsetSearch};
+use dircut_sketch::UniformSketcher;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    println!("=== E8: measured one-way protocols (serialized sketch messages) ===\n");
+
+    println!("--- Theorem 1.1 / Index game ---");
+    print_header(&["1/eps", "sqrt_beta", "sketcher", "success", "mean bits", "Index LB", "Thm1.1 LB"]);
+    for (inv_eps, sqrt_beta) in [(4usize, 1usize), (8, 1), (8, 2)] {
+        let params = ForEachParams::new(inv_eps, sqrt_beta, 2);
+        let sample = |rng: &mut ChaCha8Rng| {
+            let inst = IndexInstance::sample(params.total_bits(), rng);
+            let truth = inst.answer();
+            (inst.s, inst.i, truth)
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let exact = measure(
+            &ForEachIndexProtocol::new(params, ExactEdgeListSketcher),
+            30,
+            &mut rng,
+            sample,
+            |a, b| a == b,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let sampled = measure(
+            &ForEachIndexProtocol::new(params, UniformSketcher::new(0.05)),
+            30,
+            &mut rng,
+            sample,
+            |a, b| a == b,
+        );
+        for (name, stats) in [("exact", &exact), ("uniform(0.05)", &sampled)] {
+            print_row(&[
+                inv_eps.to_string(),
+                sqrt_beta.to_string(),
+                name.into(),
+                format!("{:.3}", stats.success_rate()),
+                format!("{:.0}", stats.mean_bits),
+                params.total_bits().to_string(),
+                params.lower_bound_bits().to_string(),
+            ]);
+        }
+    }
+
+    println!("\n--- Theorem 1.2 / Gap-Hamming game ---");
+    print_header(&["1/eps^2", "sketcher", "success", "mean bits", "Thm1.2 LB"]);
+    for inv_eps_sq in [8usize, 16] {
+        let params = ForAllParams::new(1, inv_eps_sq, 2);
+        let sample = |rng: &mut ChaCha8Rng| {
+            let l = params.inv_eps_sq;
+            let mut strings: Vec<Vec<bool>> = (0..params.num_strings())
+                .map(|_| dircut_comm::gap_hamming::random_weighted_string(l, l / 2, rng))
+                .collect();
+            let q = rng.gen_range(0..params.num_strings());
+            let is_far = rng.gen_bool(0.5);
+            let t = dircut_comm::gap_hamming::random_weighted_string(l, l / 2, rng);
+            strings[q] = plant_gap_target(&t, 2, is_far, rng);
+            (strings, (q, t), is_far)
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let stats = measure(
+            &ForAllGapHammingProtocol::new(params, SubsetSearch::Exact, ExactEdgeListSketcher),
+            12,
+            &mut rng,
+            sample,
+            |a, b| a == b,
+        );
+        print_row(&[
+            inv_eps_sq.to_string(),
+            "exact".into(),
+            format!("{:.3}", stats.success_rate()),
+            format!("{:.0}", stats.mean_bits),
+            params.lower_bound_bits().to_string(),
+        ]);
+    }
+    println!(
+        "\nReading: every succeeding protocol's message sits above its Ω(·)\n\
+         column — the theorems say no encoding can dip below and still win."
+    );
+}

@@ -1,0 +1,16 @@
+//! Experiment harness support for the `dircut` workspace: shared table
+//! printing used by the `exp_*` binaries and criterion benches.
+
+#![forbid(unsafe_code)]
+
+/// Prints a table row of equal-width cells to stdout.
+pub fn print_row(cells: &[String]) {
+    let formatted: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", formatted.join(" | "));
+}
+
+/// Prints a header row plus a separator.
+pub fn print_header(cells: &[&str]) {
+    print_row(&cells.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(cells.len() * 17));
+}

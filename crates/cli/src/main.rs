@@ -1,0 +1,299 @@
+//! `dircut` — command-line interface to the toolkit.
+//!
+//! ```text
+//! dircut gen balanced --nodes 32 --beta 4 --density 0.5 [--seed S]   # emit edge list
+//! dircut gen gadget-foreach --inv-eps 8 --sqrt-beta 2 --ell 2 [--seed S]
+//! dircut stats [FILE]                 # nodes/edges/weight/balance/connectivity
+//! dircut mincut [FILE]                # global min cuts (directed + symmetrized)
+//! dircut cut --side 0,1,2 [FILE]      # one directed cut value
+//! dircut sketch --eps 0.25 --beta 4 --model foreach|forall [FILE]
+//! dircut dot [FILE]                   # Graphviz export
+//! ```
+//!
+//! Graphs use the plain-text edge-list format of `dircut_graph::io`
+//! (`n <count>` then `e <from> <to> <weight>` lines); `FILE` defaults
+//! to stdin so commands compose:
+//!
+//! ```text
+//! dircut gen balanced --nodes 24 --beta 4 | dircut sketch --eps 0.3 --beta 4
+//! ```
+
+use dircut_graph::balance::{edgewise_balance_bound, exact_balance_factor, is_eulerian};
+use dircut_graph::connectivity::is_strongly_connected;
+use dircut_graph::generators::random_balanced_digraph;
+use dircut_graph::io::{from_edge_list, to_dot, to_edge_list};
+use dircut_graph::mincut::{global_min_cut_directed, stoer_wagner};
+use dircut_graph::{DiGraph, NodeSet};
+use dircut_sketch::{
+    BalancedForAllSketcher, BalancedForEachSketcher, CutOracle, CutSketch, CutSketcher,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `dircut help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help" | "--help" | "-h") => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("mincut") => cmd_mincut(&args[1..]),
+        Some("cut") => cmd_cut(&args[1..]),
+        Some("sketch") => cmd_sketch(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+const USAGE: &str = "\
+dircut — directed cut sparsification toolkit
+
+USAGE:
+  dircut gen balanced --nodes N --beta B [--density P] [--seed S]
+  dircut gen gadget-foreach --inv-eps E --sqrt-beta B [--ell L]
+  dircut stats   [FILE]
+  dircut mincut  [FILE]
+  dircut cut --side 0,1,2 [FILE]
+  dircut sketch --eps E --beta B [--model foreach|forall] [--side LIST] [FILE]
+  dircut dot     [FILE]
+
+Graphs are plain-text edge lists (`n <count>` / `e <u> <v> <w>`);
+FILE defaults to stdin, so commands pipe into each other.
+";
+
+/// Pulls `--flag value` pairs out of an argument list.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+    positional: Vec<&'a str>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(name) = a.strip_prefix("--") {
+                let v = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+                pairs.push((name, v.as_str()));
+                i += 2;
+            } else {
+                positional.push(a);
+                i += 1;
+            }
+        }
+        Ok(Self { pairs, positional })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        self.get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")))
+            .transpose()
+    }
+
+    fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.num(name)?.ok_or_else(|| format!("missing required --{name}"))
+    }
+}
+
+fn read_graph(flags: &Flags) -> Result<DiGraph, String> {
+    let text = match flags.positional.first() {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+            buf
+        }
+    };
+    from_edge_list(&text).map_err(|e| e.to_string())
+}
+
+fn parse_side(spec: &str, n: usize) -> Result<NodeSet, String> {
+    let mut s = NodeSet::empty(n);
+    for part in spec.split(',') {
+        let idx: usize = part.trim().parse().map_err(|_| format!("bad node index `{part}`"))?;
+        if idx >= n {
+            return Err(format!("node {idx} out of range (n = {n})"));
+        }
+        s.insert(dircut_graph::NodeId::new(idx));
+    }
+    Ok(s)
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let kind = args.first().map(String::as_str).ok_or("gen needs a kind")?;
+    let flags = Flags::parse(&args[1..])?;
+    let seed: u64 = flags.num("seed")?.unwrap_or(42);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = match kind {
+        "balanced" => {
+            let nodes: usize = flags.require("nodes")?;
+            let beta: f64 = flags.require("beta")?;
+            let density: f64 = flags.num("density")?.unwrap_or(0.5);
+            random_balanced_digraph(nodes, density, beta, &mut rng)
+        }
+        "gadget-foreach" => {
+            use dircut_core::{ForEachEncoding, ForEachParams};
+            use rand::Rng;
+            let inv_eps: usize = flags.require("inv-eps")?;
+            let sqrt_beta: usize = flags.require("sqrt-beta")?;
+            let ell: usize = flags.num("ell")?.unwrap_or(2);
+            let params = ForEachParams::new(inv_eps, sqrt_beta, ell);
+            let s: Vec<i8> = (0..params.total_bits())
+                .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+                .collect();
+            ForEachEncoding::encode(params, &s).graph().clone()
+        }
+        other => return Err(format!("unknown gen kind `{other}`")),
+    };
+    print!("{}", to_edge_list(&g));
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let g = read_graph(&flags)?;
+    println!("nodes: {}", g.num_nodes());
+    println!("edges: {}", g.num_edges());
+    println!("total weight: {:.6}", g.total_weight());
+    println!("strongly connected: {}", is_strongly_connected(&g));
+    println!("eulerian (1-balanced): {}", is_eulerian(&g));
+    match edgewise_balance_bound(&g) {
+        Some(b) => println!("balance certificate: β ≤ {b:.4}"),
+        None => println!("balance certificate: none (some edge lacks a reverse)"),
+    }
+    if g.num_nodes() <= 20 && g.num_nodes() >= 2 {
+        println!("balance exact: β = {:.4}", exact_balance_factor(&g));
+    }
+    Ok(())
+}
+
+fn cmd_mincut(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let g = read_graph(&flags)?;
+    if g.num_nodes() < 2 {
+        return Err("min-cut needs ≥ 2 nodes".into());
+    }
+    let directed = global_min_cut_directed(&g);
+    let sym = stoer_wagner(&g);
+    println!("directed min cut:    {:.6}", directed.value);
+    println!("  side: {:?}", directed.side);
+    println!("symmetrized min cut: {:.6}", sym.value);
+    println!("  side: {:?}", sym.side);
+    Ok(())
+}
+
+fn cmd_cut(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let g = read_graph(&flags)?;
+    let side = flags.get("side").ok_or("cut needs --side")?;
+    let s = parse_side(side, g.num_nodes())?;
+    let (out, into) = g.cut_both(&s);
+    println!("w(S, V∖S) = {out:.6}");
+    println!("w(V∖S, S) = {into:.6}");
+    Ok(())
+}
+
+/// A boxed cut-query closure (the CLI's model-erased sketch handle).
+type CutAnswer = Box<dyn Fn(&NodeSet) -> f64>;
+
+fn cmd_sketch(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let g = read_graph(&flags)?;
+    let eps: f64 = flags.require("eps")?;
+    let beta: f64 = flags.num("beta")?.unwrap_or(1.0);
+    let model = flags.get("model").unwrap_or("foreach");
+    let seed: u64 = flags.num("seed")?.unwrap_or(42);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (bits, answer): (usize, CutAnswer) = match model {
+        "foreach" => {
+            let sk = BalancedForEachSketcher::new(eps, beta).sketch(&g, &mut rng);
+            let bits = sk.size_bits();
+            (bits, Box::new(move |s| sk.cut_out_estimate(s)))
+        }
+        "forall" => {
+            let sk = BalancedForAllSketcher::new(eps, beta).sketch(&g, &mut rng);
+            let bits = sk.size_bits();
+            (bits, Box::new(move |s| sk.cut_out_estimate(s)))
+        }
+        other => return Err(format!("unknown model `{other}` (foreach|forall)")),
+    };
+    println!("model: {model}, ε = {eps}, β = {beta}");
+    println!("sketch size: {bits} bits");
+    if let Some(side) = flags.get("side") {
+        let s = parse_side(side, g.num_nodes())?;
+        println!("estimate w(S, V∖S) = {:.6}", answer(&s));
+        println!("exact    w(S, V∖S) = {:.6}", g.cut_out(&s));
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args)?;
+    let g = read_graph(&flags)?;
+    print!("{}", to_dot(&g, "dircut"));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_pairs_and_positionals() {
+        let args: Vec<String> =
+            ["--nodes", "10", "file.txt", "--beta", "2.5"].iter().map(|s| s.to_string()).collect();
+        let f = Flags::parse(&args).unwrap();
+        assert_eq!(f.get("nodes"), Some("10"));
+        assert_eq!(f.get("beta"), Some("2.5"));
+        assert_eq!(f.positional, vec!["file.txt"]);
+        let n: usize = f.require("nodes").unwrap();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn flags_report_missing_values() {
+        let args: Vec<String> = ["--nodes"].iter().map(|s| s.to_string()).collect();
+        assert!(Flags::parse(&args).is_err());
+    }
+
+    #[test]
+    fn parse_side_accepts_lists_and_validates() {
+        let s = parse_side("0, 2,3", 5).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(parse_side("9", 5).is_err());
+        assert!(parse_side("x", 5).is_err());
+    }
+
+    #[test]
+    fn unknown_commands_error() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+
+    #[test]
+    fn help_prints() {
+        assert!(run(&[]).is_ok());
+        assert!(run(&["help".to_string()]).is_ok());
+    }
+}

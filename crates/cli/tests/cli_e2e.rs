@@ -1,0 +1,93 @@
+//! End-to-end tests of the `dircut` binary: real process spawns,
+//! piped stdin/stdout, exit codes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_dircut");
+
+fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dircut");
+    child.stdin.as_mut().unwrap().write_all(stdin.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("wait for dircut");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_succeeds() {
+    let (stdout, _, ok) = run(&["help"], "");
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (_, stderr, ok) = run(&["frobnicate"], "");
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn gen_then_stats_pipeline() {
+    let (edges, _, ok) = run(&["gen", "balanced", "--nodes", "10", "--beta", "3", "--seed", "1"], "");
+    assert!(ok);
+    assert!(edges.starts_with("n 10\n"));
+    let (stats, _, ok) = run(&["stats"], &edges);
+    assert!(ok);
+    assert!(stats.contains("nodes: 10"));
+    assert!(stats.contains("strongly connected: true"));
+    assert!(stats.contains("balance certificate: β ≤ 3.0000"));
+}
+
+#[test]
+fn cut_command_computes_both_directions() {
+    let graph = "n 3\ne 0 1 2.0\ne 1 2 3.0\ne 2 0 5.0\n";
+    let (out, _, ok) = run(&["cut", "--side", "0"], graph);
+    assert!(ok);
+    assert!(out.contains("w(S, V∖S) = 2.000000"), "{out}");
+    assert!(out.contains("w(V∖S, S) = 5.000000"), "{out}");
+}
+
+#[test]
+fn mincut_reports_directed_and_symmetrized() {
+    let graph = "n 3\ne 0 1 1.0\ne 1 2 10.0\ne 2 0 10.0\n";
+    let (out, _, ok) = run(&["mincut"], graph);
+    assert!(ok);
+    assert!(out.contains("directed min cut:    1.000000"), "{out}");
+}
+
+#[test]
+fn sketch_reports_size_and_estimate() {
+    let (edges, _, _) = run(&["gen", "balanced", "--nodes", "8", "--beta", "2", "--seed", "2"], "");
+    let (out, _, ok) =
+        run(&["sketch", "--eps", "0.3", "--beta", "2", "--side", "0,1,2,3"], &edges);
+    assert!(ok, "{out}");
+    assert!(out.contains("sketch size:"));
+    assert!(out.contains("estimate w(S, V∖S)"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let graph = "n 2\ne 0 1 1.5\n";
+    let (out, _, ok) = run(&["dot"], graph);
+    assert!(ok);
+    assert!(out.contains("digraph dircut {"));
+    assert!(out.contains("0 -> 1"));
+}
+
+#[test]
+fn malformed_input_fails_cleanly() {
+    let (_, stderr, ok) = run(&["stats"], "e 0 1 1.0\n");
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}

@@ -1,0 +1,197 @@
+//! Bit-level message encoding with exact length accounting.
+//!
+//! Every communication lower bound in the paper is a statement about
+//! *bits*, so protocols here ship [`Message`]s whose length is counted
+//! bit-by-bit rather than rounded to bytes.
+
+/// A finished one-way message: a bit string of known exact length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl Message {
+    /// The exact number of bits in the message.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// The underlying bytes (the last byte may be partially used).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Begins reading the message from the start.
+    #[must_use]
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { msg: self, pos: 0 }
+    }
+}
+
+/// Writes bits into a growing buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// A fresh empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        let (byte, off) = (self.bit_len / 8, self.bit_len % 8);
+        if off == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte] |= 1 << off;
+        }
+        self.bit_len += 1;
+    }
+
+    /// Appends the low `width` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    /// Panics if `width > 64` or `value` has bits above `width`.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(width == 64 || value >> width == 0, "value {value} wider than {width} bits");
+        for i in 0..width {
+            self.write_bit(value >> i & 1 == 1);
+        }
+    }
+
+    /// Appends an IEEE-754 double (64 bits).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_bits(value.to_bits(), 64);
+    }
+
+    /// Appends whole bytes.
+    pub fn write_bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.write_bits(u64::from(b), 8);
+        }
+    }
+
+    /// Finishes the message.
+    #[must_use]
+    pub fn finish(self) -> Message {
+        Message { bytes: self.bytes, bit_len: self.bit_len }
+    }
+}
+
+/// Reads bits back out of a [`Message`].
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    msg: &'a Message,
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    /// Number of bits not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.msg.bit_len - self.pos
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    /// Panics when reading past the end of the message.
+    pub fn read_bit(&mut self) -> bool {
+        assert!(self.pos < self.msg.bit_len, "read past end of message");
+        let (byte, off) = (self.pos / 8, self.pos % 8);
+        self.pos += 1;
+        self.msg.bytes[byte] >> off & 1 == 1
+    }
+
+    /// Reads `width` bits as a `u64`, LSB first.
+    pub fn read_bits(&mut self, width: u32) -> u64 {
+        assert!(width <= 64);
+        let mut v = 0u64;
+        for i in 0..width {
+            if self.read_bit() {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+
+    /// Reads an IEEE-754 double.
+    pub fn read_f64(&mut self) -> f64 {
+        f64::from_bits(self.read_bits(64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bit(false);
+        w.write_bits(0b1011, 4);
+        w.write_bits(u64::MAX, 64);
+        w.write_f64(std::f64::consts::PI);
+        let msg = w.finish();
+        assert_eq!(msg.bit_len(), 1 + 1 + 4 + 64 + 64);
+        let mut r = msg.reader();
+        assert!(r.read_bit());
+        assert!(!r.read_bit());
+        assert_eq!(r.read_bits(4), 0b1011);
+        assert_eq!(r.read_bits(64), u64::MAX);
+        assert_eq!(r.read_f64(), std::f64::consts::PI);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_len_is_exact_not_byte_rounded() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        assert_eq!(w.finish().bit_len(), 3);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bit(true); // misalign on purpose
+        w.write_bytes(&[0xde, 0xad, 0xbe, 0xef]);
+        let msg = w.finish();
+        let mut r = msg.reader();
+        assert!(r.read_bit());
+        assert_eq!(r.read_bits(8), 0xde);
+        assert_eq!(r.read_bits(8), 0xad);
+        assert_eq!(r.read_bits(8), 0xbe);
+        assert_eq!(r.read_bits(8), 0xef);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn overread_panics() {
+        let msg = BitWriter::new().finish();
+        msg.reader().read_bit();
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn overwide_value_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b100, 2);
+    }
+}

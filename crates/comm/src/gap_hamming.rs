@@ -1,0 +1,221 @@
+//! The distributional Gap-Hamming problem (Lemma 4.1 of the paper,
+//! after \[ACK+16\]).
+//!
+//! Alice has `h` strings `s_1, …, s_h ∈ {0,1}^L` of Hamming weight
+//! `L/2`; Bob has an index `i` and a string `t` of weight `L/2`, with
+//! the planted promise that `Δ(s_i, t)` is either `≥ L/2 + gap` (far)
+//! or `≤ L/2 − gap` (close), each with probability 1/2. Deciding which
+//! case holds requires `Ω(h/ε²) = Ω(h·L)` bits of one-way
+//! communication. In the paper `L = 1/ε²` and `gap = c/ε = c·√L`.
+//!
+//! *Sampling note.* The lemma conditions uniform strings on the
+//! distance tail; we plant the distance exactly at the boundary
+//! (`L/2 ± gap`, rounded to the nearest feasible even value), which is
+//! where the conditional distribution concentrates anyway. This keeps
+//! instances exact and reproducible; DESIGN.md records the substitution.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hamming weight of a bit string.
+#[must_use]
+pub fn hamming_weight(x: &[bool]) -> usize {
+    x.iter().filter(|&&b| b).count()
+}
+
+/// Hamming distance between two equal-length bit strings.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[must_use]
+pub fn hamming_distance(x: &[bool], y: &[bool]) -> usize {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    x.iter().zip(y).filter(|(a, b)| a != b).count()
+}
+
+/// A uniformly random string of the given length and Hamming weight.
+///
+/// # Panics
+/// Panics if `weight > len`.
+#[must_use]
+pub fn random_weighted_string<R: Rng>(len: usize, weight: usize, rng: &mut R) -> Vec<bool> {
+    assert!(weight <= len, "weight {weight} > length {len}");
+    let mut idx: Vec<usize> = (0..len).collect();
+    idx.shuffle(rng);
+    let mut s = vec![false; len];
+    for &i in &idx[..weight] {
+        s[i] = true;
+    }
+    s
+}
+
+/// Parameters of the distributional Gap-Hamming problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapHammingParams {
+    /// Number of strings Alice holds (`h`).
+    pub h: usize,
+    /// String length (`L = 1/ε²`); must be a multiple of 4 so that
+    /// weight `L/2` strings at even distances exist on both sides.
+    pub len: usize,
+    /// The distance gap (`c/ε = c·√L`), `1 ≤ gap ≤ L/2`.
+    pub gap: usize,
+}
+
+impl GapHammingParams {
+    /// Validates and builds parameters.
+    ///
+    /// # Panics
+    /// Panics if `len` is not a positive multiple of 4, `h == 0`, or
+    /// the gap is out of range.
+    #[must_use]
+    pub fn new(h: usize, len: usize, gap: usize) -> Self {
+        assert!(h > 0, "need at least one string");
+        assert!(len > 0 && len.is_multiple_of(4), "len must be a positive multiple of 4, got {len}");
+        assert!(gap >= 1 && gap <= len / 2, "gap {gap} out of range for len {len}");
+        Self { h, len, gap }
+    }
+
+    /// The paper's choice `len = 1/ε²` read backwards: `ε = 1/√len`.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        1.0 / (self.len as f64).sqrt()
+    }
+
+    /// The Ω(h·L) communication lower bound in bits (constant 1).
+    #[must_use]
+    pub fn lower_bound_bits(&self) -> usize {
+        self.h * self.len
+    }
+}
+
+/// One sampled instance of the distributional Gap-Hamming problem.
+#[derive(Debug, Clone)]
+pub struct GapHammingInstance {
+    /// The parameters it was drawn from.
+    pub params: GapHammingParams,
+    /// Alice's `h` strings, each of weight `len/2`.
+    pub strings: Vec<Vec<bool>>,
+    /// Bob's index into `strings`.
+    pub i: usize,
+    /// Bob's string of weight `len/2`.
+    pub t: Vec<bool>,
+    /// Whether the planted case is the far one
+    /// (`Δ(s_i, t) ≥ L/2 + gap`).
+    pub is_far: bool,
+}
+
+impl GapHammingInstance {
+    /// Samples an instance from the planted hard distribution.
+    #[must_use]
+    pub fn sample<R: Rng>(params: GapHammingParams, rng: &mut R) -> Self {
+        let GapHammingParams { h, len, gap } = params;
+        let w = len / 2;
+        let strings: Vec<Vec<bool>> =
+            (0..h).map(|_| random_weighted_string(len, w, rng)).collect();
+        let i = rng.gen_range(0..h);
+        let is_far = rng.gen_bool(0.5);
+        // Distance between two weight-w strings is always even; plant
+        // the boundary value rounded outward to stay on the promise.
+        let delta = if is_far {
+            let d = w + gap;
+            d + d % 2
+        } else {
+            let d = w - gap;
+            d - d % 2
+        };
+        let swaps = delta / 2;
+        // Build t from s_i by turning `swaps` ones off and `swaps`
+        // zeros on, keeping the weight at exactly w.
+        let ones: Vec<usize> = strings[i].iter().enumerate().filter(|(_, &b)| b).map(|(p, _)| p).collect();
+        let zeros: Vec<usize> =
+            strings[i].iter().enumerate().filter(|(_, &b)| !b).map(|(p, _)| p).collect();
+        debug_assert!(swaps <= ones.len() && swaps <= zeros.len());
+        let mut t = strings[i].clone();
+        for &p in ones.choose_multiple(rng, swaps) {
+            t[p] = false;
+        }
+        for &p in zeros.choose_multiple(rng, swaps) {
+            t[p] = true;
+        }
+        Self { params, strings, i, t, is_far }
+    }
+
+    /// The correct answer: `true` iff the far case was planted.
+    #[must_use]
+    pub fn answer(&self) -> bool {
+        self.is_far
+    }
+
+    /// The actual planted distance `Δ(s_i, t)`.
+    #[must_use]
+    pub fn planted_distance(&self) -> usize {
+        hamming_distance(&self.strings[self.i], &self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn weighted_string_has_exact_weight() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..10 {
+            let s = random_weighted_string(64, 32, &mut rng);
+            assert_eq!(hamming_weight(&s), 32);
+        }
+    }
+
+    #[test]
+    fn distance_helpers() {
+        assert_eq!(hamming_distance(&[true, false, true], &[true, true, false]), 2);
+        assert_eq!(hamming_weight(&[true, true, false]), 2);
+    }
+
+    #[test]
+    fn instance_respects_all_weight_constraints() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = GapHammingParams::new(8, 64, 8);
+        let inst = GapHammingInstance::sample(p, &mut rng);
+        assert_eq!(inst.strings.len(), 8);
+        for s in &inst.strings {
+            assert_eq!(hamming_weight(s), 32);
+        }
+        assert_eq!(hamming_weight(&inst.t), 32);
+    }
+
+    #[test]
+    fn planted_distance_is_on_the_promised_side() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = GapHammingParams::new(4, 64, 8);
+        let mut seen_far = false;
+        let mut seen_close = false;
+        for _ in 0..50 {
+            let inst = GapHammingInstance::sample(p, &mut rng);
+            let d = inst.planted_distance();
+            if inst.is_far {
+                seen_far = true;
+                assert!(d >= 32 + 8, "far case with Δ = {d}");
+            } else {
+                seen_close = true;
+                assert!(d <= 32 - 8, "close case with Δ = {d}");
+            }
+        }
+        assert!(seen_far && seen_close);
+    }
+
+    #[test]
+    fn epsilon_and_lower_bound_read_back() {
+        let p = GapHammingParams::new(10, 16, 2);
+        assert!((p.epsilon() - 0.25).abs() < 1e-12);
+        assert_eq!(p.lower_bound_bits(), 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn rejects_bad_length() {
+        let _ = GapHammingParams::new(2, 10, 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! The distributional Index problem (Lemma 3.1 of the paper, after
+//! \[KNR01\]).
+//!
+//! Alice holds a uniformly random sign string `s ∈ {−1,1}^n`; Bob holds
+//! a uniformly random index `i ∈ [n]` and must output `s_i` from a
+//! single message. Any protocol succeeding with probability ≥ 2/3 must
+//! send `Ω(n)` bits — this is the source of the for-each cut sketch
+//! lower bound.
+
+use rand::Rng;
+
+/// One sampled Index instance.
+#[derive(Debug, Clone)]
+pub struct IndexInstance {
+    /// Alice's uniformly random sign string.
+    pub s: Vec<i8>,
+    /// Bob's uniformly random index into `s`.
+    pub i: usize,
+}
+
+impl IndexInstance {
+    /// Samples an instance of length `n` from the hard distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn sample<R: Rng>(n: usize, rng: &mut R) -> Self {
+        assert!(n > 0, "Index needs n ≥ 1");
+        let s = (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+        let i = rng.gen_range(0..n);
+        Self { s, i }
+    }
+
+    /// The correct answer `s_i`.
+    #[must_use]
+    pub fn answer(&self) -> i8 {
+        self.s[self.i]
+    }
+
+    /// The Ω(n) lower bound on message bits (Lemma 3.1), as a number
+    /// for experiment tables (the constant in Ω is taken as 1).
+    #[must_use]
+    pub fn lower_bound_bits(&self) -> usize {
+        self.s.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sample_has_requested_length_and_valid_index() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let inst = IndexInstance::sample(100, &mut rng);
+        assert_eq!(inst.s.len(), 100);
+        assert!(inst.i < 100);
+        assert!(inst.s.iter().all(|&b| b == 1 || b == -1));
+    }
+
+    #[test]
+    fn signs_are_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = IndexInstance::sample(10_000, &mut rng);
+        let ones = inst.s.iter().filter(|&&b| b == 1).count();
+        assert!((4500..5500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn answer_reads_the_indexed_sign() {
+        let inst = IndexInstance { s: vec![1, -1, 1], i: 1 };
+        assert_eq!(inst.answer(), -1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Communication-complexity substrate: the hard distributional problems
+//! whose Ω(·) bounds the paper transfers to cut sketches and local
+//! queries, with exact bit accounting.
+//!
+//! * [`bitio`] — bit-exact message encoding ([`Message`], writers and
+//!   readers counting every bit),
+//! * [`protocol`] — the one-way Alice → Bob protocol shape and a
+//!   measuring harness,
+//! * [`index`] — the distributional Index problem (Lemma 3.1),
+//! * [`gap_hamming`] — the distributional Gap-Hamming problem
+//!   (Lemma 4.1),
+//! * [`twosum`] — 2-SUM(t, L, α) with the 0-or-α promise
+//!   (Definitions 5.1/5.2, Theorem 5.4),
+//! * [`transcript`] — interactive multi-round transcripts with
+//!   per-round bit accounting (the Lemma 5.6 simulation shape).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitio;
+pub mod gap_hamming;
+pub mod index;
+pub mod protocol;
+pub mod transcript;
+pub mod twosum;
+
+pub use bitio::{BitReader, BitWriter, Message};
+pub use gap_hamming::{GapHammingInstance, GapHammingParams};
+pub use index::IndexInstance;
+pub use protocol::{measure, OneWayProtocol, ProtocolStats};
+pub use transcript::{Round, Speaker, Transcript};
+pub use twosum::TwoSumInstance;

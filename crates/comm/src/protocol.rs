@@ -1,0 +1,182 @@
+//! One-way communication protocols and a measuring harness.
+//!
+//! All three lower bounds in the paper are proved by reductions of the
+//! shape *Alice encodes her input into a graph, runs a sketching
+//! algorithm, and sends the sketch; Bob decodes by querying cuts*. The
+//! [`OneWayProtocol`] trait captures exactly that shape, and
+//! [`measure`] runs it over a distribution of instances, reporting the
+//! empirical success rate and the exact message sizes.
+
+use crate::bitio::Message;
+use rand::Rng;
+
+/// A one-way (Alice → Bob) protocol for a distributional problem.
+pub trait OneWayProtocol {
+    /// Alice's input.
+    type AliceInput;
+    /// Bob's input.
+    type BobInput;
+    /// Bob's answer.
+    type Output;
+
+    /// Alice's message, given her input and private randomness.
+    fn alice<R: Rng>(&self, input: &Self::AliceInput, rng: &mut R) -> Message;
+
+    /// Bob's answer, given his input, Alice's message, and randomness.
+    fn bob<R: Rng>(&self, input: &Self::BobInput, msg: &Message, rng: &mut R)
+        -> Self::Output;
+}
+
+/// Outcome of measuring a protocol over sampled instances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolStats {
+    /// Number of instances run.
+    pub trials: usize,
+    /// Number of correct answers.
+    pub successes: usize,
+    /// Mean message length in bits.
+    pub mean_bits: f64,
+    /// Maximum message length in bits.
+    pub max_bits: usize,
+}
+
+impl ProtocolStats {
+    /// Empirical success probability.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.successes as f64 / self.trials as f64
+    }
+}
+
+/// Runs `protocol` on `trials` sampled instances.
+///
+/// `sample` draws `(alice_input, bob_input, correct_answer)`; `check`
+/// compares Bob's output against the recorded correct answer.
+pub fn measure<P, R, S, C>(
+    protocol: &P,
+    trials: usize,
+    rng: &mut R,
+    mut sample: S,
+    mut check: C,
+) -> ProtocolStats
+where
+    P: OneWayProtocol,
+    R: Rng,
+    S: FnMut(&mut R) -> (P::AliceInput, P::BobInput, P::Output),
+    C: FnMut(&P::Output, &P::Output) -> bool,
+{
+    let mut successes = 0usize;
+    let mut total_bits = 0usize;
+    let mut max_bits = 0usize;
+    for _ in 0..trials {
+        let (a, b, truth) = sample(rng);
+        let msg = protocol.alice(&a, rng);
+        total_bits += msg.bit_len();
+        max_bits = max_bits.max(msg.bit_len());
+        let out = protocol.bob(&b, &msg, rng);
+        if check(&out, &truth) {
+            successes += 1;
+        }
+    }
+    ProtocolStats {
+        trials,
+        successes,
+        mean_bits: if trials == 0 { 0.0 } else { total_bits as f64 / trials as f64 },
+        max_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Toy protocol: Alice sends her whole bit string, Bob indexes it.
+    struct SendEverything;
+
+    impl OneWayProtocol for SendEverything {
+        type AliceInput = Vec<bool>;
+        type BobInput = usize;
+        type Output = bool;
+
+        fn alice<R: Rng>(&self, input: &Vec<bool>, _rng: &mut R) -> Message {
+            let mut w = BitWriter::new();
+            for &b in input {
+                w.write_bit(b);
+            }
+            w.finish()
+        }
+
+        fn bob<R: Rng>(&self, input: &usize, msg: &Message, _rng: &mut R) -> bool {
+            let mut r = msg.reader();
+            let mut val = false;
+            for _ in 0..=*input {
+                val = r.read_bit();
+            }
+            val
+        }
+    }
+
+    #[test]
+    fn trivial_protocol_always_succeeds_with_exact_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let n = 37;
+        let stats = measure(
+            &SendEverything,
+            50,
+            &mut rng,
+            |rng| {
+                let s: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+                let i = rng.gen_range(0..n);
+                let truth = s[i];
+                (s, i, truth)
+            },
+            |a, b| a == b,
+        );
+        assert_eq!(stats.success_rate(), 1.0);
+        assert_eq!(stats.mean_bits, n as f64);
+        assert_eq!(stats.max_bits, n);
+    }
+
+    /// A protocol that sends nothing can only guess.
+    struct SendNothing;
+
+    impl OneWayProtocol for SendNothing {
+        type AliceInput = Vec<bool>;
+        type BobInput = usize;
+        type Output = bool;
+
+        fn alice<R: Rng>(&self, _input: &Vec<bool>, _rng: &mut R) -> Message {
+            BitWriter::new().finish()
+        }
+
+        fn bob<R: Rng>(&self, _input: &usize, _msg: &Message, rng: &mut R) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    #[test]
+    fn empty_protocol_is_a_coin_flip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let stats = measure(
+            &SendNothing,
+            2000,
+            &mut rng,
+            |rng| {
+                let s: Vec<bool> = (0..8).map(|_| rng.gen_bool(0.5)).collect();
+                let i = rng.gen_range(0..8);
+                let truth = s[i];
+                (s, i, truth)
+            },
+            |a, b| a == b,
+        );
+        assert_eq!(stats.max_bits, 0);
+        let rate = stats.success_rate();
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+    }
+}

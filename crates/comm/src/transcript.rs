@@ -1,0 +1,113 @@
+//! Interactive transcripts: multi-round, two-direction communication
+//! with exact per-round bit accounting.
+//!
+//! One-way games use [`crate::bitio::Message`] directly; the local
+//! query simulation of Lemma 5.6 is *interactive* (Alice and Bob
+//! exchange `x_{i,j}`/`y_{i,j}` on every informative query), and a
+//! [`Transcript`] records that exchange round by round so experiment
+//! tables can report not just totals but the communication profile.
+
+/// Which party sent a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Speaker {
+    /// Alice → Bob.
+    Alice,
+    /// Bob → Alice.
+    Bob,
+}
+
+/// One recorded round: who spoke and how many bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Round {
+    /// The sender.
+    pub speaker: Speaker,
+    /// Exact bits sent this round.
+    pub bits: u64,
+}
+
+/// A running interactive transcript.
+#[derive(Debug, Clone, Default)]
+pub struct Transcript {
+    rounds: Vec<Round>,
+}
+
+impl Transcript {
+    /// An empty transcript.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a round.
+    pub fn record(&mut self, speaker: Speaker, bits: u64) {
+        self.rounds.push(Round { speaker, bits });
+    }
+
+    /// All rounds in order.
+    #[must_use]
+    pub fn rounds(&self) -> &[Round] {
+        &self.rounds
+    }
+
+    /// Total bits in both directions.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.rounds.iter().map(|r| r.bits).sum()
+    }
+
+    /// Bits sent by one party.
+    #[must_use]
+    pub fn bits_from(&self, speaker: Speaker) -> u64 {
+        self.rounds.iter().filter(|r| r.speaker == speaker).map(|r| r.bits).sum()
+    }
+
+    /// Number of *alternations* (speaker changes) — the round
+    /// complexity in the usual sense.
+    #[must_use]
+    pub fn alternations(&self) -> usize {
+        self.rounds.windows(2).filter(|w| w[0].speaker != w[1].speaker).count()
+    }
+
+    /// Merges another transcript after this one (e.g. per-phase logs).
+    pub fn extend(&mut self, other: &Transcript) {
+        self.rounds.extend_from_slice(&other.rounds);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_per_party_sums() {
+        let mut t = Transcript::new();
+        t.record(Speaker::Alice, 10);
+        t.record(Speaker::Bob, 1);
+        t.record(Speaker::Alice, 5);
+        assert_eq!(t.total_bits(), 16);
+        assert_eq!(t.bits_from(Speaker::Alice), 15);
+        assert_eq!(t.bits_from(Speaker::Bob), 1);
+        assert_eq!(t.rounds().len(), 3);
+    }
+
+    #[test]
+    fn alternations_count_speaker_changes() {
+        let mut t = Transcript::new();
+        for s in [Speaker::Alice, Speaker::Alice, Speaker::Bob, Speaker::Alice, Speaker::Bob] {
+            t.record(s, 1);
+        }
+        assert_eq!(t.alternations(), 3);
+        assert_eq!(Transcript::new().alternations(), 0);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Transcript::new();
+        a.record(Speaker::Alice, 4);
+        let mut b = Transcript::new();
+        b.record(Speaker::Bob, 6);
+        a.extend(&b);
+        assert_eq!(a.total_bits(), 10);
+        assert_eq!(a.rounds().len(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! The 2-SUM(t, L, α) problem (Definitions 5.1 and 5.2 of the paper,
+//! after \[WZ14\]).
+//!
+//! Alice holds `t` binary strings `X¹, …, Xᵗ` of length `L`, Bob holds
+//! `Y¹, …, Yᵗ`, with the promise that every pair intersects in exactly
+//! `0` or `α` positions and at least a `1/1000` fraction intersect.
+//! Approximating `Σᵢ DISJ(Xⁱ, Yⁱ)` to additive `√t` requires
+//! `Ω(t·L/α)` bits (Theorem 5.4), which the paper turns into the
+//! local-query min-cut lower bound.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// `INT(x, y)`: the number of positions where both strings are 1.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[must_use]
+pub fn int(x: &[bool], y: &[bool]) -> usize {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    x.iter().zip(y).filter(|(a, b)| **a && **b).count()
+}
+
+/// `DISJ(x, y)`: 1 iff the strings are disjoint (`INT = 0`).
+#[must_use]
+pub fn disj(x: &[bool], y: &[bool]) -> bool {
+    int(x, y) == 0
+}
+
+/// An instance of 2-SUM(t, L, α) satisfying the promise.
+#[derive(Debug, Clone)]
+pub struct TwoSumInstance {
+    /// Alice's strings (`t` strings of length `L`).
+    pub xs: Vec<Vec<bool>>,
+    /// Bob's strings.
+    pub ys: Vec<Vec<bool>>,
+    /// The promised intersection size of intersecting pairs.
+    pub alpha: usize,
+}
+
+impl TwoSumInstance {
+    /// Samples an instance with `t` pairs of length-`L` strings where
+    /// `num_intersecting` pairs intersect in exactly `alpha` positions
+    /// and the rest are disjoint.
+    ///
+    /// # Panics
+    /// Panics if the promise is unsatisfiable: `num_intersecting` must
+    /// be at least `max(1, t/1000)` and at most `t`, and `L ≥ 3α` so
+    /// disjoint filler positions exist.
+    #[must_use]
+    pub fn sample<R: Rng>(
+        t: usize,
+        l: usize,
+        alpha: usize,
+        num_intersecting: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(alpha >= 1, "α must be ≥ 1");
+        assert!(l >= 3 * alpha, "need L ≥ 3α for disjoint filler, got L={l}, α={alpha}");
+        let min_intersecting = (t / 1000).max(1);
+        assert!(
+            (min_intersecting..=t).contains(&num_intersecting),
+            "promise requires {min_intersecting} ≤ num_intersecting ≤ {t}"
+        );
+        let mut which: Vec<bool> = (0..t).map(|i| i < num_intersecting).collect();
+        which.shuffle(rng);
+        let mut xs = Vec::with_capacity(t);
+        let mut ys = Vec::with_capacity(t);
+        for &intersects in &which {
+            let (x, y) = sample_pair(l, alpha, intersects, rng);
+            xs.push(x);
+            ys.push(y);
+        }
+        Self { xs, ys, alpha }
+    }
+
+    /// Number of string pairs `t`.
+    #[must_use]
+    pub fn num_pairs(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// String length `L`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the instance has no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The exact value `Σᵢ DISJ(Xⁱ, Yⁱ)`.
+    #[must_use]
+    pub fn disj_sum(&self) -> usize {
+        self.xs.iter().zip(&self.ys).filter(|(x, y)| disj(x, y)).count()
+    }
+
+    /// The exact value `Σᵢ INT(Xⁱ, Yⁱ)`.
+    #[must_use]
+    pub fn int_sum(&self) -> usize {
+        self.xs.iter().zip(&self.ys).map(|(x, y)| int(x, y)).sum()
+    }
+
+    /// Verifies the 0-or-α promise and the 1/1000 fraction.
+    #[must_use]
+    pub fn promise_holds(&self) -> bool {
+        let mut intersecting = 0usize;
+        for (x, y) in self.xs.iter().zip(&self.ys) {
+            let v = int(x, y);
+            if v == self.alpha {
+                intersecting += 1;
+            } else if v != 0 {
+                return false;
+            }
+        }
+        intersecting * 1000 >= self.num_pairs()
+    }
+
+    /// The Ω(t·L/α) communication lower bound in bits (constant 1).
+    #[must_use]
+    pub fn lower_bound_bits(&self) -> usize {
+        self.num_pairs() * self.len() / self.alpha
+    }
+
+    /// The Theorem 5.4 amplification: concatenates `alpha` copies of a
+    /// 2-SUM(t, L, 1) instance into a 2-SUM(t, α·L, α) instance.
+    ///
+    /// # Panics
+    /// Panics if `self.alpha != 1`.
+    #[must_use]
+    pub fn amplify(&self, alpha: usize) -> Self {
+        assert_eq!(self.alpha, 1, "amplification starts from an α = 1 instance");
+        assert!(alpha >= 1);
+        let cat = |s: &Vec<bool>| -> Vec<bool> {
+            let mut out = Vec::with_capacity(s.len() * alpha);
+            for _ in 0..alpha {
+                out.extend_from_slice(s);
+            }
+            out
+        };
+        Self { xs: self.xs.iter().map(cat).collect(), ys: self.ys.iter().map(cat).collect(), alpha }
+    }
+
+    /// Concatenates Alice's strings (and likewise Bob's) into the
+    /// single pair `(x, y)` of length `t·L` used by the Section 5.3
+    /// graph construction.
+    #[must_use]
+    pub fn concatenated(&self) -> (Vec<bool>, Vec<bool>) {
+        let x = self.xs.iter().flatten().copied().collect();
+        let y = self.ys.iter().flatten().copied().collect();
+        (x, y)
+    }
+}
+
+/// One pair with `INT` exactly `alpha` (if `intersects`) or `0`,
+/// with independent non-overlapping filler ones elsewhere.
+fn sample_pair<R: Rng>(l: usize, alpha: usize, intersects: bool, rng: &mut R) -> (Vec<bool>, Vec<bool>) {
+    let mut x = vec![false; l];
+    let mut y = vec![false; l];
+    let mut positions: Vec<usize> = (0..l).collect();
+    positions.shuffle(rng);
+    let mut cursor = 0usize;
+    if intersects {
+        for _ in 0..alpha {
+            let p = positions[cursor];
+            cursor += 1;
+            x[p] = true;
+            y[p] = true;
+        }
+    }
+    // Filler: each remaining position goes to x only, y only, or
+    // neither — never both, so INT is exactly as planted.
+    for &p in &positions[cursor..] {
+        match rng.gen_range(0..4) {
+            0 => x[p] = true,
+            1 => y[p] = true,
+            _ => {}
+        }
+    }
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn int_and_disj_basics() {
+        let x = [true, false, true, true];
+        let y = [false, false, true, true];
+        assert_eq!(int(&x, &y), 2);
+        assert!(!disj(&x, &y));
+        assert!(disj(&[true, false], &[false, true]));
+    }
+
+    #[test]
+    fn sampled_instance_satisfies_promise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let inst = TwoSumInstance::sample(50, 30, 3, 10, &mut rng);
+        assert!(inst.promise_holds());
+        assert_eq!(inst.num_pairs(), 50);
+        assert_eq!(inst.len(), 30);
+        assert_eq!(inst.disj_sum(), 40);
+        assert_eq!(inst.int_sum(), 30);
+    }
+
+    #[test]
+    fn every_pair_is_zero_or_alpha() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = TwoSumInstance::sample(40, 24, 4, 7, &mut rng);
+        for (x, y) in inst.xs.iter().zip(&inst.ys) {
+            let v = int(x, y);
+            assert!(v == 0 || v == 4, "INT = {v}");
+        }
+    }
+
+    #[test]
+    fn amplify_multiplies_intersections() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let base = TwoSumInstance::sample(20, 9, 1, 5, &mut rng);
+        let amp = base.amplify(3);
+        assert_eq!(amp.alpha, 3);
+        assert_eq!(amp.len(), 27);
+        assert_eq!(amp.disj_sum(), base.disj_sum());
+        assert_eq!(amp.int_sum(), 3 * base.int_sum());
+        assert!(amp.promise_holds());
+    }
+
+    #[test]
+    fn concatenated_preserves_total_intersections() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let inst = TwoSumInstance::sample(10, 12, 2, 4, &mut rng);
+        let (x, y) = inst.concatenated();
+        assert_eq!(x.len(), 120);
+        assert_eq!(int(&x, &y), inst.int_sum());
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let inst = TwoSumInstance::sample(16, 32, 4, 4, &mut rng);
+        assert_eq!(inst.lower_bound_bits(), 16 * 32 / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "promise requires")]
+    fn rejects_unsatisfiable_promise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = TwoSumInstance::sample(10, 30, 1, 0, &mut rng);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the communication substrate.
+
+use dircut_comm::bitio::BitWriter;
+use dircut_comm::gap_hamming::{hamming_distance, hamming_weight, GapHammingInstance, GapHammingParams};
+use dircut_comm::twosum::{disj, int, TwoSumInstance};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #[test]
+    fn bitio_roundtrips_arbitrary_fields(fields in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..50)) {
+        let mut w = BitWriter::new();
+        let mut masked = Vec::new();
+        for &(v, width) in &fields {
+            let m = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+            w.write_bits(m, width);
+            masked.push((m, width));
+        }
+        let expected_bits: usize = fields.iter().map(|&(_, w)| w as usize).sum();
+        let msg = w.finish();
+        prop_assert_eq!(msg.bit_len(), expected_bits);
+        let mut r = msg.reader();
+        for (v, width) in masked {
+            prop_assert_eq!(r.read_bits(width), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bitio_roundtrips_floats(vals in proptest::collection::vec(-1e12f64..1e12, 0..20)) {
+        let mut w = BitWriter::new();
+        for &v in &vals {
+            w.write_f64(v);
+        }
+        let msg = w.finish();
+        let mut r = msg.reader();
+        for &v in &vals {
+            prop_assert_eq!(r.read_f64(), v);
+        }
+    }
+
+    #[test]
+    fn gap_hamming_instances_respect_the_promise(
+        h in 1usize..6,
+        len_quarter in 1usize..10,
+        gap_scale in 1usize..4,
+        seed in 0u64..5000,
+    ) {
+        let len = 4 * len_quarter;
+        let gap = (gap_scale).min(len / 2);
+        let params = GapHammingParams::new(h, len, gap);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inst = GapHammingInstance::sample(params, &mut rng);
+        prop_assert_eq!(inst.strings.len(), h);
+        for s in &inst.strings {
+            prop_assert_eq!(hamming_weight(s), len / 2);
+        }
+        prop_assert_eq!(hamming_weight(&inst.t), len / 2);
+        let d = inst.planted_distance();
+        if inst.is_far {
+            prop_assert!(d >= len / 2 + gap, "far Δ = {d} < {}", len / 2 + gap);
+        } else {
+            prop_assert!(d <= len / 2 - gap, "close Δ = {d} > {}", len / 2 - gap);
+        }
+        // Distance between equal-weight strings is always even.
+        prop_assert_eq!(d % 2, 0);
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric_on_samples(
+        a in proptest::collection::vec(any::<bool>(), 1..64),
+        seed in 0u64..100,
+    ) {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let b: Vec<bool> = a.iter().map(|_| rng.gen_bool(0.5)).collect();
+        let c: Vec<bool> = a.iter().map(|_| rng.gen_bool(0.5)).collect();
+        prop_assert_eq!(hamming_distance(&a, &a), 0);
+        prop_assert_eq!(hamming_distance(&a, &b), hamming_distance(&b, &a));
+        prop_assert!(hamming_distance(&a, &c) <= hamming_distance(&a, &b) + hamming_distance(&b, &c));
+    }
+
+    #[test]
+    fn twosum_instances_satisfy_their_promise(
+        t in 2usize..30,
+        l_mult in 3usize..8,
+        alpha in 1usize..4,
+        hits_frac in 1usize..5,
+        seed in 0u64..5000,
+    ) {
+        let l = l_mult * alpha;
+        let hits = (t * hits_frac / 5).max(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inst = TwoSumInstance::sample(t, l, alpha, hits, &mut rng);
+        prop_assert!(inst.promise_holds());
+        prop_assert_eq!(inst.disj_sum(), t - hits);
+        prop_assert_eq!(inst.int_sum(), hits * alpha);
+        for (x, y) in inst.xs.iter().zip(&inst.ys) {
+            let v = int(x, y);
+            prop_assert!(v == 0 || v == alpha);
+            prop_assert_eq!(disj(x, y), v == 0);
+        }
+    }
+
+    #[test]
+    fn twosum_amplification_is_exactly_alpha_fold(
+        t in 2usize..15,
+        l in 3usize..12,
+        alpha in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let base = TwoSumInstance::sample(t, l, 1, (t / 5).max(1), &mut rng);
+        let amp = base.amplify(alpha);
+        prop_assert_eq!(amp.len(), alpha * l);
+        prop_assert_eq!(amp.int_sum(), alpha * base.int_sum());
+        prop_assert_eq!(amp.disj_sum(), base.disj_sum());
+        prop_assert!(amp.promise_holds());
+        // Theorem 5.4's bound: amplification divides the per-instance
+        // lower bound back to the base's.
+        prop_assert_eq!(amp.lower_bound_bits(), base.lower_bound_bits());
+    }
+
+    #[test]
+    fn concatenation_preserves_intersections(
+        t in 1usize..10,
+        l in 3usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inst = TwoSumInstance::sample(t, l, 1, 1, &mut rng);
+        let (x, y) = inst.concatenated();
+        prop_assert_eq!(x.len(), t * l);
+        prop_assert_eq!(int(&x, &y), inst.int_sum());
+    }
+}

@@ -1,0 +1,648 @@
+//! The for-all cut sketch lower bound construction (Section 4,
+//! Theorem 1.2 of the paper).
+//!
+//! Alice holds Gap-Hamming strings `s_{i,j} ∈ {0,1}^{1/ε²}`. The
+//! construction partitions `n` nodes into groups `V_1, …, V_ℓ` of
+//! `k = β/ε²` nodes; between consecutive groups, the left side is the
+//! flat list `ℓ_1, …, ℓ_k` and the right side is partitioned into `β`
+//! clusters `R_1, …, R_β` of `1/ε²` nodes. String `s_{i,j}` becomes the
+//! forward edges from `ℓ_i` to `R_j` with weights `s_{i,j}(v) + 1 ∈
+//! {1, 2}`; every backward edge has weight `1/β`, so the graph is
+//! `2β`-balanced edge-by-edge.
+//!
+//! Bob, holding `(i, j)` and a string `t` (set `T ⊂ R_j`), cannot read
+//! `|N(ℓ_i) ∩ T|` from one noisy cut — the backward mass swamps the
+//! `Θ(1/ε)` signal. Instead he uses the *for-all* guarantee: he
+//! enumerates every half-size subset `U ⊂ L`, estimates `w(U, T)`, and
+//! keeps the argmax `Q`. Lemmas 4.3/4.4 make `Q` capture ≥ 4/5 of
+//! `L_high` (the nodes with large `|N(ℓ)∩T|`), so "`ℓ_i ∈ Q`" decides
+//! the Gap-Hamming promise with probability ≥ 3/4 — which forces any
+//! for-all sketch to carry Ω(nβ/ε²) bits.
+
+use dircut_graph::{DiGraph, NodeId, NodeSet};
+use dircut_sketch::CutOracle;
+use rand::Rng;
+
+/// Parameters of the Section 4 construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForAllParams {
+    /// β ≥ 1 (integral here; the paper's β).
+    pub beta: usize,
+    /// `1/ε²` — the cluster size; must be even (Bob's `|T| = 1/(2ε²)`).
+    pub inv_eps_sq: usize,
+    /// Number of groups `ℓ ≥ 2`.
+    pub ell: usize,
+}
+
+impl ForAllParams {
+    /// Creates parameters, validating ranges.
+    ///
+    /// # Panics
+    /// Panics if `beta == 0`, `inv_eps_sq` is odd or zero, or `ell < 2`.
+    #[must_use]
+    pub fn new(beta: usize, inv_eps_sq: usize, ell: usize) -> Self {
+        assert!(beta >= 1, "β must be ≥ 1");
+        assert!(inv_eps_sq >= 2 && inv_eps_sq.is_multiple_of(2), "1/ε² must be even and ≥ 2");
+        assert!(ell >= 2, "need at least two groups");
+        Self { beta, inv_eps_sq, ell }
+    }
+
+    /// ε as a float.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        1.0 / (self.inv_eps_sq as f64).sqrt()
+    }
+
+    /// Nodes per group: `k = β/ε²`.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.beta * self.inv_eps_sq
+    }
+
+    /// Total nodes `n = ℓ·k`.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.ell * self.group_size()
+    }
+
+    /// Strings per group pair: `k·β = β²/ε²`.
+    #[must_use]
+    pub fn strings_per_pair(&self) -> usize {
+        self.group_size() * self.beta
+    }
+
+    /// Total number of strings `h = (ℓ−1)·β²/ε²`.
+    #[must_use]
+    pub fn num_strings(&self) -> usize {
+        (self.ell - 1) * self.strings_per_pair()
+    }
+
+    /// The Ω(nβ/ε²) bit lower bound the construction certifies
+    /// (constant 1): `h/ε²` from Lemma 4.1.
+    #[must_use]
+    pub fn lower_bound_bits(&self) -> usize {
+        self.num_strings() * self.inv_eps_sq
+    }
+
+    /// The edgewise balance certificate: `2β`.
+    #[must_use]
+    pub fn balance_bound(&self) -> f64 {
+        2.0 * self.beta as f64
+    }
+
+    /// Node id of `ℓ_i` (the `i`-th node, 0-indexed) of group `g`.
+    #[must_use]
+    pub fn left_node(&self, g: usize, i: usize) -> NodeId {
+        debug_assert!(g < self.ell && i < self.group_size());
+        NodeId::new(g * self.group_size() + i)
+    }
+
+    /// Node id of the `v`-th node of cluster `R_j` inside group `g`.
+    #[must_use]
+    pub fn cluster_node(&self, g: usize, j: usize, v: usize) -> NodeId {
+        debug_assert!(g < self.ell && j < self.beta && v < self.inv_eps_sq);
+        NodeId::new(g * self.group_size() + j * self.inv_eps_sq + v)
+    }
+
+    /// Splits a global string index `q` into
+    /// `(group pair, left node index i, cluster index j)`.
+    ///
+    /// # Panics
+    /// Panics if `q ≥ num_strings()`.
+    #[must_use]
+    pub fn locate_string(&self, q: usize) -> StringLocation {
+        assert!(q < self.num_strings(), "string index {q} out of range");
+        let per_pair = self.strings_per_pair();
+        let pair = q / per_pair;
+        let rem = q % per_pair;
+        StringLocation { pair, left: rem / self.beta, cluster: rem % self.beta }
+    }
+}
+
+/// Where one Gap-Hamming string lives inside the construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StringLocation {
+    /// Group pair index (encoded between `V_pair` and `V_{pair+1}`).
+    pub pair: usize,
+    /// The left node index `i` (so the string rides on `ℓ_i ∈ V_pair`).
+    pub left: usize,
+    /// The right cluster index `j` (edges land in `R_j ⊂ V_{pair+1}`).
+    pub cluster: usize,
+}
+
+/// Alice's side: the strings encoded as a `2β`-balanced digraph.
+#[derive(Debug, Clone)]
+pub struct ForAllEncoding {
+    params: ForAllParams,
+    graph: DiGraph,
+}
+
+impl ForAllEncoding {
+    /// Encodes `strings` (one per [`ForAllParams::num_strings`], each
+    /// of length `1/ε²`).
+    ///
+    /// # Panics
+    /// Panics on count or length mismatches.
+    #[must_use]
+    pub fn encode(params: ForAllParams, strings: &[Vec<bool>]) -> Self {
+        assert_eq!(strings.len(), params.num_strings(), "string count mismatch");
+        let k = params.group_size();
+        let mut g = DiGraph::with_edge_capacity(params.num_nodes(), 2 * (params.ell - 1) * k * k);
+        for (q, s) in strings.iter().enumerate() {
+            assert_eq!(s.len(), params.inv_eps_sq, "string {q} has wrong length");
+            let loc = params.locate_string(q);
+            let from = params.left_node(loc.pair, loc.left);
+            for (v, &bit) in s.iter().enumerate() {
+                let to = params.cluster_node(loc.pair + 1, loc.cluster, v);
+                g.add_edge(from, to, if bit { 2.0 } else { 1.0 });
+            }
+        }
+        // Backward edges: complete V_{g+1} → V_g at weight 1/β.
+        let back = 1.0 / params.beta as f64;
+        for pair in 0..params.ell - 1 {
+            for u in 0..k {
+                for v in 0..k {
+                    g.add_edge(
+                        NodeId::new((pair + 1) * k + u),
+                        NodeId::new(pair * k + v),
+                        back,
+                    );
+                }
+            }
+        }
+        Self { params, graph: g }
+    }
+
+    /// The parameters.
+    #[must_use]
+    pub fn params(&self) -> &ForAllParams {
+        &self.params
+    }
+
+    /// The encoded graph.
+    #[must_use]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+}
+
+/// How Bob searches over half-size subsets `U ⊂ L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubsetSearch {
+    /// Exhaustive enumeration of all `C(k, k/2)` subsets — the paper's
+    /// Bob. Feasible for `k ≤ 24`.
+    Exact,
+    /// Randomized hill-free search over `samples` random subsets — a
+    /// documented substitution for larger `k` (DESIGN.md).
+    Randomized {
+        /// Number of random subsets to try.
+        samples: usize,
+    },
+}
+
+/// Bob's side: decides Gap-Hamming instances from a for-all oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct ForAllDecoder {
+    params: ForAllParams,
+    search: SubsetSearch,
+}
+
+/// The outcome of one Gap-Hamming decision.
+#[derive(Debug, Clone)]
+pub struct ForAllDecision {
+    /// Bob's answer: `true` = far case (`Δ ≥ 1/(2ε²) + c/ε`).
+    pub is_far: bool,
+    /// The argmax subset `Q ⊂ L` Bob found (indices into `L`).
+    pub q_subset: Vec<usize>,
+    /// Number of cut queries issued.
+    pub cut_queries: usize,
+}
+
+impl ForAllDecoder {
+    /// A decoder with the given search strategy.
+    #[must_use]
+    pub fn new(params: ForAllParams, search: SubsetSearch) -> Self {
+        Self { params, search }
+    }
+
+    /// The fixed backward weight crossing cut `S` (public layout only),
+    /// identical in shape to the Section 3 formula.
+    #[must_use]
+    pub fn fixed_backward_weight(&self, s: &NodeSet) -> f64 {
+        let k = self.params.group_size();
+        let mut total_pairs = 0usize;
+        for j in 0..self.params.ell - 1 {
+            let mut in_next = 0usize;
+            let mut out_cur = 0usize;
+            for u in 0..k {
+                if s.contains(NodeId::new((j + 1) * k + u)) {
+                    in_next += 1;
+                }
+                if !s.contains(NodeId::new(j * k + u)) {
+                    out_cur += 1;
+                }
+            }
+            total_pairs += in_next * out_cur;
+        }
+        total_pairs as f64 / self.params.beta as f64
+    }
+
+    /// Builds the cut-query set `S = U ∪ (V_{pair+1} ∖ T) ∪ V_{>pair+1}`
+    /// for a half-subset `U` of `V_pair` and target set `T ⊂ R_j`.
+    #[must_use]
+    pub fn query_set(&self, pair: usize, u_subset: &[usize], cluster: usize, t: &[bool]) -> NodeSet {
+        let p = &self.params;
+        let k = p.group_size();
+        let mut s = NodeSet::empty(p.num_nodes());
+        for &i in u_subset {
+            s.insert(p.left_node(pair, i));
+        }
+        let mut t_nodes = NodeSet::empty(p.num_nodes());
+        for (v, &bit) in t.iter().enumerate() {
+            if bit {
+                t_nodes.insert(p.cluster_node(pair + 1, cluster, v));
+            }
+        }
+        for u in 0..k {
+            let v = NodeId::new((pair + 1) * k + u);
+            if !t_nodes.contains(v) {
+                s.insert(v);
+            }
+        }
+        for g in pair + 2..p.ell {
+            for u in 0..k {
+                s.insert(NodeId::new(g * k + u));
+            }
+        }
+        s
+    }
+
+    /// Estimates `w(U, T)` through the oracle.
+    #[must_use]
+    pub fn estimate_w_u_t<O: CutOracle>(
+        &self,
+        oracle: &O,
+        pair: usize,
+        u_subset: &[usize],
+        cluster: usize,
+        t: &[bool],
+    ) -> f64 {
+        let s = self.query_set(pair, u_subset, cluster, t);
+        oracle.cut_out_estimate(&s) - self.fixed_backward_weight(&s)
+    }
+
+    /// The single-cut baseline the paper's Section 4 rules out: query
+    /// only `S = {ℓ_i} ∪ (V_{pair+1} ∖ T)`, recover
+    /// `|N(ℓ_i) ∩ T| = w(ℓ_i, T) − |T|`, and threshold at `1/(4ε²)`.
+    ///
+    /// Correct on exact oracles, but a `(1±ε)` oracle has `Θ(β/ε³)`
+    /// additive error against the `Θ(1/ε)` signal, so this decoder
+    /// collapses under exactly the noise the enumeration decoder
+    /// tolerates — the reason Bob must use the *for-all* guarantee.
+    #[must_use]
+    pub fn decide_single_cut<O: CutOracle>(&self, oracle: &O, q: usize, t: &[bool]) -> bool {
+        let p = &self.params;
+        assert_eq!(t.len(), p.inv_eps_sq, "Bob's string has wrong length");
+        let loc = p.locate_string(q);
+        let est_w = self.estimate_w_u_t(oracle, loc.pair, &[loc.left], loc.cluster, t);
+        let t_size = t.iter().filter(|&&b| b).count() as f64;
+        let intersection = est_w - t_size;
+        // Large |N(ℓ_i) ∩ T| ⇔ small Δ(s, t) ⇔ close case.
+        intersection < p.inv_eps_sq as f64 / 4.0
+    }
+
+    /// Runs Bob's full decision procedure for string index `q` and his
+    /// string `t` against a for-all oracle.
+    ///
+    /// # Panics
+    /// Panics if `t` has the wrong length or the group size is odd.
+    #[must_use]
+    pub fn decide<O: CutOracle, R: Rng>(
+        &self,
+        oracle: &O,
+        q: usize,
+        t: &[bool],
+        rng: &mut R,
+    ) -> ForAllDecision {
+        let p = &self.params;
+        assert_eq!(t.len(), p.inv_eps_sq, "Bob's string has wrong length");
+        let k = p.group_size();
+        assert!(k.is_multiple_of(2), "group size must be even for half subsets");
+        let loc = p.locate_string(q);
+
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut queries = 0usize;
+        let mut consider = |subset: Vec<usize>, dec: &Self, queries: &mut usize| {
+            let est = dec.estimate_w_u_t(oracle, loc.pair, &subset, loc.cluster, t);
+            *queries += 1;
+            if best.as_ref().is_none_or(|(b, _)| est > *b) {
+                best = Some((est, subset));
+            }
+        };
+
+        match self.search {
+            SubsetSearch::Exact => {
+                let mut subset: Vec<usize> = (0..k / 2).collect();
+                loop {
+                    consider(subset.clone(), self, &mut queries);
+                    if !next_combination(&mut subset, k) {
+                        break;
+                    }
+                }
+            }
+            SubsetSearch::Randomized { samples } => {
+                for _ in 0..samples {
+                    let subset = random_half_subset(k, rng);
+                    consider(subset, self, &mut queries);
+                }
+            }
+        }
+
+        let (_, q_subset) = best.expect("at least one subset considered");
+        // ℓ_i ∈ Q ⇒ |N(ℓ_i) ∩ T| is large ⇒ Δ(s, t) is SMALL (close).
+        let is_far = !q_subset.contains(&loc.left);
+        ForAllDecision { is_far, q_subset, cut_queries: queries }
+    }
+}
+
+/// Advances `subset` (sorted, size r, values in `0..k`) to the next
+/// combination in lexicographic order. Returns `false` after the last.
+fn next_combination(subset: &mut [usize], k: usize) -> bool {
+    let r = subset.len();
+    let mut i = r;
+    while i > 0 {
+        i -= 1;
+        if subset[i] < k - (r - i) {
+            subset[i] += 1;
+            for j in i + 1..r {
+                subset[j] = subset[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// A uniformly random half-size subset of `0..k`.
+fn random_half_subset<R: Rng>(k: usize, rng: &mut R) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let mut all: Vec<usize> = (0..k).collect();
+    all.shuffle(rng);
+    all.truncate(k / 2);
+    all.sort_unstable();
+    all
+}
+
+/// The Lemma 4.3 statistics: which left nodes have
+/// `|N(ℓ)∩T| ≥ ¼ε⁻² + c/(2ε)` (high) or `≤ ¼ε⁻² − c/(2ε)` (low).
+#[derive(Debug, Clone)]
+pub struct HighLowSplit {
+    /// Indices of `L_high` within the left group.
+    pub high: Vec<usize>,
+    /// Indices of `L_low`.
+    pub low: Vec<usize>,
+}
+
+/// Computes the `L_high`/`L_low` split of a concrete encoding for the
+/// cluster and target set of string `q`, with gap constant `c`.
+#[must_use]
+pub fn high_low_split(
+    enc: &ForAllEncoding,
+    q: usize,
+    t: &[bool],
+    c: f64,
+) -> HighLowSplit {
+    let p = enc.params();
+    let loc = p.locate_string(q);
+    let eps = p.epsilon();
+    let mid = p.inv_eps_sq as f64 / 4.0;
+    let gap = c / (2.0 * eps);
+    let mut split = HighLowSplit { high: Vec::new(), low: Vec::new() };
+    for i in 0..p.group_size() {
+        let from = p.left_node(loc.pair, i);
+        // |N(ℓ_i) ∩ T| = number of weight-2 edges from ℓ_i into T.
+        let mut inter = 0usize;
+        for (v, &bit) in t.iter().enumerate() {
+            if bit {
+                let to = p.cluster_node(loc.pair + 1, loc.cluster, v);
+                if (enc.graph().pair_weight(from, to) - 2.0).abs() < 1e-9 {
+                    inter += 1;
+                }
+            }
+        }
+        if inter as f64 >= mid + gap {
+            split.high.push(i);
+        } else if inter as f64 <= mid - gap {
+            split.low.push(i);
+        }
+    }
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_comm::gap_hamming::random_weighted_string;
+    use dircut_graph::balance::edgewise_balance_bound;
+    use dircut_graph::connectivity::is_strongly_connected;
+    use dircut_sketch::ExactOracle;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_strings(p: ForAllParams, seed: u64) -> Vec<Vec<bool>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..p.num_strings())
+            .map(|_| random_weighted_string(p.inv_eps_sq, p.inv_eps_sq / 2, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn parameter_arithmetic() {
+        let p = ForAllParams::new(2, 4, 3);
+        assert_eq!(p.group_size(), 8);
+        assert_eq!(p.num_nodes(), 24);
+        assert_eq!(p.strings_per_pair(), 16);
+        assert_eq!(p.num_strings(), 32);
+        assert_eq!(p.lower_bound_bits(), 128);
+        assert!((p.epsilon() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_string_roundtrip() {
+        let p = ForAllParams::new(2, 4, 3);
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..p.num_strings() {
+            let loc = p.locate_string(q);
+            assert!(loc.pair < p.ell - 1);
+            assert!(loc.left < p.group_size());
+            assert!(loc.cluster < p.beta);
+            seen.insert((loc.pair, loc.left, loc.cluster));
+        }
+        assert_eq!(seen.len(), p.num_strings());
+    }
+
+    #[test]
+    fn encoding_shape_and_balance() {
+        let p = ForAllParams::new(2, 4, 2);
+        let enc = ForAllEncoding::encode(p, &random_strings(p, 0));
+        let g = enc.graph();
+        assert_eq!(g.num_nodes(), 16);
+        // k² forward + k² backward per pair.
+        assert_eq!(g.num_edges(), 2 * 64);
+        assert!(is_strongly_connected(g));
+        let bound = edgewise_balance_bound(g).unwrap();
+        assert!(bound <= p.balance_bound() + 1e-9, "bound {bound}");
+    }
+
+    #[test]
+    fn forward_weights_encode_the_strings() {
+        let p = ForAllParams::new(2, 4, 2);
+        let strings = random_strings(p, 1);
+        let enc = ForAllEncoding::encode(p, &strings);
+        for (q, s) in strings.iter().enumerate() {
+            let loc = p.locate_string(q);
+            for (v, &bit) in s.iter().enumerate() {
+                let w = enc.graph().pair_weight(
+                    p.left_node(loc.pair, loc.left),
+                    p.cluster_node(loc.pair + 1, loc.cluster, v),
+                );
+                assert_eq!(w, if bit { 2.0 } else { 1.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_w_u_t_is_exact_on_exact_oracle() {
+        let p = ForAllParams::new(2, 4, 2);
+        let strings = random_strings(p, 2);
+        let enc = ForAllEncoding::encode(p, &strings);
+        let oracle = ExactOracle::new(enc.graph());
+        let dec = ForAllDecoder::new(p, SubsetSearch::Exact);
+        let q = 3;
+        let loc = p.locate_string(q);
+        let t = random_weighted_string(p.inv_eps_sq, p.inv_eps_sq / 2, &mut ChaCha8Rng::seed_from_u64(3));
+        let u: Vec<usize> = (0..p.group_size() / 2).collect();
+        let est = dec.estimate_w_u_t(&oracle, loc.pair, &u, loc.cluster, &t);
+        // True w(U, T): sum of forward weights from U into T nodes.
+        let mut truth = 0.0;
+        for &i in &u {
+            for (v, &bit) in t.iter().enumerate() {
+                if bit {
+                    truth += enc.graph().pair_weight(
+                        p.left_node(loc.pair, i),
+                        p.cluster_node(loc.pair + 1, loc.cluster, v),
+                    );
+                }
+            }
+        }
+        assert!((est - truth).abs() < 1e-9, "est {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn next_combination_enumerates_binomially_many() {
+        let mut subset = vec![0, 1, 2];
+        let mut count = 1;
+        while next_combination(&mut subset, 6) {
+            count += 1;
+        }
+        assert_eq!(count, 20); // C(6,3)
+    }
+
+    #[test]
+    fn high_low_split_is_near_half_half() {
+        let p = ForAllParams::new(2, 16, 2);
+        let strings = random_strings(p, 4);
+        let enc = ForAllEncoding::encode(p, &strings);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let t = random_weighted_string(p.inv_eps_sq, p.inv_eps_sq / 2, &mut rng);
+        let split = high_low_split(&enc, 0, &t, 0.05);
+        let k = p.group_size();
+        // Lemma 4.3: both sides close to half (loose check at small k).
+        assert!(split.high.len() + split.low.len() <= k);
+        assert!(split.high.len() >= k / 5, "high {}", split.high.len());
+        assert!(split.low.len() >= k / 5, "low {}", split.low.len());
+    }
+
+    #[test]
+    fn single_cut_decoder_works_exactly_but_collapses_under_noise() {
+        use dircut_comm::gap_hamming::random_weighted_string as rws;
+        use dircut_sketch::adversarial::{NoiseModel, NoisyOracle};
+        let p = ForAllParams::new(1, 16, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let trials = 60;
+        let mut exact_ok = 0;
+        let mut noisy_single_ok = 0;
+        let mut noisy_enum_ok = 0;
+        let noise = 0.8 * p.epsilon();
+        for trial in 0..trials {
+            let mut strings: Vec<Vec<bool>> = (0..p.num_strings())
+                .map(|_| rws(p.inv_eps_sq, p.inv_eps_sq / 2, &mut rng))
+                .collect();
+            let q = (trial * 5) % p.num_strings();
+            let is_far = trial % 2 == 0;
+            let t = rws(p.inv_eps_sq, p.inv_eps_sq / 2, &mut rng);
+            strings[q] = crate::games::plant_gap_target(&t, 2, is_far, &mut rng);
+            let enc = ForAllEncoding::encode(p, &strings);
+            let dec = ForAllDecoder::new(p, SubsetSearch::Exact);
+            // Exact oracle: single cut suffices.
+            let exact = dircut_sketch::EdgeListSketch::from_graph(enc.graph());
+            if dec.decide_single_cut(&exact, q, &t) == is_far {
+                exact_ok += 1;
+            }
+            // Noisy for-all oracle: single cut collapses, enumeration holds.
+            use rand::Rng as _;
+            let noisy = NoisyOracle::new(
+                enc.graph().clone(),
+                noise,
+                rng.gen(),
+                NoiseModel::UniformRelative,
+            );
+            if dec.decide_single_cut(&noisy, q, &t) == is_far {
+                noisy_single_ok += 1;
+            }
+            if dec.decide(&noisy, q, &t, &mut rng).is_far == is_far {
+                noisy_enum_ok += 1;
+            }
+        }
+        assert!(exact_ok * 10 >= trials * 9, "exact single-cut only {exact_ok}/{trials}");
+        assert!(
+            noisy_enum_ok >= noisy_single_ok + trials / 10,
+            "enumeration ({noisy_enum_ok}) not clearly above single-cut ({noisy_single_ok})"
+        );
+        assert!(
+            noisy_single_ok * 4 <= trials * 3,
+            "single cut survives noise at {noisy_single_ok}/{trials}?!"
+        );
+    }
+
+    #[test]
+    fn exact_oracle_decides_planted_instances_correctly() {
+        // End-to-end: plant far/close instances and check Bob's answer
+        // through an exact oracle (decoding must then be reliable).
+        let p = ForAllParams::new(1, 16, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut correct = 0;
+        let trials = 20;
+        for trial in 0..trials {
+            let mut strings = random_strings(p, 100 + trial);
+            let q = (trial as usize * 7) % p.num_strings();
+            // Plant: far (small overlap with T) or close (large overlap).
+            let is_far = trial % 2 == 0;
+            let t = random_weighted_string(p.inv_eps_sq, p.inv_eps_sq / 2, &mut rng);
+            let target: Vec<bool> = if is_far {
+                t.iter().map(|&b| !b).collect() // disjoint from T: minimal |N∩T|
+            } else {
+                t.clone() // equal to T: maximal |N∩T|
+            };
+            strings[q] = target;
+            let enc = ForAllEncoding::encode(p, &strings);
+            let oracle = ExactOracle::new(enc.graph());
+            let dec = ForAllDecoder::new(p, SubsetSearch::Exact);
+            let decision = dec.decide(&oracle, q, &t, &mut rng);
+            if decision.is_far == is_far {
+                correct += 1;
+            }
+        }
+        assert!(correct * 10 >= trials * 9, "only {correct}/{trials} correct");
+    }
+}

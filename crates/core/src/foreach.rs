@@ -1,0 +1,617 @@
+//! The for-each cut sketch lower bound construction (Section 3,
+//! Theorem 1.1 of the paper).
+//!
+//! Alice holds a random sign string `s`. The construction partitions
+//! `n` nodes into `ℓ = n/k` groups `V_1, …, V_ℓ` of `k = √β/ε` nodes
+//! and encodes a slice of `s` into the complete bipartite graph between
+//! each consecutive pair `(V_i, V_{i+1})`:
+//!
+//! * each side is split into `√β` blocks of `1/ε` nodes
+//!   (`L_1, …, L_{√β}` and `R_1, …, R_{√β}`);
+//! * the `(1/ε − 1)²` signs assigned to a block pair `(L_i, R_j)` are
+//!   spread across all `1/ε²` forward edges at once via the Lemma 3.2
+//!   matrix: forward weights are `w = ε·x + 2c₁ln(1/ε)·1` with
+//!   `x = Σ_t z_t M_t` (clamped encoding; if `‖x‖_∞` exceeds the
+//!   Chernoff bound `c₁ln(1/ε)/ε`, the block is marked failed and set
+//!   to the constant weight);
+//! * every backward edge (right to left) has weight `1/β`, making the
+//!   graph `O(β·log(1/ε))`-balanced edge-by-edge.
+//!
+//! Bob recovers sign `t` of block `(L_i, R_j)` with **4 cut queries**:
+//! the Lemma 3.2 row splits the blocks into halves `(A, Ā)` and
+//! `(B, B̄)`, and `⟨w, M_t⟩ = w(A,B) − w(Ā,B) − w(A,B̄) + w(Ā,B̄)`
+//! where each term comes from one directed cut query after subtracting
+//! the (fixed, publicly computable) backward weight. On exact oracles
+//! the decoded value is `±1/ε`; an oracle with relative error
+//! `O(ε/ln(1/ε))` still leaves the sign readable — any sketch *smaller*
+//! than Ω̃(n√β/ε) bits cannot deliver that accuracy on all 4 queries,
+//! which is the theorem.
+
+use dircut_graph::{DiGraph, NodeId, NodeSet};
+use dircut_linalg::Lemma32Matrix;
+use dircut_sketch::CutOracle;
+
+/// Parameters of the Section 3 construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForEachParams {
+    /// `1/ε`; must be a power of two ≥ 2.
+    pub inv_eps: usize,
+    /// `√β ≥ 1` (so `β = sqrt_beta²`).
+    pub sqrt_beta: usize,
+    /// Number of node groups `ℓ ≥ 2` (the paper's `n/k`).
+    pub ell: usize,
+    /// The Chernoff clamp constant `c₁`.
+    pub c1: f64,
+}
+
+impl ForEachParams {
+    /// Creates parameters, validating ranges.
+    ///
+    /// # Panics
+    /// Panics if `inv_eps` is not a power of two ≥ 2, `sqrt_beta == 0`,
+    /// or `ell < 2`.
+    #[must_use]
+    pub fn new(inv_eps: usize, sqrt_beta: usize, ell: usize) -> Self {
+        assert!(inv_eps >= 2 && inv_eps.is_power_of_two(), "1/ε must be a power of two ≥ 2");
+        assert!(sqrt_beta >= 1, "√β must be ≥ 1");
+        assert!(ell >= 2, "need at least two groups");
+        Self { inv_eps, sqrt_beta, ell, c1: 2.0 }
+    }
+
+    /// ε as a float.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        1.0 / self.inv_eps as f64
+    }
+
+    /// β as a float.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        (self.sqrt_beta * self.sqrt_beta) as f64
+    }
+
+    /// Nodes per group: `k = √β/ε`.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.sqrt_beta * self.inv_eps
+    }
+
+    /// Total nodes `n = ℓ·k`.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.ell * self.group_size()
+    }
+
+    /// Sign bits per block pair: `(1/ε − 1)²`.
+    #[must_use]
+    pub fn bits_per_block(&self) -> usize {
+        (self.inv_eps - 1) * (self.inv_eps - 1)
+    }
+
+    /// Block pairs per group pair: `β`.
+    #[must_use]
+    pub fn blocks_per_pair(&self) -> usize {
+        self.sqrt_beta * self.sqrt_beta
+    }
+
+    /// Total sign bits the construction encodes:
+    /// `(ℓ−1)·β·(1/ε−1)² = Ω(n√β/ε)`.
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        (self.ell - 1) * self.blocks_per_pair() * self.bits_per_block()
+    }
+
+    /// The constant weight shift `2c₁·ln(1/ε)` added to every forward
+    /// edge.
+    #[must_use]
+    pub fn shift(&self) -> f64 {
+        2.0 * self.c1 * (self.inv_eps as f64).ln()
+    }
+
+    /// The Chernoff clamp `c₁·ln(1/ε)/ε` on `‖x‖_∞`.
+    #[must_use]
+    pub fn clamp(&self) -> f64 {
+        self.c1 * (self.inv_eps as f64).ln() * self.inv_eps as f64
+    }
+
+    /// The information-theoretic size lower bound the construction
+    /// certifies, in bits (Theorem 1.1 with constant 1): `n·√β/ε`.
+    #[must_use]
+    pub fn lower_bound_bits(&self) -> usize {
+        self.total_bits()
+    }
+
+    /// The balance certificate the construction promises:
+    /// `O(β·log(1/ε))` — concretely `3c₁·ln(1/ε)·β`.
+    #[must_use]
+    pub fn balance_bound(&self) -> f64 {
+        3.0 * self.c1 * (self.inv_eps as f64).ln() * self.beta()
+    }
+
+    /// Node index of position `a` of block `b` of group `g`.
+    #[must_use]
+    pub fn node(&self, g: usize, b: usize, a: usize) -> NodeId {
+        debug_assert!(g < self.ell && b < self.sqrt_beta && a < self.inv_eps);
+        NodeId::new(g * self.group_size() + b * self.inv_eps + a)
+    }
+
+    /// Splits a global bit index `q` into
+    /// `(group pair i, left block, right block, bit within block)`.
+    ///
+    /// # Panics
+    /// Panics if `q ≥ total_bits()`.
+    #[must_use]
+    pub fn locate_bit(&self, q: usize) -> BitLocation {
+        assert!(q < self.total_bits(), "bit index {q} out of range {}", self.total_bits());
+        let per_pair = self.blocks_per_pair() * self.bits_per_block();
+        let pair = q / per_pair;
+        let rem = q % per_pair;
+        let block = rem / self.bits_per_block();
+        let bit = rem % self.bits_per_block();
+        BitLocation {
+            pair,
+            left_block: block / self.sqrt_beta,
+            right_block: block % self.sqrt_beta,
+            bit,
+        }
+    }
+}
+
+/// Where a sign bit lives inside the construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitLocation {
+    /// Group pair index `i` (encoded between `V_i` and `V_{i+1}`).
+    pub pair: usize,
+    /// Left block index within `V_i`.
+    pub left_block: usize,
+    /// Right block index within `V_{i+1}`.
+    pub right_block: usize,
+    /// Bit index within the block pair's Lemma 3.2 matrix.
+    pub bit: usize,
+}
+
+/// Alice's side: the string encoded as a β-balanced digraph.
+#[derive(Debug, Clone)]
+pub struct ForEachEncoding {
+    params: ForEachParams,
+    graph: DiGraph,
+    failed_blocks: Vec<bool>,
+}
+
+impl ForEachEncoding {
+    /// Encodes sign string `s` (length [`ForEachParams::total_bits`])
+    /// into the gadget graph.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or signs outside `{−1, 1}`.
+    #[must_use]
+    pub fn encode(params: ForEachParams, s: &[i8]) -> Self {
+        assert_eq!(s.len(), params.total_bits(), "sign string length mismatch");
+        assert!(s.iter().all(|&b| b == 1 || b == -1), "signs must be ±1");
+        let d = params.inv_eps;
+        let m = Lemma32Matrix::new(d);
+        let eps = params.epsilon();
+        let shift = params.shift();
+        let clamp = params.clamp();
+        let mut g = DiGraph::with_edge_capacity(
+            params.num_nodes(),
+            2 * (params.ell - 1) * params.group_size() * params.group_size(),
+        );
+        let mut failed_blocks =
+            vec![false; (params.ell - 1) * params.blocks_per_pair()];
+
+        let bits_per_block = params.bits_per_block();
+        for pair in 0..params.ell - 1 {
+            for lb in 0..params.sqrt_beta {
+                for rb in 0..params.sqrt_beta {
+                    let block = lb * params.sqrt_beta + rb;
+                    let start = (pair * params.blocks_per_pair() + block) * bits_per_block;
+                    let z = &s[start..start + bits_per_block];
+                    let x = m.encode(z);
+                    let failed = x.iter().any(|v| v.abs() > clamp);
+                    failed_blocks[pair * params.blocks_per_pair() + block] = failed;
+                    for a in 0..d {
+                        for b in 0..d {
+                            let w = if failed { shift } else { eps * x[a * d + b] + shift };
+                            debug_assert!(w > 0.0, "forward weight must stay positive");
+                            g.add_edge(params.node(pair, lb, a), params.node(pair + 1, rb, b), w);
+                        }
+                    }
+                }
+            }
+            // Backward edges: complete V_{i+1} → V_i at weight 1/β.
+            let back = 1.0 / params.beta();
+            for u in 0..params.group_size() {
+                for v in 0..params.group_size() {
+                    let from = NodeId::new((pair + 1) * params.group_size() + u);
+                    let to = NodeId::new(pair * params.group_size() + v);
+                    g.add_edge(from, to, back);
+                }
+            }
+        }
+        Self { params, graph: g, failed_blocks }
+    }
+
+    /// The parameters.
+    #[must_use]
+    pub fn params(&self) -> &ForEachParams {
+        &self.params
+    }
+
+    /// The encoded graph.
+    #[must_use]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Whether the Chernoff clamp fired for the block containing `q`
+    /// (in which case the bit is unrecoverable by design; the paper
+    /// charges this to the 1/100 failure budget).
+    #[must_use]
+    pub fn block_failed(&self, q: usize) -> bool {
+        let loc = self.params.locate_bit(q);
+        let block = loc.left_block * self.params.sqrt_beta + loc.right_block;
+        self.failed_blocks[loc.pair * self.params.blocks_per_pair() + block]
+    }
+
+    /// Fraction of blocks whose encoding failed.
+    #[must_use]
+    pub fn failure_rate(&self) -> f64 {
+        let failed = self.failed_blocks.iter().filter(|&&f| f).count();
+        failed as f64 / self.failed_blocks.len() as f64
+    }
+}
+
+/// The four directed cut queries Bob issues for one sign bit, plus the
+/// bookkeeping needed to turn their answers into `⟨w, M_t⟩`.
+#[derive(Debug, Clone)]
+pub struct BitQueries {
+    /// The four query sets, in the order `(A,B), (Ā,B), (A,B̄), (Ā,B̄)`.
+    pub sets: [NodeSet; 4],
+    /// The signs with which the four estimates are combined.
+    pub signs: [f64; 4],
+}
+
+/// Bob's side: decodes bits from any [`CutOracle`] over the gadget.
+#[derive(Debug, Clone, Copy)]
+pub struct ForEachDecoder {
+    params: ForEachParams,
+}
+
+/// Result of decoding one bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedBit {
+    /// The recovered sign.
+    pub sign: i8,
+    /// The raw decoded value `⟨w, M_t⟩` (≈ `±1/ε` when clean).
+    pub raw: f64,
+}
+
+impl ForEachDecoder {
+    /// A decoder for the given construction parameters (public
+    /// knowledge shared by Alice and Bob).
+    #[must_use]
+    pub fn new(params: ForEachParams) -> Self {
+        Self { params }
+    }
+
+    /// The fixed (string-independent) backward weight crossing the cut
+    /// `S`: every backward edge has weight `1/β` and runs from
+    /// `V_{j+1}` to `V_j`, so the total is
+    /// `Σ_j |S ∩ V_{j+1}|·|V_j ∖ S| / β`. Bob computes this from the
+    /// public layout alone.
+    #[must_use]
+    pub fn fixed_backward_weight(&self, s: &NodeSet) -> f64 {
+        let k = self.params.group_size();
+        let mut total_pairs = 0usize;
+        for j in 0..self.params.ell - 1 {
+            let mut in_next = 0usize;
+            let mut out_cur = 0usize;
+            for u in 0..k {
+                if s.contains(NodeId::new((j + 1) * k + u)) {
+                    in_next += 1;
+                }
+                if !s.contains(NodeId::new(j * k + u)) {
+                    out_cur += 1;
+                }
+            }
+            total_pairs += in_next * out_cur;
+        }
+        total_pairs as f64 / self.params.beta()
+    }
+
+    /// Builds the four cut queries for global bit index `q`.
+    #[must_use]
+    pub fn queries_for_bit(&self, q: usize) -> BitQueries {
+        let p = &self.params;
+        let loc = p.locate_bit(q);
+        let m = Lemma32Matrix::new(p.inv_eps);
+        let split = m.sign_split(loc.bit);
+        let n = p.num_nodes();
+        let k = p.group_size();
+
+        let build = |left_half: &[usize], right_half: &[usize]| -> NodeSet {
+            let mut s = NodeSet::empty(n);
+            // A' ⊂ L_{left_block} of V_pair.
+            for &a in left_half {
+                s.insert(p.node(loc.pair, loc.left_block, a));
+            }
+            // (V_{pair+1} ∖ B'): everything in the next group except the
+            // chosen right half of R_{right_block}.
+            let mut excluded = NodeSet::empty(n);
+            for &b in right_half {
+                excluded.insert(p.node(loc.pair + 1, loc.right_block, b));
+            }
+            for u in 0..k {
+                let v = NodeId::new((loc.pair + 1) * k + u);
+                if !excluded.contains(v) {
+                    s.insert(v);
+                }
+            }
+            // All later groups V_{pair+2}, …, V_ℓ.
+            for g in loc.pair + 2..p.ell {
+                for u in 0..k {
+                    s.insert(NodeId::new(g * k + u));
+                }
+            }
+            s
+        };
+
+        BitQueries {
+            sets: [
+                build(&split.a, &split.b),
+                build(&split.a_bar, &split.b),
+                build(&split.a, &split.b_bar),
+                build(&split.a_bar, &split.b_bar),
+            ],
+            signs: [1.0, -1.0, -1.0, 1.0],
+        }
+    }
+
+    /// Estimates the forward weight `w(A', B')` for one query set by
+    /// subtracting the fixed backward weight from the oracle's answer.
+    #[must_use]
+    pub fn forward_estimate<O: CutOracle>(&self, oracle: &O, s: &NodeSet) -> f64 {
+        oracle.cut_out_estimate(s) - self.fixed_backward_weight(s)
+    }
+
+    /// Decodes bit `q` with 4 cut queries against `oracle`.
+    #[must_use]
+    pub fn decode_bit<O: CutOracle>(&self, oracle: &O, q: usize) -> DecodedBit {
+        let queries = self.queries_for_bit(q);
+        let mut raw = 0.0;
+        for (set, sign) in queries.sets.iter().zip(queries.signs) {
+            raw += sign * self.forward_estimate(oracle, set);
+        }
+        DecodedBit { sign: if raw >= 0.0 { 1 } else { -1 }, raw }
+    }
+
+    /// Decodes every bit; convenience for whole-string experiments.
+    #[must_use]
+    pub fn decode_all<O: CutOracle>(&self, oracle: &O) -> Vec<i8> {
+        (0..self.params.total_bits()).map(|q| self.decode_bit(oracle, q).sign).collect()
+    }
+}
+
+/// The Figure 1 decomposition of one decoder cut: forward weight,
+/// number of crossing backward edges, and the total cut value —
+/// executable documentation of the cut-structure claims in the proofs
+/// of Lemma 3.3 and Theorem 1.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutComposition {
+    /// Forward weight `w(A, B)` crossing the cut.
+    pub forward_weight: f64,
+    /// Number of backward edges crossing the cut (each `1/β`).
+    pub backward_edges: usize,
+    /// The full directed cut value `w(S, V∖S)`.
+    pub cut_value: f64,
+}
+
+/// Computes the composition of the first query cut of bit `q` on a
+/// concrete encoding.
+#[must_use]
+pub fn cut_composition(enc: &ForEachEncoding, q: usize) -> CutComposition {
+    let dec = ForEachDecoder::new(*enc.params());
+    let queries = dec.queries_for_bit(q);
+    let s = &queries.sets[0];
+    let cut_value = enc.graph().cut_out(s);
+    let backward = dec.fixed_backward_weight(s);
+    CutComposition {
+        forward_weight: cut_value - backward,
+        backward_edges: (backward * enc.params().beta()).round() as usize,
+        cut_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_graph::balance::edgewise_balance_bound;
+    use dircut_graph::connectivity::is_strongly_connected;
+    use dircut_sketch::ExactOracle;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_signs(n: usize, seed: u64) -> Vec<i8> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect()
+    }
+
+    #[test]
+    fn parameter_arithmetic() {
+        let p = ForEachParams::new(4, 2, 3);
+        assert_eq!(p.epsilon(), 0.25);
+        assert_eq!(p.beta(), 4.0);
+        assert_eq!(p.group_size(), 8);
+        assert_eq!(p.num_nodes(), 24);
+        assert_eq!(p.bits_per_block(), 9);
+        assert_eq!(p.blocks_per_pair(), 4);
+        assert_eq!(p.total_bits(), 2 * 4 * 9);
+    }
+
+    #[test]
+    fn locate_bit_roundtrip() {
+        let p = ForEachParams::new(4, 2, 3);
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..p.total_bits() {
+            let loc = p.locate_bit(q);
+            assert!(loc.pair < p.ell - 1);
+            assert!(loc.left_block < p.sqrt_beta);
+            assert!(loc.right_block < p.sqrt_beta);
+            assert!(loc.bit < p.bits_per_block());
+            seen.insert((loc.pair, loc.left_block, loc.right_block, loc.bit));
+        }
+        assert_eq!(seen.len(), p.total_bits());
+    }
+
+    #[test]
+    fn encoding_builds_expected_graph_shape() {
+        let p = ForEachParams::new(4, 1, 2);
+        let s = random_signs(p.total_bits(), 0);
+        let enc = ForEachEncoding::encode(p, &s);
+        let g = enc.graph();
+        assert_eq!(g.num_nodes(), 8);
+        // 16 forward + 16 backward edges.
+        assert_eq!(g.num_edges(), 32);
+        assert!(is_strongly_connected(g));
+    }
+
+    #[test]
+    fn construction_is_balanced_as_promised() {
+        let p = ForEachParams::new(8, 2, 2);
+        let s = random_signs(p.total_bits(), 1);
+        let enc = ForEachEncoding::encode(p, &s);
+        let bound = edgewise_balance_bound(enc.graph()).expect("reverse edges exist");
+        assert!(
+            bound <= p.balance_bound() + 1e-9,
+            "edgewise bound {bound} exceeds promised {}",
+            p.balance_bound()
+        );
+    }
+
+    #[test]
+    fn forward_weights_are_positive_and_bounded() {
+        let p = ForEachParams::new(8, 1, 2);
+        let s = random_signs(p.total_bits(), 2);
+        let enc = ForEachEncoding::encode(p, &s);
+        let lo = p.c1 * (p.inv_eps as f64).ln();
+        let hi = 3.0 * p.c1 * (p.inv_eps as f64).ln();
+        for e in enc.graph().edges() {
+            if e.weight > 2.0 / p.beta() {
+                assert!(e.weight >= lo - 1e-9 && e.weight <= hi + 1e-9, "weight {}", e.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_oracle_recovers_every_bit() {
+        let p = ForEachParams::new(4, 2, 2);
+        let s = random_signs(p.total_bits(), 3);
+        let enc = ForEachEncoding::encode(p, &s);
+        assert_eq!(enc.failure_rate(), 0.0, "clamp fired at tiny scale");
+        let oracle = ExactOracle::new(enc.graph());
+        let dec = ForEachDecoder::new(p);
+        for (q, &expected) in s.iter().enumerate() {
+            let got = dec.decode_bit(&oracle, q);
+            assert_eq!(got.sign, expected, "bit {q}: raw {}", got.raw);
+            // Raw value should be exactly ±1/ε.
+            assert!(
+                (got.raw.abs() - p.inv_eps as f64).abs() < 1e-6,
+                "bit {q}: raw {} expected ±{}",
+                got.raw,
+                p.inv_eps
+            );
+        }
+    }
+
+    #[test]
+    fn exact_oracle_recovers_bits_in_longer_chains() {
+        let p = ForEachParams::new(4, 1, 4);
+        let s = random_signs(p.total_bits(), 4);
+        let enc = ForEachEncoding::encode(p, &s);
+        let oracle = ExactOracle::new(enc.graph());
+        let dec = ForEachDecoder::new(p);
+        assert_eq!(dec.decode_all(&oracle), s);
+    }
+
+    #[test]
+    fn fixed_backward_weight_matches_real_graph() {
+        // Replace all forward weights by the same construction with
+        // zero information: cut − fixed_backward must equal the true
+        // forward crossing weight.
+        let p = ForEachParams::new(4, 2, 3);
+        let s = random_signs(p.total_bits(), 5);
+        let enc = ForEachEncoding::encode(p, &s);
+        let dec = ForEachDecoder::new(p);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..20 {
+            let q = rng.gen_range(0..p.total_bits());
+            for set in dec.queries_for_bit(q).sets {
+                let true_backward: f64 = enc
+                    .graph()
+                    .edges()
+                    .iter()
+                    .filter(|e| {
+                        // backward edges have weight 1/β = 0.25 here
+                        e.weight == 1.0 / p.beta()
+                            && set.contains(e.from)
+                            && !set.contains(e.to)
+                    })
+                    .map(|e| e.weight)
+                    .sum();
+                assert!(
+                    (dec.fixed_backward_weight(&set) - true_backward).abs() < 1e-9,
+                    "layout formula disagrees with graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_cut_composition() {
+        // F1: forward part Θ(log(1/ε)/ε²), backward edge count
+        // (k − 1/(2ε))² + extra chain terms, total Θ(log(1/ε)/ε²).
+        let p = ForEachParams::new(8, 2, 2);
+        let s = random_signs(p.total_bits(), 7);
+        let enc = ForEachEncoding::encode(p, &s);
+        let comp = cut_composition(&enc, 0);
+        let k = p.group_size() as f64;
+        let half = p.inv_eps as f64 / 2.0;
+        // |A| = |B| = 1/(2ε) = 4; forward edges |A|·|B| = 16 with
+        // weights around the shift 2c₁ln(1/ε).
+        let expected_fwd = half * half * p.shift();
+        assert!(
+            (comp.forward_weight - expected_fwd).abs() < 0.5 * expected_fwd,
+            "forward {} vs expected ≈ {expected_fwd}",
+            comp.forward_weight
+        );
+        // Backward crossing edges: (k − 1/(2ε))·(k − 1/(2ε)) for pair 0
+        // (no earlier group here).
+        let expected_back = ((k - half) * (k - half)) as usize;
+        assert_eq!(comp.backward_edges, expected_back);
+        assert!(comp.cut_value > comp.forward_weight);
+    }
+
+    #[test]
+    fn query_sets_have_the_proof_shape() {
+        let p = ForEachParams::new(4, 2, 3);
+        let dec = ForEachDecoder::new(p);
+        // A bit in pair 1 (between V_1 and V_2): S must contain half of
+        // one block of V_1, all of V_2 minus half a block, and nothing
+        // of V_0.
+        let q = p.blocks_per_pair() * p.bits_per_block(); // first bit of pair 1
+        let loc = p.locate_bit(q);
+        assert_eq!(loc.pair, 1);
+        let sets = dec.queries_for_bit(q).sets;
+        for s in &sets {
+            let k = p.group_size();
+            let in_v0 = (0..k).filter(|&u| s.contains(NodeId::new(u))).count();
+            let in_v1 = (0..k).filter(|&u| s.contains(NodeId::new(k + u))).count();
+            let in_v2 = (0..k).filter(|&u| s.contains(NodeId::new(2 * k + u))).count();
+            assert_eq!(in_v0, 0);
+            assert_eq!(in_v1, p.inv_eps / 2);
+            assert_eq!(in_v2, k - p.inv_eps / 2);
+        }
+    }
+}

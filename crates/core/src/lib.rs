@@ -1,0 +1,35 @@
+//! The paper's core: executable versions of every lower-bound
+//! construction in *Tight Lower Bounds for Directed Cut Sparsification
+//! and Distributed Min-Cut* (PODS 2024).
+//!
+//! * [`foreach`] — Section 3 / Theorem 1.1: the Hadamard-row encoding
+//!   of Index into β-balanced graphs, with Bob's 4-cut-query decoder,
+//! * [`forall`] — Section 4 / Theorem 1.2: the Gap-Hamming encoding
+//!   with Bob's half-subset enumeration (Lemmas 4.3/4.4 as measurable
+//!   events),
+//! * [`mincut_lb`] — Section 5 / Theorem 1.3: the `G_{x,y}` gadget,
+//!   Lemma 5.5 verified by max-flow, the 2-bits-per-query oracle
+//!   simulation, and the 2-SUM reduction,
+//! * [`games`] — the reductions run end-to-end against arbitrary
+//!   oracles, reporting success rates and query counts,
+//! * [`protocol`] — the Theorem 1.1 game as a literal bit-counted
+//!   one-way protocol (Alice's message = a serialized sketch),
+//! * [`naive`] — the one-bit-per-edge encoding of Section 1.2 and its
+//!   measurable failure (the obstacle Section 3 overcomes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod forall;
+pub mod foreach;
+pub mod games;
+pub mod mincut_lb;
+pub mod naive;
+pub mod protocol;
+
+pub use forall::{ForAllDecoder, ForAllEncoding, ForAllParams, SubsetSearch};
+pub use foreach::{ForEachDecoder, ForEachEncoding, ForEachParams};
+pub use games::{run_forall_gap_hamming_game, run_foreach_index_game, GameReport};
+pub use naive::{run_naive_index_game, NaiveDecoder, NaiveEncoding, NaiveParams};
+pub use protocol::{ExactEdgeListSketcher, ForAllGapHammingProtocol, ForEachIndexProtocol};
+pub use mincut_lb::{solve_twosum_via_mincut, GxyGraph, GxyOracle, Region, TwoSumViaMinCut};

@@ -1,0 +1,552 @@
+//! The local-query min-cut lower bound (Section 5, Theorem 1.3 of the
+//! paper): the graph construction `G_{x,y}` (§5.2), the Lemma 5.5
+//! min-cut identity, the communication-simulated oracle, and the
+//! reduction from 2-SUM (§5.3).
+//!
+//! Given `x, y ∈ {0,1}^N` with `N = ℓ²`, the vertex set is
+//! `A ∪ A′ ∪ B ∪ B′` with `|A| = |A′| = |B| = |B′| = ℓ` and, for every
+//! `(i, j)`:
+//!
+//! ```text
+//! (a_i, b′_j), (b_i, a′_j) ∈ E   if x_{i,j} = y_{i,j} = 1,
+//! (a_i, a′_j), (b_i, b′_j) ∈ E   otherwise.
+//! ```
+//!
+//! Every vertex has degree exactly `ℓ = √N`; intersections of `x` and
+//! `y` create the only edges between the `{A, A′}` side and the
+//! `{B, B′}` side. Lemma 5.5: when `√N ≥ 3·INT(x,y)`, the graph is
+//! `2γ`-connected (γ = INT) and `MINCUT = 2·INT(x,y)` — both claims are
+//! *verified here by max-flow* rather than trusted.
+//!
+//! The oracle simulation (Lemma 5.6): Alice holds `x`, Bob holds `y`;
+//! degree queries are free (everything has degree `√N`), while neighbor
+//! and adjacency queries cost **2 bits** (one exchange of
+//! `x_{i,j}, y_{i,j}`). Running any local-query min-cut algorithm
+//! against [`GxyOracle`] therefore yields a 2-SUM protocol whose
+//! communication is twice the query count — which is how Theorem 1.3
+//! turns the `Ω(tL/α)` bound of Theorem 5.4 into
+//! `Ω(min{m, m/(ε²k)})` queries.
+
+use dircut_comm::twosum::{int, TwoSumInstance};
+use dircut_graph::flow::edge_disjoint_paths;
+use dircut_graph::mincut::min_cut_unweighted;
+use dircut_graph::{NodeId, NodeSet, UnGraph};
+use dircut_localquery::GraphOracle;
+use std::cell::Cell;
+
+/// Which quarter of `G_{x,y}` a node lies in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// `a_0, …, a_{ℓ−1}`.
+    A,
+    /// `a′_0, …`.
+    APrime,
+    /// `b_0, …`.
+    B,
+    /// `b′_0, …`.
+    BPrime,
+}
+
+/// The §5.2 graph construction.
+#[derive(Debug, Clone)]
+pub struct GxyGraph {
+    ell: usize,
+    graph: UnGraph,
+    gamma: usize,
+}
+
+impl GxyGraph {
+    /// Builds `G_{x,y}` from two strings of square length `N = ℓ²`.
+    ///
+    /// Edges are inserted in `(i, j)` row-major order so that the
+    /// `j`-th neighbor of `a_i` (and `b_i`) is its partner for column
+    /// `j`, and the `i`-th neighbor of `a′_j` (and `b′_j`) is its
+    /// partner for row `i` — the ordering contract of Lemma 5.6.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != y.len()` or the length is not a perfect
+    /// square.
+    #[must_use]
+    pub fn build(x: &[bool], y: &[bool]) -> Self {
+        assert_eq!(x.len(), y.len(), "string length mismatch");
+        let n = x.len();
+        let ell = (n as f64).sqrt().round() as usize;
+        assert_eq!(ell * ell, n, "string length {n} is not a perfect square");
+        let mut g = UnGraph::new(4 * ell);
+        let gamma = int(x, y);
+        for i in 0..ell {
+            for j in 0..ell {
+                let idx = i * ell + j;
+                if x[idx] && y[idx] {
+                    g.add_edge(Self::a_static(ell, i), Self::b_prime_static(ell, j));
+                    g.add_edge(Self::b_static(ell, i), Self::a_prime_static(ell, j));
+                } else {
+                    g.add_edge(Self::a_static(ell, i), Self::a_prime_static(ell, j));
+                    g.add_edge(Self::b_static(ell, i), Self::b_prime_static(ell, j));
+                }
+            }
+        }
+        Self { ell, graph: g, gamma }
+    }
+
+    fn a_static(ell: usize, i: usize) -> NodeId {
+        debug_assert!(i < ell);
+        NodeId::new(i)
+    }
+    fn a_prime_static(ell: usize, j: usize) -> NodeId {
+        debug_assert!(j < ell);
+        NodeId::new(ell + j)
+    }
+    fn b_static(ell: usize, i: usize) -> NodeId {
+        debug_assert!(i < ell);
+        NodeId::new(2 * ell + i)
+    }
+    fn b_prime_static(ell: usize, j: usize) -> NodeId {
+        debug_assert!(j < ell);
+        NodeId::new(3 * ell + j)
+    }
+
+    /// The node `a_i`.
+    #[must_use]
+    pub fn a(&self, i: usize) -> NodeId {
+        Self::a_static(self.ell, i)
+    }
+    /// The node `a′_j`.
+    #[must_use]
+    pub fn a_prime(&self, j: usize) -> NodeId {
+        Self::a_prime_static(self.ell, j)
+    }
+    /// The node `b_i`.
+    #[must_use]
+    pub fn b(&self, i: usize) -> NodeId {
+        Self::b_static(self.ell, i)
+    }
+    /// The node `b′_j`.
+    #[must_use]
+    pub fn b_prime(&self, j: usize) -> NodeId {
+        Self::b_prime_static(self.ell, j)
+    }
+
+    /// Which region a node lies in.
+    #[must_use]
+    pub fn region(&self, v: NodeId) -> Region {
+        match v.index() / self.ell {
+            0 => Region::A,
+            1 => Region::APrime,
+            2 => Region::B,
+            _ => Region::BPrime,
+        }
+    }
+
+    /// The side length `ℓ = √N`.
+    #[must_use]
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// The number of intersections `γ = INT(x, y)`.
+    #[must_use]
+    pub fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    /// The underlying undirected graph.
+    #[must_use]
+    pub fn graph(&self) -> &UnGraph {
+        &self.graph
+    }
+
+    /// Whether the Lemma 5.5 premise `√N ≥ 3·INT(x,y)` holds.
+    #[must_use]
+    pub fn premise_holds(&self) -> bool {
+        self.ell >= 3 * self.gamma
+    }
+
+    /// The natural cut `(A ∪ A′, B ∪ B′)` whose size is `2γ`.
+    #[must_use]
+    pub fn natural_cut(&self) -> NodeSet {
+        NodeSet::from_indices(4 * self.ell, 0..2 * self.ell)
+    }
+
+    /// Verifies Lemma 5.5 with a real min-cut computation:
+    /// `MINCUT(G_{x,y}) = 2·INT(x, y)` under the premise. Returns the
+    /// computed min-cut for reporting.
+    ///
+    /// # Panics
+    /// Panics if the premise holds but the identity fails — that would
+    /// falsify the lemma.
+    #[must_use]
+    pub fn verify_lemma_5_5(&self) -> u64 {
+        let mc = min_cut_unweighted(&self.graph);
+        if self.premise_holds() {
+            assert_eq!(
+                mc,
+                2 * self.gamma as u64,
+                "Lemma 5.5 violated: mincut {mc} ≠ 2γ = {}",
+                2 * self.gamma
+            );
+        }
+        mc
+    }
+
+    /// Verifies the `2γ`-connectivity behind Figures 3–6: for the given
+    /// node pairs there are at least `2γ` edge-disjoint paths (computed
+    /// with exact integer max-flow). Returns the minimum flow seen.
+    #[must_use]
+    pub fn verify_edge_disjoint_paths(&self, pairs: &[(NodeId, NodeId)]) -> u64 {
+        let mut min_flow = u64::MAX;
+        for &(u, v) in pairs {
+            let f = edge_disjoint_paths(&self.graph, u, v);
+            min_flow = min_flow.min(f);
+        }
+        min_flow
+    }
+
+    /// One representative pair for each of the four case classes of the
+    /// Lemma 5.5 proof (Cases 1–4 / Figures 3–6).
+    #[must_use]
+    pub fn case_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let l = self.ell;
+        vec![
+            (self.a(0), self.a(l - 1)),       // Case 1: u, v ∈ A
+            (self.a(0), self.a_prime(l - 1)), // Case 2: u ∈ A, v ∈ A′
+            (self.a(0), self.b_prime(l - 1)), // Case 3: u ∈ A, v ∈ B′
+            (self.a(0), self.b(l - 1)),       // Case 4: u ∈ A, v ∈ B
+        ]
+    }
+}
+
+/// The Lemma 5.6 oracle: answers local queries about `G_{x,y}` from
+/// Alice's `x` and Bob's `y`, counting the bits they exchange.
+///
+/// * degree queries: 0 bits (every degree is `ℓ`),
+/// * neighbor and adjacency queries: 2 bits (`x_{i,j}` and `y_{i,j}`).
+#[derive(Debug)]
+pub struct GxyOracle {
+    x: Vec<bool>,
+    y: Vec<bool>,
+    ell: usize,
+    bits: Cell<u64>,
+}
+
+impl GxyOracle {
+    /// Creates the oracle from the two parties' strings.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch or are not a perfect square.
+    #[must_use]
+    pub fn new(x: Vec<bool>, y: Vec<bool>) -> Self {
+        assert_eq!(x.len(), y.len(), "string length mismatch");
+        let ell = (x.len() as f64).sqrt().round() as usize;
+        assert_eq!(ell * ell, x.len(), "string length is not a perfect square");
+        Self { x, y, ell, bits: Cell::new(0) }
+    }
+
+    /// Bits of communication simulated so far.
+    #[must_use]
+    pub fn bits_exchanged(&self) -> u64 {
+        self.bits.get()
+    }
+
+    /// Resets the bit counter.
+    pub fn reset_bits(&self) {
+        self.bits.set(0);
+    }
+
+    fn intersects(&self, i: usize, j: usize) -> bool {
+        // One exchange of x_{i,j} and y_{i,j}: 2 bits.
+        self.bits.set(self.bits.get() + 2);
+        let idx = i * self.ell + j;
+        self.x[idx] && self.y[idx]
+    }
+}
+
+impl GraphOracle for GxyOracle {
+    fn num_nodes(&self) -> usize {
+        4 * self.ell
+    }
+
+    fn degree(&self, _u: NodeId) -> usize {
+        // Free: every vertex of G_{x,y} has degree ℓ.
+        self.ell
+    }
+
+    fn ith_neighbor(&self, u: NodeId, i: usize) -> Option<NodeId> {
+        if i >= self.ell {
+            return None;
+        }
+        let l = self.ell;
+        let (region, idx) = (u.index() / l, u.index() % l);
+        Some(match region {
+            0 => {
+                // a_idx: j-th neighbor is b′_j on intersection else a′_j.
+                if self.intersects(idx, i) {
+                    NodeId::new(3 * l + i)
+                } else {
+                    NodeId::new(l + i)
+                }
+            }
+            1 => {
+                // a′_idx: i-th neighbor is b_i on intersection else a_i.
+                if self.intersects(i, idx) {
+                    NodeId::new(2 * l + i)
+                } else {
+                    NodeId::new(i)
+                }
+            }
+            2 => {
+                // b_idx: j-th neighbor is a′_j on intersection else b′_j.
+                if self.intersects(idx, i) {
+                    NodeId::new(l + i)
+                } else {
+                    NodeId::new(3 * l + i)
+                }
+            }
+            _ => {
+                // b′_idx: i-th neighbor is a_i on intersection else b_i.
+                if self.intersects(i, idx) {
+                    NodeId::new(i)
+                } else {
+                    NodeId::new(2 * l + i)
+                }
+            }
+        })
+    }
+
+    fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        let l = self.ell;
+        let (ru, iu) = (u.index() / l, u.index() % l);
+        let (rv, iv) = (v.index() / l, v.index() % l);
+        // Normalize: left regions are A (0) and B (2); right are A′ (1)
+        // and B′ (3). Edges only run left ↔ right.
+        let (left, right) = match ((ru, iu), (rv, iv)) {
+            ((0 | 2, _), (1 | 3, _)) => ((ru, iu), (rv, iv)),
+            ((1 | 3, _), (0 | 2, _)) => ((rv, iv), (ru, iu)),
+            _ => return false, // same side: never adjacent, 0 bits
+        };
+        let (i, j) = (left.1, right.1);
+        let hit = self.intersects(i, j);
+        match (left.0, right.0) {
+            (0, 3) | (2, 1) => hit,  // a_i–b′_j and b_i–a′_j need intersection
+            (0, 1) | (2, 3) => !hit, // a_i–a′_j and b_i–b′_j need non-intersection
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Result of the Lemma 5.6 reduction algorithm ℬ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSumViaMinCut {
+    /// ℬ's estimate of `Σ DISJ(Xⁱ, Yⁱ)`.
+    pub disj_estimate: f64,
+    /// The true value.
+    pub disj_truth: f64,
+    /// The min-cut estimate the inner algorithm returned.
+    pub mincut_estimate: f64,
+    /// Bits of communication the oracle simulation consumed.
+    pub bits_exchanged: u64,
+}
+
+/// Runs the reduction: concatenates the 2-SUM instance into `(x, y)`,
+/// builds the [`GxyOracle`], lets `algo` estimate the min-cut through
+/// it, and converts back per step 3 of Lemma 5.6:
+/// `t − 𝒜(G_{x,y}) / (2α)`.
+///
+/// # Panics
+/// Panics if the concatenated length `t·L` is not a perfect square
+/// (choose parameters accordingly) or the Lemma 5.5 premise fails.
+pub fn solve_twosum_via_mincut<F>(inst: &TwoSumInstance, algo: F) -> TwoSumViaMinCut
+where
+    F: FnOnce(&GxyOracle) -> f64,
+{
+    let (x, y) = inst.concatenated();
+    let n = x.len();
+    let ell = (n as f64).sqrt().round() as usize;
+    assert_eq!(ell * ell, n, "t·L = {n} must be a perfect square");
+    let total_int = int(&x, &y);
+    assert!(ell >= 3 * total_int, "Lemma 5.5 premise √N ≥ 3·INT violated: {ell} < 3·{total_int}");
+
+    let oracle = GxyOracle::new(x, y);
+    let mincut_estimate = algo(&oracle);
+    let t = inst.num_pairs() as f64;
+    let alpha = inst.alpha as f64;
+    TwoSumViaMinCut {
+        disj_estimate: t - mincut_estimate / (2.0 * alpha),
+        disj_truth: inst.disj_sum() as f64,
+        mincut_estimate,
+        bits_exchanged: oracle.bits_exchanged(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_comm::twosum::disj;
+    use dircut_localquery::{AdjOracle, GraphOracle};
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Random strings with exactly `gamma` intersections, length ℓ².
+    fn planted(ell: usize, gamma: usize, seed: u64) -> (Vec<bool>, Vec<bool>) {
+        use rand::seq::SliceRandom;
+        let n = ell * ell;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = vec![false; n];
+        let mut y = vec![false; n];
+        let mut pos: Vec<usize> = (0..n).collect();
+        pos.shuffle(&mut rng);
+        for &p in &pos[..gamma] {
+            x[p] = true;
+            y[p] = true;
+        }
+        for &p in &pos[gamma..] {
+            match rng.gen_range(0..4) {
+                0 => x[p] = true,
+                1 => y[p] = true,
+                _ => {}
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn every_vertex_has_degree_ell() {
+        let (x, y) = planted(6, 2, 0);
+        let g = GxyGraph::build(&x, &y);
+        for v in g.graph().nodes() {
+            assert_eq!(g.graph().degree(v), 6);
+        }
+        assert_eq!(g.graph().num_edges(), 2 * 36);
+    }
+
+    #[test]
+    fn figure2_example_reconstructed_exactly() {
+        // x = 000000100, y = 100010100 (row-major x_{i,j}, 1-indexed in
+        // the paper): single intersection at x_{3,1} = y_{3,1} = 1.
+        let x: Vec<bool> = "000000100".chars().map(|c| c == '1').collect();
+        let y: Vec<bool> = "100010100".chars().map(|c| c == '1').collect();
+        let g = GxyGraph::build(&x, &y);
+        assert_eq!(g.gamma(), 1);
+        // Red edges: (a_3, b′_1) and (b_3, a′_1) — 0-indexed (2, 0).
+        assert!(g.graph().has_edge(g.a(2), g.b_prime(0)));
+        assert!(g.graph().has_edge(g.b(2), g.a_prime(0)));
+        // Their non-intersection counterparts must be absent.
+        assert!(!g.graph().has_edge(g.a(2), g.a_prime(0)));
+        assert!(!g.graph().has_edge(g.b(2), g.b_prime(0)));
+        // A non-intersecting position keeps the green edges.
+        assert!(g.graph().has_edge(g.a(0), g.a_prime(0)));
+        assert!(g.graph().has_edge(g.b(0), g.b_prime(0)));
+        // Min cut: 2γ = 2 (ℓ = 3 ≥ 3γ).
+        assert_eq!(g.verify_lemma_5_5(), 2);
+    }
+
+    #[test]
+    fn lemma_5_5_holds_on_random_instances() {
+        for seed in 0..8u64 {
+            let ell = 9;
+            let gamma = (seed % 4) as usize; // 0..3, ℓ ≥ 3γ holds
+            let (x, y) = planted(ell, gamma, seed);
+            let g = GxyGraph::build(&x, &y);
+            assert_eq!(g.gamma(), gamma);
+            let mc = g.verify_lemma_5_5();
+            assert_eq!(mc, 2 * gamma as u64, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn natural_cut_has_size_two_gamma() {
+        let (x, y) = planted(9, 3, 42);
+        let g = GxyGraph::build(&x, &y);
+        assert_eq!(g.graph().cut_size(&g.natural_cut()), 2 * g.gamma());
+    }
+
+    #[test]
+    fn figures_3_to_6_edge_disjoint_paths() {
+        let (x, y) = planted(12, 3, 7);
+        let g = GxyGraph::build(&x, &y);
+        assert!(g.premise_holds());
+        let min_flow = g.verify_edge_disjoint_paths(&g.case_pairs());
+        assert!(
+            min_flow >= 2 * g.gamma() as u64,
+            "some pair has only {min_flow} < 2γ = {} disjoint paths",
+            2 * g.gamma()
+        );
+    }
+
+    #[test]
+    fn oracle_agrees_with_concrete_graph() {
+        let (x, y) = planted(7, 2, 3);
+        let g = GxyGraph::build(&x, &y);
+        let direct = AdjOracle::new(g.graph());
+        let sim = GxyOracle::new(x, y);
+        assert_eq!(sim.num_nodes(), direct.num_nodes());
+        for v in 0..sim.num_nodes() {
+            let v = NodeId::new(v);
+            assert_eq!(sim.degree(v), direct.degree(v), "degree of {v}");
+            for i in 0..=7 {
+                assert_eq!(sim.ith_neighbor(v, i), direct.ith_neighbor(v, i), "{v}[{i}]");
+            }
+        }
+        for u in 0..sim.num_nodes() {
+            for w in 0..sim.num_nodes() {
+                let (u, w) = (NodeId::new(u), NodeId::new(w));
+                assert_eq!(sim.adjacent(u, w), direct.adjacent(u, w), "adj({u},{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_charges_two_bits_per_informative_query() {
+        let (x, y) = planted(5, 1, 9);
+        let sim = GxyOracle::new(x, y);
+        assert_eq!(sim.bits_exchanged(), 0);
+        let _ = sim.degree(NodeId::new(0));
+        assert_eq!(sim.bits_exchanged(), 0, "degree queries are free");
+        let _ = sim.ith_neighbor(NodeId::new(0), 2);
+        assert_eq!(sim.bits_exchanged(), 2);
+        let _ = sim.adjacent(NodeId::new(0), NodeId::new(6));
+        assert_eq!(sim.bits_exchanged(), 4);
+        // Same-side adjacency is answerable for free.
+        let _ = sim.adjacent(NodeId::new(0), NodeId::new(1));
+        assert_eq!(sim.bits_exchanged(), 4);
+        // Out-of-range neighbor queries are free (degree is public).
+        let _ = sim.ith_neighbor(NodeId::new(0), 99);
+        assert_eq!(sim.bits_exchanged(), 4);
+    }
+
+    #[test]
+    fn reduction_recovers_disjointness_count_with_exact_mincut() {
+        // 2-SUM(t=4, L=100, α=2), 2 intersecting pairs; t·L = 400 = 20².
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let inst = TwoSumInstance::sample(4, 100, 2, 2, &mut rng);
+        assert!(inst.promise_holds());
+        let result = solve_twosum_via_mincut(&inst, |oracle| {
+            // "Exact algorithm": read the whole graph through the oracle
+            // and compute the true min-cut.
+            let n = oracle.num_nodes();
+            let mut g = UnGraph::new(n);
+            for u in 0..n {
+                let u = NodeId::new(u);
+                for i in 0..oracle.degree(u) {
+                    let v = oracle.ith_neighbor(u, i).unwrap();
+                    g.add_edge(u, v);
+                }
+            }
+            min_cut_unweighted(&g) as f64
+        });
+        assert_eq!(result.disj_estimate, result.disj_truth);
+        assert_eq!(result.mincut_estimate, 2.0 * inst.int_sum() as f64);
+        // Reading everything costs 2 bits per edge slot = 4m bits.
+        assert_eq!(result.bits_exchanged, 2 * 2 * 2 * 400);
+    }
+
+    #[test]
+    fn disj_helper_consistency() {
+        // Sanity: DISJ counted by the instance matches direct evaluation.
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let inst = TwoSumInstance::sample(6, 12, 1, 2, &mut rng);
+        let direct = inst.xs.iter().zip(&inst.ys).filter(|(a, b)| disj(a, b)).count();
+        assert_eq!(direct, inst.disj_sum());
+    }
+}

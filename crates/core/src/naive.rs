@@ -1,0 +1,260 @@
+//! The *naive* one-bit-per-edge encoding — and why it fails.
+//!
+//! Section 1.2 of the paper explains the key obstacle its Section 3
+//! construction overcomes: if each bit `s_i` is encoded into a single
+//! forward edge `(u, v)` (weight 1 or 2, as in the earlier
+//! [ACK+16, CCPS21] constructions) and Bob queries the natural cut
+//! `S = {u} ∪ (R ∖ {v})`, the `(k−1)² = Ω(β/ε²)` backward edges of
+//! weight `1/β` push the cut value to `Ω(1/ε²)`, so a `(1±ε)` sketch
+//! answers with `Ω(1/ε)` *additive* error — hopeless for reading a
+//! `±1` signal. The Hadamard construction instead spreads `1/ε²` bits
+//! across `1/ε²` edges so the decoded signal is `Θ(1/ε)`, matching the
+//! error.
+//!
+//! This module implements the naive encoding so the failure is
+//! *measurable*: with an exact oracle both encodings decode perfectly;
+//! with the same `(1 ± c₂ε/ln(1/ε))` noisy oracle, the Hadamard
+//! decoder keeps working while the naive decoder collapses to a coin
+//! flip (see `exp_foreach` and the tests below).
+
+use dircut_graph::{DiGraph, NodeId, NodeSet};
+use dircut_sketch::CutOracle;
+use rand::Rng;
+
+/// Parameters of the naive one-bit-per-edge gadget: a single `k×k`
+/// bipartite pair (`k = √β/ε` in the paper's regime).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaiveParams {
+    /// Side size `k` of the bipartite gadget.
+    pub k: usize,
+    /// Balance parameter β (backward edges have weight `1/β`).
+    pub beta: f64,
+}
+
+impl NaiveParams {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` or `beta < 1`.
+    #[must_use]
+    pub fn new(k: usize, beta: f64) -> Self {
+        assert!(k >= 2, "gadget needs k ≥ 2");
+        assert!(beta >= 1.0, "β must be ≥ 1");
+        Self { k, beta }
+    }
+
+    /// Number of bits encoded: one per forward edge, `k²`.
+    #[must_use]
+    pub fn total_bits(&self) -> usize {
+        self.k * self.k
+    }
+
+    /// Total nodes `2k` (left `0..k`, right `k..2k`).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        2 * self.k
+    }
+}
+
+/// The naive encoding: forward edge `(u, k+v)` has weight `1 + s[u·k+v]`,
+/// every backward edge has weight `1/β`.
+#[derive(Debug, Clone)]
+pub struct NaiveEncoding {
+    params: NaiveParams,
+    graph: DiGraph,
+}
+
+impl NaiveEncoding {
+    /// Encodes bits (`false → 1`, `true → 2`).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    #[must_use]
+    pub fn encode(params: NaiveParams, bits: &[bool]) -> Self {
+        assert_eq!(bits.len(), params.total_bits(), "bit string length mismatch");
+        let k = params.k;
+        let mut g = DiGraph::with_edge_capacity(2 * k, 2 * k * k);
+        for u in 0..k {
+            for v in 0..k {
+                let w = if bits[u * k + v] { 2.0 } else { 1.0 };
+                g.add_edge(NodeId::new(u), NodeId::new(k + v), w);
+                g.add_edge(NodeId::new(k + v), NodeId::new(u), 1.0 / params.beta);
+            }
+        }
+        Self { params, graph: g }
+    }
+
+    /// The encoded graph.
+    #[must_use]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The parameters.
+    #[must_use]
+    pub fn params(&self) -> &NaiveParams {
+        &self.params
+    }
+}
+
+/// Bob's naive decoder: one cut query per bit.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveDecoder {
+    params: NaiveParams,
+}
+
+impl NaiveDecoder {
+    /// A decoder for the given public parameters.
+    #[must_use]
+    pub fn new(params: NaiveParams) -> Self {
+        Self { params }
+    }
+
+    /// The query set `S = {u} ∪ (R ∖ {v})` for bit `(u, v)`.
+    #[must_use]
+    pub fn query_set(&self, q: usize) -> NodeSet {
+        let k = self.params.k;
+        assert!(q < self.params.total_bits(), "bit index out of range");
+        let (u, v) = (q / k, q % k);
+        let mut s = NodeSet::empty(2 * k);
+        s.insert(NodeId::new(u));
+        for r in 0..k {
+            if r != v {
+                s.insert(NodeId::new(k + r));
+            }
+        }
+        s
+    }
+
+    /// The fixed backward weight crossing the query cut:
+    /// `(k−1)²/β` (from `R∖{v}` to `L∖{u}`).
+    #[must_use]
+    pub fn fixed_backward_weight(&self) -> f64 {
+        let k = self.params.k as f64;
+        (k - 1.0) * (k - 1.0) / self.params.beta
+    }
+
+    /// Decodes bit `q`: the cut consists of the single forward edge
+    /// `(u, v)` (weight 1 or 2) plus the fixed backward mass; after
+    /// subtraction, ≥ 1.5 reads as `true`.
+    #[must_use]
+    pub fn decode_bit<O: CutOracle>(&self, oracle: &O, q: usize) -> bool {
+        let s = self.query_set(q);
+        let forward = oracle.cut_out_estimate(&s) - self.fixed_backward_weight();
+        forward >= 1.5
+    }
+}
+
+/// Runs the naive Index game (mirror of
+/// [`crate::games::run_foreach_index_game`]) and reports the success
+/// rate.
+pub fn run_naive_index_game<R, F, O>(
+    params: NaiveParams,
+    trials: usize,
+    mut make_oracle: F,
+    rng: &mut R,
+) -> crate::games::GameReport
+where
+    R: Rng,
+    F: FnMut(&DiGraph, &mut R) -> O,
+    O: CutOracle,
+{
+    let decoder = NaiveDecoder::new(params);
+    let mut successes = 0usize;
+    for _ in 0..trials {
+        let bits: Vec<bool> = (0..params.total_bits()).map(|_| rng.gen_bool(0.5)).collect();
+        let enc = NaiveEncoding::encode(params, &bits);
+        let q = rng.gen_range(0..params.total_bits());
+        let oracle = make_oracle(enc.graph(), rng);
+        if decoder.decode_bit(&oracle, q) == bits[q] {
+            successes += 1;
+        }
+    }
+    crate::games::GameReport { trials, successes, mean_queries: 1.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::run_foreach_index_game;
+    use crate::ForEachParams;
+    use dircut_graph::balance::edgewise_balance_bound;
+    use dircut_sketch::adversarial::{NoiseModel, NoisyOracle};
+    use dircut_sketch::EdgeListSketch;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_oracle_decodes_naive_encoding() {
+        let params = NaiveParams::new(8, 4.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let report = run_naive_index_game(
+            params,
+            40,
+            |g, _| EdgeListSketch::from_graph(g),
+            &mut rng,
+        );
+        assert_eq!(report.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn naive_gadget_is_2beta_balanced() {
+        let params = NaiveParams::new(6, 3.0);
+        let bits = vec![true; params.total_bits()];
+        let enc = NaiveEncoding::encode(params, &bits);
+        let cert = edgewise_balance_bound(enc.graph()).unwrap();
+        assert!(cert <= 2.0 * 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn query_cut_is_dominated_by_backward_mass() {
+        // The Section 1.2 observation: the queried cut has value
+        // Θ(k²/β) ≫ the ±1 signal.
+        let params = NaiveParams::new(16, 2.0);
+        let bits = vec![false; params.total_bits()];
+        let enc = NaiveEncoding::encode(params, &bits);
+        let dec = NaiveDecoder::new(params);
+        let s = dec.query_set(0);
+        let cut = enc.graph().cut_out(&s);
+        let backward = dec.fixed_backward_weight();
+        assert!((cut - backward - 1.0).abs() < 1e-9);
+        assert!(backward > 50.0, "backward mass {backward} too small to demonstrate");
+    }
+
+    #[test]
+    fn naive_encoding_collapses_under_the_noise_hadamard_survives() {
+        // The head-to-head of Section 1.2: equal noise level, equal
+        // β and ε regime; the Hadamard construction decodes, the naive
+        // one cannot.
+        let inv_eps = 8usize;
+        let sqrt_beta = 2usize;
+        let eps = 1.0 / inv_eps as f64;
+        let noise = 0.25 * eps / (1.0 / eps).ln(); // the threshold level
+        let trials = 200;
+
+        let hadamard = ForEachParams::new(inv_eps, sqrt_beta, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let good = run_foreach_index_game(
+            hadamard,
+            trials,
+            |g, r| NoisyOracle::new(g.clone(), noise, r.gen(), NoiseModel::SignedRelative),
+            &mut rng,
+        );
+
+        let naive = NaiveParams::new(sqrt_beta * inv_eps, (sqrt_beta * sqrt_beta) as f64);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let bad = run_naive_index_game(
+            naive,
+            trials,
+            |g, r| NoisyOracle::new(g.clone(), noise, r.gen(), NoiseModel::SignedRelative),
+            &mut rng,
+        );
+
+        assert!(good.success_rate() >= 0.9, "Hadamard rate {}", good.success_rate());
+        assert!(
+            bad.success_rate() <= 0.65,
+            "naive encoding still decodes at {} under noise {noise}",
+            bad.success_rate()
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the paper's constructions: decoding
+//! round-trips, layout formulas, Lemma 5.5, and oracle equivalence —
+//! over randomized parameters, not just hand-picked instances.
+
+use dircut_core::forall::{ForAllDecoder, ForAllEncoding, ForAllParams, SubsetSearch};
+use dircut_core::foreach::{ForEachDecoder, ForEachEncoding, ForEachParams};
+use dircut_core::mincut_lb::{GxyGraph, GxyOracle};
+use dircut_graph::{NodeId, NodeSet};
+use dircut_localquery::GraphOracle;
+use dircut_sketch::ExactOracle;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_foreach_params() -> impl Strategy<Value = ForEachParams> {
+    (1u32..=3, 1usize..=2, 2usize..=3)
+        .prop_map(|(log_inv_eps, sqrt_beta, ell)| ForEachParams::new(1 << log_inv_eps, sqrt_beta, ell))
+}
+
+fn random_signs(n: usize, seed: u64) -> Vec<i8> {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn foreach_exact_roundtrip_over_random_parameters(params in arb_foreach_params(), seed in 0u64..10_000) {
+        let s = random_signs(params.total_bits(), seed);
+        let enc = ForEachEncoding::encode(params, &s);
+        let oracle = ExactOracle::new(enc.graph());
+        let dec = ForEachDecoder::new(params);
+        // Sample a handful of bits rather than all (cost control).
+        for q in (0..params.total_bits()).step_by(7) {
+            if enc.block_failed(q) {
+                continue;
+            }
+            prop_assert_eq!(dec.decode_bit(&oracle, q).sign, s[q], "bit {}", q);
+        }
+    }
+
+    #[test]
+    fn foreach_backward_formula_holds_for_arbitrary_sets(
+        params in arb_foreach_params(),
+        seed in 0u64..10_000,
+        mask in any::<u64>(),
+    ) {
+        // The decoder's fixed-backward formula is a layout fact: it
+        // must match the real graph for ANY node set, not just the
+        // decoder's own queries.
+        let s = random_signs(params.total_bits(), seed);
+        let enc = ForEachEncoding::encode(params, &s);
+        let n = params.num_nodes();
+        let set = NodeSet::from_indices(n, (0..n).filter(|i| mask >> (i % 60) & 1 == 1));
+        let dec = ForEachDecoder::new(params);
+        let backward_truth: f64 = enc
+            .graph()
+            .edges()
+            .iter()
+            .filter(|e| {
+                (e.weight - 1.0 / params.beta()).abs() < 1e-12
+                    && set.contains(e.from)
+                    && !set.contains(e.to)
+            })
+            .map(|e| e.weight)
+            .sum();
+        prop_assert!((dec.fixed_backward_weight(&set) - backward_truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foreach_queries_have_half_block_shape(params in arb_foreach_params(), qsel in any::<u64>()) {
+        let dec = ForEachDecoder::new(params);
+        let q = (qsel as usize) % params.total_bits();
+        let loc = params.locate_bit(q);
+        let k = params.group_size();
+        for set in dec.queries_for_bit(q).sets {
+            // |S ∩ V_pair| = 1/(2ε), |S ∩ V_{pair+1}| = k − 1/(2ε),
+            // later groups fully inside, earlier fully outside.
+            let count_in = |g: usize| {
+                (0..k).filter(|&u| set.contains(NodeId::new(g * k + u))).count()
+            };
+            for g in 0..params.ell {
+                let c = count_in(g);
+                if g < loc.pair {
+                    prop_assert_eq!(c, 0);
+                } else if g == loc.pair {
+                    prop_assert_eq!(c, params.inv_eps / 2);
+                } else if g == loc.pair + 1 {
+                    prop_assert_eq!(c, k - params.inv_eps / 2);
+                } else {
+                    prop_assert_eq!(c, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forall_estimate_matches_direct_weight(
+        beta in 1usize..=2,
+        seed in 0u64..10_000,
+        umask in any::<u64>(),
+        tmask in any::<u64>(),
+    ) {
+        use rand::Rng;
+        let params = ForAllParams::new(beta, 4, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let strings: Vec<Vec<bool>> = (0..params.num_strings())
+            .map(|_| (0..4).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let enc = ForAllEncoding::encode(params, &strings);
+        let oracle = ExactOracle::new(enc.graph());
+        let dec = ForAllDecoder::new(params, SubsetSearch::Exact);
+        let k = params.group_size();
+        let u_subset: Vec<usize> = (0..k).filter(|i| umask >> (i % 60) & 1 == 1).collect();
+        let t: Vec<bool> = (0..4).map(|v| tmask >> v & 1 == 1).collect();
+        let est = dec.estimate_w_u_t(&oracle, 0, &u_subset, 0, &t);
+        let mut truth = 0.0;
+        for &i in &u_subset {
+            for (v, &bit) in t.iter().enumerate() {
+                if bit {
+                    truth += enc
+                        .graph()
+                        .pair_weight(params.left_node(0, i), params.cluster_node(1, 0, v));
+                }
+            }
+        }
+        prop_assert!((est - truth).abs() < 1e-9, "est {} vs {}", est, truth);
+    }
+
+    #[test]
+    fn lemma_5_5_on_random_planted_instances(ell in 6usize..14, gamma_sel in 0usize..100, seed in 0u64..10_000) {
+        use rand::seq::SliceRandom;
+        use rand::Rng;
+        let gamma = gamma_sel % (ell / 3 + 1);
+        let n = ell * ell;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut x = vec![false; n];
+        let mut y = vec![false; n];
+        let mut pos: Vec<usize> = (0..n).collect();
+        pos.shuffle(&mut rng);
+        for &p in &pos[..gamma] {
+            x[p] = true;
+            y[p] = true;
+        }
+        for &p in &pos[gamma..] {
+            match rng.gen_range(0..4) {
+                0 => x[p] = true,
+                1 => y[p] = true,
+                _ => {}
+            }
+        }
+        let g = GxyGraph::build(&x, &y);
+        prop_assert_eq!(g.gamma(), gamma);
+        prop_assert!(g.premise_holds());
+        prop_assert_eq!(g.verify_lemma_5_5(), 2 * gamma as u64);
+        // Natural cut achieves it.
+        prop_assert_eq!(g.graph().cut_size(&g.natural_cut()), 2 * gamma);
+    }
+
+    #[test]
+    fn gxy_oracle_equals_concrete_graph(ell in 3usize..8, seed in 0u64..10_000) {
+        use rand::Rng;
+        let n = ell * ell;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
+        let y: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
+        let g = GxyGraph::build(&x, &y);
+        let sim = GxyOracle::new(x, y);
+        for v in 0..4 * ell {
+            let v = NodeId::new(v);
+            prop_assert_eq!(sim.degree(v), g.graph().degree(v));
+            for i in 0..ell + 1 {
+                prop_assert_eq!(sim.ith_neighbor(v, i), g.graph().ith_neighbor(v, i));
+            }
+        }
+        // Adjacency spot checks across all region pairings.
+        for (u, w) in [(0usize, ell), (0, 3 * ell), (2 * ell, ell), (0, 1), (ell, 2 * ell)] {
+            let (u, w) = (NodeId::new(u), NodeId::new(w.min(4 * ell - 1)));
+            prop_assert_eq!(sim.adjacent(u, w), g.graph().has_edge(u, w));
+        }
+    }
+}

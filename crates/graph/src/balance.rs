@@ -1,0 +1,227 @@
+//! β-balance of directed graphs (Definition 2.1 of the paper).
+//!
+//! A strongly connected digraph is β-balanced when every directed cut
+//! satisfies `w(S, V∖S) ≤ β · w(V∖S, S)`. Computing the exact balance
+//! factor requires looking at every cut, so this module provides three
+//! tools with different cost/guarantee trade-offs:
+//!
+//! * [`edgewise_balance_bound`] — a *certificate*: if every edge's
+//!   weight is at most `β` times the weight of its reverse pair, the
+//!   graph is `β`-balanced. This is exactly how the paper argues its
+//!   gadgets are balanced ("every edge has a reverse edge with similar
+//!   weight"), and it runs in `O(m)`.
+//! * [`exact_balance_factor`] — exhaustive over all `2^{n−1}−1` cuts
+//!   for small `n`.
+//! * [`sampled_balance_lower_bound`] — a randomized lower bound for
+//!   larger graphs.
+
+use crate::connectivity::is_strongly_connected;
+use crate::digraph::DiGraph;
+use crate::ids::{NodeId, NodeSet};
+use rand::Rng;
+
+/// An `O(m)` upper-bound certificate for the balance factor: the
+/// maximum over ordered node pairs of `w(u→v) / w(v→u)` (parallel edges
+/// merged). Returns `None` if some edge has no reverse weight, in which
+/// case no finite edgewise certificate exists.
+///
+/// If this returns `Some(β)`, the graph is `β`-balanced: for any cut
+/// `S`, each pair's forward weight across the cut is at most `β` times
+/// the same pair's backward weight, and summing over pairs gives
+/// `w(S, V∖S) ≤ β·w(V∖S, S)`.
+#[must_use]
+pub fn edgewise_balance_bound(g: &DiGraph) -> Option<f64> {
+    use std::collections::HashMap;
+    let mut pair: HashMap<(u32, u32), f64> = HashMap::new();
+    for e in g.edges() {
+        *pair.entry((e.from.0, e.to.0)).or_insert(0.0) += e.weight;
+    }
+    let mut beta: f64 = 1.0;
+    for (&(u, v), &w) in &pair {
+        if w == 0.0 {
+            continue;
+        }
+        let back = pair.get(&(v, u)).copied().unwrap_or(0.0);
+        if back == 0.0 {
+            return None;
+        }
+        beta = beta.max(w / back);
+    }
+    Some(beta)
+}
+
+/// The exact balance factor `max_S w(S,V∖S) / w(V∖S,S)` by enumerating
+/// all proper cuts. Exponential: restricted to `n ≤ 24`.
+///
+/// Returns `f64::INFINITY` if some cut has zero reverse weight (the
+/// graph is then not β-balanced for any finite β — equivalently not
+/// strongly connected).
+///
+/// # Panics
+/// Panics if `n < 2` or `n > 24`.
+#[must_use]
+pub fn exact_balance_factor(g: &DiGraph) -> f64 {
+    let n = g.num_nodes();
+    assert!((2..=24).contains(&n), "exact balance enumeration needs 2 ≤ n ≤ 24, got {n}");
+    let mut beta: f64 = 1.0;
+    // Fix node 0 outside S to halve the enumeration (ratio and inverse
+    // ratio are both checked).
+    for mask in 1u32..(1 << (n - 1)) {
+        let s = NodeSet::from_indices(n, (0..n - 1).filter(|i| mask >> i & 1 == 1).map(|i| i + 1));
+        let (out, into) = g.cut_both(&s);
+        if out > 0.0 && into == 0.0 || into > 0.0 && out == 0.0 {
+            return f64::INFINITY;
+        }
+        if out > 0.0 && into > 0.0 {
+            beta = beta.max(out / into).max(into / out);
+        }
+    }
+    beta
+}
+
+/// A sampled lower bound on the balance factor: the maximum directed
+/// cut ratio over `trials` random subsets. Useful when `n > 24`.
+#[must_use]
+pub fn sampled_balance_lower_bound<R: Rng>(g: &DiGraph, trials: usize, rng: &mut R) -> f64 {
+    let n = g.num_nodes();
+    assert!(n >= 2, "need ≥ 2 nodes");
+    let mut beta: f64 = 1.0;
+    for _ in 0..trials {
+        let mut s = NodeSet::empty(n);
+        for i in 0..n {
+            if rng.gen_bool(0.5) {
+                s.insert(NodeId::new(i));
+            }
+        }
+        if !s.is_proper_cut() {
+            continue;
+        }
+        let (out, into) = g.cut_both(&s);
+        if out > 0.0 && into > 0.0 {
+            beta = beta.max(out / into).max(into / out);
+        } else if out != into {
+            return f64::INFINITY;
+        }
+    }
+    beta
+}
+
+/// Whether `g` is a valid subject for Definition 2.1 at all: strongly
+/// connected with positive weights.
+#[must_use]
+pub fn is_balance_well_defined(g: &DiGraph) -> bool {
+    g.num_nodes() >= 2 && is_strongly_connected(g)
+}
+
+/// Whether the digraph is Eulerian in the weighted sense: at every
+/// node, weighted in-degree equals weighted out-degree. Eulerian
+/// graphs are exactly the 1-balanced graphs.
+#[must_use]
+pub fn is_eulerian(g: &DiGraph) -> bool {
+    g.nodes().all(|v| {
+        (g.weighted_in_degree(v) - g.weighted_out_degree(v)).abs()
+            <= 1e-9 * (1.0 + g.weighted_in_degree(v).abs())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn beta_pair_graph(beta: f64) -> DiGraph {
+        // Complete bipartite-ish: forward weight beta, backward 1.
+        let mut g = DiGraph::new(4);
+        for u in 0..2 {
+            for v in 2..4 {
+                g.add_edge(NodeId::new(u), NodeId::new(v), beta);
+                g.add_edge(NodeId::new(v), NodeId::new(u), 1.0);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn edgewise_bound_on_pair_graph() {
+        let g = beta_pair_graph(5.0);
+        assert_eq!(edgewise_balance_bound(&g), Some(5.0));
+    }
+
+    #[test]
+    fn edgewise_bound_none_without_reverse_edges() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        assert_eq!(edgewise_balance_bound(&g), None);
+    }
+
+    #[test]
+    fn exact_factor_on_pair_graph() {
+        let g = beta_pair_graph(5.0);
+        let exact = exact_balance_factor(&g);
+        assert!((exact - 5.0).abs() < 1e-9, "exact {exact}");
+    }
+
+    #[test]
+    fn exact_factor_never_exceeds_edgewise_certificate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10 {
+            let n = 6;
+            let mut g = DiGraph::new(n);
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v {
+                        g.add_edge(NodeId::new(u), NodeId::new(v), rng.gen_range(0.5..4.0));
+                    }
+                }
+            }
+            let cert = edgewise_balance_bound(&g).unwrap();
+            let exact = exact_balance_factor(&g);
+            assert!(exact <= cert + 1e-9, "exact {exact} > certificate {cert}");
+        }
+    }
+
+    #[test]
+    fn sampled_bound_is_a_lower_bound_on_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = beta_pair_graph(3.0);
+        let sampled = sampled_balance_lower_bound(&g, 200, &mut rng);
+        let exact = exact_balance_factor(&g);
+        assert!(sampled <= exact + 1e-9);
+        // With this many trials on 4 nodes it should be tight.
+        assert!((sampled - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eulerian_cycle_is_one_balanced() {
+        let mut g = DiGraph::new(5);
+        for i in 0..5 {
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 5), 2.5);
+        }
+        assert!(is_eulerian(&g));
+        // Every directed cycle cut has 1 forward and 1 backward edge of
+        // equal weight...
+        let exact = exact_balance_factor(&g);
+        assert!((exact - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_eulerian_detected() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+        g.add_edge(NodeId::new(1), NodeId::new(0), 1.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 1.0);
+        g.add_edge(NodeId::new(2), NodeId::new(1), 1.0);
+        assert!(!is_eulerian(&g));
+    }
+
+    #[test]
+    fn disconnected_graph_has_infinite_exact_balance() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        g.add_edge(NodeId::new(1), NodeId::new(0), 1.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 1.0);
+        assert!(!is_balance_well_defined(&g));
+        assert_eq!(exact_balance_factor(&g), f64::INFINITY);
+    }
+}

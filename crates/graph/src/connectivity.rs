@@ -1,0 +1,189 @@
+//! Connectivity: strongly connected components (Tarjan, iterative) and
+//! undirected reachability.
+//!
+//! β-balance (Definition 2.1) is only defined for strongly connected
+//! digraphs, so the balance certificates start by checking strong
+//! connectivity here.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+
+/// Strongly connected components via an iterative Tarjan traversal.
+///
+/// Returns a component id per node; ids are in reverse topological
+/// order of the condensation (Tarjan's natural output order).
+#[must_use]
+pub fn strongly_connected_components(g: &DiGraph) -> Vec<usize> {
+    let n = g.num_nodes();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut num_comps = 0usize;
+
+    // Explicit DFS frame: (node, next out-edge position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
+            let out = g.out_edges(NodeId::new(v));
+            if *ei < out.len() {
+                let w = g.edge(out[*ei]).to.index();
+                *ei += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = num_comps;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_comps += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Whether the digraph is strongly connected.
+#[must_use]
+pub fn is_strongly_connected(g: &DiGraph) -> bool {
+    if g.num_nodes() <= 1 {
+        return true;
+    }
+    let comp = strongly_connected_components(g);
+    comp.iter().all(|&c| c == comp[0])
+}
+
+/// Number of weakly connected components (edge direction ignored).
+#[must_use]
+pub fn num_weak_components(g: &DiGraph) -> usize {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        count += 1;
+        seen[start] = true;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            let u_id = NodeId::new(u);
+            for &e in g.out_edges(u_id) {
+                let w = g.edge(e).to.index();
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+            for &e in g.in_edges(u_id) {
+                let w = g.edge(e).from.index();
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_scc() {
+        let mut g = DiGraph::new(4);
+        for i in 0..4 {
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 4), 1.0);
+        }
+        assert!(is_strongly_connected(&g));
+        let comp = strongly_connected_components(&g);
+        assert!(comp.iter().all(|&c| c == comp[0]));
+    }
+
+    #[test]
+    fn path_is_not_strongly_connected() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 1.0);
+        assert!(!is_strongly_connected(&g));
+        let comp = strongly_connected_components(&g);
+        // Three singleton components.
+        assert_eq!(comp.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+
+    #[test]
+    fn two_cycles_bridged_one_way() {
+        // cycle {0,1} and cycle {2,3}, plus 1→2: two SCCs.
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        g.add_edge(NodeId::new(1), NodeId::new(0), 1.0);
+        g.add_edge(NodeId::new(2), NodeId::new(3), 1.0);
+        g.add_edge(NodeId::new(3), NodeId::new(2), 1.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 1.0);
+        let comp = strongly_connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!is_strongly_connected(&g));
+        assert_eq!(num_weak_components(&g), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_strongly_connected() {
+        assert!(is_strongly_connected(&DiGraph::new(0)));
+        assert!(is_strongly_connected(&DiGraph::new(1)));
+    }
+
+    #[test]
+    fn weak_components_count_isolated_nodes() {
+        let mut g = DiGraph::new(5);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        assert_eq!(num_weak_components(&g), 4);
+    }
+
+    #[test]
+    fn deep_recursion_does_not_overflow() {
+        // A long directed cycle exercises the iterative DFS.
+        let n = 200_000;
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), 1.0);
+        }
+        assert!(is_strongly_connected(&g));
+    }
+}

@@ -1,0 +1,358 @@
+//! Weighted directed multigraphs.
+//!
+//! [`DiGraph`] is the workhorse of the whole workspace: every
+//! lower-bound gadget, every sketch, and every flow computation runs on
+//! it. It stores an edge list plus out/in adjacency indices so both
+//! `O(m)` whole-graph scans and `O(deg)` local walks are cheap.
+
+use crate::ids::{EdgeId, NodeId, NodeSet};
+
+/// A weighted directed edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Tail of the edge.
+    pub from: NodeId,
+    /// Head of the edge.
+    pub to: NodeId,
+    /// Non-negative weight.
+    pub weight: f64,
+}
+
+/// A weighted directed multigraph over nodes `{0, …, n−1}`.
+///
+/// Parallel edges are allowed (the constructions in the paper never
+/// need them, but sketches that sample with replacement do). Weights
+/// must be non-negative and finite.
+///
+/// # Example
+///
+/// ```
+/// use dircut_graph::{DiGraph, NodeId, NodeSet};
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+/// g.add_edge(NodeId::new(1), NodeId::new(2), 3.0);
+/// g.add_edge(NodeId::new(2), NodeId::new(0), 5.0);
+/// let s = NodeSet::from_indices(3, [0]);
+/// assert_eq!(g.cut_out(&s), 2.0); // edges leaving {0}
+/// assert_eq!(g.cut_in(&s), 5.0);  // edges entering {0}
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiGraph {
+    n: usize,
+    edges: Vec<Edge>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl DiGraph {
+    /// An empty graph on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new(), out_adj: vec![Vec::new(); n], in_adj: vec![Vec::new(); n] }
+    }
+
+    /// An empty graph on `n` nodes with capacity for `m` edges.
+    #[must_use]
+    pub fn with_edge_capacity(n: usize, m: usize) -> Self {
+        let mut g = Self::new(n);
+        g.edges.reserve(m);
+        g
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (counting parallels).
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(NodeId::new)
+    }
+
+    /// Adds a directed edge and returns its id.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints, negative/non-finite weight, or
+    /// self-loops (which never affect cuts and would only distort
+    /// degree-based reasoning).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> EdgeId {
+        assert!(from.index() < self.n, "edge tail {from} out of range");
+        assert!(to.index() < self.n, "edge head {to} out of range");
+        assert!(from != to, "self-loops are not allowed");
+        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and ≥ 0, got {weight}");
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge { from, to, weight });
+        self.out_adj[from.index()].push(id);
+        self.in_adj[to.index()].push(id);
+        id
+    }
+
+    /// The edge with the given id.
+    #[must_use]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// All edges in insertion order.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of edges leaving `v`.
+    #[must_use]
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.out_adj[v.index()]
+    }
+
+    /// Ids of edges entering `v`.
+    #[must_use]
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.in_adj[v.index()]
+    }
+
+    /// Out-degree (number of outgoing edges) of `v`.
+    #[must_use]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_adj[v.index()].len()
+    }
+
+    /// In-degree of `v`.
+    #[must_use]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_adj[v.index()].len()
+    }
+
+    /// Weighted out-degree `w(v, V)`.
+    #[must_use]
+    pub fn weighted_out_degree(&self, v: NodeId) -> f64 {
+        self.out_adj[v.index()].iter().map(|&e| self.edges[e.index()].weight).sum()
+    }
+
+    /// Weighted in-degree `w(V, v)`.
+    #[must_use]
+    pub fn weighted_in_degree(&self, v: NodeId) -> f64 {
+        self.in_adj[v.index()].iter().map(|&e| self.edges[e.index()].weight).sum()
+    }
+
+    /// Total edge weight `w(V, V)`.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// The total weight of edges from `u` to `v` (merging parallels).
+    #[must_use]
+    pub fn pair_weight(&self, u: NodeId, v: NodeId) -> f64 {
+        self.out_adj[u.index()]
+            .iter()
+            .map(|&e| &self.edges[e.index()])
+            .filter(|e| e.to == v)
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    /// Multiplies every edge weight by `scale` (used by sketches).
+    pub fn scale_weights(&mut self, scale: f64) {
+        assert!(scale.is_finite() && scale >= 0.0);
+        for e in &mut self.edges {
+            e.weight *= scale;
+        }
+    }
+
+    /// The reverse graph (every edge flipped).
+    #[must_use]
+    pub fn reversed(&self) -> Self {
+        let mut g = Self::with_edge_capacity(self.n, self.edges.len());
+        for e in &self.edges {
+            g.add_edge(e.to, e.from, e.weight);
+        }
+        g
+    }
+
+    /// The directed cut value `w(S, V∖S)`: total weight of edges from
+    /// `S` to its complement. `O(m)`.
+    ///
+    /// # Panics
+    /// Panics if the set's universe differs from the node count.
+    #[must_use]
+    pub fn cut_out(&self, s: &NodeSet) -> f64 {
+        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        self.edges
+            .iter()
+            .filter(|e| s.contains(e.from) && !s.contains(e.to))
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    /// The reverse cut value `w(V∖S, S)`.
+    #[must_use]
+    pub fn cut_in(&self, s: &NodeSet) -> f64 {
+        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        self.edges
+            .iter()
+            .filter(|e| !s.contains(e.from) && s.contains(e.to))
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    /// Both directions of the cut in one scan: `(w(S,V∖S), w(V∖S,S))`.
+    #[must_use]
+    pub fn cut_both(&self, s: &NodeSet) -> (f64, f64) {
+        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        let (mut out, mut into) = (0.0, 0.0);
+        for e in &self.edges {
+            match (s.contains(e.from), s.contains(e.to)) {
+                (true, false) => out += e.weight,
+                (false, true) => into += e.weight,
+                _ => {}
+            }
+        }
+        (out, into)
+    }
+
+    /// The total weight of edges from set `a` to set `b`
+    /// (`w(A, B)` in the paper's notation). Sets may overlap; edges
+    /// inside the overlap count when both endpoints qualify.
+    #[must_use]
+    pub fn weight_between(&self, a: &NodeSet, b: &NodeSet) -> f64 {
+        assert_eq!(a.universe(), self.n, "node-set universe mismatch");
+        assert_eq!(b.universe(), self.n, "node-set universe mismatch");
+        self.edges
+            .iter()
+            .filter(|e| a.contains(e.from) && b.contains(e.to))
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    /// Collapses parallel edges, summing weights; edge ids change.
+    #[must_use]
+    pub fn coalesced(&self) -> Self {
+        use std::collections::HashMap;
+        let mut acc: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+        for e in &self.edges {
+            *acc.entry((e.from, e.to)).or_insert(0.0) += e.weight;
+        }
+        let mut pairs: Vec<_> = acc.into_iter().collect();
+        pairs.sort_by_key(|((u, v), _)| (*u, *v));
+        let mut g = Self::with_edge_capacity(self.n, pairs.len());
+        for ((u, v), w) in pairs {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> DiGraph {
+        // 0 → 1 (2.0), 1 → 2 (3.0), 2 → 0 (5.0)
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 3.0);
+        g.add_edge(NodeId::new(2), NodeId::new(0), 5.0);
+        g
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(NodeId::new(0)), 1);
+        assert_eq!(g.in_degree(NodeId::new(0)), 1);
+        assert_eq!(g.weighted_out_degree(NodeId::new(0)), 2.0);
+        assert_eq!(g.weighted_in_degree(NodeId::new(0)), 5.0);
+        assert_eq!(g.total_weight(), 10.0);
+    }
+
+    #[test]
+    fn cut_values() {
+        let g = triangle();
+        let s = NodeSet::from_indices(3, [0]);
+        assert_eq!(g.cut_out(&s), 2.0);
+        assert_eq!(g.cut_in(&s), 5.0);
+        assert_eq!(g.cut_both(&s), (2.0, 5.0));
+        let s01 = NodeSet::from_indices(3, [0, 1]);
+        assert_eq!(g.cut_out(&s01), 3.0);
+        assert_eq!(g.cut_in(&s01), 5.0);
+    }
+
+    #[test]
+    fn cut_out_plus_in_is_symmetric_under_complement() {
+        let g = triangle();
+        let s = NodeSet::from_indices(3, [1]);
+        let c = s.complement();
+        assert_eq!(g.cut_out(&s), g.cut_in(&c));
+        assert_eq!(g.cut_in(&s), g.cut_out(&c));
+    }
+
+    #[test]
+    fn weight_between_sets() {
+        let g = triangle();
+        let a = NodeSet::from_indices(3, [0, 1]);
+        let b = NodeSet::from_indices(3, [1, 2]);
+        // edges 0→1 (2.0, from∈a, to∈b) and 1→2 (3.0) qualify.
+        assert_eq!(g.weight_between(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn reversed_swaps_cut_directions() {
+        let g = triangle();
+        let r = g.reversed();
+        let s = NodeSet::from_indices(3, [0]);
+        assert_eq!(g.cut_out(&s), r.cut_in(&s));
+        assert_eq!(g.cut_in(&s), r.cut_out(&s));
+    }
+
+    #[test]
+    fn coalesced_merges_parallels() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 2.5);
+        let c = g.coalesced();
+        assert_eq!(c.num_edges(), 1);
+        assert_eq!(c.pair_weight(NodeId::new(0), NodeId::new(1)), 3.5);
+    }
+
+    #[test]
+    fn pair_weight_sums_parallels() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 4.0);
+        assert_eq!(g.pair_weight(NodeId::new(0), NodeId::new(1)), 5.0);
+        assert_eq!(g.pair_weight(NodeId::new(1), NodeId::new(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId::new(1), NodeId::new(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative_weight() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId::new(0), NodeId::new(1), -1.0);
+    }
+
+    #[test]
+    fn scale_weights_scales_cuts() {
+        let mut g = triangle();
+        g.scale_weights(2.0);
+        let s = NodeSet::from_indices(3, [0]);
+        assert_eq!(g.cut_out(&s), 4.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Maximum flow (Dinic's algorithm), generic over integer and float
+//! capacities.
+//!
+//! Flows are used to *verify* the paper's structural claims: the
+//! `2γ`-edge-connectivity of the Section 5.2 graph `G_{x,y}`
+//! (Lemma 5.5, Figures 3–6) is checked with exact integer flows, and
+//! directed global min-cuts of the weighted gadgets use float flows.
+
+use crate::digraph::DiGraph;
+use crate::ids::{NodeId, NodeSet};
+
+/// Capacity types usable in the flow network.
+pub trait Capacity:
+    Copy + PartialOrd + std::ops::Add<Output = Self> + std::ops::Sub<Output = Self> + std::fmt::Debug
+{
+    /// The zero capacity.
+    const ZERO: Self;
+    /// Whether the capacity is meaningfully positive (above numeric
+    /// noise for floats).
+    fn is_positive(self) -> bool;
+    /// The smaller of two capacities.
+    fn min2(self, other: Self) -> Self;
+}
+
+impl Capacity for u64 {
+    const ZERO: Self = 0;
+    fn is_positive(self) -> bool {
+        self > 0
+    }
+    fn min2(self, other: Self) -> Self {
+        self.min(other)
+    }
+}
+
+impl Capacity for f64 {
+    const ZERO: Self = 0.0;
+    fn is_positive(self) -> bool {
+        self > 1e-11
+    }
+    fn min2(self, other: Self) -> Self {
+        self.min(other)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Arc<C> {
+    to: u32,
+    cap: C,
+}
+
+/// A Dinic max-flow network with residual arcs stored in xor-paired
+/// positions (`arc i` ↔ `arc i^1`).
+#[derive(Debug, Clone)]
+pub struct FlowNetwork<C> {
+    n: usize,
+    arcs: Vec<Arc<C>>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl<C: Capacity> FlowNetwork<C> {
+    /// An empty network on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { n, arcs: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Adds a directed arc `u → v` with the given capacity (reverse
+    /// residual capacity zero).
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId, cap: C) {
+        assert!(u.index() < self.n && v.index() < self.n, "arc endpoint out of range");
+        let i = self.arcs.len() as u32;
+        self.arcs.push(Arc { to: v.0, cap });
+        self.arcs.push(Arc { to: u.0, cap: C::ZERO });
+        self.adj[u.index()].push(i);
+        self.adj[v.index()].push(i + 1);
+    }
+
+    /// Adds an undirected edge: capacity `cap` in both directions.
+    pub fn add_undirected(&mut self, u: NodeId, v: NodeId, cap: C) {
+        assert!(u.index() < self.n && v.index() < self.n, "arc endpoint out of range");
+        let i = self.arcs.len() as u32;
+        self.arcs.push(Arc { to: v.0, cap });
+        self.arcs.push(Arc { to: u.0, cap });
+        self.adj[u.index()].push(i);
+        self.adj[v.index()].push(i + 1);
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize, levels: &mut [u32]) -> bool {
+        levels.fill(u32::MAX);
+        levels[s] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &ai in &self.adj[u] {
+                let arc = &self.arcs[ai as usize];
+                let v = arc.to as usize;
+                if arc.cap.is_positive() && levels[v] == u32::MAX {
+                    levels[v] = levels[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        levels[t] != u32::MAX
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: Option<C>,
+        levels: &[u32],
+        iters: &mut [usize],
+    ) -> Option<C> {
+        if u == t {
+            return pushed;
+        }
+        while iters[u] < self.adj[u].len() {
+            let ai = self.adj[u][iters[u]] as usize;
+            let (to, cap) = {
+                let arc = &self.arcs[ai];
+                (arc.to as usize, arc.cap)
+            };
+            if cap.is_positive() && levels[to] == levels[u] + 1 {
+                let next = match pushed {
+                    Some(p) => p.min2(cap),
+                    None => cap,
+                };
+                if let Some(got) = self.dfs_push(to, t, Some(next), levels, iters) {
+                    self.arcs[ai].cap = self.arcs[ai].cap - got;
+                    self.arcs[ai ^ 1].cap = self.arcs[ai ^ 1].cap + got;
+                    return Some(got);
+                }
+            }
+            iters[u] += 1;
+        }
+        None
+    }
+
+    /// Computes the maximum `s → t` flow, mutating residual capacities.
+    ///
+    /// # Panics
+    /// Panics if `s == t`.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> C {
+        assert!(s != t, "max_flow requires s ≠ t");
+        let (s, t) = (s.index(), t.index());
+        let mut total = C::ZERO;
+        let mut levels = vec![u32::MAX; self.n];
+        while self.bfs_levels(s, t, &mut levels) {
+            let mut iters = vec![0usize; self.n];
+            while let Some(got) = self.dfs_push(s, t, None, &levels, &mut iters) {
+                total = total + got;
+            }
+        }
+        total
+    }
+
+    /// After a `max_flow` call, returns the source side of a minimum
+    /// cut: all nodes reachable from `s` in the residual network.
+    #[must_use]
+    pub fn min_cut_side(&self, s: NodeId) -> NodeSet {
+        let mut side = NodeSet::empty(self.n);
+        let mut stack = vec![s.index()];
+        side.insert(s);
+        while let Some(u) = stack.pop() {
+            for &ai in &self.adj[u] {
+                let arc = &self.arcs[ai as usize];
+                let v = arc.to as usize;
+                if arc.cap.is_positive() && !side.contains(NodeId::new(v)) {
+                    side.insert(NodeId::new(v));
+                    stack.push(v);
+                }
+            }
+        }
+        side
+    }
+}
+
+/// Builds a float-capacity network from a weighted digraph (one arc per
+/// edge).
+#[must_use]
+pub fn network_from_digraph(g: &DiGraph) -> FlowNetwork<f64> {
+    let mut net = FlowNetwork::new(g.num_nodes());
+    for e in g.edges() {
+        net.add_arc(e.from, e.to, e.weight);
+    }
+    net
+}
+
+/// Maximum `s → t` flow value in a weighted digraph.
+#[must_use]
+pub fn max_flow_digraph(g: &DiGraph, s: NodeId, t: NodeId) -> f64 {
+    network_from_digraph(g).max_flow(s, t)
+}
+
+/// Number of edge-disjoint `s → t` paths in an *undirected* unweighted
+/// graph, computed with exact integer flows.
+#[must_use]
+pub fn edge_disjoint_paths(g: &crate::ungraph::UnGraph, s: NodeId, t: NodeId) -> u64 {
+    let mut net: FlowNetwork<u64> = FlowNetwork::new(g.num_nodes());
+    for (u, v) in g.edges() {
+        net.add_undirected(u, v, 1);
+    }
+    net.max_flow(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ungraph::UnGraph;
+
+    #[test]
+    fn unit_path_has_flow_one() {
+        let mut net: FlowNetwork<u64> = FlowNetwork::new(3);
+        net.add_arc(NodeId::new(0), NodeId::new(1), 1);
+        net.add_arc(NodeId::new(1), NodeId::new(2), 1);
+        assert_eq!(net.max_flow(NodeId::new(0), NodeId::new(2)), 1);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        let mut net: FlowNetwork<u64> = FlowNetwork::new(4);
+        // two disjoint paths 0→1→3 and 0→2→3 plus a direct arc 0→3
+        net.add_arc(NodeId::new(0), NodeId::new(1), 2);
+        net.add_arc(NodeId::new(1), NodeId::new(3), 2);
+        net.add_arc(NodeId::new(0), NodeId::new(2), 3);
+        net.add_arc(NodeId::new(2), NodeId::new(3), 1);
+        net.add_arc(NodeId::new(0), NodeId::new(3), 5);
+        assert_eq!(net.max_flow(NodeId::new(0), NodeId::new(3)), 8);
+    }
+
+    #[test]
+    fn classic_textbook_instance() {
+        // CLRS figure: max flow 23.
+        let mut net: FlowNetwork<u64> = FlowNetwork::new(6);
+        let a = |i: usize| NodeId::new(i);
+        net.add_arc(a(0), a(1), 16);
+        net.add_arc(a(0), a(2), 13);
+        net.add_arc(a(1), a(2), 10);
+        net.add_arc(a(2), a(1), 4);
+        net.add_arc(a(1), a(3), 12);
+        net.add_arc(a(3), a(2), 9);
+        net.add_arc(a(2), a(4), 14);
+        net.add_arc(a(4), a(3), 7);
+        net.add_arc(a(3), a(5), 20);
+        net.add_arc(a(4), a(5), 4);
+        assert_eq!(net.max_flow(a(0), a(5)), 23);
+    }
+
+    #[test]
+    fn float_flow_matches_integer_flow() {
+        let mut gi: FlowNetwork<u64> = FlowNetwork::new(4);
+        let mut gf: FlowNetwork<f64> = FlowNetwork::new(4);
+        let edges = [(0usize, 1usize, 3u64), (0, 2, 2), (1, 3, 2), (2, 3, 3), (1, 2, 1)];
+        for &(u, v, c) in &edges {
+            gi.add_arc(NodeId::new(u), NodeId::new(v), c);
+            gf.add_arc(NodeId::new(u), NodeId::new(v), c as f64);
+        }
+        let fi = gi.max_flow(NodeId::new(0), NodeId::new(3));
+        let ff = gf.max_flow(NodeId::new(0), NodeId::new(3));
+        assert!((fi as f64 - ff).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_side_certifies_flow_value() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 5.0);
+        g.add_edge(NodeId::new(0), NodeId::new(2), 3.0);
+        g.add_edge(NodeId::new(1), NodeId::new(3), 2.0);
+        g.add_edge(NodeId::new(2), NodeId::new(3), 4.0);
+        let mut net = network_from_digraph(&g);
+        let flow = net.max_flow(NodeId::new(0), NodeId::new(3));
+        let side = net.min_cut_side(NodeId::new(0));
+        assert!(side.contains(NodeId::new(0)));
+        assert!(!side.contains(NodeId::new(3)));
+        // Cut value in the ORIGINAL graph equals the flow (max-flow/min-cut).
+        assert!((g.cut_out(&side) - flow).abs() < 1e-9);
+        assert!((flow - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_disjoint_paths_on_cycle() {
+        let mut g = UnGraph::new(5);
+        for i in 0..5 {
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 5));
+        }
+        // A cycle is 2-edge-connected: exactly 2 disjoint paths.
+        assert_eq!(edge_disjoint_paths(&g, NodeId::new(0), NodeId::new(2)), 2);
+    }
+
+    #[test]
+    fn edge_disjoint_paths_on_complete_graph() {
+        let n = 6;
+        let mut g = UnGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.add_edge(NodeId::new(i), NodeId::new(j));
+            }
+        }
+        // K6 is 5-edge-connected.
+        assert_eq!(edge_disjoint_paths(&g, NodeId::new(0), NodeId::new(5)), 5);
+    }
+
+    #[test]
+    fn disconnected_pair_has_zero_flow() {
+        let mut net: FlowNetwork<u64> = FlowNetwork::new(3);
+        net.add_arc(NodeId::new(0), NodeId::new(1), 7);
+        assert_eq!(net.max_flow(NodeId::new(0), NodeId::new(2)), 0);
+    }
+
+    #[test]
+    fn reverse_direction_respects_arc_orientation() {
+        let mut net: FlowNetwork<u64> = FlowNetwork::new(2);
+        net.add_arc(NodeId::new(0), NodeId::new(1), 9);
+        assert_eq!(net.max_flow(NodeId::new(1), NodeId::new(0)), 0);
+    }
+}

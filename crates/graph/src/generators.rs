@@ -1,0 +1,217 @@
+//! Graph generators: random graphs, balanced digraphs, Eulerian
+//! circulations, and the bipartite shells the paper's gadgets use.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+use crate::ungraph::UnGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)` undirected graph.
+#[must_use]
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> UnGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut g = UnGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(NodeId::new(u), NodeId::new(v));
+            }
+        }
+    }
+    g
+}
+
+/// `G(n, p)` with a Hamiltonian cycle added, guaranteeing connectivity.
+#[must_use]
+pub fn connected_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> UnGraph {
+    let mut g = gnp(n, p, rng);
+    for i in 0..n {
+        g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n));
+    }
+    g
+}
+
+/// A random β-balanced digraph: each unordered pair gets, with
+/// probability `p`, a forward edge of weight in `[1, 2]` and a backward
+/// edge of `forward / β`, plus a balanced Hamiltonian bicycle so the
+/// result is strongly connected.
+///
+/// The edgewise certificate of the result is exactly `β`
+/// (see [`crate::balance::edgewise_balance_bound`]).
+#[must_use]
+pub fn random_balanced_digraph<R: Rng>(n: usize, p: f64, beta: f64, rng: &mut R) -> DiGraph {
+    assert!(beta >= 1.0, "β must be ≥ 1");
+    assert!(n >= 2);
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                let w = rng.gen_range(1.0..2.0);
+                g.add_edge(NodeId::new(u), NodeId::new(v), w);
+                g.add_edge(NodeId::new(v), NodeId::new(u), w / beta);
+            }
+        }
+    }
+    for i in 0..n {
+        let (u, v) = (NodeId::new(i), NodeId::new((i + 1) % n));
+        let w = rng.gen_range(1.0..2.0);
+        g.add_edge(u, v, w);
+        g.add_edge(v, u, w / beta);
+    }
+    g
+}
+
+/// A random Eulerian (1-balanced) circulation: the sum of `cycles`
+/// random directed cycles, each with a common random weight.
+#[must_use]
+pub fn random_eulerian_digraph<R: Rng>(n: usize, cycles: usize, rng: &mut R) -> DiGraph {
+    assert!(n >= 3, "cycles need ≥ 3 nodes");
+    let mut g = DiGraph::new(n);
+    for _ in 0..cycles {
+        let len = rng.gen_range(3..=n);
+        let mut nodes: Vec<usize> = (0..n).collect();
+        nodes.shuffle(rng);
+        nodes.truncate(len);
+        let w = rng.gen_range(0.5..2.0);
+        for i in 0..len {
+            g.add_edge(NodeId::new(nodes[i]), NodeId::new(nodes[(i + 1) % len]), w);
+        }
+    }
+    // Always include the full cycle so the graph is strongly connected.
+    let w = rng.gen_range(0.5..2.0);
+    for i in 0..n {
+        g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), w);
+    }
+    g.coalesced()
+}
+
+/// A complete directed bipartite graph between node ranges
+/// `left` and `right` (which must be disjoint), with constant forward
+/// weight `fwd` (left→right) and backward weight `bwd` (right→left),
+/// added into an existing graph.
+pub fn add_complete_bipartite(
+    g: &mut DiGraph,
+    left: std::ops::Range<usize>,
+    right: std::ops::Range<usize>,
+    fwd: f64,
+    bwd: f64,
+) {
+    assert!(left.end <= right.start || right.end <= left.start, "node ranges must be disjoint");
+    for u in left {
+        for v in right.clone() {
+            if fwd > 0.0 {
+                g.add_edge(NodeId::new(u), NodeId::new(v), fwd);
+            }
+            if bwd > 0.0 {
+                g.add_edge(NodeId::new(v), NodeId::new(u), bwd);
+            }
+        }
+    }
+}
+
+/// A random `d`-regular-ish undirected graph via the pairing model
+/// (retrying collisions); degrees may be slightly less than `d` when a
+/// perfect pairing fails, but the graph is simple.
+#[must_use]
+pub fn random_near_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> UnGraph {
+    assert!(d < n, "degree must be < n");
+    let mut g = UnGraph::new(n);
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    for _ in 0..20 {
+        stubs.shuffle(rng);
+        let mut leftover = Vec::new();
+        for pair in stubs.chunks(2) {
+            if let [u, v] = *pair {
+                if u != v && !g.has_edge(NodeId::new(u), NodeId::new(v)) {
+                    g.add_edge(NodeId::new(u), NodeId::new(v));
+                } else {
+                    leftover.push(u);
+                    leftover.push(v);
+                }
+            }
+        }
+        if leftover.len() < 2 {
+            break;
+        }
+        stubs = leftover;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::{edgewise_balance_bound, exact_balance_factor, is_eulerian};
+    use crate::connectivity::is_strongly_connected;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(gnp(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn connected_gnp_is_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..5 {
+            assert!(connected_gnp(20, 0.05, &mut rng).is_connected());
+        }
+    }
+
+    #[test]
+    fn balanced_digraph_certificate_is_beta() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random_balanced_digraph(12, 0.4, 7.0, &mut rng);
+        assert!(is_strongly_connected(&g));
+        let cert = edgewise_balance_bound(&g).unwrap();
+        assert!((cert - 7.0).abs() < 1e-9, "certificate {cert}");
+    }
+
+    #[test]
+    fn balanced_digraph_exact_factor_at_most_beta() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = random_balanced_digraph(8, 0.5, 4.0, &mut rng);
+        let exact = exact_balance_factor(&g);
+        assert!(exact <= 4.0 + 1e-9, "exact {exact}");
+    }
+
+    #[test]
+    fn eulerian_generator_is_eulerian_and_strongly_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = random_eulerian_digraph(10, 5, &mut rng);
+        assert!(is_eulerian(&g));
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn eulerian_generator_is_one_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = random_eulerian_digraph(7, 3, &mut rng);
+        let exact = exact_balance_factor(&g);
+        assert!((exact - 1.0).abs() < 1e-9, "Eulerian graph has balance {exact}");
+    }
+
+    #[test]
+    fn complete_bipartite_shell() {
+        let mut g = DiGraph::new(6);
+        add_complete_bipartite(&mut g, 0..3, 3..6, 2.0, 0.5);
+        assert_eq!(g.num_edges(), 18);
+        assert_eq!(g.pair_weight(NodeId::new(0), NodeId::new(4)), 2.0);
+        assert_eq!(g.pair_weight(NodeId::new(4), NodeId::new(0)), 0.5);
+        assert_eq!(edgewise_balance_bound(&g), Some(4.0));
+    }
+
+    #[test]
+    fn near_regular_degrees_are_close() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = random_near_regular(30, 6, &mut rng);
+        for v in g.nodes() {
+            assert!(g.degree(v) <= 6);
+            assert!(g.degree(v) >= 4, "degree {} too low", g.degree(v));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Gomory–Hu (all-pairs min-cut) trees, via Gusfield's simplification.
+//!
+//! A Gomory–Hu tree of a weighted undirected graph is a tree on the
+//! same vertices such that for every pair `(u, v)` the minimum `u–v`
+//! cut value equals the smallest edge weight on the tree path between
+//! them — `n − 1` max-flow computations answer all `n(n−1)/2` cut
+//! queries. The distributed coordinator and the sketch test suites use
+//! it to sanity-check many cuts at once, and it doubles as a
+//! strength-estimation substrate.
+
+use crate::digraph::DiGraph;
+use crate::flow::FlowNetwork;
+use crate::ids::NodeId;
+
+/// A Gomory–Hu tree: `parent[i]` and `flow[i]` for `i ≥ 1` encode the
+/// tree edge `i – parent[i]` of capacity `flow[i]` (node 0 is the
+/// root).
+///
+/// # Example
+///
+/// ```
+/// use dircut_graph::{DiGraph, NodeId};
+/// use dircut_graph::gomory_hu::GomoryHuTree;
+///
+/// let mut g = DiGraph::new(4);
+/// g.add_edge(NodeId::new(0), NodeId::new(1), 3.0);
+/// g.add_edge(NodeId::new(1), NodeId::new(2), 1.0);
+/// g.add_edge(NodeId::new(2), NodeId::new(3), 4.0);
+/// let tree = GomoryHuTree::build(&g);
+/// // Min cut between 0 and 3 is the light middle edge.
+/// assert_eq!(tree.min_cut(NodeId::new(0), NodeId::new(3)), 1.0);
+/// assert_eq!(tree.global_min_cut(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GomoryHuTree {
+    parent: Vec<usize>,
+    flow: Vec<f64>,
+}
+
+impl GomoryHuTree {
+    /// Builds the tree for the *undirected symmetrization* of `g`
+    /// (each directed edge contributes its weight in both directions),
+    /// with `n − 1` max-flows.
+    ///
+    /// # Panics
+    /// Panics if the graph has fewer than 2 nodes.
+    #[must_use]
+    pub fn build(g: &DiGraph) -> Self {
+        let n = g.num_nodes();
+        assert!(n >= 2, "Gomory–Hu needs ≥ 2 nodes");
+        let mut parent = vec![0usize; n];
+        let mut flow = vec![0.0f64; n];
+        for i in 1..n {
+            let mut net: FlowNetwork<f64> = FlowNetwork::new(n);
+            for e in g.edges() {
+                net.add_undirected(e.from, e.to, e.weight);
+            }
+            let f = net.max_flow(NodeId::new(i), NodeId::new(parent[i]));
+            flow[i] = f;
+            let side = net.min_cut_side(NodeId::new(i));
+            let pi = parent[i];
+            for (j, p) in parent.iter_mut().enumerate().skip(i + 1) {
+                if side.contains(NodeId::new(j)) && *p == pi {
+                    *p = i;
+                }
+            }
+        }
+        Self { parent, flow }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The tree edges as `(child, parent, capacity)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        (1..self.parent.len())
+            .map(move |i| (NodeId::new(i), NodeId::new(self.parent[i]), self.flow[i]))
+    }
+
+    /// The minimum `u–v` cut value: the bottleneck on the tree path.
+    ///
+    /// # Panics
+    /// Panics if `u == v`.
+    #[must_use]
+    pub fn min_cut(&self, u: NodeId, v: NodeId) -> f64 {
+        assert!(u != v, "min_cut needs distinct endpoints");
+        // Walk both nodes to the root, recording path-minimum; the
+        // answer is the bottleneck on the unique u–v path, computed by
+        // lifting the deeper endpoint via depth arrays.
+        let depth = |mut x: usize| {
+            let mut d = 0;
+            while x != 0 {
+                x = self.parent[x];
+                d += 1;
+            }
+            d
+        };
+        let (mut a, mut b) = (u.index(), v.index());
+        let (mut da, mut db) = (depth(a), depth(b));
+        let mut best = f64::INFINITY;
+        while da > db {
+            best = best.min(self.flow[a]);
+            a = self.parent[a];
+            da -= 1;
+        }
+        while db > da {
+            best = best.min(self.flow[b]);
+            b = self.parent[b];
+            db -= 1;
+        }
+        while a != b {
+            best = best.min(self.flow[a]).min(self.flow[b]);
+            a = self.parent[a];
+            b = self.parent[b];
+        }
+        best
+    }
+
+    /// The global (undirected) minimum cut: the lightest tree edge.
+    #[must_use]
+    pub fn global_min_cut(&self) -> f64 {
+        self.flow[1..].iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowNetwork;
+    use crate::generators::random_balanced_digraph;
+    use crate::mincut::stoer_wagner;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn pairwise_min_cut(g: &DiGraph, u: usize, v: usize) -> f64 {
+        let mut net: FlowNetwork<f64> = FlowNetwork::new(g.num_nodes());
+        for e in g.edges() {
+            net.add_undirected(e.from, e.to, e.weight);
+        }
+        net.max_flow(NodeId::new(u), NodeId::new(v))
+    }
+
+    #[test]
+    fn tree_answers_all_pairs_on_small_graph() {
+        let mut g = DiGraph::new(6);
+        let edges = [(0, 1, 1.0), (0, 2, 7.0), (1, 2, 1.0), (1, 3, 3.0), (1, 4, 2.0), (2, 4, 4.0), (3, 4, 1.0), (3, 5, 6.0), (4, 5, 2.0)];
+        for (u, v, w) in edges {
+            g.add_edge(NodeId::new(u), NodeId::new(v), w);
+        }
+        let tree = GomoryHuTree::build(&g);
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                let direct = pairwise_min_cut(&g, u, v);
+                let from_tree = tree.min_cut(NodeId::new(u), NodeId::new(v));
+                assert!(
+                    (direct - from_tree).abs() < 1e-9,
+                    "pair ({u},{v}): flow {direct} vs tree {from_tree}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_matches_flows_on_random_graphs() {
+        for seed in 0..4u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = random_balanced_digraph(9, 0.5, 2.0, &mut rng);
+            let tree = GomoryHuTree::build(&g);
+            for u in 0..9 {
+                for v in (u + 1)..9 {
+                    let direct = pairwise_min_cut(&g, u, v);
+                    let from_tree = tree.min_cut(NodeId::new(u), NodeId::new(v));
+                    assert!(
+                        (direct - from_tree).abs() < 1e-6 * (1.0 + direct),
+                        "seed {seed}, pair ({u},{v}): {direct} vs {from_tree}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lightest_tree_edge_is_the_global_min_cut() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = random_balanced_digraph(10, 0.6, 3.0, &mut rng);
+        let tree = GomoryHuTree::build(&g);
+        let sw = stoer_wagner(&g).value;
+        assert!((tree.global_min_cut() - sw).abs() < 1e-6 * (1.0 + sw));
+    }
+
+    #[test]
+    fn tree_has_n_minus_one_edges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let g = random_balanced_digraph(8, 0.5, 2.0, &mut rng);
+        let tree = GomoryHuTree::build(&g);
+        assert_eq!(tree.edges().count(), 7);
+        for (_, _, cap) in tree.edges() {
+            assert!(cap > 0.0);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Strongly-typed node/edge identifiers and a compact node-set bitset.
+
+use std::fmt;
+
+/// Identifier of a vertex in a graph with at most `u32::MAX` vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Creates a node id from an index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32`.
+    #[must_use]
+    pub fn new(idx: usize) -> Self {
+        Self(u32::try_from(idx).expect("node index overflows u32"))
+    }
+
+    /// The index as `usize` (for slice indexing).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(idx: usize) -> Self {
+        Self::new(idx)
+    }
+}
+
+/// Identifier of an edge (an index into a graph's edge list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Creates an edge id from an index.
+    ///
+    /// # Panics
+    /// Panics if `idx` does not fit in `u32`.
+    #[must_use]
+    pub fn new(idx: usize) -> Self {
+        Self(u32::try_from(idx).expect("edge index overflows u32"))
+    }
+
+    /// The index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of nodes over a fixed universe `{0, …, n−1}`, stored as a
+/// bitset. This is the `S ⊂ V` of every cut query in the paper.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl NodeSet {
+    /// The empty set over a universe of `n` nodes.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Self { words: vec![0; n.div_ceil(64)], universe: n }
+    }
+
+    /// The full set `{0, …, n−1}`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for i in 0..n {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    /// Builds a set from node indices.
+    #[must_use]
+    pub fn from_indices(n: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::empty(n);
+        for i in indices {
+            s.insert(NodeId::new(i));
+        }
+        s
+    }
+
+    /// Size of the universe this set lives in.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts a node; returns whether it was newly inserted.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes a node; returns whether it was present.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let i = v.index();
+        assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let i = v.index();
+        if i >= self.universe {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether the set is a *proper* cut side: neither empty nor full.
+    #[must_use]
+    pub fn is_proper_cut(&self) -> bool {
+        let l = self.len();
+        l > 0 && l < self.universe
+    }
+
+    /// The complement `V \ S` within the universe.
+    #[must_use]
+    pub fn complement(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        // Clear bits beyond the universe.
+        let spare = out.words.len() * 64 - out.universe;
+        if spare > 0 {
+            let last = out.words.len() - 1;
+            out.words[last] &= u64::MAX >> spare;
+        }
+        out
+    }
+
+    /// In-place union with another set over the same universe.
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterator over members in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(NodeId::new(wi * 64 + b))
+                }
+            })
+        })
+    }
+
+    /// Canonical form of a 2-partition: the side *not* containing node 0.
+    ///
+    /// Two node sets describe the same unordered cut iff their canonical
+    /// forms are equal; used to deduplicate enumerated cuts.
+    #[must_use]
+    pub fn canonical_cut_side(&self) -> Self {
+        if self.contains(NodeId::new(0)) {
+            self.complement()
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeSet{{")?;
+        for (k, v) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", v.0)?;
+        }
+        write!(f, "}}/{}", self.universe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::empty(100);
+        assert!(s.insert(NodeId::new(7)));
+        assert!(!s.insert(NodeId::new(7)));
+        assert!(s.contains(NodeId::new(7)));
+        assert!(!s.contains(NodeId::new(8)));
+        assert!(s.remove(NodeId::new(7)));
+        assert!(!s.remove(NodeId::new(7)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn len_counts_members() {
+        let s = NodeSet::from_indices(70, [0, 63, 64, 69]);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn complement_respects_universe() {
+        let s = NodeSet::from_indices(70, [1, 3]);
+        let c = s.complement();
+        assert_eq!(c.len(), 68);
+        assert!(!c.contains(NodeId::new(1)));
+        assert!(c.contains(NodeId::new(0)));
+        assert!(c.contains(NodeId::new(69)));
+        // Double complement is identity.
+        assert_eq!(c.complement(), s);
+    }
+
+    #[test]
+    fn iter_visits_in_order() {
+        let s = NodeSet::from_indices(200, [5, 150, 64, 7]);
+        let got: Vec<usize> = s.iter().map(NodeId::index).collect();
+        assert_eq!(got, vec![5, 7, 64, 150]);
+    }
+
+    #[test]
+    fn proper_cut_detection() {
+        assert!(!NodeSet::empty(4).is_proper_cut());
+        assert!(!NodeSet::full(4).is_proper_cut());
+        assert!(NodeSet::from_indices(4, [2]).is_proper_cut());
+    }
+
+    #[test]
+    fn canonical_cut_sides_match() {
+        let s = NodeSet::from_indices(6, [0, 2, 4]);
+        let c = s.complement();
+        assert_eq!(s.canonical_cut_side(), c.canonical_cut_side());
+        assert!(!s.canonical_cut_side().contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn union_with_combines() {
+        let mut a = NodeSet::from_indices(10, [1, 2]);
+        let b = NodeSet::from_indices(10, [2, 9]);
+        a.union_with(&b);
+        assert_eq!(a, NodeSet::from_indices(10, [1, 2, 9]));
+    }
+}

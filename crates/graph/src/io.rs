@@ -1,0 +1,163 @@
+//! Plain-text graph serialization: a line-oriented edge-list format
+//! plus Graphviz DOT export for debugging the gadget constructions.
+//!
+//! Format (`#`-comments and blank lines ignored):
+//!
+//! ```text
+//! n <num_nodes>
+//! e <from> <to> <weight>
+//! ```
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+use std::fmt::Write as _;
+
+/// Errors from parsing the edge-list format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Line didn't match any directive.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The `n` header is missing or appears after edges.
+    MissingHeader,
+    /// An edge references a node out of range.
+    NodeOutOfRange {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadLine { line } => write!(f, "unparseable line {line}"),
+            Self::MissingHeader => write!(f, "missing `n <count>` header"),
+            Self::NodeOutOfRange { line } => write!(f, "node out of range on line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a digraph to the edge-list format.
+#[must_use]
+pub fn to_edge_list(g: &DiGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", g.num_nodes());
+    for e in g.edges() {
+        let _ = writeln!(out, "e {} {} {}", e.from.0, e.to.0, e.weight);
+    }
+    out
+}
+
+/// Parses the edge-list format.
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed input.
+pub fn from_edge_list(text: &str) -> Result<DiGraph, ParseError> {
+    let mut graph: Option<DiGraph> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("n") => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine { line: line_no })?;
+                graph = Some(DiGraph::new(n));
+            }
+            Some("e") => {
+                let g = graph.as_mut().ok_or(ParseError::MissingHeader)?;
+                let mut next_num = || -> Result<f64, ParseError> {
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(ParseError::BadLine { line: line_no })
+                };
+                let from = next_num()? as usize;
+                let to = next_num()? as usize;
+                let w = next_num()?;
+                if from >= g.num_nodes() || to >= g.num_nodes() {
+                    return Err(ParseError::NodeOutOfRange { line: line_no });
+                }
+                g.add_edge(NodeId::new(from), NodeId::new(to), w);
+            }
+            _ => return Err(ParseError::BadLine { line: line_no }),
+        }
+    }
+    graph.ok_or(ParseError::MissingHeader)
+}
+
+/// Graphviz DOT rendering (weights as labels), for eyeballing small
+/// gadgets.
+#[must_use]
+pub fn to_dot(g: &DiGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  {};", v.0);
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  {} -> {} [label=\"{:.3}\"];", e.from.0, e.to.0, e.weight);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 2.5);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 1.0);
+        g.add_edge(NodeId::new(2), NodeId::new(0), 0.125);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample();
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(back.num_nodes(), 3);
+        assert_eq!(back.num_edges(), 3);
+        assert_eq!(back.pair_weight(NodeId::new(0), NodeId::new(1)), 2.5);
+        assert_eq!(back.pair_weight(NodeId::new(2), NodeId::new(0)), 0.125);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a graph\n\nn 2\n# the only edge\ne 0 1 3.0\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        assert_eq!(from_edge_list("e 0 1 1.0"), Err(ParseError::MissingHeader));
+        assert_eq!(from_edge_list("n 2\nwhat"), Err(ParseError::BadLine { line: 2 }));
+        assert_eq!(
+            from_edge_list("n 2\ne 0 5 1.0"),
+            Err(ParseError::NodeOutOfRange { line: 2 })
+        );
+        assert_eq!(from_edge_list("n x"), Err(ParseError::BadLine { line: 1 }));
+    }
+
+    #[test]
+    fn dot_output_contains_every_edge() {
+        let dot = to_dot(&sample(), "g");
+        assert!(dot.contains("digraph g {"));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("2 -> 0"));
+        assert!(dot.contains("label=\"2.500\""));
+    }
+}

@@ -1,0 +1,376 @@
+//! Randomized contraction min-cut (Karger, Karger–Stein) and
+//! near-minimum-cut enumeration.
+//!
+//! The distributed min-cut application (Section 1 of the paper) relies
+//! on the classic fact that at most `n^{O(C)}` cuts are within a factor
+//! `C` of the minimum; Karger–Stein finds each with inverse-polynomial
+//! probability, so repeating it enumerates all of them with high
+//! probability. [`enumerate_near_min_cuts`] is exactly that loop.
+//!
+//! The contracted graph is kept as a dense symmetric weight matrix:
+//! one contraction is `O(n)` (merge a row/column), so a full
+//! Karger–Stein run is `O(n² log n)` — fast enough to repeat hundreds
+//! of times inside the distributed coordinator.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeSet;
+use rand::Rng;
+
+/// A weighted undirected multigraph under contraction: flat dense
+/// symmetric weight matrix over super-nodes plus the membership of
+/// each. Kept in one allocation so recursive clones are cheap, and
+/// compacted at each Karger–Stein recursion level so clone cost tracks
+/// the *contracted* size, not the original.
+#[derive(Debug, Clone)]
+struct Contracted {
+    /// Row-major symmetric pairwise weights (diagonal 0), stride `dim`.
+    w: Vec<f64>,
+    dim: usize,
+    /// Weighted degree of each super-node.
+    deg: Vec<f64>,
+    /// Remaining super-node ids (indices into the current matrix).
+    alive: Vec<usize>,
+    /// Original nodes inside each super-node.
+    groups: Vec<Vec<u32>>,
+}
+
+impl Contracted {
+    fn from_digraph(g: &DiGraph) -> Self {
+        let n = g.num_nodes();
+        let mut w = vec![0.0f64; n * n];
+        for e in g.edges() {
+            let (u, v) = (e.from.index(), e.to.index());
+            w[u * n + v] += e.weight;
+            w[v * n + u] += e.weight;
+        }
+        let deg = (0..n).map(|u| w[u * n..(u + 1) * n].iter().sum()).collect();
+        Self {
+            w,
+            dim: n,
+            deg,
+            alive: (0..n).collect(),
+            groups: (0..n).map(|i| vec![i as u32]).collect(),
+        }
+    }
+
+    fn num_alive(&self) -> usize {
+        self.alive.len()
+    }
+
+    #[inline]
+    fn weight(&self, u: usize, v: usize) -> f64 {
+        self.w[u * self.dim + v]
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.alive.iter().map(|&u| self.deg[u]).sum::<f64>() / 2.0
+    }
+
+    /// Rebuilds the matrix over only the alive super-nodes, so clones
+    /// deeper in the recursion copy `O(alive²)` instead of `O(n²)`.
+    fn compacted(&self) -> Self {
+        let k = self.alive.len();
+        let mut w = vec![0.0f64; k * k];
+        for (i, &a) in self.alive.iter().enumerate() {
+            for (j, &b) in self.alive.iter().enumerate() {
+                w[i * k + j] = self.weight(a, b);
+            }
+        }
+        let deg = self.alive.iter().map(|&a| self.deg[a]).collect();
+        let groups = self.alive.iter().map(|&a| self.groups[a].clone()).collect();
+        Self { w, dim: k, deg, alive: (0..k).collect(), groups }
+    }
+
+    /// Contracts a weight-proportional random edge. Returns `false` if
+    /// no edge remains (disconnected remainder).
+    fn contract_random_edge<R: Rng>(&mut self, rng: &mut R) -> bool {
+        let total = self.total_weight();
+        if total <= 0.0 {
+            return false;
+        }
+        // Pick endpoint u ∝ weighted degree, then v ∝ w[u][v].
+        let mut pick = rng.gen_range(0.0..2.0 * total);
+        let mut u = *self.alive.last().expect("no alive nodes");
+        for &cand in &self.alive {
+            if pick < self.deg[cand] {
+                u = cand;
+                break;
+            }
+            pick -= self.deg[cand];
+        }
+        let mut pick = rng.gen_range(0.0..self.deg[u].max(f64::MIN_POSITIVE));
+        let mut v = usize::MAX;
+        for &cand in &self.alive {
+            if cand == u {
+                continue;
+            }
+            if pick < self.weight(u, cand) {
+                v = cand;
+                break;
+            }
+            pick -= self.weight(u, cand);
+        }
+        if v == usize::MAX {
+            // Degenerate rounding: take the heaviest partner.
+            v = *self
+                .alive
+                .iter()
+                .filter(|&&c| c != u)
+                .max_by(|&&a, &&b| {
+                    self.weight(u, a).partial_cmp(&self.weight(u, b)).expect("NaN")
+                })
+                .expect("at least 2 alive nodes");
+            if self.weight(u, v) <= 0.0 {
+                return false;
+            }
+        }
+        self.merge(u, v);
+        true
+    }
+
+    /// Merges super-node `v` into `u` in `O(alive)`.
+    fn merge(&mut self, u: usize, v: usize) {
+        let moved = std::mem::take(&mut self.groups[v]);
+        self.groups[u].extend(moved);
+        self.alive.retain(|&x| x != v);
+        // u absorbs v's edges; drop the (u, v) weight from both degrees.
+        let d = self.dim;
+        self.deg[u] += self.deg[v] - 2.0 * self.w[u * d + v];
+        self.w[u * d + v] = 0.0;
+        self.w[v * d + u] = 0.0;
+        self.deg[v] = 0.0;
+        for &x in &self.alive {
+            if x == u {
+                continue;
+            }
+            let add = self.w[v * d + x];
+            if add > 0.0 {
+                self.w[u * d + x] += add;
+                self.w[x * d + u] = self.w[u * d + x];
+                self.w[v * d + x] = 0.0;
+                self.w[x * d + v] = 0.0;
+            }
+        }
+    }
+
+    /// When exactly 2 super-nodes remain, the cut between them.
+    fn final_cut(&self, n: usize) -> (f64, NodeSet) {
+        debug_assert_eq!(self.num_alive(), 2);
+        let (a, b) = (self.alive[0], self.alive[1]);
+        let value = self.weight(a, b);
+        let side = NodeSet::from_indices(n, self.groups[a].iter().map(|&x| x as usize));
+        (value, side)
+    }
+}
+
+/// One run of Karger's contraction algorithm. Returns `(cut value,
+/// side)`; the value is the *undirected* (symmetrized) cut weight.
+///
+/// # Panics
+/// Panics if the graph has < 2 nodes or is disconnected after
+/// symmetrization (no contractible edges while > 2 super-nodes remain).
+#[must_use]
+pub fn karger_once<R: Rng>(g: &DiGraph, rng: &mut R) -> (f64, NodeSet) {
+    let n = g.num_nodes();
+    assert!(n >= 2, "min-cut needs ≥ 2 nodes");
+    let mut c = Contracted::from_digraph(g);
+    while c.num_alive() > 2 {
+        assert!(c.contract_random_edge(rng), "graph is disconnected");
+    }
+    c.final_cut(n)
+}
+
+fn karger_stein_rec<R: Rng>(c: &Contracted, n: usize, rng: &mut R) -> Option<(f64, NodeSet)> {
+    let k = c.num_alive();
+    if k <= 6 {
+        let mut best: Option<(f64, NodeSet)> = None;
+        let compact = c.compacted();
+        for _ in 0..16 {
+            let mut cc = compact.clone();
+            while cc.num_alive() > 2 {
+                if !cc.contract_random_edge(rng) {
+                    break;
+                }
+            }
+            if cc.num_alive() == 2 {
+                let cut = cc.final_cut(n);
+                if best.as_ref().is_none_or(|(b, _)| cut.0 < *b) {
+                    best = Some(cut);
+                }
+            }
+        }
+        return best;
+    }
+    let target = ((k as f64) / std::f64::consts::SQRT_2).ceil() as usize + 1;
+    let mut best: Option<(f64, NodeSet)> = None;
+    for _ in 0..2 {
+        let mut cc = c.compacted();
+        while cc.num_alive() > target {
+            if !cc.contract_random_edge(rng) {
+                break;
+            }
+        }
+        if let Some(cut) = karger_stein_rec(&cc, n, rng) {
+            if best.as_ref().is_none_or(|(b, _)| cut.0 < *b) {
+                best = Some(cut);
+            }
+        }
+    }
+    best
+}
+
+/// One run of the Karger–Stein recursive contraction algorithm.
+///
+/// # Panics
+/// Panics if the graph has < 2 nodes or no cut was found (the
+/// symmetrization is disconnected).
+#[must_use]
+pub fn karger_stein_once<R: Rng>(g: &DiGraph, rng: &mut R) -> (f64, NodeSet) {
+    let n = g.num_nodes();
+    assert!(n >= 2, "min-cut needs ≥ 2 nodes");
+    let c = Contracted::from_digraph(g);
+    karger_stein_rec(&c, n, rng).expect("graph is disconnected")
+}
+
+/// Repeats Karger–Stein `trials` times and returns every *distinct* cut
+/// whose (undirected) value is at most `alpha` times the best value
+/// seen, sorted by value. Sides are canonicalized (node 0 excluded) so
+/// each unordered cut appears once.
+#[must_use]
+pub fn enumerate_near_min_cuts<R: Rng>(
+    g: &DiGraph,
+    alpha: f64,
+    trials: usize,
+    rng: &mut R,
+) -> Vec<(f64, NodeSet)> {
+    assert!(alpha >= 1.0, "alpha must be ≥ 1");
+    let mut seen = std::collections::HashMap::<NodeSet, f64>::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let (v, side) = karger_stein_once(g, rng);
+        best = best.min(v);
+        seen.entry(side.canonical_cut_side()).or_insert(v);
+    }
+    let mut out: Vec<(f64, NodeSet)> =
+        seen.into_iter().filter(|&(_, v)| v <= alpha * best + 1e-9).map(|(s, v)| (v, s)).collect();
+    out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN cut value"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::mincut::stoer_wagner;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn dumbbell() -> DiGraph {
+        let mut g = DiGraph::new(6);
+        let e = [(0, 1, 3.0), (1, 2, 3.0), (0, 2, 3.0), (3, 4, 3.0), (4, 5, 3.0), (3, 5, 3.0), (2, 3, 1.0)];
+        for (u, v, w) in e {
+            g.add_edge(NodeId::new(u), NodeId::new(v), w);
+        }
+        g
+    }
+
+    #[test]
+    fn karger_finds_the_bridge_eventually() {
+        let g = dumbbell();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut best = f64::INFINITY;
+        for _ in 0..40 {
+            let (v, _) = karger_once(&g, &mut rng);
+            best = best.min(v);
+        }
+        assert!((best - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn karger_stein_matches_stoer_wagner_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for seed in 0..5u64 {
+            let mut gen = ChaCha8Rng::seed_from_u64(seed);
+            let n = 10;
+            let mut g = DiGraph::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if gen.gen_bool(0.5) {
+                        g.add_edge(NodeId::new(i), NodeId::new(j), gen.gen_range(0.5..3.0));
+                    }
+                }
+            }
+            // Ensure connectivity with a cycle.
+            for i in 0..n {
+                g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), 0.3);
+            }
+            let exact = stoer_wagner(&g).value;
+            let mut best = f64::INFINITY;
+            for _ in 0..30 {
+                best = best.min(karger_stein_once(&g, &mut rng).0);
+            }
+            assert!((best - exact).abs() < 1e-6, "seed {seed}: KS {best} vs SW {exact}");
+        }
+    }
+
+    #[test]
+    fn enumeration_contains_the_min_cut_side() {
+        let g = dumbbell();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cuts = enumerate_near_min_cuts(&g, 1.0, 60, &mut rng);
+        assert!(!cuts.is_empty());
+        assert!((cuts[0].0 - 1.0).abs() < 1e-9);
+        // The min cut side is one of the two triangles.
+        assert_eq!(cuts[0].1.len(), 3);
+    }
+
+    #[test]
+    fn enumeration_finds_multiple_near_min_cuts_on_cycle() {
+        // An unweighted cycle has n(n-1)/2 minimum cuts of value 2.
+        let n = 6;
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), 1.0);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let cuts = enumerate_near_min_cuts(&g, 1.0, 400, &mut rng);
+        assert!(cuts.len() >= 10, "found only {} of 15 min cuts", cuts.len());
+        for (v, side) in &cuts {
+            assert!((*v - 2.0).abs() < 1e-9);
+            let (out, into) = g.cut_both(side);
+            assert!((out + into - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reported_value_matches_reported_side() {
+        let g = dumbbell();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..10 {
+            let (v, side) = karger_once(&g, &mut rng);
+            let (out, into) = g.cut_both(&side);
+            assert!((out + into - v).abs() < 1e-9);
+            assert!(side.is_proper_cut());
+        }
+    }
+
+    #[test]
+    fn karger_stein_handles_moderate_sizes_quickly() {
+        let mut gen = ChaCha8Rng::seed_from_u64(9);
+        let n = 60;
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if gen.gen_bool(0.2) {
+                    g.add_edge(NodeId::new(i), NodeId::new(j), 1.0);
+                }
+            }
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), 1.0);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let cuts = enumerate_near_min_cuts(&g, 1.5, 15, &mut rng);
+        assert!(!cuts.is_empty());
+        let exact = stoer_wagner(&g).value;
+        assert!(cuts[0].0 >= exact - 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! Graph substrate for the `dircut` workspace.
+//!
+//! Weighted directed multigraphs ([`DiGraph`]), unweighted undirected
+//! graphs for the local query model ([`UnGraph`]), node-set cuts,
+//! max-flow, global min-cut (deterministic and randomized), β-balance
+//! certificates (Definition 2.1 of the paper), sparse certificates, and
+//! generators for every graph family the experiments need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod connectivity;
+pub mod digraph;
+pub mod flow;
+pub mod generators;
+pub mod gomory_hu;
+pub mod io;
+pub mod ids;
+pub mod karger;
+pub mod mincut;
+pub mod nagamochi;
+pub mod push_relabel;
+pub mod ungraph;
+
+pub use digraph::{DiGraph, Edge};
+pub use ids::{EdgeId, NodeId, NodeSet};
+pub use ungraph::UnGraph;

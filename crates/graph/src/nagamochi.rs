@@ -1,0 +1,177 @@
+//! Nagamochi–Ibaraki sparse certificates.
+//!
+//! Decomposes the edges of an undirected graph into maximal spanning
+//! forests `F₁, F₂, …`; the union of the first `k` forests is a
+//! *k-certificate*: it has at most `k(n−1)` edges and preserves every
+//! cut value up to `k`. Certificates let sketches and local-query
+//! algorithms reason about connectivity on a graph with `O(kn)` edges
+//! instead of `m`.
+
+use crate::ids::NodeId;
+use crate::ungraph::UnGraph;
+
+/// Simple union-find over `n` elements.
+#[derive(Debug, Clone)]
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect() }
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra as usize] = rb;
+        true
+    }
+}
+
+/// Assigns each edge (in `g.edges()` order) its forest index
+/// `r(e) ∈ {1, 2, …}`: edge `e` belongs to forest `F_{r(e)}` of the
+/// iterated-spanning-forest decomposition.
+#[must_use]
+pub fn forest_labels(g: &UnGraph) -> Vec<u32> {
+    let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    let mut labels = vec![0u32; edges.len()];
+    let mut remaining: Vec<usize> = (0..edges.len()).collect();
+    let mut round = 1u32;
+    while !remaining.is_empty() {
+        let mut dsu = Dsu::new(g.num_nodes());
+        let mut leftover = Vec::new();
+        for &ei in &remaining {
+            let (u, v) = edges[ei];
+            if dsu.union(u.0, v.0) {
+                labels[ei] = round;
+            } else {
+                leftover.push(ei);
+            }
+        }
+        debug_assert!(leftover.len() < remaining.len(), "forest round made no progress");
+        remaining = leftover;
+        round += 1;
+    }
+    labels
+}
+
+/// The `k`-certificate: the subgraph of edges in the first `k` forests.
+/// Preserves `min(cut, k)` for every cut, with at most `k(n−1)` edges.
+///
+/// # Panics
+/// Panics if `k == 0`.
+#[must_use]
+pub fn sparse_certificate(g: &UnGraph, k: u32) -> UnGraph {
+    assert!(k >= 1, "certificate order must be ≥ 1");
+    let labels = forest_labels(g);
+    let mut out = UnGraph::new(g.num_nodes());
+    for ((u, v), &l) in g.edges().zip(labels.iter()) {
+        if l <= k {
+            out.add_edge(u, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::connected_gnp;
+    use crate::ids::NodeSet;
+    use crate::mincut::min_cut_unweighted;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn labels_partition_edges_into_forests() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = connected_gnp(15, 0.4, &mut rng);
+        let labels = forest_labels(&g);
+        assert_eq!(labels.len(), g.num_edges());
+        let max_label = *labels.iter().max().unwrap();
+        // Each label class is a forest: |F_i| ≤ n − 1 and acyclic.
+        for l in 1..=max_label {
+            let count = labels.iter().filter(|&&x| x == l).count();
+            assert!(count <= g.num_nodes() - 1, "forest {l} has {count} edges");
+            let mut dsu = Dsu::new(g.num_nodes());
+            for ((u, v), &x) in g.edges().zip(labels.iter()) {
+                if x == l {
+                    assert!(dsu.union(u.0, v.0), "forest {l} contains a cycle");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_has_bounded_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = connected_gnp(20, 0.6, &mut rng);
+        for k in 1..5u32 {
+            let cert = sparse_certificate(&g, k);
+            assert!(cert.num_edges() <= k as usize * (g.num_nodes() - 1));
+        }
+    }
+
+    #[test]
+    fn certificate_preserves_small_cuts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for seed in 0..4u64 {
+            let mut gen = ChaCha8Rng::seed_from_u64(seed);
+            let g = connected_gnp(12, 0.5, &mut gen);
+            let lambda = min_cut_unweighted(&g);
+            for k in 1..=(lambda + 2) as u32 {
+                let cert = sparse_certificate(&g, k);
+                let cert_lambda = min_cut_unweighted(&cert);
+                // Two-sided: ≥ min(λ, k) (certificate guarantee) and
+                // ≤ λ (subgraph).
+                assert!(
+                    cert_lambda >= lambda.min(k as u64) && cert_lambda <= lambda,
+                    "k={k}, λ={lambda}, certλ={cert_lambda}"
+                );
+            }
+            let _ = &mut rng;
+        }
+    }
+
+    #[test]
+    fn certificate_preserves_every_small_cut_value() {
+        // Stronger check: min(cut(S), k) must be preserved for all S on
+        // a small graph.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = connected_gnp(9, 0.5, &mut rng);
+        let k = 2u32;
+        let cert = sparse_certificate(&g, k);
+        let n = g.num_nodes();
+        for mask in 1u32..(1 << (n - 1)) {
+            let s = NodeSet::from_indices(n, (0..n - 1).filter(|i| mask >> i & 1 == 1));
+            let orig = g.cut_size(&s) as u64;
+            let kept = cert.cut_size(&s) as u64;
+            assert!(kept >= orig.min(k as u64), "mask {mask}: {kept} < min({orig},{k})");
+            assert!(kept <= orig);
+        }
+    }
+
+    #[test]
+    fn first_forest_spans_connected_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = connected_gnp(25, 0.3, &mut rng);
+        let cert = sparse_certificate(&g, 1);
+        assert!(cert.is_connected());
+        assert_eq!(cert.num_edges(), g.num_nodes() - 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Push–relabel maximum flow (highest-label selection with the gap
+//! heuristic).
+//!
+//! A second, independently implemented max-flow algorithm. Its job in
+//! this workspace is *cross-validation*: every flow-based verification
+//! (Lemma 5.5, the Figure 3–6 connectivity checks, Gomory–Hu trees)
+//! rests on max-flow being correct, so the test suite checks
+//! Dinic and push–relabel against each other on random instances —
+//! two independent implementations agreeing is a much stronger
+//! correctness signal than either alone.
+
+use crate::digraph::DiGraph;
+use crate::ids::{NodeId, NodeSet};
+
+const EPS: f64 = 1e-11;
+
+#[derive(Debug, Clone, Copy)]
+struct Arc {
+    to: u32,
+    cap: f64,
+}
+
+/// A push–relabel max-flow solver over `f64` capacities.
+#[derive(Debug, Clone)]
+pub struct PushRelabel {
+    n: usize,
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl PushRelabel {
+    /// An empty network on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { n, arcs: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Builds a network from a digraph (one arc per edge).
+    #[must_use]
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        let mut net = Self::new(g.num_nodes());
+        for e in g.edges() {
+            net.add_arc(e.from, e.to, e.weight);
+        }
+        net
+    }
+
+    /// Adds a directed arc with the given capacity.
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId, cap: f64) {
+        assert!(u.index() < self.n && v.index() < self.n, "arc endpoint out of range");
+        assert!(cap >= 0.0 && cap.is_finite(), "bad capacity {cap}");
+        let i = self.arcs.len() as u32;
+        self.arcs.push(Arc { to: v.0, cap });
+        self.arcs.push(Arc { to: u.0, cap: 0.0 });
+        self.adj[u.index()].push(i);
+        self.adj[v.index()].push(i + 1);
+    }
+
+    /// Computes the maximum `s → t` flow, consuming residual capacity.
+    ///
+    /// # Panics
+    /// Panics if `s == t`.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> f64 {
+        assert!(s != t, "max_flow requires s ≠ t");
+        let (s, t) = (s.index(), t.index());
+        let n = self.n;
+        let mut height = vec![0usize; n];
+        let mut excess = vec![0.0f64; n];
+        let mut count = vec![0usize; 2 * n + 1]; // nodes per height (gap heuristic)
+        height[s] = n;
+        count[0] = n - 1;
+        count[n] = 1;
+
+        // Saturate source arcs.
+        let src_arcs: Vec<u32> = self.adj[s].clone();
+        for ai in src_arcs {
+            let ai = ai as usize;
+            let cap = self.arcs[ai].cap;
+            if cap > EPS {
+                let to = self.arcs[ai].to as usize;
+                self.arcs[ai].cap = 0.0;
+                self.arcs[ai ^ 1].cap += cap;
+                excess[to] += cap;
+                excess[s] -= cap;
+            }
+        }
+
+        // Highest-label bucket queue.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); 2 * n + 1];
+        let mut highest = 0usize;
+        for v in 0..n {
+            if v != s && v != t && excess[v] > EPS {
+                buckets[height[v]].push(v);
+                highest = highest.max(height[v]);
+            }
+        }
+
+        while highest < 2 * n + 1 {
+            let Some(&v) = buckets[highest].last() else {
+                if highest == 0 {
+                    break;
+                }
+                highest -= 1;
+                continue;
+            };
+            if excess[v] <= EPS || v == s || v == t || height[v] != highest {
+                buckets[highest].pop();
+                continue;
+            }
+            // Discharge v.
+            let mut pushed_any = false;
+            let arc_ids: Vec<u32> = self.adj[v].clone();
+            for ai in arc_ids {
+                if excess[v] <= EPS {
+                    break;
+                }
+                let ai = ai as usize;
+                let (to, cap) = (self.arcs[ai].to as usize, self.arcs[ai].cap);
+                if cap > EPS && height[v] == height[to] + 1 {
+                    let delta = excess[v].min(cap);
+                    self.arcs[ai].cap -= delta;
+                    self.arcs[ai ^ 1].cap += delta;
+                    excess[v] -= delta;
+                    excess[to] += delta;
+                    pushed_any = true;
+                    if to != s && to != t && excess[to] > EPS {
+                        buckets[height[to]].push(to);
+                    }
+                }
+            }
+            if excess[v] > EPS && !pushed_any {
+                // Relabel (with gap heuristic).
+                let old = height[v];
+                let mut best = usize::MAX;
+                for &ai in &self.adj[v] {
+                    let arc = &self.arcs[ai as usize];
+                    if arc.cap > EPS {
+                        best = best.min(height[arc.to as usize] + 1);
+                    }
+                }
+                if best == usize::MAX {
+                    buckets[highest].pop();
+                    continue;
+                }
+                count[old] -= 1;
+                if count[old] == 0 && old < n {
+                    // Gap: lift everything above `old` past n.
+                    for u in 0..n {
+                        if u != s && height[u] > old && height[u] <= n {
+                            count[height[u]] -= 1;
+                            height[u] = n + 1;
+                            count[height[u]] += 1;
+                        }
+                    }
+                }
+                height[v] = best.min(2 * n);
+                count[height[v]] += 1;
+                buckets[highest].pop();
+                buckets[height[v]].push(v);
+                highest = highest.max(height[v]);
+            } else if excess[v] <= EPS {
+                buckets[highest].pop();
+            }
+        }
+        excess[t]
+    }
+
+    /// After `max_flow`, the source side of a minimum cut (residual
+    /// reachability from `s`).
+    #[must_use]
+    pub fn min_cut_side(&self, s: NodeId) -> NodeSet {
+        let mut side = NodeSet::empty(self.n);
+        let mut stack = vec![s.index()];
+        side.insert(s);
+        while let Some(u) = stack.pop() {
+            for &ai in &self.adj[u] {
+                let arc = &self.arcs[ai as usize];
+                let v = arc.to as usize;
+                if arc.cap > EPS && !side.contains(NodeId::new(v)) {
+                    side.insert(NodeId::new(v));
+                    stack.push(v);
+                }
+            }
+        }
+        side
+    }
+}
+
+/// Convenience: the max `s → t` flow of a digraph via push–relabel.
+#[must_use]
+pub fn max_flow_push_relabel(g: &DiGraph, s: NodeId, t: NodeId) -> f64 {
+    PushRelabel::from_digraph(g).max_flow(s, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::max_flow_digraph;
+    use crate::generators::random_balanced_digraph;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn classic_textbook_instance() {
+        let mut g = DiGraph::new(6);
+        let e = [
+            (0, 1, 16.0),
+            (0, 2, 13.0),
+            (1, 2, 10.0),
+            (2, 1, 4.0),
+            (1, 3, 12.0),
+            (3, 2, 9.0),
+            (2, 4, 14.0),
+            (4, 3, 7.0),
+            (3, 5, 20.0),
+            (4, 5, 4.0),
+        ];
+        for (u, v, w) in e {
+            g.add_edge(NodeId::new(u), NodeId::new(v), w);
+        }
+        let f = max_flow_push_relabel(&g, NodeId::new(0), NodeId::new(5));
+        assert!((f - 23.0).abs() < 1e-9, "flow {f}");
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_random_graphs() {
+        for seed in 0..12u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let n = rng.gen_range(4..20);
+            let g = random_balanced_digraph(n, 0.5, 3.0, &mut rng);
+            let (s, t) = (NodeId::new(0), NodeId::new(n - 1));
+            let dinic = max_flow_digraph(&g, s, t);
+            let pr = max_flow_push_relabel(&g, s, t);
+            assert!(
+                (dinic - pr).abs() < 1e-6 * (1.0 + dinic),
+                "seed {seed}: dinic {dinic} vs push-relabel {pr}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_cut_side_certifies_the_flow() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let g = random_balanced_digraph(12, 0.5, 2.0, &mut rng);
+        let (s, t) = (NodeId::new(0), NodeId::new(11));
+        let mut net = PushRelabel::from_digraph(&g);
+        let f = net.max_flow(s, t);
+        let side = net.min_cut_side(s);
+        assert!(side.contains(s) && !side.contains(t));
+        assert!((g.cut_out(&side) - f).abs() < 1e-6 * (1.0 + f));
+    }
+
+    #[test]
+    fn disconnected_pair_has_zero_flow() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 5.0);
+        g.add_edge(NodeId::new(2), NodeId::new(3), 5.0);
+        assert_eq!(max_flow_push_relabel(&g, NodeId::new(0), NodeId::new(3)), 0.0);
+    }
+
+    #[test]
+    fn respects_arc_direction() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 9.0);
+        assert_eq!(max_flow_push_relabel(&g, NodeId::new(1), NodeId::new(0)), 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Unweighted undirected simple graphs.
+//!
+//! The local query model of Section 5 of the paper is defined over
+//! *unweighted, undirected* graphs with degree / i-th-neighbor /
+//! adjacency queries, so those graphs get their own compact type with
+//! a stable neighbor ordering (the ordering is part of the oracle's
+//! contract: "the `i`-th neighbor of `u`").
+
+use crate::ids::{NodeId, NodeSet};
+use std::collections::HashSet;
+
+/// An unweighted undirected simple graph with ordered adjacency lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnGraph {
+    n: usize,
+    adj: Vec<Vec<NodeId>>,
+    edge_set: HashSet<(u32, u32)>,
+    m: usize,
+}
+
+impl UnGraph {
+    /// An empty graph on `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { n, adj: vec![Vec::new(); n], edge_set: HashSet::new(), m: 0 }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(NodeId::new)
+    }
+
+    /// Adds the undirected edge `{u, v}`. Returns `false` (and does
+    /// nothing) if the edge already exists.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(u.index() < self.n && v.index() < self.n, "endpoint out of range");
+        assert!(u != v, "self-loops are not allowed");
+        let key = (u.0.min(v.0), u.0.max(v.0));
+        if !self.edge_set.insert(key) {
+            return false;
+        }
+        self.adj[u.index()].push(v);
+        self.adj[v.index()].push(u);
+        self.m += 1;
+        true
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v || u.index() >= self.n || v.index() >= self.n {
+            return false;
+        }
+        self.edge_set.contains(&(u.0.min(v.0), u.0.max(v.0)))
+    }
+
+    /// Degree of `u`.
+    #[must_use]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// The `i`-th neighbor of `u` in insertion order, or `None` past
+    /// the degree — exactly the oracle's edge-query semantics.
+    #[must_use]
+    pub fn ith_neighbor(&self, u: NodeId, i: usize) -> Option<NodeId> {
+        self.adj[u.index()].get(i).copied()
+    }
+
+    /// Ordered adjacency list of `u`.
+    #[must_use]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u.index()]
+    }
+
+    /// Iterator over each undirected edge once, as `(min, max)` pairs
+    /// in arbitrary order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |v| v.index() > u)
+                .map(move |&v| (NodeId::new(u), v))
+        })
+    }
+
+    /// The (undirected, unweighted) cut size `|E(S, V∖S)|`.
+    #[must_use]
+    pub fn cut_size(&self, s: &NodeSet) -> usize {
+        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        self.edges().filter(|&(u, v)| s.contains(u) != s.contains(v)).count()
+    }
+
+    /// Converts to a directed graph with a unit-weight arc in each
+    /// direction (the standard reduction for flow computations).
+    #[must_use]
+    pub fn to_bidirected(&self) -> crate::digraph::DiGraph {
+        let mut g = crate::digraph::DiGraph::with_edge_capacity(self.n, 2 * self.m);
+        for (u, v) in self.edges() {
+            g.add_edge(u, v, 1.0);
+            g.add_edge(v, u, 1.0);
+        }
+        g
+    }
+
+    /// Whether the graph is connected (vacuously true for `n ≤ 1`).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> UnGraph {
+        let mut g = UnGraph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(1), NodeId::new(2));
+        g.add_edge(NodeId::new(2), NodeId::new(3));
+        g
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let g = path4();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(NodeId::new(1), NodeId::new(0)));
+        assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert_eq!(g.degree(NodeId::new(1)), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = path4();
+        assert!(!g.add_edge(NodeId::new(1), NodeId::new(0)));
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn ith_neighbor_is_ordered_and_bounded() {
+        let g = path4();
+        assert_eq!(g.ith_neighbor(NodeId::new(1), 0), Some(NodeId::new(0)));
+        assert_eq!(g.ith_neighbor(NodeId::new(1), 1), Some(NodeId::new(2)));
+        assert_eq!(g.ith_neighbor(NodeId::new(1), 2), None);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = path4();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 3);
+        for (u, v) in es {
+            assert!(u.index() < v.index());
+        }
+    }
+
+    #[test]
+    fn cut_size_on_path() {
+        let g = path4();
+        assert_eq!(g.cut_size(&NodeSet::from_indices(4, [0, 1])), 1);
+        assert_eq!(g.cut_size(&NodeSet::from_indices(4, [0, 2])), 3);
+    }
+
+    #[test]
+    fn bidirected_doubles_edges() {
+        let g = path4();
+        let d = g.to_bidirected();
+        assert_eq!(d.num_edges(), 6);
+        assert_eq!(d.total_weight(), 6.0);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(path4().is_connected());
+        let mut g = UnGraph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        assert!(!g.is_connected());
+        assert!(UnGraph::new(1).is_connected());
+    }
+}

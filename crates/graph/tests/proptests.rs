@@ -1,0 +1,266 @@
+//! Property-based tests for the graph substrate: cut identities,
+//! flow/min-cut duality, balance certificates, sparse certificates.
+
+use dircut_graph::balance::{edgewise_balance_bound, exact_balance_factor};
+use dircut_graph::flow::{edge_disjoint_paths, max_flow_digraph, network_from_digraph};
+use dircut_graph::karger::karger_stein_once;
+use dircut_graph::mincut::{min_cut_unweighted, stoer_wagner};
+use dircut_graph::nagamochi::sparse_certificate;
+use dircut_graph::{DiGraph, NodeId, NodeSet, UnGraph};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random connected digraph strategy: node count, edge density seed.
+fn arb_digraph() -> impl Strategy<Value = DiGraph> {
+    (3usize..12, 0u64..10_000).prop_map(|(n, seed)| {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = DiGraph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen_bool(0.4) {
+                    g.add_edge(NodeId::new(u), NodeId::new(v), rng.gen_range(0.1..5.0));
+                }
+            }
+            // strongly connect with a cycle
+            g.add_edge(NodeId::new(u), NodeId::new((u + 1) % n), rng.gen_range(0.1..2.0));
+        }
+        g
+    })
+}
+
+fn arb_ungraph() -> impl Strategy<Value = UnGraph> {
+    (4usize..14, 0u64..10_000).prop_map(|(n, seed)| {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = UnGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.45) {
+                    g.add_edge(NodeId::new(u), NodeId::new(v));
+                }
+            }
+            g.add_edge(NodeId::new(u), NodeId::new((u + 1) % n));
+        }
+        g
+    })
+}
+
+fn subset_of(n: usize, mask: u64) -> NodeSet {
+    NodeSet::from_indices(n, (0..n).filter(|i| mask >> (i % 60) & 1 == 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cut_out_equals_complement_cut_in(g in arb_digraph(), mask in 1u64..u64::MAX) {
+        let n = g.num_nodes();
+        let s = subset_of(n, mask);
+        let c = s.complement();
+        prop_assert!((g.cut_out(&s) - g.cut_in(&c)).abs() < 1e-9);
+        prop_assert!((g.cut_in(&s) - g.cut_out(&c)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_both_consistent_with_individual_scans(g in arb_digraph(), mask in 1u64..u64::MAX) {
+        let s = subset_of(g.num_nodes(), mask);
+        let (out, into) = g.cut_both(&s);
+        prop_assert!((out - g.cut_out(&s)).abs() < 1e-9);
+        prop_assert!((into - g.cut_in(&s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_sums_match_total_weight(g in arb_digraph()) {
+        let out: f64 = g.nodes().map(|v| g.weighted_out_degree(v)).sum();
+        let into: f64 = g.nodes().map(|v| g.weighted_in_degree(v)).sum();
+        prop_assert!((out - g.total_weight()).abs() < 1e-6);
+        prop_assert!((into - g.total_weight()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_flow_equals_min_cut(g in arb_digraph()) {
+        // Strong duality: the flow value equals the value of the cut
+        // certified by the residual reachability, measured on the
+        // ORIGINAL graph.
+        let n = g.num_nodes();
+        let (s, t) = (NodeId::new(0), NodeId::new(n - 1));
+        let mut net = network_from_digraph(&g);
+        let flow = net.max_flow(s, t);
+        let side = net.min_cut_side(s);
+        prop_assert!(side.contains(s) && !side.contains(t));
+        prop_assert!((g.cut_out(&side) - flow).abs() < 1e-6 * (1.0 + flow));
+        // And no cut separating s from t is smaller.
+        prop_assert!(flow <= g.cut_out(&NodeSet::from_indices(n, [0])) + 1e-9);
+    }
+
+    #[test]
+    fn flow_is_monotone_under_weight_increase(g in arb_digraph()) {
+        let n = g.num_nodes();
+        let (s, t) = (NodeId::new(0), NodeId::new(n - 1));
+        let base = max_flow_digraph(&g, s, t);
+        let mut bigger = g.clone();
+        bigger.scale_weights(2.0);
+        let doubled = max_flow_digraph(&bigger, s, t);
+        prop_assert!((doubled - 2.0 * base).abs() < 1e-6 * (1.0 + base));
+    }
+
+    #[test]
+    fn stoer_wagner_is_a_lower_bound_on_every_cut(g in arb_digraph(), mask in 1u64..u64::MAX) {
+        let n = g.num_nodes();
+        let s = subset_of(n, mask);
+        prop_assume!(s.is_proper_cut());
+        let sw = stoer_wagner(&g);
+        let (out, into) = g.cut_both(&s);
+        prop_assert!(sw.value <= out + into + 1e-9);
+    }
+
+    #[test]
+    fn stoer_wagner_matches_flow_connectivity_on_unweighted(g in arb_ungraph()) {
+        let lambda = min_cut_unweighted(&g);
+        let mut d = DiGraph::new(g.num_nodes());
+        for (u, v) in g.edges() {
+            d.add_edge(u, v, 1.0);
+        }
+        let sw = stoer_wagner(&d);
+        prop_assert!((sw.value - lambda as f64).abs() < 1e-9, "SW {} vs λ {}", sw.value, lambda);
+    }
+
+    #[test]
+    fn karger_stein_never_beats_stoer_wagner(g in arb_digraph(), seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sw = stoer_wagner(&g).value;
+        let (ks, side) = karger_stein_once(&g, &mut rng);
+        prop_assert!(ks >= sw - 1e-9);
+        // Whatever it reports is a genuine cut with that value.
+        let (out, into) = g.cut_both(&side);
+        prop_assert!((out + into - ks).abs() < 1e-6 * (1.0 + ks));
+    }
+
+    #[test]
+    fn edgewise_certificate_dominates_exact_balance(g in arb_digraph()) {
+        if let Some(cert) = edgewise_balance_bound(&g) {
+            let exact = exact_balance_factor(&g);
+            prop_assert!(exact <= cert + 1e-9, "exact {exact} > cert {cert}");
+        }
+    }
+
+    #[test]
+    fn sparse_certificate_preserves_small_cuts(g in arb_ungraph(), k in 1u32..5) {
+        let cert = sparse_certificate(&g, k);
+        prop_assert!(cert.num_edges() <= k as usize * (g.num_nodes().saturating_sub(1)));
+        let lambda = min_cut_unweighted(&g);
+        let cert_lambda = min_cut_unweighted(&cert);
+        // The certificate preserves min(cut, k) from below and is a
+        // subgraph from above (its min-cut may exceed k when several
+        // forests cross the same cut).
+        prop_assert!(cert_lambda >= lambda.min(u64::from(k)));
+        prop_assert!(cert_lambda <= lambda);
+    }
+
+    #[test]
+    fn edge_disjoint_paths_bounded_by_min_degree(g in arb_ungraph()) {
+        let (u, v) = (NodeId::new(0), NodeId::new(g.num_nodes() - 1));
+        let flow = edge_disjoint_paths(&g, u, v);
+        prop_assert!(flow <= g.degree(u).min(g.degree(v)) as u64);
+    }
+
+    #[test]
+    fn reversal_is_an_involution(g in arb_digraph()) {
+        let rr = g.reversed().reversed();
+        prop_assert_eq!(rr.num_edges(), g.num_edges());
+        prop_assert!((rr.total_weight() - g.total_weight()).abs() < 1e-9);
+        let s = NodeSet::from_indices(g.num_nodes(), [0]);
+        prop_assert!((rr.cut_out(&s) - g.cut_out(&s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coalescing_preserves_cuts(g in arb_digraph(), mask in 1u64..u64::MAX) {
+        let c = g.coalesced();
+        let s = subset_of(g.num_nodes(), mask);
+        prop_assert!((c.cut_out(&s) - g.cut_out(&s)).abs() < 1e-6);
+        prop_assert!((c.cut_in(&s) - g.cut_in(&s)).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn nodeset_complement_is_involution(n in 1usize..150, mask in proptest::collection::vec(any::<bool>(), 1..150)) {
+        let s = NodeSet::from_indices(n, mask.iter().enumerate().filter(|(i, &b)| b && *i < n).map(|(i, _)| i));
+        prop_assert_eq!(s.complement().complement(), s.clone());
+        prop_assert_eq!(s.len() + s.complement().len(), n);
+    }
+
+    #[test]
+    fn nodeset_canonical_is_stable(n in 2usize..100, mask in any::<u64>()) {
+        let s = subset_of(n, mask);
+        let canon = s.canonical_cut_side();
+        prop_assert_eq!(canon.canonical_cut_side(), canon.clone());
+        prop_assert_eq!(s.complement().canonical_cut_side(), canon);
+    }
+}
+
+mod structure_props {
+    use super::*;
+    use dircut_graph::gomory_hu::GomoryHuTree;
+    use dircut_graph::io::{from_edge_list, to_edge_list};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn gomory_hu_lightest_edge_is_global_min_cut(g in arb_digraph()) {
+            let tree = GomoryHuTree::build(&g);
+            let sw = stoer_wagner(&g).value;
+            prop_assert!((tree.global_min_cut() - sw).abs() < 1e-6 * (1.0 + sw));
+        }
+
+        #[test]
+        fn gomory_hu_answers_match_direct_flows(g in arb_digraph(), u in 0usize..12, v in 0usize..12) {
+            let n = g.num_nodes();
+            let (u, v) = (u % n, v % n);
+            prop_assume!(u != v);
+            let tree = GomoryHuTree::build(&g);
+            let mut net: dircut_graph::flow::FlowNetwork<f64> =
+                dircut_graph::flow::FlowNetwork::new(n);
+            for e in g.edges() {
+                net.add_undirected(e.from, e.to, e.weight);
+            }
+            let direct = net.max_flow(NodeId::new(u), NodeId::new(v));
+            let from_tree = tree.min_cut(NodeId::new(u), NodeId::new(v));
+            prop_assert!((direct - from_tree).abs() < 1e-6 * (1.0 + direct));
+        }
+
+        #[test]
+        fn edge_list_io_roundtrips(g in arb_digraph(), mask in any::<u64>()) {
+            let text = to_edge_list(&g);
+            let back = from_edge_list(&text).unwrap();
+            prop_assert_eq!(back.num_nodes(), g.num_nodes());
+            prop_assert_eq!(back.num_edges(), g.num_edges());
+            let s = subset_of(g.num_nodes(), mask);
+            prop_assert!((back.cut_out(&s) - g.cut_out(&s)).abs() < 1e-9);
+        }
+    }
+}
+
+mod flow_cross_validation {
+    use super::*;
+    use dircut_graph::push_relabel::max_flow_push_relabel;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn dinic_and_push_relabel_agree(g in arb_digraph(), src in 0usize..12, dst in 0usize..12) {
+            let n = g.num_nodes();
+            let (s, t) = (src % n, dst % n);
+            prop_assume!(s != t);
+            let a = max_flow_digraph(&g, NodeId::new(s), NodeId::new(t));
+            let b = max_flow_push_relabel(&g, NodeId::new(s), NodeId::new(t));
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a), "dinic {} vs pr {}", a, b);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Fast Walsh–Hadamard transforms.
+//!
+//! The unnormalized transform computes `y = H_d · x` in place in
+//! `O(d log d)` additions, where `H_d` is the Sylvester–Hadamard matrix
+//! of [`crate::hadamard::Hadamard`]. Because `H_d` is symmetric and
+//! `H_d² = d·I`, applying the transform twice multiplies by `d`, which
+//! the normalized variants undo.
+//!
+//! The 2-D transform `Y = H · X · H` (rows then columns) is the
+//! workhorse of the Lemma 3.2 encode/decode maps: the paper's encoding
+//! `x = Σ_{(i,j)} z_{(i,j)} · (H_i ⊗ H_j)` is exactly the 2-D transform
+//! of the coefficient matrix `Z`, and decoding `⟨w, M_{(i,j)}⟩` is the
+//! `(i,j)` entry of the 2-D transform of `w` viewed as a `d×d` matrix.
+
+/// In-place unnormalized fast Walsh–Hadamard transform: `v ← H·v`.
+///
+/// # Panics
+/// Panics if `v.len()` is not a power of two.
+pub fn fwht(v: &mut [f64]) {
+    let d = v.len();
+    assert!(d.is_power_of_two(), "FWHT length must be a power of two, got {d}");
+    let mut h = 1;
+    while h < d {
+        for block in v.chunks_exact_mut(2 * h) {
+            let (lo, hi) = block.split_at_mut(h);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (x, y) = (*a, *b);
+                *a = x + y;
+                *b = x - y;
+            }
+        }
+        h <<= 1;
+    }
+}
+
+/// In-place normalized transform: `v ← H·v / √d`, an involution.
+pub fn fwht_normalized(v: &mut [f64]) {
+    fwht(v);
+    let scale = 1.0 / (v.len() as f64).sqrt();
+    for x in v.iter_mut() {
+        *x *= scale;
+    }
+}
+
+/// In-place 2-D unnormalized transform of a row-major `d×d` matrix:
+/// `X ← H · X · H`.
+///
+/// # Panics
+/// Panics if `x.len() != d*d` or `d` is not a power of two.
+pub fn fwht2d(x: &mut [f64], d: usize) {
+    assert!(d.is_power_of_two(), "FWHT dimension must be a power of two, got {d}");
+    assert_eq!(x.len(), d * d, "matrix length {} != {d}×{d}", x.len());
+    // Transform each row: X ← X · H  (H symmetric, row transform).
+    for row in x.chunks_exact_mut(d) {
+        fwht(row);
+    }
+    // Transform each column: X ← H · X.
+    let mut col = vec![0.0; d];
+    for c in 0..d {
+        for r in 0..d {
+            col[r] = x[r * d + c];
+        }
+        fwht(&mut col);
+        for r in 0..d {
+            x[r * d + c] = col[r];
+        }
+    }
+}
+
+/// In-place 2-D normalized transform (`/ d`), an involution.
+pub fn fwht2d_normalized(x: &mut [f64], d: usize) {
+    fwht2d(x, d);
+    let scale = 1.0 / d as f64;
+    for v in x.iter_mut() {
+        *v *= scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hadamard::Hadamard;
+
+    fn naive_transform(v: &[f64]) -> Vec<f64> {
+        let d = v.len();
+        let h = Hadamard::of_order(d);
+        (0..d)
+            .map(|i| (0..d).map(|j| f64::from(h.entry(i, j)) * v[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_on_small_inputs() {
+        for log_d in 0..6 {
+            let d = 1usize << log_d;
+            let v: Vec<f64> = (0..d).map(|i| (i as f64).sin() + 1.0).collect();
+            let expected = naive_transform(&v);
+            let mut got = v.clone();
+            fwht(&mut got);
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert!((g - e).abs() < 1e-9, "d={d}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_transform_scales_by_d() {
+        let v: Vec<f64> = vec![3.0, -1.0, 4.0, 1.0, -5.0, 9.0, 2.0, -6.0];
+        let mut w = v.clone();
+        fwht(&mut w);
+        fwht(&mut w);
+        for (a, b) in w.iter().zip(v.iter()) {
+            assert!((a - b * 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_is_involution() {
+        let v: Vec<f64> = (0..16).map(|i| (i * i) as f64 - 7.0).collect();
+        let mut w = v.clone();
+        fwht_normalized(&mut w);
+        fwht_normalized(&mut w);
+        for (a, b) in w.iter().zip(v.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_holds_for_normalized_transform() {
+        let v: Vec<f64> = (0..32).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let before: f64 = v.iter().map(|x| x * x).sum();
+        let mut w = v;
+        fwht_normalized(&mut w);
+        let after: f64 = w.iter().map(|x| x * x).sum();
+        assert!((before - after).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fwht2d_matches_row_column_naive() {
+        let d = 8;
+        let x: Vec<f64> = (0..d * d).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let h = Hadamard::of_order(d);
+        // expected = H * X * H computed naively
+        let mut expected = vec![0.0; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                let mut s = 0.0;
+                for a in 0..d {
+                    for b in 0..d {
+                        s += f64::from(h.entry(i, a)) * x[a * d + b] * f64::from(h.entry(b, j));
+                    }
+                }
+                expected[i * d + j] = s;
+            }
+        }
+        let mut got = x;
+        fwht2d(&mut got, d);
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert!((g - e).abs() < 1e-7, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn fwht2d_normalized_is_involution() {
+        let d = 4;
+        let x: Vec<f64> = (0..d * d).map(|i| (i as f64).cos()).collect();
+        let mut w = x.clone();
+        fwht2d_normalized(&mut w, d);
+        fwht2d_normalized(&mut w, d);
+        for (a, b) in w.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut v = vec![1.0; 6];
+        fwht(&mut v);
+    }
+}

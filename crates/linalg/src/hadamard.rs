@@ -1,0 +1,167 @@
+//! Sylvester–Hadamard matrices.
+//!
+//! `H_{2^k}` is defined recursively by `H_1 = [1]` and
+//! `H_{2d} = [[H_d, H_d], [H_d, -H_d]]`, which collapses to the closed
+//! form `H[i][j] = (-1)^{popcount(i & j)}`. Row 0 is the all-ones row,
+//! every other row sums to zero, and distinct rows are orthogonal —
+//! exactly the properties Lemma 3.2 of the paper needs.
+
+/// A Sylvester–Hadamard matrix of order `d = 2^k`.
+///
+/// Entries are never materialized unless asked for: [`Hadamard::entry`]
+/// is an O(1) bit trick, and [`Hadamard::row`] produces a single row on
+/// demand. Use [`Hadamard::materialize`] only for tests or tiny orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hadamard {
+    log_order: u32,
+}
+
+impl Hadamard {
+    /// Creates `H_d` for `d = 2^log_order`.
+    ///
+    /// `log_order = 0` gives the trivial `H_1 = [1]`.
+    #[must_use]
+    pub fn new(log_order: u32) -> Self {
+        assert!(log_order < 32, "Hadamard order 2^{log_order} is unreasonably large");
+        Self { log_order }
+    }
+
+    /// Creates the Hadamard matrix of the given order.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a power of two.
+    #[must_use]
+    pub fn of_order(order: usize) -> Self {
+        assert!(order.is_power_of_two(), "Hadamard order must be a power of two, got {order}");
+        Self::new(order.trailing_zeros())
+    }
+
+    /// The order `d = 2^k` of the matrix.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        1usize << self.log_order
+    }
+
+    /// `log2` of the order.
+    #[must_use]
+    pub fn log_order(&self) -> u32 {
+        self.log_order
+    }
+
+    /// The entry `H[i][j] = (-1)^{popcount(i & j)}` as `±1`.
+    #[must_use]
+    pub fn entry(&self, i: usize, j: usize) -> i8 {
+        debug_assert!(i < self.order() && j < self.order());
+        if (i & j).count_ones().is_multiple_of(2) {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// The `i`-th row as a freshly allocated `±1` vector.
+    #[must_use]
+    pub fn row(&self, i: usize) -> Vec<i8> {
+        (0..self.order()).map(|j| self.entry(i, j)).collect()
+    }
+
+    /// Iterator over the entries of row `i` without allocating.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = i8> + '_ {
+        (0..self.order()).map(move |j| self.entry(i, j))
+    }
+
+    /// Materializes the full matrix (rows of `±1`). Test/debug helper.
+    #[must_use]
+    pub fn materialize(&self) -> Vec<Vec<i8>> {
+        (0..self.order()).map(|i| self.row(i)).collect()
+    }
+
+    /// Dot product of rows `i` and `j`; `d` when `i == j`, else `0`.
+    #[must_use]
+    pub fn row_dot(&self, i: usize, j: usize) -> i64 {
+        (0..self.order())
+            .map(|c| i64::from(self.entry(i, c)) * i64::from(self.entry(j, c)))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h1_is_trivial() {
+        let h = Hadamard::new(0);
+        assert_eq!(h.order(), 1);
+        assert_eq!(h.entry(0, 0), 1);
+    }
+
+    #[test]
+    fn h2_matches_definition() {
+        let h = Hadamard::new(1);
+        assert_eq!(h.materialize(), vec![vec![1, 1], vec![1, -1]]);
+    }
+
+    #[test]
+    fn h4_matches_recursive_definition() {
+        let h = Hadamard::new(2);
+        assert_eq!(
+            h.materialize(),
+            vec![
+                vec![1, 1, 1, 1],
+                vec![1, -1, 1, -1],
+                vec![1, 1, -1, -1],
+                vec![1, -1, -1, 1],
+            ]
+        );
+    }
+
+    #[test]
+    fn of_order_accepts_powers_of_two() {
+        assert_eq!(Hadamard::of_order(16).order(), 16);
+        assert_eq!(Hadamard::of_order(1).order(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn of_order_rejects_non_powers() {
+        let _ = Hadamard::of_order(12);
+    }
+
+    #[test]
+    fn first_row_is_all_ones() {
+        let h = Hadamard::new(4);
+        assert!(h.row(0).iter().all(|&e| e == 1));
+    }
+
+    #[test]
+    fn nontrivial_rows_sum_to_zero() {
+        let h = Hadamard::new(4);
+        for i in 1..h.order() {
+            let s: i64 = h.row_iter(i).map(i64::from).sum();
+            assert_eq!(s, 0, "row {i} does not sum to zero");
+        }
+    }
+
+    #[test]
+    fn rows_are_orthogonal() {
+        let h = Hadamard::new(3);
+        let d = h.order();
+        for i in 0..d {
+            for j in 0..d {
+                let expected = if i == j { d as i64 } else { 0 };
+                assert_eq!(h.row_dot(i, j), expected, "rows {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_matrix() {
+        let h = Hadamard::new(5);
+        for i in 0..h.order() {
+            for j in 0..h.order() {
+                assert_eq!(h.entry(i, j), h.entry(j, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The Lemma 3.2 matrix of the paper.
+//!
+//! For any `k ≥ 1` and `d = 2^k`, Lemma 3.2 builds a matrix
+//! `M ∈ {−1,1}^{(d−1)² × d²}` whose rows are `H_i ⊗ H_j` for all
+//! `i, j ∈ {1, …, d−1}` (0-indexed; the paper writes `2 ≤ i, j ≤ 2^k`),
+//! where `H` is the Sylvester–Hadamard matrix of order `d`. The rows
+//! satisfy:
+//!
+//! 1. `⟨M_t, 1⟩ = 0` — each row sums to zero,
+//! 2. `⟨M_t, M_t'⟩ = 0` for `t ≠ t'` — rows are orthogonal,
+//! 3. `M_t = u ⊗ v` with `⟨u, 1⟩ = ⟨v, 1⟩ = 0` — each row splits the
+//!    left and right node blocks into equal halves.
+//!
+//! The paper encodes a sign string `z ∈ {−1,1}^{(d−1)²}` into forward
+//! edge weights via `x = Σ_t z_t · M_t` and decodes bit `t` via
+//! `⟨w, M_t⟩ = z_t · ‖M_t‖² · ε = z_t / ε` after rescaling. Both maps
+//! are 2-D Walsh–Hadamard transforms and run in `O(d² log d)` here.
+
+use crate::fwht::fwht2d;
+use crate::hadamard::Hadamard;
+
+/// The sign split of a Lemma 3.2 row `M_t = h_A ⊗ h_B`.
+///
+/// `A` (respectively `B`) is the set of left (right) block positions
+/// where the sign is `+1`; the complements are the `−1` positions.
+/// Bob's decoder queries the four directed cuts `(A,B)`, `(Ā,B)`,
+/// `(A,B̄)`, `(Ā,B̄)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignSplit {
+    /// Left positions with sign `+1` (the set `A`).
+    pub a: Vec<usize>,
+    /// Left positions with sign `−1` (the set `Ā`).
+    pub a_bar: Vec<usize>,
+    /// Right positions with sign `+1` (the set `B`).
+    pub b: Vec<usize>,
+    /// Right positions with sign `−1` (the set `B̄`).
+    pub b_bar: Vec<usize>,
+}
+
+/// The Lemma 3.2 matrix for a given block size `d = 2^k = 1/ε`.
+///
+/// # Example
+///
+/// ```
+/// use dircut_linalg::Lemma32Matrix;
+///
+/// let m = Lemma32Matrix::new(8); // 1/ε = 8
+/// let z: Vec<i8> = (0..m.num_rows()).map(|t| if t % 2 == 0 { 1 } else { -1 }).collect();
+/// let x = m.encode(&z);                 // x = Σ_t z_t · M_t via 2-D FWHT
+/// let decoded = m.decode_all(&x);       // ⟨x, M_t⟩ = z_t · ‖M_t‖²
+/// assert!((decoded[3] - f64::from(z[3]) * m.row_norm_sq()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Lemma32Matrix {
+    h: Hadamard,
+}
+
+impl Lemma32Matrix {
+    /// Creates the matrix for block size `d = 2^k`.
+    ///
+    /// # Panics
+    /// Panics if `d < 2` or `d` is not a power of two.
+    #[must_use]
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 2, "Lemma 3.2 needs block size ≥ 2, got {d}");
+        Self { h: Hadamard::of_order(d) }
+    }
+
+    /// The block size `d` (the paper's `1/ε`).
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.h.order()
+    }
+
+    /// Number of rows, `(d−1)²` — the number of sign bits one block encodes.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        let d = self.block_size();
+        (d - 1) * (d - 1)
+    }
+
+    /// Length of each row, `d²` — the number of forward edges per block.
+    #[must_use]
+    pub fn row_len(&self) -> usize {
+        self.block_size() * self.block_size()
+    }
+
+    /// Squared norm of every row: `‖M_t‖² = d²`.
+    #[must_use]
+    pub fn row_norm_sq(&self) -> f64 {
+        (self.row_len()) as f64
+    }
+
+    /// Maps a row index `t` to the Hadamard row pair `(i, j)`, both in
+    /// `1..d`.
+    #[must_use]
+    pub fn row_pair(&self, t: usize) -> (usize, usize) {
+        assert!(t < self.num_rows(), "row index {t} out of range {}", self.num_rows());
+        let d1 = self.block_size() - 1;
+        (1 + t / d1, 1 + t % d1)
+    }
+
+    /// Entry `M_t[(a, b)] = H[i][a] · H[j][b]` as `±1`.
+    #[must_use]
+    pub fn entry(&self, t: usize, a: usize, b: usize) -> i8 {
+        let (i, j) = self.row_pair(t);
+        self.h.entry(i, a) * self.h.entry(j, b)
+    }
+
+    /// Materializes row `t` (row-major over `(a, b)`). `O(d²)`.
+    #[must_use]
+    pub fn row(&self, t: usize) -> Vec<f64> {
+        let d = self.block_size();
+        let (i, j) = self.row_pair(t);
+        let mut out = Vec::with_capacity(d * d);
+        for a in 0..d {
+            let ha = f64::from(self.h.entry(i, a));
+            for b in 0..d {
+                out.push(ha * f64::from(self.h.entry(j, b)));
+            }
+        }
+        out
+    }
+
+    /// The sign split `(A, Ā, B, B̄)` of row `t`.
+    ///
+    /// By property (3) of the lemma, `|A| = |Ā| = |B| = |B̄| = d/2`.
+    #[must_use]
+    pub fn sign_split(&self, t: usize) -> SignSplit {
+        let d = self.block_size();
+        let (i, j) = self.row_pair(t);
+        let mut split = SignSplit {
+            a: Vec::with_capacity(d / 2),
+            a_bar: Vec::with_capacity(d / 2),
+            b: Vec::with_capacity(d / 2),
+            b_bar: Vec::with_capacity(d / 2),
+        };
+        for a in 0..d {
+            if self.h.entry(i, a) == 1 {
+                split.a.push(a);
+            } else {
+                split.a_bar.push(a);
+            }
+        }
+        for b in 0..d {
+            if self.h.entry(j, b) == 1 {
+                split.b.push(b);
+            } else {
+                split.b_bar.push(b);
+            }
+        }
+        split
+    }
+
+    /// Encodes signs `z ∈ {−1,1}^{(d−1)²}` into `x = Σ_t z_t · M_t`.
+    ///
+    /// Computed as the 2-D Walsh–Hadamard transform of the coefficient
+    /// matrix whose `(i, j)` entry (for `i, j ≥ 1`) is `z_t`, in
+    /// `O(d² log d)`.
+    ///
+    /// # Panics
+    /// Panics if `z.len() != (d−1)²`.
+    #[must_use]
+    pub fn encode(&self, z: &[i8]) -> Vec<f64> {
+        let d = self.block_size();
+        assert_eq!(z.len(), self.num_rows(), "sign string length mismatch");
+        let mut coeff = vec![0.0; d * d];
+        let d1 = d - 1;
+        for (t, &zt) in z.iter().enumerate() {
+            debug_assert!(zt == 1 || zt == -1, "signs must be ±1");
+            let (i, j) = (1 + t / d1, 1 + t % d1);
+            coeff[i * d + j] = f64::from(zt);
+        }
+        fwht2d(&mut coeff, d);
+        coeff
+    }
+
+    /// Decodes all inner products `⟨w, M_t⟩` at once via one 2-D
+    /// transform in `O(d² log d)`.
+    ///
+    /// If `w = Σ_t z_t·M_t` exactly, the output is `z_t · d²`.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != d²`.
+    #[must_use]
+    pub fn decode_all(&self, w: &[f64]) -> Vec<f64> {
+        let d = self.block_size();
+        assert_eq!(w.len(), d * d, "weight vector length mismatch");
+        let mut m = w.to_vec();
+        fwht2d(&mut m, d);
+        let d1 = d - 1;
+        let mut out = Vec::with_capacity(self.num_rows());
+        for t in 0..self.num_rows() {
+            let (i, j) = (1 + t / d1, 1 + t % d1);
+            out.push(m[i * d + j]);
+        }
+        out
+    }
+
+    /// Decodes a single inner product `⟨w, M_t⟩` in `O(d²)`.
+    #[must_use]
+    pub fn decode_one(&self, w: &[f64], t: usize) -> f64 {
+        let d = self.block_size();
+        assert_eq!(w.len(), d * d, "weight vector length mismatch");
+        let (i, j) = self.row_pair(t);
+        let mut acc = 0.0;
+        for a in 0..d {
+            let ha = f64::from(self.h.entry(i, a));
+            let row = &w[a * d..(a + 1) * d];
+            let mut inner = 0.0;
+            for (b, &wv) in row.iter().enumerate() {
+                inner += f64::from(self.h.entry(j, b)) * wv;
+            }
+            acc += ha * inner;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::dot;
+
+    #[test]
+    fn row_count_and_length() {
+        let m = Lemma32Matrix::new(8);
+        assert_eq!(m.num_rows(), 49);
+        assert_eq!(m.row_len(), 64);
+    }
+
+    #[test]
+    fn rows_sum_to_zero() {
+        let m = Lemma32Matrix::new(8);
+        for t in 0..m.num_rows() {
+            let s: f64 = m.row(t).iter().sum();
+            assert_eq!(s, 0.0, "row {t}");
+        }
+    }
+
+    #[test]
+    fn rows_are_pairwise_orthogonal() {
+        let m = Lemma32Matrix::new(4);
+        for t in 0..m.num_rows() {
+            for t2 in 0..m.num_rows() {
+                let d = dot(&m.row(t), &m.row(t2));
+                let expected = if t == t2 { m.row_norm_sq() } else { 0.0 };
+                assert_eq!(d, expected, "rows {t},{t2}");
+            }
+        }
+    }
+
+    #[test]
+    fn sign_split_halves_are_balanced() {
+        let m = Lemma32Matrix::new(16);
+        for t in 0..m.num_rows() {
+            let s = m.sign_split(t);
+            assert_eq!(s.a.len(), 8);
+            assert_eq!(s.a_bar.len(), 8);
+            assert_eq!(s.b.len(), 8);
+            assert_eq!(s.b_bar.len(), 8);
+        }
+    }
+
+    #[test]
+    fn sign_split_matches_entries() {
+        let m = Lemma32Matrix::new(8);
+        for t in [0, 5, 13, m.num_rows() - 1] {
+            let s = m.sign_split(t);
+            for &a in &s.a {
+                for &b in &s.b {
+                    assert_eq!(m.entry(t, a, b), 1);
+                }
+                for &b in &s.b_bar {
+                    assert_eq!(m.entry(t, a, b), -1);
+                }
+            }
+            for &a in &s.a_bar {
+                for &b in &s.b {
+                    assert_eq!(m.entry(t, a, b), -1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_matches_naive_sum() {
+        let m = Lemma32Matrix::new(4);
+        let z: Vec<i8> = (0..m.num_rows()).map(|t| if t % 3 == 0 { 1 } else { -1 }).collect();
+        let fast = m.encode(&z);
+        let mut naive = vec![0.0; m.row_len()];
+        for (t, &zt) in z.iter().enumerate() {
+            for (dst, src) in naive.iter_mut().zip(m.row(t)) {
+                *dst += f64::from(zt) * src;
+            }
+        }
+        for (f, n) in fast.iter().zip(naive.iter()) {
+            assert!((f - n).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = Lemma32Matrix::new(8);
+        let z: Vec<i8> = (0..m.num_rows()).map(|t| if (t * 7) % 5 < 2 { 1 } else { -1 }).collect();
+        let x = m.encode(&z);
+        let decoded = m.decode_all(&x);
+        for (t, &zt) in z.iter().enumerate() {
+            let expected = f64::from(zt) * m.row_norm_sq();
+            assert!((decoded[t] - expected).abs() < 1e-8, "bit {t}");
+        }
+    }
+
+    #[test]
+    fn decode_one_agrees_with_decode_all() {
+        let m = Lemma32Matrix::new(8);
+        let w: Vec<f64> = (0..m.row_len()).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let all = m.decode_all(&w);
+        for t in [0, 3, 21, m.num_rows() - 1] {
+            assert!((m.decode_one(&w, t) - all[t]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn decode_is_tensor_inner_product() {
+        let m = Lemma32Matrix::new(4);
+        let w: Vec<f64> = (0..16).map(|i| (i as f64).sqrt()).collect();
+        for t in 0..m.num_rows() {
+            let direct = dot(&w, &m.row(t));
+            assert!((m.decode_one(&w, t) - direct).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_shift_is_invisible_to_decoder() {
+        // ⟨w + c·1, M_t⟩ = ⟨w, M_t⟩ because row sums are zero — this is
+        // why the paper can shift weights to make them positive.
+        let m = Lemma32Matrix::new(8);
+        let w: Vec<f64> = (0..m.row_len()).map(|i| (i % 5) as f64).collect();
+        let shifted: Vec<f64> = w.iter().map(|x| x + 123.456).collect();
+        let a = m.decode_all(&w);
+        let b = m.decode_all(&shifted);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

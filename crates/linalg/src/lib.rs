@@ -1,0 +1,35 @@
+//! Linear-algebra substrate for the lower-bound constructions of
+//! *Tight Lower Bounds for Directed Cut Sparsification and Distributed
+//! Min-Cut* (PODS 2024).
+//!
+//! The for-each lower bound (Section 3 of the paper) encodes a random
+//! sign string into edge weights through the rows of a special matrix
+//! `M` (Lemma 3.2) whose rows are tensor products of non-trivial rows of
+//! a Sylvester–Hadamard matrix. This crate provides:
+//!
+//! * [`hadamard`] — Sylvester–Hadamard matrices `H_{2^k}` with O(1)
+//!   entry access and lazy row views,
+//! * [`fwht`] — in-place fast Walsh–Hadamard transforms (1-D and 2-D),
+//!   used to apply `M` and `Mᵀ` in `O(d² log d)` instead of `O(d⁴)`,
+//! * [`tensor`] — tensor-product helpers and the
+//!   `⟨u ⊗ v, w ⊗ z⟩ = ⟨u,w⟩·⟨v,z⟩` identity used throughout the proofs,
+//! * [`lemma32`] — the Lemma 3.2 matrix itself: row access, the
+//!   sign-split `(A, B)` node sets Bob queries, and the fast
+//!   encode/decode maps `z ↦ Σ_t z_t M_t` and `w ↦ ⟨w, M_t⟩`.
+//!
+//! Everything is deterministic and allocation-conscious; the encode and
+//! decode maps are exercised by property tests for orthogonality,
+//! zero row sums, and exact round-tripping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fwht;
+pub mod hadamard;
+pub mod lemma32;
+pub mod tensor;
+
+pub use fwht::{fwht, fwht2d, fwht2d_normalized, fwht_normalized};
+pub use hadamard::Hadamard;
+pub use lemma32::{Lemma32Matrix, SignSplit};
+pub use tensor::{dot, tensor_dot, tensor_product};

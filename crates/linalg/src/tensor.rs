@@ -1,0 +1,81 @@
+//! Tensor-product helpers.
+//!
+//! The lower-bound proofs repeatedly use the identity
+//! `⟨u ⊗ v, w ⊗ z⟩ = ⟨u, w⟩ · ⟨v, z⟩` (Lemma 3.2) and the fact that for
+//! indicator vectors `1_A, 1_B`, the inner product `⟨w, 1_A ⊗ 1_B⟩` is
+//! the total weight of bipartite edges from `A` to `B`.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "dot of mismatched lengths {} vs {}", u.len(), v.len());
+    u.iter().zip(v).map(|(a, b)| a * b).sum()
+}
+
+/// The tensor (outer) product `u ⊗ v` flattened row-major:
+/// `(u ⊗ v)[i·|v| + j] = u[i] · v[j]`.
+#[must_use]
+pub fn tensor_product(u: &[f64], v: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(u.len() * v.len());
+    for &a in u {
+        for &b in v {
+            out.push(a * b);
+        }
+    }
+    out
+}
+
+/// Computes `⟨w, u ⊗ v⟩` without materializing `u ⊗ v`.
+///
+/// `w` is interpreted as a row-major `|u| × |v|` matrix.
+///
+/// # Panics
+/// Panics if `w.len() != u.len() * v.len()`.
+#[must_use]
+pub fn tensor_dot(w: &[f64], u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(w.len(), u.len() * v.len(), "tensor_dot shape mismatch");
+    w.chunks_exact(v.len())
+        .zip(u)
+        .map(|(row, &a)| a * dot(row, v))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn tensor_product_shape_and_values() {
+        let t = tensor_product(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(t, vec![3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn tensor_dot_matches_materialized() {
+        let u = [1.0, -2.0, 0.5];
+        let v = [2.0, 3.0];
+        let w: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let mat = tensor_product(&u, &v);
+        assert!((tensor_dot(&w, &u, &v) - dot(&w, &mat)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_inner_product_identity() {
+        // ⟨u⊗v, w⊗z⟩ = ⟨u,w⟩⟨v,z⟩
+        let u = [1.0, -1.0, 2.0];
+        let v = [0.5, 3.0];
+        let w = [2.0, 2.0, -1.0];
+        let z = [1.0, -4.0];
+        let lhs = dot(&tensor_product(&u, &v), &tensor_product(&w, &z));
+        let rhs = dot(&u, &w) * dot(&v, &z);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the Hadamard/FWHT/Lemma 3.2 machinery.
+
+use dircut_linalg::{fwht, fwht2d, fwht_normalized, tensor_dot, tensor_product, Hadamard, Lemma32Matrix};
+use proptest::prelude::*;
+
+fn pow2_len() -> impl Strategy<Value = usize> {
+    (0u32..8).prop_map(|k| 1usize << k)
+}
+
+fn vec_of_len(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn fwht_twice_scales_by_d(k in 0u32..8, seed in 0u64..1000) {
+        let d = 1usize << k;
+        let v: Vec<f64> = (0..d).map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f64 - 500.0).collect();
+        let mut w = v.clone();
+        fwht(&mut w);
+        fwht(&mut w);
+        for (a, b) in w.iter().zip(&v) {
+            prop_assert!((a - b * d as f64).abs() < 1e-6 * (1.0 + b.abs()) * d as f64);
+        }
+    }
+
+    #[test]
+    fn normalized_fwht_preserves_norm(v in pow2_len().prop_flat_map(vec_of_len)) {
+        let before: f64 = v.iter().map(|x| x * x).sum();
+        let mut w = v;
+        fwht_normalized(&mut w);
+        let after: f64 = w.iter().map(|x| x * x).sum();
+        prop_assert!((before - after).abs() <= 1e-7 * (1.0 + before));
+    }
+
+    #[test]
+    fn fwht_is_linear(k in 0u32..6, a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let d = 1usize << k;
+        let x: Vec<f64> = (0..d).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..d).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut combo: Vec<f64> = x.iter().zip(&y).map(|(p, q)| a * p + b * q).collect();
+        fwht(&mut combo);
+        let mut fx = x;
+        fwht(&mut fx);
+        let mut fy = y;
+        fwht(&mut fy);
+        for ((c, p), q) in combo.iter().zip(&fx).zip(&fy) {
+            prop_assert!((c - (a * p + b * q)).abs() < 1e-8 * (1.0 + c.abs()));
+        }
+    }
+
+    #[test]
+    fn hadamard_rows_orthogonal(k in 1u32..6, i in 0usize..32, j in 0usize..32) {
+        let h = Hadamard::new(k);
+        let d = h.order();
+        let (i, j) = (i % d, j % d);
+        let expected = if i == j { d as i64 } else { 0 };
+        prop_assert_eq!(h.row_dot(i, j), expected);
+    }
+
+    #[test]
+    fn tensor_dot_equals_materialized(
+        u in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        v in proptest::collection::vec(-3.0f64..3.0, 1..6),
+        seed in 0u64..100,
+    ) {
+        let w: Vec<f64> = (0..u.len() * v.len())
+            .map(|i| ((i as u64 * 31 + seed) % 17) as f64 - 8.0)
+            .collect();
+        let mat = tensor_product(&u, &v);
+        let direct: f64 = w.iter().zip(&mat).map(|(a, b)| a * b).sum();
+        prop_assert!((tensor_dot(&w, &u, &v) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma32_roundtrip(k in 1u32..5, seed in 0u64..10_000) {
+        let d = 1usize << k;
+        let m = Lemma32Matrix::new(d);
+        let z: Vec<i8> = (0..m.num_rows())
+            .map(|t| if (t as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) % 2 == 0 { 1 } else { -1 })
+            .collect();
+        let x = m.encode(&z);
+        let decoded = m.decode_all(&x);
+        for (t, &zt) in z.iter().enumerate() {
+            prop_assert!((decoded[t] - f64::from(zt) * m.row_norm_sq()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lemma32_decoder_ignores_constant_shifts(k in 1u32..5, shift in -1000.0f64..1000.0) {
+        let d = 1usize << k;
+        let m = Lemma32Matrix::new(d);
+        let w: Vec<f64> = (0..m.row_len()).map(|i| ((i * 7) % 13) as f64).collect();
+        let shifted: Vec<f64> = w.iter().map(|x| x + shift).collect();
+        let a = m.decode_all(&w);
+        let b = m.decode_all(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-5 * (1.0 + shift.abs()));
+        }
+    }
+
+    #[test]
+    fn lemma32_sign_splits_are_exact_halves(k in 1u32..6, t_seed in 0usize..1000) {
+        let d = 1usize << k;
+        let m = Lemma32Matrix::new(d);
+        let t = t_seed % m.num_rows();
+        let s = m.sign_split(t);
+        prop_assert_eq!(s.a.len(), d / 2);
+        prop_assert_eq!(s.a_bar.len(), d / 2);
+        prop_assert_eq!(s.b.len(), d / 2);
+        prop_assert_eq!(s.b_bar.len(), d / 2);
+        // Together they partition 0..d.
+        let mut all: Vec<usize> = s.a.iter().chain(&s.a_bar).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..d).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fwht2d_matches_row_then_column_1d(k in 1u32..5) {
+        let d = 1usize << k;
+        let x: Vec<f64> = (0..d * d).map(|i| ((i * 37) % 23) as f64 - 11.0).collect();
+        let mut fast = x.clone();
+        fwht2d(&mut fast, d);
+        // Naive: transform rows, then columns, with 1-D FWHTs.
+        let mut slow = x;
+        for row in slow.chunks_exact_mut(d) {
+            fwht(row);
+        }
+        for c in 0..d {
+            let mut col: Vec<f64> = (0..d).map(|r| slow[r * d + c]).collect();
+            fwht(&mut col);
+            for (r, v) in col.into_iter().enumerate() {
+                slow[r * d + c] = v;
+            }
+        }
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!((f - s).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Global min-cut estimation in the local query model (after
+//! \[BGMP21\]), in two variants:
+//!
+//! * [`SearchVariant::Original`] — the published algorithm: the halving
+//!   search over the guess `t` runs VERIFY-GUESS *at the target error
+//!   ε* at every step, and after the first acceptance descends by the
+//!   safety gap `κ(ε) = Θ(log n/ε²)` mandated by Lemma 5.8 before the
+//!   final call. The final call therefore runs at `t ≈ k·ε²/log n`,
+//!   costing `Õ(m/(ε⁴k))` queries.
+//! * [`SearchVariant::Modified`] — the paper's Section 5.4 fix
+//!   (Theorem 5.7): search with a *constant* error `β₀`, whose safety
+//!   gap is only `Θ(log n)`, then make a single ε-accurate call at
+//!   `t ≈ k/log n`, costing `Õ(m/(ε²k))`.
+//!
+//! Both descend by the gap their *contract* requires — Lemma 5.8 only
+//! promises rejection above `κ·k`, so a correct implementation cannot
+//! assume the first acceptance happened near `k`. This is exactly the
+//! source of the ε⁴ → ε² improvement the paper proves, and experiment
+//! E4 measures it.
+
+use crate::oracle::{CountingOracle, GraphOracle};
+use crate::verify_guess::{query_degrees, verify_guess, VerifyGuessConfig, VerifyGuessOutcome};
+use rand::Rng;
+
+/// Which search strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchVariant {
+    /// BGMP21 as published: ε-accurate VERIFY-GUESS during the search.
+    Original,
+    /// Theorem 5.7: constant-error `beta0` search, one final ε call.
+    Modified {
+        /// The constant search error β₀ (0.25 in the paper's spirit).
+        beta0: f64,
+    },
+}
+
+/// Result of a full min-cut estimation run.
+#[derive(Debug, Clone)]
+pub struct MinCutRunResult {
+    /// The `(1±ε)` min-cut estimate.
+    pub estimate: f64,
+    /// Total local queries (degree + neighbor + adjacency).
+    pub total_queries: u64,
+    /// Queries spent by the final (ε-accurate) VERIFY-GUESS call.
+    pub final_call_queries: u64,
+    /// Number of VERIFY-GUESS invocations.
+    pub verify_calls: usize,
+    /// The guess at which the search first accepted.
+    pub accepted_at: f64,
+}
+
+/// The safety gap κ the Lemma 5.8 contract forces for error `eps`:
+/// `κ(ε) = gap_constant·ln n / ε²`.
+#[must_use]
+pub fn safety_gap(n: usize, eps: f64, gap_constant: f64) -> f64 {
+    (gap_constant * (n.max(2) as f64).ln() / (eps * eps)).max(1.0)
+}
+
+/// Estimates the global min-cut of the unknown graph behind `oracle`
+/// to a `(1±ε)` factor, counting every local query.
+///
+/// # Panics
+/// Panics unless `0 < ε < 1` and the graph has ≥ 2 nodes.
+#[must_use]
+pub fn global_min_cut_local<O: GraphOracle, R: Rng>(
+    oracle: &O,
+    eps: f64,
+    variant: SearchVariant,
+    cfg: VerifyGuessConfig,
+    rng: &mut R,
+) -> MinCutRunResult {
+    assert!(eps > 0.0 && eps < 1.0, "ε must be in (0,1)");
+    let counting = CountingOracle::new(ForwardOracle { inner: oracle });
+    let n = counting.num_nodes();
+    assert!(n >= 2, "min-cut needs ≥ 2 nodes");
+    let degrees = query_degrees(&counting);
+
+    let search_eps = match variant {
+        SearchVariant::Original => eps,
+        SearchVariant::Modified { beta0 } => {
+            assert!(beta0 > 0.0 && beta0 < 1.0, "β₀ must be in (0,1)");
+            beta0
+        }
+    };
+
+    // Halving search. The min cut is at most the min degree.
+    let max_cut = degrees.iter().copied().min().unwrap_or(0).max(1) as f64;
+    let mut t = max_cut;
+    let mut verify_calls = 0usize;
+    let accepted_at;
+    loop {
+        let out = verify_guess(&counting, &degrees, t, search_eps, cfg, rng);
+        verify_calls += 1;
+        if out.accepted {
+            accepted_at = t;
+            break;
+        }
+        if t <= 1.0 {
+            // Even t = 1 rejected: the sampled graph was disconnected at
+            // p = 1, i.e. the true graph is disconnected.
+            let counts = counting.counts();
+            return MinCutRunResult {
+                estimate: 0.0,
+                total_queries: counts.total(),
+                final_call_queries: out.neighbor_queries,
+                verify_calls,
+                accepted_at: t,
+            };
+        }
+        t = (t / 2.0).max(1.0);
+    }
+
+    // Descend by the contract-mandated gap, then one ε-accurate call.
+    // (5.4: "set t = t/κ ... and return VERIFY-GUESS(D, t, ε)".)
+    let kappa = safety_gap(n, search_eps, 2.0);
+    let t_final = (accepted_at / kappa).max(0.5);
+    let final_out: VerifyGuessOutcome =
+        verify_guess(&counting, &degrees, t_final, eps, cfg, rng);
+    verify_calls += 1;
+
+    let counts = counting.counts();
+    MinCutRunResult {
+        estimate: final_out.estimate,
+        total_queries: counts.total(),
+        final_call_queries: final_out.neighbor_queries,
+        verify_calls,
+        accepted_at,
+    }
+}
+
+/// A by-reference adaptor so we can layer a [`CountingOracle`] over a
+/// caller-owned oracle without consuming it.
+struct ForwardOracle<'a, O> {
+    inner: &'a O,
+}
+
+impl<O: GraphOracle> GraphOracle for ForwardOracle<'_, O> {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+    fn degree(&self, u: dircut_graph::NodeId) -> usize {
+        self.inner.degree(u)
+    }
+    fn ith_neighbor(&self, u: dircut_graph::NodeId, i: usize) -> Option<dircut_graph::NodeId> {
+        self.inner.ith_neighbor(u, i)
+    }
+    fn adjacent(&self, u: dircut_graph::NodeId, v: dircut_graph::NodeId) -> bool {
+        self.inner.adjacent(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::AdjOracle;
+    use dircut_graph::generators::connected_gnp;
+    use dircut_graph::mincut::min_cut_unweighted;
+    use dircut_graph::{NodeId, UnGraph};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn both_variants_estimate_within_epsilon() {
+        let mut gen = ChaCha8Rng::seed_from_u64(0);
+        let g = connected_gnp(50, 0.35, &mut gen);
+        let k = min_cut_unweighted(&g) as f64;
+        let oracle = AdjOracle::new(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let eps = 0.3;
+        for variant in [SearchVariant::Original, SearchVariant::Modified { beta0: 0.25 }] {
+            let res = global_min_cut_local(&oracle, eps, variant, VerifyGuessConfig::default(), &mut rng);
+            assert!(
+                (res.estimate - k).abs() <= eps * k + 1e-9,
+                "{variant:?}: estimate {} vs k {k}",
+                res.estimate
+            );
+            assert!(res.verify_calls >= 2);
+        }
+    }
+
+    #[test]
+    fn modified_variant_uses_fewer_queries_at_small_epsilon() {
+        let mut gen = ChaCha8Rng::seed_from_u64(2);
+        let g = connected_gnp(60, 0.5, &mut gen);
+        let oracle = AdjOracle::new(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let eps = 0.1;
+        let orig = global_min_cut_local(
+            &oracle,
+            eps,
+            SearchVariant::Original,
+            VerifyGuessConfig::default(),
+            &mut rng,
+        );
+        let modi = global_min_cut_local(
+            &oracle,
+            eps,
+            SearchVariant::Modified { beta0: 0.25 },
+            VerifyGuessConfig::default(),
+            &mut rng,
+        );
+        assert!(
+            modi.total_queries <= orig.total_queries,
+            "modified {} > original {}",
+            modi.total_queries,
+            orig.total_queries
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_returns_zero() {
+        let mut g = UnGraph::new(6);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(2), NodeId::new(3));
+        g.add_edge(NodeId::new(4), NodeId::new(5));
+        let oracle = AdjOracle::new(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let res = global_min_cut_local(
+            &oracle,
+            0.3,
+            SearchVariant::Modified { beta0: 0.25 },
+            VerifyGuessConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(res.estimate, 0.0);
+    }
+
+    #[test]
+    fn query_accounting_includes_degree_queries() {
+        let mut gen = ChaCha8Rng::seed_from_u64(5);
+        let g = connected_gnp(30, 0.4, &mut gen);
+        let oracle = AdjOracle::new(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let res = global_min_cut_local(
+            &oracle,
+            0.4,
+            SearchVariant::Modified { beta0: 0.3 },
+            VerifyGuessConfig::default(),
+            &mut rng,
+        );
+        // At least the n degree queries plus some neighbor queries.
+        assert!(res.total_queries > 30);
+    }
+
+    #[test]
+    fn safety_gap_scales_with_inverse_epsilon_squared() {
+        let g1 = safety_gap(100, 0.2, 2.0);
+        let g2 = safety_gap(100, 0.1, 2.0);
+        assert!((g2 / g1 - 4.0).abs() < 1e-9);
+    }
+}

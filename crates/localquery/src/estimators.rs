@@ -1,0 +1,161 @@
+//! Sublinear estimators in the local query model.
+//!
+//! The min-cut algorithms need `m` (or the degree vector) to budget
+//! their sampling; when only the oracle is available, classic
+//! vertex-sampling estimators recover the edge count from a handful of
+//! degree queries. These are the standard warm-ups of the sublinear
+//! literature the paper's Section 5 model comes from [RSW18, ER18].
+
+use crate::oracle::GraphOracle;
+use dircut_graph::NodeId;
+use rand::Rng;
+
+/// Estimate of the average degree from `samples` uniform degree
+/// queries. Unbiased; relative error `O(σ_deg/(d̄·√samples))`.
+///
+/// # Panics
+/// Panics if `samples == 0` or the graph is empty.
+#[must_use]
+pub fn estimate_average_degree<O: GraphOracle, R: Rng>(
+    oracle: &O,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let n = oracle.num_nodes();
+    assert!(n > 0, "empty graph");
+    assert!(samples > 0, "need at least one sample");
+    let total: usize =
+        (0..samples).map(|_| oracle.degree(NodeId::new(rng.gen_range(0..n)))).sum();
+    total as f64 / samples as f64
+}
+
+/// Estimate of the edge count `m = n·d̄/2` from degree sampling.
+#[must_use]
+pub fn estimate_edge_count<O: GraphOracle, R: Rng>(
+    oracle: &O,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    estimate_average_degree(oracle, samples, rng) * oracle.num_nodes() as f64 / 2.0
+}
+
+/// Estimate of the number of triangles incident to sampled wedges —
+/// the standard wedge-sampling estimator: sample a vertex ∝ uniform,
+/// then two random neighbor slots, and test adjacency. Returns the
+/// estimated *global* triangle count (each triangle is counted from
+/// its 3 wedges at closing probability 1, so the wedge count scales
+/// back exactly).
+///
+/// # Panics
+/// Panics if `samples == 0`.
+#[must_use]
+pub fn estimate_triangles<O: GraphOracle, R: Rng>(
+    oracle: &O,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let n = oracle.num_nodes();
+    assert!(samples > 0, "need at least one sample");
+    // Total wedge count Σ_v C(deg v, 2) needs the degree vector; spend
+    // n degree queries (cheap next to the sampling phase).
+    let degrees: Vec<usize> = (0..n).map(|v| oracle.degree(NodeId::new(v))).collect();
+    let wedges: f64 = degrees.iter().map(|&d| (d * d.saturating_sub(1)) as f64 / 2.0).sum();
+    if wedges == 0.0 {
+        return 0.0;
+    }
+    // Sample wedges ∝ their center's wedge count.
+    let mut closed = 0usize;
+    for _ in 0..samples {
+        // Weighted center pick by C(deg, 2).
+        let mut pick = rng.gen_range(0.0..wedges);
+        let mut center = n - 1;
+        for (v, &d) in degrees.iter().enumerate() {
+            let w = (d * d.saturating_sub(1)) as f64 / 2.0;
+            if pick < w {
+                center = v;
+                break;
+            }
+            pick -= w;
+        }
+        let d = degrees[center];
+        if d < 2 {
+            continue;
+        }
+        let i = rng.gen_range(0..d);
+        let mut j = rng.gen_range(0..d - 1);
+        if j >= i {
+            j += 1;
+        }
+        let c = NodeId::new(center);
+        let (a, b) = (
+            oracle.ith_neighbor(c, i).expect("degree/neighbor inconsistency"),
+            oracle.ith_neighbor(c, j).expect("degree/neighbor inconsistency"),
+        );
+        if oracle.adjacent(a, b) {
+            closed += 1;
+        }
+    }
+    // Each triangle closes 3 of the `wedges` wedges.
+    (closed as f64 / samples as f64) * wedges / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{AdjOracle, CountingOracle};
+    use dircut_graph::generators::connected_gnp;
+    use dircut_graph::{NodeId as N, UnGraph};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn edge_count_estimator_is_accurate() {
+        let mut gen = ChaCha8Rng::seed_from_u64(0);
+        let g = connected_gnp(200, 0.2, &mut gen);
+        let oracle = AdjOracle::new(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let est = estimate_edge_count(&oracle, 400, &mut rng);
+        let truth = g.num_edges() as f64;
+        assert!((est - truth).abs() < 0.15 * truth, "est {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn estimator_spends_exactly_the_sampled_queries() {
+        let mut gen = ChaCha8Rng::seed_from_u64(2);
+        let g = connected_gnp(40, 0.3, &mut gen);
+        let oracle = CountingOracle::new(AdjOracle::new(&g));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let _ = estimate_edge_count(&oracle, 25, &mut rng);
+        assert_eq!(oracle.counts().degree, 25);
+        assert_eq!(oracle.counts().neighbor, 0);
+    }
+
+    #[test]
+    fn triangle_estimator_on_known_graphs() {
+        // K5 has C(5,3) = 10 triangles.
+        let mut g = UnGraph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge(N::new(u), N::new(v));
+            }
+        }
+        let oracle = AdjOracle::new(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let est = estimate_triangles(&oracle, 3000, &mut rng);
+        assert!((est - 10.0).abs() < 1.0, "est {est}");
+        // A star has none.
+        let mut star = UnGraph::new(6);
+        for v in 1..6 {
+            star.add_edge(N::new(0), N::new(v));
+        }
+        let est = estimate_triangles(&AdjOracle::new(&star), 500, &mut rng);
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn triangle_estimator_handles_degenerate_graphs() {
+        let g = UnGraph::new(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert_eq!(estimate_triangles(&AdjOracle::new(&g), 10, &mut rng), 0.0);
+    }
+}

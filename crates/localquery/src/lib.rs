@@ -1,0 +1,28 @@
+//! The local query model of Section 5 of the paper, plus the min-cut
+//! algorithms whose query complexity the paper bounds.
+//!
+//! * [`oracle`] — degree / i-th-neighbor / adjacency oracles with exact
+//!   per-type query counting,
+//! * [`verify_guess`] — the VERIFY-GUESS sub-routine (Lemma 5.8),
+//! * [`bgmp`] — the BGMP21 halving search, in its original
+//!   (`Õ(m/(ε⁴k))`) and the paper's modified (`Õ(m/(ε²k))`,
+//!   Theorem 5.7) variants,
+//! * [`multigraph`] — the model with parallel edges (blow-up instances
+//!   for the E4 scaling regime),
+//! * [`estimators`] — classic sublinear degree/edge/triangle estimators
+//!   in the same query model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgmp;
+pub mod estimators;
+pub mod multigraph;
+pub mod oracle;
+pub mod verify_guess;
+
+pub use estimators::{estimate_average_degree, estimate_edge_count, estimate_triangles};
+pub use multigraph::MultiAdjOracle;
+pub use bgmp::{global_min_cut_local, safety_gap, MinCutRunResult, SearchVariant};
+pub use oracle::{read_entire_graph, AdjOracle, CountingOracle, GraphOracle, QueryCounts};
+pub use verify_guess::{query_degrees, verify_guess, VerifyGuessConfig, VerifyGuessOutcome};

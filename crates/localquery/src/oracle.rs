@@ -1,0 +1,210 @@
+//! The local query model of Section 5 of the paper.
+//!
+//! The graph is unknown; algorithms may only issue three query types
+//! against an oracle: **degree** (`deg(u)`), **edge** (the `i`-th
+//! neighbor of `u`, or ⊥ past the degree), and **adjacency**
+//! (`{u,v} ∈ E?`). Complexity is the number of queries.
+
+use dircut_graph::{NodeId, UnGraph};
+use std::cell::Cell;
+
+/// An oracle answering the three local queries.
+pub trait GraphOracle {
+    /// Number of vertices (known to the algorithm in this model).
+    fn num_nodes(&self) -> usize;
+
+    /// Degree query.
+    fn degree(&self, u: NodeId) -> usize;
+
+    /// Edge query: the `i`-th neighbor of `u` (0-indexed), or `None`
+    /// (the paper's ⊥) if `i ≥ deg(u)`.
+    fn ith_neighbor(&self, u: NodeId, i: usize) -> Option<NodeId>;
+
+    /// Adjacency query.
+    fn adjacent(&self, u: NodeId, v: NodeId) -> bool;
+}
+
+/// Direct oracle over a concrete [`UnGraph`].
+#[derive(Debug, Clone)]
+pub struct AdjOracle<'a> {
+    graph: &'a UnGraph,
+}
+
+impl<'a> AdjOracle<'a> {
+    /// Wraps a graph.
+    #[must_use]
+    pub fn new(graph: &'a UnGraph) -> Self {
+        Self { graph }
+    }
+}
+
+impl GraphOracle for AdjOracle<'_> {
+    fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        self.graph.degree(u)
+    }
+
+    fn ith_neighbor(&self, u: NodeId, i: usize) -> Option<NodeId> {
+        self.graph.ith_neighbor(u, i)
+    }
+
+    fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        self.graph.has_edge(u, v)
+    }
+}
+
+/// Exact per-type query counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryCounts {
+    /// Degree queries issued.
+    pub degree: u64,
+    /// Edge (i-th neighbor) queries issued.
+    pub neighbor: u64,
+    /// Adjacency queries issued.
+    pub adjacency: u64,
+}
+
+impl QueryCounts {
+    /// Total queries across all three types.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.degree + self.neighbor + self.adjacency
+    }
+}
+
+/// Wraps any oracle, counting every query.
+#[derive(Debug)]
+pub struct CountingOracle<O> {
+    inner: O,
+    degree: Cell<u64>,
+    neighbor: Cell<u64>,
+    adjacency: Cell<u64>,
+}
+
+impl<O: GraphOracle> CountingOracle<O> {
+    /// Wraps `inner` with zeroed counters.
+    #[must_use]
+    pub fn new(inner: O) -> Self {
+        Self { inner, degree: Cell::new(0), neighbor: Cell::new(0), adjacency: Cell::new(0) }
+    }
+
+    /// Snapshot of the counters.
+    #[must_use]
+    pub fn counts(&self) -> QueryCounts {
+        QueryCounts {
+            degree: self.degree.get(),
+            neighbor: self.neighbor.get(),
+            adjacency: self.adjacency.get(),
+        }
+    }
+
+    /// Resets the counters to zero.
+    pub fn reset(&self) {
+        self.degree.set(0);
+        self.neighbor.set(0);
+        self.adjacency.set(0);
+    }
+}
+
+impl<O: GraphOracle> GraphOracle for CountingOracle<O> {
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        self.degree.set(self.degree.get() + 1);
+        self.inner.degree(u)
+    }
+
+    fn ith_neighbor(&self, u: NodeId, i: usize) -> Option<NodeId> {
+        self.neighbor.set(self.neighbor.get() + 1);
+        self.inner.ith_neighbor(u, i)
+    }
+
+    fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        self.adjacency.set(self.adjacency.get() + 1);
+        self.inner.adjacent(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> UnGraph {
+        let mut g = UnGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1));
+        g.add_edge(NodeId::new(1), NodeId::new(2));
+        g.add_edge(NodeId::new(2), NodeId::new(0));
+        g
+    }
+
+    #[test]
+    fn adj_oracle_answers_all_three_queries() {
+        let g = triangle();
+        let o = AdjOracle::new(&g);
+        assert_eq!(o.num_nodes(), 3);
+        assert_eq!(o.degree(NodeId::new(0)), 2);
+        assert_eq!(o.ith_neighbor(NodeId::new(0), 0), Some(NodeId::new(1)));
+        assert_eq!(o.ith_neighbor(NodeId::new(0), 2), None);
+        assert!(o.adjacent(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn counting_oracle_tracks_each_type() {
+        let g = triangle();
+        let o = CountingOracle::new(AdjOracle::new(&g));
+        let _ = o.degree(NodeId::new(0));
+        let _ = o.degree(NodeId::new(1));
+        let _ = o.ith_neighbor(NodeId::new(0), 0);
+        let _ = o.adjacent(NodeId::new(0), NodeId::new(2));
+        let c = o.counts();
+        assert_eq!(c.degree, 2);
+        assert_eq!(c.neighbor, 1);
+        assert_eq!(c.adjacency, 1);
+        assert_eq!(c.total(), 4);
+        o.reset();
+        assert_eq!(o.counts().total(), 0);
+    }
+
+    #[test]
+    fn read_entire_graph_reconstructs_and_counts() {
+        let g = triangle();
+        let o = CountingOracle::new(AdjOracle::new(&g));
+        let back = read_entire_graph(&o);
+        assert_eq!(back.num_edges(), 3);
+        assert!(back.has_edge(NodeId::new(0), NodeId::new(2)));
+        let c = o.counts();
+        assert_eq!(c.degree, 3);
+        assert_eq!(c.neighbor, 6); // both slots of each edge
+    }
+
+    #[test]
+    fn num_nodes_is_free() {
+        let g = triangle();
+        let o = CountingOracle::new(AdjOracle::new(&g));
+        let _ = o.num_nodes();
+        assert_eq!(o.counts().total(), 0);
+    }
+}
+
+/// Reconstructs the entire unknown graph by exhaustively spending
+/// `n` degree queries plus one neighbor query per edge slot — the
+/// trivial `Θ(m)` upper bound every lower bound is measured against.
+#[must_use]
+pub fn read_entire_graph<O: GraphOracle>(oracle: &O) -> UnGraph {
+    let n = oracle.num_nodes();
+    let mut g = UnGraph::new(n);
+    for u in 0..n {
+        let u_id = NodeId::new(u);
+        let deg = oracle.degree(u_id);
+        for i in 0..deg {
+            let v = oracle.ith_neighbor(u_id, i).expect("degree/neighbor inconsistency");
+            g.add_edge(u_id, v);
+        }
+    }
+    g
+}

@@ -1,0 +1,274 @@
+//! The VERIFY-GUESS sub-routine (Lemma 5.8 of the paper, after
+//! \[BGMP21\]).
+//!
+//! Given a guess `t` for the min-cut size `k`, sample every edge of
+//! the unknown graph independently with probability
+//! `p = min(1, C·ln n / (ε²·t))` through neighbor queries, compute the
+//! min-cut of the sampled skeleton, and scale back by `1/p`. Karger's
+//! sampling theorem gives:
+//!
+//! * if `t ≤ k`, the scaled estimate is a `(1±ε)`-approximation of `k`
+//!   w.h.p. and the guess is **accepted**;
+//! * if `t ≫ k`, the skeleton's min-cut is far below its accepted
+//!   level and the guess is **rejected**.
+//!
+//! The expected number of queries is `O(m·p) = O(m·ln n/(ε²·t))`.
+//!
+//! Edge sampling through slots: each undirected edge `{u,v}` owns two
+//! neighbor-query slots (`(u,i)` and `(v,j)`); sampling each slot with
+//! probability `q = 1 − √(1−p)` keeps the edge with probability
+//! exactly `p` while only touching slots the oracle model offers.
+
+use crate::oracle::GraphOracle;
+use dircut_graph::mincut::stoer_wagner;
+use dircut_graph::{DiGraph, NodeId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Tunable constants of VERIFY-GUESS. The paper's `2000·log n/ε²`-style
+/// constants are not optimized; defaults here are calibrated so the
+/// accept/reject contract holds empirically at experiment scale.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyGuessConfig {
+    /// The oversampling constant `C` in `p = C·ln n/(ε²·t)`.
+    pub oversample: f64,
+    /// Accept iff `estimate ≥ accept_fraction · t`.
+    pub accept_fraction: f64,
+}
+
+impl Default for VerifyGuessConfig {
+    fn default() -> Self {
+        Self { oversample: 6.0, accept_fraction: 0.5 }
+    }
+}
+
+/// Outcome of one VERIFY-GUESS call.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyGuessOutcome {
+    /// Whether the guess `t` was accepted (evidence that `t ≲ k`).
+    pub accepted: bool,
+    /// The scaled min-cut estimate `mincut(skeleton)/p`. Only a valid
+    /// `(1±ε)`-approximation of `k` when `t ≤ k` (Lemma 5.8 case 2).
+    pub estimate: f64,
+    /// The edge-sampling probability used.
+    pub sample_probability: f64,
+    /// Neighbor queries issued by this call.
+    pub neighbor_queries: u64,
+    /// Sampled slots contributing to the skeleton (≈ 2q·m in
+    /// expectation, where q = 1 − √(1−p) is the per-slot rate).
+    pub skeleton_edges: usize,
+}
+
+/// Runs VERIFY-GUESS(D, t, ε) against `oracle`.
+///
+/// `degrees` is the degree vector (the paper's `D`; obtain it with `n`
+/// degree queries, counted by the caller).
+///
+/// # Panics
+/// Panics unless `t > 0`, `0 < ε < 1`, and `degrees.len()` matches the
+/// oracle's node count.
+#[must_use]
+pub fn verify_guess<O: GraphOracle, R: Rng>(
+    oracle: &O,
+    degrees: &[usize],
+    t: f64,
+    eps: f64,
+    cfg: VerifyGuessConfig,
+    rng: &mut R,
+) -> VerifyGuessOutcome {
+    let n = oracle.num_nodes();
+    assert_eq!(degrees.len(), n, "degree vector length mismatch");
+    assert!(t > 0.0, "guess t must be positive");
+    assert!(eps > 0.0 && eps < 1.0, "ε must be in (0,1)");
+    let p = (cfg.oversample * (n.max(2) as f64).ln() / (eps * eps * t)).min(1.0);
+    // Per-slot probability so that P[edge kept] = p exactly.
+    let q = 1.0 - (1.0 - p).sqrt();
+
+    // The skeleton is a multigraph in general (parallel edges must be
+    // counted, not deduplicated): accumulate multiplicities per
+    // unordered node pair. Each *slot* sampled is one neighbor query;
+    // an undirected edge sampled from both endpoints counts once in
+    // the skeleton (that is what the q ↦ p conversion accounts for).
+    let mut neighbor_queries = 0u64;
+    let mut multiplicity: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut skeleton_edges = 0usize;
+    // Parallel edges make slot-to-edge pairing ambiguous, so every
+    // sampled slot simply contributes weight p/(2q): each edge owns two
+    // slots, so its expected skeleton weight is 2q·(p/2q) = p, and the
+    // weighted min-cut divided by p stays an unbiased per-cut estimate.
+    let slots_per_edge = 2.0 * q / p.max(f64::MIN_POSITIVE);
+    for (u, &deg) in degrees.iter().enumerate() {
+        let u_id = NodeId::new(u);
+        for i in 0..deg {
+            if p >= 1.0 || rng.gen_bool(q) {
+                neighbor_queries += 1;
+                let v = oracle
+                    .ith_neighbor(u_id, i)
+                    .expect("oracle degree/neighbor inconsistency");
+                let key = (u_id.0.min(v.0), u_id.0.max(v.0));
+                *multiplicity.entry(key).or_insert(0.0) += 1.0;
+                skeleton_edges += 1;
+            }
+        }
+    }
+
+    // Connectivity of the skeleton's support (unsampled vertices make
+    // the sampled min-cut zero).
+    let mut dsu: Vec<u32> = (0..n as u32).collect();
+    fn find(dsu: &mut [u32], x: u32) -> u32 {
+        let mut r = x;
+        while dsu[r as usize] != r {
+            r = dsu[r as usize];
+        }
+        let mut c = x;
+        while dsu[c as usize] != r {
+            let nx = dsu[c as usize];
+            dsu[c as usize] = r;
+            c = nx;
+        }
+        r
+    }
+    for &(a, b) in multiplicity.keys() {
+        let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, b));
+        if ra != rb {
+            dsu[ra as usize] = rb;
+        }
+    }
+    let root0 = find(&mut dsu, 0);
+    let connected = n < 2 || (1..n as u32).all(|v| find(&mut dsu, v) == root0);
+
+    // Min-cut of the sampled multigraph via Stoer–Wagner with
+    // multiplicities as weights. When p = 1 the count is exact; when
+    // p < 1 each slot hit is worth p/(2q) edges in expectation, so the
+    // weighted min-cut divided by p estimates the true min-cut.
+    let skeleton_mincut = if !connected {
+        0.0
+    } else {
+        let mut d = DiGraph::with_edge_capacity(n, multiplicity.len());
+        let mut pairs: Vec<(&(u32, u32), &f64)> = multiplicity.iter().collect();
+        pairs.sort_by_key(|(k, _)| **k);
+        for (&(a, b), &m) in pairs {
+            d.add_edge(NodeId::new(a as usize), NodeId::new(b as usize), m / slots_per_edge);
+        }
+        stoer_wagner(&d).value
+    };
+
+    let estimate = skeleton_mincut / p;
+    VerifyGuessOutcome {
+        accepted: estimate >= cfg.accept_fraction * t,
+        estimate,
+        sample_probability: p,
+        neighbor_queries,
+        skeleton_edges,
+    }
+}
+
+/// Convenience: the degree vector via `n` degree queries.
+#[must_use]
+pub fn query_degrees<O: GraphOracle>(oracle: &O) -> Vec<usize> {
+    (0..oracle.num_nodes()).map(|u| oracle.degree(NodeId::new(u))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{AdjOracle, CountingOracle};
+    use dircut_graph::generators::connected_gnp;
+    use dircut_graph::mincut::min_cut_unweighted;
+    use dircut_graph::UnGraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn instance(seed: u64) -> (UnGraph, u64) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = connected_gnp(40, 0.4, &mut rng);
+        let k = min_cut_unweighted(&g);
+        (g, k)
+    }
+
+    #[test]
+    fn small_guess_is_accepted_with_good_estimate() {
+        let (g, k) = instance(0);
+        let oracle = AdjOracle::new(&g);
+        let degrees = query_degrees(&oracle);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let eps = 0.3;
+        for trial in 0..5 {
+            let out = verify_guess(&oracle, &degrees, k as f64 / 2.0, eps, VerifyGuessConfig::default(), &mut rng);
+            assert!(out.accepted, "trial {trial}: rejected t = k/2");
+            assert!(
+                (out.estimate - k as f64).abs() <= eps * k as f64 + 1e-9,
+                "trial {trial}: estimate {} vs k {k}",
+                out.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn huge_guess_is_rejected() {
+        let (g, k) = instance(2);
+        let oracle = AdjOracle::new(&g);
+        let degrees = query_degrees(&oracle);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = (k as f64) * 200.0;
+        for trial in 0..5 {
+            let out =
+                verify_guess(&oracle, &degrees, t, 0.3, VerifyGuessConfig::default(), &mut rng);
+            assert!(!out.accepted, "trial {trial}: accepted t = 200k");
+        }
+    }
+
+    #[test]
+    fn queries_scale_inversely_with_t() {
+        let (g, _) = instance(4);
+        let oracle = CountingOracle::new(AdjOracle::new(&g));
+        let degrees = query_degrees(&oracle);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        oracle.reset();
+        let _ = verify_guess(&oracle, &degrees, 4.0, 0.5, VerifyGuessConfig::default(), &mut rng);
+        let q_small_t = oracle.counts().neighbor;
+        oracle.reset();
+        let _ = verify_guess(&oracle, &degrees, 800.0, 0.5, VerifyGuessConfig::default(), &mut rng);
+        let q_large_t = oracle.counts().neighbor;
+        // p is capped at 1 for t = 4; t = 64 should sample a strict subset.
+        assert!(q_large_t < q_small_t, "{q_large_t} !< {q_small_t}");
+    }
+
+    #[test]
+    fn sampling_probability_is_exactly_p_per_edge() {
+        // Statistical check of the slot-to-edge conversion.
+        let (g, _) = instance(6);
+        let oracle = AdjOracle::new(&g);
+        let degrees = query_degrees(&oracle);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let t = 500.0;
+        let eps = 0.4;
+        let cfg = VerifyGuessConfig::default();
+        let p = (cfg.oversample * (g.num_nodes() as f64).ln() / (eps * eps * t)).min(1.0);
+        assert!(p < 1.0, "test needs a non-trivial p, got {p}");
+        let reps = 200;
+        let mean_edges: f64 = (0..reps)
+            .map(|_| verify_guess(&oracle, &degrees, t, eps, cfg, &mut rng).skeleton_edges as f64)
+            .sum::<f64>()
+            / reps as f64;
+        let q = 1.0 - (1.0 - p).sqrt();
+        let expected = 2.0 * q * g.num_edges() as f64;
+        assert!(
+            (mean_edges - expected).abs() < 0.1 * expected,
+            "mean {mean_edges} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn full_sampling_gives_exact_min_cut() {
+        let (g, k) = instance(8);
+        let oracle = AdjOracle::new(&g);
+        let degrees = query_degrees(&oracle);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        // Tiny t forces p = 1 → skeleton is the whole graph.
+        let out = verify_guess(&oracle, &degrees, 0.5, 0.2, VerifyGuessConfig::default(), &mut rng);
+        assert_eq!(out.sample_probability, 1.0);
+        assert!((out.estimate - k as f64).abs() < 1e-9);
+        assert!(out.accepted);
+    }
+}

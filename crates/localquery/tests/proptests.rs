@@ -1,0 +1,106 @@
+//! Property-based tests for the local query model and VERIFY-GUESS.
+
+use dircut_graph::generators::connected_gnp;
+use dircut_graph::mincut::min_cut_unweighted;
+use dircut_graph::NodeId;
+use dircut_localquery::{
+    query_degrees, verify_guess, AdjOracle, CountingOracle, GraphOracle, MultiAdjOracle,
+    VerifyGuessConfig,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn full_sampling_recovers_exact_min_cut(n in 6usize..24, seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = connected_gnp(n, 0.4, &mut rng);
+        let k = min_cut_unweighted(&g);
+        let oracle = AdjOracle::new(&g);
+        let degrees = query_degrees(&oracle);
+        // Tiny t forces p = 1: the skeleton is the whole graph.
+        let out = verify_guess(&oracle, &degrees, 0.25, 0.3, VerifyGuessConfig::default(), &mut rng);
+        prop_assert_eq!(out.sample_probability, 1.0);
+        prop_assert!((out.estimate - k as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_counters_account_for_every_call(n in 4usize..20, seed in 0u64..10_000, reps in 1usize..20) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = connected_gnp(n, 0.5, &mut rng);
+        let oracle = CountingOracle::new(AdjOracle::new(&g));
+        use rand::Rng;
+        let (mut d, mut nb, mut adj) = (0u64, 0u64, 0u64);
+        for _ in 0..reps {
+            match rng.gen_range(0..3) {
+                0 => {
+                    let _ = oracle.degree(NodeId::new(rng.gen_range(0..n)));
+                    d += 1;
+                }
+                1 => {
+                    let _ = oracle.ith_neighbor(NodeId::new(rng.gen_range(0..n)), rng.gen_range(0..n));
+                    nb += 1;
+                }
+                _ => {
+                    let _ = oracle.adjacent(
+                        NodeId::new(rng.gen_range(0..n)),
+                        NodeId::new(rng.gen_range(0..n)),
+                    );
+                    adj += 1;
+                }
+            }
+        }
+        let c = oracle.counts();
+        prop_assert_eq!(c.degree, d);
+        prop_assert_eq!(c.neighbor, nb);
+        prop_assert_eq!(c.adjacency, adj);
+        prop_assert_eq!(c.total(), d + nb + adj);
+    }
+
+    #[test]
+    fn neighbor_queries_bounded_by_slot_count(n in 8usize..24, seed in 0u64..10_000, t in 1u32..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = connected_gnp(n, 0.5, &mut rng);
+        let oracle = CountingOracle::new(AdjOracle::new(&g));
+        let degrees = query_degrees(&oracle);
+        oracle.reset();
+        let out = verify_guess(&oracle, &degrees, f64::from(t), 0.4, VerifyGuessConfig::default(), &mut rng);
+        let slots: u64 = degrees.iter().map(|&d| d as u64).sum();
+        prop_assert!(out.neighbor_queries <= slots);
+        prop_assert_eq!(oracle.counts().neighbor, out.neighbor_queries);
+    }
+
+    #[test]
+    fn blowup_oracle_invariants(n in 3usize..12, mult in 1usize..20) {
+        let g = MultiAdjOracle::cycle_blowup(n, mult);
+        prop_assert_eq!(g.num_nodes(), n);
+        prop_assert_eq!(g.num_edges(), n * mult);
+        for u in 0..n {
+            let u_id = NodeId::new(u);
+            prop_assert_eq!(g.degree(u_id), 2 * mult);
+            prop_assert!(g.adjacent(u_id, NodeId::new((u + 1) % n)));
+            if n > 3 {
+                prop_assert!(!g.adjacent(u_id, NodeId::new((u + 2) % n)));
+            }
+            // Every slot resolves; one past the degree is ⊥.
+            for i in 0..g.degree(u_id) {
+                prop_assert!(g.ith_neighbor(u_id, i).is_some());
+            }
+            prop_assert!(g.ith_neighbor(u_id, g.degree(u_id)).is_none());
+        }
+    }
+
+    #[test]
+    fn blowup_estimate_matches_known_min_cut(n in 4usize..8, mult in 5usize..40, seed in 0u64..1000) {
+        // p = 1 regime: the estimate must be exactly 2·multiplicity.
+        let g = MultiAdjOracle::cycle_blowup(n, mult);
+        let degrees = query_degrees(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = verify_guess(&g, &degrees, 0.25, 0.3, VerifyGuessConfig::default(), &mut rng);
+        prop_assert_eq!(out.sample_probability, 1.0);
+        prop_assert!((out.estimate - 2.0 * mult as f64).abs() < 1e-9, "estimate {}", out.estimate);
+    }
+}

@@ -1,0 +1,256 @@
+//! Adversarial sketches for the lower-bound experiments.
+//!
+//! The paper's theorems say *no* sketch below a certain size (or above
+//! a certain error) can support the decoders. To make that observable,
+//! these sketches deliberately sit on the wrong side of the line:
+//!
+//! * [`NoisyOracle`] — answers every cut query with the exact value
+//!   perturbed by a deterministic-per-cut relative error of magnitude
+//!   `ε` (the worst case a `(1±ε)` sketch is allowed to be). Feeding it
+//!   to a decoder with a *larger* ε than the decoder tolerates shows
+//!   the decoding threshold.
+//! * [`BudgetedSketch`] — any-size straw man: stores only the heaviest
+//!   edges that fit a bit budget plus one global correction constant.
+//!   Below the paper's Ω(·) budget, decoders must start failing.
+
+use crate::edgelist::EdgeListSketch;
+use crate::serialize::SketchEncoder;
+use crate::traits::{CutOracle, CutSketch};
+use dircut_graph::{DiGraph, NodeSet};
+use std::hash::{Hash, Hasher};
+
+/// How the noisy oracle perturbs true cut values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseModel {
+    /// Always `±ε` relative, sign chosen pseudo-randomly per cut
+    /// (the worst case allowed by a `(1±ε)` guarantee).
+    SignedRelative,
+    /// Uniform relative error in `[−ε, ε]` per cut.
+    UniformRelative,
+}
+
+/// A cut oracle with exactly-`(1±ε)` answers, deterministic per cut.
+///
+/// The per-cut perturbation is derived by hashing the queried node set
+/// with a fixed seed, so repeated queries of the same cut are
+/// consistent — exactly how a real (deterministic-after-randomness)
+/// sketch behaves.
+#[derive(Debug, Clone)]
+pub struct NoisyOracle {
+    graph: DiGraph,
+    epsilon: f64,
+    seed: u64,
+    model: NoiseModel,
+}
+
+impl NoisyOracle {
+    /// Wraps a graph with `(1±ε)` noise.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ ε < 1`.
+    #[must_use]
+    pub fn new(graph: DiGraph, epsilon: f64, seed: u64, model: NoiseModel) -> Self {
+        assert!((0.0..1.0).contains(&epsilon), "ε must be in [0,1)");
+        Self { graph, epsilon, seed, model }
+    }
+
+    fn cut_hash(&self, s: &NodeSet) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        s.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl CutOracle for NoisyOracle {
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
+        let truth = self.graph.cut_out(s);
+        let h = self.cut_hash(s);
+        let rel = match self.model {
+            NoiseModel::SignedRelative => {
+                if h & 1 == 0 {
+                    self.epsilon
+                } else {
+                    -self.epsilon
+                }
+            }
+            NoiseModel::UniformRelative => {
+                // Map 53 high bits to [−ε, ε].
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+                (2.0 * u - 1.0) * self.epsilon
+            }
+        };
+        truth * (1.0 + rel)
+    }
+}
+
+/// A sketch truncated to a bit budget: keeps the heaviest edges that
+/// fit and one `f64` holding the total dropped weight (so estimates
+/// stay roughly unbiased for large cuts).
+#[derive(Debug, Clone)]
+pub struct BudgetedSketch {
+    inner: EdgeListSketch,
+    dropped_total: f64,
+    dropped_edges: usize,
+    total_edges: usize,
+    size_bits: usize,
+}
+
+impl BudgetedSketch {
+    /// Builds a sketch of at most `budget_bits` bits (plus a fixed
+    /// ~192-bit header) from the heaviest edges of `g`.
+    #[must_use]
+    pub fn new(g: &DiGraph, budget_bits: usize) -> Self {
+        let n = g.num_nodes();
+        let w = crate::serialize::index_width(n);
+        let per_edge = 2 * w as usize + 64;
+        let keep = budget_bits / per_edge;
+        let mut edges: Vec<(u32, u32, f64)> =
+            g.edges().iter().map(|e| (e.from.0, e.to.0, e.weight)).collect();
+        edges.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN weight"));
+        let dropped: Vec<_> = edges.split_off(keep.min(edges.len()));
+        let dropped_total: f64 = dropped.iter().map(|e| e.2).sum();
+        let inner = EdgeListSketch::new(n, edges);
+        let mut enc = SketchEncoder::new();
+        enc.put_f64(dropped_total);
+        enc.put_bits(dropped.len() as u64, 64);
+        let (_, header) = enc.finish();
+        let size_bits = inner.size_bits() + header;
+        Self {
+            inner,
+            dropped_total,
+            dropped_edges: dropped.len(),
+            total_edges: g.num_edges(),
+            size_bits,
+        }
+    }
+
+    /// How many edges were thrown away to meet the budget.
+    #[must_use]
+    pub fn dropped_edges(&self) -> usize {
+        self.dropped_edges
+    }
+
+    /// Fraction of edges retained.
+    #[must_use]
+    pub fn retention(&self) -> f64 {
+        if self.total_edges == 0 {
+            1.0
+        } else {
+            (self.total_edges - self.dropped_edges) as f64 / self.total_edges as f64
+        }
+    }
+}
+
+impl CutOracle for BudgetedSketch {
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
+        // Stored edges answered exactly; dropped mass approximated by
+        // assuming the average fraction of dropped edges crosses the
+        // cut in the queried direction (|S|·|V∖S| / n² of ordered
+        // pairs, halved for direction).
+        let n = s.universe() as f64;
+        let k = s.len() as f64;
+        let crossing_fraction = k * (n - k) / (n * n);
+        self.inner.cut_out_estimate(s) + self.dropped_total * crossing_fraction
+    }
+}
+
+impl CutSketch for BudgetedSketch {
+    fn size_bits(&self) -> usize {
+        self.size_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_graph::NodeId;
+
+    fn ring(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), 1.0 + i as f64);
+            g.add_edge(NodeId::new((i + 1) % n), NodeId::new(i), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn noisy_oracle_stays_within_epsilon() {
+        let g = ring(8);
+        let oracle = NoisyOracle::new(g.clone(), 0.1, 7, NoiseModel::UniformRelative);
+        for mask in 1u32..255 {
+            let s = NodeSet::from_indices(8, (0..8).filter(|i| mask >> i & 1 == 1));
+            let truth = g.cut_out(&s);
+            let est = oracle.cut_out_estimate(&s);
+            assert!((est - truth).abs() <= 0.1 * truth + 1e-12);
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_is_deterministic_per_cut() {
+        let g = ring(6);
+        let oracle = NoisyOracle::new(g, 0.2, 3, NoiseModel::SignedRelative);
+        let s = NodeSet::from_indices(6, [0, 3]);
+        assert_eq!(oracle.cut_out_estimate(&s), oracle.cut_out_estimate(&s));
+    }
+
+    #[test]
+    fn signed_noise_hits_both_signs() {
+        let g = ring(10);
+        let oracle = NoisyOracle::new(g.clone(), 0.5, 1, NoiseModel::SignedRelative);
+        let mut saw_high = false;
+        let mut saw_low = false;
+        for i in 0..10 {
+            let s = NodeSet::from_indices(10, [i]);
+            let truth = g.cut_out(&s);
+            let est = oracle.cut_out_estimate(&s);
+            if est > truth {
+                saw_high = true;
+            }
+            if est < truth {
+                saw_low = true;
+            }
+        }
+        assert!(saw_high && saw_low);
+    }
+
+    #[test]
+    fn zero_epsilon_noise_is_exact() {
+        let g = ring(6);
+        let oracle = NoisyOracle::new(g.clone(), 0.0, 9, NoiseModel::SignedRelative);
+        let s = NodeSet::from_indices(6, [1, 2]);
+        assert_eq!(oracle.cut_out_estimate(&s), g.cut_out(&s));
+    }
+
+    #[test]
+    fn budgeted_sketch_respects_budget() {
+        let g = ring(32);
+        for budget in [500usize, 2000, 8000] {
+            let sk = BudgetedSketch::new(&g, budget);
+            // inner header is 64 bits + our 128-bit header; allow that slack.
+            assert!(
+                sk.size_bits() <= budget + 64 + 128 + 74,
+                "size {} over budget {}",
+                sk.size_bits(),
+                budget
+            );
+        }
+    }
+
+    #[test]
+    fn huge_budget_keeps_everything_and_is_exact() {
+        let g = ring(8);
+        let sk = BudgetedSketch::new(&g, 1 << 20);
+        assert_eq!(sk.dropped_edges(), 0);
+        let s = NodeSet::from_indices(8, [0, 1, 2]);
+        assert!((sk.cut_out_estimate(&s) - g.cut_out(&s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_budget_drops_most_edges() {
+        let g = ring(64);
+        let sk = BudgetedSketch::new(&g, 300);
+        assert!(sk.retention() < 0.1, "retention {}", sk.retention());
+    }
+}

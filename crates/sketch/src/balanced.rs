@@ -1,0 +1,292 @@
+//! Cut sketches for β-balanced directed graphs — the upper bounds the
+//! paper's lower bounds are matched against.
+//!
+//! * [`BalancedForAllSketcher`] (after [IT18, CCPS21], Õ(nβ/ε²) target):
+//!   sample directed edges uniformly at a rate driven by the
+//!   *symmetrized* min-cut λ̃ with a `(1+β)` oversampling factor. For a
+//!   β-balanced graph every directed cut satisfies
+//!   `w(S,V∖S) ≥ λ̃/(1+β)`, so the classic Karger concentration
+//!   argument goes through with the extra β factor.
+//! * [`BalancedForEachSketcher`] (after [ACK+16, IT18], Õ(n√β/ε)
+//!   target): store every node's *exact* weighted out-degree
+//!   (`n` doubles) and estimate only the internal mass
+//!   `w(S, V∖S) = Σ_{u∈S} d⁺(u) − w(E(S,S))` from edges sampled at a
+//!   `1/ε` (not `1/ε²`) rate. Per-cut variance then rides on the
+//!   internal edges only, which is what buys the linear `1/ε`.
+//!
+//! Both are faithful-in-spirit single-level simplifications of the
+//! cited constructions (the originals recurse over strength
+//! decompositions); their guarantees are *measured* by the test suite
+//! and the E5 experiment rather than assumed. DESIGN.md records this
+//! substitution.
+
+use crate::edgelist::EdgeListSketch;
+use crate::serialize::{index_width, SketchEncoder};
+use crate::traits::{CutOracle, CutSketch, CutSketcher, SketchKind};
+use dircut_graph::mincut::stoer_wagner;
+use dircut_graph::{DiGraph, NodeId, NodeSet};
+use rand::Rng;
+
+/// The symmetrized (undirected) global min-cut λ̃ of a digraph.
+#[must_use]
+pub fn symmetrized_min_cut(g: &DiGraph) -> f64 {
+    stoer_wagner(g).value
+}
+
+/// For-all sketcher for β-balanced digraphs.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancedForAllSketcher {
+    /// Target relative error ε.
+    pub epsilon: f64,
+    /// The balance bound β the input graphs promise.
+    pub beta: f64,
+    /// Oversampling constant.
+    pub oversample: f64,
+}
+
+impl BalancedForAllSketcher {
+    /// Creates a sketcher with the default oversampling constant (3).
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1` and `β ≥ 1`.
+    #[must_use]
+    pub fn new(epsilon: f64, beta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
+        assert!(beta >= 1.0, "β must be ≥ 1");
+        Self { epsilon, beta, oversample: 3.0 }
+    }
+
+    /// The per-edge sampling probability for graph `g`.
+    #[must_use]
+    pub fn sample_probability(&self, g: &DiGraph) -> f64 {
+        let n = g.num_nodes() as f64;
+        let lambda = symmetrized_min_cut(g);
+        if lambda <= 0.0 {
+            return 1.0;
+        }
+        (self.oversample * (1.0 + self.beta) * n.ln()
+            / (self.epsilon * self.epsilon * lambda))
+            .min(1.0)
+    }
+}
+
+impl CutSketcher for BalancedForAllSketcher {
+    type Sketch = EdgeListSketch;
+
+    fn kind(&self) -> SketchKind {
+        SketchKind::ForAll
+    }
+
+    fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> EdgeListSketch {
+        let p = self.sample_probability(g);
+        let mut kept = Vec::new();
+        for e in g.edges() {
+            if p >= 1.0 || rng.gen_bool(p) {
+                kept.push((e.from.0, e.to.0, e.weight / p));
+            }
+        }
+        EdgeListSketch::new(g.num_nodes(), kept)
+    }
+}
+
+/// The sketch produced by [`BalancedForEachSketcher`]: exact weighted
+/// out-degrees plus a `1/ε`-rate edge sample for internal mass.
+#[derive(Debug, Clone)]
+pub struct DegreeSampleSketch {
+    n: usize,
+    out_degree: Vec<f64>,
+    sampled: Vec<(u32, u32, f64)>,
+    size_bits: usize,
+}
+
+impl DegreeSampleSketch {
+    fn new(n: usize, out_degree: Vec<f64>, sampled: Vec<(u32, u32, f64)>) -> Self {
+        let w = index_width(n);
+        let mut enc = SketchEncoder::new();
+        enc.put_bits(n as u64, 64);
+        for &d in &out_degree {
+            enc.put_f64(d);
+        }
+        for &(u, v, weight) in &sampled {
+            enc.put_node(u as usize, w);
+            enc.put_node(v as usize, w);
+            enc.put_f64(weight);
+        }
+        let (_, size_bits) = enc.finish();
+        Self { n, out_degree, sampled, size_bits }
+    }
+
+    /// Number of sampled edges retained.
+    #[must_use]
+    pub fn num_sampled_edges(&self) -> usize {
+        self.sampled.len()
+    }
+}
+
+impl CutOracle for DegreeSampleSketch {
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
+        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        let degree_sum: f64 = s.iter().map(|v| self.out_degree[v.index()]).sum();
+        let internal: f64 = self
+            .sampled
+            .iter()
+            .filter(|&&(u, v, _)| {
+                s.contains(NodeId::new(u as usize)) && s.contains(NodeId::new(v as usize))
+            })
+            .map(|&(_, _, w)| w)
+            .sum();
+        (degree_sum - internal).max(0.0)
+    }
+}
+
+impl CutSketch for DegreeSampleSketch {
+    fn size_bits(&self) -> usize {
+        self.size_bits
+    }
+}
+
+/// For-each sketcher for β-balanced digraphs with a `1/ε` sample rate.
+#[derive(Debug, Clone, Copy)]
+pub struct BalancedForEachSketcher {
+    /// Target relative error ε.
+    pub epsilon: f64,
+    /// The balance bound β the input graphs promise.
+    pub beta: f64,
+    /// Oversampling constant.
+    pub oversample: f64,
+}
+
+impl BalancedForEachSketcher {
+    /// Creates a sketcher with the default oversampling constant (2).
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1` and `β ≥ 1`.
+    #[must_use]
+    pub fn new(epsilon: f64, beta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
+        assert!(beta >= 1.0, "β must be ≥ 1");
+        Self { epsilon, beta, oversample: 2.0 }
+    }
+
+    /// The per-edge sampling probability for graph `g`: a `1/ε` rate
+    /// with a `√β` oversampling factor.
+    #[must_use]
+    pub fn sample_probability(&self, g: &DiGraph) -> f64 {
+        let n = g.num_nodes() as f64;
+        let lambda = symmetrized_min_cut(g);
+        if lambda <= 0.0 {
+            return 1.0;
+        }
+        (self.oversample * (1.0 + self.beta).sqrt() * n.ln() / (self.epsilon * lambda)).min(1.0)
+    }
+}
+
+impl CutSketcher for BalancedForEachSketcher {
+    type Sketch = DegreeSampleSketch;
+
+    fn kind(&self) -> SketchKind {
+        SketchKind::ForEach
+    }
+
+    fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> DegreeSampleSketch {
+        let n = g.num_nodes();
+        let p = self.sample_probability(g);
+        let out_degree: Vec<f64> = (0..n).map(|v| g.weighted_out_degree(NodeId::new(v))).collect();
+        let mut sampled = Vec::new();
+        for e in g.edges() {
+            if p >= 1.0 || rng.gen_bool(p) {
+                sampled.push((e.from.0, e.to.0, e.weight / p));
+            }
+        }
+        DegreeSampleSketch::new(n, out_degree, sampled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::max_relative_cut_error;
+    use dircut_graph::generators::random_balanced_digraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn for_all_sketch_preserves_all_cuts_of_balanced_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = random_balanced_digraph(12, 0.8, 3.0, &mut rng);
+        let sk = BalancedForAllSketcher::new(0.5, 3.0).sketch(&g, &mut rng);
+        let err = max_relative_cut_error(&g, &sk);
+        assert!(err < 0.6, "max relative error {err}");
+    }
+
+    #[test]
+    fn for_all_probability_grows_with_beta() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = random_balanced_digraph(14, 0.8, 8.0, &mut rng);
+        let p_small = BalancedForAllSketcher::new(0.3, 1.0).sample_probability(&g);
+        let p_large = BalancedForAllSketcher::new(0.3, 8.0).sample_probability(&g);
+        assert!(p_large >= p_small);
+    }
+
+    #[test]
+    fn for_each_sketch_estimates_fixed_cut_with_high_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random_balanced_digraph(16, 0.8, 2.0, &mut rng);
+        let sketcher = BalancedForEachSketcher::new(0.25, 2.0);
+        let s = NodeSet::from_indices(16, 0..8);
+        let truth = g.cut_out(&s);
+        let trials = 60;
+        let mut within = 0;
+        for _ in 0..trials {
+            let sk = sketcher.sketch(&g, &mut rng);
+            let est = sk.cut_out_estimate(&s);
+            if (est - truth).abs() <= 0.25 * truth {
+                within += 1;
+            }
+        }
+        // Definition 2.3 only demands 2/3; the simplified construction
+        // should clear it comfortably at this scale.
+        assert!(within * 3 >= trials * 2, "only {within}/{trials} within (1±ε)");
+    }
+
+    #[test]
+    fn for_each_estimator_is_unbiased() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = random_balanced_digraph(12, 0.7, 2.0, &mut rng);
+        let sketcher = BalancedForEachSketcher::new(0.3, 2.0);
+        let s = NodeSet::from_indices(12, [0, 2, 4, 6, 8, 10]);
+        let truth = g.cut_out(&s);
+        let reps = 400;
+        let mean: f64 =
+            (0..reps).map(|_| sketcher.sketch(&g, &mut rng).cut_out_estimate(&s)).sum::<f64>()
+                / reps as f64;
+        assert!((mean - truth).abs() < 0.05 * truth, "mean {mean} vs {truth}");
+    }
+
+    #[test]
+    fn for_each_sample_rate_is_linear_in_inverse_epsilon() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = random_balanced_digraph(20, 0.9, 2.0, &mut rng);
+        let p1 = BalancedForEachSketcher::new(0.4, 2.0).sample_probability(&g);
+        let p2 = BalancedForEachSketcher::new(0.2, 2.0).sample_probability(&g);
+        // Halving ε should double the rate (both below the cap here).
+        if p1 < 1.0 && p2 < 1.0 {
+            assert!((p2 / p1 - 2.0).abs() < 1e-9, "p2/p1 = {}", p2 / p1);
+        }
+    }
+
+    #[test]
+    fn sketch_kinds_are_reported() {
+        assert_eq!(BalancedForAllSketcher::new(0.2, 2.0).kind(), SketchKind::ForAll);
+        assert_eq!(BalancedForEachSketcher::new(0.2, 2.0).kind(), SketchKind::ForEach);
+    }
+
+    #[test]
+    fn degree_sketch_size_counts_degrees_and_samples() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = random_balanced_digraph(10, 0.6, 2.0, &mut rng);
+        let sk = BalancedForEachSketcher::new(0.4, 2.0).sketch(&g, &mut rng);
+        let expected_min = 64 + 10 * 64 + sk.num_sampled_edges() * (4 + 4 + 64);
+        assert_eq!(sk.size_bits(), expected_min);
+    }
+}

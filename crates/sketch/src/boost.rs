@@ -1,0 +1,125 @@
+//! Median-of-k success boosting.
+//!
+//! Footnotes 2 and 3 of the paper boost a sketch's 2/3 success
+//! probability to 99/100 by running the sketching and recovery
+//! algorithms `O(1)` times and taking the median; [`BoostedSketcher`]
+//! is that construction, costing a constant factor in size.
+
+use crate::traits::{CutOracle, CutSketch, CutSketcher, SketchKind};
+use dircut_graph::{DiGraph, NodeSet};
+use rand::Rng;
+
+/// `k` independent sketches queried together by median.
+#[derive(Debug, Clone)]
+pub struct BoostedSketch<S> {
+    replicas: Vec<S>,
+}
+
+impl<S: CutSketch> BoostedSketch<S> {
+    /// Number of replicas.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+impl<S: CutSketch> CutOracle for BoostedSketch<S> {
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
+        let mut vals: Vec<f64> =
+            self.replicas.iter().map(|r| r.cut_out_estimate(s)).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN estimate"));
+        let k = vals.len();
+        if k % 2 == 1 {
+            vals[k / 2]
+        } else {
+            (vals[k / 2 - 1] + vals[k / 2]) / 2.0
+        }
+    }
+}
+
+impl<S: CutSketch> CutSketch for BoostedSketch<S> {
+    fn size_bits(&self) -> usize {
+        self.replicas.iter().map(CutSketch::size_bits).sum()
+    }
+}
+
+/// Wraps any sketcher, producing `k` independent replicas.
+#[derive(Debug, Clone, Copy)]
+pub struct BoostedSketcher<A> {
+    inner: A,
+    k: usize,
+}
+
+impl<A: CutSketcher> BoostedSketcher<A> {
+    /// Boosts `inner` with `k` replicas (odd `k` recommended).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(inner: A, k: usize) -> Self {
+        assert!(k >= 1, "need at least one replica");
+        Self { inner, k }
+    }
+}
+
+impl<A: CutSketcher> CutSketcher for BoostedSketcher<A> {
+    type Sketch = BoostedSketch<A::Sketch>;
+
+    fn kind(&self) -> SketchKind {
+        self.inner.kind()
+    }
+
+    fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> Self::Sketch {
+        BoostedSketch { replicas: (0..self.k).map(|_| self.inner.sketch(g, rng)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balanced::BalancedForEachSketcher;
+    use dircut_graph::generators::random_balanced_digraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn boosting_multiplies_size_by_k() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = random_balanced_digraph(10, 0.7, 2.0, &mut rng);
+        let base = BalancedForEachSketcher::new(0.3, 2.0);
+        let boosted = BoostedSketcher::new(base, 5).sketch(&g, &mut rng);
+        assert_eq!(boosted.replicas(), 5);
+        // Sizes are random per replica but each ≥ the degree table.
+        assert!(boosted.size_bits() >= 5 * (64 + 10 * 64));
+    }
+
+    #[test]
+    fn boosting_tightens_per_cut_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = random_balanced_digraph(14, 0.8, 2.0, &mut rng);
+        let base = BalancedForEachSketcher::new(0.35, 2.0);
+        let s = NodeSet::from_indices(14, 0..7);
+        let truth = g.cut_out(&s);
+        let trials = 40;
+        let mut base_ok = 0;
+        let mut boosted_ok = 0;
+        for _ in 0..trials {
+            let est = base.sketch(&g, &mut rng).cut_out_estimate(&s);
+            if (est - truth).abs() <= 0.35 * truth {
+                base_ok += 1;
+            }
+            let est = BoostedSketcher::new(base, 7).sketch(&g, &mut rng).cut_out_estimate(&s);
+            if (est - truth).abs() <= 0.35 * truth {
+                boosted_ok += 1;
+            }
+        }
+        assert!(boosted_ok >= base_ok, "boosted {boosted_ok} < base {base_ok}");
+        assert!(boosted_ok * 10 >= trials * 9, "boosted only {boosted_ok}/{trials}");
+    }
+
+    #[test]
+    fn kind_passes_through() {
+        let base = BalancedForEachSketcher::new(0.3, 2.0);
+        assert_eq!(BoostedSketcher::new(base, 3).kind(), SketchKind::ForEach);
+    }
+}

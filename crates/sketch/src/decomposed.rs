@@ -1,0 +1,449 @@
+//! A two-level for-each cut sketch via strength decomposition — one
+//! structural level closer to the real \[ACK+16\]/\[IT18\] Õ(n√β/ε)
+//! construction than the flat [`crate::balanced::BalancedForEachSketcher`].
+//!
+//! The construction:
+//!
+//! 1. Partition the nodes into **τ-strong components** by recursively
+//!    splitting along (symmetrized) minimum cuts of value < τ — every
+//!    surviving component has internal min-cut ≥ τ, and the removed
+//!    cuts carry total weight < τ·(#components − 1).
+//! 2. **Cross-component edges are stored exactly** — their total
+//!    weight is bounded by the splitting, so this level costs
+//!    `O(τ·n)` weight-words.
+//! 3. Inside each strong component, store every node's exact
+//!    *intra-component* weighted out-degree and sample intra-component
+//!    edges at rate `p = min(1, c·ln n/(ε·τ))` — a `1/ε` rate, because
+//!    per-cut variance inside a τ-strong component rides on cuts of
+//!    value ≥ τ.
+//!
+//! A cut query recomposes: exact cross weight + per component
+//! `Σ_{u∈S∩C} d⁺_C(u) − ŵ(E_C(S∩C, S∩C))`.
+//!
+//! The real construction recurses over geometrically growing strengths;
+//! one level is enough to expose the structure and measure the
+//! guarantee (DESIGN.md logs the simplification).
+
+use crate::serialize::{index_width, SketchEncoder};
+use crate::traits::{CutOracle, CutSketch, CutSketcher, SketchKind};
+use dircut_graph::mincut::stoer_wagner;
+use dircut_graph::{DiGraph, NodeId, NodeSet};
+use rand::Rng;
+
+/// Partitions nodes into τ-strong components by recursive min-cut
+/// splitting of the symmetrization: every returned component of size
+/// ≥ 2 has internal (symmetrized) min-cut ≥ `tau`.
+#[must_use]
+pub fn strength_components(g: &DiGraph, tau: f64) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut component = vec![u32::MAX; n];
+    let mut next_id = 0u32;
+    // Start from weakly connected components.
+    let mut stack: Vec<Vec<usize>> = {
+        let mut seen = vec![false; n];
+        let mut groups = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut group = vec![start];
+            seen[start] = true;
+            let mut frontier = vec![start];
+            while let Some(u) = frontier.pop() {
+                let u_id = NodeId::new(u);
+                for &e in g.out_edges(u_id).iter().chain(g.in_edges(u_id)) {
+                    let edge = g.edge(e);
+                    for w in [edge.from.index(), edge.to.index()] {
+                        if !seen[w] {
+                            seen[w] = true;
+                            group.push(w);
+                            frontier.push(w);
+                        }
+                    }
+                }
+            }
+            groups.push(group);
+        }
+        groups
+    };
+
+    while let Some(group) = stack.pop() {
+        if group.len() == 1 {
+            component[group[0]] = next_id;
+            next_id += 1;
+            continue;
+        }
+        // Induced symmetrized subgraph on `group`.
+        let mut local_of = std::collections::HashMap::new();
+        for (i, &v) in group.iter().enumerate() {
+            local_of.insert(v, i);
+        }
+        let mut sub = DiGraph::new(group.len());
+        for e in g.edges() {
+            if let (Some(&a), Some(&b)) =
+                (local_of.get(&e.from.index()), local_of.get(&e.to.index()))
+            {
+                sub.add_edge(NodeId::new(a), NodeId::new(b), e.weight);
+            }
+        }
+        if sub.num_edges() == 0 {
+            for &v in &group {
+                component[v] = next_id;
+                next_id += 1;
+            }
+            continue;
+        }
+        let cut = stoer_wagner(&sub);
+        if cut.value >= tau {
+            for &v in &group {
+                component[v] = next_id;
+            }
+            next_id += 1;
+        } else {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            for (i, &v) in group.iter().enumerate() {
+                if cut.side.contains(NodeId::new(i)) {
+                    a.push(v);
+                } else {
+                    b.push(v);
+                }
+            }
+            stack.push(a);
+            stack.push(b);
+        }
+    }
+    component
+}
+
+/// The two-level sketch.
+#[derive(Debug, Clone)]
+pub struct DecomposedSketch {
+    n: usize,
+    /// Component id per node.
+    component: Vec<u32>,
+    /// Exact cross-component directed edges.
+    cross: Vec<(u32, u32, f64)>,
+    /// Exact intra-component weighted out-degree per node.
+    intra_out_degree: Vec<f64>,
+    /// Sampled intra-component edges (reweighted).
+    sampled: Vec<(u32, u32, f64)>,
+    size_bits: usize,
+}
+
+impl DecomposedSketch {
+    fn new(
+        n: usize,
+        component: Vec<u32>,
+        cross: Vec<(u32, u32, f64)>,
+        intra_out_degree: Vec<f64>,
+        sampled: Vec<(u32, u32, f64)>,
+    ) -> Self {
+        let w = index_width(n);
+        let cw = index_width(component.iter().map(|&c| c as usize + 1).max().unwrap_or(1));
+        let mut enc = SketchEncoder::new();
+        enc.put_bits(n as u64, 64);
+        for &c in &component {
+            enc.put_bits(u64::from(c), cw);
+        }
+        for &(u, v, weight) in cross.iter().chain(&sampled) {
+            enc.put_node(u as usize, w);
+            enc.put_node(v as usize, w);
+            enc.put_f64(weight);
+        }
+        for &d in &intra_out_degree {
+            enc.put_f64(d);
+        }
+        let (_, size_bits) = enc.finish();
+        Self { n, component, cross, intra_out_degree, sampled, size_bits }
+    }
+
+    /// Number of strong components.
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.component.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+    }
+
+    /// Number of exactly stored cross-component edges.
+    #[must_use]
+    pub fn num_cross_edges(&self) -> usize {
+        self.cross.len()
+    }
+
+    /// Number of sampled intra-component edges.
+    #[must_use]
+    pub fn num_sampled_edges(&self) -> usize {
+        self.sampled.len()
+    }
+}
+
+impl CutOracle for DecomposedSketch {
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
+        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        // Level 1: exact cross-component crossings.
+        let mut total: f64 = self
+            .cross
+            .iter()
+            .filter(|&&(u, v, _)| {
+                s.contains(NodeId::new(u as usize)) && !s.contains(NodeId::new(v as usize))
+            })
+            .map(|&(_, _, w)| w)
+            .sum();
+        // Level 2: per-node intra degrees minus estimated internal mass.
+        total += s
+            .iter()
+            .map(|v| self.intra_out_degree[v.index()])
+            .sum::<f64>();
+        total -= self
+            .sampled
+            .iter()
+            .filter(|&&(u, v, _)| {
+                s.contains(NodeId::new(u as usize)) && s.contains(NodeId::new(v as usize))
+            })
+            .map(|&(_, _, w)| w)
+            .sum::<f64>();
+        total.max(0.0)
+    }
+}
+
+impl CutSketch for DecomposedSketch {
+    fn size_bits(&self) -> usize {
+        self.size_bits
+    }
+}
+
+/// Sketcher producing [`DecomposedSketch`]es.
+#[derive(Debug, Clone, Copy)]
+pub struct DecomposedForEachSketcher {
+    /// Target relative error ε.
+    pub epsilon: f64,
+    /// The balance bound β of the inputs (scales the strength threshold).
+    pub beta: f64,
+    /// Strength threshold τ (None = automatic `√β/ε`, the paper's block
+    /// connectivity scale).
+    pub tau: Option<u32>,
+    /// Oversampling constant for the intra-component rate.
+    pub oversample: f64,
+}
+
+impl DecomposedForEachSketcher {
+    /// Creates a sketcher with automatic threshold and default
+    /// oversampling (2).
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1` and `β ≥ 1`.
+    #[must_use]
+    pub fn new(epsilon: f64, beta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
+        assert!(beta >= 1.0, "β must be ≥ 1");
+        Self { epsilon, beta, tau: None, oversample: 2.0 }
+    }
+
+    /// The strength threshold τ (weight units) for graph `g`: an
+    /// explicit `tau` if set, otherwise the graph's own symmetrized
+    /// min-cut (floored at `√β/ε`) — with the automatic choice the
+    /// whole graph is one strong component and the construction
+    /// degrades gracefully to the flat degree+sample sketch; setting
+    /// `tau` *above* the global min-cut engages the decomposition and
+    /// is the knob for heterogeneous (clustered) graphs.
+    #[must_use]
+    pub fn resolve_tau(&self, g: &DiGraph) -> f64 {
+        match self.tau {
+            Some(t) => f64::from(t),
+            None => stoer_wagner(g).value.max(self.beta.sqrt() / self.epsilon),
+        }
+    }
+
+    /// The intra-component sampling rate at threshold `tau`.
+    #[must_use]
+    pub fn sample_probability(&self, n: usize, tau: f64) -> f64 {
+        (self.oversample * (n.max(2) as f64).ln() / (self.epsilon * tau.max(1.0))).min(1.0)
+    }
+}
+
+impl CutSketcher for DecomposedForEachSketcher {
+    type Sketch = DecomposedSketch;
+
+    fn kind(&self) -> SketchKind {
+        SketchKind::ForEach
+    }
+
+    fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> DecomposedSketch {
+        let n = g.num_nodes();
+        let tau = self.resolve_tau(g);
+        let component = strength_components(g, tau);
+        let p = self.sample_probability(n, tau);
+        let mut cross = Vec::new();
+        let mut sampled = Vec::new();
+        let mut intra_out_degree = vec![0.0f64; n];
+        for e in g.edges() {
+            if component[e.from.index()] == component[e.to.index()] {
+                intra_out_degree[e.from.index()] += e.weight;
+                if p >= 1.0 || rng.gen_bool(p) {
+                    sampled.push((e.from.0, e.to.0, e.weight / p));
+                }
+            } else {
+                cross.push((e.from.0, e.to.0, e.weight));
+            }
+        }
+        DecomposedSketch::new(n, component, cross, intra_out_degree, sampled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_graph::generators::random_balanced_digraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Two dense balanced clusters joined by thin connections: the
+    /// decomposition should find ≥ 2 strong components.
+    fn clustered(n_half: usize, beta: f64, seed: u64) -> DiGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = 2 * n_half;
+        let mut g = DiGraph::new(n);
+        for base in [0, n_half] {
+            for i in 0..n_half {
+                for j in 0..n_half {
+                    if i != j {
+                        let w = rng.gen_range(1.0..2.0);
+                        g.add_edge(NodeId::new(base + i), NodeId::new(base + j), w / beta);
+                        // forward direction heavier to exercise balance
+                        let _ = w;
+                    }
+                }
+            }
+        }
+        // Thin bridge, both directions.
+        for b in 0..2 {
+            g.add_edge(NodeId::new(b), NodeId::new(n_half + b), 1.0);
+            g.add_edge(NodeId::new(n_half + b), NodeId::new(b), 1.0 / beta);
+        }
+        g
+    }
+
+    #[test]
+    fn decomposition_separates_clusters() {
+        let g = clustered(10, 2.0, 0);
+        let sketcher = DecomposedForEachSketcher { epsilon: 0.3, beta: 2.0, tau: Some(4), oversample: 2.0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sk = sketcher.sketch(&g, &mut rng);
+        assert!(sk.num_components() >= 2, "found {} components", sk.num_components());
+        // The bridges (and only low-label edges) are stored exactly.
+        assert!(sk.num_cross_edges() >= 4);
+        assert!(sk.num_cross_edges() < g.num_edges() / 2);
+    }
+
+    #[test]
+    fn full_rate_sketch_is_exact_on_every_cut() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random_balanced_digraph(10, 0.7, 2.0, &mut rng);
+        // Force p = 1 via a huge oversample.
+        let sketcher = DecomposedForEachSketcher { epsilon: 0.3, beta: 2.0, tau: Some(3), oversample: 1e9 };
+        let sk = sketcher.sketch(&g, &mut rng);
+        for mask in 1u32..(1 << 9) {
+            let s = NodeSet::from_indices(10, (0..9).filter(|i| mask >> i & 1 == 1).map(|i| i + 1));
+            let truth = g.cut_out(&s);
+            assert!(
+                (sk.cut_out_estimate(&s) - truth).abs() < 1e-9,
+                "mask {mask}: {} vs {truth}",
+                sk.cut_out_estimate(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn estimator_is_unbiased_per_cut() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = random_balanced_digraph(14, 0.8, 2.0, &mut rng);
+        let sketcher = DecomposedForEachSketcher::new(0.4, 2.0);
+        let s = NodeSet::from_indices(14, 0..7);
+        let truth = g.cut_out(&s);
+        let reps = 300;
+        let mean: f64 = (0..reps)
+            .map(|_| sketcher.sketch(&g, &mut rng).cut_out_estimate(&s))
+            .sum::<f64>()
+            / reps as f64;
+        assert!((mean - truth).abs() < 0.05 * truth, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn per_cut_error_meets_the_for_each_bar() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = random_balanced_digraph(16, 0.9, 4.0, &mut rng);
+        let eps = 0.3;
+        let sketcher = DecomposedForEachSketcher::new(eps, 4.0);
+        let s = NodeSet::from_indices(16, [0, 2, 5, 7, 8, 11, 13]);
+        let truth = g.cut_out(&s);
+        let trials = 60;
+        let within = (0..trials)
+            .filter(|_| {
+                let est = sketcher.sketch(&g, &mut rng).cut_out_estimate(&s);
+                (est - truth).abs() <= eps * truth
+            })
+            .count();
+        assert!(within * 3 >= trials * 2, "only {within}/{trials} within (1±ε)");
+    }
+
+    #[test]
+    fn cross_weight_bounded_by_tau_times_components() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = random_balanced_digraph(20, 0.3, 2.0, &mut rng);
+        let tau = 6u32;
+        let sketcher = DecomposedForEachSketcher { epsilon: 0.3, beta: 2.0, tau: Some(tau), oversample: 2.0 };
+        let sk = sketcher.sketch(&g, &mut rng);
+        // Every split removed a symmetrized cut of weight < τ and there
+        // are at most (#components − 1) splits.
+        let cross_weight: f64 = g
+            .edges()
+            .iter()
+            .filter(|e| {
+                // recompute: an edge is cross iff endpoints differ in comp
+                let comps = strength_components(&g, f64::from(tau));
+                comps[e.from.index()] != comps[e.to.index()]
+            })
+            .map(|e| e.weight)
+            .sum();
+        let bound = f64::from(tau) * (sk.num_components().max(1) as f64 - 1.0);
+        assert!(
+            cross_weight <= bound + 1e-9,
+            "cross weight {cross_weight} exceeds τ(c−1) = {bound}"
+        );
+    }
+
+    #[test]
+    fn strength_components_have_internal_min_cut_at_least_tau() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = random_balanced_digraph(14, 0.4, 2.0, &mut rng);
+        let tau = 5.0;
+        let comps = strength_components(&g, tau);
+        let num = comps.iter().map(|&c| c as usize + 1).max().unwrap();
+        for c in 0..num as u32 {
+            let members: Vec<usize> =
+                (0..g.num_nodes()).filter(|&v| comps[v] == c).collect();
+            if members.len() < 2 {
+                continue;
+            }
+            // Induced symmetrized min cut ≥ τ.
+            let mut local = std::collections::HashMap::new();
+            for (i, &v) in members.iter().enumerate() {
+                local.insert(v, i);
+            }
+            let mut sub = DiGraph::new(members.len());
+            for e in g.edges() {
+                if let (Some(&a), Some(&b)) =
+                    (local.get(&e.from.index()), local.get(&e.to.index()))
+                {
+                    sub.add_edge(NodeId::new(a), NodeId::new(b), e.weight);
+                }
+            }
+            let cut = dircut_graph::mincut::stoer_wagner(&sub);
+            assert!(cut.value >= tau - 1e-9, "component {c} has min-cut {}", cut.value);
+        }
+    }
+
+    #[test]
+    fn sketch_kind_is_for_each() {
+        assert_eq!(DecomposedForEachSketcher::new(0.2, 1.0).kind(), SketchKind::ForEach);
+    }
+}

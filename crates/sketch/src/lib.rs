@@ -1,0 +1,48 @@
+//! Cut sketches for (balanced, directed) graphs.
+//!
+//! The upper-bound side of the paper: data structures that answer
+//! directed cut queries `w(S, V∖S)` approximately, with honest
+//! bit-level size accounting, in both the **for-each** (Definition 2.3)
+//! and **for-all** (Definition 2.2) models.
+//!
+//! * [`traits`] — [`CutOracle`] / [`CutSketch`] / [`CutSketcher`],
+//! * [`edgelist`] — sparsifier-shaped sketches,
+//! * [`sampling`] — Karger uniform and Benczúr–Karger/NI strength
+//!   sampling (undirected-style for-all),
+//! * [`balanced`] — the β-balanced digraph sketches the paper's lower
+//!   bounds are matched against (Õ(nβ/ε²) for-all, Õ(n√β/ε) for-each),
+//! * [`decomposed`] — the two-level strength-decomposition for-each
+//!   sketch (one recursion level of the real \[ACK+16\] construction),
+//! * [`linear`] — mergeable linear (Rademacher/JL) sketches of the cut
+//!   quadratic form, the \[AGM12\]/\[ACK+16\] lineage,
+//! * [`adversarial`] — worst-case `(1±ε)` noisy oracles and bit-budget
+//!   truncated sketches for the lower-bound experiments,
+//! * [`streaming`] — insert-only streaming sparsifiers and fully
+//!   dynamic (turnstile) linear sketches with exact delete
+//!   cancellation,
+//! * [`boost`] — median-of-k success boosting (footnotes 2–3),
+//! * [`serialize`] — exact bit counting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod balanced;
+pub mod boost;
+pub mod decomposed;
+pub mod edgelist;
+pub mod linear;
+pub mod sampling;
+pub mod streaming;
+pub mod serialize;
+pub mod traits;
+
+pub use adversarial::{BudgetedSketch, NoiseModel, NoisyOracle};
+pub use balanced::{BalancedForAllSketcher, BalancedForEachSketcher, DegreeSampleSketch};
+pub use boost::{BoostedSketch, BoostedSketcher};
+pub use decomposed::{DecomposedForEachSketcher, DecomposedSketch};
+pub use edgelist::EdgeListSketch;
+pub use linear::{LinearCutSketch, LinearSketcher};
+pub use sampling::{StrengthSketcher, UniformSketcher};
+pub use streaming::{StreamingSparsifier, TurnstileLinearSketch};
+pub use traits::{CutOracle, CutSketch, CutSketcher, ExactOracle, SketchKind};

@@ -1,0 +1,294 @@
+//! Linear cut sketches — sketching quadratic forms, the \[ACK+16\] and
+//! \[AGM12\] upper-bound lineage the paper builds on.
+//!
+//! For the undirected (symmetrized) cut, `cut(S) = ¼‖B·x_S‖²` where
+//! `B` is the `√w`-scaled signed incidence matrix and
+//! `x_S = 1_S − 1_{V∖S} ∈ {±1}ⁿ`. A Rademacher sketch `Π ∈ {±1}^{k×m}`
+//! compressed as `M = ΠB ∈ ℝ^{k×n}` supports the *for-each* estimate
+//! `ĉut(S) = ‖M·x_S‖² / (4k)`: unbiased, with relative standard
+//! deviation `O(1/√k)` per fixed cut, so `k = Θ(1/ε²)` rows give the
+//! Definition 2.3 guarantee. Being a *linear* function of the edge
+//! multiset, sketches of edge-disjoint subgraphs **merge by matrix
+//! addition** — the property that makes linear measurements the tool
+//! of choice for distributed and streaming graphs [AGM12, McG14].
+//!
+//! The same sketch does *not* give a for-all guarantee at `k = O(1/ε²)`
+//! (there are exponentially many cuts; the test suite exhibits the
+//! failure), which is the for-each/for-all separation of the paper in
+//! upper-bound form.
+
+use crate::serialize::SketchEncoder;
+use crate::traits::{CutOracle, CutSketch, CutSketcher, SketchKind};
+use dircut_graph::{DiGraph, NodeSet};
+use rand::Rng;
+
+/// A sketched graph: `M = ΠB` plus the row count.
+#[derive(Debug, Clone)]
+pub struct LinearCutSketch {
+    /// Row-major `k×n` matrix `ΠB`.
+    m: Vec<f64>,
+    rows: usize,
+    n: usize,
+    size_bits: usize,
+}
+
+impl LinearCutSketch {
+    fn new(m: Vec<f64>, rows: usize, n: usize) -> Self {
+        let mut enc = SketchEncoder::new();
+        enc.put_bits(rows as u64, 32);
+        enc.put_bits(n as u64, 32);
+        for &v in &m {
+            enc.put_f64(v);
+        }
+        let (_, size_bits) = enc.finish();
+        Self { m, rows, n, size_bits }
+    }
+
+    /// Number of sketch rows `k`.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Estimates the *undirected* cut weight `w(S,V∖S) + w(V∖S,S)` of
+    /// the sketched digraph.
+    #[must_use]
+    pub fn undirected_cut_estimate(&self, s: &NodeSet) -> f64 {
+        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        let mut total = 0.0;
+        for row in self.m.chunks_exact(self.n) {
+            let mut y = 0.0;
+            for (v, &coef) in row.iter().enumerate() {
+                let x = if s.contains(dircut_graph::NodeId::new(v)) { 1.0 } else { -1.0 };
+                y += coef * x;
+            }
+            total += y * y;
+        }
+        total / (4.0 * self.rows as f64)
+    }
+
+    /// Merges with a sketch of an edge-disjoint subgraph (linearity:
+    /// `Π(B₁ ⊎ B₂) = Π₁B₁ + Π₂B₂`).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "row-count mismatch");
+        assert_eq!(self.n, other.n, "node-count mismatch");
+        let m = self.m.iter().zip(&other.m).map(|(a, b)| a + b).collect();
+        Self::new(m, self.rows, self.n)
+    }
+}
+
+impl CutOracle for LinearCutSketch {
+    /// For symmetric digraphs, `w(S, V∖S)` is half the undirected cut.
+    /// (For asymmetric graphs a single quadratic form cannot separate
+    /// the two directions; use the balanced sketches instead.)
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
+        self.undirected_cut_estimate(s) / 2.0
+    }
+}
+
+impl CutSketch for LinearCutSketch {
+    fn size_bits(&self) -> usize {
+        self.size_bits
+    }
+}
+
+/// Sketcher producing [`LinearCutSketch`]es with `k = ⌈c/ε²⌉` rows.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearSketcher {
+    /// Target per-cut relative error ε.
+    pub epsilon: f64,
+    /// Row-count constant: `k = ⌈rows_constant/ε²⌉`.
+    pub rows_constant: f64,
+}
+
+impl LinearSketcher {
+    /// Creates a sketcher with the default row constant (8).
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1`.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
+        Self { epsilon, rows_constant: 8.0 }
+    }
+
+    /// The number of rows used.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        (self.rows_constant / (self.epsilon * self.epsilon)).ceil() as usize
+    }
+}
+
+impl CutSketcher for LinearSketcher {
+    type Sketch = LinearCutSketch;
+
+    fn kind(&self) -> SketchKind {
+        SketchKind::ForEach
+    }
+
+    fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> LinearCutSketch {
+        let n = g.num_nodes();
+        let k = self.num_rows();
+        let mut m = vec![0.0f64; k * n];
+        for e in g.edges() {
+            let root = e.weight.sqrt();
+            for r in 0..k {
+                let sigma = if rng.gen_bool(0.5) { root } else { -root };
+                m[r * n + e.from.index()] += sigma;
+                m[r * n + e.to.index()] -= sigma;
+            }
+        }
+        LinearCutSketch::new(m, k, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_graph::NodeId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn symmetric_graph(n: usize, seed: u64) -> DiGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = DiGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.6) {
+                    let w = rng.gen_range(0.5..3.0);
+                    g.add_edge(NodeId::new(u), NodeId::new(v), w);
+                    g.add_edge(NodeId::new(v), NodeId::new(u), w);
+                }
+            }
+        }
+        g
+    }
+
+    fn undirected_cut(g: &DiGraph, s: &NodeSet) -> f64 {
+        let (out, into) = g.cut_both(s);
+        out + into
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let g = symmetric_graph(10, 0);
+        let s = NodeSet::from_indices(10, 0..5);
+        let truth = undirected_cut(&g, &s);
+        let sketcher = LinearSketcher::new(0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let reps = 300;
+        let mean: f64 = (0..reps)
+            .map(|_| sketcher.sketch(&g, &mut rng).undirected_cut_estimate(&s))
+            .sum::<f64>()
+            / reps as f64;
+        assert!((mean - truth).abs() < 0.05 * truth, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn per_cut_estimates_concentrate_at_the_for_each_rate() {
+        let g = symmetric_graph(12, 2);
+        let s = NodeSet::from_indices(12, [0, 3, 4, 7, 9]);
+        let truth = undirected_cut(&g, &s);
+        let eps = 0.3;
+        let sketcher = LinearSketcher::new(eps);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let trials = 100;
+        let within = (0..trials)
+            .filter(|_| {
+                let est = sketcher.sketch(&g, &mut rng).undirected_cut_estimate(&s);
+                (est - truth).abs() <= eps * truth
+            })
+            .count();
+        assert!(within * 3 >= trials * 2, "only {within}/{trials} within (1±ε)");
+    }
+
+    #[test]
+    fn too_few_rows_fail_some_cut_somewhere() {
+        // The for-each/for-all separation: with k = O(1) rows some cut
+        // of the hypercube of cuts is badly estimated.
+        let g = symmetric_graph(10, 4);
+        let sketcher = LinearSketcher { epsilon: 0.9, rows_constant: 2.0 };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let sk = sketcher.sketch(&g, &mut rng);
+        let mut worst: f64 = 0.0;
+        for mask in 1u32..(1 << 9) {
+            let s = NodeSet::from_indices(10, (0..9).filter(|i| mask >> i & 1 == 1).map(|i| i + 1));
+            let truth = undirected_cut(&g, &s);
+            if truth > 0.0 {
+                worst = worst.max((sk.undirected_cut_estimate(&s) - truth).abs() / truth);
+            }
+        }
+        assert!(worst > 0.5, "all cuts accurate with only {} rows?!", sk.rows());
+    }
+
+    #[test]
+    fn merging_subgraph_sketches_equals_whole_graph_distribution() {
+        // Linearity: sketch(G1) + sketch(G2) is a valid sketch of
+        // G1 ∪ G2 — its estimate concentrates around the union's cut.
+        let g = symmetric_graph(10, 6);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        // Split edges into two halves (by index parity).
+        let mut g1 = DiGraph::new(10);
+        let mut g2 = DiGraph::new(10);
+        for (i, e) in g.edges().iter().enumerate() {
+            if i % 2 == 0 {
+                g1.add_edge(e.from, e.to, e.weight);
+            } else {
+                g2.add_edge(e.from, e.to, e.weight);
+            }
+        }
+        let sketcher = LinearSketcher::new(0.3);
+        let s = NodeSet::from_indices(10, 0..5);
+        let truth = undirected_cut(&g, &s);
+        let reps = 100;
+        let mean: f64 = (0..reps)
+            .map(|_| {
+                let sk1 = sketcher.sketch(&g1, &mut rng);
+                let sk2 = sketcher.sketch(&g2, &mut rng);
+                sk1.merge(&sk2).undirected_cut_estimate(&s)
+            })
+            .sum::<f64>()
+            / reps as f64;
+        assert!((mean - truth).abs() < 0.1 * truth, "merged mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn size_is_rows_times_nodes() {
+        let g = symmetric_graph(14, 8);
+        let sketcher = LinearSketcher::new(0.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let sk = sketcher.sketch(&g, &mut rng);
+        assert_eq!(sk.rows(), 32);
+        assert_eq!(sk.size_bits(), 64 + 32 * 14 * 64);
+    }
+
+    #[test]
+    fn cut_oracle_halves_for_symmetric_graphs() {
+        let g = symmetric_graph(8, 10);
+        let s = NodeSet::from_indices(8, 0..4);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let sk = LinearSketcher::new(0.2).sketch(&g, &mut rng);
+        let direct = g.cut_out(&s);
+        assert!((sk.cut_out_estimate(&s) - direct).abs() <= 0.4 * direct);
+    }
+
+    #[test]
+    fn empty_cut_estimates_zero() {
+        let g = symmetric_graph(6, 12);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let sk = LinearSketcher::new(0.5).sketch(&g, &mut rng);
+        // S = V: x is all-ones, Bx = 0 exactly (every edge row cancels).
+        let s = NodeSet::full(6);
+        assert!(sk.undirected_cut_estimate(&s).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,116 @@
+//! Honest sketch sizing.
+//!
+//! `size_bits()` claims are only meaningful if they come from a real
+//! serialization of the data structure. [`SketchEncoder`] writes the
+//! sketch into a byte buffer (via `bytes`) and reports the exact bit
+//! count; fixed-width fields use the minimal widths the structure
+//! needs (e.g. node ids in `⌈log₂ n⌉` bits).
+
+use bytes::{BufMut, BytesMut};
+
+/// Serializes sketch contents, tracking the exact number of bits.
+///
+/// Sub-byte fields are packed; the total is the packed bit count, not
+/// the buffer's byte length × 8.
+#[derive(Debug, Default)]
+pub struct SketchEncoder {
+    buf: BytesMut,
+    bits: usize,
+    partial: u8,
+    partial_bits: u32,
+}
+
+impl SketchEncoder {
+    /// A fresh encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Writes the low `width` bits of `value`.
+    ///
+    /// # Panics
+    /// Panics if `width > 64` or `value` exceeds `width` bits.
+    pub fn put_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64);
+        assert!(width == 64 || value >> width == 0, "value wider than field");
+        for i in 0..width {
+            let bit = (value >> i & 1) as u8;
+            self.partial |= bit << self.partial_bits;
+            self.partial_bits += 1;
+            if self.partial_bits == 8 {
+                self.buf.put_u8(self.partial);
+                self.partial = 0;
+                self.partial_bits = 0;
+            }
+        }
+        self.bits += width as usize;
+    }
+
+    /// Writes a full `f64` (64 bits).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_bits(v.to_bits(), 64);
+    }
+
+    /// Writes a node id in `width` bits (use `⌈log₂ n⌉`).
+    pub fn put_node(&mut self, idx: usize, width: u32) {
+        self.put_bits(idx as u64, width);
+    }
+
+    /// Finishes, returning `(bytes, exact_bit_count)`.
+    #[must_use]
+    pub fn finish(mut self) -> (bytes::Bytes, usize) {
+        if self.partial_bits > 0 {
+            self.buf.put_u8(self.partial);
+        }
+        (self.buf.freeze(), self.bits)
+    }
+}
+
+/// The number of bits needed to index `n` distinct values (≥ 1).
+#[must_use]
+pub fn index_width(n: usize) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_width_basics() {
+        assert_eq!(index_width(1), 1);
+        assert_eq!(index_width(2), 1);
+        assert_eq!(index_width(3), 2);
+        assert_eq!(index_width(256), 8);
+        assert_eq!(index_width(257), 9);
+    }
+
+    #[test]
+    fn bits_are_counted_exactly() {
+        let mut e = SketchEncoder::new();
+        e.put_bits(0b101, 3);
+        e.put_f64(1.5);
+        e.put_node(77, 7);
+        let (bytes, bits) = e.finish();
+        assert_eq!(bits, 3 + 64 + 7);
+        assert_eq!(bytes.len(), bits.div_ceil(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than field")]
+    fn rejects_overflowing_fields() {
+        let mut e = SketchEncoder::new();
+        e.put_bits(16, 4);
+    }
+}

@@ -1,0 +1,403 @@
+//! Streaming cut sketches — the database-community setting the paper's
+//! introduction motivates (\[AGM12\], \[McG14\]): graphs arrive as edge
+//! streams, memory is bounded, and cut structure must survive.
+//!
+//! * [`StreamingSparsifier`] — insert-only streams: keep each arriving
+//!   edge with the current rate `p` (weight `w/p`); whenever the store
+//!   exceeds its budget, halve `p` and subsample the store. The final
+//!   store is distributed like an offline uniform sample at the final
+//!   rate, so cuts are preserved the same way (Karger), with memory
+//!   never exceeding the budget.
+//! * [`TurnstileLinearSketch`] — fully dynamic (insert **and delete**)
+//!   streams: the linear sketch `ΠB` is updated additively per edge,
+//!   with the Rademacher sign derived *deterministically from the edge
+//!   identity*, so a deletion exactly cancels the earlier insertion —
+//!   the \[AGM12\] mechanism. Memory is `Θ(n/ε²)` words regardless of
+//!   stream length.
+
+use crate::edgelist::EdgeListSketch;
+use crate::linear::LinearCutSketch;
+use crate::serialize::SketchEncoder;
+use crate::traits::{CutOracle, CutSketch};
+use dircut_graph::{NodeId, NodeSet};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hash::{Hash, Hasher};
+
+/// An insert-only streaming sparsifier with bounded edge memory.
+#[derive(Debug, Clone)]
+pub struct StreamingSparsifier {
+    n: usize,
+    budget: usize,
+    p: f64,
+    store: Vec<(u32, u32, f64)>,
+    rng: ChaCha8Rng,
+    inserted: u64,
+    halvings: u32,
+}
+
+impl StreamingSparsifier {
+    /// A sparsifier over `n` nodes storing at most `budget` edges.
+    ///
+    /// # Panics
+    /// Panics if `budget == 0`.
+    #[must_use]
+    pub fn new(n: usize, budget: usize, seed: u64) -> Self {
+        assert!(budget >= 1, "budget must be ≥ 1");
+        Self {
+            n,
+            budget,
+            p: 1.0,
+            store: Vec::with_capacity(budget + 1),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            inserted: 0,
+            halvings: 0,
+        }
+    }
+
+    /// Processes one stream insertion.
+    pub fn insert(&mut self, from: NodeId, to: NodeId, weight: f64) {
+        assert!(from.index() < self.n && to.index() < self.n, "endpoint out of range");
+        self.inserted += 1;
+        if self.p >= 1.0 || self.rng.gen_bool(self.p) {
+            self.store.push((from.0, to.0, weight / self.p));
+        }
+        while self.store.len() > self.budget {
+            // Halve the rate; every stored edge survives w.p. 1/2 with
+            // doubled stored weight, preserving unbiasedness.
+            self.p /= 2.0;
+            self.halvings += 1;
+            let mut kept = Vec::with_capacity(self.store.len() / 2 + 1);
+            for &(u, v, w) in &self.store {
+                if self.rng.gen_bool(0.5) {
+                    kept.push((u, v, w * 2.0));
+                }
+            }
+            self.store = kept;
+        }
+    }
+
+    /// The current sampling rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.p
+    }
+
+    /// Edges currently stored (≤ budget).
+    #[must_use]
+    pub fn stored_edges(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Total stream insertions processed.
+    #[must_use]
+    pub fn stream_length(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Number of rate halvings so far.
+    #[must_use]
+    pub fn halvings(&self) -> u32 {
+        self.halvings
+    }
+
+    /// Snapshots the store as a queryable sketch.
+    #[must_use]
+    pub fn snapshot(&self) -> EdgeListSketch {
+        EdgeListSketch::new(self.n, self.store.clone())
+    }
+}
+
+/// A fully dynamic (turnstile) linear cut sketch: `Θ(k·n)` memory,
+/// supports deletions by exact cancellation.
+#[derive(Debug, Clone)]
+pub struct TurnstileLinearSketch {
+    m: Vec<f64>,
+    rows: usize,
+    n: usize,
+    seed: u64,
+    updates: u64,
+}
+
+impl TurnstileLinearSketch {
+    /// A sketch with `rows` Rademacher rows over `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if `rows == 0`.
+    #[must_use]
+    pub fn new(n: usize, rows: usize, seed: u64) -> Self {
+        assert!(rows >= 1, "need at least one row");
+        Self { m: vec![0.0; rows * n], rows, n, seed, updates: 0 }
+    }
+
+    /// The deterministic per-(row, edge) sign — the same at insert and
+    /// delete time, which is what makes cancellation exact.
+    fn sign(&self, row: usize, u: u32, v: u32) -> f64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.seed.hash(&mut h);
+        row.hash(&mut h);
+        (u.min(v), u.max(v)).hash(&mut h);
+        if h.finish() & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    fn update(&mut self, from: NodeId, to: NodeId, weight: f64, direction: f64) {
+        assert!(from.index() < self.n && to.index() < self.n, "endpoint out of range");
+        assert!(weight >= 0.0 && weight.is_finite(), "bad weight {weight}");
+        self.updates += 1;
+        let root = weight.sqrt() * direction;
+        // Orient deterministically so insert and delete agree even if
+        // the caller flips the endpoint order.
+        let (a, b) = if from.0 <= to.0 { (from, to) } else { (to, from) };
+        for r in 0..self.rows {
+            let sigma = self.sign(r, a.0, b.0) * root;
+            self.m[r * self.n + a.index()] += sigma;
+            self.m[r * self.n + b.index()] -= sigma;
+        }
+    }
+
+    /// Processes an edge insertion.
+    pub fn insert(&mut self, from: NodeId, to: NodeId, weight: f64) {
+        self.update(from, to, weight, 1.0);
+    }
+
+    /// Processes an edge deletion (must match an earlier insertion's
+    /// endpoints and weight, the standard turnstile promise).
+    pub fn delete(&mut self, from: NodeId, to: NodeId, weight: f64) {
+        self.update(from, to, weight, -1.0);
+    }
+
+    /// Stream updates processed so far.
+    #[must_use]
+    pub fn stream_length(&self) -> u64 {
+        self.updates
+    }
+
+    /// Estimates the *undirected* cut weight of the net (current)
+    /// graph.
+    #[must_use]
+    pub fn undirected_cut_estimate(&self, s: &NodeSet) -> f64 {
+        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        let mut total = 0.0;
+        for row in self.m.chunks_exact(self.n) {
+            let mut y = 0.0;
+            for (v, &coef) in row.iter().enumerate() {
+                let x = if s.contains(NodeId::new(v)) { 1.0 } else { -1.0 };
+                y += coef * x;
+            }
+            total += y * y;
+        }
+        total / (4.0 * self.rows as f64)
+    }
+
+    /// Merges with another turnstile sketch built with the **same seed
+    /// and shape** (e.g. two stream shards sketched independently).
+    ///
+    /// # Panics
+    /// Panics on shape or seed mismatch (different seeds give different
+    /// projections; adding them would be meaningless).
+    #[must_use]
+    pub fn merge(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "row-count mismatch");
+        assert_eq!(self.n, other.n, "node-count mismatch");
+        assert_eq!(self.seed, other.seed, "seed mismatch: projections differ");
+        let m = self.m.iter().zip(&other.m).map(|(a, b)| a + b).collect();
+        Self { m, rows: self.rows, n: self.n, seed: self.seed, updates: self.updates + other.updates }
+    }
+}
+
+impl CutOracle for TurnstileLinearSketch {
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
+        self.undirected_cut_estimate(s) / 2.0
+    }
+}
+
+impl CutSketch for TurnstileLinearSketch {
+    fn size_bits(&self) -> usize {
+        let mut enc = SketchEncoder::new();
+        enc.put_bits(self.rows as u64, 32);
+        enc.put_bits(self.n as u64, 32);
+        enc.put_bits(self.seed, 64);
+        let (_, header) = enc.finish();
+        header + self.m.len() * 64
+    }
+}
+
+/// Convenience: streams a static graph's edges into a turnstile
+/// sketch, **one insertion per unordered pair** (pair weights are
+/// coalesced first). The turnstile sign is a function of the edge
+/// *identity*, so inserting the same pair twice adds coherently —
+/// multiplicity must therefore be carried in the weight, which this
+/// helper does; deletions must mirror insertions likewise.
+#[must_use]
+pub fn sketch_stream_of(
+    g: &dircut_graph::DiGraph,
+    rows: usize,
+    seed: u64,
+) -> TurnstileLinearSketch {
+    use std::collections::HashMap;
+    let mut pair: HashMap<(u32, u32), f64> = HashMap::new();
+    for e in g.edges() {
+        *pair.entry((e.from.0.min(e.to.0), e.from.0.max(e.to.0))).or_insert(0.0) += e.weight;
+    }
+    let mut pairs: Vec<_> = pair.into_iter().collect();
+    pairs.sort_by_key(|(k, _)| *k);
+    let mut sk = TurnstileLinearSketch::new(g.num_nodes(), rows, seed);
+    for ((u, v), w) in pairs {
+        sk.insert(NodeId::new(u as usize), NodeId::new(v as usize), w);
+    }
+    sk
+}
+
+/// Ensures the two linear-sketch types expose the same estimator
+/// (compile-time interchangeability witness for downstream code).
+#[must_use]
+pub fn same_estimate(a: &LinearCutSketch, b: &TurnstileLinearSketch, s: &NodeSet) -> (f64, f64) {
+    (a.undirected_cut_estimate(s), b.undirected_cut_estimate(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_graph::DiGraph;
+
+    fn symmetric_graph(n: usize, seed: u64) -> DiGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = DiGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.5) {
+                    let w = rng.gen_range(0.5..2.0);
+                    g.add_edge(NodeId::new(u), NodeId::new(v), w);
+                    g.add_edge(NodeId::new(v), NodeId::new(u), w);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn sparsifier_never_exceeds_budget() {
+        let g = symmetric_graph(30, 0);
+        let mut sp = StreamingSparsifier::new(30, 50, 1);
+        for e in g.edges() {
+            sp.insert(e.from, e.to, e.weight);
+            assert!(sp.stored_edges() <= 50);
+        }
+        assert_eq!(sp.stream_length(), g.num_edges() as u64);
+        assert!(sp.halvings() >= 1, "budget never pressured");
+    }
+
+    #[test]
+    fn sparsifier_estimates_are_unbiased() {
+        let g = symmetric_graph(16, 2);
+        let s = NodeSet::from_indices(16, 0..8);
+        let truth = g.cut_out(&s);
+        let reps = 400;
+        let mean: f64 = (0..reps)
+            .map(|seed| {
+                let mut sp = StreamingSparsifier::new(16, 40, seed);
+                for e in g.edges() {
+                    sp.insert(e.from, e.to, e.weight);
+                }
+                sp.snapshot().cut_out_estimate(&s)
+            })
+            .sum::<f64>()
+            / reps as f64;
+        assert!((mean - truth).abs() < 0.1 * truth, "mean {mean} vs truth {truth}");
+    }
+
+    #[test]
+    fn sparsifier_with_roomy_budget_is_exact() {
+        let g = symmetric_graph(12, 3);
+        let mut sp = StreamingSparsifier::new(12, g.num_edges() + 10, 4);
+        for e in g.edges() {
+            sp.insert(e.from, e.to, e.weight);
+        }
+        assert_eq!(sp.rate(), 1.0);
+        let s = NodeSet::from_indices(12, [0, 2, 4, 6]);
+        assert!((sp.snapshot().cut_out_estimate(&s) - g.cut_out(&s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn turnstile_deletion_cancels_exactly() {
+        let mut sk = TurnstileLinearSketch::new(8, 16, 7);
+        sk.insert(NodeId::new(0), NodeId::new(1), 2.0);
+        sk.insert(NodeId::new(2), NodeId::new(3), 1.5);
+        sk.insert(NodeId::new(0), NodeId::new(1), 2.0); // parallel copy
+        sk.delete(NodeId::new(0), NodeId::new(1), 2.0);
+        sk.delete(NodeId::new(2), NodeId::new(3), 1.5);
+        // Net graph: single (0,1) edge of weight 2.
+        let s = NodeSet::from_indices(8, [0]);
+        assert!((sk.undirected_cut_estimate(&s) - 2.0).abs() < 1e-9);
+        // Deleting the last edge zeroes the sketch entirely.
+        sk.delete(NodeId::new(1), NodeId::new(0), 2.0); // flipped endpoints on purpose
+        assert!(sk.undirected_cut_estimate(&s).abs() < 1e-18);
+    }
+
+    #[test]
+    fn turnstile_concentrates_like_offline_linear_sketch() {
+        let g = symmetric_graph(14, 5);
+        let s = NodeSet::from_indices(14, 0..7);
+        let (out, into) = g.cut_both(&s);
+        let truth = out + into;
+        let trials = 60u64;
+        let within = (0..trials)
+            .filter(|&seed| {
+                let sk = sketch_stream_of(&g, 128, seed);
+                (sk.undirected_cut_estimate(&s) - truth).abs() <= 0.3 * truth
+            })
+            .count();
+        assert!(within as u64 * 3 >= trials * 2, "only {within}/{trials} within (1±0.3)");
+    }
+
+    #[test]
+    fn turnstile_shards_merge() {
+        let g = symmetric_graph(12, 8);
+        let seed = 11;
+        let mut shard_a = TurnstileLinearSketch::new(12, 64, seed);
+        let mut shard_b = TurnstileLinearSketch::new(12, 64, seed);
+        for (i, e) in g.edges().iter().enumerate() {
+            if i % 2 == 0 {
+                shard_a.insert(e.from, e.to, e.weight);
+            } else {
+                shard_b.insert(e.from, e.to, e.weight);
+            }
+        }
+        let merged = shard_a.merge(&shard_b);
+        let mut whole = TurnstileLinearSketch::new(12, 64, seed);
+        for e in g.edges() {
+            whole.insert(e.from, e.to, e.weight);
+        }
+        let s = NodeSet::from_indices(12, [1, 4, 9]);
+        // Same seed ⇒ identical projections ⇒ identical sketches.
+        assert!((merged.undirected_cut_estimate(&s) - whole.undirected_cut_estimate(&s)).abs() < 1e-9);
+        assert_eq!(merged.stream_length(), g.num_edges() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn merging_different_seeds_is_rejected() {
+        let a = TurnstileLinearSketch::new(4, 8, 1);
+        let b = TurnstileLinearSketch::new(4, 8, 2);
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    fn memory_is_independent_of_stream_length() {
+        let mut sk = TurnstileLinearSketch::new(10, 32, 13);
+        let bits_before = sk.size_bits();
+        for i in 0..10_000u32 {
+            let u = NodeId::new((i % 9) as usize);
+            let v = NodeId::new(((i % 9) + 1) as usize);
+            sk.insert(u, v, 1.0);
+            sk.delete(u, v, 1.0);
+        }
+        assert_eq!(sk.size_bits(), bits_before);
+        assert_eq!(sk.stream_length(), 20_000);
+    }
+}

@@ -1,0 +1,85 @@
+//! Core sketch abstractions.
+//!
+//! Definitions 2.2 and 2.3 of the paper quantify over *any* data
+//! structure from which cut values can be recovered; [`CutSketch`] is
+//! that data structure, [`CutSketcher`] the algorithm 𝒜 producing it,
+//! and [`CutOracle`] the minimal query interface the lower-bound
+//! decoders need (so they run identically against exact graphs,
+//! honest sketches, and adversarially noisy ones).
+
+use dircut_graph::{DiGraph, NodeSet};
+use rand::Rng;
+
+/// Which guarantee a sketch implementation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SketchKind {
+    /// Definition 2.3: each fixed cut is `(1±ε)`-approximated with
+    /// probability ≥ 2/3 over the sketch's randomness.
+    ForEach,
+    /// Definition 2.2: with probability ≥ 2/3, *all* cuts are
+    /// `(1±ε)`-approximated simultaneously.
+    ForAll,
+}
+
+/// Anything that can estimate directed cut values `w(S, V∖S)`.
+pub trait CutOracle {
+    /// An estimate of the directed cut value `w(S, V∖S)`.
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64;
+}
+
+/// An exact oracle backed by the graph itself (zero error; the
+/// reference point for every experiment).
+#[derive(Debug, Clone, Copy)]
+pub struct ExactOracle<'a> {
+    graph: &'a DiGraph,
+}
+
+impl<'a> ExactOracle<'a> {
+    /// Wraps a graph.
+    #[must_use]
+    pub fn new(graph: &'a DiGraph) -> Self {
+        Self { graph }
+    }
+}
+
+impl CutOracle for ExactOracle<'_> {
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
+        self.graph.cut_out(s)
+    }
+}
+
+/// A produced cut sketch: queryable and honestly sized.
+pub trait CutSketch: CutOracle {
+    /// The exact size of the sketch in bits, measured by serializing
+    /// the data structure (not by asymptotic claims).
+    fn size_bits(&self) -> usize;
+}
+
+/// A cut sketching algorithm (the paper's 𝒜).
+pub trait CutSketcher {
+    /// The sketch type produced.
+    type Sketch: CutSketch;
+
+    /// Which guarantee this sketcher targets.
+    fn kind(&self) -> SketchKind;
+
+    /// Builds a sketch of `g`.
+    fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> Self::Sketch;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_graph::NodeId;
+
+    #[test]
+    fn exact_oracle_returns_true_cut() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 3.0);
+        g.add_edge(NodeId::new(2), NodeId::new(0), 4.0);
+        let oracle = ExactOracle::new(&g);
+        let s = NodeSet::from_indices(3, [0, 1]);
+        assert_eq!(oracle.cut_out_estimate(&s), 3.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Distributed min-cut over cut sketches (the Section 1 application):
+//! servers sketch their edge shares on real threads, the coordinator
+//! enumerates candidate cuts from the coarse sketches and re-queries
+//! them through the fine for-each sketches. The fine communication
+//! scales like 1/ε — the rate the paper proves optimal.
+//!
+//! Run with: `cargo run --release --example distributed_mincut`
+
+use dircut::dist::{distributed_min_cut, symmetric_graph, ProtocolConfig};
+use dircut::graph::mincut::stoer_wagner;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // A 40-node dense weighted graph, symmetric (undirected semantics).
+    let n = 40;
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(0.5) {
+                edges.push((u, v, rng.gen_range(0.5..2.0)));
+            }
+        }
+        edges.push((u, (u + 1) % n, 1.0));
+    }
+    let g = symmetric_graph(n, &edges);
+    let truth = stoer_wagner(&g).value / 2.0;
+    println!("graph: {} nodes, {} arcs, true min cut = {truth:.3}\n", n, g.num_edges());
+
+    println!(
+        "{:>6} {:>8} {:>12} {:>14} {:>14} {:>12}",
+        "ε", "servers", "estimate", "coarse bits", "fine bits", "candidates"
+    );
+    for eps in [0.4, 0.2, 0.1, 0.05] {
+        let mut cfg = ProtocolConfig::new(eps);
+        cfg.enumeration_trials = 120;
+        let res = distributed_min_cut(&g, 4, cfg, 17);
+        println!(
+            "{eps:>6} {:>8} {:>12.3} {:>14} {:>14} {:>12}",
+            4, res.estimate, res.coarse_bits, res.fine_bits, res.candidates
+        );
+    }
+    println!(
+        "\nCoarse bits are ε-independent; fine bits grow ∝ 1/ε (for-each), \
+         not 1/ε² (for-all) — the separation Theorems 1.1/1.2 prove tight."
+    );
+}

@@ -1,0 +1,51 @@
+//! `dircut` — facade crate re-exporting the whole workspace.
+//!
+//! An executable reproduction of *Tight Lower Bounds for Directed Cut
+//! Sparsification and Distributed Min-Cut* (PODS 2024). See the README
+//! for a tour and `DESIGN.md` for the system inventory.
+//!
+//! The workspace is organized as substrates plus the paper's core:
+//!
+//! * [`graph`] — directed weighted graphs, cuts, flows, global min-cut,
+//!   balance certificates, generators ([`dircut_graph`]).
+//! * [`linalg`] — Hadamard matrices, fast Walsh–Hadamard transforms and
+//!   the Lemma 3.2 tensor-row matrix ([`dircut_linalg`]).
+//! * [`comm`] — communication games (Index, Gap-Hamming, 2-SUM) with
+//!   exact bit accounting ([`dircut_comm`]).
+//! * [`sketch`] — for-each / for-all cut sketches with honest
+//!   `size_bits()` ([`dircut_sketch`]).
+//! * [`localquery`] — the degree/neighbor/adjacency oracle model and
+//!   BGMP21-style min-cut algorithms ([`dircut_localquery`]).
+//! * [`core`] — the paper's lower-bound constructions and reductions
+//!   ([`dircut_core`]).
+//! * [`dist`] — distributed min-cut over sketches ([`dircut_dist`]).
+//!
+//! # Example
+//!
+//! Sketch a β-balanced digraph and query a directed cut:
+//!
+//! ```
+//! use dircut::graph::generators::random_balanced_digraph;
+//! use dircut::graph::NodeSet;
+//! use dircut::sketch::{BalancedForEachSketcher, CutOracle, CutSketch, CutSketcher};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let g = random_balanced_digraph(32, 0.5, 4.0, &mut rng);
+//! let sketch = BalancedForEachSketcher::new(0.25, 4.0).sketch(&g, &mut rng);
+//! let s = NodeSet::from_indices(32, 0..16);
+//! let estimate = sketch.cut_out_estimate(&s);
+//! let truth = g.cut_out(&s);
+//! assert!((estimate - truth).abs() <= 0.5 * truth);
+//! assert!(sketch.size_bits() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dircut_comm as comm;
+pub use dircut_core as core;
+pub use dircut_dist as dist;
+pub use dircut_graph as graph;
+pub use dircut_linalg as linalg;
+pub use dircut_localquery as localquery;
+pub use dircut_sketch as sketch;

@@ -1,0 +1,89 @@
+//! Integration: the distributed min-cut protocol (Section 1) across
+//! threads, sketches, and the Karger–Stein enumerator.
+
+use dircut::dist::{distributed_min_cut, symmetric_graph, ProtocolConfig};
+use dircut::graph::mincut::stoer_wagner;
+use dircut::sketch::{CutSketch, EdgeListSketch};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn dense_instance(n: usize, seed: u64) -> dircut::graph::DiGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v, rng.gen_range(2.0..6.0)));
+        }
+    }
+    symmetric_graph(n, &edges)
+}
+
+#[test]
+fn distributed_answer_matches_centralized_min_cut() {
+    let g = dense_instance(28, 0);
+    let truth = stoer_wagner(&g).value / 2.0;
+    let mut cfg = ProtocolConfig::new(0.2);
+    cfg.enumeration_trials = 80;
+    let res = distributed_min_cut(&g, 4, cfg, 1);
+    assert!(
+        (res.estimate - truth).abs() <= 0.3 * truth,
+        "estimate {} vs truth {truth}",
+        res.estimate
+    );
+    // The returned side must be verifiable against the real graph.
+    let real = g.cut_out(&res.side);
+    assert!(real <= 1.5 * truth, "returned side has value {real}, truth {truth}");
+}
+
+#[test]
+fn protocol_is_deterministic_given_the_seed() {
+    let g = dense_instance(20, 2);
+    let mut cfg = ProtocolConfig::new(0.3);
+    cfg.enumeration_trials = 40;
+    let a = distributed_min_cut(&g, 3, cfg, 7);
+    let b = distributed_min_cut(&g, 3, cfg, 7);
+    assert_eq!(a.estimate, b.estimate);
+    assert_eq!(a.total_wire_bits, b.total_wire_bits);
+    assert_eq!(a.candidates, b.candidates);
+}
+
+#[test]
+fn communication_beats_shipping_raw_edges_on_heavy_graphs() {
+    // On a heavily connected graph the sampled sketches keep a fraction
+    // of the edges, so wire bits < the exact edge list's bits.
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let n = 60;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v, rng.gen_range(30.0..50.0)));
+        }
+    }
+    let g = symmetric_graph(n, &edges);
+    let raw_bits = EdgeListSketch::from_graph(&g).size_bits();
+    let mut cfg = ProtocolConfig::new(0.3);
+    cfg.enumeration_trials = 60;
+    let res = distributed_min_cut(&g, 4, cfg, 5);
+    assert!(
+        res.total_wire_bits < raw_bits,
+        "wire {} ≥ raw {raw_bits}",
+        res.total_wire_bits
+    );
+}
+
+#[test]
+fn varying_server_counts_keep_the_answer_stable() {
+    let g = dense_instance(24, 6);
+    let truth = stoer_wagner(&g).value / 2.0;
+    for servers in [1usize, 2, 5] {
+        let mut cfg = ProtocolConfig::new(0.25);
+        cfg.enumeration_trials = 60;
+        let res = distributed_min_cut(&g, servers, cfg, 11);
+        assert!(
+            (res.estimate - truth).abs() <= 0.4 * truth,
+            "{servers} servers: estimate {} vs truth {truth}",
+            res.estimate
+        );
+    }
+}

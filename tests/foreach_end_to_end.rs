@@ -1,0 +1,118 @@
+//! Integration: the Section 3 (Theorem 1.1) reduction run end-to-end
+//! across crates — comm (Index), core (construction + decoder), sketch
+//! (real oracles), graph (balance verification).
+
+use dircut::comm::IndexInstance;
+use dircut::core::foreach::{ForEachDecoder, ForEachEncoding};
+use dircut::core::games::run_foreach_index_game;
+use dircut::core::ForEachParams;
+use dircut::graph::balance::{edgewise_balance_bound, exact_balance_factor};
+use dircut::sketch::adversarial::{BudgetedSketch, NoiseModel, NoisyOracle};
+use dircut::sketch::{CutSketcher, EdgeListSketch, UniformSketcher};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn alice_bob_index_game_with_exact_sketch() {
+    // The full pipeline of Lemma 3.3/Theorem 1.1 with an exact oracle:
+    // Alice samples the Index distribution, encodes, Bob decodes the
+    // queried bit — always, since the oracle is error-free.
+    let params = ForEachParams::new(8, 1, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    for trial in 0..10 {
+        let inst = IndexInstance::sample(params.total_bits(), &mut rng);
+        let enc = ForEachEncoding::encode(params, &inst.s);
+        if enc.block_failed(inst.i) {
+            continue; // charged to the paper's 1/100 failure budget
+        }
+        let oracle = EdgeListSketch::from_graph(enc.graph());
+        let dec = ForEachDecoder::new(params).decode_bit(&oracle, inst.i);
+        assert_eq!(dec.sign, inst.answer(), "trial {trial}");
+    }
+}
+
+#[test]
+fn gadget_balance_matches_the_paper_claim() {
+    // The construction must be O(β·log(1/ε))-balanced; for small
+    // instances the exact factor is checkable too.
+    let params = ForEachParams::new(4, 1, 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let s: Vec<i8> =
+        (0..params.total_bits()).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+    let enc = ForEachEncoding::encode(params, &s);
+    let cert = edgewise_balance_bound(enc.graph()).expect("reverse edges exist");
+    assert!(cert <= params.balance_bound() + 1e-9);
+    let exact = exact_balance_factor(enc.graph());
+    assert!(exact <= cert + 1e-9);
+}
+
+#[test]
+fn decoding_collapses_above_the_noise_threshold() {
+    // Theorem 1.1's quantitative heart: a (1 ± c₂ε/ln(1/ε)) oracle
+    // suffices, but noise a large factor above destroys the decoder.
+    let params = ForEachParams::new(8, 1, 2);
+    let eps = params.epsilon();
+    let threshold = 0.25 * eps / (1.0 / eps).ln();
+    let trials = 150;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let ok = run_foreach_index_game(
+        params,
+        trials,
+        |g, r| NoisyOracle::new(g.clone(), threshold, r.gen(), NoiseModel::SignedRelative),
+        &mut rng,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let bad = run_foreach_index_game(
+        params,
+        trials,
+        |g, r| NoisyOracle::new(g.clone(), 40.0 * threshold, r.gen(), NoiseModel::SignedRelative),
+        &mut rng,
+    );
+    assert!(ok.success_rate() >= 0.9, "at-threshold rate {}", ok.success_rate());
+    assert!(
+        bad.success_rate() <= ok.success_rate() - 0.15,
+        "no collapse: {} vs {}",
+        bad.success_rate(),
+        ok.success_rate()
+    );
+}
+
+#[test]
+fn tiny_budget_sketches_cannot_support_the_decoder() {
+    let params = ForEachParams::new(8, 2, 2);
+    let trials = 100;
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let big = run_foreach_index_game(
+        params,
+        trials,
+        |g, _| BudgetedSketch::new(g, 1 << 20),
+        &mut rng,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let tiny = run_foreach_index_game(
+        params,
+        trials,
+        |g, _| BudgetedSketch::new(g, params.lower_bound_bits() / 2),
+        &mut rng,
+    );
+    assert_eq!(big.success_rate(), 1.0);
+    assert!(tiny.success_rate() < 0.8, "sub-LB budget still decodes at {}", tiny.success_rate());
+}
+
+#[test]
+fn honest_sampling_sketch_supports_decoding_when_it_keeps_enough() {
+    // A for-all uniform sampling sketch at moderate ε on the gadget:
+    // at gadget scale the required rate forces it to keep most edges,
+    // and decoding goes through a *real* sketch, not just oracles.
+    let params = ForEachParams::new(4, 1, 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let report = run_foreach_index_game(
+        params,
+        40,
+        |g, r| UniformSketcher::new(0.05).sketch(g, r),
+        &mut rng,
+    );
+    assert!(report.success_rate() >= 0.9, "rate {}", report.success_rate());
+}

@@ -1,0 +1,80 @@
+//! Integration: the facade crate's public API fits together — the
+//! cross-crate seams a downstream user would touch first.
+
+use dircut::core::{ForAllParams, ForEachParams};
+use dircut::graph::generators::random_balanced_digraph;
+use dircut::graph::{NodeId, NodeSet};
+use dircut::linalg::Lemma32Matrix;
+use dircut::sketch::{
+    BalancedForAllSketcher, BalancedForEachSketcher, BoostedSketcher, CutOracle, CutSketch,
+    CutSketcher, SketchKind,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn facade_reexports_compose() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let g = random_balanced_digraph(12, 0.7, 3.0, &mut rng);
+    let s = NodeSet::from_indices(12, 0..6);
+    let truth = g.cut_out(&s);
+
+    let forall = BalancedForAllSketcher::new(0.4, 3.0);
+    assert_eq!(forall.kind(), SketchKind::ForAll);
+    let sk = forall.sketch(&g, &mut rng);
+    assert!(sk.size_bits() > 0);
+    assert!((sk.cut_out_estimate(&s) - truth).abs() <= 0.5 * truth + 5.0);
+
+    let foreach = BoostedSketcher::new(BalancedForEachSketcher::new(0.4, 3.0), 3);
+    assert_eq!(foreach.kind(), SketchKind::ForEach);
+    let sk = foreach.sketch(&g, &mut rng);
+    assert!((sk.cut_out_estimate(&s) - truth).abs() <= 0.5 * truth + 5.0);
+}
+
+#[test]
+fn lower_bound_parameter_arithmetic_is_consistent() {
+    // Theorem 1.1's Ω̃(n√β/ε) and the construction's bit count agree up
+    // to the (1 − ε)² correction.
+    let p = ForEachParams::new(16, 2, 4);
+    let n = p.num_nodes() as f64;
+    let reference = n * p.beta().sqrt() / p.epsilon();
+    let actual = p.total_bits() as f64;
+    assert!(actual <= reference);
+    assert!(actual >= 0.5 * reference, "encoded bits {actual} ≪ reference {reference}");
+
+    // Theorem 1.2's Ω(nβ/ε²) likewise.
+    let p = ForAllParams::new(2, 16, 3);
+    let n = p.num_nodes() as f64;
+    let reference = n * 2.0 * 16.0;
+    let actual = p.lower_bound_bits() as f64;
+    assert!(actual <= reference);
+    assert!(actual >= 0.5 * reference);
+}
+
+#[test]
+fn lemma32_drives_cut_queries() {
+    // The linalg sign split and the graph cut machinery agree: querying
+    // w(A,B) − w(Ā,B) − w(A,B̄) + w(Ā,B̄) on a graph whose forward
+    // weights are a single Lemma 3.2 row recovers that row's norm.
+    let d = 8;
+    let m = Lemma32Matrix::new(d);
+    let t = 5;
+    let row = m.row(t);
+    let mut g = dircut::graph::DiGraph::new(2 * d);
+    for a in 0..d {
+        for b in 0..d {
+            // Shift to keep weights positive; the shift cancels.
+            g.add_edge(NodeId::new(a), NodeId::new(d + b), row[a * d + b] + 2.0);
+        }
+    }
+    let split = m.sign_split(t);
+    let w_between = |left: &[usize], right: &[usize]| -> f64 {
+        let a = NodeSet::from_indices(2 * d, left.iter().copied());
+        let b = NodeSet::from_indices(2 * d, right.iter().map(|&x| d + x));
+        g.weight_between(&a, &b)
+    };
+    let combo = w_between(&split.a, &split.b) - w_between(&split.a_bar, &split.b)
+        - w_between(&split.a, &split.b_bar)
+        + w_between(&split.a_bar, &split.b_bar);
+    assert!((combo - m.row_norm_sq()).abs() < 1e-9, "combo {combo}");
+}
