@@ -17,8 +17,9 @@ fn bench_foreach_construction(c: &mut Criterion) {
     for (inv_eps, sqrt_beta) in [(8usize, 1usize), (16, 2), (32, 2)] {
         let params = ForEachParams::new(inv_eps, sqrt_beta, 2);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let s: Vec<i8> =
-            (0..params.total_bits()).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+        let s: Vec<i8> = (0..params.total_bits())
+            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+            .collect();
         group.bench_with_input(
             BenchmarkId::new("encode", format!("e{inv_eps}b{sqrt_beta}")),
             &s,
@@ -80,9 +81,13 @@ fn bench_gxy(c: &mut Criterion) {
                 _ => {}
             }
         }
-        group.bench_with_input(BenchmarkId::new("build", ell), &(x.clone(), y.clone()), |b, (x, y)| {
-            b.iter(|| GxyGraph::build(black_box(x), black_box(y)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build", ell),
+            &(x.clone(), y.clone()),
+            |b, (x, y)| {
+                b.iter(|| GxyGraph::build(black_box(x), black_box(y)));
+            },
+        );
         if ell <= 32 {
             let g = GxyGraph::build(&x, &y);
             group.bench_with_input(BenchmarkId::new("verify_lemma_5_5", ell), &g, |b, g| {
@@ -93,5 +98,10 @@ fn bench_gxy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_foreach_construction, bench_forall_construction, bench_gxy);
+criterion_group!(
+    benches,
+    bench_foreach_construction,
+    bench_forall_construction,
+    bench_gxy
+);
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dircut_graph::flow::max_flow_digraph;
-use dircut_graph::gomory_hu::GomoryHuTree;
 use dircut_graph::generators::{connected_gnp, random_balanced_digraph};
+use dircut_graph::gomory_hu::GomoryHuTree;
 use dircut_graph::karger::karger_stein_once;
 use dircut_graph::mincut::{min_cut_unweighted, stoer_wagner};
 use dircut_graph::nagamochi::sparse_certificate;
@@ -65,9 +65,13 @@ fn bench_certificates(c: &mut Criterion) {
     for n in [128usize, 512] {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let g = connected_gnp(n, 0.2, &mut rng);
-        group.bench_with_input(BenchmarkId::new("certificate_k4", g.num_edges()), &g, |b, g| {
-            b.iter(|| sparse_certificate(black_box(g), 4));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("certificate_k4", g.num_edges()),
+            &g,
+            |b, g| {
+                b.iter(|| sparse_certificate(black_box(g), 4));
+            },
+        );
     }
     group.finish();
 }
@@ -91,12 +95,34 @@ fn bench_gomory_hu(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_engine(c: &mut Criterion) {
+    // The ISSUE acceptance target: Gomory–Hu on a seeded 200-node,
+    // ~4000-edge graph, seed implementation (rebuild per sink, serial)
+    // vs the snapshot-reset engine at 1 and 8 workers. All three
+    // produce bit-identical trees.
+    let mut group = c.benchmark_group("parallel_engine");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let g = random_balanced_digraph(200, 0.09, 2.0, &mut rng);
+    group.bench_function("gomory_hu_200_serial_seed", |b| {
+        b.iter(|| GomoryHuTree::build_reference(black_box(&g)));
+    });
+    group.bench_function("gomory_hu_200_engine_1t", |b| {
+        b.iter(|| GomoryHuTree::build_threaded(black_box(&g), 1));
+    });
+    group.bench_function("gomory_hu_200_engine_8t", |b| {
+        b.iter(|| GomoryHuTree::build_threaded(black_box(&g), 8));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cuts,
     bench_flow,
     bench_global_mincut,
     bench_certificates,
-    bench_gomory_hu
+    bench_gomory_hu,
+    bench_parallel_engine
 );
 criterion_main!(benches);

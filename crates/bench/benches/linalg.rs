@@ -35,7 +35,9 @@ fn bench_lemma32(c: &mut Criterion) {
     let mut group = c.benchmark_group("lemma32");
     for d in [16usize, 64, 128] {
         let m = Lemma32Matrix::new(d);
-        let z: Vec<i8> = (0..m.num_rows()).map(|t| if t % 2 == 0 { 1 } else { -1 }).collect();
+        let z: Vec<i8> = (0..m.num_rows())
+            .map(|t| if t % 2 == 0 { 1 } else { -1 })
+            .collect();
         group.bench_with_input(BenchmarkId::new("encode", d), &d, |b, _| {
             b.iter(|| m.encode(black_box(&z)));
         });

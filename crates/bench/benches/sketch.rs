@@ -91,5 +91,10 @@ fn bench_linear_and_streaming(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_query, bench_linear_and_streaming);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_query,
+    bench_linear_and_streaming
+);
 criterion_main!(benches);

@@ -11,14 +11,16 @@
 //!      error on graphs with skewed connectivity.
 
 use dircut_bench::{print_header, print_row};
-use dircut_dist::{distributed_min_cut, forall_only_min_cut, linear_fine_min_cut, symmetric_graph, ProtocolConfig};
+use dircut_dist::{
+    distributed_min_cut, forall_only_min_cut, linear_fine_min_cut, symmetric_graph, ProtocolConfig,
+};
 use dircut_graph::generators::{connected_gnp, random_balanced_digraph};
 use dircut_graph::mincut::{min_cut_unweighted, stoer_wagner};
 use dircut_graph::{DiGraph, NodeId, NodeSet};
 use dircut_localquery::{query_degrees, verify_guess, AdjOracle, VerifyGuessConfig};
 use dircut_sketch::{
-    BalancedForEachSketcher, BoostedSketcher, CutOracle, CutSketch, CutSketcher,
-    StrengthSketcher, UniformSketcher,
+    BalancedForEachSketcher, BoostedSketcher, CutOracle, CutSketch, CutSketcher, StrengthSketcher,
+    UniformSketcher,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -70,7 +72,11 @@ fn ablation_boosting() {
     // Deliberately under-sampled base sketch (oversample 0.2) so the
     // single-replica success sits near the Definition 2.3 floor and the
     // boosting effect is visible.
-    let base = BalancedForEachSketcher { epsilon: eps, beta: 2.0, oversample: 0.2 };
+    let base = BalancedForEachSketcher {
+        epsilon: eps,
+        beta: 2.0,
+        oversample: 0.2,
+    };
     print_header(&["replicas", "success", "size bits"]);
     for k in [1usize, 3, 5, 9] {
         let sketcher = BoostedSketcher::new(base, k);
@@ -102,7 +108,10 @@ fn ablation_accept_fraction() {
     let degrees = query_degrees(&oracle);
     print_header(&["accept_frac", "t*/k (accept boundary)"]);
     for frac in [0.25, 0.5, 0.75] {
-        let cfg = VerifyGuessConfig { oversample: 6.0, accept_fraction: frac };
+        let cfg = VerifyGuessConfig {
+            oversample: 6.0,
+            accept_fraction: frac,
+        };
         // Binary-search the boundary guess where acceptance flips.
         let mut lo = k / 8.0;
         let mut hi = k * 16.0;
@@ -147,14 +156,23 @@ fn ablation_sampling_family() {
         g.add_edge(NodeId::new(b), NodeId::new(half + b), 1.0);
         g.add_edge(NodeId::new(half + b), NodeId::new(b), 1.0);
     }
-    print_header(&["sketcher", "kept edges", "bits", "max rel err (sampled cuts)"]);
+    print_header(&[
+        "sketcher",
+        "kept edges",
+        "bits",
+        "max rel err (sampled cuts)",
+    ]);
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let eps = 0.7;
     // Uniform must set its rate from the GLOBAL min cut (the bridge
     // bundle), which caps it at 1; NI labels let the strength sampler
     // thin the cliques while always keeping low-label (bridge) edges.
     let uni = UniformSketcher::new(eps).sketch(&g, &mut rng);
-    let strength = StrengthSketcher { epsilon: eps, oversample: 1.0 }.sketch(&g, &mut rng);
+    let strength = StrengthSketcher {
+        epsilon: eps,
+        oversample: 1.0,
+    }
+    .sketch(&g, &mut rng);
     // Exhaustive cut check is 2³⁹ — sample cuts instead, always
     // including the bridge cut (the hard one).
     let mut worst = |sk: &dyn CutOracle| -> f64 {
@@ -181,8 +199,18 @@ fn ablation_sampling_family() {
     };
     let ue = worst(&uni);
     let se = worst(&strength);
-    print_row(&["uniform".into(), uni.num_edges().to_string(), uni.size_bits().to_string(), format!("{ue:.3}")]);
-    print_row(&["strength".into(), strength.num_edges().to_string(), strength.size_bits().to_string(), format!("{se:.3}")]);
+    print_row(&[
+        "uniform".into(),
+        uni.num_edges().to_string(),
+        uni.size_bits().to_string(),
+        format!("{ue:.3}"),
+    ]);
+    print_row(&[
+        "strength".into(),
+        strength.num_edges().to_string(),
+        strength.size_bits().to_string(),
+        format!("{se:.3}"),
+    ]);
     println!();
 }
 

@@ -30,9 +30,19 @@ fn main() {
     }
     let g = symmetric_graph(n, &edges);
     let truth = stoer_wagner(&g).value / 2.0;
-    println!("graph: n = {n}, arcs = {}, true min cut = {truth:.3}, servers = 4\n", g.num_edges());
+    println!(
+        "graph: n = {n}, arcs = {}, true min cut = {truth:.3}, servers = 4\n",
+        g.num_edges()
+    );
 
-    print_header(&["eps", "estimate", "rel err", "coarse bits", "fine bits", "candidates"]);
+    print_header(&[
+        "eps",
+        "estimate",
+        "rel err",
+        "coarse bits",
+        "fine bits",
+        "candidates",
+    ]);
     for eps in [0.4, 0.2, 0.1, 0.05, 0.025] {
         let mut cfg = ProtocolConfig::new(eps);
         cfg.enumeration_trials = 150;
@@ -49,5 +59,20 @@ fn main() {
     println!(
         "\nReading: coarse bits constant in ε; fine bits grow ≈ linearly in 1/ε\n\
          until the sampling cap stores every edge."
+    );
+
+    println!("\n--- engine stage counters ---");
+    print_header(&["stage", "runs", "max-flow solves", "wall"]);
+    for (stage, stat) in dircut_graph::stats::stage_report() {
+        print_row(&[
+            stage,
+            stat.runs.to_string(),
+            stat.solves.to_string(),
+            format!("{:.1?}", stat.wall),
+        ]);
+    }
+    println!(
+        "total max-flow solves: {}",
+        dircut_graph::stats::total_solves()
     );
 }

@@ -19,8 +19,7 @@ use dircut_bench::{print_header, print_row};
 use dircut_graph::generators::connected_gnp;
 use dircut_graph::mincut::min_cut_unweighted;
 use dircut_localquery::{
-    global_min_cut_local, AdjOracle, GraphOracle, MultiAdjOracle, SearchVariant,
-    VerifyGuessConfig,
+    global_min_cut_local, AdjOracle, GraphOracle, MultiAdjOracle, SearchVariant, VerifyGuessConfig,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -42,7 +41,14 @@ fn sweep<O: GraphOracle>(
     reps: u64,
 ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     println!("--- {label} ---");
-    print_header(&["eps", "orig total", "orig final", "mod total", "mod final", "est err"]);
+    print_header(&[
+        "eps",
+        "orig total",
+        "orig final",
+        "mod total",
+        "mod final",
+        "est err",
+    ]);
     let beta0 = 0.5;
     let mut log_inv_eps = Vec::new();
     let mut log_orig = Vec::new();
@@ -98,9 +104,18 @@ fn main() {
     let mut gen = ChaCha8Rng::seed_from_u64(0);
     let g = connected_gnp(140, 0.5, &mut gen);
     let k = min_cut_unweighted(&g);
-    println!("simple G(140, 0.5): m = {}, k = {k} (ε²k ≪ ln n ⇒ p caps at 1)\n", g.num_edges());
+    println!(
+        "simple G(140, 0.5): m = {}, k = {k} (ε²k ≪ ln n ⇒ p caps at 1)\n",
+        g.num_edges()
+    );
     let oracle = AdjOracle::new(&g);
-    let _ = sweep(&oracle, "simple graph (cap regime)", &[0.4, 0.2, 0.1], k as f64, 3);
+    let _ = sweep(
+        &oracle,
+        "simple graph (cap regime)",
+        &[0.4, 0.2, 0.1],
+        k as f64,
+        3,
+    );
 
     // Regime 2: blow-up cycle, k = 12000 ≫ ln n/ε².
     let mult = 6000usize;
@@ -111,7 +126,13 @@ fn main() {
         blowup.num_edges()
     );
     let eps_sweep = [0.5, 0.4, 0.3, 0.25, 0.2, 0.15, 0.1];
-    let (lx, lo, lm) = sweep(&blowup, "blow-up cycle (scaling regime)", &eps_sweep, true_k, 3);
+    let (lx, lo, lm) = sweep(
+        &blowup,
+        "blow-up cycle (scaling regime)",
+        &eps_sweep,
+        true_k,
+        3,
+    );
 
     // Fit slopes on the uncapped windows: original is uncapped only for
     // the first ~3 points, modified for the first ~6.

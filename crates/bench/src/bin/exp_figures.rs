@@ -20,12 +20,20 @@ use rand_chacha::ChaCha8Rng;
 
 fn main() {
     println!("=== F1 (Figure 1): decoder cut composition, Section 3 ===\n");
-    print_header(&["1/eps", "sqrt_beta", "fwd weight", "bwd edges", "cut value", "theory cut"]);
+    print_header(&[
+        "1/eps",
+        "sqrt_beta",
+        "fwd weight",
+        "bwd edges",
+        "cut value",
+        "theory cut",
+    ]);
     let mut rng = ChaCha8Rng::seed_from_u64(0);
     for (inv_eps, sqrt_beta) in [(4usize, 1usize), (8, 1), (8, 2), (16, 2)] {
         let p = ForEachParams::new(inv_eps, sqrt_beta, 2);
-        let s: Vec<i8> =
-            (0..p.total_bits()).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+        let s: Vec<i8> = (0..p.total_bits())
+            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+            .collect();
         let enc = ForEachEncoding::encode(p, &s);
         let comp = cut_composition(&enc, 0);
         // Theory: forward ≈ (1/(2ε))²·2c₁ln(1/ε), backward (k−1/(2ε))²/β.
@@ -86,7 +94,12 @@ fn main() {
         }
         let g = GxyGraph::build(&x, &yv);
         assert!(g.premise_holds());
-        let labels = ["A-A (Fig 3)", "A-A' (Fig 4)", "A-B' (Fig 5/6)", "A-B (Case 4)"];
+        let labels = [
+            "A-A (Fig 3)",
+            "A-A' (Fig 4)",
+            "A-B' (Fig 5/6)",
+            "A-B (Case 4)",
+        ];
         for (pair, label) in g.case_pairs().into_iter().zip(labels) {
             let flow = edge_disjoint_paths(g.graph(), pair.0, pair.1);
             print_row(&[

@@ -167,8 +167,11 @@ fn main() {
             let oracle = EdgeListSketch::from_graph(enc.graph());
             let decision = decoder.decide(&oracle, q, &t, &mut rng);
             if !split.high.is_empty() {
-                let captured =
-                    split.high.iter().filter(|i| decision.q_subset.contains(i)).count();
+                let captured = split
+                    .high
+                    .iter()
+                    .filter(|i| decision.q_subset.contains(i))
+                    .count();
                 recall += captured as f64 / split.high.len() as f64;
                 recall_samples += 1;
             }

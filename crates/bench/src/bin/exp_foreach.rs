@@ -29,8 +29,12 @@ fn main() {
         let threshold = 0.25 * eps / (1.0 / eps).ln();
 
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let exact =
-            run_foreach_index_game(params, trials, |g, _| EdgeListSketch::from_graph(g), &mut rng);
+        let exact = run_foreach_index_game(
+            params,
+            trials,
+            |g, _| EdgeListSketch::from_graph(g),
+            &mut rng,
+        );
         print_row(&[
             params.num_nodes().to_string(),
             format!("{}", params.beta()),

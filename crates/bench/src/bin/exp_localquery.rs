@@ -16,17 +16,24 @@ use rand_chacha::ChaCha8Rng;
 fn main() {
     println!("=== E3: local-query min-cut lower bound (Theorem 1.3) ===\n");
     print_header(&[
-        "m", "k", "eps", "queries", "bits", "m/(e^2 k)", "2SUM err", "LB bits",
+        "m",
+        "k",
+        "eps",
+        "queries",
+        "bits",
+        "m/(e^2 k)",
+        "2SUM err",
+        "LB bits",
     ]);
 
     let eps = 0.2;
     // (t, L, α, intersecting): t·L must be a perfect square and
     // √(tL) ≥ 3·INT.
     let configs: [(usize, usize, usize, usize); 4] = [
-        (4, 64, 2, 2),     // N = 256,  ℓ = 16
-        (8, 128, 2, 3),    // N = 1024, ℓ = 32
-        (16, 256, 4, 4),   // N = 4096, ℓ = 64
-        (16, 1024, 8, 5),  // N = 16384, ℓ = 128
+        (4, 64, 2, 2),    // N = 256,  ℓ = 16
+        (8, 128, 2, 3),   // N = 1024, ℓ = 32
+        (16, 256, 4, 4),  // N = 4096, ℓ = 64
+        (16, 1024, 8, 5), // N = 16384, ℓ = 128
     ];
     for (t, l, alpha, hits) in configs {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
@@ -67,4 +74,22 @@ fn main() {
          query costs 2 simulated bits, so bits ≈ 2×(neighbor+adjacency queries),\n\
          and Theorem 5.4 says any correct protocol needs Ω(tL/α) bits."
     );
+
+    let stages = dircut_graph::stats::stage_report();
+    if !stages.is_empty() {
+        println!("\n--- engine stage counters ---");
+        print_header(&["stage", "runs", "max-flow solves", "wall"]);
+        for (stage, stat) in stages {
+            print_row(&[
+                stage,
+                stat.runs.to_string(),
+                stat.solves.to_string(),
+                format!("{:.1?}", stat.wall),
+            ]);
+        }
+        println!(
+            "total max-flow solves: {}",
+            dircut_graph::stats::total_solves()
+        );
+    }
 }

@@ -13,7 +13,9 @@ use dircut_bench::{print_header, print_row};
 use dircut_comm::protocol::measure;
 use dircut_comm::IndexInstance;
 use dircut_core::games::plant_gap_target;
-use dircut_core::protocol::{ExactEdgeListSketcher, ForAllGapHammingProtocol, ForEachIndexProtocol};
+use dircut_core::protocol::{
+    ExactEdgeListSketcher, ForAllGapHammingProtocol, ForEachIndexProtocol,
+};
 use dircut_core::{ForAllParams, ForEachParams, SubsetSearch};
 use dircut_sketch::UniformSketcher;
 use rand::Rng;
@@ -24,7 +26,15 @@ fn main() {
     println!("=== E8: measured one-way protocols (serialized sketch messages) ===\n");
 
     println!("--- Theorem 1.1 / Index game ---");
-    print_header(&["1/eps", "sqrt_beta", "sketcher", "success", "mean bits", "Index LB", "Thm1.1 LB"]);
+    print_header(&[
+        "1/eps",
+        "sqrt_beta",
+        "sketcher",
+        "success",
+        "mean bits",
+        "Index LB",
+        "Thm1.1 LB",
+    ]);
     for (inv_eps, sqrt_beta) in [(4usize, 1usize), (8, 1), (8, 2)] {
         let params = ForEachParams::new(inv_eps, sqrt_beta, 2);
         let sample = |rng: &mut ChaCha8Rng| {

@@ -20,7 +20,15 @@ use rand_chacha::ChaCha8Rng;
 fn main() {
     println!("=== E5: measured sketch sizes vs lower-bound curves ===\n");
     print_header(&[
-        "n", "beta", "eps", "exact bits", "forall bits", "LB nB/e^2", "foreach bits", "2-level bits", "LB n√B/e",
+        "n",
+        "beta",
+        "eps",
+        "exact bits",
+        "forall bits",
+        "LB nB/e^2",
+        "foreach bits",
+        "2-level bits",
+        "LB n√B/e",
     ]);
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     for n in [32usize, 64, 128] {

@@ -24,7 +24,14 @@ fn main() {
 
     // ---- insert-only sparsifier --------------------------------------
     println!("--- insert-only: budgeted streaming sparsifier ---");
-    print_header(&["stream len", "budget", "stored", "rate", "halvings", "cut rel err"]);
+    print_header(&[
+        "stream len",
+        "budget",
+        "stored",
+        "rate",
+        "halvings",
+        "cut rel err",
+    ]);
     let n = 64;
     let s = NodeSet::from_indices(n, 0..n / 2);
     for target_len in [2_000usize, 8_000, 32_000] {

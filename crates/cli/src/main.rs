@@ -91,7 +91,9 @@ impl<'a> Flags<'a> {
         while i < args.len() {
             let a = args[i].as_str();
             if let Some(name) = a.strip_prefix("--") {
-                let v = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
                 pairs.push((name, v.as_str()));
                 i += 2;
             } else {
@@ -103,17 +105,25 @@ impl<'a> Flags<'a> {
     }
 
     fn get(&self, name: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| *v)
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
     }
 
     fn num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         self.get(name)
-            .map(|v| v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name}: cannot parse `{v}`"))
+            })
             .transpose()
     }
 
     fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
-        self.num(name)?.ok_or_else(|| format!("missing required --{name}"))
+        self.num(name)?
+            .ok_or_else(|| format!("missing required --{name}"))
     }
 }
 
@@ -122,7 +132,9 @@ fn read_graph(flags: &Flags) -> Result<DiGraph, String> {
         Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| e.to_string())?;
             buf
         }
     };
@@ -132,7 +144,10 @@ fn read_graph(flags: &Flags) -> Result<DiGraph, String> {
 fn parse_side(spec: &str, n: usize) -> Result<NodeSet, String> {
     let mut s = NodeSet::empty(n);
     for part in spec.split(',') {
-        let idx: usize = part.trim().parse().map_err(|_| format!("bad node index `{part}`"))?;
+        let idx: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad node index `{part}`"))?;
         if idx >= n {
             return Err(format!("node {idx} out of range (n = {n})"));
         }
@@ -262,8 +277,10 @@ mod tests {
 
     #[test]
     fn flags_parse_pairs_and_positionals() {
-        let args: Vec<String> =
-            ["--nodes", "10", "file.txt", "--beta", "2.5"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--nodes", "10", "file.txt", "--beta", "2.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let f = Flags::parse(&args).unwrap();
         assert_eq!(f.get("nodes"), Some("10"));
         assert_eq!(f.get("beta"), Some("2.5"));

@@ -14,7 +14,12 @@ fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn dircut");
-    child.stdin.as_mut().unwrap().write_all(stdin.as_bytes()).unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
     let out = child.wait_with_output().expect("wait for dircut");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -39,7 +44,12 @@ fn unknown_command_fails_with_message() {
 
 #[test]
 fn gen_then_stats_pipeline() {
-    let (edges, _, ok) = run(&["gen", "balanced", "--nodes", "10", "--beta", "3", "--seed", "1"], "");
+    let (edges, _, ok) = run(
+        &[
+            "gen", "balanced", "--nodes", "10", "--beta", "3", "--seed", "1",
+        ],
+        "",
+    );
     assert!(ok);
     assert!(edges.starts_with("n 10\n"));
     let (stats, _, ok) = run(&["stats"], &edges);
@@ -68,9 +78,16 @@ fn mincut_reports_directed_and_symmetrized() {
 
 #[test]
 fn sketch_reports_size_and_estimate() {
-    let (edges, _, _) = run(&["gen", "balanced", "--nodes", "8", "--beta", "2", "--seed", "2"], "");
-    let (out, _, ok) =
-        run(&["sketch", "--eps", "0.3", "--beta", "2", "--side", "0,1,2,3"], &edges);
+    let (edges, _, _) = run(
+        &[
+            "gen", "balanced", "--nodes", "8", "--beta", "2", "--seed", "2",
+        ],
+        "",
+    );
+    let (out, _, ok) = run(
+        &["sketch", "--eps", "0.3", "--beta", "2", "--side", "0,1,2,3"],
+        &edges,
+    );
     assert!(ok, "{out}");
     assert!(out.contains("sketch size:"));
     assert!(out.contains("estimate w(S, V∖S)"));

@@ -69,7 +69,10 @@ impl BitWriter {
     /// Panics if `width > 64` or `value` has bits above `width`.
     pub fn write_bits(&mut self, value: u64, width: u32) {
         assert!(width <= 64, "width {width} > 64");
-        assert!(width == 64 || value >> width == 0, "value {value} wider than {width} bits");
+        assert!(
+            width == 64 || value >> width == 0,
+            "value {value} wider than {width} bits"
+        );
         for i in 0..width {
             self.write_bit(value >> i & 1 == 1);
         }
@@ -90,7 +93,10 @@ impl BitWriter {
     /// Finishes the message.
     #[must_use]
     pub fn finish(self) -> Message {
-        Message { bytes: self.bytes, bit_len: self.bit_len }
+        Message {
+            bytes: self.bytes,
+            bit_len: self.bit_len,
+        }
     }
 }
 

@@ -70,8 +70,14 @@ impl GapHammingParams {
     #[must_use]
     pub fn new(h: usize, len: usize, gap: usize) -> Self {
         assert!(h > 0, "need at least one string");
-        assert!(len > 0 && len.is_multiple_of(4), "len must be a positive multiple of 4, got {len}");
-        assert!(gap >= 1 && gap <= len / 2, "gap {gap} out of range for len {len}");
+        assert!(
+            len > 0 && len.is_multiple_of(4),
+            "len must be a positive multiple of 4, got {len}"
+        );
+        assert!(
+            gap >= 1 && gap <= len / 2,
+            "gap {gap} out of range for len {len}"
+        );
         Self { h, len, gap }
     }
 
@@ -110,8 +116,9 @@ impl GapHammingInstance {
     pub fn sample<R: Rng>(params: GapHammingParams, rng: &mut R) -> Self {
         let GapHammingParams { h, len, gap } = params;
         let w = len / 2;
-        let strings: Vec<Vec<bool>> =
-            (0..h).map(|_| random_weighted_string(len, w, rng)).collect();
+        let strings: Vec<Vec<bool>> = (0..h)
+            .map(|_| random_weighted_string(len, w, rng))
+            .collect();
         let i = rng.gen_range(0..h);
         let is_far = rng.gen_bool(0.5);
         // Distance between two weight-w strings is always even; plant
@@ -126,9 +133,18 @@ impl GapHammingInstance {
         let swaps = delta / 2;
         // Build t from s_i by turning `swaps` ones off and `swaps`
         // zeros on, keeping the weight at exactly w.
-        let ones: Vec<usize> = strings[i].iter().enumerate().filter(|(_, &b)| b).map(|(p, _)| p).collect();
-        let zeros: Vec<usize> =
-            strings[i].iter().enumerate().filter(|(_, &b)| !b).map(|(p, _)| p).collect();
+        let ones: Vec<usize> = strings[i]
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(p, _)| p)
+            .collect();
+        let zeros: Vec<usize> = strings[i]
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| !b)
+            .map(|(p, _)| p)
+            .collect();
         debug_assert!(swaps <= ones.len() && swaps <= zeros.len());
         let mut t = strings[i].clone();
         for &p in ones.choose_multiple(rng, swaps) {
@@ -137,7 +153,13 @@ impl GapHammingInstance {
         for &p in zeros.choose_multiple(rng, swaps) {
             t[p] = true;
         }
-        Self { params, strings, i, t, is_far }
+        Self {
+            params,
+            strings,
+            i,
+            t,
+            is_far,
+        }
     }
 
     /// The correct answer: `true` iff the far case was planted.
@@ -170,7 +192,10 @@ mod tests {
 
     #[test]
     fn distance_helpers() {
-        assert_eq!(hamming_distance(&[true, false, true], &[true, true, false]), 2);
+        assert_eq!(
+            hamming_distance(&[true, false, true], &[true, true, false]),
+            2
+        );
         assert_eq!(hamming_weight(&[true, true, false]), 2);
     }
 

@@ -26,7 +26,9 @@ impl IndexInstance {
     #[must_use]
     pub fn sample<R: Rng>(n: usize, rng: &mut R) -> Self {
         assert!(n > 0, "Index needs n ≥ 1");
-        let s = (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+        let s = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+            .collect();
         let i = rng.gen_range(0..n);
         Self { s, i }
     }
@@ -70,7 +72,10 @@ mod tests {
 
     #[test]
     fn answer_reads_the_indexed_sign() {
-        let inst = IndexInstance { s: vec![1, -1, 1], i: 1 };
+        let inst = IndexInstance {
+            s: vec![1, -1, 1],
+            i: 1,
+        };
         assert_eq!(inst.answer(), -1);
     }
 }

@@ -23,8 +23,7 @@ pub trait OneWayProtocol {
     fn alice<R: Rng>(&self, input: &Self::AliceInput, rng: &mut R) -> Message;
 
     /// Bob's answer, given his input, Alice's message, and randomness.
-    fn bob<R: Rng>(&self, input: &Self::BobInput, msg: &Message, rng: &mut R)
-        -> Self::Output;
+    fn bob<R: Rng>(&self, input: &Self::BobInput, msg: &Message, rng: &mut R) -> Self::Output;
 }
 
 /// Outcome of measuring a protocol over sampled instances.
@@ -84,7 +83,11 @@ where
     ProtocolStats {
         trials,
         successes,
-        mean_bits: if trials == 0 { 0.0 } else { total_bits as f64 / trials as f64 },
+        mean_bits: if trials == 0 {
+            0.0
+        } else {
+            total_bits as f64 / trials as f64
+        },
         max_bits,
     }
 }

@@ -58,14 +58,21 @@ impl Transcript {
     /// Bits sent by one party.
     #[must_use]
     pub fn bits_from(&self, speaker: Speaker) -> u64 {
-        self.rounds.iter().filter(|r| r.speaker == speaker).map(|r| r.bits).sum()
+        self.rounds
+            .iter()
+            .filter(|r| r.speaker == speaker)
+            .map(|r| r.bits)
+            .sum()
     }
 
     /// Number of *alternations* (speaker changes) — the round
     /// complexity in the usual sense.
     #[must_use]
     pub fn alternations(&self) -> usize {
-        self.rounds.windows(2).filter(|w| w[0].speaker != w[1].speaker).count()
+        self.rounds
+            .windows(2)
+            .filter(|w| w[0].speaker != w[1].speaker)
+            .count()
     }
 
     /// Merges another transcript after this one (e.g. per-phase logs).
@@ -93,7 +100,13 @@ mod tests {
     #[test]
     fn alternations_count_speaker_changes() {
         let mut t = Transcript::new();
-        for s in [Speaker::Alice, Speaker::Alice, Speaker::Bob, Speaker::Alice, Speaker::Bob] {
+        for s in [
+            Speaker::Alice,
+            Speaker::Alice,
+            Speaker::Bob,
+            Speaker::Alice,
+            Speaker::Bob,
+        ] {
             t.record(s, 1);
         }
         assert_eq!(t.alternations(), 3);

@@ -56,7 +56,10 @@ impl TwoSumInstance {
         rng: &mut R,
     ) -> Self {
         assert!(alpha >= 1, "α must be ≥ 1");
-        assert!(l >= 3 * alpha, "need L ≥ 3α for disjoint filler, got L={l}, α={alpha}");
+        assert!(
+            l >= 3 * alpha,
+            "need L ≥ 3α for disjoint filler, got L={l}, α={alpha}"
+        );
         let min_intersecting = (t / 1000).max(1);
         assert!(
             (min_intersecting..=t).contains(&num_intersecting),
@@ -95,7 +98,11 @@ impl TwoSumInstance {
     /// The exact value `Σᵢ DISJ(Xⁱ, Yⁱ)`.
     #[must_use]
     pub fn disj_sum(&self) -> usize {
-        self.xs.iter().zip(&self.ys).filter(|(x, y)| disj(x, y)).count()
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .filter(|(x, y)| disj(x, y))
+            .count()
     }
 
     /// The exact value `Σᵢ INT(Xⁱ, Yⁱ)`.
@@ -141,7 +148,11 @@ impl TwoSumInstance {
             }
             out
         };
-        Self { xs: self.xs.iter().map(cat).collect(), ys: self.ys.iter().map(cat).collect(), alpha }
+        Self {
+            xs: self.xs.iter().map(cat).collect(),
+            ys: self.ys.iter().map(cat).collect(),
+            alpha,
+        }
     }
 
     /// Concatenates Alice's strings (and likewise Bob's) into the
@@ -157,7 +168,12 @@ impl TwoSumInstance {
 
 /// One pair with `INT` exactly `alpha` (if `intersects`) or `0`,
 /// with independent non-overlapping filler ones elsewhere.
-fn sample_pair<R: Rng>(l: usize, alpha: usize, intersects: bool, rng: &mut R) -> (Vec<bool>, Vec<bool>) {
+fn sample_pair<R: Rng>(
+    l: usize,
+    alpha: usize,
+    intersects: bool,
+    rng: &mut R,
+) -> (Vec<bool>, Vec<bool>) {
     let mut x = vec![false; l];
     let mut y = vec![false; l];
     let mut positions: Vec<usize> = (0..l).collect();

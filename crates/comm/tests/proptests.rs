@@ -1,7 +1,9 @@
 //! Property-based tests for the communication substrate.
 
 use dircut_comm::bitio::BitWriter;
-use dircut_comm::gap_hamming::{hamming_distance, hamming_weight, GapHammingInstance, GapHammingParams};
+use dircut_comm::gap_hamming::{
+    hamming_distance, hamming_weight, GapHammingInstance, GapHammingParams,
+};
 use dircut_comm::twosum::{disj, int, TwoSumInstance};
 use proptest::prelude::*;
 use rand::SeedableRng;

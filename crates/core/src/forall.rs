@@ -42,9 +42,16 @@ impl ForAllParams {
     #[must_use]
     pub fn new(beta: usize, inv_eps_sq: usize, ell: usize) -> Self {
         assert!(beta >= 1, "β must be ≥ 1");
-        assert!(inv_eps_sq >= 2 && inv_eps_sq.is_multiple_of(2), "1/ε² must be even and ≥ 2");
+        assert!(
+            inv_eps_sq >= 2 && inv_eps_sq.is_multiple_of(2),
+            "1/ε² must be even and ≥ 2"
+        );
         assert!(ell >= 2, "need at least two groups");
-        Self { beta, inv_eps_sq, ell }
+        Self {
+            beta,
+            inv_eps_sq,
+            ell,
+        }
     }
 
     /// ε as a float.
@@ -115,7 +122,11 @@ impl ForAllParams {
         let per_pair = self.strings_per_pair();
         let pair = q / per_pair;
         let rem = q % per_pair;
-        StringLocation { pair, left: rem / self.beta, cluster: rem % self.beta }
+        StringLocation {
+            pair,
+            left: rem / self.beta,
+            cluster: rem % self.beta,
+        }
     }
 }
 
@@ -250,7 +261,13 @@ impl ForAllDecoder {
     /// Builds the cut-query set `S = U ∪ (V_{pair+1} ∖ T) ∪ V_{>pair+1}`
     /// for a half-subset `U` of `V_pair` and target set `T ⊂ R_j`.
     #[must_use]
-    pub fn query_set(&self, pair: usize, u_subset: &[usize], cluster: usize, t: &[bool]) -> NodeSet {
+    pub fn query_set(
+        &self,
+        pair: usize,
+        u_subset: &[usize],
+        cluster: usize,
+        t: &[bool],
+    ) -> NodeSet {
         let p = &self.params;
         let k = p.group_size();
         let mut s = NodeSet::empty(p.num_nodes());
@@ -327,7 +344,10 @@ impl ForAllDecoder {
         let p = &self.params;
         assert_eq!(t.len(), p.inv_eps_sq, "Bob's string has wrong length");
         let k = p.group_size();
-        assert!(k.is_multiple_of(2), "group size must be even for half subsets");
+        assert!(
+            k.is_multiple_of(2),
+            "group size must be even for half subsets"
+        );
         let loc = p.locate_string(q);
 
         let mut best: Option<(f64, Vec<usize>)> = None;
@@ -361,7 +381,11 @@ impl ForAllDecoder {
         let (_, q_subset) = best.expect("at least one subset considered");
         // ℓ_i ∈ Q ⇒ |N(ℓ_i) ∩ T| is large ⇒ Δ(s, t) is SMALL (close).
         let is_far = !q_subset.contains(&loc.left);
-        ForAllDecision { is_far, q_subset, cut_queries: queries }
+        ForAllDecision {
+            is_far,
+            q_subset,
+            cut_queries: queries,
+        }
     }
 }
 
@@ -406,18 +430,16 @@ pub struct HighLowSplit {
 /// Computes the `L_high`/`L_low` split of a concrete encoding for the
 /// cluster and target set of string `q`, with gap constant `c`.
 #[must_use]
-pub fn high_low_split(
-    enc: &ForAllEncoding,
-    q: usize,
-    t: &[bool],
-    c: f64,
-) -> HighLowSplit {
+pub fn high_low_split(enc: &ForAllEncoding, q: usize, t: &[bool], c: f64) -> HighLowSplit {
     let p = enc.params();
     let loc = p.locate_string(q);
     let eps = p.epsilon();
     let mid = p.inv_eps_sq as f64 / 4.0;
     let gap = c / (2.0 * eps);
-    let mut split = HighLowSplit { high: Vec::new(), low: Vec::new() };
+    let mut split = HighLowSplit {
+        high: Vec::new(),
+        low: Vec::new(),
+    };
     for i in 0..p.group_size() {
         let from = p.left_node(loc.pair, i);
         // |N(ℓ_i) ∩ T| = number of weight-2 edges from ℓ_i into T.
@@ -520,7 +542,11 @@ mod tests {
         let dec = ForAllDecoder::new(p, SubsetSearch::Exact);
         let q = 3;
         let loc = p.locate_string(q);
-        let t = random_weighted_string(p.inv_eps_sq, p.inv_eps_sq / 2, &mut ChaCha8Rng::seed_from_u64(3));
+        let t = random_weighted_string(
+            p.inv_eps_sq,
+            p.inv_eps_sq / 2,
+            &mut ChaCha8Rng::seed_from_u64(3),
+        );
         let u: Vec<usize> = (0..p.group_size() / 2).collect();
         let est = dec.estimate_w_u_t(&oracle, loc.pair, &u, loc.cluster, &t);
         // True w(U, T): sum of forward weights from U into T nodes.
@@ -604,7 +630,10 @@ mod tests {
                 noisy_enum_ok += 1;
             }
         }
-        assert!(exact_ok * 10 >= trials * 9, "exact single-cut only {exact_ok}/{trials}");
+        assert!(
+            exact_ok * 10 >= trials * 9,
+            "exact single-cut only {exact_ok}/{trials}"
+        );
         assert!(
             noisy_enum_ok >= noisy_single_ok + trials / 10,
             "enumeration ({noisy_enum_ok}) not clearly above single-cut ({noisy_single_ok})"
@@ -643,6 +672,9 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct * 10 >= trials * 9, "only {correct}/{trials} correct");
+        assert!(
+            correct * 10 >= trials * 9,
+            "only {correct}/{trials} correct"
+        );
     }
 }

@@ -52,10 +52,18 @@ impl ForEachParams {
     /// or `ell < 2`.
     #[must_use]
     pub fn new(inv_eps: usize, sqrt_beta: usize, ell: usize) -> Self {
-        assert!(inv_eps >= 2 && inv_eps.is_power_of_two(), "1/ε must be a power of two ≥ 2");
+        assert!(
+            inv_eps >= 2 && inv_eps.is_power_of_two(),
+            "1/ε must be a power of two ≥ 2"
+        );
         assert!(sqrt_beta >= 1, "√β must be ≥ 1");
         assert!(ell >= 2, "need at least two groups");
-        Self { inv_eps, sqrt_beta, ell, c1: 2.0 }
+        Self {
+            inv_eps,
+            sqrt_beta,
+            ell,
+            c1: 2.0,
+        }
     }
 
     /// ε as a float.
@@ -142,7 +150,11 @@ impl ForEachParams {
     /// Panics if `q ≥ total_bits()`.
     #[must_use]
     pub fn locate_bit(&self, q: usize) -> BitLocation {
-        assert!(q < self.total_bits(), "bit index {q} out of range {}", self.total_bits());
+        assert!(
+            q < self.total_bits(),
+            "bit index {q} out of range {}",
+            self.total_bits()
+        );
         let per_pair = self.blocks_per_pair() * self.bits_per_block();
         let pair = q / per_pair;
         let rem = q % per_pair;
@@ -197,8 +209,7 @@ impl ForEachEncoding {
             params.num_nodes(),
             2 * (params.ell - 1) * params.group_size() * params.group_size(),
         );
-        let mut failed_blocks =
-            vec![false; (params.ell - 1) * params.blocks_per_pair()];
+        let mut failed_blocks = vec![false; (params.ell - 1) * params.blocks_per_pair()];
 
         let bits_per_block = params.bits_per_block();
         for pair in 0..params.ell - 1 {
@@ -212,7 +223,11 @@ impl ForEachEncoding {
                     failed_blocks[pair * params.blocks_per_pair() + block] = failed;
                     for a in 0..d {
                         for b in 0..d {
-                            let w = if failed { shift } else { eps * x[a * d + b] + shift };
+                            let w = if failed {
+                                shift
+                            } else {
+                                eps * x[a * d + b] + shift
+                            };
                             debug_assert!(w > 0.0, "forward weight must stay positive");
                             g.add_edge(params.node(pair, lb, a), params.node(pair + 1, rb, b), w);
                         }
@@ -229,7 +244,11 @@ impl ForEachEncoding {
                 }
             }
         }
-        Self { params, graph: g, failed_blocks }
+        Self {
+            params,
+            graph: g,
+            failed_blocks,
+        }
     }
 
     /// The parameters.
@@ -383,13 +402,18 @@ impl ForEachDecoder {
         for (set, sign) in queries.sets.iter().zip(queries.signs) {
             raw += sign * self.forward_estimate(oracle, set);
         }
-        DecodedBit { sign: if raw >= 0.0 { 1 } else { -1 }, raw }
+        DecodedBit {
+            sign: if raw >= 0.0 { 1 } else { -1 },
+            raw,
+        }
     }
 
     /// Decodes every bit; convenience for whole-string experiments.
     #[must_use]
     pub fn decode_all<O: CutOracle>(&self, oracle: &O) -> Vec<i8> {
-        (0..self.params.total_bits()).map(|q| self.decode_bit(oracle, q).sign).collect()
+        (0..self.params.total_bits())
+            .map(|q| self.decode_bit(oracle, q).sign)
+            .collect()
     }
 }
 
@@ -435,7 +459,9 @@ mod tests {
 
     fn random_signs(n: usize, seed: u64) -> Vec<i8> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect()
+        (0..n)
+            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+            .collect()
     }
 
     #[test]
@@ -499,7 +525,11 @@ mod tests {
         let hi = 3.0 * p.c1 * (p.inv_eps as f64).ln();
         for e in enc.graph().edges() {
             if e.weight > 2.0 / p.beta() {
-                assert!(e.weight >= lo - 1e-9 && e.weight <= hi + 1e-9, "weight {}", e.weight);
+                assert!(
+                    e.weight >= lo - 1e-9 && e.weight <= hi + 1e-9,
+                    "weight {}",
+                    e.weight
+                );
             }
         }
     }
@@ -554,9 +584,7 @@ mod tests {
                     .iter()
                     .filter(|e| {
                         // backward edges have weight 1/β = 0.25 here
-                        e.weight == 1.0 / p.beta()
-                            && set.contains(e.from)
-                            && !set.contains(e.to)
+                        e.weight == 1.0 / p.beta() && set.contains(e.from) && !set.contains(e.to)
                     })
                     .map(|e| e.weight)
                     .sum();
@@ -608,7 +636,9 @@ mod tests {
             let k = p.group_size();
             let in_v0 = (0..k).filter(|&u| s.contains(NodeId::new(u))).count();
             let in_v1 = (0..k).filter(|&u| s.contains(NodeId::new(k + u))).count();
-            let in_v2 = (0..k).filter(|&u| s.contains(NodeId::new(2 * k + u))).count();
+            let in_v2 = (0..k)
+                .filter(|&u| s.contains(NodeId::new(2 * k + u)))
+                .count();
             assert_eq!(in_v0, 0);
             assert_eq!(in_v1, p.inv_eps / 2);
             assert_eq!(in_v2, k - p.inv_eps / 2);

@@ -54,8 +54,9 @@ where
     let decoder = ForEachDecoder::new(params);
     let mut successes = 0usize;
     for _ in 0..trials {
-        let s: Vec<i8> =
-            (0..params.total_bits()).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+        let s: Vec<i8> = (0..params.total_bits())
+            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+            .collect();
         let enc = ForEachEncoding::encode(params, &s);
         let q = rng.gen_range(0..params.total_bits());
         let oracle = make_oracle(enc.graph(), rng);
@@ -64,7 +65,11 @@ where
             successes += 1;
         }
     }
-    GameReport { trials, successes, mean_queries: 4.0 }
+    GameReport {
+        trials,
+        successes,
+        mean_queries: 4.0,
+    }
 }
 
 /// Plants Bob's string `t` at Hamming distance `L/2 ± 2·half_gap` from
@@ -74,10 +79,27 @@ pub fn plant_gap_target<R: Rng>(s: &[bool], half_gap: usize, far: bool, rng: &mu
     use rand::seq::SliceRandom;
     let l = s.len();
     let w = l / 2;
-    let swaps = if far { w / 2 + half_gap } else { w / 2 - half_gap };
-    let ones: Vec<usize> = s.iter().enumerate().filter(|(_, &b)| b).map(|(p, _)| p).collect();
-    let zeros: Vec<usize> = s.iter().enumerate().filter(|(_, &b)| !b).map(|(p, _)| p).collect();
-    assert!(swaps <= ones.len() && swaps <= zeros.len(), "gap too large for length {l}");
+    let swaps = if far {
+        w / 2 + half_gap
+    } else {
+        w / 2 - half_gap
+    };
+    let ones: Vec<usize> = s
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(p, _)| p)
+        .collect();
+    let zeros: Vec<usize> = s
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| !b)
+        .map(|(p, _)| p)
+        .collect();
+    assert!(
+        swaps <= ones.len() && swaps <= zeros.len(),
+        "gap too large for length {l}"
+    );
     let mut t = s.to_vec();
     for &p in ones.choose_multiple(rng, swaps) {
         t[p] = false;
@@ -114,8 +136,9 @@ where
     let mut successes = 0usize;
     let mut total_queries = 0usize;
     for _ in 0..trials {
-        let mut strings: Vec<Vec<bool>> =
-            (0..params.num_strings()).map(|_| random_weighted_string(l, l / 2, rng)).collect();
+        let mut strings: Vec<Vec<bool>> = (0..params.num_strings())
+            .map(|_| random_weighted_string(l, l / 2, rng))
+            .collect();
         let q = rng.gen_range(0..params.num_strings());
         let is_far = rng.gen_bool(0.5);
         // Draw s_q and t jointly: t is random of weight L/2, s_q is
@@ -130,7 +153,11 @@ where
             successes += 1;
         }
     }
-    GameReport { trials, successes, mean_queries: total_queries as f64 / trials.max(1) as f64 }
+    GameReport {
+        trials,
+        successes,
+        mean_queries: total_queries as f64 / trials.max(1) as f64,
+    }
 }
 
 #[cfg(test)]
@@ -174,9 +201,7 @@ mod tests {
         let report = run_foreach_index_game(
             params,
             200,
-            |g, r| {
-                NoisyOracle::new(g.clone(), 0.5, r.gen(), NoiseModel::SignedRelative)
-            },
+            |g, r| NoisyOracle::new(g.clone(), 0.5, r.gen(), NoiseModel::SignedRelative),
             &mut rng,
         );
         let rate = report.success_rate();

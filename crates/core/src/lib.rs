@@ -30,6 +30,6 @@ pub mod protocol;
 pub use forall::{ForAllDecoder, ForAllEncoding, ForAllParams, SubsetSearch};
 pub use foreach::{ForEachDecoder, ForEachEncoding, ForEachParams};
 pub use games::{run_forall_gap_hamming_game, run_foreach_index_game, GameReport};
+pub use mincut_lb::{solve_twosum_via_mincut, GxyGraph, GxyOracle, Region, TwoSumViaMinCut};
 pub use naive::{run_naive_index_game, NaiveDecoder, NaiveEncoding, NaiveParams};
 pub use protocol::{ExactEdgeListSketcher, ForAllGapHammingProtocol, ForEachIndexProtocol};
-pub use mincut_lb::{solve_twosum_via_mincut, GxyGraph, GxyOracle, Region, TwoSumViaMinCut};

@@ -86,7 +86,11 @@ impl GxyGraph {
                 }
             }
         }
-        Self { ell, graph: g, gamma }
+        Self {
+            ell,
+            graph: g,
+            gamma,
+        }
     }
 
     fn a_static(ell: usize, i: usize) -> NodeId {
@@ -239,7 +243,12 @@ impl GxyOracle {
         assert_eq!(x.len(), y.len(), "string length mismatch");
         let ell = (x.len() as f64).sqrt().round() as usize;
         assert_eq!(ell * ell, x.len(), "string length is not a perfect square");
-        Self { x, y, ell, bits: Cell::new(0) }
+        Self {
+            x,
+            y,
+            ell,
+            bits: Cell::new(0),
+        }
     }
 
     /// Bits of communication simulated so far.
@@ -364,7 +373,10 @@ where
     let ell = (n as f64).sqrt().round() as usize;
     assert_eq!(ell * ell, n, "t·L = {n} must be a perfect square");
     let total_int = int(&x, &y);
-    assert!(ell >= 3 * total_int, "Lemma 5.5 premise √N ≥ 3·INT violated: {ell} < 3·{total_int}");
+    assert!(
+        ell >= 3 * total_int,
+        "Lemma 5.5 premise √N ≥ 3·INT violated: {ell} < 3·{total_int}"
+    );
 
     let oracle = GxyOracle::new(x, y);
     let mincut_estimate = algo(&oracle);
@@ -485,7 +497,11 @@ mod tests {
             let v = NodeId::new(v);
             assert_eq!(sim.degree(v), direct.degree(v), "degree of {v}");
             for i in 0..=7 {
-                assert_eq!(sim.ith_neighbor(v, i), direct.ith_neighbor(v, i), "{v}[{i}]");
+                assert_eq!(
+                    sim.ith_neighbor(v, i),
+                    direct.ith_neighbor(v, i),
+                    "{v}[{i}]"
+                );
             }
         }
         for u in 0..sim.num_nodes() {
@@ -546,7 +562,12 @@ mod tests {
         // Sanity: DISJ counted by the instance matches direct evaluation.
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         let inst = TwoSumInstance::sample(6, 12, 1, 2, &mut rng);
-        let direct = inst.xs.iter().zip(&inst.ys).filter(|(a, b)| disj(a, b)).count();
+        let direct = inst
+            .xs
+            .iter()
+            .zip(&inst.ys)
+            .filter(|(a, b)| disj(a, b))
+            .count();
         assert_eq!(direct, inst.disj_sum());
     }
 }

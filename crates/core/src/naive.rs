@@ -71,7 +71,11 @@ impl NaiveEncoding {
     /// Panics on length mismatch.
     #[must_use]
     pub fn encode(params: NaiveParams, bits: &[bool]) -> Self {
-        assert_eq!(bits.len(), params.total_bits(), "bit string length mismatch");
+        assert_eq!(
+            bits.len(),
+            params.total_bits(),
+            "bit string length mismatch"
+        );
         let k = params.k;
         let mut g = DiGraph::with_edge_capacity(2 * k, 2 * k * k);
         for u in 0..k {
@@ -162,7 +166,9 @@ where
     let decoder = NaiveDecoder::new(params);
     let mut successes = 0usize;
     for _ in 0..trials {
-        let bits: Vec<bool> = (0..params.total_bits()).map(|_| rng.gen_bool(0.5)).collect();
+        let bits: Vec<bool> = (0..params.total_bits())
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
         let enc = NaiveEncoding::encode(params, &bits);
         let q = rng.gen_range(0..params.total_bits());
         let oracle = make_oracle(enc.graph(), rng);
@@ -170,7 +176,11 @@ where
             successes += 1;
         }
     }
-    crate::games::GameReport { trials, successes, mean_queries: 1.0 }
+    crate::games::GameReport {
+        trials,
+        successes,
+        mean_queries: 1.0,
+    }
 }
 
 #[cfg(test)]
@@ -188,12 +198,8 @@ mod tests {
     fn exact_oracle_decodes_naive_encoding() {
         let params = NaiveParams::new(8, 4.0);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let report = run_naive_index_game(
-            params,
-            40,
-            |g, _| EdgeListSketch::from_graph(g),
-            &mut rng,
-        );
+        let report =
+            run_naive_index_game(params, 40, |g, _| EdgeListSketch::from_graph(g), &mut rng);
         assert_eq!(report.success_rate(), 1.0);
     }
 
@@ -218,7 +224,10 @@ mod tests {
         let cut = enc.graph().cut_out(&s);
         let backward = dec.fixed_backward_weight();
         assert!((cut - backward - 1.0).abs() < 1e-9);
-        assert!(backward > 50.0, "backward mass {backward} too small to demonstrate");
+        assert!(
+            backward > 50.0,
+            "backward mass {backward} too small to demonstrate"
+        );
     }
 
     #[test]
@@ -250,7 +259,11 @@ mod tests {
             &mut rng,
         );
 
-        assert!(good.success_rate() >= 0.9, "Hadamard rate {}", good.success_rate());
+        assert!(
+            good.success_rate() >= 0.9,
+            "Hadamard rate {}",
+            good.success_rate()
+        );
         assert!(
             bad.success_rate() <= 0.65,
             "naive encoding still decodes at {} under noise {noise}",

@@ -93,7 +93,9 @@ where
 
     fn bob<R: Rng>(&self, input: &usize, msg: &Message, _rng: &mut R) -> i8 {
         let sketch = deserialize_edge_list(msg);
-        ForEachDecoder::new(self.params).decode_bit(&sketch, *input).sign
+        ForEachDecoder::new(self.params)
+            .decode_bit(&sketch, *input)
+            .sign
     }
 }
 
@@ -119,7 +121,11 @@ impl<S> ForAllGapHammingProtocol<S> {
         search: crate::forall::SubsetSearch,
         sketcher: S,
     ) -> Self {
-        Self { params, search, sketcher }
+        Self {
+            params,
+            search,
+            sketcher,
+        }
     }
 }
 
@@ -240,7 +246,11 @@ mod tests {
             },
             |a, b| a == b,
         );
-        assert!(stats.success_rate() >= 0.85, "rate {}", stats.success_rate());
+        assert!(
+            stats.success_rate() >= 0.85,
+            "rate {}",
+            stats.success_rate()
+        );
         // Exact message carries at least the Ω(nβ/ε²) bits.
         assert!(stats.mean_bits >= params.lower_bound_bits() as f64);
     }

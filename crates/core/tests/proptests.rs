@@ -13,14 +13,17 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn arb_foreach_params() -> impl Strategy<Value = ForEachParams> {
-    (1u32..=3, 1usize..=2, 2usize..=3)
-        .prop_map(|(log_inv_eps, sqrt_beta, ell)| ForEachParams::new(1 << log_inv_eps, sqrt_beta, ell))
+    (1u32..=3, 1usize..=2, 2usize..=3).prop_map(|(log_inv_eps, sqrt_beta, ell)| {
+        ForEachParams::new(1 << log_inv_eps, sqrt_beta, ell)
+    })
 }
 
 fn random_signs(n: usize, seed: u64) -> Vec<i8> {
     use rand::Rng;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect()
+    (0..n)
+        .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+        .collect()
 }
 
 proptest! {

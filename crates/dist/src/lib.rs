@@ -17,18 +17,21 @@
 //! proves cannot be improved. Candidate cuts are enumerated by
 //! Karger–Stein on the union of the coarse sketches.
 //!
-//! Servers run on real threads and ship sketches over crossbeam
-//! channels; the reported communication is the serialized bit size of
-//! everything that crossed a channel.
+//! Servers run on the graph crate's deterministic worker pool
+//! ([`dircut_graph::parallel`]): each server sketches its subgraph with
+//! its own seeded RNG and the results come back in server order, so the
+//! protocol transcript is identical for every thread count. The
+//! reported communication is the serialized bit size of everything the
+//! servers shipped.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use dircut_graph::karger::enumerate_near_min_cuts;
-use dircut_graph::{DiGraph, NodeId, NodeSet};
+use dircut_graph::{parallel, stats, DiGraph, NodeId, NodeSet};
 use dircut_sketch::{
-    BalancedForEachSketcher, CutOracle, CutSketch, CutSketcher, DegreeSampleSketch,
-    EdgeListSketch, LinearCutSketch, LinearSketcher, UniformSketcher,
+    BalancedForEachSketcher, CutOracle, CutSketch, CutSketcher, DegreeSampleSketch, EdgeListSketch,
+    LinearCutSketch, LinearSketcher, UniformSketcher,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -91,7 +94,12 @@ impl ProtocolConfig {
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
-        Self { epsilon, coarse_epsilon: 0.2, candidate_slack: 2.0, enumeration_trials: 200 }
+        Self {
+            epsilon,
+            coarse_epsilon: 0.2,
+            candidate_slack: 2.0,
+            enumeration_trials: 200,
+        }
     }
 }
 
@@ -123,7 +131,11 @@ pub fn server_sketch<R: Rng>(
     let coarse = UniformSketcher::new(cfg.coarse_epsilon).sketch(subgraph, rng);
     // Symmetrized subgraphs of symmetric inputs are Eulerian, so β = 1.
     let fine = BalancedForEachSketcher::new(cfg.epsilon, 1.0).sketch(subgraph, rng);
-    ServerMessage { server_id, coarse, fine }
+    ServerMessage {
+        server_id,
+        coarse,
+        fine,
+    }
 }
 
 /// The coordinator: enumerate candidates on the coarse union, re-query
@@ -149,7 +161,10 @@ pub fn coordinate<R: Rng>(
     }
     let candidates =
         enumerate_near_min_cuts(&union, cfg.candidate_slack, cfg.enumeration_trials, rng);
-    assert!(!candidates.is_empty(), "coarse union produced no candidate cuts");
+    assert!(
+        !candidates.is_empty(),
+        "coarse union produced no candidate cuts"
+    );
 
     let mut best: Option<(f64, NodeSet)> = None;
     for (_, side) in &candidates {
@@ -174,11 +189,13 @@ pub fn coordinate<R: Rng>(
     }
 }
 
-/// Runs the full protocol with one OS thread per server, shipping
-/// sketches over crossbeam channels.
+/// Runs the full protocol, fanning the per-server sketching across the
+/// graph crate's worker pool. Each server draws from its own seeded RNG
+/// and results come back in server order, so the answer depends only on
+/// `seed`, never on the thread count.
 ///
 /// # Panics
-/// Panics if `servers == 0` or a server thread panics.
+/// Panics if `servers == 0` or a server task panics.
 #[must_use]
 pub fn distributed_min_cut(
     g: &DiGraph,
@@ -188,22 +205,13 @@ pub fn distributed_min_cut(
 ) -> DistributedMinCut {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let parts = partition_edges(g, servers, &mut rng);
-    let (tx, rx) = crossbeam::channel::unbounded::<ServerMessage>();
-    std::thread::scope(|scope| {
-        for (id, part) in parts.iter().enumerate() {
-            let tx = tx.clone();
-            let server_seed = seed.wrapping_add(1 + id as u64);
-            scope.spawn(move || {
-                let mut rng = ChaCha8Rng::seed_from_u64(server_seed);
-                let msg = server_sketch(id, part, cfg, &mut rng);
-                tx.send(msg).expect("coordinator hung up");
-            });
-        }
-        drop(tx);
-        let mut messages: Vec<ServerMessage> = rx.iter().collect();
-        messages.sort_by_key(|m| m.server_id);
-        coordinate(&messages, cfg, &mut rng)
-    })
+    let messages: Vec<ServerMessage> = stats::timed_stage("dist/server_sketch", || {
+        parallel::run_indexed(parts.len(), parallel::default_threads(), |id| {
+            let mut srng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1 + id as u64));
+            server_sketch(id, &parts[id], cfg, &mut srng)
+        })
+    });
+    coordinate(&messages, cfg, &mut rng)
 }
 
 /// Baseline ablation: ship ONLY `(1±ε)` for-all sketches and answer
@@ -223,14 +231,12 @@ pub fn forall_only_min_cut(
 ) -> DistributedMinCut {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let parts = partition_edges(g, servers, &mut rng);
-    let sketches: Vec<EdgeListSketch> = parts
-        .iter()
-        .enumerate()
-        .map(|(id, part)| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1 + id as u64));
-            UniformSketcher::new(cfg.epsilon).sketch(part, &mut rng)
+    let sketches: Vec<EdgeListSketch> = stats::timed_stage("dist/server_sketch", || {
+        parallel::run_indexed(parts.len(), parallel::default_threads(), |id| {
+            let mut srng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1 + id as u64));
+            UniformSketcher::new(cfg.epsilon).sketch(&parts[id], &mut srng)
         })
-        .collect();
+    });
     let n = g.num_nodes();
     let mut union = DiGraph::new(n);
     for sk in &sketches {
@@ -238,8 +244,12 @@ pub fn forall_only_min_cut(
             union.add_edge(e.from, e.to, e.weight);
         }
     }
-    let candidates =
-        enumerate_near_min_cuts(&union, cfg.candidate_slack, cfg.enumeration_trials, &mut rng);
+    let candidates = enumerate_near_min_cuts(
+        &union,
+        cfg.candidate_slack,
+        cfg.enumeration_trials,
+        &mut rng,
+    );
     let mut best: Option<(f64, NodeSet)> = None;
     for (_, side) in &candidates {
         let est: f64 = sketches.iter().map(|m| m.cut_out_estimate(side)).sum();
@@ -278,13 +288,22 @@ pub fn linear_fine_min_cut(
 ) -> DistributedMinCut {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let parts = partition_edges(g, servers, &mut rng);
+    let pairs: Vec<(EdgeListSketch, LinearCutSketch)> =
+        stats::timed_stage("dist/server_sketch", || {
+            parallel::run_indexed(parts.len(), parallel::default_threads(), |id| {
+                let mut srng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1 + id as u64));
+                let coarse = UniformSketcher::new(cfg.coarse_epsilon).sketch(&parts[id], &mut srng);
+                let fine = LinearSketcher::new(cfg.epsilon).sketch(&parts[id], &mut srng);
+                (coarse, fine)
+            })
+        });
+    // Merge fine sketches serially in server order: linear-sketch
+    // merging sums floats, so the order is part of the transcript.
     let mut coarse_sketches = Vec::new();
     let mut merged: Option<LinearCutSketch> = None;
     let mut fine_bits = 0usize;
-    for (id, part) in parts.iter().enumerate() {
-        let mut srng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1 + id as u64));
-        coarse_sketches.push(UniformSketcher::new(cfg.coarse_epsilon).sketch(part, &mut srng));
-        let fine = LinearSketcher::new(cfg.epsilon).sketch(part, &mut srng);
+    for (coarse, fine) in pairs {
+        coarse_sketches.push(coarse);
         fine_bits += fine.size_bits();
         merged = Some(match merged {
             None => fine,
@@ -299,8 +318,12 @@ pub fn linear_fine_min_cut(
             union.add_edge(e.from, e.to, e.weight);
         }
     }
-    let candidates =
-        enumerate_near_min_cuts(&union, cfg.candidate_slack, cfg.enumeration_trials, &mut rng);
+    let candidates = enumerate_near_min_cuts(
+        &union,
+        cfg.candidate_slack,
+        cfg.enumeration_trials,
+        &mut rng,
+    );
     let mut best: Option<(f64, NodeSet)> = None;
     for (_, side) in &candidates {
         let est = merged.cut_out_estimate(side);
@@ -379,7 +402,10 @@ mod tests {
         );
         // The reported side must really be a near-minimum cut.
         let real = g.cut_out(&res.side);
-        assert!(real - truth <= 0.6 * truth, "side has value {real}, truth {truth}");
+        assert!(
+            real - truth <= 0.6 * truth,
+            "side has value {real}, truth {truth}"
+        );
     }
 
     #[test]

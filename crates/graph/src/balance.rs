@@ -62,7 +62,10 @@ pub fn edgewise_balance_bound(g: &DiGraph) -> Option<f64> {
 #[must_use]
 pub fn exact_balance_factor(g: &DiGraph) -> f64 {
     let n = g.num_nodes();
-    assert!((2..=24).contains(&n), "exact balance enumeration needs 2 ≤ n ≤ 24, got {n}");
+    assert!(
+        (2..=24).contains(&n),
+        "exact balance enumeration needs 2 ≤ n ≤ 24, got {n}"
+    );
     let mut beta: f64 = 1.0;
     // Fix node 0 outside S to halve the enumeration (ratio and inverse
     // ratio are both checked).

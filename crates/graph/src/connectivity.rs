@@ -143,7 +143,10 @@ mod tests {
         assert!(!is_strongly_connected(&g));
         let comp = strongly_connected_components(&g);
         // Three singleton components.
-        assert_eq!(comp.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            comp.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 
     #[test]

@@ -49,7 +49,12 @@ impl DiGraph {
     /// An empty graph on `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new(), out_adj: vec![Vec::new(); n], in_adj: vec![Vec::new(); n] }
+        Self {
+            n,
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+        }
     }
 
     /// An empty graph on `n` nodes with capacity for `m` edges.
@@ -87,7 +92,10 @@ impl DiGraph {
         assert!(from.index() < self.n, "edge tail {from} out of range");
         assert!(to.index() < self.n, "edge head {to} out of range");
         assert!(from != to, "self-loops are not allowed");
-        assert!(weight.is_finite() && weight >= 0.0, "weight must be finite and ≥ 0, got {weight}");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be finite and ≥ 0, got {weight}"
+        );
         let id = EdgeId::new(self.edges.len());
         self.edges.push(Edge { from, to, weight });
         self.out_adj[from.index()].push(id);
@@ -134,13 +142,19 @@ impl DiGraph {
     /// Weighted out-degree `w(v, V)`.
     #[must_use]
     pub fn weighted_out_degree(&self, v: NodeId) -> f64 {
-        self.out_adj[v.index()].iter().map(|&e| self.edges[e.index()].weight).sum()
+        self.out_adj[v.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].weight)
+            .sum()
     }
 
     /// Weighted in-degree `w(V, v)`.
     #[must_use]
     pub fn weighted_in_degree(&self, v: NodeId) -> f64 {
-        self.in_adj[v.index()].iter().map(|&e| self.edges[e.index()].weight).sum()
+        self.in_adj[v.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].weight)
+            .sum()
     }
 
     /// Total edge weight `w(V, V)`.

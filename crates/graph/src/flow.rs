@@ -5,6 +5,13 @@
 //! `2γ`-edge-connectivity of the Section 5.2 graph `G_{x,y}`
 //! (Lemma 5.5, Figures 3–6) is checked with exact integer flows, and
 //! directed global min-cuts of the weighted gadgets use float flows.
+//!
+//! Networks support **snapshot/reset reuse**: building the arc arrays
+//! is `O(m)` allocations, so batch solvers (edge connectivity,
+//! Gomory–Hu, the directed global min-cut) build one network and call
+//! [`FlowNetwork::reset`] between sinks instead of reallocating. The
+//! augmenting-path search is iterative, so path graphs of any depth
+//! cannot overflow the stack.
 
 use crate::digraph::DiGraph;
 use crate::ids::{NodeId, NodeSet};
@@ -16,16 +23,39 @@ pub trait Capacity:
     /// The zero capacity.
     const ZERO: Self;
     /// Whether the capacity is meaningfully positive (above numeric
-    /// noise for floats).
-    fn is_positive(self) -> bool;
+    /// noise for floats) relative to a default-scale network.
+    fn is_positive(self) -> bool {
+        self.exceeds(Self::default_eps())
+    }
+    /// Whether the capacity exceeds the given noise threshold.
+    fn exceeds(self, eps: Self) -> bool;
+    /// The residual-noise threshold for networks whose largest single
+    /// arc capacity is `max_cap`. For exact (integer) capacities this
+    /// is zero; for floats it scales with `max_cap` so that residual
+    /// classification is invariant under uniform weight scaling.
+    fn scaled_eps(max_cap: Self) -> Self;
+    /// The threshold assumed by [`Capacity::is_positive`] (a network
+    /// with unit-scale capacities).
+    fn default_eps() -> Self;
+    /// The larger of two capacities.
+    fn max2(self, other: Self) -> Self;
     /// The smaller of two capacities.
     fn min2(self, other: Self) -> Self;
 }
 
 impl Capacity for u64 {
     const ZERO: Self = 0;
-    fn is_positive(self) -> bool {
-        self > 0
+    fn exceeds(self, eps: Self) -> bool {
+        self > eps
+    }
+    fn scaled_eps(_max_cap: Self) -> Self {
+        0
+    }
+    fn default_eps() -> Self {
+        0
+    }
+    fn max2(self, other: Self) -> Self {
+        self.max(other)
     }
     fn min2(self, other: Self) -> Self {
         self.min(other)
@@ -34,8 +64,21 @@ impl Capacity for u64 {
 
 impl Capacity for f64 {
     const ZERO: Self = 0.0;
-    fn is_positive(self) -> bool {
-        self > 1e-11
+    fn exceeds(self, eps: Self) -> bool {
+        self > eps
+    }
+    /// Relative tolerance: `1e-11 × max(1, max_cap)`. The old absolute
+    /// `1e-11` threshold misclassified residuals once edge weights were
+    /// scaled up by `~1e12` (cancellation noise grows with the weights
+    /// while the threshold did not).
+    fn scaled_eps(max_cap: Self) -> Self {
+        1e-11 * max_cap.max(1.0)
+    }
+    fn default_eps() -> Self {
+        1e-11
+    }
+    fn max2(self, other: Self) -> Self {
+        self.max(other)
     }
     fn min2(self, other: Self) -> Self {
         self.min(other)
@@ -50,18 +93,34 @@ struct Arc<C> {
 
 /// A Dinic max-flow network with residual arcs stored in xor-paired
 /// positions (`arc i` ↔ `arc i^1`).
+///
+/// The capacities passed to [`FlowNetwork::add_arc`] /
+/// [`FlowNetwork::add_undirected`] are retained as an immutable
+/// snapshot, so after any number of [`FlowNetwork::max_flow`] calls the
+/// network can be restored with [`FlowNetwork::reset`] in one `O(m)`
+/// pass — no reallocation, no adjacency rebuild.
 #[derive(Debug, Clone)]
 pub struct FlowNetwork<C> {
     n: usize,
     arcs: Vec<Arc<C>>,
+    /// Pristine capacities of every arc slot, in arc order.
+    base: Vec<C>,
     adj: Vec<Vec<u32>>,
+    /// Residual-noise threshold, tracking the largest arc capacity.
+    eps: C,
 }
 
 impl<C: Capacity> FlowNetwork<C> {
     /// An empty network on `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { n, arcs: Vec::new(), adj: vec![Vec::new(); n] }
+        Self {
+            n,
+            arcs: Vec::new(),
+            base: Vec::new(),
+            adj: vec![Vec::new(); n],
+            eps: C::ZERO,
+        }
     }
 
     /// Number of nodes.
@@ -73,22 +132,53 @@ impl<C: Capacity> FlowNetwork<C> {
     /// Adds a directed arc `u → v` with the given capacity (reverse
     /// residual capacity zero).
     pub fn add_arc(&mut self, u: NodeId, v: NodeId, cap: C) {
-        assert!(u.index() < self.n && v.index() < self.n, "arc endpoint out of range");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "arc endpoint out of range"
+        );
         let i = self.arcs.len() as u32;
         self.arcs.push(Arc { to: v.0, cap });
-        self.arcs.push(Arc { to: u.0, cap: C::ZERO });
+        self.arcs.push(Arc {
+            to: u.0,
+            cap: C::ZERO,
+        });
+        self.base.push(cap);
+        self.base.push(C::ZERO);
         self.adj[u.index()].push(i);
         self.adj[v.index()].push(i + 1);
+        self.eps = self.eps.max2(C::scaled_eps(cap));
     }
 
     /// Adds an undirected edge: capacity `cap` in both directions.
     pub fn add_undirected(&mut self, u: NodeId, v: NodeId, cap: C) {
-        assert!(u.index() < self.n && v.index() < self.n, "arc endpoint out of range");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "arc endpoint out of range"
+        );
         let i = self.arcs.len() as u32;
         self.arcs.push(Arc { to: v.0, cap });
         self.arcs.push(Arc { to: u.0, cap });
+        self.base.push(cap);
+        self.base.push(cap);
         self.adj[u.index()].push(i);
         self.adj[v.index()].push(i + 1);
+        self.eps = self.eps.max2(C::scaled_eps(cap));
+    }
+
+    /// Restores every residual capacity to its as-built value, so the
+    /// network can be solved again for a different terminal pair. `O(m)`
+    /// with no allocation.
+    pub fn reset(&mut self) {
+        for (arc, &cap) in self.arcs.iter_mut().zip(self.base.iter()) {
+            arc.cap = cap;
+        }
+    }
+
+    /// The residual-noise threshold this network classifies
+    /// positive capacities with (relative to its largest arc).
+    #[must_use]
+    pub fn residual_eps(&self) -> C {
+        self.eps
     }
 
     fn bfs_levels(&self, s: usize, t: usize, levels: &mut [u32]) -> bool {
@@ -100,7 +190,7 @@ impl<C: Capacity> FlowNetwork<C> {
             for &ai in &self.adj[u] {
                 let arc = &self.arcs[ai as usize];
                 let v = arc.to as usize;
-                if arc.cap.is_positive() && levels[v] == u32::MAX {
+                if arc.cap.exceeds(self.eps) && levels[v] == u32::MAX {
                     levels[v] = levels[u] + 1;
                     queue.push_back(v);
                 }
@@ -109,40 +199,66 @@ impl<C: Capacity> FlowNetwork<C> {
         levels[t] != u32::MAX
     }
 
-    fn dfs_push(
+    /// Finds one augmenting `s → t` path in the level graph and pushes
+    /// its bottleneck, walking an explicit arc stack — deep path graphs
+    /// cannot overflow the call stack. Mirrors the classic recursive
+    /// `dfs_push` exactly: same arc visit order (via `iters`), same
+    /// bottleneck arithmetic, same residual updates.
+    fn augment_once(
         &mut self,
-        u: usize,
+        s: usize,
         t: usize,
-        pushed: Option<C>,
         levels: &[u32],
         iters: &mut [usize],
+        path: &mut Vec<u32>,
     ) -> Option<C> {
-        if u == t {
-            return pushed;
-        }
-        while iters[u] < self.adj[u].len() {
-            let ai = self.adj[u][iters[u]] as usize;
-            let (to, cap) = {
-                let arc = &self.arcs[ai];
-                (arc.to as usize, arc.cap)
-            };
-            if cap.is_positive() && levels[to] == levels[u] + 1 {
-                let next = match pushed {
-                    Some(p) => p.min2(cap),
-                    None => cap,
-                };
-                if let Some(got) = self.dfs_push(to, t, Some(next), levels, iters) {
-                    self.arcs[ai].cap = self.arcs[ai].cap - got;
-                    self.arcs[ai ^ 1].cap = self.arcs[ai ^ 1].cap + got;
-                    return Some(got);
+        path.clear();
+        let mut u = s;
+        loop {
+            if u == t {
+                // Bottleneck over the path, in path order (identical
+                // f64 arithmetic to the recursive descent).
+                let mut bottleneck = self.arcs[path[0] as usize].cap;
+                for &ai in &path[1..] {
+                    bottleneck = bottleneck.min2(self.arcs[ai as usize].cap);
+                }
+                for &ai in path.iter() {
+                    let ai = ai as usize;
+                    self.arcs[ai].cap = self.arcs[ai].cap - bottleneck;
+                    self.arcs[ai ^ 1].cap = self.arcs[ai ^ 1].cap + bottleneck;
+                }
+                return Some(bottleneck);
+            }
+            // Advance along the first admissible arc out of `u`.
+            let mut advanced = false;
+            while iters[u] < self.adj[u].len() {
+                let ai = self.adj[u][iters[u]];
+                let arc = self.arcs[ai as usize];
+                if arc.cap.exceeds(self.eps) && levels[arc.to as usize] == levels[u] + 1 {
+                    path.push(ai);
+                    u = arc.to as usize;
+                    advanced = true;
+                    break;
+                }
+                iters[u] += 1;
+            }
+            if !advanced {
+                // Dead end: retreat one arc and skip it at the parent,
+                // exactly as the recursive version does when a child
+                // returns `None`.
+                match path.pop() {
+                    Some(ai) => {
+                        u = self.arcs[(ai ^ 1) as usize].to as usize;
+                        iters[u] += 1;
+                    }
+                    None => return None,
                 }
             }
-            iters[u] += 1;
         }
-        None
     }
 
     /// Computes the maximum `s → t` flow, mutating residual capacities.
+    /// Call [`FlowNetwork::reset`] to solve again for another pair.
     ///
     /// # Panics
     /// Panics if `s == t`.
@@ -151,12 +267,14 @@ impl<C: Capacity> FlowNetwork<C> {
         let (s, t) = (s.index(), t.index());
         let mut total = C::ZERO;
         let mut levels = vec![u32::MAX; self.n];
+        let mut path: Vec<u32> = Vec::new();
         while self.bfs_levels(s, t, &mut levels) {
             let mut iters = vec![0usize; self.n];
-            while let Some(got) = self.dfs_push(s, t, None, &levels, &mut iters) {
+            while let Some(got) = self.augment_once(s, t, &levels, &mut iters, &mut path) {
                 total = total + got;
             }
         }
+        crate::stats::count_solve();
         total
     }
 
@@ -171,7 +289,7 @@ impl<C: Capacity> FlowNetwork<C> {
             for &ai in &self.adj[u] {
                 let arc = &self.arcs[ai as usize];
                 let v = arc.to as usize;
-                if arc.cap.is_positive() && !side.contains(NodeId::new(v)) {
+                if arc.cap.exceeds(self.eps) && !side.contains(NodeId::new(v)) {
                     side.insert(NodeId::new(v));
                     stack.push(v);
                 }
@@ -192,6 +310,29 @@ pub fn network_from_digraph(g: &DiGraph) -> FlowNetwork<f64> {
     net
 }
 
+/// Builds an integer unit-capacity network from an undirected graph
+/// (each edge has capacity 1 in both directions).
+#[must_use]
+pub fn unit_network_from_ungraph(g: &crate::ungraph::UnGraph) -> FlowNetwork<u64> {
+    let mut net: FlowNetwork<u64> = FlowNetwork::new(g.num_nodes());
+    for (u, v) in g.edges() {
+        net.add_undirected(u, v, 1);
+    }
+    net
+}
+
+/// Builds a float-capacity network with each digraph edge contributing
+/// its weight in *both* directions (the undirected symmetrization used
+/// by Gomory–Hu and pairwise min-cut checks).
+#[must_use]
+pub fn symmetric_network_from_digraph(g: &DiGraph) -> FlowNetwork<f64> {
+    let mut net = FlowNetwork::new(g.num_nodes());
+    for e in g.edges() {
+        net.add_undirected(e.from, e.to, e.weight);
+    }
+    net
+}
+
 /// Maximum `s → t` flow value in a weighted digraph.
 #[must_use]
 pub fn max_flow_digraph(g: &DiGraph, s: NodeId, t: NodeId) -> f64 {
@@ -202,11 +343,7 @@ pub fn max_flow_digraph(g: &DiGraph, s: NodeId, t: NodeId) -> f64 {
 /// graph, computed with exact integer flows.
 #[must_use]
 pub fn edge_disjoint_paths(g: &crate::ungraph::UnGraph, s: NodeId, t: NodeId) -> u64 {
-    let mut net: FlowNetwork<u64> = FlowNetwork::new(g.num_nodes());
-    for (u, v) in g.edges() {
-        net.add_undirected(u, v, 1);
-    }
-    net.max_flow(s, t)
+    unit_network_from_ungraph(g).max_flow(s, t)
 }
 
 #[cfg(test)]
@@ -256,7 +393,13 @@ mod tests {
     fn float_flow_matches_integer_flow() {
         let mut gi: FlowNetwork<u64> = FlowNetwork::new(4);
         let mut gf: FlowNetwork<f64> = FlowNetwork::new(4);
-        let edges = [(0usize, 1usize, 3u64), (0, 2, 2), (1, 3, 2), (2, 3, 3), (1, 2, 1)];
+        let edges = [
+            (0usize, 1usize, 3u64),
+            (0, 2, 2),
+            (1, 3, 2),
+            (2, 3, 3),
+            (1, 2, 1),
+        ];
         for &(u, v, c) in &edges {
             gi.add_arc(NodeId::new(u), NodeId::new(v), c);
             gf.add_arc(NodeId::new(u), NodeId::new(v), c as f64);
@@ -318,5 +461,68 @@ mod tests {
         let mut net: FlowNetwork<u64> = FlowNetwork::new(2);
         net.add_arc(NodeId::new(0), NodeId::new(1), 9);
         assert_eq!(net.max_flow(NodeId::new(1), NodeId::new(0)), 0);
+    }
+
+    #[test]
+    fn reset_restores_the_network_for_reuse() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 5.0);
+        g.add_edge(NodeId::new(0), NodeId::new(2), 3.0);
+        g.add_edge(NodeId::new(1), NodeId::new(3), 2.0);
+        g.add_edge(NodeId::new(2), NodeId::new(3), 4.0);
+        let mut net = network_from_digraph(&g);
+        let first = net.max_flow(NodeId::new(0), NodeId::new(3));
+        net.reset();
+        let second = net.max_flow(NodeId::new(0), NodeId::new(3));
+        assert_eq!(
+            first.to_bits(),
+            second.to_bits(),
+            "reset must fully restore residuals"
+        );
+        // And solving a different pair after reset matches a fresh build.
+        net.reset();
+        let reused = net.max_flow(NodeId::new(0), NodeId::new(2));
+        let fresh = network_from_digraph(&g).max_flow(NodeId::new(0), NodeId::new(2));
+        assert_eq!(reused.to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    fn deep_path_graph_does_not_overflow_the_stack() {
+        // A 10_000-node unit path exercises an augmenting path of
+        // maximal depth; the iterative walk must handle it.
+        let n = 10_000;
+        let mut net: FlowNetwork<u64> = FlowNetwork::new(n);
+        for i in 0..n - 1 {
+            net.add_arc(NodeId::new(i), NodeId::new(i + 1), 1 + (i as u64 % 3));
+        }
+        assert_eq!(net.max_flow(NodeId::new(0), NodeId::new(n - 1)), 1);
+    }
+
+    #[test]
+    fn relative_tolerance_survives_extreme_weight_scaling() {
+        // The same instance at unit scale and scaled by 1e12 must
+        // produce proportional flows; with the old absolute 1e-11
+        // threshold the scaled instance misclassified residual noise.
+        let edges = [
+            (0usize, 1usize, 3.7),
+            (0, 2, 2.2),
+            (1, 3, 2.9),
+            (2, 3, 3.1),
+            (1, 2, 1.3),
+        ];
+        let scale = 1e12;
+        let mut small: FlowNetwork<f64> = FlowNetwork::new(4);
+        let mut big: FlowNetwork<f64> = FlowNetwork::new(4);
+        for &(u, v, c) in &edges {
+            small.add_arc(NodeId::new(u), NodeId::new(v), c);
+            big.add_arc(NodeId::new(u), NodeId::new(v), c * scale);
+        }
+        assert!(big.residual_eps() > f64::default_eps());
+        let fs = small.max_flow(NodeId::new(0), NodeId::new(3));
+        let fb = big.max_flow(NodeId::new(0), NodeId::new(3));
+        assert!(
+            (fb / scale - fs).abs() < 1e-6 * fs,
+            "scaled {fb} vs unit {fs}"
+        );
     }
 }

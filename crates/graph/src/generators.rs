@@ -97,7 +97,10 @@ pub fn add_complete_bipartite(
     fwd: f64,
     bwd: f64,
 ) {
-    assert!(left.end <= right.start || right.end <= left.start, "node ranges must be disjoint");
+    assert!(
+        left.end <= right.start || right.end <= left.start,
+        "node ranges must be disjoint"
+    );
     for u in left {
         for v in right.clone() {
             if fwd > 0.0 {
@@ -192,7 +195,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let g = random_eulerian_digraph(7, 3, &mut rng);
         let exact = exact_balance_factor(&g);
-        assert!((exact - 1.0).abs() < 1e-9, "Eulerian graph has balance {exact}");
+        assert!(
+            (exact - 1.0).abs() < 1e-9,
+            "Eulerian graph has balance {exact}"
+        );
     }
 
     #[test]

@@ -7,10 +7,35 @@
 //! queries. The distributed coordinator and the sketch test suites use
 //! it to sanity-check many cuts at once, and it doubles as a
 //! strength-estimation substrate.
+//!
+//! # Parallel construction
+//!
+//! Gusfield's loop is sequential on paper: sink `i` flows against
+//! `parent[i]`, and earlier iterations rewrite later parents. But a
+//! parent only *changes* when an earlier sink's cut side captures it —
+//! on most graphs the vast majority of parents never move. The builder
+//! exploits that with **speculation**: each round solves every
+//! unresolved sink against its current parent guess in parallel (one
+//! shared network build, per-worker clones, snapshot reset between
+//! solves), then commits results in ascending sink order for as long
+//! as the guesses still match. A mismatch stops the commit sweep —
+//! later sinks may still be rewritten by the uncommitted prefix — and
+//! the survivors go into the next round. Because a solve's result
+//! depends only on `(sink, guess)`, survivors whose guess still holds
+//! next round reuse their cached result instead of re-solving; only
+//! sinks whose parent actually moved cost an extra solve. The first
+//! unresolved sink's parent is always final, so every round makes
+//! progress; when a round commits almost nothing (the parent pointers
+//! chain, so each commit invalidates the next sink) or speculative
+//! solves exceed `4(n − 1)`, the builder stops speculating and
+//! finishes serially, bounding wasted work on pathological graphs.
+//! Either way the finished tree is **bit-identical to the serial
+//! Gusfield tree for every thread count**.
 
 use crate::digraph::DiGraph;
-use crate::flow::FlowNetwork;
+use crate::flow::{symmetric_network_from_digraph, FlowNetwork};
 use crate::ids::NodeId;
+use crate::parallel;
 
 /// A Gomory–Hu tree: `parent[i]` and `flow[i]` for `i ≥ 1` encode the
 /// tree edge `i – parent[i]` of capacity `flow[i]` (node 0 is the
@@ -31,39 +56,156 @@ use crate::ids::NodeId;
 /// assert_eq!(tree.min_cut(NodeId::new(0), NodeId::new(3)), 1.0);
 /// assert_eq!(tree.global_min_cut(), 1.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GomoryHuTree {
     parent: Vec<usize>,
     flow: Vec<f64>,
 }
 
+/// Applies Gusfield's parent-relabeling for a committed sink `i`.
+fn commit(parent: &mut [usize], flow: &mut [f64], i: usize, f: f64, side: &crate::ids::NodeSet) {
+    flow[i] = f;
+    let pi = parent[i];
+    for (j, p) in parent.iter_mut().enumerate().skip(i + 1) {
+        if side.contains(NodeId::new(j)) && *p == pi {
+            *p = i;
+        }
+    }
+}
+
 impl GomoryHuTree {
     /// Builds the tree for the *undirected symmetrization* of `g`
     /// (each directed edge contributes its weight in both directions),
-    /// with `n − 1` max-flows.
+    /// with `n − 1` max-flows on [`parallel::default_threads`] workers.
     ///
     /// # Panics
     /// Panics if the graph has fewer than 2 nodes.
     #[must_use]
     pub fn build(g: &DiGraph) -> Self {
+        Self::build_threaded(g, parallel::default_threads())
+    }
+
+    /// [`GomoryHuTree::build`] with an explicit worker count. The tree
+    /// is identical for every `threads ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if the graph has fewer than 2 nodes.
+    #[must_use]
+    pub fn build_threaded(g: &DiGraph, threads: usize) -> Self {
+        let n = g.num_nodes();
+        assert!(n >= 2, "Gomory–Hu needs ≥ 2 nodes");
+        crate::stats::timed_stage("gomory_hu/build", || {
+            let mut parent = vec![0usize; n];
+            let mut flow = vec![0.0f64; n];
+            let base = symmetric_network_from_digraph(g);
+            if threads <= 1 {
+                // Serial Gusfield on one snapshot-reset network — no
+                // speculation, exactly n − 1 solves.
+                let mut net = base.clone();
+                for i in 1..n {
+                    net.reset();
+                    let f = net.max_flow(NodeId::new(i), NodeId::new(parent[i]));
+                    let side = net.min_cut_side(NodeId::new(i));
+                    commit(&mut parent, &mut flow, i, f, &side);
+                }
+                return Self { parent, flow };
+            }
+            let mut unresolved: Vec<usize> = (1..n).collect();
+            // cache[i] = (guess, flow, side) from the latest speculative
+            // solve of sink i. A solve depends only on (sink, guess), so
+            // a cached result stays valid as long as `parent[i]` still
+            // equals the guess it was computed against.
+            let mut cache: Vec<Option<(usize, f64, crate::ids::NodeSet)>> = vec![None; n];
+            // Speculative solves issued; bounds wasted work on graphs
+            // whose parent pointers chain (every reparent after a
+            // sink's solve costs one extra solve).
+            let mut issued = 0usize;
+            let mut bail = false;
+            while !unresolved.is_empty() && !bail {
+                // Solve (in parallel) every unresolved sink whose cached
+                // guess went stale — or which has no cached result yet.
+                let todo: Vec<usize> = unresolved
+                    .iter()
+                    .copied()
+                    .filter(|&i| !matches!(&cache[i], Some((g, _, _)) if *g == parent[i]))
+                    .collect();
+                let guesses: Vec<usize> = todo.iter().map(|&i| parent[i]).collect();
+                issued += todo.len();
+                let results = parallel::run_indexed_with(
+                    todo.len(),
+                    threads,
+                    || base.clone(),
+                    |net: &mut FlowNetwork<f64>, idx| {
+                        net.reset();
+                        let f = net.max_flow(NodeId::new(todo[idx]), NodeId::new(guesses[idx]));
+                        (f, net.min_cut_side(NodeId::new(todo[idx])))
+                    },
+                );
+                for (idx, (f, side)) in results.into_iter().enumerate() {
+                    cache[todo[idx]] = Some((guesses[idx], f, side));
+                }
+                // Commit the ascending prefix whose guesses still hold;
+                // the first mismatch invalidates everything after it
+                // (its own commit may rewrite later parents), so the
+                // rest waits for the next round — cached, not re-solved,
+                // unless that rewrite actually reaches it.
+                let before = unresolved.len();
+                let mut committed = 0usize;
+                for (idx, &i) in unresolved.iter().enumerate() {
+                    let (guess, f, side) = cache[i].as_ref().expect("solved or cached above");
+                    if *guess != parent[i] {
+                        break;
+                    }
+                    let (f, side) = (*f, side.clone());
+                    commit(&mut parent, &mut flow, i, f, &side);
+                    committed = idx + 1;
+                }
+                debug_assert!(committed > 0, "first unresolved sink always commits");
+                unresolved.drain(..committed);
+                // Near-zero yield means the parent pointers chain (each
+                // commit invalidates the next sink): speculating further
+                // would degenerate to serial with extra waste, so switch
+                // to the serial path now. Deterministic — the decision
+                // depends only on solve results, never on scheduling.
+                bail = committed * 8 < before || issued >= 4 * (n - 1);
+            }
+            // Serial finish for whatever speculation left behind, still
+            // reusing one network and any cached solve whose guess held.
+            if !unresolved.is_empty() {
+                let mut net = base.clone();
+                for &i in &unresolved {
+                    let (f, side) = match &cache[i] {
+                        Some((g, f, side)) if *g == parent[i] => (*f, side.clone()),
+                        _ => {
+                            net.reset();
+                            let f = net.max_flow(NodeId::new(i), NodeId::new(parent[i]));
+                            (f, net.min_cut_side(NodeId::new(i)))
+                        }
+                    };
+                    commit(&mut parent, &mut flow, i, f, &side);
+                }
+            }
+            Self { parent, flow }
+        })
+    }
+
+    /// The seed (pre-engine) construction: serial Gusfield rebuilding a
+    /// fresh [`FlowNetwork`] for every sink. Kept as the baseline the
+    /// benches and equivalence tests compare the engine against.
+    ///
+    /// # Panics
+    /// Panics if the graph has fewer than 2 nodes.
+    #[must_use]
+    pub fn build_reference(g: &DiGraph) -> Self {
         let n = g.num_nodes();
         assert!(n >= 2, "Gomory–Hu needs ≥ 2 nodes");
         let mut parent = vec![0usize; n];
         let mut flow = vec![0.0f64; n];
         for i in 1..n {
-            let mut net: FlowNetwork<f64> = FlowNetwork::new(n);
-            for e in g.edges() {
-                net.add_undirected(e.from, e.to, e.weight);
-            }
+            let mut net = symmetric_network_from_digraph(g);
             let f = net.max_flow(NodeId::new(i), NodeId::new(parent[i]));
-            flow[i] = f;
             let side = net.min_cut_side(NodeId::new(i));
-            let pi = parent[i];
-            for (j, p) in parent.iter_mut().enumerate().skip(i + 1) {
-                if side.contains(NodeId::new(j)) && *p == pi {
-                    *p = i;
-                }
-            }
+            commit(&mut parent, &mut flow, i, f, &side);
         }
         Self { parent, flow }
     }
@@ -146,7 +288,17 @@ mod tests {
     #[test]
     fn tree_answers_all_pairs_on_small_graph() {
         let mut g = DiGraph::new(6);
-        let edges = [(0, 1, 1.0), (0, 2, 7.0), (1, 2, 1.0), (1, 3, 3.0), (1, 4, 2.0), (2, 4, 4.0), (3, 4, 1.0), (3, 5, 6.0), (4, 5, 2.0)];
+        let edges = [
+            (0, 1, 1.0),
+            (0, 2, 7.0),
+            (1, 2, 1.0),
+            (1, 3, 3.0),
+            (1, 4, 2.0),
+            (2, 4, 4.0),
+            (3, 4, 1.0),
+            (3, 5, 6.0),
+            (4, 5, 2.0),
+        ];
         for (u, v, w) in edges {
             g.add_edge(NodeId::new(u), NodeId::new(v), w);
         }
@@ -199,6 +351,25 @@ mod tests {
         assert_eq!(tree.edges().count(), 7);
         for (_, _, cap) in tree.edges() {
             assert!(cap > 0.0);
+        }
+    }
+
+    #[test]
+    fn threaded_build_matches_reference_exactly() {
+        for seed in 0..3u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = random_balanced_digraph(12, 0.4, 2.0, &mut rng);
+            let reference = GomoryHuTree::build_reference(&g);
+            for threads in [1usize, 2, 8] {
+                let tree = GomoryHuTree::build_threaded(&g, threads);
+                assert_eq!(
+                    tree.parent, reference.parent,
+                    "seed {seed} threads {threads}"
+                );
+                let bits: Vec<u64> = tree.flow.iter().map(|f| f.to_bits()).collect();
+                let ref_bits: Vec<u64> = reference.flow.iter().map(|f| f.to_bits()).collect();
+                assert_eq!(bits, ref_bits, "seed {seed} threads {threads}");
+            }
         }
     }
 }

@@ -68,7 +68,10 @@ impl NodeSet {
     /// The empty set over a universe of `n` nodes.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        Self { words: vec![0; n.div_ceil(64)], universe: n }
+        Self {
+            words: vec![0; n.div_ceil(64)],
+            universe: n,
+        }
     }
 
     /// The full set `{0, …, n−1}`.
@@ -100,7 +103,11 @@ impl NodeSet {
     /// Inserts a node; returns whether it was newly inserted.
     pub fn insert(&mut self, v: NodeId) -> bool {
         let i = v.index();
-        assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
         let (w, b) = (i / 64, i % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -110,7 +117,11 @@ impl NodeSet {
     /// Removes a node; returns whether it was present.
     pub fn remove(&mut self, v: NodeId) -> bool {
         let i = v.index();
-        assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
         let (w, b) = (i / 64, i % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);

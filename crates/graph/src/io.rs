@@ -105,7 +105,11 @@ pub fn to_dot(g: &DiGraph, name: &str) -> String {
         let _ = writeln!(out, "  {};", v.0);
     }
     for e in g.edges() {
-        let _ = writeln!(out, "  {} -> {} [label=\"{:.3}\"];", e.from.0, e.to.0, e.weight);
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{:.3}\"];",
+            e.from.0, e.to.0, e.weight
+        );
     }
     let _ = writeln!(out, "}}");
     out
@@ -144,7 +148,10 @@ mod tests {
     #[test]
     fn errors_are_reported_with_line_numbers() {
         assert_eq!(from_edge_list("e 0 1 1.0"), Err(ParseError::MissingHeader));
-        assert_eq!(from_edge_list("n 2\nwhat"), Err(ParseError::BadLine { line: 2 }));
+        assert_eq!(
+            from_edge_list("n 2\nwhat"),
+            Err(ParseError::BadLine { line: 2 })
+        );
         assert_eq!(
             from_edge_list("n 2\ne 0 5 1.0"),
             Err(ParseError::NodeOutOfRange { line: 2 })

@@ -14,7 +14,9 @@
 
 use crate::digraph::DiGraph;
 use crate::ids::NodeSet;
-use rand::Rng;
+use crate::parallel;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// A weighted undirected multigraph under contraction: flat dense
 /// symmetric weight matrix over super-nodes plus the membership of
@@ -78,7 +80,13 @@ impl Contracted {
         }
         let deg = self.alive.iter().map(|&a| self.deg[a]).collect();
         let groups = self.alive.iter().map(|&a| self.groups[a].clone()).collect();
-        Self { w, dim: k, deg, alive: (0..k).collect(), groups }
+        Self {
+            w,
+            dim: k,
+            deg,
+            alive: (0..k).collect(),
+            groups,
+        }
     }
 
     /// Contracts a weight-proportional random edge. Returns `false` if
@@ -117,15 +125,45 @@ impl Contracted {
                 .iter()
                 .filter(|&&c| c != u)
                 .max_by(|&&a, &&b| {
-                    self.weight(u, a).partial_cmp(&self.weight(u, b)).expect("NaN")
+                    self.weight(u, a)
+                        .partial_cmp(&self.weight(u, b))
+                        .expect("NaN")
                 })
                 .expect("at least 2 alive nodes");
             if self.weight(u, v) <= 0.0 {
-                return false;
+                // Rounding drift in `deg[u]` (or an isolated-but-alive
+                // u) landed us on a node with no positive neighbor. The
+                // graph may still be connected — only declare it
+                // disconnected after scanning *every* alive pair.
+                return self.contract_heaviest_edge();
             }
         }
         self.merge(u, v);
         true
+    }
+
+    /// Fallback for when weight-proportional sampling fell through:
+    /// contracts the globally heaviest remaining edge, or reports a
+    /// genuinely disconnected remainder. Consumes no randomness.
+    fn contract_heaviest_edge(&mut self) -> bool {
+        let mut best = 0.0f64;
+        let mut pair: Option<(usize, usize)> = None;
+        for (i, &a) in self.alive.iter().enumerate() {
+            for &b in &self.alive[i + 1..] {
+                let w = self.weight(a, b);
+                if w > best {
+                    best = w;
+                    pair = Some((a, b));
+                }
+            }
+        }
+        match pair {
+            Some((a, b)) => {
+                self.merge(a, b);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Merges super-node `v` into `u` in `O(alive)`.
@@ -133,9 +171,8 @@ impl Contracted {
         let moved = std::mem::take(&mut self.groups[v]);
         self.groups[u].extend(moved);
         self.alive.retain(|&x| x != v);
-        // u absorbs v's edges; drop the (u, v) weight from both degrees.
+        // u absorbs v's edges.
         let d = self.dim;
-        self.deg[u] += self.deg[v] - 2.0 * self.w[u * d + v];
         self.w[u * d + v] = 0.0;
         self.w[v * d + u] = 0.0;
         self.deg[v] = 0.0;
@@ -151,6 +188,17 @@ impl Contracted {
                 self.w[x * d + v] = 0.0;
             }
         }
+        // Recompute u's degree from its row instead of the incremental
+        // `deg[u] + deg[v] − 2·w[u][v]` update: with weights spanning
+        // many orders of magnitude the incremental form accumulates
+        // cancellation error until `deg` disagrees with the matrix and
+        // the sampling loop falls through spuriously.
+        self.deg[u] = self
+            .alive
+            .iter()
+            .filter(|&&x| x != u)
+            .map(|&x| self.w[u * d + x])
+            .sum();
     }
 
     /// When exactly 2 super-nodes remain, the cut between them.
@@ -236,6 +284,12 @@ pub fn karger_stein_once<R: Rng>(g: &DiGraph, rng: &mut R) -> (f64, NodeSet) {
 /// whose (undirected) value is at most `alpha` times the best value
 /// seen, sorted by value. Sides are canonicalized (node 0 excluded) so
 /// each unordered cut appears once.
+///
+/// Trials run on [`parallel::default_threads`] workers. `rng` is used
+/// only to draw one seed per trial up front — each trial then runs its
+/// own [`ChaCha8Rng`] and the results merge in trial order, so for a
+/// fixed master RNG state the output is bit-identical regardless of
+/// thread count.
 #[must_use]
 pub fn enumerate_near_min_cuts<R: Rng>(
     g: &DiGraph,
@@ -243,18 +297,45 @@ pub fn enumerate_near_min_cuts<R: Rng>(
     trials: usize,
     rng: &mut R,
 ) -> Vec<(f64, NodeSet)> {
+    enumerate_near_min_cuts_threaded(g, alpha, trials, rng, parallel::default_threads())
+}
+
+/// [`enumerate_near_min_cuts`] with an explicit worker count.
+#[must_use]
+pub fn enumerate_near_min_cuts_threaded<R: Rng>(
+    g: &DiGraph,
+    alpha: f64,
+    trials: usize,
+    rng: &mut R,
+    threads: usize,
+) -> Vec<(f64, NodeSet)> {
     assert!(alpha >= 1.0, "alpha must be ≥ 1");
-    let mut seen = std::collections::HashMap::<NodeSet, f64>::new();
-    let mut best = f64::INFINITY;
-    for _ in 0..trials {
-        let (v, side) = karger_stein_once(g, rng);
-        best = best.min(v);
-        seen.entry(side.canonical_cut_side()).or_insert(v);
-    }
-    let mut out: Vec<(f64, NodeSet)> =
-        seen.into_iter().filter(|&(_, v)| v <= alpha * best + 1e-9).map(|(s, v)| (v, s)).collect();
-    out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN cut value"));
-    out
+    crate::stats::timed_stage("karger/enumerate_near_min_cuts", || {
+        let seeds: Vec<u64> = (0..trials).map(|_| rng.gen()).collect();
+        let results: Vec<(f64, NodeSet)> = parallel::run_indexed(trials, threads, |i| {
+            let mut trial_rng = ChaCha8Rng::seed_from_u64(seeds[i]);
+            karger_stein_once(g, &mut trial_rng)
+        });
+        // Merge in trial order (first trial to find a cut wins the
+        // recorded value) so the output never depends on scheduling,
+        // and sort stably so equal-value cuts keep discovery order.
+        let mut seen = std::collections::HashSet::<NodeSet>::new();
+        let mut distinct: Vec<(f64, NodeSet)> = Vec::new();
+        let mut best = f64::INFINITY;
+        for (v, side) in results {
+            best = best.min(v);
+            let key = side.canonical_cut_side();
+            if seen.insert(key.clone()) {
+                distinct.push((v, key));
+            }
+        }
+        let mut out: Vec<(f64, NodeSet)> = distinct
+            .into_iter()
+            .filter(|&(v, _)| v <= alpha * best + 1e-9)
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN cut value"));
+        out
+    })
 }
 
 #[cfg(test)]
@@ -267,7 +348,15 @@ mod tests {
 
     fn dumbbell() -> DiGraph {
         let mut g = DiGraph::new(6);
-        let e = [(0, 1, 3.0), (1, 2, 3.0), (0, 2, 3.0), (3, 4, 3.0), (4, 5, 3.0), (3, 5, 3.0), (2, 3, 1.0)];
+        let e = [
+            (0, 1, 3.0),
+            (1, 2, 3.0),
+            (0, 2, 3.0),
+            (3, 4, 3.0),
+            (4, 5, 3.0),
+            (3, 5, 3.0),
+            (2, 3, 1.0),
+        ];
         for (u, v, w) in e {
             g.add_edge(NodeId::new(u), NodeId::new(v), w);
         }
@@ -309,7 +398,10 @@ mod tests {
             for _ in 0..30 {
                 best = best.min(karger_stein_once(&g, &mut rng).0);
             }
-            assert!((best - exact).abs() < 1e-6, "seed {seed}: KS {best} vs SW {exact}");
+            assert!(
+                (best - exact).abs() < 1e-6,
+                "seed {seed}: KS {best} vs SW {exact}"
+            );
         }
     }
 
@@ -351,6 +443,65 @@ mod tests {
             let (out, into) = g.cut_both(&side);
             assert!((out + into - v).abs() < 1e-9);
             assert!(side.is_proper_cut());
+        }
+    }
+
+    #[test]
+    fn contraction_survives_adversarially_tiny_weights() {
+        // Regression: mixing weights 24 orders of magnitude apart made
+        // the incremental degree bookkeeping drift away from the weight
+        // matrix; the edge-sampling loop then fell through onto a
+        // partner of weight ≤ 0 and `karger_once` panicked with "graph
+        // is disconnected" on a connected graph. The merge now
+        // recomputes degrees exactly and the sampler rescues itself by
+        // scanning all alive pairs before giving up.
+        let n = 12;
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            // A spanning cycle of near-epsilon edges keeps the graph
+            // connected while contributing almost nothing to degrees.
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % n), 1e-12);
+        }
+        let mut gen = ChaCha8Rng::seed_from_u64(77);
+        for i in 0..n {
+            for j in (i + 2)..n {
+                if gen.gen_bool(0.4) {
+                    g.add_edge(
+                        NodeId::new(i),
+                        NodeId::new(j),
+                        1e12 * gen.gen_range(0.5..2.0),
+                    );
+                }
+            }
+        }
+        for seed in 0..200u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let (v, side) = karger_once(&g, &mut rng);
+            assert!(side.is_proper_cut(), "seed {seed}");
+            let (out, into) = g.cut_both(&side);
+            assert!((out + into - v).abs() <= 1e-6 * (1.0 + v), "seed {seed}");
+            let (v2, side2) = karger_stein_once(&g, &mut rng);
+            assert!(side2.is_proper_cut(), "seed {seed}");
+            assert!(v2.is_finite() && v2 >= 0.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn enumeration_is_thread_count_invariant() {
+        let g = dumbbell();
+        let reference = {
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            enumerate_near_min_cuts_threaded(&g, 1.5, 48, &mut rng, 1)
+        };
+        assert!(!reference.is_empty());
+        for threads in [2usize, 8] {
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            let cuts = enumerate_near_min_cuts_threaded(&g, 1.5, 48, &mut rng, threads);
+            assert_eq!(cuts.len(), reference.len(), "threads {threads}");
+            for ((v1, s1), (v2, s2)) in reference.iter().zip(&cuts) {
+                assert_eq!(v1.to_bits(), v2.to_bits(), "threads {threads}");
+                assert_eq!(s1, s2, "threads {threads}");
+            }
         }
     }
 

@@ -2,7 +2,9 @@
 //!
 //! Weighted directed multigraphs ([`DiGraph`]), unweighted undirected
 //! graphs for the local query model ([`UnGraph`]), node-set cuts,
-//! max-flow, global min-cut (deterministic and randomized), β-balance
+//! max-flow with capacity snapshots, a deterministic parallel solve
+//! engine ([`parallel`], [`stats`]), global min-cut (deterministic and
+//! randomized), β-balance
 //! certificates (Definition 2.1 of the paper), sparse certificates, and
 //! generators for every graph family the experiments need.
 
@@ -15,12 +17,14 @@ pub mod digraph;
 pub mod flow;
 pub mod generators;
 pub mod gomory_hu;
-pub mod io;
 pub mod ids;
+pub mod io;
 pub mod karger;
 pub mod mincut;
 pub mod nagamochi;
+pub mod parallel;
 pub mod push_relabel;
+pub mod stats;
 pub mod ungraph;
 
 pub use digraph::{DiGraph, Edge};

@@ -6,10 +6,17 @@
 //!   `2(n−1)` max-flow computations,
 //! * [`edge_connectivity`] — exact `λ(G)` of an unweighted undirected
 //!   graph with integer flows (used to verify Lemma 5.5).
+//!
+//! The flow-based solvers run on the parallel engine: the network is
+//! built **once**, each worker clones it, and per-sink solves reuse the
+//! clone through [`FlowNetwork::reset`] instead of rebuilding. Results
+//! are folded in sink order, so the answer is bit-identical for every
+//! thread count (including the serial path).
 
 use crate::digraph::DiGraph;
-use crate::flow::{network_from_digraph, FlowNetwork};
+use crate::flow::{network_from_digraph, unit_network_from_ungraph, FlowNetwork};
 use crate::ids::{NodeId, NodeSet};
+use crate::parallel;
 use crate::ungraph::UnGraph;
 
 /// A global minimum cut: its value and one side of the partition.
@@ -92,37 +99,63 @@ pub fn stoer_wagner(g: &DiGraph) -> GlobalCut {
         active.retain(|&v| v != last);
     }
 
-    GlobalCut { value: best_value, side: NodeSet::from_indices(n, best_side) }
+    GlobalCut {
+        value: best_value,
+        side: NodeSet::from_indices(n, best_side),
+    }
 }
 
 /// Global minimum *directed* cut `min_S w(S, V∖S)` via max-flows:
 /// fixing node 0, the optimal `S` either contains 0 (then some `t ∉ S`
 /// gives `maxflow(0, t)`) or not (then `maxflow(t, 0)` for some `t ∈ S`).
 ///
+/// Runs the `2(n−1)` solves on [`parallel::default_threads`] workers;
+/// see [`global_min_cut_directed_threaded`] for an explicit count.
+///
 /// # Panics
 /// Panics if the graph has fewer than 2 nodes.
 #[must_use]
 pub fn global_min_cut_directed(g: &DiGraph) -> GlobalCut {
+    global_min_cut_directed_threaded(g, parallel::default_threads())
+}
+
+/// [`global_min_cut_directed`] with an explicit worker count. The
+/// result is identical for every `threads ≥ 1`.
+///
+/// # Panics
+/// Panics if the graph has fewer than 2 nodes.
+#[must_use]
+pub fn global_min_cut_directed_threaded(g: &DiGraph, threads: usize) -> GlobalCut {
     let n = g.num_nodes();
     assert!(n >= 2, "global min-cut needs ≥ 2 nodes");
-    let zero = NodeId::new(0);
-    let mut best = GlobalCut { value: f64::INFINITY, side: NodeSet::empty(n) };
-    for t in 1..n {
-        let t = NodeId::new(t);
-        // 0 on the source side.
-        let mut net = network_from_digraph(g);
-        let f = net.max_flow(zero, t);
-        if f < best.value {
-            best = GlobalCut { value: f, side: net.min_cut_side(zero) };
+    crate::stats::timed_stage("global_min_cut_directed", || {
+        let zero = NodeId::new(0);
+        let base = network_from_digraph(g);
+        // Task 2i   : maxflow(0, t), t = i + 1  (0 on the source side)
+        // Task 2i+1 : maxflow(t, 0)             (0 on the sink side)
+        let solves: Vec<(f64, NodeSet)> = parallel::run_indexed_with(
+            2 * (n - 1),
+            threads,
+            || base.clone(),
+            |net, task| {
+                net.reset();
+                let t = NodeId::new(1 + task / 2);
+                let (s, d) = if task % 2 == 0 { (zero, t) } else { (t, zero) };
+                let f = net.max_flow(s, d);
+                (f, net.min_cut_side(s))
+            },
+        );
+        let mut best = GlobalCut {
+            value: f64::INFINITY,
+            side: NodeSet::empty(n),
+        };
+        for (f, side) in solves {
+            if f < best.value {
+                best = GlobalCut { value: f, side };
+            }
         }
-        // 0 on the sink side.
-        let mut net = network_from_digraph(g);
-        let f = net.max_flow(t, zero);
-        if f < best.value {
-            best = GlobalCut { value: f, side: net.min_cut_side(t) };
-        }
-    }
-    best
+        best
+    })
 }
 
 /// Exact edge connectivity `λ(G)` of an unweighted undirected graph,
@@ -130,30 +163,48 @@ pub fn global_min_cut_directed(g: &DiGraph) -> GlobalCut {
 /// fewer than 2 nodes.
 ///
 /// Uses the standard `min_{t≠0} maxflow(0, t)` identity with integer
-/// unit capacities.
+/// unit capacities, one network build and `n − 1` snapshot-reset
+/// solves fanned across [`parallel::default_threads`] workers.
 #[must_use]
 pub fn edge_connectivity(g: &UnGraph) -> Option<(u64, NodeSet)> {
+    edge_connectivity_threaded(g, parallel::default_threads())
+}
+
+/// [`edge_connectivity`] with an explicit worker count. The result is
+/// identical for every `threads ≥ 1`.
+#[must_use]
+pub fn edge_connectivity_threaded(g: &UnGraph, threads: usize) -> Option<(u64, NodeSet)> {
     let n = g.num_nodes();
     if n < 2 {
         return None;
     }
-    let zero = NodeId::new(0);
-    let mut best: Option<(u64, NodeSet)> = None;
-    for t in 1..n {
-        let mut net: FlowNetwork<u64> = FlowNetwork::new(n);
-        for (u, v) in g.edges() {
-            net.add_undirected(u, v, 1);
-        }
-        let f = net.max_flow(zero, NodeId::new(t));
-        if best.as_ref().is_none_or(|(b, _)| f < *b) {
-            let side = net.min_cut_side(zero);
-            best = Some((f, side));
-            if f == 0 {
-                break;
+    Some(crate::stats::timed_stage("edge_connectivity", || {
+        let zero = NodeId::new(0);
+        let base = unit_network_from_ungraph(g);
+        let solves: Vec<(u64, NodeSet)> = parallel::run_indexed_with(
+            n - 1,
+            threads,
+            || base.clone(),
+            |net: &mut FlowNetwork<u64>, task| {
+                net.reset();
+                let f = net.max_flow(zero, NodeId::new(task + 1));
+                (f, net.min_cut_side(zero))
+            },
+        );
+        // Fold in sink order with strict improvement — same winner as
+        // the serial loop (and its `f == 0` early break).
+        let mut best: Option<(u64, NodeSet)> = None;
+        for (f, side) in solves {
+            if best.as_ref().is_none_or(|(b, _)| f < *b) {
+                let done = f == 0;
+                best = Some((f, side));
+                if done {
+                    break;
+                }
             }
         }
-    }
-    best
+        best.expect("n ≥ 2 yields at least one solve")
+    }))
 }
 
 /// Exact size of the global minimum cut of an unweighted undirected
@@ -228,7 +279,16 @@ mod tests {
 
     #[test]
     fn stoer_wagner_cut_value_matches_reported_side() {
-        let g = undirected(5, &[(0, 1, 1.5), (1, 2, 2.5), (2, 3, 0.5), (3, 4, 4.0), (4, 0, 1.0)]);
+        let g = undirected(
+            5,
+            &[
+                (0, 1, 1.5),
+                (1, 2, 2.5),
+                (2, 3, 0.5),
+                (3, 4, 4.0),
+                (4, 0, 1.0),
+            ],
+        );
         let cut = stoer_wagner(&g);
         // Verify the reported side really has the reported (undirected) value.
         let (out, into) = g.cut_both(&cut.side);
@@ -255,6 +315,29 @@ mod tests {
         g.add_edge(NodeId::new(1), NodeId::new(2), 2.0);
         let cut = global_min_cut_directed(&g);
         assert_eq!(cut.value, 0.0);
+    }
+
+    #[test]
+    fn directed_min_cut_is_thread_count_invariant() {
+        let mut g = DiGraph::new(5);
+        let edges = [
+            (0, 1, 1.5),
+            (1, 2, 2.0),
+            (2, 3, 0.7),
+            (3, 4, 2.2),
+            (4, 0, 1.1),
+            (1, 3, 0.4),
+            (2, 0, 3.0),
+        ];
+        for (u, v, w) in edges {
+            g.add_edge(NodeId::new(u), NodeId::new(v), w);
+        }
+        let one = global_min_cut_directed_threaded(&g, 1);
+        for threads in [2, 4, 8] {
+            let k = global_min_cut_directed_threaded(&g, threads);
+            assert_eq!(one.value.to_bits(), k.value.to_bits(), "threads={threads}");
+            assert_eq!(one.side, k.side, "threads={threads}");
+        }
     }
 
     #[test]
@@ -306,19 +389,68 @@ mod tests {
     }
 
     #[test]
+    fn edge_connectivity_is_thread_count_invariant() {
+        let mut g = UnGraph::new(9);
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+            (5, 7),
+            (6, 8),
+            (7, 8),
+            (2, 7),
+            (0, 8),
+        ];
+        for &(u, v) in &edges {
+            g.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+        let (l1, s1) = edge_connectivity_threaded(&g, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let (lk, sk) = edge_connectivity_threaded(&g, threads).unwrap();
+            assert_eq!(l1, lk, "threads={threads}");
+            assert_eq!(s1, sk, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn stoer_wagner_agrees_with_flow_based_connectivity() {
         // Unweighted random-ish graph: Stoer–Wagner (weights 1.0) must
         // agree with integer-flow edge connectivity.
         let mut ug = UnGraph::new(9);
         let mut dg = DiGraph::new(9);
-        let edges =
-            [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (3, 5), (4, 6), (5, 6), (5, 7), (6, 8), (7, 8), (2, 7), (0, 8)];
+        let edges = [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+            (5, 7),
+            (6, 8),
+            (7, 8),
+            (2, 7),
+            (0, 8),
+        ];
         for &(u, v) in &edges {
             ug.add_edge(NodeId::new(u), NodeId::new(v));
             dg.add_edge(NodeId::new(u), NodeId::new(v), 1.0);
         }
         let sw = stoer_wagner(&dg);
         let lambda = min_cut_unweighted(&ug);
-        assert!((sw.value - lambda as f64).abs() < 1e-9, "SW {} vs λ {}", sw.value, lambda);
+        assert!(
+            (sw.value - lambda as f64).abs() < 1e-9,
+            "SW {} vs λ {}",
+            sw.value,
+            lambda
+        );
     }
 }

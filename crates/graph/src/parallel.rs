@@ -1,0 +1,158 @@
+//! Deterministic fan-out of independent solves over a bounded worker
+//! pool.
+//!
+//! Every batch entry point in the engine (per-sink flows, Karger–Stein
+//! trials, per-server sketching) reduces to the same shape: `tasks`
+//! independent jobs whose results must come back **in task order** so
+//! the output is bit-identical no matter how many worker threads ran
+//! them. [`run_indexed`] and [`run_indexed_with`] implement that shape
+//! with `std::thread::scope` — workers claim task indices from a shared
+//! atomic counter, stash `(index, result)` pairs locally, and the
+//! caller reassembles the results by index afterwards. Scheduling
+//! nondeterminism therefore affects *which worker* computes a task, but
+//! never the result: each task sees only its own per-task state.
+//!
+//! The pool size comes from [`default_threads`]: the
+//! `DIRCUT_THREADS` environment variable when set, otherwise the
+//! machine's available parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count used by engine entry points that do not take an
+/// explicit thread count: `DIRCUT_THREADS` if set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DIRCUT_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f(0), f(1), …, f(tasks − 1)` across up to `threads` workers
+/// and returns the results in task order.
+///
+/// Determinism: the output depends only on `f` and `tasks` — never on
+/// `threads` or scheduling — provided `f` is a pure function of its
+/// index (the engine's tasks are: each solves its own cloned network or
+/// its own seeded RNG).
+pub fn run_indexed<T, F>(tasks: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(tasks, threads, || (), move |(), i| f(i))
+}
+
+/// Like [`run_indexed`], but each worker first builds private scratch
+/// state with `init` (e.g. a cloned [`crate::flow::FlowNetwork`]) and
+/// every task it claims receives `&mut` access to it. The serial path
+/// (`threads ≤ 1` or `tasks ≤ 1`) builds the state once and loops —
+/// zero thread overhead — and produces exactly the same output as any
+/// parallel execution.
+///
+/// # Panics
+/// Propagates panics from worker tasks.
+pub fn run_indexed_with<S, T, I, F>(tasks: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(tasks);
+    if threads <= 1 {
+        let mut state = init();
+        return (0..tasks).map(|i| f(&mut state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(tasks);
+    slots.resize_with(tasks, || None);
+    let chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+    for chunk in chunks {
+        for (i, v) in chunk {
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = run_indexed(100, threads, |i| i * i);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_state_is_private_per_worker() {
+        // Each worker's scratch accumulates only its own tasks, and the
+        // per-task output never depends on the scratch history.
+        let out = run_indexed_with(
+            64,
+            4,
+            || 0usize,
+            |scratch, i| {
+                *scratch += 1;
+                i + 1
+            },
+        );
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_zero_and_tiny_task_counts() {
+        assert!(run_indexed(0, 8, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 8, |i| i + 7), vec![7]);
+        assert_eq!(run_indexed(2, 1, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        assert_eq!(run_indexed(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

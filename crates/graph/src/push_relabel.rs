@@ -32,7 +32,11 @@ impl PushRelabel {
     /// An empty network on `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { n, arcs: Vec::new(), adj: vec![Vec::new(); n] }
+        Self {
+            n,
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a network from a digraph (one arc per edge).
@@ -47,7 +51,10 @@ impl PushRelabel {
 
     /// Adds a directed arc with the given capacity.
     pub fn add_arc(&mut self, u: NodeId, v: NodeId, cap: f64) {
-        assert!(u.index() < self.n && v.index() < self.n, "arc endpoint out of range");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "arc endpoint out of range"
+        );
         assert!(cap >= 0.0 && cap.is_finite(), "bad capacity {cap}");
         let i = self.arcs.len() as u32;
         self.arcs.push(Arc { to: v.0, cap });
@@ -256,13 +263,19 @@ mod tests {
         let mut g = DiGraph::new(4);
         g.add_edge(NodeId::new(0), NodeId::new(1), 5.0);
         g.add_edge(NodeId::new(2), NodeId::new(3), 5.0);
-        assert_eq!(max_flow_push_relabel(&g, NodeId::new(0), NodeId::new(3)), 0.0);
+        assert_eq!(
+            max_flow_push_relabel(&g, NodeId::new(0), NodeId::new(3)),
+            0.0
+        );
     }
 
     #[test]
     fn respects_arc_direction() {
         let mut g = DiGraph::new(2);
         g.add_edge(NodeId::new(0), NodeId::new(1), 9.0);
-        assert_eq!(max_flow_push_relabel(&g, NodeId::new(1), NodeId::new(0)), 0.0);
+        assert_eq!(
+            max_flow_push_relabel(&g, NodeId::new(1), NodeId::new(0)),
+            0.0
+        );
     }
 }

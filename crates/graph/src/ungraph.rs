@@ -22,7 +22,12 @@ impl UnGraph {
     /// An empty graph on `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { n, adj: vec![Vec::new(); n], edge_set: HashSet::new(), m: 0 }
+        Self {
+            n,
+            adj: vec![Vec::new(); n],
+            edge_set: HashSet::new(),
+            m: 0,
+        }
     }
 
     /// Number of nodes.
@@ -48,7 +53,10 @@ impl UnGraph {
     /// # Panics
     /// Panics on out-of-range endpoints or self-loops.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        assert!(u.index() < self.n && v.index() < self.n, "endpoint out of range");
+        assert!(
+            u.index() < self.n && v.index() < self.n,
+            "endpoint out of range"
+        );
         assert!(u != v, "self-loops are not allowed");
         let key = (u.0.min(v.0), u.0.max(v.0));
         if !self.edge_set.insert(key) {
@@ -102,7 +110,9 @@ impl UnGraph {
     #[must_use]
     pub fn cut_size(&self, s: &NodeSet) -> usize {
         assert_eq!(s.universe(), self.n, "node-set universe mismatch");
-        self.edges().filter(|&(u, v)| s.contains(u) != s.contains(v)).count()
+        self.edges()
+            .filter(|&(u, v)| s.contains(u) != s.contains(v))
+            .count()
     }
 
     /// Converts to a directed graph with a unit-weight arc in each

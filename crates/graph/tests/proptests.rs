@@ -24,7 +24,11 @@ fn arb_digraph() -> impl Strategy<Value = DiGraph> {
                 }
             }
             // strongly connect with a cycle
-            g.add_edge(NodeId::new(u), NodeId::new((u + 1) % n), rng.gen_range(0.1..2.0));
+            g.add_edge(
+                NodeId::new(u),
+                NodeId::new((u + 1) % n),
+                rng.gen_range(0.1..2.0),
+            );
         }
         g
     })

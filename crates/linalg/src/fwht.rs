@@ -18,7 +18,10 @@
 /// Panics if `v.len()` is not a power of two.
 pub fn fwht(v: &mut [f64]) {
     let d = v.len();
-    assert!(d.is_power_of_two(), "FWHT length must be a power of two, got {d}");
+    assert!(
+        d.is_power_of_two(),
+        "FWHT length must be a power of two, got {d}"
+    );
     let mut h = 1;
     while h < d {
         for block in v.chunks_exact_mut(2 * h) {
@@ -48,7 +51,10 @@ pub fn fwht_normalized(v: &mut [f64]) {
 /// # Panics
 /// Panics if `x.len() != d*d` or `d` is not a power of two.
 pub fn fwht2d(x: &mut [f64], d: usize) {
-    assert!(d.is_power_of_two(), "FWHT dimension must be a power of two, got {d}");
+    assert!(
+        d.is_power_of_two(),
+        "FWHT dimension must be a power of two, got {d}"
+    );
     assert_eq!(x.len(), d * d, "matrix length {} != {d}×{d}", x.len());
     // Transform each row: X ← X · H  (H symmetric, row transform).
     for row in x.chunks_exact_mut(d) {

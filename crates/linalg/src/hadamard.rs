@@ -22,7 +22,10 @@ impl Hadamard {
     /// `log_order = 0` gives the trivial `H_1 = [1]`.
     #[must_use]
     pub fn new(log_order: u32) -> Self {
-        assert!(log_order < 32, "Hadamard order 2^{log_order} is unreasonably large");
+        assert!(
+            log_order < 32,
+            "Hadamard order 2^{log_order} is unreasonably large"
+        );
         Self { log_order }
     }
 
@@ -32,7 +35,10 @@ impl Hadamard {
     /// Panics if `order` is not a power of two.
     #[must_use]
     pub fn of_order(order: usize) -> Self {
-        assert!(order.is_power_of_two(), "Hadamard order must be a power of two, got {order}");
+        assert!(
+            order.is_power_of_two(),
+            "Hadamard order must be a power of two, got {order}"
+        );
         Self::new(order.trailing_zeros())
     }
 

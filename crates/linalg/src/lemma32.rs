@@ -63,7 +63,9 @@ impl Lemma32Matrix {
     #[must_use]
     pub fn new(d: usize) -> Self {
         assert!(d >= 2, "Lemma 3.2 needs block size ≥ 2, got {d}");
-        Self { h: Hadamard::of_order(d) }
+        Self {
+            h: Hadamard::of_order(d),
+        }
     }
 
     /// The block size `d` (the paper's `1/ε`).
@@ -95,7 +97,11 @@ impl Lemma32Matrix {
     /// `1..d`.
     #[must_use]
     pub fn row_pair(&self, t: usize) -> (usize, usize) {
-        assert!(t < self.num_rows(), "row index {t} out of range {}", self.num_rows());
+        assert!(
+            t < self.num_rows(),
+            "row index {t} out of range {}",
+            self.num_rows()
+        );
         let d1 = self.block_size() - 1;
         (1 + t / d1, 1 + t % d1)
     }
@@ -286,7 +292,9 @@ mod tests {
     #[test]
     fn encode_matches_naive_sum() {
         let m = Lemma32Matrix::new(4);
-        let z: Vec<i8> = (0..m.num_rows()).map(|t| if t % 3 == 0 { 1 } else { -1 }).collect();
+        let z: Vec<i8> = (0..m.num_rows())
+            .map(|t| if t % 3 == 0 { 1 } else { -1 })
+            .collect();
         let fast = m.encode(&z);
         let mut naive = vec![0.0; m.row_len()];
         for (t, &zt) in z.iter().enumerate() {
@@ -302,7 +310,9 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let m = Lemma32Matrix::new(8);
-        let z: Vec<i8> = (0..m.num_rows()).map(|t| if (t * 7) % 5 < 2 { 1 } else { -1 }).collect();
+        let z: Vec<i8> = (0..m.num_rows())
+            .map(|t| if (t * 7) % 5 < 2 { 1 } else { -1 })
+            .collect();
         let x = m.encode(&z);
         let decoded = m.decode_all(&x);
         for (t, &zt) in z.iter().enumerate() {
@@ -314,7 +324,9 @@ mod tests {
     #[test]
     fn decode_one_agrees_with_decode_all() {
         let m = Lemma32Matrix::new(8);
-        let w: Vec<f64> = (0..m.row_len()).map(|i| ((i * 31) % 17) as f64 - 8.0).collect();
+        let w: Vec<f64> = (0..m.row_len())
+            .map(|i| ((i * 31) % 17) as f64 - 8.0)
+            .collect();
         let all = m.decode_all(&w);
         for t in [0, 3, 21, m.num_rows() - 1] {
             assert!((m.decode_one(&w, t) - all[t]).abs() < 1e-8);

@@ -11,7 +11,13 @@
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn dot(u: &[f64], v: &[f64]) -> f64 {
-    assert_eq!(u.len(), v.len(), "dot of mismatched lengths {} vs {}", u.len(), v.len());
+    assert_eq!(
+        u.len(),
+        v.len(),
+        "dot of mismatched lengths {} vs {}",
+        u.len(),
+        v.len()
+    );
     u.iter().zip(v).map(|(a, b)| a * b).sum()
 }
 

@@ -1,6 +1,8 @@
 //! Property-based tests for the Hadamard/FWHT/Lemma 3.2 machinery.
 
-use dircut_linalg::{fwht, fwht2d, fwht_normalized, tensor_dot, tensor_product, Hadamard, Lemma32Matrix};
+use dircut_linalg::{
+    fwht, fwht2d, fwht_normalized, tensor_dot, tensor_product, Hadamard, Lemma32Matrix,
+};
 use proptest::prelude::*;
 
 fn pow2_len() -> impl Strategy<Value = usize> {

@@ -114,8 +114,7 @@ pub fn global_min_cut_local<O: GraphOracle, R: Rng>(
     // (5.4: "set t = t/κ ... and return VERIFY-GUESS(D, t, ε)".)
     let kappa = safety_gap(n, search_eps, 2.0);
     let t_final = (accepted_at / kappa).max(0.5);
-    let final_out: VerifyGuessOutcome =
-        verify_guess(&counting, &degrees, t_final, eps, cfg, rng);
+    let final_out: VerifyGuessOutcome = verify_guess(&counting, &degrees, t_final, eps, cfg, rng);
     verify_calls += 1;
 
     let counts = counting.counts();
@@ -167,8 +166,17 @@ mod tests {
         let oracle = AdjOracle::new(&g);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let eps = 0.3;
-        for variant in [SearchVariant::Original, SearchVariant::Modified { beta0: 0.25 }] {
-            let res = global_min_cut_local(&oracle, eps, variant, VerifyGuessConfig::default(), &mut rng);
+        for variant in [
+            SearchVariant::Original,
+            SearchVariant::Modified { beta0: 0.25 },
+        ] {
+            let res = global_min_cut_local(
+                &oracle,
+                eps,
+                variant,
+                VerifyGuessConfig::default(),
+                &mut rng,
+            );
             assert!(
                 (res.estimate - k).abs() <= eps * k + 1e-9,
                 "{variant:?}: estimate {} vs k {k}",

@@ -24,18 +24,15 @@ pub fn estimate_average_degree<O: GraphOracle, R: Rng>(
     let n = oracle.num_nodes();
     assert!(n > 0, "empty graph");
     assert!(samples > 0, "need at least one sample");
-    let total: usize =
-        (0..samples).map(|_| oracle.degree(NodeId::new(rng.gen_range(0..n)))).sum();
+    let total: usize = (0..samples)
+        .map(|_| oracle.degree(NodeId::new(rng.gen_range(0..n))))
+        .sum();
     total as f64 / samples as f64
 }
 
 /// Estimate of the edge count `m = n·d̄/2` from degree sampling.
 #[must_use]
-pub fn estimate_edge_count<O: GraphOracle, R: Rng>(
-    oracle: &O,
-    samples: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn estimate_edge_count<O: GraphOracle, R: Rng>(oracle: &O, samples: usize, rng: &mut R) -> f64 {
     estimate_average_degree(oracle, samples, rng) * oracle.num_nodes() as f64 / 2.0
 }
 
@@ -49,17 +46,16 @@ pub fn estimate_edge_count<O: GraphOracle, R: Rng>(
 /// # Panics
 /// Panics if `samples == 0`.
 #[must_use]
-pub fn estimate_triangles<O: GraphOracle, R: Rng>(
-    oracle: &O,
-    samples: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn estimate_triangles<O: GraphOracle, R: Rng>(oracle: &O, samples: usize, rng: &mut R) -> f64 {
     let n = oracle.num_nodes();
     assert!(samples > 0, "need at least one sample");
     // Total wedge count Σ_v C(deg v, 2) needs the degree vector; spend
     // n degree queries (cheap next to the sampling phase).
     let degrees: Vec<usize> = (0..n).map(|v| oracle.degree(NodeId::new(v))).collect();
-    let wedges: f64 = degrees.iter().map(|&d| (d * d.saturating_sub(1)) as f64 / 2.0).sum();
+    let wedges: f64 = degrees
+        .iter()
+        .map(|&d| (d * d.saturating_sub(1)) as f64 / 2.0)
+        .sum();
     if wedges == 0.0 {
         return 0.0;
     }
@@ -88,8 +84,12 @@ pub fn estimate_triangles<O: GraphOracle, R: Rng>(
         }
         let c = NodeId::new(center);
         let (a, b) = (
-            oracle.ith_neighbor(c, i).expect("degree/neighbor inconsistency"),
-            oracle.ith_neighbor(c, j).expect("degree/neighbor inconsistency"),
+            oracle
+                .ith_neighbor(c, i)
+                .expect("degree/neighbor inconsistency"),
+            oracle
+                .ith_neighbor(c, j)
+                .expect("degree/neighbor inconsistency"),
         );
         if oracle.adjacent(a, b) {
             closed += 1;
@@ -116,7 +116,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let est = estimate_edge_count(&oracle, 400, &mut rng);
         let truth = g.num_edges() as f64;
-        assert!((est - truth).abs() < 0.15 * truth, "est {est} vs truth {truth}");
+        assert!(
+            (est - truth).abs() < 0.15 * truth,
+            "est {est} vs truth {truth}"
+        );
     }
 
     #[test]

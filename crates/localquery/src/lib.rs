@@ -21,8 +21,8 @@ pub mod multigraph;
 pub mod oracle;
 pub mod verify_guess;
 
+pub use bgmp::{global_min_cut_local, safety_gap, MinCutRunResult, SearchVariant};
 pub use estimators::{estimate_average_degree, estimate_edge_count, estimate_triangles};
 pub use multigraph::MultiAdjOracle;
-pub use bgmp::{global_min_cut_local, safety_gap, MinCutRunResult, SearchVariant};
 pub use oracle::{read_entire_graph, AdjOracle, CountingOracle, GraphOracle, QueryCounts};
 pub use verify_guess::{query_degrees, verify_guess, VerifyGuessConfig, VerifyGuessOutcome};

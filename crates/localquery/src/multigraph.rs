@@ -96,9 +96,17 @@ mod tests {
     fn neighbor_slots_cover_all_parallels() {
         let g = MultiAdjOracle::cycle_blowup(4, 2);
         let u = NodeId::new(1);
-        let neighbors: Vec<_> = (0..g.degree(u)).map(|i| g.ith_neighbor(u, i).unwrap()).collect();
-        assert_eq!(neighbors.iter().filter(|&&v| v == NodeId::new(0)).count(), 2);
-        assert_eq!(neighbors.iter().filter(|&&v| v == NodeId::new(2)).count(), 2);
+        let neighbors: Vec<_> = (0..g.degree(u))
+            .map(|i| g.ith_neighbor(u, i).unwrap())
+            .collect();
+        assert_eq!(
+            neighbors.iter().filter(|&&v| v == NodeId::new(0)).count(),
+            2
+        );
+        assert_eq!(
+            neighbors.iter().filter(|&&v| v == NodeId::new(2)).count(),
+            2
+        );
         assert_eq!(g.ith_neighbor(u, 4), None);
     }
 }

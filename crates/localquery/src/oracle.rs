@@ -88,7 +88,12 @@ impl<O: GraphOracle> CountingOracle<O> {
     /// Wraps `inner` with zeroed counters.
     #[must_use]
     pub fn new(inner: O) -> Self {
-        Self { inner, degree: Cell::new(0), neighbor: Cell::new(0), adjacency: Cell::new(0) }
+        Self {
+            inner,
+            degree: Cell::new(0),
+            neighbor: Cell::new(0),
+            adjacency: Cell::new(0),
+        }
     }
 
     /// Snapshot of the counters.
@@ -202,7 +207,9 @@ pub fn read_entire_graph<O: GraphOracle>(oracle: &O) -> UnGraph {
         let u_id = NodeId::new(u);
         let deg = oracle.degree(u_id);
         for i in 0..deg {
-            let v = oracle.ith_neighbor(u_id, i).expect("degree/neighbor inconsistency");
+            let v = oracle
+                .ith_neighbor(u_id, i)
+                .expect("degree/neighbor inconsistency");
             g.add_edge(u_id, v);
         }
     }

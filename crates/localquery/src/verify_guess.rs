@@ -38,7 +38,10 @@ pub struct VerifyGuessConfig {
 
 impl Default for VerifyGuessConfig {
     fn default() -> Self {
-        Self { oversample: 6.0, accept_fraction: 0.5 }
+        Self {
+            oversample: 6.0,
+            accept_fraction: 0.5,
+        }
     }
 }
 
@@ -148,7 +151,11 @@ pub fn verify_guess<O: GraphOracle, R: Rng>(
         let mut pairs: Vec<(&(u32, u32), &f64)> = multiplicity.iter().collect();
         pairs.sort_by_key(|(k, _)| **k);
         for (&(a, b), &m) in pairs {
-            d.add_edge(NodeId::new(a as usize), NodeId::new(b as usize), m / slots_per_edge);
+            d.add_edge(
+                NodeId::new(a as usize),
+                NodeId::new(b as usize),
+                m / slots_per_edge,
+            );
         }
         stoer_wagner(&d).value
     };
@@ -166,7 +173,9 @@ pub fn verify_guess<O: GraphOracle, R: Rng>(
 /// Convenience: the degree vector via `n` degree queries.
 #[must_use]
 pub fn query_degrees<O: GraphOracle>(oracle: &O) -> Vec<usize> {
-    (0..oracle.num_nodes()).map(|u| oracle.degree(NodeId::new(u))).collect()
+    (0..oracle.num_nodes())
+        .map(|u| oracle.degree(NodeId::new(u)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -194,7 +203,14 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let eps = 0.3;
         for trial in 0..5 {
-            let out = verify_guess(&oracle, &degrees, k as f64 / 2.0, eps, VerifyGuessConfig::default(), &mut rng);
+            let out = verify_guess(
+                &oracle,
+                &degrees,
+                k as f64 / 2.0,
+                eps,
+                VerifyGuessConfig::default(),
+                &mut rng,
+            );
             assert!(out.accepted, "trial {trial}: rejected t = k/2");
             assert!(
                 (out.estimate - k as f64).abs() <= eps * k as f64 + 1e-9,
@@ -212,8 +228,14 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let t = (k as f64) * 200.0;
         for trial in 0..5 {
-            let out =
-                verify_guess(&oracle, &degrees, t, 0.3, VerifyGuessConfig::default(), &mut rng);
+            let out = verify_guess(
+                &oracle,
+                &degrees,
+                t,
+                0.3,
+                VerifyGuessConfig::default(),
+                &mut rng,
+            );
             assert!(!out.accepted, "trial {trial}: accepted t = 200k");
         }
     }
@@ -225,10 +247,24 @@ mod tests {
         let degrees = query_degrees(&oracle);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         oracle.reset();
-        let _ = verify_guess(&oracle, &degrees, 4.0, 0.5, VerifyGuessConfig::default(), &mut rng);
+        let _ = verify_guess(
+            &oracle,
+            &degrees,
+            4.0,
+            0.5,
+            VerifyGuessConfig::default(),
+            &mut rng,
+        );
         let q_small_t = oracle.counts().neighbor;
         oracle.reset();
-        let _ = verify_guess(&oracle, &degrees, 800.0, 0.5, VerifyGuessConfig::default(), &mut rng);
+        let _ = verify_guess(
+            &oracle,
+            &degrees,
+            800.0,
+            0.5,
+            VerifyGuessConfig::default(),
+            &mut rng,
+        );
         let q_large_t = oracle.counts().neighbor;
         // p is capped at 1 for t = 4; t = 64 should sample a strict subset.
         assert!(q_large_t < q_small_t, "{q_large_t} !< {q_small_t}");
@@ -266,7 +302,14 @@ mod tests {
         let degrees = query_degrees(&oracle);
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         // Tiny t forces p = 1 → skeleton is the whole graph.
-        let out = verify_guess(&oracle, &degrees, 0.5, 0.2, VerifyGuessConfig::default(), &mut rng);
+        let out = verify_guess(
+            &oracle,
+            &degrees,
+            0.5,
+            0.2,
+            VerifyGuessConfig::default(),
+            &mut rng,
+        );
         assert_eq!(out.sample_probability, 1.0);
         assert!((out.estimate - k as f64).abs() < 1e-9);
         assert!(out.accepted);

@@ -51,7 +51,12 @@ impl NoisyOracle {
     #[must_use]
     pub fn new(graph: DiGraph, epsilon: f64, seed: u64, model: NoiseModel) -> Self {
         assert!((0.0..1.0).contains(&epsilon), "ε must be in [0,1)");
-        Self { graph, epsilon, seed, model }
+        Self {
+            graph,
+            epsilon,
+            seed,
+            model,
+        }
     }
 
     fn cut_hash(&self, s: &NodeSet) -> u64 {
@@ -105,8 +110,11 @@ impl BudgetedSketch {
         let w = crate::serialize::index_width(n);
         let per_edge = 2 * w as usize + 64;
         let keep = budget_bits / per_edge;
-        let mut edges: Vec<(u32, u32, f64)> =
-            g.edges().iter().map(|e| (e.from.0, e.to.0, e.weight)).collect();
+        let mut edges: Vec<(u32, u32, f64)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.from.0, e.to.0, e.weight))
+            .collect();
         edges.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("NaN weight"));
         let dropped: Vec<_> = edges.split_off(keep.min(edges.len()));
         let dropped_total: f64 = dropped.iter().map(|e| e.2).sum();

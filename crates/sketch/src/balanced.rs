@@ -53,7 +53,11 @@ impl BalancedForAllSketcher {
     pub fn new(epsilon: f64, beta: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
         assert!(beta >= 1.0, "β must be ≥ 1");
-        Self { epsilon, beta, oversample: 3.0 }
+        Self {
+            epsilon,
+            beta,
+            oversample: 3.0,
+        }
     }
 
     /// The per-edge sampling probability for graph `g`.
@@ -64,8 +68,7 @@ impl BalancedForAllSketcher {
         if lambda <= 0.0 {
             return 1.0;
         }
-        (self.oversample * (1.0 + self.beta) * n.ln()
-            / (self.epsilon * self.epsilon * lambda))
+        (self.oversample * (1.0 + self.beta) * n.ln() / (self.epsilon * self.epsilon * lambda))
             .min(1.0)
     }
 }
@@ -113,7 +116,12 @@ impl DegreeSampleSketch {
             enc.put_f64(weight);
         }
         let (_, size_bits) = enc.finish();
-        Self { n, out_degree, sampled, size_bits }
+        Self {
+            n,
+            out_degree,
+            sampled,
+            size_bits,
+        }
     }
 
     /// Number of sampled edges retained.
@@ -165,7 +173,11 @@ impl BalancedForEachSketcher {
     pub fn new(epsilon: f64, beta: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
         assert!(beta >= 1.0, "β must be ≥ 1");
-        Self { epsilon, beta, oversample: 2.0 }
+        Self {
+            epsilon,
+            beta,
+            oversample: 2.0,
+        }
     }
 
     /// The per-edge sampling probability for graph `g`: a `1/ε` rate
@@ -191,7 +203,9 @@ impl CutSketcher for BalancedForEachSketcher {
     fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> DegreeSampleSketch {
         let n = g.num_nodes();
         let p = self.sample_probability(g);
-        let out_degree: Vec<f64> = (0..n).map(|v| g.weighted_out_degree(NodeId::new(v))).collect();
+        let out_degree: Vec<f64> = (0..n)
+            .map(|v| g.weighted_out_degree(NodeId::new(v)))
+            .collect();
         let mut sampled = Vec::new();
         for e in g.edges() {
             if p >= 1.0 || rng.gen_bool(p) {
@@ -246,7 +260,10 @@ mod tests {
         }
         // Definition 2.3 only demands 2/3; the simplified construction
         // should clear it comfortably at this scale.
-        assert!(within * 3 >= trials * 2, "only {within}/{trials} within (1±ε)");
+        assert!(
+            within * 3 >= trials * 2,
+            "only {within}/{trials} within (1±ε)"
+        );
     }
 
     #[test]
@@ -257,10 +274,14 @@ mod tests {
         let s = NodeSet::from_indices(12, [0, 2, 4, 6, 8, 10]);
         let truth = g.cut_out(&s);
         let reps = 400;
-        let mean: f64 =
-            (0..reps).map(|_| sketcher.sketch(&g, &mut rng).cut_out_estimate(&s)).sum::<f64>()
-                / reps as f64;
-        assert!((mean - truth).abs() < 0.05 * truth, "mean {mean} vs {truth}");
+        let mean: f64 = (0..reps)
+            .map(|_| sketcher.sketch(&g, &mut rng).cut_out_estimate(&s))
+            .sum::<f64>()
+            / reps as f64;
+        assert!(
+            (mean - truth).abs() < 0.05 * truth,
+            "mean {mean} vs {truth}"
+        );
     }
 
     #[test]
@@ -277,8 +298,14 @@ mod tests {
 
     #[test]
     fn sketch_kinds_are_reported() {
-        assert_eq!(BalancedForAllSketcher::new(0.2, 2.0).kind(), SketchKind::ForAll);
-        assert_eq!(BalancedForEachSketcher::new(0.2, 2.0).kind(), SketchKind::ForEach);
+        assert_eq!(
+            BalancedForAllSketcher::new(0.2, 2.0).kind(),
+            SketchKind::ForAll
+        );
+        assert_eq!(
+            BalancedForEachSketcher::new(0.2, 2.0).kind(),
+            SketchKind::ForEach
+        );
     }
 
     #[test]

@@ -25,8 +25,11 @@ impl<S: CutSketch> BoostedSketch<S> {
 
 impl<S: CutSketch> CutOracle for BoostedSketch<S> {
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
-        let mut vals: Vec<f64> =
-            self.replicas.iter().map(|r| r.cut_out_estimate(s)).collect();
+        let mut vals: Vec<f64> = self
+            .replicas
+            .iter()
+            .map(|r| r.cut_out_estimate(s))
+            .collect();
         vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN estimate"));
         let k = vals.len();
         if k % 2 == 1 {
@@ -70,7 +73,9 @@ impl<A: CutSketcher> CutSketcher for BoostedSketcher<A> {
     }
 
     fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> Self::Sketch {
-        BoostedSketch { replicas: (0..self.k).map(|_| self.inner.sketch(g, rng)).collect() }
+        BoostedSketch {
+            replicas: (0..self.k).map(|_| self.inner.sketch(g, rng)).collect(),
+        }
     }
 }
 
@@ -108,13 +113,21 @@ mod tests {
             if (est - truth).abs() <= 0.35 * truth {
                 base_ok += 1;
             }
-            let est = BoostedSketcher::new(base, 7).sketch(&g, &mut rng).cut_out_estimate(&s);
+            let est = BoostedSketcher::new(base, 7)
+                .sketch(&g, &mut rng)
+                .cut_out_estimate(&s);
             if (est - truth).abs() <= 0.35 * truth {
                 boosted_ok += 1;
             }
         }
-        assert!(boosted_ok >= base_ok, "boosted {boosted_ok} < base {base_ok}");
-        assert!(boosted_ok * 10 >= trials * 9, "boosted only {boosted_ok}/{trials}");
+        assert!(
+            boosted_ok >= base_ok,
+            "boosted {boosted_ok} < base {base_ok}"
+        );
+        assert!(
+            boosted_ok * 10 >= trials * 9,
+            "boosted only {boosted_ok}/{trials}"
+        );
     }
 
     #[test]

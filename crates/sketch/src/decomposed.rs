@@ -154,13 +154,24 @@ impl DecomposedSketch {
             enc.put_f64(d);
         }
         let (_, size_bits) = enc.finish();
-        Self { n, component, cross, intra_out_degree, sampled, size_bits }
+        Self {
+            n,
+            component,
+            cross,
+            intra_out_degree,
+            sampled,
+            size_bits,
+        }
     }
 
     /// Number of strong components.
     #[must_use]
     pub fn num_components(&self) -> usize {
-        self.component.iter().map(|&c| c as usize + 1).max().unwrap_or(0)
+        self.component
+            .iter()
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of exactly stored cross-component edges.
@@ -235,7 +246,12 @@ impl DecomposedForEachSketcher {
     pub fn new(epsilon: f64, beta: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
         assert!(beta >= 1.0, "β must be ≥ 1");
-        Self { epsilon, beta, tau: None, oversample: 2.0 }
+        Self {
+            epsilon,
+            beta,
+            tau: None,
+            oversample: 2.0,
+        }
     }
 
     /// The strength threshold τ (weight units) for graph `g`: an
@@ -325,10 +341,19 @@ mod tests {
     #[test]
     fn decomposition_separates_clusters() {
         let g = clustered(10, 2.0, 0);
-        let sketcher = DecomposedForEachSketcher { epsilon: 0.3, beta: 2.0, tau: Some(4), oversample: 2.0 };
+        let sketcher = DecomposedForEachSketcher {
+            epsilon: 0.3,
+            beta: 2.0,
+            tau: Some(4),
+            oversample: 2.0,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let sk = sketcher.sketch(&g, &mut rng);
-        assert!(sk.num_components() >= 2, "found {} components", sk.num_components());
+        assert!(
+            sk.num_components() >= 2,
+            "found {} components",
+            sk.num_components()
+        );
         // The bridges (and only low-label edges) are stored exactly.
         assert!(sk.num_cross_edges() >= 4);
         assert!(sk.num_cross_edges() < g.num_edges() / 2);
@@ -339,7 +364,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let g = random_balanced_digraph(10, 0.7, 2.0, &mut rng);
         // Force p = 1 via a huge oversample.
-        let sketcher = DecomposedForEachSketcher { epsilon: 0.3, beta: 2.0, tau: Some(3), oversample: 1e9 };
+        let sketcher = DecomposedForEachSketcher {
+            epsilon: 0.3,
+            beta: 2.0,
+            tau: Some(3),
+            oversample: 1e9,
+        };
         let sk = sketcher.sketch(&g, &mut rng);
         for mask in 1u32..(1 << 9) {
             let s = NodeSet::from_indices(10, (0..9).filter(|i| mask >> i & 1 == 1).map(|i| i + 1));
@@ -364,7 +394,10 @@ mod tests {
             .map(|_| sketcher.sketch(&g, &mut rng).cut_out_estimate(&s))
             .sum::<f64>()
             / reps as f64;
-        assert!((mean - truth).abs() < 0.05 * truth, "mean {mean} vs truth {truth}");
+        assert!(
+            (mean - truth).abs() < 0.05 * truth,
+            "mean {mean} vs truth {truth}"
+        );
     }
 
     #[test]
@@ -382,7 +415,10 @@ mod tests {
                 (est - truth).abs() <= eps * truth
             })
             .count();
-        assert!(within * 3 >= trials * 2, "only {within}/{trials} within (1±ε)");
+        assert!(
+            within * 3 >= trials * 2,
+            "only {within}/{trials} within (1±ε)"
+        );
     }
 
     #[test]
@@ -390,7 +426,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let g = random_balanced_digraph(20, 0.3, 2.0, &mut rng);
         let tau = 6u32;
-        let sketcher = DecomposedForEachSketcher { epsilon: 0.3, beta: 2.0, tau: Some(tau), oversample: 2.0 };
+        let sketcher = DecomposedForEachSketcher {
+            epsilon: 0.3,
+            beta: 2.0,
+            tau: Some(tau),
+            oversample: 2.0,
+        };
         let sk = sketcher.sketch(&g, &mut rng);
         // Every split removed a symmetrized cut of weight < τ and there
         // are at most (#components − 1) splits.
@@ -419,8 +460,7 @@ mod tests {
         let comps = strength_components(&g, tau);
         let num = comps.iter().map(|&c| c as usize + 1).max().unwrap();
         for c in 0..num as u32 {
-            let members: Vec<usize> =
-                (0..g.num_nodes()).filter(|&v| comps[v] == c).collect();
+            let members: Vec<usize> = (0..g.num_nodes()).filter(|&v| comps[v] == c).collect();
             if members.len() < 2 {
                 continue;
             }
@@ -431,19 +471,25 @@ mod tests {
             }
             let mut sub = DiGraph::new(members.len());
             for e in g.edges() {
-                if let (Some(&a), Some(&b)) =
-                    (local.get(&e.from.index()), local.get(&e.to.index()))
+                if let (Some(&a), Some(&b)) = (local.get(&e.from.index()), local.get(&e.to.index()))
                 {
                     sub.add_edge(NodeId::new(a), NodeId::new(b), e.weight);
                 }
             }
             let cut = dircut_graph::mincut::stoer_wagner(&sub);
-            assert!(cut.value >= tau - 1e-9, "component {c} has min-cut {}", cut.value);
+            assert!(
+                cut.value >= tau - 1e-9,
+                "component {c} has min-cut {}",
+                cut.value
+            );
         }
     }
 
     #[test]
     fn sketch_kind_is_for_each() {
-        assert_eq!(DecomposedForEachSketcher::new(0.2, 1.0).kind(), SketchKind::ForEach);
+        assert_eq!(
+            DecomposedForEachSketcher::new(0.2, 1.0).kind(),
+            SketchKind::ForEach
+        );
     }
 }

@@ -28,13 +28,21 @@ impl EdgeListSketch {
             enc.put_f64(weight);
         }
         let (_, size_bits) = enc.finish();
-        Self { n, edges, size_bits }
+        Self {
+            n,
+            edges,
+            size_bits,
+        }
     }
 
     /// Builds from a graph, keeping every edge at its weight.
     #[must_use]
     pub fn from_graph(g: &DiGraph) -> Self {
-        let edges = g.edges().iter().map(|e| (e.from.0, e.to.0, e.weight)).collect();
+        let edges = g
+            .edges()
+            .iter()
+            .map(|e| (e.from.0, e.to.0, e.weight))
+            .collect();
         Self::new(g.num_nodes(), edges)
     }
 

@@ -33,8 +33,8 @@ pub mod decomposed;
 pub mod edgelist;
 pub mod linear;
 pub mod sampling;
-pub mod streaming;
 pub mod serialize;
+pub mod streaming;
 pub mod traits;
 
 pub use adversarial::{BudgetedSketch, NoiseModel, NoisyOracle};

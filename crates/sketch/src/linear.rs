@@ -41,7 +41,12 @@ impl LinearCutSketch {
             enc.put_f64(v);
         }
         let (_, size_bits) = enc.finish();
-        Self { m, rows, n, size_bits }
+        Self {
+            m,
+            rows,
+            n,
+            size_bits,
+        }
     }
 
     /// Number of sketch rows `k`.
@@ -65,7 +70,11 @@ impl LinearCutSketch {
         for row in self.m.chunks_exact(self.n) {
             let mut y = 0.0;
             for (v, &coef) in row.iter().enumerate() {
-                let x = if s.contains(dircut_graph::NodeId::new(v)) { 1.0 } else { -1.0 };
+                let x = if s.contains(dircut_graph::NodeId::new(v)) {
+                    1.0
+                } else {
+                    -1.0
+                };
                 y += coef * x;
             }
             total += y * y;
@@ -119,7 +128,10 @@ impl LinearSketcher {
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
-        Self { epsilon, rows_constant: 8.0 }
+        Self {
+            epsilon,
+            rows_constant: 8.0,
+        }
     }
 
     /// The number of rows used.
@@ -191,7 +203,10 @@ mod tests {
             .map(|_| sketcher.sketch(&g, &mut rng).undirected_cut_estimate(&s))
             .sum::<f64>()
             / reps as f64;
-        assert!((mean - truth).abs() < 0.05 * truth, "mean {mean} vs truth {truth}");
+        assert!(
+            (mean - truth).abs() < 0.05 * truth,
+            "mean {mean} vs truth {truth}"
+        );
     }
 
     #[test]
@@ -209,7 +224,10 @@ mod tests {
                 (est - truth).abs() <= eps * truth
             })
             .count();
-        assert!(within * 3 >= trials * 2, "only {within}/{trials} within (1±ε)");
+        assert!(
+            within * 3 >= trials * 2,
+            "only {within}/{trials} within (1±ε)"
+        );
     }
 
     #[test]
@@ -217,7 +235,10 @@ mod tests {
         // The for-each/for-all separation: with k = O(1) rows some cut
         // of the hypercube of cuts is badly estimated.
         let g = symmetric_graph(10, 4);
-        let sketcher = LinearSketcher { epsilon: 0.9, rows_constant: 2.0 };
+        let sketcher = LinearSketcher {
+            epsilon: 0.9,
+            rows_constant: 2.0,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let sk = sketcher.sketch(&g, &mut rng);
         let mut worst: f64 = 0.0;
@@ -228,7 +249,11 @@ mod tests {
                 worst = worst.max((sk.undirected_cut_estimate(&s) - truth).abs() / truth);
             }
         }
-        assert!(worst > 0.5, "all cuts accurate with only {} rows?!", sk.rows());
+        assert!(
+            worst > 0.5,
+            "all cuts accurate with only {} rows?!",
+            sk.rows()
+        );
     }
 
     #[test]
@@ -259,7 +284,10 @@ mod tests {
             })
             .sum::<f64>()
             / reps as f64;
-        assert!((mean - truth).abs() < 0.1 * truth, "merged mean {mean} vs truth {truth}");
+        assert!(
+            (mean - truth).abs() < 0.1 * truth,
+            "merged mean {mean} vs truth {truth}"
+        );
     }
 
     #[test]

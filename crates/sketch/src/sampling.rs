@@ -35,7 +35,10 @@ impl UniformSketcher {
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
-        Self { epsilon, oversample: 3.0 }
+        Self {
+            epsilon,
+            oversample: 3.0,
+        }
     }
 
     /// The sampling probability used for graph `g`.
@@ -92,7 +95,10 @@ impl StrengthSketcher {
     #[must_use]
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
-        Self { epsilon, oversample: 6.0 }
+        Self {
+            epsilon,
+            oversample: 6.0,
+        }
     }
 }
 
@@ -137,13 +143,13 @@ impl CutSketcher for StrengthSketcher {
 /// # Panics
 /// Panics if `n > 20` or `n < 2`.
 #[must_use]
-pub fn max_relative_cut_error(
-    g: &DiGraph,
-    sketch: &impl crate::traits::CutOracle,
-) -> f64 {
+pub fn max_relative_cut_error(g: &DiGraph, sketch: &impl crate::traits::CutOracle) -> f64 {
     use dircut_graph::NodeSet;
     let n = g.num_nodes();
-    assert!((2..=20).contains(&n), "exhaustive cut check needs 2 ≤ n ≤ 20");
+    assert!(
+        (2..=20).contains(&n),
+        "exhaustive cut check needs 2 ≤ n ≤ 20"
+    );
     let mut worst: f64 = 0.0;
     for mask in 1u32..(1 << (n - 1)) {
         let s = NodeSet::from_indices(n, (0..n - 1).filter(|i| mask >> i & 1 == 1).map(|i| i + 1));
@@ -240,7 +246,10 @@ mod tests {
                 }
             }
         }
-        let sketcher = StrengthSketcher { epsilon: 0.9, oversample: 0.5 };
+        let sketcher = StrengthSketcher {
+            epsilon: 0.9,
+            oversample: 0.5,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let sk = sketcher.sketch(&g, &mut rng);
         assert!(

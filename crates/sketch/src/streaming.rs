@@ -58,7 +58,10 @@ impl StreamingSparsifier {
 
     /// Processes one stream insertion.
     pub fn insert(&mut self, from: NodeId, to: NodeId, weight: f64) {
-        assert!(from.index() < self.n && to.index() < self.n, "endpoint out of range");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "endpoint out of range"
+        );
         self.inserted += 1;
         if self.p >= 1.0 || self.rng.gen_bool(self.p) {
             self.store.push((from.0, to.0, weight / self.p));
@@ -128,7 +131,13 @@ impl TurnstileLinearSketch {
     #[must_use]
     pub fn new(n: usize, rows: usize, seed: u64) -> Self {
         assert!(rows >= 1, "need at least one row");
-        Self { m: vec![0.0; rows * n], rows, n, seed, updates: 0 }
+        Self {
+            m: vec![0.0; rows * n],
+            rows,
+            n,
+            seed,
+            updates: 0,
+        }
     }
 
     /// The deterministic per-(row, edge) sign — the same at insert and
@@ -146,13 +155,20 @@ impl TurnstileLinearSketch {
     }
 
     fn update(&mut self, from: NodeId, to: NodeId, weight: f64, direction: f64) {
-        assert!(from.index() < self.n && to.index() < self.n, "endpoint out of range");
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "endpoint out of range"
+        );
         assert!(weight >= 0.0 && weight.is_finite(), "bad weight {weight}");
         self.updates += 1;
         let root = weight.sqrt() * direction;
         // Orient deterministically so insert and delete agree even if
         // the caller flips the endpoint order.
-        let (a, b) = if from.0 <= to.0 { (from, to) } else { (to, from) };
+        let (a, b) = if from.0 <= to.0 {
+            (from, to)
+        } else {
+            (to, from)
+        };
         for r in 0..self.rows {
             let sigma = self.sign(r, a.0, b.0) * root;
             self.m[r * self.n + a.index()] += sigma;
@@ -186,7 +202,11 @@ impl TurnstileLinearSketch {
         for row in self.m.chunks_exact(self.n) {
             let mut y = 0.0;
             for (v, &coef) in row.iter().enumerate() {
-                let x = if s.contains(NodeId::new(v)) { 1.0 } else { -1.0 };
+                let x = if s.contains(NodeId::new(v)) {
+                    1.0
+                } else {
+                    -1.0
+                };
                 y += coef * x;
             }
             total += y * y;
@@ -206,7 +226,13 @@ impl TurnstileLinearSketch {
         assert_eq!(self.n, other.n, "node-count mismatch");
         assert_eq!(self.seed, other.seed, "seed mismatch: projections differ");
         let m = self.m.iter().zip(&other.m).map(|(a, b)| a + b).collect();
-        Self { m, rows: self.rows, n: self.n, seed: self.seed, updates: self.updates + other.updates }
+        Self {
+            m,
+            rows: self.rows,
+            n: self.n,
+            seed: self.seed,
+            updates: self.updates + other.updates,
+        }
     }
 }
 
@@ -242,7 +268,9 @@ pub fn sketch_stream_of(
     use std::collections::HashMap;
     let mut pair: HashMap<(u32, u32), f64> = HashMap::new();
     for e in g.edges() {
-        *pair.entry((e.from.0.min(e.to.0), e.from.0.max(e.to.0))).or_insert(0.0) += e.weight;
+        *pair
+            .entry((e.from.0.min(e.to.0), e.from.0.max(e.to.0)))
+            .or_insert(0.0) += e.weight;
     }
     let mut pairs: Vec<_> = pair.into_iter().collect();
     pairs.sort_by_key(|(k, _)| *k);
@@ -308,7 +336,10 @@ mod tests {
             })
             .sum::<f64>()
             / reps as f64;
-        assert!((mean - truth).abs() < 0.1 * truth, "mean {mean} vs truth {truth}");
+        assert!(
+            (mean - truth).abs() < 0.1 * truth,
+            "mean {mean} vs truth {truth}"
+        );
     }
 
     #[test]
@@ -352,7 +383,10 @@ mod tests {
                 (sk.undirected_cut_estimate(&s) - truth).abs() <= 0.3 * truth
             })
             .count();
-        assert!(within as u64 * 3 >= trials * 2, "only {within}/{trials} within (1±0.3)");
+        assert!(
+            within as u64 * 3 >= trials * 2,
+            "only {within}/{trials} within (1±0.3)"
+        );
     }
 
     #[test]
@@ -375,7 +409,9 @@ mod tests {
         }
         let s = NodeSet::from_indices(12, [1, 4, 9]);
         // Same seed ⇒ identical projections ⇒ identical sketches.
-        assert!((merged.undirected_cut_estimate(&s) - whole.undirected_cut_estimate(&s)).abs() < 1e-9);
+        assert!(
+            (merged.undirected_cut_estimate(&s) - whole.undirected_cut_estimate(&s)).abs() < 1e-9
+        );
         assert_eq!(merged.stream_length(), g.num_edges() as u64);
     }
 

@@ -1,11 +1,11 @@
 //! Property-based tests for sketches: exactness, noise envelopes,
 //! budget monotonicity, boosting.
 
+use dircut_graph::{DiGraph, NodeId, NodeSet};
 use dircut_sketch::adversarial::{BudgetedSketch, NoiseModel, NoisyOracle};
 use dircut_sketch::{
     BalancedForEachSketcher, BoostedSketcher, CutOracle, CutSketch, CutSketcher, EdgeListSketch,
 };
-use dircut_graph::{DiGraph, NodeId, NodeSet};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -27,7 +27,11 @@ fn main() {
     }
     let g = symmetric_graph(n, &edges);
     let truth = stoer_wagner(&g).value / 2.0;
-    println!("graph: {} nodes, {} arcs, true min cut = {truth:.3}\n", n, g.num_edges());
+    println!(
+        "graph: {} nodes, {} arcs, true min cut = {truth:.3}\n",
+        n,
+        g.num_edges()
+    );
 
     println!(
         "{:>6} {:>8} {:>12} {:>14} {:>14} {:>12}",

@@ -44,7 +44,11 @@ fn main() {
                 | (Region::APrime, Region::B)
         );
         let color = if crossing { "red" } else { "darkgreen" };
-        println!("  \"{}\" -> \"{}\" [dir=none, color={color}];", label(u), label(v));
+        println!(
+            "  \"{}\" -> \"{}\" [dir=none, color={color}];",
+            label(u),
+            label(v)
+        );
     }
     println!("}}");
 

@@ -53,10 +53,16 @@ fn main() {
     }
     let merged = merged.expect("at least one site");
 
-    println!("{:>24} {:>12} {:>12} {:>10}", "cut", "true value", "estimate", "rel err");
+    println!(
+        "{:>24} {:>12} {:>12} {:>10}",
+        "cut", "true value", "estimate", "rel err"
+    );
     for (label, s) in [
         ("first half", NodeSet::from_indices(n, 0..n / 2)),
-        ("odd nodes", NodeSet::from_indices(n, (0..n).filter(|i| i % 2 == 1))),
+        (
+            "odd nodes",
+            NodeSet::from_indices(n, (0..n).filter(|i| i % 2 == 1)),
+        ),
         ("single node", NodeSet::from_indices(n, [5])),
         ("three nodes", NodeSet::from_indices(n, [1, 9, 17])),
     ] {

@@ -40,17 +40,15 @@ fn main() {
     // Run both min-cut variants through the bit-counting oracle.
     for (name, variant) in [
         ("BGMP21 original", SearchVariant::Original),
-        ("Theorem 5.7 modified", SearchVariant::Modified { beta0: 0.25 }),
+        (
+            "Theorem 5.7 modified",
+            SearchVariant::Modified { beta0: 0.25 },
+        ),
     ] {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let result = solve_twosum_via_mincut(&inst, |oracle| {
-            let res = global_min_cut_local(
-                oracle,
-                0.2,
-                variant,
-                VerifyGuessConfig::default(),
-                &mut rng,
-            );
+            let res =
+                global_min_cut_local(oracle, 0.2, variant, VerifyGuessConfig::default(), &mut rng);
             println!(
                 "{name}: min-cut estimate {:.1} with {} local queries ({} VERIFY-GUESS calls)",
                 res.estimate, res.total_queries, res.verify_calls

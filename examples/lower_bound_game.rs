@@ -32,8 +32,12 @@ fn main() {
 
     println!("{:<34} {:>14}", "oracle", "success rate");
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let report =
-        run_foreach_index_game(params, trials, |g, _| EdgeListSketch::from_graph(g), &mut rng);
+    let report = run_foreach_index_game(
+        params,
+        trials,
+        |g, _| EdgeListSketch::from_graph(g),
+        &mut rng,
+    );
     println!("{:<34} {:>14.3}", "exact", report.success_rate());
 
     // Noisy oracles: a (1±err) for-each sketch is allowed to be this
@@ -46,7 +50,11 @@ fn main() {
             |g, r| NoisyOracle::new(g.clone(), err, r.gen(), NoiseModel::SignedRelative),
             &mut rng,
         );
-        println!("{:<34} {:>14.3}", format!("noisy (1±{err})"), report.success_rate());
+        println!(
+            "{:<34} {:>14.3}",
+            format!("noisy (1±{err})"),
+            report.success_rate()
+        );
     }
 
     // Budgeted sketches: keep only the heaviest edges that fit B bits.
@@ -60,6 +68,10 @@ fn main() {
             |g, _| BudgetedSketch::new(g, budget),
             &mut rng,
         );
-        println!("{:<34} {:>14.3}", format!("budgeted ({budget} bits)"), report.success_rate());
+        println!(
+            "{:<34} {:>14.3}",
+            format!("budgeted ({budget} bits)"),
+            report.success_rate()
+        );
     }
 }

@@ -41,9 +41,21 @@ fn main() {
 
     println!("\n{:<28} {:>12} {:>14}", "sketch", "bits", "answer on S");
     for (name, bits, answer) in [
-        ("exact edge list", exact_sketch.size_bits(), exact_sketch.cut_out_estimate(&s)),
-        ("for-all (1±0.25)", for_all.size_bits(), for_all.cut_out_estimate(&s)),
-        ("for-each (1±0.25)", for_each.size_bits(), for_each.cut_out_estimate(&s)),
+        (
+            "exact edge list",
+            exact_sketch.size_bits(),
+            exact_sketch.cut_out_estimate(&s),
+        ),
+        (
+            "for-all (1±0.25)",
+            for_all.size_bits(),
+            for_all.cut_out_estimate(&s),
+        ),
+        (
+            "for-each (1±0.25)",
+            for_each.size_bits(),
+            for_each.cut_out_estimate(&s),
+        ),
     ] {
         println!("{name:<28} {bits:>12} {answer:>14.3}");
     }

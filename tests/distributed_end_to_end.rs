@@ -33,7 +33,10 @@ fn distributed_answer_matches_centralized_min_cut() {
     );
     // The returned side must be verifiable against the real graph.
     let real = g.cut_out(&res.side);
-    assert!(real <= 1.5 * truth, "returned side has value {real}, truth {truth}");
+    assert!(
+        real <= 1.5 * truth,
+        "returned side has value {real}, truth {truth}"
+    );
 }
 
 #[test]

@@ -21,7 +21,11 @@ fn gap_hamming_decided_through_exact_sketch() {
         |g, _| EdgeListSketch::from_graph(g),
         &mut rng,
     );
-    assert!(report.success_rate() >= 0.85, "rate {}", report.success_rate());
+    assert!(
+        report.success_rate() >= 0.85,
+        "rate {}",
+        report.success_rate()
+    );
 }
 
 #[test]
@@ -38,7 +42,11 @@ fn gap_hamming_decided_through_sampling_for_all_sketch() {
         |g, r| UniformSketcher::new(0.05).sketch(g, r),
         &mut rng,
     );
-    assert!(report.success_rate() >= 0.8, "rate {}", report.success_rate());
+    assert!(
+        report.success_rate() >= 0.8,
+        "rate {}",
+        report.success_rate()
+    );
 }
 
 #[test]
@@ -101,6 +109,9 @@ fn encoding_balance_is_certified_2beta() {
             .collect();
         let enc = ForAllEncoding::encode(params, &strings);
         let cert = edgewise_balance_bound(enc.graph()).unwrap();
-        assert!(cert <= 2.0 * beta as f64 + 1e-9, "β = {beta}: certificate {cert}");
+        assert!(
+            cert <= 2.0 * beta as f64 + 1e-9,
+            "β = {beta}: certificate {cert}"
+        );
     }
 }

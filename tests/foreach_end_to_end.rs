@@ -38,8 +38,9 @@ fn gadget_balance_matches_the_paper_claim() {
     // instances the exact factor is checkable too.
     let params = ForEachParams::new(4, 1, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let s: Vec<i8> =
-        (0..params.total_bits()).map(|_| if rng.gen_bool(0.5) { 1 } else { -1 }).collect();
+    let s: Vec<i8> = (0..params.total_bits())
+        .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+        .collect();
     let enc = ForEachEncoding::encode(params, &s);
     let cert = edgewise_balance_bound(enc.graph()).expect("reverse edges exist");
     assert!(cert <= params.balance_bound() + 1e-9);
@@ -67,10 +68,21 @@ fn decoding_collapses_above_the_noise_threshold() {
     let bad = run_foreach_index_game(
         params,
         trials,
-        |g, r| NoisyOracle::new(g.clone(), 40.0 * threshold, r.gen(), NoiseModel::SignedRelative),
+        |g, r| {
+            NoisyOracle::new(
+                g.clone(),
+                40.0 * threshold,
+                r.gen(),
+                NoiseModel::SignedRelative,
+            )
+        },
         &mut rng,
     );
-    assert!(ok.success_rate() >= 0.9, "at-threshold rate {}", ok.success_rate());
+    assert!(
+        ok.success_rate() >= 0.9,
+        "at-threshold rate {}",
+        ok.success_rate()
+    );
     assert!(
         bad.success_rate() <= ok.success_rate() - 0.15,
         "no collapse: {} vs {}",
@@ -98,7 +110,11 @@ fn tiny_budget_sketches_cannot_support_the_decoder() {
         &mut rng,
     );
     assert_eq!(big.success_rate(), 1.0);
-    assert!(tiny.success_rate() < 0.8, "sub-LB budget still decodes at {}", tiny.success_rate());
+    assert!(
+        tiny.success_rate() < 0.8,
+        "sub-LB budget still decodes at {}",
+        tiny.success_rate()
+    );
 }
 
 #[test]
@@ -114,5 +130,9 @@ fn honest_sampling_sketch_supports_decoding_when_it_keeps_enough() {
         |g, r| UniformSketcher::new(0.05).sketch(g, r),
         &mut rng,
     );
-    assert!(report.success_rate() >= 0.9, "rate {}", report.success_rate());
+    assert!(
+        report.success_rate() >= 0.9,
+        "rate {}",
+        report.success_rate()
+    );
 }

@@ -4,9 +4,7 @@
 
 use dircut::comm::TwoSumInstance;
 use dircut::core::mincut_lb::{solve_twosum_via_mincut, GxyGraph, GxyOracle};
-use dircut::localquery::{
-    global_min_cut_local, GraphOracle, SearchVariant, VerifyGuessConfig,
-};
+use dircut::localquery::{global_min_cut_local, GraphOracle, SearchVariant, VerifyGuessConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -55,9 +53,11 @@ fn communication_is_twice_the_informative_queries() {
 fn lemma_5_5_holds_on_twosum_built_graphs() {
     // The min-cut of G_{x,y} equals 2·Σ INT(Xⁱ, Yⁱ) whenever the √N
     // premise holds — checked with real flows across instance shapes.
-    for (t, l, alpha, hits, seed) in
-        [(4usize, 64usize, 1usize, 2usize, 3u64), (4, 100, 2, 1, 4), (16, 16, 1, 3, 5)]
-    {
+    for (t, l, alpha, hits, seed) in [
+        (4usize, 64usize, 1usize, 2usize, 3u64),
+        (4, 100, 2, 1, 4),
+        (16, 16, 1, 3, 5),
+    ] {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let inst = TwoSumInstance::sample(t, l, alpha, hits, &mut rng);
         let (x, y) = inst.concatenated();
@@ -92,6 +92,9 @@ fn query_count_respects_the_min_m_branch() {
         res.estimate
     });
     // At least one full scan of the slots, at most a handful.
-    assert!(queries >= 2 * m, "queries {queries} below one slot scan {m}");
+    assert!(
+        queries >= 2 * m,
+        "queries {queries} below one slot scan {m}"
+    );
     assert!(queries <= 20 * m, "queries {queries} unreasonably high");
 }

@@ -40,7 +40,10 @@ fn lower_bound_parameter_arithmetic_is_consistent() {
     let reference = n * p.beta().sqrt() / p.epsilon();
     let actual = p.total_bits() as f64;
     assert!(actual <= reference);
-    assert!(actual >= 0.5 * reference, "encoded bits {actual} ≪ reference {reference}");
+    assert!(
+        actual >= 0.5 * reference,
+        "encoded bits {actual} ≪ reference {reference}"
+    );
 
     // Theorem 1.2's Ω(nβ/ε²) likewise.
     let p = ForAllParams::new(2, 16, 3);
@@ -73,7 +76,8 @@ fn lemma32_drives_cut_queries() {
         let b = NodeSet::from_indices(2 * d, right.iter().map(|&x| d + x));
         g.weight_between(&a, &b)
     };
-    let combo = w_between(&split.a, &split.b) - w_between(&split.a_bar, &split.b)
+    let combo = w_between(&split.a, &split.b)
+        - w_between(&split.a_bar, &split.b)
         - w_between(&split.a, &split.b_bar)
         + w_between(&split.a_bar, &split.b_bar);
     assert!((combo - m.row_norm_sq()).abs() < 1e-9, "combo {combo}");
