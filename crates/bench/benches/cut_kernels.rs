@@ -1,0 +1,91 @@
+//! Criterion benches for the batched cut-query kernels: the naive
+//! query-at-a-time loop vs the word-parallel batch at 1 and N workers.
+//!
+//! The ISSUE acceptance target: on a ForEach gadget with n ≥ 2¹² nodes
+//! and a batch of k ≥ 64 decoder-shaped queries, the batch kernel must
+//! beat the per-query loop by ≥ 5×. The JSON-emitting companion binary
+//! (`bench_cutkernels`) measures the same workload without criterion's
+//! harness for CI smoke runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dircut_core::foreach::{ForEachDecoder, ForEachEncoding, ForEachParams};
+use dircut_graph::cuteval::{cut_both_batch_threaded, cut_out_batch_threaded};
+use dircut_graph::{DiGraph, NodeSet};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The decoder-shaped workload: the ForEach gadget graph and the first
+/// `k` query sets Bob would issue (4 per bit).
+fn gadget_workload(k: usize) -> (DiGraph, Vec<NodeSet>) {
+    // inv_eps = 32, sqrt_beta = 4, ell = 32 → n = 4096 nodes.
+    let params = ForEachParams::new(32, 4, 32);
+    assert!(params.num_nodes() >= 1 << 12);
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let signs: Vec<i8> = (0..params.total_bits())
+        .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+        .collect();
+    let enc = ForEachEncoding::encode(params, &signs);
+    let dec = ForEachDecoder::new(params);
+    let mut sets = Vec::with_capacity(k);
+    let mut q = 0usize;
+    while sets.len() < k {
+        sets.extend(dec.queries_for_bit(q).sets);
+        q += 1;
+    }
+    sets.truncate(k);
+    (enc.graph().clone(), sets)
+}
+
+fn bench_batch_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_kernels");
+    group.sample_size(10);
+    let (g, sets) = gadget_workload(128);
+    for k in [64usize, 128] {
+        let batch = &sets[..k];
+        group.bench_with_input(BenchmarkId::new("naive_loop", k), &k, |b, _| {
+            b.iter(|| {
+                batch
+                    .iter()
+                    .map(|s| g.cut_out(black_box(s)))
+                    .collect::<Vec<f64>>()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batch_1t", k), &k, |b, _| {
+            b.iter(|| cut_out_batch_threaded(black_box(&g), batch, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("batch_8t", k), &k, |b, _| {
+            b.iter(|| cut_out_batch_threaded(black_box(&g), batch, 8));
+        });
+        group.bench_with_input(BenchmarkId::new("batch_both_8t", k), &k, |b, _| {
+            b.iter(|| cut_both_batch_threaded(black_box(&g), batch, 8));
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_set_fast_path(c: &mut Criterion) {
+    // Singleton queries must dodge the O(m) edge pass entirely.
+    let mut group = c.benchmark_group("cut_kernels_fast_path");
+    group.sample_size(10);
+    let (g, _) = gadget_workload(4);
+    let n = g.num_nodes();
+    let singletons: Vec<NodeSet> = (0..128)
+        .map(|i| NodeSet::from_indices(n, [i * 17 % n]))
+        .collect();
+    group.bench_function("singletons_128_batch", |b| {
+        b.iter(|| cut_both_batch_threaded(black_box(&g), &singletons, 8));
+    });
+    group.bench_function("singletons_128_naive", |b| {
+        b.iter(|| {
+            singletons
+                .iter()
+                .map(|s| g.cut_both(black_box(s)))
+                .collect::<Vec<(f64, f64)>>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_naive, bench_small_set_fast_path);
+criterion_main!(benches);

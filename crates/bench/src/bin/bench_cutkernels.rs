@@ -1,0 +1,132 @@
+//! Standalone cut-kernel benchmark: measures the naive query-at-a-time
+//! loop against the batched word-parallel kernels on the decoder-shaped
+//! workload (ForEach gadget queries) and writes the numbers to
+//! `BENCH_cutkernels.json` — ns/query, queries/sec, and thread count
+//! per configuration, plus the batch-vs-naive speedup the ISSUE
+//! acceptance gate reads.
+//!
+//! `--smoke` shrinks the gadget and repetition counts so CI can run the
+//! whole binary in seconds; the JSON shape is identical.
+
+use dircut_core::foreach::{ForEachDecoder, ForEachEncoding, ForEachParams};
+use dircut_graph::cuteval::cut_out_batch_threaded;
+use dircut_graph::{parallel, DiGraph, NodeSet};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    label: String,
+    threads: usize,
+    queries: usize,
+    ns_per_query: f64,
+    queries_per_sec: f64,
+}
+
+/// Builds the gadget graph and the first `k` decoder query sets.
+fn workload(params: ForEachParams, k: usize) -> (DiGraph, Vec<NodeSet>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let signs: Vec<i8> = (0..params.total_bits())
+        .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
+        .collect();
+    let enc = ForEachEncoding::encode(params, &signs);
+    let dec = ForEachDecoder::new(params);
+    let mut sets = Vec::with_capacity(k);
+    let mut q = 0usize;
+    while sets.len() < k {
+        sets.extend(dec.queries_for_bit(q).sets);
+        q += 1;
+    }
+    sets.truncate(k);
+    (enc.graph().clone(), sets)
+}
+
+/// Times `f` over `reps` repetitions of a `queries`-query workload and
+/// returns the per-query cost (best-of-reps, to dodge scheduler noise).
+fn time_queries(
+    label: &str,
+    threads: usize,
+    queries: usize,
+    reps: usize,
+    mut f: impl FnMut(),
+) -> Measurement {
+    // Warm-up run (CSR build, thread-pool spawn).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let ns_per_query = best * 1e9 / queries as f64;
+    Measurement {
+        label: label.to_owned(),
+        threads,
+        queries,
+        ns_per_query,
+        queries_per_sec: queries as f64 / best,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Full mode: n = 4096 (≥ 2¹²) with k = 128 (≥ 64) per the ISSUE
+    // acceptance shape. Smoke mode: same pipeline at toy scale.
+    let (params, k, reps) = if smoke {
+        (ForEachParams::new(8, 2, 8), 64, 3)
+    } else {
+        (ForEachParams::new(32, 4, 32), 128, 10)
+    };
+    let (g, sets) = workload(params, k);
+    let default_threads = parallel::default_threads();
+    eprintln!(
+        "cut-kernel bench: n = {}, m = {}, k = {} queries, reps = {}, default threads = {}",
+        g.num_nodes(),
+        g.num_edges(),
+        k,
+        reps,
+        default_threads
+    );
+
+    let mut runs = Vec::new();
+    runs.push(time_queries("naive_loop", 1, k, reps, || {
+        let v: Vec<f64> = sets.iter().map(|s| g.cut_out(s)).collect();
+        std::hint::black_box(v);
+    }));
+    for threads in [1, default_threads] {
+        let label = format!("batch_{threads}t");
+        runs.push(time_queries(&label, threads, k, reps, || {
+            std::hint::black_box(cut_out_batch_threaded(&g, &sets, threads));
+        }));
+    }
+
+    let naive_ns = runs[0].ns_per_query;
+    let best_batch_ns = runs[1..]
+        .iter()
+        .map(|m| m.ns_per_query)
+        .fold(f64::INFINITY, f64::min);
+    let speedup = naive_ns / best_batch_ns;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"nodes\": {},", g.num_nodes());
+    let _ = writeln!(json, "  \"edges\": {},", g.num_edges());
+    let _ = writeln!(json, "  \"batch_queries\": {k},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"speedup_batch_vs_naive\": {speedup:.3},");
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"threads\": {}, \"queries\": {}, \"ns_per_query\": {:.1}, \"queries_per_sec\": {:.1}}}{}",
+            m.label, m.threads, m.queries, m.ns_per_query, m.queries_per_sec, comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_cutkernels.json", &json).expect("write BENCH_cutkernels.json");
+    print!("{json}");
+    eprintln!("batch speedup over naive loop: {speedup:.2}x");
+}

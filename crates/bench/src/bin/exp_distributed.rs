@@ -61,18 +61,8 @@ fn main() {
          until the sampling cap stores every edge."
     );
 
-    println!("\n--- engine stage counters ---");
-    print_header(&["stage", "runs", "max-flow solves", "wall"]);
-    for (stage, stat) in dircut_graph::stats::stage_report() {
-        print_row(&[
-            stage,
-            stat.runs.to_string(),
-            stat.solves.to_string(),
-            format!("{:.1?}", stat.wall),
-        ]);
-    }
-    println!(
-        "total max-flow solves: {}",
-        dircut_graph::stats::total_solves()
-    );
+    // Stage counters (solves, cut queries, wall-clock) go to stderr
+    // behind DIRCUT_STATS so the stdout table stays byte-stable — the
+    // committed results/exp_distributed.txt has no wall-clock lines.
+    dircut_bench::maybe_print_stage_report();
 }

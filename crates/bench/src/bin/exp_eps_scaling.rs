@@ -144,4 +144,7 @@ fn main() {
     );
     println!("paper: original scales like ε⁻⁴ (slope → 4), modified like ε⁻² (slope → 2);");
     println!("past its window each variant caps at Θ(m) slots — the min{{m, ·}} of Theorem 1.3.");
+
+    // Per-stage solve / cut-query counters, stderr-only behind DIRCUT_STATS.
+    dircut_bench::maybe_print_stage_report();
 }

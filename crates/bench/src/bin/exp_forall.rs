@@ -184,4 +184,7 @@ fn main() {
             format!("{:.3}", recall / recall_samples.max(1) as f64),
         ]);
     }
+
+    // Per-stage solve / cut-query counters, stderr-only behind DIRCUT_STATS.
+    dircut_bench::maybe_print_stage_report();
 }

@@ -130,4 +130,7 @@ fn main() {
             format!("{:.3}", rep.success_rate()),
         ]);
     }
+
+    // Per-stage solve / cut-query counters, stderr-only behind DIRCUT_STATS.
+    dircut_bench::maybe_print_stage_report();
 }

@@ -75,21 +75,8 @@ fn main() {
          and Theorem 5.4 says any correct protocol needs Ω(tL/α) bits."
     );
 
-    let stages = dircut_graph::stats::stage_report();
-    if !stages.is_empty() {
-        println!("\n--- engine stage counters ---");
-        print_header(&["stage", "runs", "max-flow solves", "wall"]);
-        for (stage, stat) in stages {
-            print_row(&[
-                stage,
-                stat.runs.to_string(),
-                stat.solves.to_string(),
-                format!("{:.1?}", stat.wall),
-            ]);
-        }
-        println!(
-            "total max-flow solves: {}",
-            dircut_graph::stats::total_solves()
-        );
-    }
+    // Stage counters go to stderr behind DIRCUT_STATS: the localquery
+    // stages now record on every run, and their wall-clock column must
+    // not leak into the byte-stable stdout tables.
+    dircut_bench::maybe_print_stage_report();
 }

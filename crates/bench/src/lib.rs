@@ -14,3 +14,32 @@ pub fn print_header(cells: &[&str]) {
     print_row(&cells.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
     println!("{}", "-".repeat(cells.len() * 17));
 }
+
+/// When `DIRCUT_STATS` is set, prints the per-stage solve / cut-query /
+/// wall-clock report to **stderr** (stdout is reserved for the
+/// experiment tables, which must stay byte-identical run to run).
+pub fn maybe_print_stage_report() {
+    if std::env::var_os("DIRCUT_STATS").is_none() {
+        return;
+    }
+    let report = dircut_graph::stats::stage_report();
+    eprintln!(
+        "\n[DIRCUT_STATS] total solves: {}, total cut queries: {}",
+        dircut_graph::stats::total_solves(),
+        dircut_graph::stats::total_cut_queries()
+    );
+    eprintln!(
+        "[DIRCUT_STATS] {:<32} {:>6} {:>10} {:>12} {:>12}",
+        "stage", "runs", "solves", "cut_queries", "wall_ms"
+    );
+    for (stage, stat) in report {
+        eprintln!(
+            "[DIRCUT_STATS] {:<32} {:>6} {:>10} {:>12} {:>12.1}",
+            stage,
+            stat.runs,
+            stat.solves,
+            stat.cut_queries,
+            stat.wall.as_secs_f64() * 1e3
+        );
+    }
+}

@@ -350,30 +350,56 @@ impl ForAllDecoder {
         );
         let loc = p.locate_string(q);
 
+        // Subsets are estimated in blocks through the oracle's batched
+        // entry point (64 queries per edge pass on edge-list oracles).
+        // Subset generation stays one at a time in the original order —
+        // the randomized search consumes the rng exactly as the
+        // query-at-a-time loop did — and the argmax folds in subset
+        // order with a strict `>`, so the winning subset (first max)
+        // and the query count are unchanged.
+        const BLOCK: usize = 256;
         let mut best: Option<(f64, Vec<usize>)> = None;
         let mut queries = 0usize;
-        let mut consider = |subset: Vec<usize>, dec: &Self, queries: &mut usize| {
-            let est = dec.estimate_w_u_t(oracle, loc.pair, &subset, loc.cluster, t);
-            *queries += 1;
-            if best.as_ref().is_none_or(|(b, _)| est > *b) {
-                best = Some((est, subset));
+        let mut consider_block = |subsets: Vec<Vec<usize>>,
+                                  best: &mut Option<(f64, Vec<usize>)>,
+                                  queries: &mut usize| {
+            let sets: Vec<NodeSet> = subsets
+                .iter()
+                .map(|u| self.query_set(loc.pair, u, loc.cluster, t))
+                .collect();
+            let ests = oracle.cut_out_estimates(&sets);
+            for (i, subset) in subsets.into_iter().enumerate() {
+                let est = ests[i] - self.fixed_backward_weight(&sets[i]);
+                *queries += 1;
+                if best.as_ref().is_none_or(|(b, _)| est > *b) {
+                    *best = Some((est, subset));
+                }
             }
         };
 
         match self.search {
             SubsetSearch::Exact => {
                 let mut subset: Vec<usize> = (0..k / 2).collect();
+                let mut block: Vec<Vec<usize>> = Vec::with_capacity(BLOCK);
                 loop {
-                    consider(subset.clone(), self, &mut queries);
-                    if !next_combination(&mut subset, k) {
+                    block.push(subset.clone());
+                    let more = next_combination(&mut subset, k);
+                    if block.len() == BLOCK || !more {
+                        consider_block(std::mem::take(&mut block), &mut best, &mut queries);
+                    }
+                    if !more {
                         break;
                     }
                 }
             }
             SubsetSearch::Randomized { samples } => {
-                for _ in 0..samples {
-                    let subset = random_half_subset(k, rng);
-                    consider(subset, self, &mut queries);
+                let mut start = 0usize;
+                while start < samples {
+                    let end = samples.min(start + BLOCK);
+                    let block: Vec<Vec<usize>> =
+                        (start..end).map(|_| random_half_subset(k, rng)).collect();
+                    consider_block(block, &mut best, &mut queries);
+                    start = end;
                 }
             }
         }

@@ -28,7 +28,7 @@
 //! `Ω(min{m, m/(ε²k)})` queries.
 
 use dircut_comm::twosum::{int, TwoSumInstance};
-use dircut_graph::flow::edge_disjoint_paths;
+use dircut_graph::flow::unit_network_from_ungraph;
 use dircut_graph::mincut::min_cut_unweighted;
 use dircut_graph::{NodeId, NodeSet, UnGraph};
 use dircut_localquery::GraphOracle;
@@ -198,10 +198,14 @@ impl GxyGraph {
     /// with exact integer max-flow). Returns the minimum flow seen.
     #[must_use]
     pub fn verify_edge_disjoint_paths(&self, pairs: &[(NodeId, NodeId)]) -> u64 {
+        // One network serves every pair: `reset()` rewinds flow to the
+        // capacity snapshot, so only the first pair pays for building
+        // the adjacency structure.
+        let mut net = unit_network_from_ungraph(&self.graph);
         let mut min_flow = u64::MAX;
         for &(u, v) in pairs {
-            let f = edge_disjoint_paths(&self.graph, u, v);
-            min_flow = min_flow.min(f);
+            net.reset();
+            min_flow = min_flow.min(net.max_flow(u, v));
         }
         min_flow
     }

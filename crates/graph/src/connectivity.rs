@@ -15,6 +15,7 @@ use crate::ids::NodeId;
 #[must_use]
 pub fn strongly_connected_components(g: &DiGraph) -> Vec<usize> {
     let n = g.num_nodes();
+    let csr = g.csr();
     const UNSET: usize = usize::MAX;
     let mut index = vec![UNSET; n];
     let mut lowlink = vec![0usize; n];
@@ -39,9 +40,11 @@ pub fn strongly_connected_components(g: &DiGraph) -> Vec<usize> {
         on_stack[root] = true;
 
         while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
-            let out = g.out_edges(NodeId::new(v));
+            // CSR target slices walk neighbors directly — no per-edge
+            // indirection through the edge list.
+            let out = csr.out_targets(NodeId::new(v));
             if *ei < out.len() {
-                let w = g.edge(out[*ei]).to.index();
+                let w = out[*ei] as usize;
                 *ei += 1;
                 if index[w] == UNSET {
                     index[w] = next_index;
@@ -89,6 +92,7 @@ pub fn is_strongly_connected(g: &DiGraph) -> bool {
 #[must_use]
 pub fn num_weak_components(g: &DiGraph) -> usize {
     let n = g.num_nodes();
+    let csr = g.csr();
     let mut seen = vec![false; n];
     let mut count = 0;
     let mut stack = Vec::new();
@@ -101,18 +105,16 @@ pub fn num_weak_components(g: &DiGraph) -> usize {
         stack.push(start);
         while let Some(u) = stack.pop() {
             let u_id = NodeId::new(u);
-            for &e in g.out_edges(u_id) {
-                let w = g.edge(e).to.index();
-                if !seen[w] {
-                    seen[w] = true;
-                    stack.push(w);
+            for &w in csr.out_targets(u_id) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w as usize);
                 }
             }
-            for &e in g.in_edges(u_id) {
-                let w = g.edge(e).from.index();
-                if !seen[w] {
-                    seen[w] = true;
-                    stack.push(w);
+            for &w in csr.in_sources(u_id) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    stack.push(w as usize);
                 }
             }
         }

@@ -1,0 +1,461 @@
+//! Batched cut-query evaluation: `k` directed cut queries answered in
+//! `O(m · k/64)` word-parallel work instead of `k` independent `O(m)`
+//! scans.
+//!
+//! The decoders of Theorems 1.1–1.3 measure a sketch or oracle by
+//! firing thousands of cut queries at it, and the exact-truth side of
+//! every experiment answers each one with a whole-edge scan. This
+//! module batches those scans:
+//!
+//! * **Word-parallel kernel** — queries are grouped into chunks of up
+//!   to 64 sets. A chunk builds one `u64` membership mask per node
+//!   (bit `j` set ⇔ node in set `j`) and then makes a *single* pass
+//!   over the edge list. For an edge `u → v` the crossing sets in the
+//!   forward direction are `mask[u] & !mask[v]` and in the reverse
+//!   direction `!mask[u] & mask[v]` — two AND-NOTs answer the edge for
+//!   all 64 queries at once, and the fused forward/reverse accumulation
+//!   mirrors [`DiGraph::cut_both`].
+//! * **Incident-scan fast path** — when a set is small
+//!   (`Σ_{v∈S} deg(v) ≪ m`) it is cheaper to walk the members'
+//!   incident [`Csr`](crate::digraph::Csr) slices than to touch every
+//!   edge. Crossing edges are gathered, sorted by edge id, and summed
+//!   in that order, which reproduces the edge-scan's f64 addition
+//!   sequence exactly.
+//! * **Deterministic fan-out** — chunks and fast-path sets are
+//!   independent tasks dispatched on [`crate::parallel::run_indexed`],
+//!   so results are reassembled in query order and are bit-identical
+//!   for any thread count.
+//!
+//! Every entry point returns, for every query, **the same f64 bits**
+//! as the corresponding naive scan ([`DiGraph::cut_out`],
+//! [`DiGraph::cut_in`], [`DiGraph::cut_both`]): per set, weights are
+//! accumulated in ascending edge-id order, which is the edge-list
+//! order the naive scans use. That property is what lets the
+//! experiment tables stay reproducible while the hot path changes
+//! underneath them.
+
+use crate::digraph::{DiGraph, UniverseMismatch};
+use crate::ids::NodeSet;
+use crate::parallel;
+
+/// A set is routed to the incident-scan fast path when the total
+/// incident degree of its members, times this factor, is below the
+/// edge count. At 16, a chunk's worth of fast-path sets costs at most
+/// ~4× one shared edge pass (64/16), while genuinely tiny sets (the
+/// common case: single-vertex and gadget-group queries) skip the
+/// `O(m)` pass entirely.
+const FAST_PATH_FACTOR: usize = 16;
+
+/// One chunk of the word-parallel kernel: at most 64 sets.
+const CHUNK: usize = 64;
+
+fn incident_degree(g: &DiGraph, s: &NodeSet) -> usize {
+    let csr = g.csr();
+    s.iter()
+        .map(|v| csr.out_targets(v).len() + csr.in_sources(v).len())
+        .sum()
+}
+
+/// Answers one small set by scanning only its members' incident edges.
+/// Gathered crossing edges are sorted by edge id and summed in that
+/// order, so the result is bit-identical to the whole-edge scan.
+fn eval_incident(g: &DiGraph, s: &NodeSet) -> (f64, f64) {
+    let csr = g.csr();
+    let mut fwd: Vec<(u32, f64)> = Vec::new();
+    let mut rev: Vec<(u32, f64)> = Vec::new();
+    for v in s.iter() {
+        for (id, (&t, &w)) in csr
+            .out_edge_ids(v)
+            .iter()
+            .zip(csr.out_targets(v).iter().zip(csr.out_weights(v)))
+        {
+            if !s.contains(crate::ids::NodeId(t)) {
+                fwd.push((id.0, w));
+            }
+        }
+        for (id, (&f, &w)) in csr
+            .in_edge_ids(v)
+            .iter()
+            .zip(csr.in_sources(v).iter().zip(csr.in_weights(v)))
+        {
+            if !s.contains(crate::ids::NodeId(f)) {
+                rev.push((id.0, w));
+            }
+        }
+    }
+    fwd.sort_unstable_by_key(|&(id, _)| id);
+    rev.sort_unstable_by_key(|&(id, _)| id);
+    // Explicit `+0.0`-seeded folds, matching the naive scans — an
+    // `Iterator::sum` would seed with `-0.0` and flip the zero sign of
+    // empty cuts.
+    let mut out = 0.0;
+    for &(_, w) in &fwd {
+        out += w;
+    }
+    let mut into = 0.0;
+    for &(_, w) in &rev {
+        into += w;
+    }
+    (out, into)
+}
+
+/// Answers one chunk of ≤ 64 sets with a single edge pass.
+fn eval_chunk(g: &DiGraph, sets: &[&NodeSet]) -> Vec<(f64, f64)> {
+    debug_assert!(sets.len() <= CHUNK);
+    let n = g.num_nodes();
+    let mut mask = vec![0u64; n];
+    for (j, s) in sets.iter().enumerate() {
+        let bit = 1u64 << j;
+        for v in s.iter() {
+            mask[v.index()] |= bit;
+        }
+    }
+    let mut acc = vec![(0.0f64, 0.0f64); sets.len()];
+    for e in g.edges() {
+        let mu = mask[e.from.index()];
+        let mv = mask[e.to.index()];
+        let mut f = mu & !mv;
+        while f != 0 {
+            let j = f.trailing_zeros() as usize;
+            acc[j].0 += e.weight;
+            f &= f - 1;
+        }
+        let mut r = !mu & mv;
+        while r != 0 {
+            let j = r.trailing_zeros() as usize;
+            acc[j].1 += e.weight;
+            r &= r - 1;
+        }
+    }
+    acc
+}
+
+fn check_universes(g: &DiGraph, sets: &[NodeSet]) -> Result<(), UniverseMismatch> {
+    let n = g.num_nodes();
+    for s in sets {
+        if s.universe() != n {
+            return Err(UniverseMismatch {
+                expected: n,
+                got: s.universe(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Core batch evaluator: routes each set to the fast path or the
+/// word-parallel kernel and fans the work across `threads` workers.
+fn eval_batch(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> {
+    crate::stats::count_cut_queries(sets.len() as u64);
+    if sets.is_empty() {
+        return Vec::new();
+    }
+    // Build the CSR once, up front, so worker threads share it
+    // read-only instead of racing to initialize it.
+    let _ = g.csr();
+    let m = g.num_edges();
+    let mut small: Vec<usize> = Vec::new();
+    let mut large: Vec<usize> = Vec::new();
+    for (i, s) in sets.iter().enumerate() {
+        if incident_degree(g, s) * FAST_PATH_FACTOR < m {
+            small.push(i);
+        } else {
+            large.push(i);
+        }
+    }
+    let mut results = vec![(0.0f64, 0.0f64); sets.len()];
+    // Large sets: chunks of ≤ 64 share one edge pass each.
+    let chunks: Vec<&[usize]> = large.chunks(CHUNK).collect();
+    let chunk_out = parallel::run_indexed(chunks.len(), threads, |c| {
+        let members: Vec<&NodeSet> = chunks[c].iter().map(|&i| &sets[i]).collect();
+        eval_chunk(g, &members)
+    });
+    for (chunk, vals) in chunks.iter().zip(chunk_out) {
+        for (&i, v) in chunk.iter().zip(vals) {
+            results[i] = v;
+        }
+    }
+    // Small sets: independent incident scans.
+    let small_out =
+        parallel::run_indexed(small.len(), threads, |k| eval_incident(g, &sets[small[k]]));
+    for (&i, v) in small.iter().zip(small_out) {
+        results[i] = v;
+    }
+    results
+}
+
+/// Batched [`DiGraph::cut_both`]: `(w(Sᵢ,V∖Sᵢ), w(V∖Sᵢ,Sᵢ))` for every
+/// query set, bit-identical to calling `cut_both` per set, using the
+/// default worker-pool size.
+///
+/// # Panics
+/// Panics (debug builds only) on a universe mismatch; use
+/// [`try_cut_both_batch`] for a checked variant.
+#[must_use]
+pub fn cut_both_batch(g: &DiGraph, sets: &[NodeSet]) -> Vec<(f64, f64)> {
+    cut_both_batch_threaded(g, sets, parallel::default_threads())
+}
+
+/// [`cut_both_batch`] with an explicit worker count. Results are
+/// bit-identical for any `threads ≥ 1`.
+#[must_use]
+pub fn cut_both_batch_threaded(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> {
+    debug_assert!(
+        check_universes(g, sets).is_ok(),
+        "node-set universe mismatch"
+    );
+    eval_batch(g, sets, threads)
+}
+
+/// Batched [`DiGraph::cut_out`]: the forward cut value for every query
+/// set, bit-identical to calling `cut_out` per set.
+///
+/// # Panics
+/// Panics (debug builds only) on a universe mismatch.
+#[must_use]
+pub fn cut_out_batch(g: &DiGraph, sets: &[NodeSet]) -> Vec<f64> {
+    cut_out_batch_threaded(g, sets, parallel::default_threads())
+}
+
+/// [`cut_out_batch`] with an explicit worker count.
+#[must_use]
+pub fn cut_out_batch_threaded(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<f64> {
+    cut_both_batch_threaded(g, sets, threads)
+        .into_iter()
+        .map(|(out, _)| out)
+        .collect()
+}
+
+/// Batched [`DiGraph::cut_in`]: the reverse cut value for every query
+/// set, bit-identical to calling `cut_in` per set.
+///
+/// # Panics
+/// Panics (debug builds only) on a universe mismatch.
+#[must_use]
+pub fn cut_in_batch(g: &DiGraph, sets: &[NodeSet]) -> Vec<f64> {
+    cut_in_batch_threaded(g, sets, parallel::default_threads())
+}
+
+/// [`cut_in_batch`] with an explicit worker count.
+#[must_use]
+pub fn cut_in_batch_threaded(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<f64> {
+    cut_both_batch_threaded(g, sets, threads)
+        .into_iter()
+        .map(|(_, into)| into)
+        .collect()
+}
+
+/// Checked [`cut_both_batch`].
+///
+/// # Errors
+/// [`UniverseMismatch`] if any set's universe differs from the graph's
+/// node count.
+pub fn try_cut_both_batch(
+    g: &DiGraph,
+    sets: &[NodeSet],
+) -> Result<Vec<(f64, f64)>, UniverseMismatch> {
+    check_universes(g, sets)?;
+    Ok(eval_batch(g, sets, parallel::default_threads()))
+}
+
+/// Word-parallel batch kernel over a raw weighted edge list (the
+/// storage format of edge-list sketches): for every query set, both
+/// directed cut values, accumulated in edge order — bit-identical to a
+/// per-set filtered scan of the same list. Sets whose universe is not
+/// `n` yield garbage (membership tests simply fail); callers validate.
+#[must_use]
+pub fn cut_both_batch_edges(
+    n: usize,
+    edges: &[(u32, u32, f64)],
+    sets: &[NodeSet],
+    threads: usize,
+) -> Vec<(f64, f64)> {
+    crate::stats::count_cut_queries(sets.len() as u64);
+    if sets.is_empty() {
+        return Vec::new();
+    }
+    let chunks: Vec<&[NodeSet]> = sets.chunks(CHUNK).collect();
+    let per_chunk = parallel::run_indexed(chunks.len(), threads, |c| {
+        let group = chunks[c];
+        let mut mask = vec![0u64; n];
+        for (j, s) in group.iter().enumerate() {
+            let bit = 1u64 << j;
+            for v in s.iter() {
+                mask[v.index()] |= bit;
+            }
+        }
+        let mut acc = vec![(0.0f64, 0.0f64); group.len()];
+        for &(u, v, w) in edges {
+            let mu = mask[u as usize];
+            let mv = mask[v as usize];
+            let mut f = mu & !mv;
+            while f != 0 {
+                let j = f.trailing_zeros() as usize;
+                acc[j].0 += w;
+                f &= f - 1;
+            }
+            let mut r = !mu & mv;
+            while r != 0 {
+                let j = r.trailing_zeros() as usize;
+                acc[j].1 += w;
+                r &= r - 1;
+            }
+        }
+        acc
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    /// Deterministic splitmix64 — keeps the tests free of external
+    /// RNG crates.
+    struct Mix(u64);
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound
+        }
+    }
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> DiGraph {
+        let mut rng = Mix(seed);
+        let mut g = DiGraph::with_edge_capacity(n, m);
+        for _ in 0..m {
+            let u = rng.below(n as u64) as usize;
+            let mut v = rng.below(n as u64) as usize;
+            if v == u {
+                v = (v + 1) % n;
+            }
+            let w = (rng.below(1000) as f64) / 7.0;
+            g.add_edge(NodeId::new(u), NodeId::new(v), w);
+        }
+        g
+    }
+
+    fn random_sets(n: usize, k: usize, seed: u64) -> Vec<NodeSet> {
+        let mut rng = Mix(seed);
+        (0..k)
+            .map(|_| {
+                let size = 1 + rng.below(n as u64) as usize;
+                NodeSet::from_indices(n, (0..size).map(|_| rng.below(n as u64) as usize))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_naive_bitwise() {
+        let g = random_graph(50, 400, 1);
+        let mut sets = random_sets(50, 130, 2);
+        // Force a few tiny sets onto the fast path and include the
+        // empty and full sets as degenerate queries.
+        sets.push(NodeSet::from_indices(50, [7]));
+        sets.push(NodeSet::empty(50));
+        sets.push(NodeSet::full(50));
+        for threads in [1, 4] {
+            let got = cut_both_batch_threaded(&g, &sets, threads);
+            for (s, &(o, i)) in sets.iter().zip(&got) {
+                let (no, ni) = g.cut_both(s);
+                assert_eq!(o.to_bits(), no.to_bits(), "threads={threads}");
+                assert_eq!(i.to_bits(), ni.to_bits(), "threads={threads}");
+            }
+            let outs = cut_out_batch_threaded(&g, &sets, threads);
+            let ins = cut_in_batch_threaded(&g, &sets, threads);
+            for ((s, o), i) in sets.iter().zip(&outs).zip(&ins) {
+                assert_eq!(o.to_bits(), g.cut_out(s).to_bits());
+                assert_eq!(i.to_bits(), g.cut_in(s).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn more_than_64_queries_split_into_chunks() {
+        let g = random_graph(20, 60, 3);
+        let sets = random_sets(20, 200, 4);
+        let got = cut_both_batch_threaded(&g, &sets, 3);
+        assert_eq!(got.len(), 200);
+        for (s, &(o, i)) in sets.iter().zip(&got) {
+            let (no, ni) = g.cut_both(s);
+            assert_eq!((o.to_bits(), i.to_bits()), (no.to_bits(), ni.to_bits()));
+        }
+    }
+
+    #[test]
+    fn fast_path_handles_parallel_edges_and_isolated_nodes() {
+        let mut g = DiGraph::new(200);
+        // Dense enough that singleton sets hit the fast path; node 199
+        // stays isolated.
+        let mut rng = Mix(9);
+        for _ in 0..3000 {
+            let u = rng.below(198) as usize;
+            let mut v = rng.below(198) as usize;
+            if v == u {
+                v = (v + 1) % 198;
+            }
+            g.add_edge(NodeId::new(u), NodeId::new(v), 1.0 + (rng.below(5) as f64));
+        }
+        // Duplicate one pair many times to exercise parallel edges.
+        for _ in 0..10 {
+            g.add_edge(NodeId::new(0), NodeId::new(1), 0.5);
+        }
+        let sets = vec![
+            NodeSet::from_indices(200, [0]),
+            NodeSet::from_indices(200, [199]), // isolated
+            NodeSet::from_indices(200, [0, 1]),
+        ];
+        let got = cut_both_batch_threaded(&g, &sets, 2);
+        for (s, &(o, i)) in sets.iter().zip(&got) {
+            let (no, ni) = g.cut_both(s);
+            assert_eq!((o.to_bits(), i.to_bits()), (no.to_bits(), ni.to_bits()));
+        }
+        assert_eq!(got[1], (0.0, 0.0));
+    }
+
+    #[test]
+    fn checked_batch_rejects_mismatched_universe() {
+        let g = random_graph(10, 20, 5);
+        let sets = vec![NodeSet::empty(10), NodeSet::empty(11)];
+        assert_eq!(
+            try_cut_both_batch(&g, &sets),
+            Err(UniverseMismatch {
+                expected: 10,
+                got: 11
+            })
+        );
+    }
+
+    #[test]
+    fn edge_list_kernel_matches_graph_kernel() {
+        let g = random_graph(30, 150, 6);
+        let sets = random_sets(30, 80, 7);
+        let tuples: Vec<(u32, u32, f64)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.from.0, e.to.0, e.weight))
+            .collect();
+        for threads in [1, 4] {
+            let a = cut_both_batch_edges(30, &tuples, &sets, threads);
+            for (s, &(o, i)) in sets.iter().zip(&a) {
+                let (no, ni) = g.cut_both(s);
+                assert_eq!((o.to_bits(), i.to_bits()), (no.to_bits(), ni.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let g = random_graph(5, 6, 8);
+        assert!(cut_both_batch(&g, &[]).is_empty());
+        assert!(cut_out_batch(&g, &[]).is_empty());
+        assert!(cut_in_batch(&g, &[]).is_empty());
+    }
+}

@@ -2,10 +2,31 @@
 //!
 //! [`DiGraph`] is the workhorse of the whole workspace: every
 //! lower-bound gadget, every sketch, and every flow computation runs on
-//! it. It stores an edge list plus out/in adjacency indices so both
-//! `O(m)` whole-graph scans and `O(deg)` local walks are cheap.
+//! it. It stores an edge list plus a lazily built compressed-sparse-row
+//! ([`Csr`]) view of the out/in adjacency, so `O(m)` whole-graph scans,
+//! `O(deg)` local walks, and cache-friendly neighbor sweeps are all
+//! cheap without paying one heap allocation per node.
+//!
+//! # CSR layout and the mutation epoch
+//!
+//! The CSR view packs, for each direction, three flat arrays indexed by
+//! a `n + 1`-entry offset table: edge ids, opposite endpoints, and
+//! weights. Within a node's slice the edges appear in **insertion
+//! order** (the build is a stable counting sort over the edge list), so
+//! [`DiGraph::out_edges`] returns exactly the same sequence the old
+//! per-node `Vec<EdgeId>` lists did.
+//!
+//! The view is built on first use and cached. Every mutation
+//! ([`DiGraph::add_edge`], [`DiGraph::scale_weights`]) bumps the
+//! [`DiGraph::mutation_epoch`] counter and drops the cache, so a stale
+//! view can never be observed; the next read rebuilds in `O(n + m)`.
+//! Because the cache sits behind a [`OnceLock`], concurrent readers
+//! sharing a `&DiGraph` across the worker pool race only on who builds
+//! the view first, never on its contents.
 
 use crate::ids::{EdgeId, NodeId, NodeSet};
+use std::fmt;
+use std::sync::OnceLock;
 
 /// A weighted directed edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -16,6 +37,176 @@ pub struct Edge {
     pub to: NodeId,
     /// Non-negative weight.
     pub weight: f64,
+}
+
+/// Error returned by the checked cut queries when a [`NodeSet`]'s
+/// universe does not match the graph's node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniverseMismatch {
+    /// The graph's node count.
+    pub expected: usize,
+    /// The set's universe.
+    pub got: usize,
+}
+
+impl fmt::Display for UniverseMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node-set universe mismatch: graph has {} nodes, set universe is {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for UniverseMismatch {}
+
+/// Compressed-sparse-row view of a [`DiGraph`]'s adjacency.
+///
+/// Six flat arrays (edge ids, opposite endpoints, weights — once per
+/// direction) indexed through `n + 1`-entry offset tables, plus cached
+/// weighted degrees. Per-node slices preserve edge insertion order.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    out_offsets: Vec<u32>,
+    out_edge_ids: Vec<EdgeId>,
+    out_targets: Vec<u32>,
+    out_weights: Vec<f64>,
+    in_offsets: Vec<u32>,
+    in_edge_ids: Vec<EdgeId>,
+    in_sources: Vec<u32>,
+    in_weights: Vec<f64>,
+    out_wdeg: Vec<f64>,
+    in_wdeg: Vec<f64>,
+    built_at_epoch: u64,
+}
+
+impl Csr {
+    fn build(n: usize, edges: &[Edge], epoch: u64) -> Self {
+        let m = edges.len();
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for e in edges {
+            out_offsets[e.from.index() + 1] += 1;
+            in_offsets[e.to.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut out_edge_ids = vec![EdgeId(0); m];
+        let mut out_targets = vec![0u32; m];
+        let mut out_weights = vec![0.0f64; m];
+        let mut in_edge_ids = vec![EdgeId(0); m];
+        let mut in_sources = vec![0u32; m];
+        let mut in_weights = vec![0.0f64; m];
+        // Stable counting sort: ascending edge id within each node, so
+        // per-node slices match the historical push order exactly.
+        let mut out_cursor = out_offsets[..n].to_vec();
+        let mut in_cursor = in_offsets[..n].to_vec();
+        for (i, e) in edges.iter().enumerate() {
+            let id = EdgeId::new(i);
+            let o = &mut out_cursor[e.from.index()];
+            out_edge_ids[*o as usize] = id;
+            out_targets[*o as usize] = e.to.0;
+            out_weights[*o as usize] = e.weight;
+            *o += 1;
+            let p = &mut in_cursor[e.to.index()];
+            in_edge_ids[*p as usize] = id;
+            in_sources[*p as usize] = e.from.0;
+            in_weights[*p as usize] = e.weight;
+            *p += 1;
+        }
+        let mut out_wdeg = vec![0.0f64; n];
+        let mut in_wdeg = vec![0.0f64; n];
+        for v in 0..n {
+            let (a, b) = (out_offsets[v] as usize, out_offsets[v + 1] as usize);
+            out_wdeg[v] = out_weights[a..b].iter().sum();
+            let (a, b) = (in_offsets[v] as usize, in_offsets[v + 1] as usize);
+            in_wdeg[v] = in_weights[a..b].iter().sum();
+        }
+        Self {
+            out_offsets,
+            out_edge_ids,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_edge_ids,
+            in_sources,
+            in_weights,
+            out_wdeg,
+            in_wdeg,
+            built_at_epoch: epoch,
+        }
+    }
+
+    #[inline]
+    fn out_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.out_offsets[v.index()] as usize..self.out_offsets[v.index() + 1] as usize
+    }
+
+    #[inline]
+    fn in_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.in_offsets[v.index()] as usize..self.in_offsets[v.index() + 1] as usize
+    }
+
+    /// Ids of edges leaving `v`, in insertion order.
+    #[must_use]
+    pub fn out_edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        &self.out_edge_ids[self.out_range(v)]
+    }
+
+    /// Ids of edges entering `v`, in insertion order.
+    #[must_use]
+    pub fn in_edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        &self.in_edge_ids[self.in_range(v)]
+    }
+
+    /// Heads of the edges leaving `v`, aligned with
+    /// [`Csr::out_edge_ids`].
+    #[must_use]
+    pub fn out_targets(&self, v: NodeId) -> &[u32] {
+        &self.out_targets[self.out_range(v)]
+    }
+
+    /// Tails of the edges entering `v`, aligned with
+    /// [`Csr::in_edge_ids`].
+    #[must_use]
+    pub fn in_sources(&self, v: NodeId) -> &[u32] {
+        &self.in_sources[self.in_range(v)]
+    }
+
+    /// Weights of the edges leaving `v`, aligned with
+    /// [`Csr::out_edge_ids`].
+    #[must_use]
+    pub fn out_weights(&self, v: NodeId) -> &[f64] {
+        &self.out_weights[self.out_range(v)]
+    }
+
+    /// Weights of the edges entering `v`, aligned with
+    /// [`Csr::in_edge_ids`].
+    #[must_use]
+    pub fn in_weights(&self, v: NodeId) -> &[f64] {
+        &self.in_weights[self.in_range(v)]
+    }
+
+    /// Cached weighted out-degree of `v`.
+    #[must_use]
+    pub fn weighted_out_degree(&self, v: NodeId) -> f64 {
+        self.out_wdeg[v.index()]
+    }
+
+    /// Cached weighted in-degree of `v`.
+    #[must_use]
+    pub fn weighted_in_degree(&self, v: NodeId) -> f64 {
+        self.in_wdeg[v.index()]
+    }
+
+    /// The [`DiGraph::mutation_epoch`] value this view was built at.
+    #[must_use]
+    pub fn built_at_epoch(&self) -> u64 {
+        self.built_at_epoch
+    }
 }
 
 /// A weighted directed multigraph over nodes `{0, …, n−1}`.
@@ -37,12 +228,18 @@ pub struct Edge {
 /// assert_eq!(g.cut_out(&s), 2.0); // edges leaving {0}
 /// assert_eq!(g.cut_in(&s), 5.0);  // edges entering {0}
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DiGraph {
     n: usize,
     edges: Vec<Edge>,
-    out_adj: Vec<Vec<EdgeId>>,
-    in_adj: Vec<Vec<EdgeId>>,
+    epoch: u64,
+    csr: OnceLock<Csr>,
+}
+
+impl PartialEq for DiGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.edges == other.edges
+    }
 }
 
 impl DiGraph {
@@ -52,8 +249,8 @@ impl DiGraph {
         Self {
             n,
             edges: Vec::new(),
-            out_adj: vec![Vec::new(); n],
-            in_adj: vec![Vec::new(); n],
+            epoch: 0,
+            csr: OnceLock::new(),
         }
     }
 
@@ -82,6 +279,29 @@ impl DiGraph {
         (0..self.n).map(NodeId::new)
     }
 
+    /// How many times the graph has been mutated since construction.
+    /// The CSR view records the epoch it was built at, so stale views
+    /// are impossible: any mutation drops the cache.
+    #[must_use]
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The compressed-sparse-row adjacency view, building it on first
+    /// use after any mutation. `O(n + m)` to build, `O(1)` afterwards.
+    #[must_use]
+    pub fn csr(&self) -> &Csr {
+        self.csr
+            .get_or_init(|| Csr::build(self.n, &self.edges, self.epoch))
+    }
+
+    /// Drops the cached CSR view and bumps the epoch. Every `&mut self`
+    /// method that changes the node/edge structure must call this.
+    fn invalidate(&mut self) {
+        self.epoch += 1;
+        self.csr.take();
+    }
+
     /// Adds a directed edge and returns its id.
     ///
     /// # Panics
@@ -96,10 +316,9 @@ impl DiGraph {
             weight.is_finite() && weight >= 0.0,
             "weight must be finite and ≥ 0, got {weight}"
         );
+        self.invalidate();
         let id = EdgeId::new(self.edges.len());
         self.edges.push(Edge { from, to, weight });
-        self.out_adj[from.index()].push(id);
-        self.in_adj[to.index()].push(id);
         id
     }
 
@@ -115,46 +334,40 @@ impl DiGraph {
         &self.edges
     }
 
-    /// Ids of edges leaving `v`.
+    /// Ids of edges leaving `v`, in insertion order.
     #[must_use]
     pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
-        &self.out_adj[v.index()]
+        self.csr().out_edge_ids(v)
     }
 
-    /// Ids of edges entering `v`.
+    /// Ids of edges entering `v`, in insertion order.
     #[must_use]
     pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
-        &self.in_adj[v.index()]
+        self.csr().in_edge_ids(v)
     }
 
     /// Out-degree (number of outgoing edges) of `v`.
     #[must_use]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out_adj[v.index()].len()
+        self.csr().out_range(v).len()
     }
 
     /// In-degree of `v`.
     #[must_use]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_adj[v.index()].len()
+        self.csr().in_range(v).len()
     }
 
     /// Weighted out-degree `w(v, V)`.
     #[must_use]
     pub fn weighted_out_degree(&self, v: NodeId) -> f64 {
-        self.out_adj[v.index()]
-            .iter()
-            .map(|&e| self.edges[e.index()].weight)
-            .sum()
+        self.csr().weighted_out_degree(v)
     }
 
     /// Weighted in-degree `w(V, v)`.
     #[must_use]
     pub fn weighted_in_degree(&self, v: NodeId) -> f64 {
-        self.in_adj[v.index()]
-            .iter()
-            .map(|&e| self.edges[e.index()].weight)
-            .sum()
+        self.csr().weighted_in_degree(v)
     }
 
     /// Total edge weight `w(V, V)`.
@@ -166,17 +379,19 @@ impl DiGraph {
     /// The total weight of edges from `u` to `v` (merging parallels).
     #[must_use]
     pub fn pair_weight(&self, u: NodeId, v: NodeId) -> f64 {
-        self.out_adj[u.index()]
+        let csr = self.csr();
+        csr.out_targets(u)
             .iter()
-            .map(|&e| &self.edges[e.index()])
-            .filter(|e| e.to == v)
-            .map(|e| e.weight)
+            .zip(csr.out_weights(u))
+            .filter(|&(&t, _)| t == v.0)
+            .map(|(_, &w)| w)
             .sum()
     }
 
     /// Multiplies every edge weight by `scale` (used by sketches).
     pub fn scale_weights(&mut self, scale: f64) {
         assert!(scale.is_finite() && scale >= 0.0);
+        self.invalidate();
         for e in &mut self.edges {
             e.weight *= scale;
         }
@@ -192,36 +407,43 @@ impl DiGraph {
         g
     }
 
-    /// The directed cut value `w(S, V∖S)`: total weight of edges from
-    /// `S` to its complement. `O(m)`.
-    ///
-    /// # Panics
-    /// Panics if the set's universe differs from the node count.
-    #[must_use]
-    pub fn cut_out(&self, s: &NodeSet) -> f64 {
-        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
-        self.edges
-            .iter()
-            .filter(|e| s.contains(e.from) && !s.contains(e.to))
-            .map(|e| e.weight)
-            .sum()
+    fn check_universe(&self, s: &NodeSet) -> Result<(), UniverseMismatch> {
+        if s.universe() == self.n {
+            Ok(())
+        } else {
+            Err(UniverseMismatch {
+                expected: self.n,
+                got: s.universe(),
+            })
+        }
     }
 
-    /// The reverse cut value `w(V∖S, S)`.
-    #[must_use]
-    pub fn cut_in(&self, s: &NodeSet) -> f64 {
-        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
-        self.edges
-            .iter()
-            .filter(|e| !s.contains(e.from) && s.contains(e.to))
-            .map(|e| e.weight)
-            .sum()
+    // The three cut scans accumulate with an explicit `+0.0`-seeded
+    // fold in edge order (NOT `Iterator::sum`, whose float identity is
+    // `-0.0`), so single queries, the fused `cut_both` pass, and the
+    // `cuteval` batch kernels all produce the same bits — including
+    // the sign of an exactly-zero cut.
+    fn cut_out_unchecked(&self, s: &NodeSet) -> f64 {
+        let mut out = 0.0;
+        for e in &self.edges {
+            if s.contains(e.from) && !s.contains(e.to) {
+                out += e.weight;
+            }
+        }
+        out
     }
 
-    /// Both directions of the cut in one scan: `(w(S,V∖S), w(V∖S,S))`.
-    #[must_use]
-    pub fn cut_both(&self, s: &NodeSet) -> (f64, f64) {
-        assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+    fn cut_in_unchecked(&self, s: &NodeSet) -> f64 {
+        let mut into = 0.0;
+        for e in &self.edges {
+            if !s.contains(e.from) && s.contains(e.to) {
+                into += e.weight;
+            }
+        }
+        into
+    }
+
+    fn cut_both_unchecked(&self, s: &NodeSet) -> (f64, f64) {
         let (mut out, mut into) = (0.0, 0.0);
         for e in &self.edges {
             match (s.contains(e.from), s.contains(e.to)) {
@@ -233,13 +455,78 @@ impl DiGraph {
         (out, into)
     }
 
+    /// The directed cut value `w(S, V∖S)`: total weight of edges from
+    /// `S` to its complement. `O(m)`.
+    ///
+    /// A mismatched universe is a caller bug; it is checked with a
+    /// debug-only assertion here (release decoders fed a bad set get a
+    /// garbage-in answer, not a panic). Use [`DiGraph::try_cut_out`]
+    /// for a checked variant.
+    #[must_use]
+    pub fn cut_out(&self, s: &NodeSet) -> f64 {
+        debug_assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        crate::stats::count_cut_queries(1);
+        self.cut_out_unchecked(s)
+    }
+
+    /// The reverse cut value `w(V∖S, S)`. See [`DiGraph::cut_out`] for
+    /// the universe-check contract.
+    #[must_use]
+    pub fn cut_in(&self, s: &NodeSet) -> f64 {
+        debug_assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        crate::stats::count_cut_queries(1);
+        self.cut_in_unchecked(s)
+    }
+
+    /// Both directions of the cut in one scan: `(w(S,V∖S), w(V∖S,S))`.
+    /// See [`DiGraph::cut_out`] for the universe-check contract.
+    #[must_use]
+    pub fn cut_both(&self, s: &NodeSet) -> (f64, f64) {
+        debug_assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        crate::stats::count_cut_queries(1);
+        self.cut_both_unchecked(s)
+    }
+
+    /// Checked [`DiGraph::cut_out`]: returns a typed error instead of
+    /// asserting when the set's universe does not match.
+    ///
+    /// # Errors
+    /// [`UniverseMismatch`] if `s.universe() != self.num_nodes()`.
+    pub fn try_cut_out(&self, s: &NodeSet) -> Result<f64, UniverseMismatch> {
+        self.check_universe(s)?;
+        crate::stats::count_cut_queries(1);
+        Ok(self.cut_out_unchecked(s))
+    }
+
+    /// Checked [`DiGraph::cut_in`].
+    ///
+    /// # Errors
+    /// [`UniverseMismatch`] if `s.universe() != self.num_nodes()`.
+    pub fn try_cut_in(&self, s: &NodeSet) -> Result<f64, UniverseMismatch> {
+        self.check_universe(s)?;
+        crate::stats::count_cut_queries(1);
+        Ok(self.cut_in_unchecked(s))
+    }
+
+    /// Checked [`DiGraph::cut_both`].
+    ///
+    /// # Errors
+    /// [`UniverseMismatch`] if `s.universe() != self.num_nodes()`.
+    pub fn try_cut_both(&self, s: &NodeSet) -> Result<(f64, f64), UniverseMismatch> {
+        self.check_universe(s)?;
+        crate::stats::count_cut_queries(1);
+        Ok(self.cut_both_unchecked(s))
+    }
+
     /// The total weight of edges from set `a` to set `b`
     /// (`w(A, B)` in the paper's notation). Sets may overlap; edges
-    /// inside the overlap count when both endpoints qualify.
+    /// inside the overlap count when both endpoints qualify. See
+    /// [`DiGraph::cut_out`] for the universe-check contract.
     #[must_use]
     pub fn weight_between(&self, a: &NodeSet, b: &NodeSet) -> f64 {
-        assert_eq!(a.universe(), self.n, "node-set universe mismatch");
-        assert_eq!(b.universe(), self.n, "node-set universe mismatch");
+        debug_assert_eq!(a.universe(), self.n, "node-set universe mismatch");
+        debug_assert_eq!(b.universe(), self.n, "node-set universe mismatch");
+        crate::stats::count_cut_queries(1);
         self.edges
             .iter()
             .filter(|e| a.contains(e.from) && b.contains(e.to))
@@ -300,6 +587,24 @@ mod tests {
         let s01 = NodeSet::from_indices(3, [0, 1]);
         assert_eq!(g.cut_out(&s01), 3.0);
         assert_eq!(g.cut_in(&s01), 5.0);
+    }
+
+    #[test]
+    fn checked_cut_queries_reject_bad_universe() {
+        let g = triangle();
+        let bad = NodeSet::from_indices(4, [0]);
+        let err = UniverseMismatch {
+            expected: 3,
+            got: 4,
+        };
+        assert_eq!(g.try_cut_out(&bad), Err(err));
+        assert_eq!(g.try_cut_in(&bad), Err(err));
+        assert_eq!(g.try_cut_both(&bad), Err(err));
+        assert!(err.to_string().contains("universe mismatch"));
+        let good = NodeSet::from_indices(3, [0]);
+        assert_eq!(g.try_cut_out(&good), Ok(2.0));
+        assert_eq!(g.try_cut_in(&good), Ok(5.0));
+        assert_eq!(g.try_cut_both(&good), Ok((2.0, 5.0)));
     }
 
     #[test]
@@ -368,5 +673,57 @@ mod tests {
         g.scale_weights(2.0);
         let s = NodeSet::from_indices(3, [0]);
         assert_eq!(g.cut_out(&s), 4.0);
+    }
+
+    #[test]
+    fn csr_slices_match_edge_list() {
+        let mut g = DiGraph::new(4);
+        // Parallel edges and an isolated node (3) on purpose.
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        g.add_edge(NodeId::new(2), NodeId::new(0), 2.0);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 3.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 4.0);
+        let csr = g.csr();
+        assert_eq!(csr.out_edge_ids(NodeId::new(0)), &[EdgeId(0), EdgeId(2)]);
+        assert_eq!(csr.out_targets(NodeId::new(0)), &[1, 1]);
+        assert_eq!(csr.out_weights(NodeId::new(0)), &[1.0, 3.0]);
+        assert_eq!(csr.in_edge_ids(NodeId::new(1)), &[EdgeId(0), EdgeId(2)]);
+        assert_eq!(csr.in_sources(NodeId::new(1)), &[0, 0]);
+        assert_eq!(g.out_edges(NodeId::new(3)), &[] as &[EdgeId]);
+        assert_eq!(g.in_edges(NodeId::new(3)), &[] as &[EdgeId]);
+        assert_eq!(g.out_degree(NodeId::new(0)), 2);
+        assert_eq!(g.in_degree(NodeId::new(1)), 2);
+        assert_eq!(g.weighted_out_degree(NodeId::new(0)), 4.0);
+        assert_eq!(g.weighted_in_degree(NodeId::new(1)), 4.0);
+    }
+
+    #[test]
+    fn mutation_epoch_invalidates_csr() {
+        let mut g = triangle();
+        let e0 = g.mutation_epoch();
+        assert_eq!(g.csr().built_at_epoch(), e0);
+        assert_eq!(g.out_degree(NodeId::new(0)), 1);
+        g.add_edge(NodeId::new(0), NodeId::new(2), 1.0);
+        assert!(g.mutation_epoch() > e0);
+        assert_eq!(g.out_degree(NodeId::new(0)), 2);
+        assert_eq!(g.csr().built_at_epoch(), g.mutation_epoch());
+        g.scale_weights(2.0);
+        assert_eq!(g.weighted_out_degree(NodeId::new(0)), 6.0);
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_cache_state() {
+        let mut a = triangle();
+        let _ = a.csr(); // cache built on a…
+        let b = a.clone();
+        let mut c = DiGraph::new(3);
+        c.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+        c.add_edge(NodeId::new(1), NodeId::new(2), 3.0);
+        c.add_edge(NodeId::new(2), NodeId::new(0), 5.0);
+        // …but not on c; equality is structural regardless.
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        a.add_edge(NodeId::new(0), NodeId::new(2), 1.0);
+        assert_ne!(a, b);
     }
 }

@@ -15,6 +15,7 @@
 
 use crate::digraph::DiGraph;
 use crate::ids::{NodeId, NodeSet};
+use std::sync::OnceLock;
 
 /// Capacity types usable in the flow network.
 pub trait Capacity:
@@ -91,6 +92,61 @@ struct Arc<C> {
     cap: C,
 }
 
+/// Flat (compressed-sparse-row) arc adjacency shared by the flow
+/// backends: one offsets table plus one arc-id array, built lazily
+/// from the arc list (arc `i`'s owner is `arcs[i ^ 1].to`, the tail of
+/// the paired residual arc). Per-node slices keep ascending arc-id
+/// order, which is exactly the historical per-node `Vec` push order —
+/// so traversal order, and therefore every flow value, is unchanged.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlatAdj {
+    offsets: Vec<u32>,
+    arcs: Vec<u32>,
+}
+
+impl FlatAdj {
+    pub(crate) fn build(n: usize, m: usize, owner: impl Fn(usize) -> u32) -> Self {
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..m {
+            offsets[owner(i) as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut arcs = vec![0u32; m];
+        for i in 0..m {
+            let c = &mut cursor[owner(i) as usize];
+            arcs[*c as usize] = i as u32;
+            *c += 1;
+        }
+        Self { offsets, arcs }
+    }
+
+    #[inline]
+    pub(crate) fn of(&self, u: usize) -> &[u32] {
+        &self.arcs[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+}
+
+/// Common interface over the workspace's max-flow backends (Dinic's
+/// [`FlowNetwork`] and [`crate::push_relabel::PushRelabel`]): both are
+/// `Capacity`-generic, keep an as-built capacity snapshot, and restore
+/// it with `reset` so batch solvers can swap backends without
+/// rebuilding arcs.
+pub trait MaxFlow<C: Capacity> {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+    /// Adds a directed arc `u → v` with the given capacity.
+    fn add_arc(&mut self, u: NodeId, v: NodeId, cap: C);
+    /// Maximum `s → t` flow, consuming residual capacity.
+    fn max_flow(&mut self, s: NodeId, t: NodeId) -> C;
+    /// Restores every residual capacity to its as-built value.
+    fn reset(&mut self);
+    /// After `max_flow`, the source side of a minimum cut.
+    fn min_cut_side(&self, s: NodeId) -> NodeSet;
+}
+
 /// A Dinic max-flow network with residual arcs stored in xor-paired
 /// positions (`arc i` ↔ `arc i^1`).
 ///
@@ -105,7 +161,10 @@ pub struct FlowNetwork<C> {
     arcs: Vec<Arc<C>>,
     /// Pristine capacities of every arc slot, in arc order.
     base: Vec<C>,
-    adj: Vec<Vec<u32>>,
+    /// Flat adjacency view, built lazily from the arc list and dropped
+    /// whenever an arc is added (same invalidation rule as the
+    /// [`crate::digraph::DiGraph`] CSR cache).
+    adj: OnceLock<FlatAdj>,
     /// Residual-noise threshold, tracking the largest arc capacity.
     eps: C,
 }
@@ -118,7 +177,7 @@ impl<C: Capacity> FlowNetwork<C> {
             n,
             arcs: Vec::new(),
             base: Vec::new(),
-            adj: vec![Vec::new(); n],
+            adj: OnceLock::new(),
             eps: C::ZERO,
         }
     }
@@ -129,6 +188,21 @@ impl<C: Capacity> FlowNetwork<C> {
         self.n
     }
 
+    fn adj(&self) -> &FlatAdj {
+        self.adj
+            .get_or_init(|| FlatAdj::build(self.n, self.arcs.len(), |i| self.arcs[i ^ 1].to))
+    }
+
+    #[inline]
+    fn adj_len(&self, u: usize) -> usize {
+        self.adj().of(u).len()
+    }
+
+    #[inline]
+    fn adj_at(&self, u: usize, k: usize) -> u32 {
+        self.adj().of(u)[k]
+    }
+
     /// Adds a directed arc `u → v` with the given capacity (reverse
     /// residual capacity zero).
     pub fn add_arc(&mut self, u: NodeId, v: NodeId, cap: C) {
@@ -136,7 +210,7 @@ impl<C: Capacity> FlowNetwork<C> {
             u.index() < self.n && v.index() < self.n,
             "arc endpoint out of range"
         );
-        let i = self.arcs.len() as u32;
+        self.adj.take();
         self.arcs.push(Arc { to: v.0, cap });
         self.arcs.push(Arc {
             to: u.0,
@@ -144,8 +218,6 @@ impl<C: Capacity> FlowNetwork<C> {
         });
         self.base.push(cap);
         self.base.push(C::ZERO);
-        self.adj[u.index()].push(i);
-        self.adj[v.index()].push(i + 1);
         self.eps = self.eps.max2(C::scaled_eps(cap));
     }
 
@@ -155,13 +227,11 @@ impl<C: Capacity> FlowNetwork<C> {
             u.index() < self.n && v.index() < self.n,
             "arc endpoint out of range"
         );
-        let i = self.arcs.len() as u32;
+        self.adj.take();
         self.arcs.push(Arc { to: v.0, cap });
         self.arcs.push(Arc { to: u.0, cap });
         self.base.push(cap);
         self.base.push(cap);
-        self.adj[u.index()].push(i);
-        self.adj[v.index()].push(i + 1);
         self.eps = self.eps.max2(C::scaled_eps(cap));
     }
 
@@ -182,12 +252,13 @@ impl<C: Capacity> FlowNetwork<C> {
     }
 
     fn bfs_levels(&self, s: usize, t: usize, levels: &mut [u32]) -> bool {
+        let adj = self.adj();
         levels.fill(u32::MAX);
         levels[s] = 0;
         let mut queue = std::collections::VecDeque::new();
         queue.push_back(s);
         while let Some(u) = queue.pop_front() {
-            for &ai in &self.adj[u] {
+            for &ai in adj.of(u) {
                 let arc = &self.arcs[ai as usize];
                 let v = arc.to as usize;
                 if arc.cap.exceeds(self.eps) && levels[v] == u32::MAX {
@@ -229,10 +300,12 @@ impl<C: Capacity> FlowNetwork<C> {
                 }
                 return Some(bottleneck);
             }
-            // Advance along the first admissible arc out of `u`.
+            // Advance along the first admissible arc out of `u`. The
+            // adjacency reads are short-lived accessor calls so the
+            // residual updates above can take `&mut self.arcs`.
             let mut advanced = false;
-            while iters[u] < self.adj[u].len() {
-                let ai = self.adj[u][iters[u]];
+            while iters[u] < self.adj_len(u) {
+                let ai = self.adj_at(u, iters[u]);
                 let arc = self.arcs[ai as usize];
                 if arc.cap.exceeds(self.eps) && levels[arc.to as usize] == levels[u] + 1 {
                     path.push(ai);
@@ -265,6 +338,7 @@ impl<C: Capacity> FlowNetwork<C> {
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> C {
         assert!(s != t, "max_flow requires s ≠ t");
         let (s, t) = (s.index(), t.index());
+        let _ = self.adj(); // build once, outside the solve loops
         let mut total = C::ZERO;
         let mut levels = vec![u32::MAX; self.n];
         let mut path: Vec<u32> = Vec::new();
@@ -282,11 +356,12 @@ impl<C: Capacity> FlowNetwork<C> {
     /// cut: all nodes reachable from `s` in the residual network.
     #[must_use]
     pub fn min_cut_side(&self, s: NodeId) -> NodeSet {
+        let adj = self.adj();
         let mut side = NodeSet::empty(self.n);
         let mut stack = vec![s.index()];
         side.insert(s);
         while let Some(u) = stack.pop() {
-            for &ai in &self.adj[u] {
+            for &ai in adj.of(u) {
                 let arc = &self.arcs[ai as usize];
                 let v = arc.to as usize;
                 if arc.cap.exceeds(self.eps) && !side.contains(NodeId::new(v)) {
@@ -296,6 +371,24 @@ impl<C: Capacity> FlowNetwork<C> {
             }
         }
         side
+    }
+}
+
+impl<C: Capacity> MaxFlow<C> for FlowNetwork<C> {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+    fn add_arc(&mut self, u: NodeId, v: NodeId, cap: C) {
+        FlowNetwork::add_arc(self, u, v, cap);
+    }
+    fn max_flow(&mut self, s: NodeId, t: NodeId) -> C {
+        FlowNetwork::max_flow(self, s, t)
+    }
+    fn reset(&mut self) {
+        FlowNetwork::reset(self);
+    }
+    fn min_cut_side(&self, s: NodeId) -> NodeSet {
+        FlowNetwork::min_cut_side(self, s)
     }
 }
 

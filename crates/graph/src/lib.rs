@@ -1,8 +1,11 @@
 //! Graph substrate for the `dircut` workspace.
 //!
-//! Weighted directed multigraphs ([`DiGraph`]), unweighted undirected
-//! graphs for the local query model ([`UnGraph`]), node-set cuts,
-//! max-flow with capacity snapshots, a deterministic parallel solve
+//! Weighted directed multigraphs ([`DiGraph`]) with a lazily built CSR
+//! adjacency view, unweighted undirected
+//! graphs for the local query model ([`UnGraph`]), node-set cuts and
+//! the word-parallel batched cut kernel ([`cuteval`]),
+//! max-flow with capacity snapshots behind a swappable backend trait
+//! ([`MaxFlow`]), a deterministic parallel solve
 //! engine ([`parallel`], [`stats`]), global min-cut (deterministic and
 //! randomized), β-balance
 //! certificates (Definition 2.1 of the paper), sparse certificates, and
@@ -13,6 +16,7 @@
 
 pub mod balance;
 pub mod connectivity;
+pub mod cuteval;
 pub mod digraph;
 pub mod flow;
 pub mod generators;
@@ -27,6 +31,7 @@ pub mod push_relabel;
 pub mod stats;
 pub mod ungraph;
 
-pub use digraph::{DiGraph, Edge};
+pub use digraph::{Csr, DiGraph, Edge, UniverseMismatch};
+pub use flow::MaxFlow;
 pub use ids::{EdgeId, NodeId, NodeSet};
 pub use ungraph::UnGraph;

@@ -22,6 +22,12 @@ impl Dsu {
             parent: (0..n as u32).collect(),
         }
     }
+    /// Makes every element a singleton again, reusing the allocation.
+    fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+    }
     fn find(&mut self, x: u32) -> u32 {
         let mut root = x;
         while self.parent[root as usize] != root {
@@ -53,23 +59,26 @@ pub fn forest_labels(g: &UnGraph) -> Vec<u32> {
     let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
     let mut labels = vec![0u32; edges.len()];
     let mut remaining: Vec<usize> = (0..edges.len()).collect();
+    let mut dsu = Dsu::new(g.num_nodes());
     let mut round = 1u32;
     while !remaining.is_empty() {
-        let mut dsu = Dsu::new(g.num_nodes());
-        let mut leftover = Vec::new();
-        for &ei in &remaining {
+        dsu.reset();
+        // Compact the undecided edges in place: one DSU and one index
+        // vector live for the whole decomposition, instead of a fresh
+        // allocation per forest round.
+        let mut write = 0usize;
+        for read in 0..remaining.len() {
+            let ei = remaining[read];
             let (u, v) = edges[ei];
             if dsu.union(u.0, v.0) {
                 labels[ei] = round;
             } else {
-                leftover.push(ei);
+                remaining[write] = ei;
+                write += 1;
             }
         }
-        debug_assert!(
-            leftover.len() < remaining.len(),
-            "forest round made no progress"
-        );
-        remaining = leftover;
+        debug_assert!(write < remaining.len(), "forest round made no progress");
+        remaining.truncate(write);
         round += 1;
     }
     labels

@@ -16,6 +16,10 @@ use std::time::Duration;
 /// (or the last [`reset`]).
 static SOLVES: AtomicU64 = AtomicU64::new(0);
 
+/// Global count of cut queries (single and batched) since process
+/// start (or the last [`reset`]).
+static CUT_QUERIES: AtomicU64 = AtomicU64::new(0);
+
 /// Aggregated per-stage timings.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageStat {
@@ -23,6 +27,8 @@ pub struct StageStat {
     pub runs: u64,
     /// Max-flow solves attributed to the stage.
     pub solves: u64,
+    /// Cut queries attributed to the stage.
+    pub cut_queries: u64,
     /// Total wall-clock across runs.
     pub wall: Duration,
 }
@@ -37,18 +43,38 @@ pub(crate) fn count_solve() {
     SOLVES.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records `k` cut queries. Called by the cut-query entry points
+/// ([`crate::digraph::DiGraph::cut_out`] and friends, and the
+/// [`crate::cuteval`] batch kernels).
+pub(crate) fn count_cut_queries(k: u64) {
+    CUT_QUERIES.fetch_add(k, Ordering::Relaxed);
+}
+
 /// Total `max_flow` solves recorded so far.
 #[must_use]
 pub fn total_solves() -> u64 {
     SOLVES.load(Ordering::Relaxed)
 }
 
+/// Total cut queries recorded so far.
+#[must_use]
+pub fn total_cut_queries() -> u64 {
+    CUT_QUERIES.load(Ordering::Relaxed)
+}
+
 /// Adds one run of `stage` with the given solve count and wall-clock.
 pub fn record_stage(stage: &str, solves: u64, wall: Duration) {
+    record_stage_counts(stage, solves, 0, wall);
+}
+
+/// Adds one run of `stage` with solve, cut-query, and wall-clock
+/// attribution.
+pub fn record_stage_counts(stage: &str, solves: u64, cut_queries: u64, wall: Duration) {
     let mut map = registry().lock().expect("stats registry poisoned");
     let entry = map.entry(stage.to_owned()).or_default();
     entry.runs += 1;
     entry.solves += solves;
+    entry.cut_queries += cut_queries;
     entry.wall += wall;
 }
 
@@ -63,19 +89,22 @@ pub fn stage_report() -> Vec<(String, StageStat)> {
 /// measurements).
 pub fn reset() {
     SOLVES.store(0, Ordering::Relaxed);
+    CUT_QUERIES.store(0, Ordering::Relaxed);
     registry().lock().expect("stats registry poisoned").clear();
 }
 
 /// Runs `f`, recording it as one run of `stage` with the number of
-/// solves it issued (measured by the global solve counter) and its
-/// wall-clock. Returns `f`'s result.
+/// solves and cut queries it issued (measured by the global counters)
+/// and its wall-clock. Returns `f`'s result.
 pub fn timed_stage<T>(stage: &str, f: impl FnOnce() -> T) -> T {
     let solves_before = total_solves();
+    let queries_before = total_cut_queries();
     let start = std::time::Instant::now();
     let out = f();
-    record_stage(
+    record_stage_counts(
         stage,
         total_solves().saturating_sub(solves_before),
+        total_cut_queries().saturating_sub(queries_before),
         start.elapsed(),
     );
     out
@@ -100,6 +129,27 @@ mod tests {
         assert_eq!(stat.runs, 2);
         assert_eq!(stat.solves, 7);
         assert!(stat.wall >= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn timed_stage_attributes_cut_queries() {
+        use crate::ids::{NodeId, NodeSet};
+        let stage = "stats-test-cut-queries";
+        let before = total_cut_queries();
+        timed_stage(stage, || {
+            let mut g = crate::digraph::DiGraph::new(3);
+            g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+            let s = NodeSet::from_indices(3, [0]);
+            let _ = g.cut_out(&s);
+            let _ = crate::cuteval::cut_both_batch_threaded(&g, &[s.clone(), s], 1);
+        });
+        assert!(total_cut_queries() >= before + 3);
+        let report = stage_report();
+        let (_, stat) = report
+            .iter()
+            .find(|(name, _)| name == stage)
+            .expect("stage recorded");
+        assert!(stat.cut_queries >= 3);
     }
 
     #[test]

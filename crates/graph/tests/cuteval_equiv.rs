@@ -1,0 +1,158 @@
+//! The batch cut-kernel contract: for any weighted multigraph (parallel
+//! edges, isolated nodes included) and any batch of query sets, the
+//! `cuteval` kernels return **bit-identical** answers to the naive
+//! per-set edge scans, at every worker count. The fast-path routing and
+//! the word-parallel chunking must be unobservable.
+
+use dircut_graph::cuteval::{
+    cut_both_batch_edges, cut_both_batch_threaded, cut_in_batch_threaded, cut_out_batch_threaded,
+    try_cut_both_batch,
+};
+use dircut_graph::{DiGraph, NodeId, NodeSet};
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const THREAD_COUNTS: [usize; 2] = [1, 8];
+
+/// A random weighted multigraph: up to `n` nodes (some isolated), edges
+/// drawn with replacement so parallel edges and self-avoiding repeats
+/// are common. Returns the graph and its raw edge list.
+fn arb_multigraph() -> impl Strategy<Value = (DiGraph, Vec<(u32, u32, f64)>)> {
+    (2usize..40, 0usize..160, 0u64..10_000).prop_map(|(n, m, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = DiGraph::with_edge_capacity(n, m);
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            // Confine endpoints to the lower half of the id space now
+            // and then so high ids stay isolated.
+            let cap = if rng.gen_bool(0.3) { n.div_ceil(2) } else { n };
+            let u = rng.gen_range(0..cap);
+            let mut v = rng.gen_range(0..cap);
+            if u == v {
+                v = (v + 1) % cap.max(2);
+            }
+            if u == v {
+                continue;
+            }
+            let w = rng.gen_range(0.001..10.0);
+            g.add_edge(NodeId::new(u), NodeId::new(v), w);
+            edges.push((u as u32, v as u32, w));
+            // Duplicate some edges verbatim: parallel edges must count
+            // twice, in insertion order.
+            if rng.gen_bool(0.2) {
+                g.add_edge(NodeId::new(u), NodeId::new(v), w);
+                edges.push((u as u32, v as u32, w));
+            }
+        }
+        (g, edges)
+    })
+}
+
+/// A batch of query sets over `n` nodes: empty sets, full sets,
+/// singletons, and random subsets all appear.
+fn query_sets(n: usize, count: usize, seed: u64) -> Vec<NodeSet> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    (0..count)
+        .map(|i| match i % 4 {
+            0 => NodeSet::empty(n),
+            1 => NodeSet::from_indices(n, 0..n),
+            2 => NodeSet::from_indices(n, [rng.gen_range(0..n)]),
+            _ => NodeSet::from_indices(n, (0..n).filter(|_| rng.gen_bool(0.5))),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batch_matches_naive_scans_bitwise((g, _) in arb_multigraph(), count in 1usize..90, seed in 0u64..1_000) {
+        let n = g.num_nodes();
+        let sets = query_sets(n, count, seed);
+        let naive: Vec<(f64, f64)> = sets.iter().map(|s| g.cut_both(s)).collect();
+        for threads in THREAD_COUNTS {
+            let both = cut_both_batch_threaded(&g, &sets, threads);
+            let out = cut_out_batch_threaded(&g, &sets, threads);
+            let into = cut_in_batch_threaded(&g, &sets, threads);
+            prop_assert_eq!(both.len(), sets.len());
+            for (i, s) in sets.iter().enumerate() {
+                prop_assert_eq!(
+                    both[i].0.to_bits(),
+                    naive[i].0.to_bits(),
+                    "cut_out of set {} at {} threads", i, threads
+                );
+                prop_assert_eq!(
+                    both[i].1.to_bits(),
+                    naive[i].1.to_bits(),
+                    "cut_in of set {} at {} threads", i, threads
+                );
+                prop_assert_eq!(out[i].to_bits(), g.cut_out(s).to_bits());
+                prop_assert_eq!(into[i].to_bits(), g.cut_in(s).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_kernel_matches_graph_kernel((g, edges) in arb_multigraph(), count in 1usize..60, seed in 0u64..1_000) {
+        let n = g.num_nodes();
+        let sets = query_sets(n, count, seed);
+        let reference = cut_both_batch_threaded(&g, &sets, 1);
+        for threads in THREAD_COUNTS {
+            let from_list = cut_both_batch_edges(n, &edges, &sets, threads);
+            for (i, (a, b)) in from_list.iter().enumerate() {
+                prop_assert_eq!(a.to_bits(), reference[i].0.to_bits(), "set {}", i);
+                prop_assert_eq!(b.to_bits(), reference[i].1.to_bits(), "set {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn checked_batch_rejects_universe_mismatch((g, _) in arb_multigraph()) {
+        let n = g.num_nodes();
+        let good = query_sets(n, 3, 1);
+        prop_assert!(try_cut_both_batch(&g, &good).is_ok());
+        let mut bad = good.clone();
+        bad.push(NodeSet::empty(n + 1));
+        prop_assert!(try_cut_both_batch(&g, &bad).is_err());
+    }
+}
+
+#[test]
+fn zero_cuts_carry_a_positive_zero_sign() {
+    // The accumulation convention (`+0.0`-seeded folds everywhere)
+    // means even an empty cut answers +0.0 from every entry point.
+    let mut g = DiGraph::new(4);
+    g.add_edge(NodeId::new(0), NodeId::new(1), 1.5);
+    let isolated = NodeSet::from_indices(4, [3]);
+    assert_eq!(g.cut_out(&isolated).to_bits(), 0.0f64.to_bits());
+    let batch = cut_both_batch_threaded(&g, std::slice::from_ref(&isolated), 1);
+    assert_eq!(batch[0].0.to_bits(), 0.0f64.to_bits());
+    assert_eq!(batch[0].1.to_bits(), 0.0f64.to_bits());
+}
+
+#[test]
+fn mixed_fast_path_and_edge_pass_chunks_agree_with_naive() {
+    // A dense core plus isolated fringe, with > 64 sets so several
+    // chunks and both routing paths are exercised deterministically.
+    let n = 48;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut g = DiGraph::new(n);
+    for u in 0..24 {
+        for v in 0..24 {
+            if u != v && rng.gen_bool(0.6) {
+                g.add_edge(NodeId::new(u), NodeId::new(v), rng.gen_range(0.1..4.0));
+            }
+        }
+    }
+    let sets = query_sets(n, 200, 11);
+    let naive: Vec<(f64, f64)> = sets.iter().map(|s| g.cut_both(s)).collect();
+    for threads in [1, 2, 8] {
+        let batch = cut_both_batch_threaded(&g, &sets, threads);
+        for (i, (a, b)) in batch.iter().enumerate() {
+            assert_eq!(a.to_bits(), naive[i].0.to_bits(), "set {i} t={threads}");
+            assert_eq!(b.to_bits(), naive[i].1.to_bits(), "set {i} t={threads}");
+        }
+    }
+}

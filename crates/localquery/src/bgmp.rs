@@ -69,6 +69,21 @@ pub fn global_min_cut_local<O: GraphOracle, R: Rng>(
     cfg: VerifyGuessConfig,
     rng: &mut R,
 ) -> MinCutRunResult {
+    // Stage-level instrumentation: each full run shows up in the stats
+    // report with its solve count (skeleton min-cuts) and wall-clock,
+    // alongside the per-call "localquery/verify_guess" entries.
+    dircut_graph::stats::timed_stage("localquery/global_min_cut", || {
+        global_min_cut_local_inner(oracle, eps, variant, cfg, rng)
+    })
+}
+
+fn global_min_cut_local_inner<O: GraphOracle, R: Rng>(
+    oracle: &O,
+    eps: f64,
+    variant: SearchVariant,
+    cfg: VerifyGuessConfig,
+    rng: &mut R,
+) -> MinCutRunResult {
     assert!(eps > 0.0 && eps < 1.0, "ε must be in (0,1)");
     let counting = CountingOracle::new(ForwardOracle { inner: oracle });
     let n = counting.num_nodes();

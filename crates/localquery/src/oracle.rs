@@ -201,17 +201,19 @@ mod tests {
 /// trivial `Θ(m)` upper bound every lower bound is measured against.
 #[must_use]
 pub fn read_entire_graph<O: GraphOracle>(oracle: &O) -> UnGraph {
-    let n = oracle.num_nodes();
-    let mut g = UnGraph::new(n);
-    for u in 0..n {
-        let u_id = NodeId::new(u);
-        let deg = oracle.degree(u_id);
-        for i in 0..deg {
-            let v = oracle
-                .ith_neighbor(u_id, i)
-                .expect("degree/neighbor inconsistency");
-            g.add_edge(u_id, v);
+    dircut_graph::stats::timed_stage("localquery/read_entire_graph", || {
+        let n = oracle.num_nodes();
+        let mut g = UnGraph::new(n);
+        for u in 0..n {
+            let u_id = NodeId::new(u);
+            let deg = oracle.degree(u_id);
+            for i in 0..deg {
+                let v = oracle
+                    .ith_neighbor(u_id, i)
+                    .expect("degree/neighbor inconsistency");
+                g.add_edge(u_id, v);
+            }
         }
-    }
-    g
+        g
+    })
 }

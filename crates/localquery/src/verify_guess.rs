@@ -79,6 +79,21 @@ pub fn verify_guess<O: GraphOracle, R: Rng>(
     cfg: VerifyGuessConfig,
     rng: &mut R,
 ) -> VerifyGuessOutcome {
+    // One stats stage per call: the stage report shows how many
+    // skeleton min-cut solves and how much wall-clock each guess costs.
+    dircut_graph::stats::timed_stage("localquery/verify_guess", || {
+        verify_guess_inner(oracle, degrees, t, eps, cfg, rng)
+    })
+}
+
+fn verify_guess_inner<O: GraphOracle, R: Rng>(
+    oracle: &O,
+    degrees: &[usize],
+    t: f64,
+    eps: f64,
+    cfg: VerifyGuessConfig,
+    rng: &mut R,
+) -> VerifyGuessOutcome {
     let n = oracle.num_nodes();
     assert_eq!(degrees.len(), n, "degree vector length mismatch");
     assert!(t > 0.0, "guess t must be positive");

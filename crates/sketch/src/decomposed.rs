@@ -38,7 +38,9 @@ pub fn strength_components(g: &DiGraph, tau: f64) -> Vec<u32> {
     let n = g.num_nodes();
     let mut component = vec![u32::MAX; n];
     let mut next_id = 0u32;
-    // Start from weakly connected components.
+    // Start from weakly connected components, walking the CSR target
+    // and source slices directly (no edge-id indirection).
+    let csr = g.csr();
     let mut stack: Vec<Vec<usize>> = {
         let mut seen = vec![false; n];
         let mut groups = Vec::new();
@@ -51,14 +53,12 @@ pub fn strength_components(g: &DiGraph, tau: f64) -> Vec<u32> {
             let mut frontier = vec![start];
             while let Some(u) = frontier.pop() {
                 let u_id = NodeId::new(u);
-                for &e in g.out_edges(u_id).iter().chain(g.in_edges(u_id)) {
-                    let edge = g.edge(e);
-                    for w in [edge.from.index(), edge.to.index()] {
-                        if !seen[w] {
-                            seen[w] = true;
-                            group.push(w);
-                            frontier.push(w);
-                        }
+                for &w in csr.out_targets(u_id).iter().chain(csr.in_sources(u_id)) {
+                    let w = w as usize;
+                    if !seen[w] {
+                        seen[w] = true;
+                        group.push(w);
+                        frontier.push(w);
                     }
                 }
             }

@@ -74,13 +74,31 @@ impl EdgeListSketch {
 impl CutOracle for EdgeListSketch {
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         assert_eq!(s.universe(), self.n, "node-set universe mismatch");
-        self.edges
-            .iter()
-            .filter(|&&(u, v, _)| {
-                s.contains(NodeId::new(u as usize)) && !s.contains(NodeId::new(v as usize))
-            })
-            .map(|&(_, _, w)| w)
-            .sum()
+        // `+0.0`-seeded fold in stored-edge order — the same
+        // accumulation the batched kernel performs, so both entry
+        // points return identical bits.
+        let mut out = 0.0;
+        for &(u, v, w) in &self.edges {
+            if s.contains(NodeId::new(u as usize)) && !s.contains(NodeId::new(v as usize)) {
+                out += w;
+            }
+        }
+        out
+    }
+
+    fn cut_out_estimates(&self, sets: &[NodeSet]) -> Vec<f64> {
+        for s in sets {
+            assert_eq!(s.universe(), self.n, "node-set universe mismatch");
+        }
+        dircut_graph::cuteval::cut_both_batch_edges(
+            self.n,
+            &self.edges,
+            sets,
+            dircut_graph::parallel::default_threads(),
+        )
+        .into_iter()
+        .map(|(out, _)| out)
+        .collect()
     }
 }
 
@@ -114,6 +132,27 @@ mod tests {
         let sk4 = EdgeListSketch::new(16, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
         // 16 nodes → 4-bit ids; per edge 4+4+64 = 72 bits.
         assert_eq!(sk4.size_bits() - sk2.size_bits(), 2 * 72);
+    }
+
+    #[test]
+    fn batched_estimates_match_single_queries_bitwise() {
+        let sk = EdgeListSketch::new(
+            6,
+            vec![
+                (0, 1, 0.3),
+                (1, 2, 1.7),
+                (2, 0, 2.2),
+                (0, 1, 0.4), // parallel edge
+                (4, 5, 9.1),
+            ],
+        );
+        let sets: Vec<NodeSet> = (1u32..63)
+            .map(|mask| NodeSet::from_indices(6, (0..6).filter(|i| mask >> i & 1 == 1)))
+            .collect();
+        let batch = sk.cut_out_estimates(&sets);
+        for (s, &b) in sets.iter().zip(&batch) {
+            assert_eq!(b.to_bits(), sk.cut_out_estimate(s).to_bits());
+        }
     }
 
     #[test]

@@ -150,16 +150,34 @@ pub fn max_relative_cut_error(g: &DiGraph, sketch: &impl crate::traits::CutOracl
         (2..=20).contains(&n),
         "exhaustive cut check needs 2 ≤ n ≤ 20"
     );
+    // Enumerate cuts in blocks and answer each block through the
+    // batched kernels: one edge pass covers 64 truth queries instead
+    // of one, and oracle implementations with a batch override (e.g.
+    // `EdgeListSketch`) get the same win on the estimate side. Blocks
+    // keep peak memory at `BLOCK` node sets even for n = 20 (2^19
+    // masks). The running max folds in mask order, so the result is
+    // bit-identical to querying cut by cut.
+    const BLOCK: u32 = 4096;
+    let total: u32 = 1 << (n - 1);
     let mut worst: f64 = 0.0;
-    for mask in 1u32..(1 << (n - 1)) {
-        let s = NodeSet::from_indices(n, (0..n - 1).filter(|i| mask >> i & 1 == 1).map(|i| i + 1));
-        let truth = g.cut_out(&s);
-        let est = sketch.cut_out_estimate(&s);
-        if truth > 0.0 {
-            worst = worst.max((est - truth).abs() / truth);
-        } else {
-            worst = worst.max(est.abs());
+    let mut start = 1u32;
+    while start < total {
+        let end = total.min(start + BLOCK);
+        let sets: Vec<NodeSet> = (start..end)
+            .map(|mask| {
+                NodeSet::from_indices(n, (0..n - 1).filter(|i| mask >> i & 1 == 1).map(|i| i + 1))
+            })
+            .collect();
+        let truths = dircut_graph::cuteval::cut_out_batch(g, &sets);
+        let ests = sketch.cut_out_estimates(&sets);
+        for (&truth, &est) in truths.iter().zip(&ests) {
+            if truth > 0.0 {
+                worst = worst.max((est - truth).abs() / truth);
+            } else {
+                worst = worst.max(est.abs());
+            }
         }
+        start = end;
     }
     worst
 }

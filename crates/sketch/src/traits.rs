@@ -25,6 +25,20 @@ pub enum SketchKind {
 pub trait CutOracle {
     /// An estimate of the directed cut value `w(S, V∖S)`.
     fn cut_out_estimate(&self, s: &NodeSet) -> f64;
+
+    /// Estimates for a batch of cut queries, in query order.
+    ///
+    /// The default answers each query with [`cut_out_estimate`]
+    /// (bit-identical by construction); implementations backed by an
+    /// edge list override it with the word-parallel batch kernel from
+    /// `dircut_graph::cuteval`, which answers 64 queries per edge pass.
+    /// Overrides must preserve the per-query bits so decoders can
+    /// switch freely between the two entry points.
+    ///
+    /// [`cut_out_estimate`]: CutOracle::cut_out_estimate
+    fn cut_out_estimates(&self, sets: &[NodeSet]) -> Vec<f64> {
+        sets.iter().map(|s| self.cut_out_estimate(s)).collect()
+    }
 }
 
 /// An exact oracle backed by the graph itself (zero error; the
@@ -45,6 +59,10 @@ impl<'a> ExactOracle<'a> {
 impl CutOracle for ExactOracle<'_> {
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         self.graph.cut_out(s)
+    }
+
+    fn cut_out_estimates(&self, sets: &[NodeSet]) -> Vec<f64> {
+        dircut_graph::cuteval::cut_out_batch(self.graph, sets)
     }
 }
 
@@ -81,5 +99,22 @@ mod tests {
         let oracle = ExactOracle::new(&g);
         let s = NodeSet::from_indices(3, [0, 1]);
         assert_eq!(oracle.cut_out_estimate(&s), 3.0);
+    }
+
+    #[test]
+    fn batched_estimates_match_single_queries_bitwise() {
+        let mut g = DiGraph::new(5);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 0.7);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 1.3);
+        g.add_edge(NodeId::new(3), NodeId::new(4), 2.9);
+        g.add_edge(NodeId::new(4), NodeId::new(0), 0.1);
+        let oracle = ExactOracle::new(&g);
+        let sets: Vec<NodeSet> = (1u32..31)
+            .map(|mask| NodeSet::from_indices(5, (0..5).filter(|i| mask >> i & 1 == 1)))
+            .collect();
+        let batch = oracle.cut_out_estimates(&sets);
+        for (s, &b) in sets.iter().zip(&batch) {
+            assert_eq!(b.to_bits(), oracle.cut_out_estimate(s).to_bits());
+        }
     }
 }
