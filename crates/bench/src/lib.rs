@@ -32,7 +32,7 @@ pub fn maybe_print_stage_report() {
         "[DIRCUT_STATS] {:<32} {:>6} {:>10} {:>12} {:>12}",
         "stage", "runs", "solves", "cut_queries", "wall_ms"
     );
-    for (stage, stat) in report {
+    for (stage, stat) in &report {
         eprintln!(
             "[DIRCUT_STATS] {:<32} {:>6} {:>10} {:>12} {:>12.1}",
             stage,
@@ -41,5 +41,13 @@ pub fn maybe_print_stage_report() {
             stat.cut_queries,
             stat.wall.as_secs_f64() * 1e3
         );
+    }
+    // Named metrics (link transcripts: bits sent/acked, retries,
+    // drops, latency buckets) ride the same registry; one indented
+    // line per metric keeps the table grep-friendly.
+    for (stage, stat) in &report {
+        for (name, value) in &stat.metrics {
+            eprintln!("[DIRCUT_STATS] {stage:<32}   .{name} = {value}");
+        }
     }
 }

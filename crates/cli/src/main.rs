@@ -7,8 +7,14 @@
 //! dircut mincut [FILE]                # global min cuts (directed + symmetrized)
 //! dircut cut --side 0,1,2 [FILE]      # one directed cut value
 //! dircut sketch --eps 0.25 --beta 4 --model foreach|forall [FILE]
+//! dircut dist --servers 4 --eps 0.25 [--drop P] [--kill LIST] [FILE]
 //! dircut dot [FILE]                   # Graphviz export
 //! ```
+//!
+//! Exit codes are typed: `0` success, `2` bad usage, `3` I/O or input
+//! failure, `4` a distributed run that completed in degraded mode (the
+//! answer is printed, the guarantee is weaker than requested, and
+//! stderr carries a machine-readable `DIRCUT_DEGRADED` line).
 //!
 //! Graphs use the plain-text edge-list format of `dircut_graph::io`
 //! (`n <count>` then `e <from> <to> <weight>` lines); `FILE` defaults
@@ -18,6 +24,8 @@
 //! dircut gen balanced --nodes 24 --beta 4 | dircut sketch --eps 0.3 --beta 4
 //! ```
 
+use dircut_dist::runtime::RuntimeConfig;
+use dircut_dist::{fault_injected_min_cut, DistError, FaultConfig, ProtocolConfig};
 use dircut_graph::balance::{edgewise_balance_bound, exact_balance_factor, is_eulerian};
 use dircut_graph::connectivity::is_strongly_connected;
 use dircut_graph::generators::random_balanced_digraph;
@@ -29,22 +37,91 @@ use dircut_sketch::{
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::fmt;
 use std::io::Read;
 use std::process::ExitCode;
+
+/// Everything that can go wrong at the CLI boundary, typed so each
+/// failure class gets its own exit code (scripts branch on them).
+#[derive(Debug, Clone, PartialEq)]
+enum CliError {
+    /// The command line itself was wrong (unknown command, missing or
+    /// unparsable flag). Exit code 2.
+    Usage(String),
+    /// Reading or parsing input failed (missing file, malformed edge
+    /// list, stdin error). Exit code 3.
+    Io(String),
+    /// A distributed run completed but in degraded mode: only
+    /// `arrived` of `servers` messages survived the link, so the
+    /// printed answer carries the widened `effective_epsilon` rather
+    /// than the requested accuracy. Exit code 4; stderr gets a
+    /// machine-readable `DIRCUT_DEGRADED` line.
+    Degraded {
+        arrived: usize,
+        servers: usize,
+        effective_epsilon: f64,
+    },
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            Self::Usage(_) => 2,
+            Self::Io(_) => 3,
+            Self::Degraded { .. } => 4,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(msg) | Self::Io(msg) => write!(f, "{msg}"),
+            Self::Degraded {
+                arrived, servers, ..
+            } => write!(f, "degraded: only {arrived} of {servers} servers reported"),
+        }
+    }
+}
+
+/// Flag-parsing helpers produce plain strings; at the boundary they
+/// are all usage errors.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        Self::Usage(msg)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("run `dircut help` for usage");
-            ExitCode::FAILURE
+        Err(err) => {
+            match &err {
+                CliError::Degraded {
+                    arrived,
+                    servers,
+                    effective_epsilon,
+                } => {
+                    // One greppable line; the human-readable story is
+                    // already on stdout.
+                    eprintln!(
+                        "DIRCUT_DEGRADED arrived={arrived} servers={servers} \
+                         effective_epsilon={effective_epsilon:.6}"
+                    );
+                }
+                CliError::Usage(_) => {
+                    eprintln!("error: {err}");
+                    eprintln!("run `dircut help` for usage");
+                }
+                CliError::Io(_) => eprintln!("error: {err}"),
+            }
+            ExitCode::from(err.exit_code())
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         None | Some("help" | "--help" | "-h") => {
@@ -56,8 +133,9 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("mincut") => cmd_mincut(&args[1..]),
         Some("cut") => cmd_cut(&args[1..]),
         Some("sketch") => cmd_sketch(&args[1..]),
+        Some("dist") => cmd_dist(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
-        Some(other) => Err(format!("unknown command `{other}`")),
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -71,10 +149,18 @@ USAGE:
   dircut mincut  [FILE]
   dircut cut --side 0,1,2 [FILE]
   dircut sketch --eps E --beta B [--model foreach|forall] [--side LIST] [FILE]
+  dircut dist --servers K --eps E [--seed S] [--drop P] [--dup P]
+              [--corrupt P] [--delay P] [--timeout T] [--retries R]
+              [--kill LIST] [FILE]
   dircut dot     [FILE]
 
 Graphs are plain-text edge lists (`n <count>` / `e <u> <v> <w>`);
 FILE defaults to stdin, so commands pipe into each other.
+
+EXIT CODES:
+  0 success   2 bad usage   3 input/IO failure
+  4 distributed run degraded (answer printed; stderr has a
+    machine-readable DIRCUT_DEGRADED line)
 ";
 
 /// Pulls `--flag value` pairs out of an argument list.
@@ -127,18 +213,20 @@ impl<'a> Flags<'a> {
     }
 }
 
-fn read_graph(flags: &Flags) -> Result<DiGraph, String> {
+fn read_graph(flags: &Flags) -> Result<DiGraph, CliError> {
     let text = match flags.positional.first() {
-        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?,
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?
+        }
         None => {
             let mut buf = String::new();
             std::io::stdin()
                 .read_to_string(&mut buf)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Io(e.to_string()))?;
             buf
         }
     };
-    from_edge_list(&text).map_err(|e| e.to_string())
+    from_edge_list(&text).map_err(|e| CliError::Io(e.to_string()))
 }
 
 fn parse_side(spec: &str, n: usize) -> Result<NodeSet, String> {
@@ -156,8 +244,11 @@ fn parse_side(spec: &str, n: usize) -> Result<NodeSet, String> {
     Ok(s)
 }
 
-fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let kind = args.first().map(String::as_str).ok_or("gen needs a kind")?;
+fn cmd_gen(args: &[String]) -> Result<(), CliError> {
+    let kind = args
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage("gen needs a kind".into()))?;
     let flags = Flags::parse(&args[1..])?;
     let seed: u64 = flags.num("seed")?.unwrap_or(42);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -180,13 +271,13 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
                 .collect();
             ForEachEncoding::encode(params, &s).graph().clone()
         }
-        other => return Err(format!("unknown gen kind `{other}`")),
+        other => return Err(CliError::Usage(format!("unknown gen kind `{other}`"))),
     };
     print!("{}", to_edge_list(&g));
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args)?;
     let g = read_graph(&flags)?;
     println!("nodes: {}", g.num_nodes());
@@ -204,11 +295,11 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_mincut(args: &[String]) -> Result<(), String> {
+fn cmd_mincut(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args)?;
     let g = read_graph(&flags)?;
     if g.num_nodes() < 2 {
-        return Err("min-cut needs ≥ 2 nodes".into());
+        return Err(CliError::Io("min-cut needs ≥ 2 nodes".into()));
     }
     let directed = global_min_cut_directed(&g);
     let sym = stoer_wagner(&g);
@@ -219,10 +310,12 @@ fn cmd_mincut(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_cut(args: &[String]) -> Result<(), String> {
+fn cmd_cut(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args)?;
     let g = read_graph(&flags)?;
-    let side = flags.get("side").ok_or("cut needs --side")?;
+    let side = flags
+        .get("side")
+        .ok_or_else(|| CliError::Usage("cut needs --side".into()))?;
     let s = parse_side(side, g.num_nodes())?;
     let (out, into) = g.cut_both(&s);
     println!("w(S, V∖S) = {out:.6}");
@@ -233,7 +326,7 @@ fn cmd_cut(args: &[String]) -> Result<(), String> {
 /// A boxed cut-query closure (the CLI's model-erased sketch handle).
 type CutAnswer = Box<dyn Fn(&NodeSet) -> f64>;
 
-fn cmd_sketch(args: &[String]) -> Result<(), String> {
+fn cmd_sketch(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args)?;
     let g = read_graph(&flags)?;
     let eps: f64 = flags.require("eps")?;
@@ -252,7 +345,11 @@ fn cmd_sketch(args: &[String]) -> Result<(), String> {
             let bits = sk.size_bits();
             (bits, Box::new(move |s| sk.cut_out_estimate(s)))
         }
-        other => return Err(format!("unknown model `{other}` (foreach|forall)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown model `{other}` (foreach|forall)"
+            )))
+        }
     };
     println!("model: {model}, ε = {eps}, β = {beta}");
     println!("sketch size: {bits} bits");
@@ -264,11 +361,79 @@ fn cmd_sketch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_dot(args: &[String]) -> Result<(), String> {
+fn cmd_dot(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args)?;
     let g = read_graph(&flags)?;
     print!("{}", to_dot(&g, "dircut"));
     Ok(())
+}
+
+/// `dircut dist`: run the fault-injected distributed min-cut protocol
+/// and report the answer plus the full communication bill. A degraded
+/// run (straggler servers lost past the retry budget) still prints its
+/// answer but exits 4 through [`CliError::Degraded`].
+fn cmd_dist(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args)?;
+    let g = read_graph(&flags)?;
+    let servers: usize = flags.num("servers")?.unwrap_or(4);
+    if servers == 0 {
+        return Err(CliError::Usage("--servers must be ≥ 1".into()));
+    }
+    let eps: f64 = flags.num("eps")?.unwrap_or(0.25);
+    let seed: u64 = flags.num("seed")?.unwrap_or(42);
+    let faults = FaultConfig {
+        drop: flags.num("drop")?.unwrap_or(0.0),
+        delay: flags.num("delay")?.unwrap_or(0.0),
+        duplicate: flags.num("dup")?.unwrap_or(0.0),
+        corrupt: flags.num("corrupt")?.unwrap_or(0.0),
+        dead: match flags.get("kill") {
+            Some(spec) => parse_side(spec, servers)?
+                .iter()
+                .map(|v| v.index())
+                .collect(),
+            None => Vec::new(),
+        },
+    };
+    let mut cfg = RuntimeConfig::with_faults(ProtocolConfig::new(eps), faults);
+    if let Some(t) = flags.num("timeout")? {
+        cfg.timeout_ticks = t;
+    }
+    if let Some(r) = flags.num("retries")? {
+        cfg.max_retries = r;
+    }
+    match fault_injected_min_cut(&g, servers, &cfg, seed) {
+        Ok(out) => {
+            let a = &out.answer;
+            println!("servers: {} (arrived: {})", out.servers, out.arrived);
+            println!("estimate: {:.6}", a.estimate);
+            println!(
+                "wire bits: {} (coarse {}, fine {}, framing {})",
+                a.total_wire_bits, a.coarse_bits, a.fine_bits, a.framing_bits
+            );
+            let retries: u32 = out.transcripts.iter().map(|t| t.retries).sum();
+            println!("retries: {retries}");
+            println!(
+                "effective ε: {:.6} (degraded: {})",
+                out.effective_epsilon, out.degraded
+            );
+            if out.degraded {
+                Err(CliError::Degraded {
+                    arrived: out.arrived,
+                    servers: out.servers,
+                    effective_epsilon: out.effective_epsilon,
+                })
+            } else {
+                Ok(())
+            }
+        }
+        // Total loss is the limit of degradation: nothing arrived, no
+        // guarantee at all (ε + 1 by the widening formula).
+        Err(DistError::AllServersLost { servers }) => Err(CliError::Degraded {
+            arrived: 0,
+            servers,
+            effective_epsilon: eps + 1.0,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -304,8 +469,34 @@ mod tests {
     }
 
     #[test]
-    fn unknown_commands_error() {
-        assert!(run(&["frobnicate".to_string()]).is_err());
+    fn unknown_commands_error_as_usage() {
+        let err = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn error_classes_map_to_distinct_exit_codes() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Io("x".into()).exit_code(), 3);
+        let degraded = CliError::Degraded {
+            arrived: 1,
+            servers: 4,
+            effective_epsilon: 0.75,
+        };
+        assert_eq!(degraded.exit_code(), 4);
+        assert!(degraded.to_string().contains("1 of 4"));
+    }
+
+    #[test]
+    fn missing_files_are_io_errors() {
+        let err = run(&[
+            "stats".to_string(),
+            "/nonexistent/definitely-not-here.g".to_string(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+        assert_eq!(err.exit_code(), 3);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::process::{Command, Stdio};
 
 const BIN: &str = env!("CARGO_BIN_EXE_dircut");
 
-fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
+fn run_coded(args: &[&str], stdin: &str) -> (String, String, i32) {
     let mut child = Command::new(BIN)
         .args(args)
         .stdin(Stdio::piped())
@@ -24,8 +24,13 @@ fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code().expect("exit code"),
     )
+}
+
+fn run(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let (stdout, stderr, code) = run_coded(args, stdin);
+    (stdout, stderr, code == 0)
 }
 
 #[test]
@@ -104,7 +109,109 @@ fn dot_emits_graphviz() {
 
 #[test]
 fn malformed_input_fails_cleanly() {
-    let (_, stderr, ok) = run(&["stats"], "e 0 1 1.0\n");
-    assert!(!ok);
+    let (_, stderr, code) = run_coded(&["stats"], "e 0 1 1.0\n");
+    assert_eq!(code, 3, "malformed input is an I/O error");
     assert!(stderr.contains("error"));
+}
+
+#[test]
+fn usage_errors_exit_2_and_io_errors_exit_3() {
+    let (_, stderr, code) = run_coded(&["frobnicate"], "");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown command"));
+    let (_, _, code) = run_coded(&["cut"], "n 2\ne 0 1 1.0\n");
+    assert_eq!(code, 2, "missing --side is a usage error");
+    let (_, stderr, code) = run_coded(&["stats", "/no/such/file.g"], "");
+    assert_eq!(code, 3);
+    assert!(stderr.contains("error"));
+}
+
+fn gen_dense(nodes: &str, seed: &str) -> String {
+    let (edges, _, ok) = run(
+        &[
+            "gen",
+            "balanced",
+            "--nodes",
+            nodes,
+            "--beta",
+            "2",
+            "--density",
+            "0.8",
+            "--seed",
+            seed,
+        ],
+        "",
+    );
+    assert!(ok);
+    edges
+}
+
+#[test]
+fn dist_clean_run_succeeds_and_reports_the_bill() {
+    let edges = gen_dense("16", "7");
+    let (out, stderr, code) = run_coded(
+        &["dist", "--servers", "3", "--eps", "0.3", "--seed", "11"],
+        &edges,
+    );
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(out.contains("servers: 3 (arrived: 3)"), "{out}");
+    assert!(out.contains("wire bits:"), "{out}");
+    assert!(out.contains("framing"), "{out}");
+    assert!(out.contains("degraded: false"), "{out}");
+    assert!(!stderr.contains("DIRCUT_DEGRADED"));
+}
+
+#[test]
+fn dist_degraded_run_exits_4_with_machine_readable_stderr() {
+    let edges = gen_dense("16", "8");
+    let (out, stderr, code) = run_coded(
+        &[
+            "dist",
+            "--servers",
+            "4",
+            "--eps",
+            "0.25",
+            "--seed",
+            "11",
+            "--kill",
+            "2",
+        ],
+        &edges,
+    );
+    assert_eq!(code, 4, "stderr: {stderr}");
+    // The answer is still printed: degraded, not dead.
+    assert!(out.contains("servers: 4 (arrived: 3)"), "{out}");
+    assert!(out.contains("degraded: true"), "{out}");
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("DIRCUT_DEGRADED"))
+        .unwrap_or_else(|| panic!("no DIRCUT_DEGRADED line in {stderr:?}"));
+    assert!(line.contains("arrived=3"), "{line}");
+    assert!(line.contains("servers=4"), "{line}");
+    assert!(line.contains("effective_epsilon=0.500000"), "{line}");
+}
+
+#[test]
+fn dist_survives_heavy_drop_via_retries() {
+    let edges = gen_dense("14", "9");
+    let (out, _, code) = run_coded(
+        &[
+            "dist",
+            "--servers",
+            "3",
+            "--eps",
+            "0.3",
+            "--seed",
+            "5",
+            "--drop",
+            "0.2",
+            "--retries",
+            "9",
+        ],
+        &edges,
+    );
+    // Either every server eventually got through (exit 0) or the run
+    // degraded (exit 4); both must print the communication bill.
+    assert!(code == 0 || code == 4, "unexpected exit {code}: {out}");
+    assert!(out.contains("wire bits:"), "{out}");
 }

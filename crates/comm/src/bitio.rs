@@ -4,6 +4,8 @@
 //! *bits*, so protocols here ship [`Message`]s whose length is counted
 //! bit-by-bit rather than rounded to bytes.
 
+use crate::wire::WireError;
+
 /// A finished one-way message: a bit string of known exact length.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -140,6 +142,38 @@ impl BitReader<'_> {
     /// Reads an IEEE-754 double.
     pub fn read_f64(&mut self) -> f64 {
         f64::from_bits(self.read_bits(64))
+    }
+
+    /// Fallible [`read_bit`](Self::read_bit): decoding received frames
+    /// must never panic on truncated input.
+    pub fn try_read_bit(&mut self) -> Result<bool, WireError> {
+        if self.pos >= self.msg.bit_len {
+            return Err(WireError::UnexpectedEnd {
+                needed: 1,
+                available: 0,
+            });
+        }
+        Ok(self.read_bit())
+    }
+
+    /// Fallible [`read_bits`](Self::read_bits).
+    ///
+    /// # Panics
+    /// Panics if `width > 64` (a caller bug, not a wire condition).
+    pub fn try_read_bits(&mut self, width: u32) -> Result<u64, WireError> {
+        assert!(width <= 64);
+        if self.remaining() < width as usize {
+            return Err(WireError::UnexpectedEnd {
+                needed: width as usize,
+                available: self.remaining(),
+            });
+        }
+        Ok(self.read_bits(width))
+    }
+
+    /// Fallible [`read_f64`](Self::read_f64).
+    pub fn try_read_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.try_read_bits(64)?))
     }
 }
 

@@ -4,6 +4,11 @@
 //!
 //! * [`bitio`] — bit-exact message encoding ([`Message`], writers and
 //!   readers counting every bit),
+//! * [`wire`] — the single wire-format API: [`WireEncode`] is the one
+//!   trait through which every sketch and protocol message is
+//!   serialized, decoded, and sized,
+//! * [`frame`] — checked frames (magic + length + CRC-32) for
+//!   delivery over lossy links,
 //! * [`protocol`] — the one-way Alice → Bob protocol shape and a
 //!   measuring harness,
 //! * [`index`] — the distributional Index problem (Lemma 3.1),
@@ -18,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod bitio;
+pub mod frame;
 pub mod gap_hamming;
 pub mod index;
 pub mod protocol;
 pub mod transcript;
 pub mod twosum;
+pub mod wire;
 
 pub use bitio::{BitReader, BitWriter, Message};
 pub use gap_hamming::{GapHammingInstance, GapHammingParams};
@@ -30,3 +37,4 @@ pub use index::IndexInstance;
 pub use protocol::{measure, OneWayProtocol, ProtocolStats};
 pub use transcript::{Round, Speaker, Transcript};
 pub use twosum::TwoSumInstance;
+pub use wire::{from_message, to_message, WireEncode, WireError};

@@ -1,0 +1,215 @@
+//! The single wire-format API.
+//!
+//! Before this module existed the workspace had **three** parallel
+//! bit-accounting surfaces: `comm::bitio::Message::bit_len()` for
+//! protocol messages, `CutSketch::size_bits()` for sketches, and
+//! `ServerMessage::wire_bits()` for the distributed protocol — each
+//! self-reporting a size that nothing forced to agree with any real
+//! byte stream. [`WireEncode`] replaces all three: a type that goes on
+//! the wire knows how to *serialize itself* into a [`BitWriter`], how
+//! to *decode itself back* (fallibly — real links corrupt frames), and
+//! its size is whatever the serialization measures. `OneWayProtocol`
+//! and the distributed runtime consume only this trait.
+
+use crate::bitio::{BitReader, BitWriter, Message};
+use std::fmt;
+
+/// Everything that can go wrong between a [`BitWriter`] on one machine
+/// and a [`BitReader`] on another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field was complete.
+    UnexpectedEnd {
+        /// Bits the decoder needed next.
+        needed: usize,
+        /// Bits that were actually left.
+        available: usize,
+    },
+    /// A frame did not start with the expected magic word.
+    BadMagic {
+        /// The 16 bits found where the magic should be.
+        got: u16,
+    },
+    /// A frame's checksum did not match its payload.
+    BadChecksum {
+        /// Checksum carried by the frame header.
+        expected: u32,
+        /// Checksum recomputed over the received payload.
+        got: u32,
+    },
+    /// The decoder finished but bits were left over — the payload does
+    /// not parse as exactly one value of the requested type.
+    TrailingBits {
+        /// Number of unconsumed bits.
+        bits: usize,
+    },
+    /// A structurally well-formed field carried an impossible value
+    /// (e.g. a node id ≥ the declared node count).
+    Invalid(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEnd { needed, available } => {
+                write!(
+                    f,
+                    "unexpected end of payload: needed {needed} bits, {available} left"
+                )
+            }
+            Self::BadMagic { got } => write!(f, "bad frame magic 0x{got:04x}"),
+            Self::BadChecksum { expected, got } => {
+                write!(f, "frame checksum mismatch: header says 0x{expected:08x}, payload hashes to 0x{got:08x}")
+            }
+            Self::TrailingBits { bits } => {
+                write!(f, "{bits} trailing bits after a complete value")
+            }
+            Self::Invalid(what) => write!(f, "invalid field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A type with one canonical wire format.
+///
+/// The contract: `decode(encode(x)) == x` for every value, `decode`
+/// never panics on arbitrary bit strings, and [`wire_bits`] is the
+/// exact serialized length — *measured* by encoding, never asserted.
+///
+/// [`wire_bits`]: WireEncode::wire_bits
+pub trait WireEncode: Sized {
+    /// Appends this value's wire representation.
+    fn encode(&self, w: &mut BitWriter);
+
+    /// Reads one value back, consuming exactly the bits [`encode`]
+    /// wrote.
+    ///
+    /// [`encode`]: WireEncode::encode
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError>;
+
+    /// The exact number of bits [`encode`] emits for this value,
+    /// measured by running the encoder.
+    ///
+    /// [`encode`]: WireEncode::encode
+    fn wire_bits(&self) -> usize {
+        let mut w = BitWriter::new();
+        self.encode(&mut w);
+        w.bit_len()
+    }
+}
+
+/// Serializes a value into a standalone [`Message`].
+#[must_use]
+pub fn to_message<T: WireEncode>(value: &T) -> Message {
+    let mut w = BitWriter::new();
+    value.encode(&mut w);
+    w.finish()
+}
+
+/// Decodes a [`Message`] holding exactly one value.
+///
+/// # Errors
+/// Any decode error of `T`, plus [`WireError::TrailingBits`] if the
+/// message holds more than one value's worth of bits.
+pub fn from_message<T: WireEncode>(msg: &Message) -> Result<T, WireError> {
+    let mut r = msg.reader();
+    let value = T::decode(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBits {
+            bits: r.remaining(),
+        });
+    }
+    Ok(value)
+}
+
+/// A raw [`Message`] is itself wire-encodable: its bits are appended
+/// verbatim and decoding drains whatever remains of the frame. This is
+/// the "opaque blob" case — one-way lower-bound protocols whose
+/// message *is* an arbitrary bit string — and it makes `bit_len()`
+/// just another [`WireEncode::wire_bits`].
+impl WireEncode for Message {
+    fn encode(&self, w: &mut BitWriter) {
+        let mut r = self.reader();
+        for _ in 0..self.bit_len() {
+            w.write_bit(r.read_bit());
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let mut w = BitWriter::new();
+        while r.remaining() > 0 {
+            w.write_bit(r.read_bit());
+        }
+        Ok(w.finish())
+    }
+
+    fn wire_bits(&self) -> usize {
+        self.bit_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-field toy type exercising the round-trip contract.
+    #[derive(Debug, PartialEq)]
+    struct Pair {
+        a: u16,
+        b: f64,
+    }
+
+    impl WireEncode for Pair {
+        fn encode(&self, w: &mut BitWriter) {
+            w.write_bits(u64::from(self.a), 16);
+            w.write_f64(self.b);
+        }
+
+        fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+            let a = r.try_read_bits(16)? as u16;
+            let b = r.try_read_f64()?;
+            Ok(Self { a, b })
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_message() {
+        let p = Pair { a: 777, b: -2.5 };
+        let msg = to_message(&p);
+        assert_eq!(msg.bit_len(), p.wire_bits());
+        assert_eq!(from_message::<Pair>(&msg).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error_not_a_panic() {
+        let mut w = BitWriter::new();
+        w.write_bits(3, 16); // only the first field
+        let msg = w.finish();
+        assert!(matches!(
+            from_message::<Pair>(&msg),
+            Err(WireError::UnexpectedEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bits_are_rejected() {
+        let mut w = BitWriter::new();
+        Pair { a: 1, b: 0.0 }.encode(&mut w);
+        w.write_bit(true);
+        assert_eq!(
+            from_message::<Pair>(&w.finish()),
+            Err(WireError::TrailingBits { bits: 1 })
+        );
+    }
+
+    #[test]
+    fn message_blob_wire_bits_is_bit_len() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b10110, 5);
+        let msg = w.finish();
+        assert_eq!(msg.wire_bits(), 5);
+        let copy = from_message::<Message>(&msg).unwrap();
+        assert_eq!(copy, msg);
+    }
+}

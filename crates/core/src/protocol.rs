@@ -12,50 +12,30 @@
 //! [`measure`]: dircut_comm::protocol::measure
 
 use crate::foreach::{ForEachDecoder, ForEachEncoding, ForEachParams};
-use dircut_comm::bitio::{BitWriter, Message};
+use dircut_comm::bitio::Message;
 use dircut_comm::protocol::OneWayProtocol;
 use dircut_graph::DiGraph;
-use dircut_sketch::serialize::index_width;
 use dircut_sketch::{CutSketcher, EdgeListSketch};
 use rand::Rng;
 
-/// Serializes an edge-list sketch into a bit-exact [`Message`]:
-/// 64-bit node count, 32-bit edge count, then per edge two
-/// `⌈log₂ n⌉`-bit endpoints and a 64-bit weight.
+/// Serializes an edge-list sketch into a bit-exact [`Message`] through
+/// the [`WireEncode`](dircut_comm::WireEncode) format: 64-bit node
+/// count, 32-bit edge count, then per edge two `⌈log₂ n⌉`-bit
+/// endpoints and a 64-bit weight.
 #[must_use]
 pub fn serialize_edge_list(sketch: &EdgeListSketch) -> Message {
-    let n = sketch.num_nodes();
-    let w = index_width(n);
-    let g = sketch.to_graph();
-    let mut out = BitWriter::new();
-    out.write_bits(n as u64, 64);
-    out.write_bits(g.num_edges() as u64, 32);
-    for e in g.edges() {
-        out.write_bits(u64::from(e.from.0), w);
-        out.write_bits(u64::from(e.to.0), w);
-        out.write_f64(e.weight);
-    }
-    out.finish()
+    dircut_comm::to_message(sketch)
 }
 
 /// Deserializes a [`serialize_edge_list`] message back into a sketch.
 ///
 /// # Panics
-/// Panics on truncated or malformed messages.
+/// Panics on truncated or malformed messages; receivers on a lossy
+/// channel should use [`dircut_comm::from_message`] directly and
+/// handle the [`WireError`](dircut_comm::WireError).
 #[must_use]
 pub fn deserialize_edge_list(msg: &Message) -> EdgeListSketch {
-    let mut r = msg.reader();
-    let n = usize::try_from(r.read_bits(64)).expect("node count overflow");
-    let m = usize::try_from(r.read_bits(32)).expect("edge count overflow");
-    let w = index_width(n);
-    let mut edges = Vec::with_capacity(m);
-    for _ in 0..m {
-        let from = r.read_bits(w) as u32;
-        let to = r.read_bits(w) as u32;
-        let weight = r.read_f64();
-        edges.push((from, to, weight));
-    }
-    EdgeListSketch::new(n, edges)
+    dircut_comm::from_message(msg).expect("malformed edge-list message")
 }
 
 /// The Theorem 1.1 game as a [`OneWayProtocol`]: Alice's input is the
@@ -84,17 +64,18 @@ where
     type AliceInput = Vec<i8>;
     type BobInput = usize;
     type Output = i8;
+    /// The message is the sketch itself; the harness sizes it by
+    /// serializing through [`WireEncode`](dircut_comm::WireEncode).
+    type Msg = EdgeListSketch;
 
-    fn alice<R: Rng>(&self, input: &Vec<i8>, rng: &mut R) -> Message {
+    fn alice<R: Rng>(&self, input: &Vec<i8>, rng: &mut R) -> EdgeListSketch {
         let enc = ForEachEncoding::encode(self.params, input);
-        let sketch = self.sketcher.sketch(enc.graph(), rng);
-        serialize_edge_list(&sketch)
+        self.sketcher.sketch(enc.graph(), rng)
     }
 
-    fn bob<R: Rng>(&self, input: &usize, msg: &Message, _rng: &mut R) -> i8 {
-        let sketch = deserialize_edge_list(msg);
+    fn bob<R: Rng>(&self, input: &usize, msg: &EdgeListSketch, _rng: &mut R) -> i8 {
         ForEachDecoder::new(self.params)
-            .decode_bit(&sketch, *input)
+            .decode_bit(msg, *input)
             .sign
     }
 }
@@ -139,17 +120,17 @@ where
     type BobInput = (usize, Vec<bool>);
     /// `true` = far case.
     type Output = bool;
+    /// The message is the sketch itself, sized by serialization.
+    type Msg = EdgeListSketch;
 
-    fn alice<R: Rng>(&self, input: &Vec<Vec<bool>>, rng: &mut R) -> Message {
+    fn alice<R: Rng>(&self, input: &Vec<Vec<bool>>, rng: &mut R) -> EdgeListSketch {
         let enc = crate::forall::ForAllEncoding::encode(self.params, input);
-        let sketch = self.sketcher.sketch(enc.graph(), rng);
-        serialize_edge_list(&sketch)
+        self.sketcher.sketch(enc.graph(), rng)
     }
 
-    fn bob<R: Rng>(&self, input: &(usize, Vec<bool>), msg: &Message, rng: &mut R) -> bool {
-        let sketch = deserialize_edge_list(msg);
+    fn bob<R: Rng>(&self, input: &(usize, Vec<bool>), msg: &EdgeListSketch, rng: &mut R) -> bool {
         let decoder = crate::forall::ForAllDecoder::new(self.params, self.search);
-        decoder.decide(&sketch, input.0, &input.1, rng).is_far
+        decoder.decide(msg, input.0, &input.1, rng).is_far
     }
 }
 

@@ -23,10 +23,25 @@
 //! protocol transcript is identical for every thread count. The
 //! reported communication is the serialized bit size of everything the
 //! servers shipped.
+//!
+//! Two runtimes share the protocol logic:
+//!
+//! * [`distributed_min_cut`] — the in-process path: messages are Rust
+//!   values, the wire is perfect, and the bit counts come from sizing
+//!   the messages through [`WireEncode`].
+//! * [`runtime::fault_injected_min_cut`] — the message-passing path:
+//!   every [`ServerMessage`] is serialized to frame bytes, crosses an
+//!   injectable lossy [`link`], and the coordinator copes with
+//!   timeouts, retries, and stragglers. On a clean link it returns the
+//!   in-process answer bit for bit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod link;
+pub mod runtime;
+
+use dircut_comm::{BitReader, BitWriter, WireEncode, WireError};
 use dircut_graph::karger::enumerate_near_min_cuts;
 use dircut_graph::{parallel, stats, DiGraph, NodeId, NodeSet};
 use dircut_sketch::{
@@ -36,6 +51,9 @@ use dircut_sketch::{
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+pub use link::{FaultConfig, FaultyLink};
+pub use runtime::{fault_injected_min_cut, DistError, RuntimeConfig, RuntimeOutcome};
 
 /// Splits a graph's edges uniformly at random across `servers`
 /// subgraphs on the same vertex set.
@@ -54,7 +72,7 @@ pub fn partition_edges<R: Rng>(g: &DiGraph, servers: usize, rng: &mut R) -> Vec<
 }
 
 /// What one server ships to the coordinator.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerMessage {
     /// Which server sent it.
     pub server_id: usize,
@@ -64,16 +82,31 @@ pub struct ServerMessage {
     pub fine: DegreeSampleSketch,
 }
 
-impl ServerMessage {
-    /// Total bits this message puts on the wire.
-    #[must_use]
-    pub fn wire_bits(&self) -> usize {
-        self.coarse.size_bits() + self.fine.size_bits()
+/// Wire format: 32-bit server id, then the coarse and fine sketches
+/// in their own [`WireEncode`] layouts. `wire_bits()` (from the
+/// trait) is the one size the protocol reports — there is no separate
+/// self-declared count to drift out of sync.
+impl WireEncode for ServerMessage {
+    fn encode(&self, w: &mut BitWriter) {
+        w.write_bits(self.server_id as u64, 32);
+        self.coarse.encode(w);
+        self.fine.encode(w);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let server_id = r.try_read_bits(32)? as usize;
+        let coarse = EdgeListSketch::decode(r)?;
+        let fine = DegreeSampleSketch::decode(r)?;
+        Ok(Self {
+            server_id,
+            coarse,
+            fine,
+        })
     }
 }
 
 /// Configuration of the distributed protocol.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtocolConfig {
     /// Target accuracy of the final answer.
     pub epsilon: f64,
@@ -110,12 +143,17 @@ pub struct DistributedMinCut {
     pub estimate: f64,
     /// The cut side achieving it.
     pub side: NodeSet,
-    /// Total bits shipped by all servers.
+    /// Total bits shipped by all servers (for the fault-injected
+    /// runtime: every transmitted frame, retransmissions included).
     pub total_wire_bits: usize,
-    /// Bits spent on coarse (for-all) sketches.
+    /// Bits spent on coarse (for-all) sketch payloads.
     pub coarse_bits: usize,
-    /// Bits spent on fine (for-each) sketches.
+    /// Bits spent on fine (for-each) sketch payloads.
     pub fine_bits: usize,
+    /// Bits that were neither sketch payload: frame headers, server
+    /// ids, and retransmitted frames. Zero on the in-process paths,
+    /// where nothing is framed and nothing is resent.
+    pub framing_bits: usize,
     /// Number of candidate cuts re-queried through the fine sketches.
     pub candidates: usize,
 }
@@ -150,13 +188,42 @@ pub fn coordinate<R: Rng>(
     cfg: ProtocolConfig,
     rng: &mut R,
 ) -> DistributedMinCut {
+    let (estimate, side, candidates) = coordinate_scaled(messages, cfg, 1.0, rng);
+    let coarse_bits: usize = messages.iter().map(|m| m.coarse.size_bits()).sum();
+    let fine_bits: usize = messages.iter().map(|m| m.fine.size_bits()).sum();
+    DistributedMinCut {
+        estimate,
+        side,
+        total_wire_bits: coarse_bits + fine_bits,
+        coarse_bits,
+        fine_bits,
+        framing_bits: 0,
+        candidates,
+    }
+}
+
+/// The coordinator core shared by the in-process and fault-injected
+/// runtimes: build the (scaled) coarse union, enumerate candidates,
+/// re-query them through the fine sketches. `scale` rescales every
+/// coarse weight and fine estimate — `s/k` when only `k` of `s`
+/// uniformly partitioned slices arrived, and exactly `1.0` on full
+/// attendance (multiplying by 1.0 preserves every float bit, so the
+/// degradation machinery is invisible on clean runs).
+///
+/// Returns `(estimate, side, candidate count)`.
+pub(crate) fn coordinate_scaled<R: Rng>(
+    messages: &[ServerMessage],
+    cfg: ProtocolConfig,
+    scale: f64,
+    rng: &mut R,
+) -> (f64, NodeSet, usize) {
     assert!(!messages.is_empty(), "no server messages");
     // Union of coarse sketches = a (1±0.2) sparsifier of the whole graph.
     let n = messages[0].coarse.num_nodes();
     let mut union = DiGraph::new(n);
     for msg in messages {
         for e in msg.coarse.to_graph().edges() {
-            union.add_edge(e.from, e.to, e.weight);
+            union.add_edge(e.from, e.to, e.weight * scale);
         }
     }
     let candidates =
@@ -171,22 +238,17 @@ pub fn coordinate<R: Rng>(
         // Fine estimate: sum of per-server for-each answers. Each
         // candidate was fixed by the coarse sketches, independent of
         // the fine sketches' randomness — exactly the for-each setting.
-        let est: f64 = messages.iter().map(|m| m.fine.cut_out_estimate(side)).sum();
+        let est: f64 = messages
+            .iter()
+            .map(|m| m.fine.cut_out_estimate(side))
+            .sum::<f64>()
+            * scale;
         if best.as_ref().is_none_or(|(b, _)| est < *b) {
             best = Some((est, side.clone()));
         }
     }
     let (estimate, side) = best.expect("at least one candidate");
-    let coarse_bits: usize = messages.iter().map(|m| m.coarse.size_bits()).sum();
-    let fine_bits: usize = messages.iter().map(|m| m.fine.size_bits()).sum();
-    DistributedMinCut {
-        estimate,
-        side,
-        total_wire_bits: coarse_bits + fine_bits,
-        coarse_bits,
-        fine_bits,
-        candidates: candidates.len(),
-    }
+    (estimate, side, candidates.len())
 }
 
 /// Runs the full protocol, fanning the per-server sketching across the
@@ -265,6 +327,7 @@ pub fn forall_only_min_cut(
         total_wire_bits: bits,
         coarse_bits: bits,
         fine_bits: 0,
+        framing_bits: 0,
         candidates: candidates.len(),
     }
 }
@@ -339,6 +402,7 @@ pub fn linear_fine_min_cut(
         total_wire_bits: coarse_bits + fine_bits,
         coarse_bits,
         fine_bits,
+        framing_bits: 0,
         candidates: candidates.len(),
     }
 }
@@ -415,6 +479,8 @@ mod tests {
         cfg.enumeration_trials = 40;
         let res = distributed_min_cut(&g, 2, cfg, 9);
         assert_eq!(res.total_wire_bits, res.coarse_bits + res.fine_bits);
+        // The in-process path never frames or resends anything.
+        assert_eq!(res.framing_bits, 0);
         assert!(res.coarse_bits > 0 && res.fine_bits > 0);
         assert!(res.candidates >= 1);
     }

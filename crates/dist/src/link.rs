@@ -1,0 +1,340 @@
+//! The injectable link layer: what happens to a frame between a
+//! server and the coordinator.
+//!
+//! A [`FaultyLink`] simulates one lossy channel. Each *transmit
+//! attempt* draws its fate from a [`ChaCha8Rng`] seeded purely by
+//! `(link seed, server, attempt)`, so a run's delivery schedule is a
+//! deterministic function of the seed and the fault configuration —
+//! never of thread interleaving or wall-clock. The draw order within
+//! an attempt is fixed (drop, latency, delay, duplicate, corrupt,
+//! corrupt position) and every draw is consumed whether or not the
+//! fault fires, so changing one fault's probability never shifts the
+//! randomness feeding the others. That is what makes the runtime's
+//! answer provably invariant under duplicate-delivery faults: the
+//! duplicate decision reads its own dedicated draw.
+//!
+//! Faults compose the way real links fail:
+//!
+//! * **drop** — the frame never arrives; the coordinator times out.
+//! * **delay** — the frame arrives, but [`DELAY_TICKS`] late; past the
+//!   coordinator's deadline it is as good as dropped (the bits still
+//!   crossed the wire and are still counted).
+//! * **duplicate** — the link delivers a second copy of the same
+//!   frame. The copy is a link-level artifact: the server transmitted
+//!   once, so accounting counts the attempt once.
+//! * **corrupt** — one bit of the frame flips in flight. The CRC-32
+//!   frame check ([`dircut_comm::frame::open`]) catches every
+//!   single-bit flip, so corruption surfaces as a rejected frame and a
+//!   retry, never as silently wrong data.
+//! * **dead servers** — listed links never deliver anything,
+//!   regardless of probabilities: the deterministic way to exercise
+//!   the coordinator's degraded mode.
+
+use dircut_comm::bitio::{BitWriter, Message};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Latency added to a delayed frame, in coordinator ticks. Far above
+/// any sane [`timeout`](crate::runtime::RuntimeConfig::timeout_ticks),
+/// so "delayed" deterministically means "missed the deadline".
+pub const DELAY_TICKS: u32 = 64;
+
+/// Base in-flight latency range of an undelayed frame: `0..4` ticks.
+pub const BASE_LATENCY_TICKS: u32 = 4;
+
+/// Fault probabilities for one run's links. All probabilities are per
+/// transmit attempt and independent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Probability an attempt is dropped outright.
+    pub drop: f64,
+    /// Probability an attempt is delayed by [`DELAY_TICKS`].
+    pub delay: f64,
+    /// Probability the link delivers a duplicate copy.
+    pub duplicate: f64,
+    /// Probability exactly one bit of the frame flips in flight.
+    pub corrupt: f64,
+    /// Servers whose link never delivers (deterministic total loss).
+    pub dead: Vec<usize>,
+}
+
+impl FaultConfig {
+    /// A perfectly clean link.
+    #[must_use]
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// True when every probability is zero and no server is dead.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0
+            && self.delay == 0.0
+            && self.duplicate == 0.0
+            && self.corrupt == 0.0
+            && self.dead.is_empty()
+    }
+}
+
+/// One copy of a frame arriving at the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The frame as received (possibly corrupted).
+    pub frame: Message,
+    /// Ticks after the transmit at which it arrived.
+    pub latency: u32,
+    /// Whether this copy is a link-injected duplicate.
+    pub duplicate: bool,
+}
+
+/// Outcome of one transmit attempt over a [`FaultyLink`].
+#[derive(Debug, Clone, Default)]
+pub struct Transmit {
+    /// Copies that arrived (empty when dropped; two when duplicated).
+    pub deliveries: Vec<Delivery>,
+    /// Whether the attempt was dropped.
+    pub dropped: bool,
+    /// Whether the frame was bit-corrupted in flight.
+    pub corrupted: bool,
+    /// Whether the frame was delayed past any reasonable deadline.
+    pub delayed: bool,
+}
+
+/// A deterministic lossy channel from one server to the coordinator.
+#[derive(Debug, Clone)]
+pub struct FaultyLink {
+    seed: u64,
+    server: usize,
+    faults: FaultConfig,
+}
+
+/// SplitMix64 finalizer: decorrelates structured `(seed, server,
+/// attempt)` triples into independent-looking RNG seeds.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultyLink {
+    /// A link for `server` under `faults`, deriving all randomness
+    /// from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, server: usize, faults: FaultConfig) -> Self {
+        Self {
+            seed,
+            server,
+            faults,
+        }
+    }
+
+    /// The RNG seed of one `(server, attempt)` transmit.
+    fn attempt_seed(&self, attempt: u32) -> u64 {
+        mix(self
+            .seed
+            .wrapping_add(mix(self.server as u64 + 1))
+            .wrapping_add(mix(u64::from(attempt) + 0x9E37_79B9)))
+    }
+
+    /// Transmits `frame` as attempt number `attempt`, returning what
+    /// the coordinator sees. Pure in `(seed, server, attempt, frame,
+    /// faults)`.
+    #[must_use]
+    pub fn transmit(&self, frame: &Message, attempt: u32) -> Transmit {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.attempt_seed(attempt));
+        // Fixed draw order; every draw consumed regardless of outcome.
+        let dropped = rng.gen_bool(self.faults.drop.clamp(0.0, 1.0));
+        let base_latency = rng.gen_range(0..BASE_LATENCY_TICKS);
+        let delayed = rng.gen_bool(self.faults.delay.clamp(0.0, 1.0));
+        let duplicate = rng.gen_bool(self.faults.duplicate.clamp(0.0, 1.0));
+        let corrupted = rng.gen_bool(self.faults.corrupt.clamp(0.0, 1.0)) && frame.bit_len() > 0;
+        let flip_pos = if frame.bit_len() > 0 {
+            rng.gen_range(0..frame.bit_len())
+        } else {
+            0
+        };
+
+        if dropped || self.faults.dead.contains(&self.server) {
+            return Transmit {
+                deliveries: Vec::new(),
+                dropped: true,
+                corrupted: false,
+                delayed: false,
+            };
+        }
+
+        let received = if corrupted {
+            flip_bit(frame, flip_pos)
+        } else {
+            frame.clone()
+        };
+        let latency = base_latency + if delayed { DELAY_TICKS } else { 0 };
+        let mut deliveries = vec![Delivery {
+            frame: received.clone(),
+            latency,
+            duplicate: false,
+        }];
+        if duplicate {
+            // The copy shares the original's fate (same bits, one tick
+            // later): duplication can never rescue a corrupted or
+            // delayed attempt, only echo it.
+            deliveries.push(Delivery {
+                frame: received,
+                latency: latency + 1,
+                duplicate: true,
+            });
+        }
+        Transmit {
+            deliveries,
+            dropped: false,
+            corrupted,
+            delayed,
+        }
+    }
+}
+
+/// Returns `frame` with bit `pos` flipped.
+#[must_use]
+fn flip_bit(frame: &Message, pos: usize) -> Message {
+    let mut w = BitWriter::new();
+    let mut r = frame.reader();
+    for i in 0..frame.bit_len() {
+        let bit = r.read_bit();
+        w.write_bit(if i == pos { !bit } else { bit });
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_comm::frame::{open, seal};
+
+    fn payload() -> Message {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_f64(1.25);
+        w.finish()
+    }
+
+    #[test]
+    fn clean_link_delivers_exactly_once_within_base_latency() {
+        let link = FaultyLink::new(7, 0, FaultConfig::clean());
+        let frame = seal(&payload());
+        for attempt in 0..20 {
+            let t = link.transmit(&frame, attempt);
+            assert_eq!(t.deliveries.len(), 1);
+            assert!(!t.dropped && !t.corrupted && !t.delayed);
+            assert!(t.deliveries[0].latency < BASE_LATENCY_TICKS);
+            assert_eq!(open(&t.deliveries[0].frame).unwrap(), payload());
+        }
+    }
+
+    #[test]
+    fn transmits_are_deterministic_per_seed_and_attempt() {
+        let faults = FaultConfig {
+            drop: 0.3,
+            delay: 0.2,
+            duplicate: 0.4,
+            corrupt: 0.3,
+            dead: Vec::new(),
+        };
+        let frame = seal(&payload());
+        let a = FaultyLink::new(11, 2, faults.clone());
+        let b = FaultyLink::new(11, 2, faults);
+        for attempt in 0..50 {
+            let ta = a.transmit(&frame, attempt);
+            let tb = b.transmit(&frame, attempt);
+            assert_eq!(ta.deliveries, tb.deliveries);
+            assert_eq!(
+                (ta.dropped, ta.corrupted, ta.delayed),
+                (tb.dropped, tb.corrupted, tb.delayed)
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected_by_the_frame_check() {
+        let faults = FaultConfig {
+            corrupt: 1.0,
+            ..FaultConfig::clean()
+        };
+        let link = FaultyLink::new(3, 1, faults);
+        let frame = seal(&payload());
+        for attempt in 0..30 {
+            let t = link.transmit(&frame, attempt);
+            assert!(t.corrupted);
+            for d in &t.deliveries {
+                assert!(open(&d.frame).is_err(), "attempt {attempt} slipped through");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_probability_does_not_disturb_other_faults() {
+        let base = FaultConfig {
+            drop: 0.4,
+            delay: 0.3,
+            duplicate: 0.0,
+            corrupt: 0.3,
+            dead: Vec::new(),
+        };
+        let dup = FaultConfig {
+            duplicate: 1.0,
+            ..base.clone()
+        };
+        let frame = seal(&payload());
+        let plain = FaultyLink::new(19, 0, base);
+        let noisy = FaultyLink::new(19, 0, dup);
+        for attempt in 0..60 {
+            let tp = plain.transmit(&frame, attempt);
+            let tn = noisy.transmit(&frame, attempt);
+            assert_eq!(tp.dropped, tn.dropped, "attempt {attempt}");
+            assert_eq!(tp.corrupted, tn.corrupted, "attempt {attempt}");
+            assert_eq!(tp.delayed, tn.delayed, "attempt {attempt}");
+            // Identical primary delivery; duplication only appends.
+            assert_eq!(
+                tp.deliveries.first(),
+                tn.deliveries.first(),
+                "attempt {attempt}"
+            );
+            if !tn.dropped {
+                assert_eq!(tn.deliveries.len(), 2);
+                assert!(tn.deliveries[1].duplicate);
+                assert_eq!(tn.deliveries[0].frame, tn.deliveries[1].frame);
+                assert_eq!(tn.deliveries[1].latency, tn.deliveries[0].latency + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_servers_never_deliver() {
+        let faults = FaultConfig {
+            dead: vec![2],
+            ..FaultConfig::clean()
+        };
+        let frame = seal(&payload());
+        let dead = FaultyLink::new(5, 2, faults.clone());
+        let alive = FaultyLink::new(5, 1, faults);
+        for attempt in 0..10 {
+            assert!(dead.transmit(&frame, attempt).deliveries.is_empty());
+            assert_eq!(alive.transmit(&frame, attempt).deliveries.len(), 1);
+        }
+    }
+
+    #[test]
+    fn delayed_frames_arrive_past_any_deadline() {
+        let faults = FaultConfig {
+            delay: 1.0,
+            ..FaultConfig::clean()
+        };
+        let link = FaultyLink::new(13, 0, faults);
+        let frame = seal(&payload());
+        let t = link.transmit(&frame, 0);
+        assert!(t.delayed);
+        assert!(t.deliveries[0].latency >= DELAY_TICKS);
+    }
+}

@@ -1,0 +1,485 @@
+//! The fault-injected distributed runtime: servers on the worker
+//! pool, real serialized frames, an injectable lossy link, and a
+//! coordinator with timeouts, bounded retries, and straggler
+//! degradation.
+//!
+//! [`fault_injected_min_cut`] runs the same protocol as
+//! [`distributed_min_cut`](crate::distributed_min_cut), but every
+//! [`ServerMessage`] actually crosses a [`FaultyLink`] as sealed
+//! frame bytes (magic + length + CRC-32 around the
+//! [`WireEncode`](dircut_comm::WireEncode) payload). The coordinator
+//! accepts a frame only if it arrives within
+//! [`timeout_ticks`](RuntimeConfig::timeout_ticks), passes the frame
+//! check, and decodes; otherwise it retries, up to
+//! [`max_retries`](RuntimeConfig::max_retries) retransmissions.
+//!
+//! **Degradation.** If after all retries only `k` of `s` servers
+//! answered (`1 ≤ k < s`), the coordinator still solves: the arrived
+//! coarse union and fine estimates are scaled by `s/k` (each server
+//! holds a uniformly random `1/s` slice of the edges, so the arrived
+//! slices are an unbiased `k/s` sample of the graph), and the result
+//! is reported *degraded* with `effective_epsilon = ε + (s−k)/s` — a
+//! deliberately conservative additive widening covering the extra
+//! sampling variance of the missing slices. `k = 0` is
+//! [`DistError::AllServersLost`].
+//!
+//! **Determinism.** Sketch randomness is per-server
+//! (`seed + 1 + id`), link randomness is per `(seed, server,
+//! attempt)`, and the coordinator consumes the master stream exactly
+//! as the in-process path does — so for any fault configuration the
+//! full outcome (answer, transcripts, every bit count) is a pure
+//! function of `(graph, servers, config, seed)` and is bit-identical
+//! across thread counts.
+
+use crate::link::{FaultConfig, FaultyLink, BASE_LATENCY_TICKS, DELAY_TICKS};
+use crate::{
+    coordinate_scaled, partition_edges, server_sketch, DistributedMinCut, ProtocolConfig,
+    ServerMessage,
+};
+use dircut_comm::frame::{open, seal};
+use dircut_comm::{from_message, to_message, WireEncode};
+use dircut_graph::{parallel, stats, DiGraph};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+/// Configuration of one fault-injected run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// The protocol parameters (accuracy, enumeration effort).
+    pub protocol: ProtocolConfig,
+    /// The link fault model.
+    pub faults: FaultConfig,
+    /// Deadline in ticks: a frame arriving later is treated as lost.
+    /// Must exceed [`BASE_LATENCY_TICKS`] or even clean links time out.
+    pub timeout_ticks: u32,
+    /// Retransmissions allowed per server after the first attempt.
+    pub max_retries: u32,
+    /// Worker threads for the sketching fan-out (0 = the pool default,
+    /// which honours `DIRCUT_THREADS`).
+    pub threads: usize,
+}
+
+impl RuntimeConfig {
+    /// Clean-link defaults: timeout 8 ticks, 3 retries.
+    #[must_use]
+    pub fn new(protocol: ProtocolConfig) -> Self {
+        Self {
+            protocol,
+            faults: FaultConfig::clean(),
+            timeout_ticks: 2 * BASE_LATENCY_TICKS,
+            max_retries: 3,
+            threads: 0,
+        }
+    }
+
+    /// Same defaults with a fault model.
+    #[must_use]
+    pub fn with_faults(protocol: ProtocolConfig, faults: FaultConfig) -> Self {
+        Self {
+            faults,
+            ..Self::new(protocol)
+        }
+    }
+}
+
+/// Why a fault-injected run produced no answer at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// Every server's frames were lost after all retries; there is
+    /// nothing to solve from.
+    AllServersLost {
+        /// How many servers were supposed to report.
+        servers: usize,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::AllServersLost { servers } => {
+                write!(f, "all {servers} servers lost after retries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Per-server delivery log: what one link did across all attempts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerTranscript {
+    /// The server this transcript belongs to.
+    pub server_id: usize,
+    /// Transmit attempts made (1 + retries actually used).
+    pub attempts: u32,
+    /// Retransmissions after the first attempt.
+    pub retries: u32,
+    /// Total bits the server put on the wire across all attempts
+    /// (full frames; link-injected duplicate copies are not the
+    /// server's transmissions and are not counted here).
+    pub bits_sent: usize,
+    /// Bits of the one accepted frame (0 if none was accepted).
+    pub bits_acked: usize,
+    /// Attempts dropped by the link.
+    pub drops: u32,
+    /// Attempts whose frame was bit-corrupted (and CRC-rejected).
+    pub corrupted: u32,
+    /// Attempts delayed past the deadline.
+    pub delayed: u32,
+    /// Link-injected duplicate copies observed.
+    pub duplicates: u32,
+    /// Deliveries (any copy) with latency < 4 ticks.
+    pub lat_fast: u32,
+    /// Deliveries with latency in `4..64` ticks.
+    pub lat_slow: u32,
+    /// Deliveries with latency ≥ 64 ticks.
+    pub lat_stale: u32,
+    /// Latency of the accepted frame, if one was accepted.
+    pub accepted_latency: Option<u32>,
+}
+
+impl ServerTranscript {
+    /// Whether the coordinator got this server's message.
+    #[must_use]
+    pub fn delivered(&self) -> bool {
+        self.bits_acked > 0
+    }
+}
+
+/// The outcome of a fault-injected run: the answer plus everything
+/// the coordinator observed while obtaining it.
+#[derive(Debug, Clone)]
+pub struct RuntimeOutcome {
+    /// The min-cut answer, with full bit accounting (including
+    /// framing and retransmission overhead).
+    pub answer: DistributedMinCut,
+    /// Servers that participated.
+    pub servers: usize,
+    /// Servers whose message was accepted before the deadline.
+    pub arrived: usize,
+    /// Whether the coordinator had to solve from a strict subset.
+    pub degraded: bool,
+    /// The guarantee actually delivered: the configured ε widened by
+    /// `(s − k)/s` when `k < s` servers arrived.
+    pub effective_epsilon: f64,
+    /// One transcript per server, in server order.
+    pub transcripts: Vec<ServerTranscript>,
+}
+
+/// Runs the distributed protocol over fault-injected links.
+///
+/// # Errors
+/// [`DistError::AllServersLost`] if no server message survives the
+/// link within the retry budget.
+///
+/// # Panics
+/// Panics if `servers == 0` or the coarse union yields no candidate
+/// cut (fewer than 2 nodes).
+pub fn fault_injected_min_cut(
+    g: &DiGraph,
+    servers: usize,
+    cfg: &RuntimeConfig,
+    seed: u64,
+) -> Result<RuntimeOutcome, DistError> {
+    assert!(servers >= 1, "need at least one server");
+    let mut master = ChaCha8Rng::seed_from_u64(seed);
+    let parts = partition_edges(g, servers, &mut master);
+    let threads = if cfg.threads == 0 {
+        parallel::default_threads()
+    } else {
+        cfg.threads
+    };
+
+    // Fan out: each server sketches its slice and seals the message
+    // into a frame. Results come back in server order, so the bytes
+    // on the wire are thread-count independent.
+    let protocol = cfg.protocol;
+    let framed: Vec<(dircut_comm::Message, usize, usize)> =
+        stats::timed_stage("dist/server_sketch", || {
+            parallel::run_indexed(parts.len(), threads, |id| {
+                let mut srng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1 + id as u64));
+                let msg = server_sketch(id, &parts[id], protocol, &mut srng);
+                let coarse_bits = msg.coarse.wire_bits();
+                let fine_bits = msg.fine.wire_bits();
+                (seal(&to_message(&msg)), coarse_bits, fine_bits)
+            })
+        });
+
+    // Deliver every frame through its faulty link, with retries. The
+    // loop is sequential and every draw is seed-derived, so the
+    // delivery schedule is part of the deterministic transcript.
+    let mut arrived_msgs: Vec<ServerMessage> = Vec::new();
+    let mut transcripts: Vec<ServerTranscript> = Vec::with_capacity(servers);
+    let mut coarse_bits = 0usize;
+    let mut fine_bits = 0usize;
+    stats::timed_stage("dist/deliver", || {
+        for (id, (frame, cb, fb)) in framed.iter().enumerate() {
+            coarse_bits += cb;
+            fine_bits += fb;
+            let link = FaultyLink::new(seed, id, cfg.faults.clone());
+            let mut t = ServerTranscript {
+                server_id: id,
+                ..ServerTranscript::default()
+            };
+            let mut accepted: Option<ServerMessage> = None;
+            for attempt in 0..=cfg.max_retries {
+                t.attempts += 1;
+                t.retries = t.attempts - 1;
+                t.bits_sent += frame.bit_len();
+                let tx = link.transmit(frame, attempt);
+                t.drops += u32::from(tx.dropped);
+                t.corrupted += u32::from(tx.corrupted);
+                t.delayed += u32::from(tx.delayed);
+                for d in &tx.deliveries {
+                    t.duplicates += u32::from(d.duplicate);
+                    if d.latency < BASE_LATENCY_TICKS {
+                        t.lat_fast += 1;
+                    } else if d.latency < DELAY_TICKS {
+                        t.lat_slow += 1;
+                    } else {
+                        t.lat_stale += 1;
+                    }
+                    if accepted.is_none() && d.latency <= cfg.timeout_ticks {
+                        if let Ok(payload) = open(&d.frame) {
+                            if let Ok(msg) = from_message::<ServerMessage>(&payload) {
+                                t.bits_acked = frame.bit_len();
+                                t.accepted_latency = Some(d.latency);
+                                accepted = Some(msg);
+                            }
+                        }
+                    }
+                }
+                if accepted.is_some() {
+                    break;
+                }
+            }
+            if let Some(msg) = accepted {
+                arrived_msgs.push(msg);
+            }
+            transcripts.push(t);
+        }
+    });
+    record_link_stats(&transcripts);
+
+    let arrived = arrived_msgs.len();
+    if arrived == 0 {
+        return Err(DistError::AllServersLost { servers });
+    }
+    let degraded = arrived < servers;
+    // Each server held a uniform 1/s slice; rescale the arrived k/s
+    // sample back to the whole graph. scale = 1 exactly on clean runs
+    // (multiplying by 1.0 preserves every float bit).
+    let scale = servers as f64 / arrived as f64;
+    let effective_epsilon = cfg.protocol.epsilon + (servers - arrived) as f64 / servers as f64;
+    let (estimate, side, candidates) =
+        coordinate_scaled(&arrived_msgs, cfg.protocol, scale, &mut master);
+
+    let total_wire_bits: usize = transcripts.iter().map(|t| t.bits_sent).sum();
+    let answer = DistributedMinCut {
+        estimate,
+        side,
+        total_wire_bits,
+        coarse_bits,
+        fine_bits,
+        framing_bits: total_wire_bits - coarse_bits - fine_bits,
+        candidates,
+    };
+    Ok(RuntimeOutcome {
+        answer,
+        servers,
+        arrived,
+        degraded,
+        effective_epsilon,
+        transcripts,
+    })
+}
+
+/// Surfaces the transcripts through the process-global stage
+/// registry: one `dist/link/sNN` stage per server plus a `dist/link`
+/// aggregate, all under named metrics so `DIRCUT_STATS=1` reporting
+/// prints them without stdout ever changing.
+fn record_link_stats(transcripts: &[ServerTranscript]) {
+    let mut agg = [0u64; 9];
+    for t in transcripts {
+        let metrics = [
+            ("bits_sent", t.bits_sent as u64),
+            ("bits_acked", t.bits_acked as u64),
+            ("retries", u64::from(t.retries)),
+            ("drops", u64::from(t.drops)),
+            ("corrupt_rejects", u64::from(t.corrupted)),
+            ("delayed", u64::from(t.delayed)),
+            ("duplicates", u64::from(t.duplicates)),
+            ("lat_fast", u64::from(t.lat_fast)),
+            ("lat_slow", u64::from(t.lat_slow)),
+        ];
+        for (slot, (_, v)) in agg.iter_mut().zip(&metrics) {
+            *slot += v;
+        }
+        stats::record_stage_metrics(&format!("dist/link/s{:02}", t.server_id), &metrics);
+    }
+    let names = [
+        "bits_sent",
+        "bits_acked",
+        "retries",
+        "drops",
+        "corrupt_rejects",
+        "delayed",
+        "duplicates",
+        "lat_fast",
+        "lat_slow",
+    ];
+    let rollup: Vec<(&str, u64)> = names.iter().copied().zip(agg).collect();
+    stats::record_stage_metrics("dist/link", &rollup);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symmetric_graph;
+    use rand::Rng;
+
+    fn test_graph(n: usize, seed: u64) -> DiGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.7) {
+                    edges.push((u, v, rng.gen_range(0.5..2.0)));
+                }
+            }
+            edges.push((u, (u + 1) % n, 1.0));
+        }
+        symmetric_graph(n, &edges)
+    }
+
+    fn small_cfg(eps: f64) -> ProtocolConfig {
+        let mut cfg = ProtocolConfig::new(eps);
+        cfg.enumeration_trials = 40;
+        cfg
+    }
+
+    #[test]
+    fn clean_run_matches_the_in_process_path_bit_for_bit() {
+        let g = test_graph(16, 1);
+        let cfg = RuntimeConfig::new(small_cfg(0.3));
+        let out = fault_injected_min_cut(&g, 3, &cfg, 9).expect("clean run");
+        let legacy = crate::distributed_min_cut(&g, 3, cfg.protocol, 9);
+        assert_eq!(out.answer.estimate.to_bits(), legacy.estimate.to_bits());
+        assert_eq!(out.answer.side, legacy.side);
+        assert_eq!(out.answer.candidates, legacy.candidates);
+        assert!(!out.degraded);
+        assert_eq!(out.arrived, 3);
+        assert_eq!(out.effective_epsilon, cfg.protocol.epsilon);
+    }
+
+    #[test]
+    fn clean_run_accounts_framing_and_payload_exactly() {
+        let g = test_graph(14, 2);
+        let cfg = RuntimeConfig::new(small_cfg(0.3));
+        let out = fault_injected_min_cut(&g, 3, &cfg, 11).expect("clean run");
+        let a = &out.answer;
+        assert_eq!(
+            a.total_wire_bits,
+            a.coarse_bits + a.fine_bits + a.framing_bits
+        );
+        // One frame per server, no retries: framing = s × (header + id).
+        let per_server = dircut_comm::frame::FRAME_HEADER_BITS + 32;
+        assert_eq!(a.framing_bits, 3 * per_server);
+        for t in &out.transcripts {
+            assert_eq!(t.attempts, 1);
+            assert!(t.delivered());
+            assert_eq!(t.bits_sent, t.bits_acked);
+        }
+    }
+
+    #[test]
+    fn answers_are_identical_across_thread_counts() {
+        let g = test_graph(14, 3);
+        let faults = FaultConfig {
+            drop: 0.3,
+            corrupt: 0.2,
+            duplicate: 0.3,
+            delay: 0.1,
+            dead: Vec::new(),
+        };
+        let mut outs = Vec::new();
+        for threads in [1usize, 4, 8] {
+            let mut cfg = RuntimeConfig::with_faults(small_cfg(0.3), faults.clone());
+            cfg.threads = threads;
+            outs.push(fault_injected_min_cut(&g, 4, &cfg, 17).expect("run"));
+        }
+        for o in &outs[1..] {
+            assert_eq!(
+                o.answer.estimate.to_bits(),
+                outs[0].answer.estimate.to_bits()
+            );
+            assert_eq!(o.answer.side, outs[0].answer.side);
+            assert_eq!(o.answer.total_wire_bits, outs[0].answer.total_wire_bits);
+            assert_eq!(o.transcripts, outs[0].transcripts);
+        }
+    }
+
+    #[test]
+    fn dead_server_triggers_degraded_mode_with_widened_epsilon() {
+        let g = test_graph(16, 4);
+        let faults = FaultConfig {
+            dead: vec![1],
+            ..FaultConfig::clean()
+        };
+        let cfg = RuntimeConfig::with_faults(small_cfg(0.25), faults);
+        let out = fault_injected_min_cut(&g, 4, &cfg, 5).expect("degraded run");
+        assert!(out.degraded);
+        assert_eq!(out.arrived, 3);
+        assert!((out.effective_epsilon - (0.25 + 0.25)).abs() < 1e-12);
+        let t = &out.transcripts[1];
+        assert!(!t.delivered());
+        assert_eq!(t.attempts, cfg.max_retries + 1);
+        assert_eq!(t.drops, cfg.max_retries + 1);
+        // The lost server's bits still crossed the wire and are still
+        // counted against the protocol.
+        assert!(t.bits_sent > 0);
+        // The scaled estimate should still be in the right ballpark of
+        // the true min cut (the rescaling is unbiased); keep the band
+        // generous — this checks the plumbing, not concentration.
+        let truth = dircut_graph::mincut::stoer_wagner(&g).value / 2.0;
+        assert!(
+            (out.answer.estimate - truth).abs() <= truth,
+            "degraded estimate {} vs truth {truth} (ε_eff {})",
+            out.answer.estimate,
+            out.effective_epsilon
+        );
+    }
+
+    #[test]
+    fn all_servers_dead_is_an_error_not_a_panic() {
+        let g = test_graph(10, 5);
+        let faults = FaultConfig {
+            dead: vec![0, 1],
+            ..FaultConfig::clean()
+        };
+        let cfg = RuntimeConfig::with_faults(small_cfg(0.3), faults);
+        let err = fault_injected_min_cut(&g, 2, &cfg, 3).unwrap_err();
+        assert_eq!(err, DistError::AllServersLost { servers: 2 });
+        assert!(err.to_string().contains("all 2 servers"));
+    }
+
+    #[test]
+    fn corruption_is_survived_by_retrying() {
+        let g = test_graph(12, 6);
+        let faults = FaultConfig {
+            corrupt: 0.3,
+            ..FaultConfig::clean()
+        };
+        let mut cfg = RuntimeConfig::with_faults(small_cfg(0.3), faults);
+        // 10 attempts at corrupt=0.3: per-server loss probability
+        // 0.3¹⁰ ≈ 6·10⁻⁶ — no seed dependence worth worrying about.
+        cfg.max_retries = 9;
+        let out = fault_injected_min_cut(&g, 3, &cfg, 2).expect("run");
+        assert!(!out.degraded);
+        let retried: u32 = out.transcripts.iter().map(|t| t.retries).sum();
+        let corrupted: u32 = out.transcripts.iter().map(|t| t.corrupted).sum();
+        assert_eq!(out.answer.framing_bits > 3 * 112, retried > 0);
+        assert!(corrupted == retried, "every retry here is a CRC reject");
+    }
+}

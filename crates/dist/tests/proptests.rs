@@ -1,0 +1,156 @@
+//! Property-based tests for the fault-injected runtime: the full
+//! outcome (answer, wire-bit totals, transcripts) is a pure function
+//! of `(graph, servers, config, seed)` — invariant under thread count
+//! and under duplicate-delivery faults.
+
+use dircut_dist::runtime::RuntimeConfig;
+use dircut_dist::{fault_injected_min_cut, symmetric_graph, FaultConfig, ProtocolConfig};
+use dircut_graph::DiGraph;
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn dense_graph(n: usize, seed: u64) -> DiGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(0.6) {
+                edges.push((u, v, rng.gen_range(0.5..2.0)));
+            }
+        }
+        edges.push((u, (u + 1) % n, 1.0));
+    }
+    symmetric_graph(n, &edges)
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultConfig> {
+    // Moderate probabilities so a 4-retry budget still usually gets a
+    // frame through; determinism holds regardless of delivery success.
+    (0.0..0.4f64, 0.0..0.3f64, 0.0..1.0f64, 0.0..0.3f64).prop_map(
+        |(drop, delay, duplicate, corrupt)| FaultConfig {
+            drop,
+            delay,
+            duplicate,
+            corrupt,
+            dead: Vec::new(),
+        },
+    )
+}
+
+fn small_protocol() -> ProtocolConfig {
+    let mut cfg = ProtocolConfig::new(0.3);
+    cfg.enumeration_trials = 30;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Answers, wire-bit totals, and whole transcripts are
+    /// bit-identical across worker-pool widths, for any fault mix.
+    #[test]
+    fn runtime_is_bit_identical_across_thread_counts(
+        gseed in 0u64..500,
+        seed in 0u64..10_000,
+        faults in arb_faults(),
+    ) {
+        let g = dense_graph(12, gseed);
+        let mut outs = Vec::new();
+        for threads in [1usize, 4, 8] {
+            let mut cfg = RuntimeConfig::with_faults(small_protocol(), faults.clone());
+            cfg.max_retries = 4;
+            cfg.threads = threads;
+            outs.push(fault_injected_min_cut(&g, 3, &cfg, seed));
+        }
+        match (&outs[0], &outs[1], &outs[2]) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                for o in [b, c] {
+                    prop_assert_eq!(
+                        o.answer.estimate.to_bits(),
+                        a.answer.estimate.to_bits()
+                    );
+                    prop_assert_eq!(&o.answer.side, &a.answer.side);
+                    prop_assert_eq!(o.answer.total_wire_bits, a.answer.total_wire_bits);
+                    prop_assert_eq!(o.answer.coarse_bits, a.answer.coarse_bits);
+                    prop_assert_eq!(o.answer.fine_bits, a.answer.fine_bits);
+                    prop_assert_eq!(o.answer.framing_bits, a.answer.framing_bits);
+                    prop_assert_eq!(o.arrived, a.arrived);
+                    prop_assert_eq!(o.degraded, a.degraded);
+                    prop_assert_eq!(&o.transcripts, &a.transcripts);
+                }
+            }
+            (Err(a), Err(b), Err(c)) => {
+                prop_assert_eq!(b, a);
+                prop_assert_eq!(c, a);
+            }
+            _ => prop_assert!(false, "thread count changed run success"),
+        }
+    }
+
+    /// Duplicate-delivery faults are answer-invariant: the link's own
+    /// draw feeds the duplicate decision, so cranking the probability
+    /// from 0 to anything changes only the duplicate counters.
+    #[test]
+    fn duplicates_never_change_the_answer_or_the_bill(
+        gseed in 0u64..500,
+        seed in 0u64..10_000,
+        dup in 0.0..1.0f64,
+        drop in 0.0..0.35f64,
+        corrupt in 0.0..0.25f64,
+    ) {
+        let g = dense_graph(12, gseed);
+        let base = FaultConfig { drop, delay: 0.1, duplicate: 0.0, corrupt, dead: Vec::new() };
+        let noisy = FaultConfig { duplicate: dup, ..base.clone() };
+        let mut cfg_a = RuntimeConfig::with_faults(small_protocol(), base);
+        cfg_a.max_retries = 4;
+        let mut cfg_b = RuntimeConfig::with_faults(small_protocol(), noisy);
+        cfg_b.max_retries = 4;
+        let a = fault_injected_min_cut(&g, 3, &cfg_a, seed);
+        let b = fault_injected_min_cut(&g, 3, &cfg_b, seed);
+        match (&a, &b) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(
+                    b.answer.estimate.to_bits(),
+                    a.answer.estimate.to_bits()
+                );
+                prop_assert_eq!(&b.answer.side, &a.answer.side);
+                // Duplicates are link artifacts: the servers transmit
+                // the same frames, so the bill is identical too.
+                prop_assert_eq!(b.answer.total_wire_bits, a.answer.total_wire_bits);
+                prop_assert_eq!(b.answer.framing_bits, a.answer.framing_bits);
+                prop_assert_eq!(b.arrived, a.arrived);
+                prop_assert_eq!(b.degraded, a.degraded);
+                for (ta, tb) in a.transcripts.iter().zip(&b.transcripts) {
+                    prop_assert_eq!(tb.attempts, ta.attempts);
+                    prop_assert_eq!(tb.bits_sent, ta.bits_sent);
+                    prop_assert_eq!(tb.bits_acked, ta.bits_acked);
+                    prop_assert_eq!(tb.drops, ta.drops);
+                    prop_assert_eq!(tb.corrupted, ta.corrupted);
+                    prop_assert_eq!(tb.accepted_latency, ta.accepted_latency);
+                }
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(b, a),
+            _ => prop_assert!(false, "duplicate faults changed run success"),
+        }
+    }
+
+    /// Clean-link runs reproduce the in-process coordinator exactly,
+    /// whatever the seed: framing is pure overhead, not answer input.
+    #[test]
+    fn clean_runs_match_the_in_process_path(
+        gseed in 0u64..500,
+        seed in 0u64..10_000,
+    ) {
+        let g = dense_graph(12, gseed);
+        let cfg = RuntimeConfig::new(small_protocol());
+        let out = fault_injected_min_cut(&g, 3, &cfg, seed).expect("clean run");
+        let legacy = dircut_dist::distributed_min_cut(&g, 3, cfg.protocol, seed);
+        prop_assert_eq!(out.answer.estimate.to_bits(), legacy.estimate.to_bits());
+        prop_assert_eq!(out.answer.side, legacy.side);
+        prop_assert_eq!(out.answer.coarse_bits, legacy.coarse_bits);
+        prop_assert_eq!(out.answer.fine_bits, legacy.fine_bits);
+        prop_assert!(!out.degraded);
+    }
+}

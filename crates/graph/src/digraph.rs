@@ -25,7 +25,6 @@
 //! the view first, never on its contents.
 
 use crate::ids::{EdgeId, NodeId, NodeSet};
-use std::fmt;
 use std::sync::OnceLock;
 
 /// A weighted directed edge.
@@ -39,27 +38,7 @@ pub struct Edge {
     pub weight: f64,
 }
 
-/// Error returned by the checked cut queries when a [`NodeSet`]'s
-/// universe does not match the graph's node count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct UniverseMismatch {
-    /// The graph's node count.
-    pub expected: usize,
-    /// The set's universe.
-    pub got: usize,
-}
-
-impl fmt::Display for UniverseMismatch {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "node-set universe mismatch: graph has {} nodes, set universe is {}",
-            self.expected, self.got
-        )
-    }
-}
-
-impl std::error::Error for UniverseMismatch {}
+pub use crate::error::UniverseMismatch;
 
 /// Compressed-sparse-row view of a [`DiGraph`]'s adjacency.
 ///
@@ -408,14 +387,7 @@ impl DiGraph {
     }
 
     fn check_universe(&self, s: &NodeSet) -> Result<(), UniverseMismatch> {
-        if s.universe() == self.n {
-            Ok(())
-        } else {
-            Err(UniverseMismatch {
-                expected: self.n,
-                got: s.universe(),
-            })
-        }
+        crate::error::check_universe(self.n, s.universe())
     }
 
     // The three cut scans accumulate with an explicit `+0.0`-seeded

@@ -1,0 +1,75 @@
+//! Shared error vocabulary for checked graph queries.
+//!
+//! The `try_*` entry points of the batch cut kernels, the sketch
+//! oracles, and the local-query estimators all reject the same
+//! malformed input — a [`NodeSet`](crate::NodeSet) whose universe does
+//! not match the structure it is queried against. The error type lives
+//! here, in the one crate everything depends on, so downstream crates
+//! (`dircut-sketch`, `dircut-localquery`, `dircut-dist`, the CLI) can
+//! compose it with their own failure modes (wire errors, fault-runtime
+//! errors) in a single `Result` chain instead of each redefining it.
+
+use std::fmt;
+
+/// Error returned by checked cut queries when a
+/// [`NodeSet`](crate::NodeSet)'s universe does not match the node
+/// count of the graph or sketch it is queried against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniverseMismatch {
+    /// The structure's node count.
+    pub expected: usize,
+    /// The set's universe.
+    pub got: usize,
+}
+
+impl fmt::Display for UniverseMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node-set universe mismatch: graph has {} nodes, set universe is {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for UniverseMismatch {}
+
+/// Checks a queried universe against an expected node count — the
+/// shared guard every checked query runs first.
+///
+/// # Errors
+/// [`UniverseMismatch`] when the two differ.
+pub fn check_universe(expected: usize, got: usize) -> Result<(), UniverseMismatch> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(UniverseMismatch { expected, got })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_universe_accepts_match_rejects_mismatch() {
+        assert_eq!(check_universe(5, 5), Ok(()));
+        assert_eq!(
+            check_universe(5, 7),
+            Err(UniverseMismatch {
+                expected: 5,
+                got: 7
+            })
+        );
+    }
+
+    #[test]
+    fn display_names_both_sides() {
+        let e = UniverseMismatch {
+            expected: 3,
+            got: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('9'));
+    }
+}

@@ -18,6 +18,7 @@ pub mod balance;
 pub mod connectivity;
 pub mod cuteval;
 pub mod digraph;
+pub mod error;
 pub mod flow;
 pub mod generators;
 pub mod gomory_hu;

@@ -21,7 +21,7 @@ static SOLVES: AtomicU64 = AtomicU64::new(0);
 static CUT_QUERIES: AtomicU64 = AtomicU64::new(0);
 
 /// Aggregated per-stage timings.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct StageStat {
     /// Number of times the stage ran.
     pub runs: u64,
@@ -31,6 +31,11 @@ pub struct StageStat {
     pub cut_queries: u64,
     /// Total wall-clock across runs.
     pub wall: Duration,
+    /// Free-form named counters (summed across runs). The distributed
+    /// runtime records per-link transcript totals here — bytes sent,
+    /// retries, latency buckets — without this crate having to know
+    /// those names.
+    pub metrics: BTreeMap<String, u64>,
 }
 
 fn registry() -> &'static Mutex<BTreeMap<String, StageStat>> {
@@ -78,11 +83,24 @@ pub fn record_stage_counts(stage: &str, solves: u64, cut_queries: u64, wall: Dur
     entry.wall += wall;
 }
 
+/// Adds named counter values to `stage` without counting a run.
+///
+/// Counters with the same name accumulate; callers that want one
+/// logical run per invocation should pair this with
+/// [`record_stage_counts`] (or [`timed_stage`]).
+pub fn record_stage_metrics(stage: &str, metrics: &[(&str, u64)]) {
+    let mut map = registry().lock().expect("stats registry poisoned");
+    let entry = map.entry(stage.to_owned()).or_default();
+    for (name, value) in metrics {
+        *entry.metrics.entry((*name).to_owned()).or_insert(0) += value;
+    }
+}
+
 /// Snapshot of every stage recorded so far, sorted by stage name.
 #[must_use]
 pub fn stage_report() -> Vec<(String, StageStat)> {
     let map = registry().lock().expect("stats registry poisoned");
-    map.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
 }
 
 /// Clears all counters (tests and bench harnesses call this between
@@ -129,6 +147,22 @@ mod tests {
         assert_eq!(stat.runs, 2);
         assert_eq!(stat.solves, 7);
         assert!(stat.wall >= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn stage_metrics_accumulate_by_name() {
+        let stage = "stats-test-stage-metrics";
+        record_stage_metrics(stage, &[("bytes_sent", 100), ("retries", 1)]);
+        record_stage_metrics(stage, &[("bytes_sent", 50)]);
+        let report = stage_report();
+        let (_, stat) = report
+            .iter()
+            .find(|(name, _)| name == stage)
+            .expect("stage recorded");
+        assert_eq!(stat.metrics.get("bytes_sent"), Some(&150));
+        assert_eq!(stat.metrics.get("retries"), Some(&1));
+        // Metrics alone do not count a run.
+        assert_eq!(stat.runs, 0);
     }
 
     #[test]

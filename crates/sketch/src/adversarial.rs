@@ -68,6 +68,10 @@ impl NoisyOracle {
 }
 
 impl CutOracle for NoisyOracle {
+    fn universe(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         let truth = self.graph.cut_out(s);
         let h = self.cut_hash(s);
@@ -151,6 +155,10 @@ impl BudgetedSketch {
 }
 
 impl CutOracle for BudgetedSketch {
+    fn universe(&self) -> usize {
+        self.inner.universe()
+    }
+
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         // Stored edges answered exactly; dropped mass approximated by
         // assuming the average fraction of dropped edges crosses the

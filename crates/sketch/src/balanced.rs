@@ -21,8 +21,9 @@
 //! substitution.
 
 use crate::edgelist::EdgeListSketch;
-use crate::serialize::{index_width, SketchEncoder};
+use crate::serialize::index_width;
 use crate::traits::{CutOracle, CutSketch, CutSketcher, SketchKind};
+use dircut_comm::{BitReader, BitWriter, WireEncode, WireError};
 use dircut_graph::mincut::stoer_wagner;
 use dircut_graph::{DiGraph, NodeId, NodeSet};
 use rand::Rng;
@@ -94,33 +95,19 @@ impl CutSketcher for BalancedForAllSketcher {
 
 /// The sketch produced by [`BalancedForEachSketcher`]: exact weighted
 /// out-degrees plus a `1/ε`-rate edge sample for internal mass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DegreeSampleSketch {
     n: usize,
     out_degree: Vec<f64>,
     sampled: Vec<(u32, u32, f64)>,
-    size_bits: usize,
 }
 
 impl DegreeSampleSketch {
     fn new(n: usize, out_degree: Vec<f64>, sampled: Vec<(u32, u32, f64)>) -> Self {
-        let w = index_width(n);
-        let mut enc = SketchEncoder::new();
-        enc.put_bits(n as u64, 64);
-        for &d in &out_degree {
-            enc.put_f64(d);
-        }
-        for &(u, v, weight) in &sampled {
-            enc.put_node(u as usize, w);
-            enc.put_node(v as usize, w);
-            enc.put_f64(weight);
-        }
-        let (_, size_bits) = enc.finish();
         Self {
             n,
             out_degree,
             sampled,
-            size_bits,
         }
     }
 
@@ -131,7 +118,68 @@ impl DegreeSampleSketch {
     }
 }
 
+/// Wire format: `n` (64 bits), sampled-edge count (32 bits), the `n`
+/// exact out-degrees as `f64`s, then the sampled edges as `u`, `v` in
+/// `⌈log₂ n⌉` bits each plus an `f64` weight.
+impl WireEncode for DegreeSampleSketch {
+    fn encode(&self, w: &mut BitWriter) {
+        let width = index_width(self.n);
+        w.write_bits(self.n as u64, 64);
+        w.write_bits(self.sampled.len() as u64, 32);
+        for &d in &self.out_degree {
+            w.write_f64(d);
+        }
+        for &(u, v, weight) in &self.sampled {
+            w.write_bits(u64::from(u), width);
+            w.write_bits(u64::from(v), width);
+            w.write_f64(weight);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let n64 = r.try_read_bits(64)?;
+        if n64 > u64::from(u32::MAX) {
+            return Err(WireError::Invalid(format!("node count {n64} too large")));
+        }
+        let n = n64 as usize;
+        let count = r.try_read_bits(32)? as usize;
+        let width = index_width(n);
+        let needed = n * 64 + count * (2 * width as usize + 64);
+        if r.remaining() < needed {
+            return Err(WireError::UnexpectedEnd {
+                needed,
+                available: r.remaining(),
+            });
+        }
+        let mut out_degree = Vec::with_capacity(n);
+        for _ in 0..n {
+            out_degree.push(r.try_read_f64()?);
+        }
+        let mut sampled = Vec::with_capacity(count);
+        for _ in 0..count {
+            let u = r.try_read_bits(width)?;
+            let v = r.try_read_bits(width)?;
+            let weight = r.try_read_f64()?;
+            if u as usize >= n || v as usize >= n {
+                return Err(WireError::Invalid(format!(
+                    "edge endpoint ({u}, {v}) outside universe {n}"
+                )));
+            }
+            sampled.push((u as u32, v as u32, weight));
+        }
+        Ok(Self {
+            n,
+            out_degree,
+            sampled,
+        })
+    }
+}
+
 impl CutOracle for DegreeSampleSketch {
+    fn universe(&self) -> usize {
+        self.n
+    }
+
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         assert_eq!(s.universe(), self.n, "node-set universe mismatch");
         let degree_sum: f64 = s.iter().map(|v| self.out_degree[v.index()]).sum();
@@ -149,7 +197,7 @@ impl CutOracle for DegreeSampleSketch {
 
 impl CutSketch for DegreeSampleSketch {
     fn size_bits(&self) -> usize {
-        self.size_bits
+        self.wire_bits()
     }
 }
 
@@ -313,7 +361,36 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let g = random_balanced_digraph(10, 0.6, 2.0, &mut rng);
         let sk = BalancedForEachSketcher::new(0.4, 2.0).sketch(&g, &mut rng);
-        let expected_min = 64 + 10 * 64 + sk.num_sampled_edges() * (4 + 4 + 64);
-        assert_eq!(sk.size_bits(), expected_min);
+        let expected = 64 + 32 + 10 * 64 + sk.num_sampled_edges() * (4 + 4 + 64);
+        assert_eq!(sk.size_bits(), expected);
+    }
+
+    #[test]
+    fn degree_sketch_wire_roundtrip_is_lossless() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let g = random_balanced_digraph(10, 0.6, 2.0, &mut rng);
+        let sk = BalancedForEachSketcher::new(0.4, 2.0).sketch(&g, &mut rng);
+        let msg = dircut_comm::to_message(&sk);
+        assert_eq!(msg.bit_len(), sk.size_bits());
+        let back: DegreeSampleSketch = dircut_comm::from_message(&msg).expect("roundtrip");
+        assert_eq!(back, sk);
+        let s = NodeSet::from_indices(10, [0, 3, 7]);
+        assert_eq!(
+            back.cut_out_estimate(&s).to_bits(),
+            sk.cut_out_estimate(&s).to_bits()
+        );
+    }
+
+    #[test]
+    fn degree_sketch_decode_rejects_truncation() {
+        let mut w = BitWriter::new();
+        w.write_bits(4, 64); // n = 4
+        w.write_bits(0, 32); // no samples
+        w.write_f64(1.0); // only one of four promised degrees
+        let bad: Result<DegreeSampleSketch, _> = dircut_comm::from_message(&w.finish());
+        assert!(
+            matches!(bad, Err(WireError::UnexpectedEnd { .. })),
+            "{bad:?}"
+        );
     }
 }

@@ -24,6 +24,10 @@ impl<S: CutSketch> BoostedSketch<S> {
 }
 
 impl<S: CutSketch> CutOracle for BoostedSketch<S> {
+    fn universe(&self) -> usize {
+        self.replicas[0].universe()
+    }
+
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         let mut vals: Vec<f64> = self
             .replicas

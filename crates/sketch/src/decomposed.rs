@@ -188,6 +188,10 @@ impl DecomposedSketch {
 }
 
 impl CutOracle for DecomposedSketch {
+    fn universe(&self) -> usize {
+        self.n
+    }
+
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         assert_eq!(s.universe(), self.n, "node-set universe mismatch");
         // Level 1: exact cross-component crossings.

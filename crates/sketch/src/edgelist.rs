@@ -2,37 +2,23 @@
 //! list. Exact sketches store every edge; sampling sketches store the
 //! survivors with inflated weights.
 
-use crate::serialize::{index_width, SketchEncoder};
+use crate::serialize::index_width;
 use crate::traits::{CutOracle, CutSketch};
+use dircut_comm::{BitReader, BitWriter, WireEncode, WireError};
 use dircut_graph::{DiGraph, NodeId, NodeSet};
 
 /// A sketch that *is* a (re-weighted) graph: the sparsifier case.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeListSketch {
     n: usize,
     edges: Vec<(u32, u32, f64)>,
-    size_bits: usize,
 }
 
 impl EdgeListSketch {
     /// Builds from an explicit edge list over `n` nodes.
     #[must_use]
     pub fn new(n: usize, edges: Vec<(u32, u32, f64)>) -> Self {
-        let w = index_width(n);
-        let mut enc = SketchEncoder::new();
-        // Header: node count (64 bits is generous but honest).
-        enc.put_bits(n as u64, 64);
-        for &(u, v, weight) in &edges {
-            enc.put_node(u as usize, w);
-            enc.put_node(v as usize, w);
-            enc.put_f64(weight);
-        }
-        let (_, size_bits) = enc.finish();
-        Self {
-            n,
-            edges,
-            size_bits,
-        }
+        Self { n, edges }
     }
 
     /// Builds from a graph, keeping every edge at its weight.
@@ -71,7 +57,60 @@ impl EdgeListSketch {
     }
 }
 
+/// Wire format: `n` (64 bits), edge count (32 bits), then per edge
+/// `u`, `v` in `⌈log₂ n⌉` bits each and the weight as a full `f64`.
+/// This is the layout the lower-bound reductions in `dircut-core`
+/// have always accounted; making it *the* serialization means the
+/// distributed runtime ships exactly the bits the experiments count.
+impl WireEncode for EdgeListSketch {
+    fn encode(&self, w: &mut BitWriter) {
+        let width = index_width(self.n);
+        w.write_bits(self.n as u64, 64);
+        w.write_bits(self.edges.len() as u64, 32);
+        for &(u, v, weight) in &self.edges {
+            w.write_bits(u64::from(u), width);
+            w.write_bits(u64::from(v), width);
+            w.write_f64(weight);
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let n64 = r.try_read_bits(64)?;
+        if n64 > u64::from(u32::MAX) {
+            return Err(WireError::Invalid(format!("node count {n64} too large")));
+        }
+        let n = n64 as usize;
+        let count = r.try_read_bits(32)? as usize;
+        let width = index_width(n);
+        // Reject a corrupted count up front instead of looping over it.
+        let per_edge = 2 * width as usize + 64;
+        if r.remaining() < count * per_edge {
+            return Err(WireError::UnexpectedEnd {
+                needed: count * per_edge,
+                available: r.remaining(),
+            });
+        }
+        let mut edges = Vec::with_capacity(count);
+        for _ in 0..count {
+            let u = r.try_read_bits(width)?;
+            let v = r.try_read_bits(width)?;
+            let weight = r.try_read_f64()?;
+            if u as usize >= n || v as usize >= n {
+                return Err(WireError::Invalid(format!(
+                    "edge endpoint ({u}, {v}) outside universe {n}"
+                )));
+            }
+            edges.push((u as u32, v as u32, weight));
+        }
+        Ok(Self { n, edges })
+    }
+}
+
 impl CutOracle for EdgeListSketch {
+    fn universe(&self) -> usize {
+        self.n
+    }
+
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         assert_eq!(s.universe(), self.n, "node-set universe mismatch");
         // `+0.0`-seeded fold in stored-edge order — the same
@@ -104,7 +143,7 @@ impl CutOracle for EdgeListSketch {
 
 impl CutSketch for EdgeListSketch {
     fn size_bits(&self) -> usize {
-        self.size_bits
+        self.wire_bits()
     }
 }
 
@@ -132,6 +171,54 @@ mod tests {
         let sk4 = EdgeListSketch::new(16, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
         // 16 nodes → 4-bit ids; per edge 4+4+64 = 72 bits.
         assert_eq!(sk4.size_bits() - sk2.size_bits(), 2 * 72);
+        // Header: n (64) + edge count (32).
+        assert_eq!(sk2.size_bits(), 64 + 32 + 2 * 72);
+    }
+
+    #[test]
+    fn wire_roundtrip_is_lossless() {
+        let sk = EdgeListSketch::new(6, vec![(0, 1, 0.3), (4, 5, 9.1), (0, 1, 0.3)]);
+        let msg = dircut_comm::to_message(&sk);
+        assert_eq!(msg.bit_len(), sk.wire_bits());
+        let back: EdgeListSketch = dircut_comm::from_message(&msg).expect("roundtrip");
+        assert_eq!(back, sk);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_universe_endpoints() {
+        let mut w = BitWriter::new();
+        w.write_bits(4, 64); // n = 4 → 2-bit ids
+        w.write_bits(1, 32); // one edge
+        w.write_bits(3, 2);
+        w.write_bits(3, 2);
+        w.write_f64(1.0);
+        let good: Result<EdgeListSketch, _> = dircut_comm::from_message(&w.finish());
+        assert!(good.is_ok());
+
+        let mut w = BitWriter::new();
+        w.write_bits(3, 64); // n = 3 → 2-bit ids, so id 3 is invalid
+        w.write_bits(1, 32);
+        w.write_bits(3, 2);
+        w.write_bits(0, 2);
+        w.write_f64(1.0);
+        let bad: Result<EdgeListSketch, _> = dircut_comm::from_message(&w.finish());
+        assert!(matches!(bad, Err(WireError::Invalid(_))), "{bad:?}");
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payload() {
+        let sk = EdgeListSketch::new(8, vec![(0, 1, 1.0), (2, 3, 2.0)]);
+        let msg = dircut_comm::to_message(&sk);
+        let mut w = BitWriter::new();
+        let mut r = msg.reader();
+        for _ in 0..msg.bit_len() - 40 {
+            w.write_bit(r.read_bit());
+        }
+        let bad: Result<EdgeListSketch, _> = dircut_comm::from_message(&w.finish());
+        assert!(
+            matches!(bad, Err(WireError::UnexpectedEnd { .. })),
+            "{bad:?}"
+        );
     }
 
     #[test]

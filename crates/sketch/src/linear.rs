@@ -97,6 +97,10 @@ impl LinearCutSketch {
 }
 
 impl CutOracle for LinearCutSketch {
+    fn universe(&self) -> usize {
+        self.n
+    }
+
     /// For symmetric digraphs, `w(S, V∖S)` is half the undirected cut.
     /// (For asymmetric graphs a single quadratic form cannot separate
     /// the two directions; use the balanced sketches instead.)

@@ -237,6 +237,10 @@ impl TurnstileLinearSketch {
 }
 
 impl CutOracle for TurnstileLinearSketch {
+    fn universe(&self) -> usize {
+        self.n
+    }
+
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         self.undirected_cut_estimate(s) / 2.0
     }

@@ -7,7 +7,8 @@
 //! decoders need (so they run identically against exact graphs,
 //! honest sketches, and adversarially noisy ones).
 
-use dircut_graph::{DiGraph, NodeSet};
+use dircut_graph::error::check_universe;
+use dircut_graph::{DiGraph, NodeSet, UniverseMismatch};
 use rand::Rng;
 
 /// Which guarantee a sketch implementation targets.
@@ -23,8 +24,26 @@ pub enum SketchKind {
 
 /// Anything that can estimate directed cut values `w(S, V∖S)`.
 pub trait CutOracle {
+    /// The node universe the oracle answers over: every queried
+    /// [`NodeSet`] must have exactly this universe.
+    fn universe(&self) -> usize;
+
     /// An estimate of the directed cut value `w(S, V∖S)`.
     fn cut_out_estimate(&self, s: &NodeSet) -> f64;
+
+    /// Checked variant of [`cut_out_estimate`]: validates the queried
+    /// set's universe first instead of panicking on a mismatch. This is
+    /// the entry point remote decoders use — a corrupted or truncated
+    /// query must surface as an error, not a panic.
+    ///
+    /// # Errors
+    /// [`UniverseMismatch`] if `s.universe() != self.universe()`.
+    ///
+    /// [`cut_out_estimate`]: CutOracle::cut_out_estimate
+    fn try_cut_out_estimate(&self, s: &NodeSet) -> Result<f64, UniverseMismatch> {
+        check_universe(self.universe(), s.universe())?;
+        Ok(self.cut_out_estimate(s))
+    }
 
     /// Estimates for a batch of cut queries, in query order.
     ///
@@ -57,6 +76,10 @@ impl<'a> ExactOracle<'a> {
 }
 
 impl CutOracle for ExactOracle<'_> {
+    fn universe(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
     fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
         self.graph.cut_out(s)
     }
@@ -99,6 +122,23 @@ mod tests {
         let oracle = ExactOracle::new(&g);
         let s = NodeSet::from_indices(3, [0, 1]);
         assert_eq!(oracle.cut_out_estimate(&s), 3.0);
+    }
+
+    #[test]
+    fn checked_queries_reject_wrong_universe_without_panicking() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+        let oracle = ExactOracle::new(&g);
+        let good = NodeSet::from_indices(4, [0]);
+        assert_eq!(oracle.try_cut_out_estimate(&good), Ok(1.0));
+        let bad = NodeSet::from_indices(7, [0]);
+        assert_eq!(
+            oracle.try_cut_out_estimate(&bad),
+            Err(UniverseMismatch {
+                expected: 4,
+                got: 7
+            })
+        );
     }
 
     #[test]

@@ -46,7 +46,8 @@ proptest! {
         use dircut_sketch::serialize::index_width;
         let sk = EdgeListSketch::from_graph(&g);
         let per_edge = 2 * index_width(g.num_nodes()) as usize + 64;
-        prop_assert_eq!(sk.size_bits(), 64 + g.num_edges() * per_edge);
+        // Header: n (64 bits) + edge count (32 bits).
+        prop_assert_eq!(sk.size_bits(), 64 + 32 + g.num_edges() * per_edge);
     }
 
     #[test]
@@ -115,6 +116,72 @@ proptest! {
             s.remove(NodeId::new(v));
             let truth = g.cut_out(&s);
             prop_assert!((sk.cut_out_estimate(&s) - truth).abs() < 1e-6, "node {v}");
+        }
+    }
+}
+
+mod wire_props {
+    use super::*;
+    use dircut_comm::frame::{open, seal};
+    use dircut_comm::{from_message, to_message, WireEncode};
+    use dircut_sketch::DegreeSampleSketch;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn edge_list_wire_roundtrip_preserves_every_cut(g in arb_digraph(), mask in any::<u64>()) {
+            let sk = EdgeListSketch::from_graph(&g);
+            let msg = to_message(&sk);
+            prop_assert_eq!(msg.bit_len(), sk.wire_bits());
+            let back: EdgeListSketch = from_message(&msg).expect("roundtrip");
+            prop_assert_eq!(&back, &sk);
+            let s = subset_of(g.num_nodes(), mask);
+            prop_assert_eq!(
+                back.cut_out_estimate(&s).to_bits(),
+                sk.cut_out_estimate(&s).to_bits()
+            );
+        }
+
+        #[test]
+        fn degree_sample_wire_roundtrip_preserves_every_cut(
+            g in arb_digraph(),
+            mask in any::<u64>(),
+            seed in any::<u64>(),
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let sk = BalancedForEachSketcher::new(0.4, 2.0).sketch(&g, &mut rng);
+            let msg = to_message(&sk);
+            prop_assert_eq!(msg.bit_len(), sk.wire_bits());
+            let back: DegreeSampleSketch = from_message(&msg).expect("roundtrip");
+            prop_assert_eq!(&back, &sk);
+            let s = subset_of(g.num_nodes(), mask);
+            prop_assert_eq!(
+                back.cut_out_estimate(&s).to_bits(),
+                sk.cut_out_estimate(&s).to_bits()
+            );
+        }
+
+        #[test]
+        fn sealed_frames_survive_and_corrupt_frames_are_rejected(
+            g in arb_digraph(),
+            flip in any::<proptest::sample::Index>(),
+        ) {
+            let sk = EdgeListSketch::from_graph(&g);
+            let framed = seal(&to_message(&sk));
+            let payload = open(&framed).expect("clean frame opens");
+            let back: EdgeListSketch = from_message(&payload).expect("decodes");
+            prop_assert_eq!(back, sk);
+
+            // Any single bit flip must be caught by the frame check.
+            let mut w = dircut_comm::BitWriter::new();
+            let mut r = framed.reader();
+            let target = flip.index(framed.bit_len());
+            for i in 0..framed.bit_len() {
+                let bit = r.read_bit();
+                w.write_bit(if i == target { !bit } else { bit });
+            }
+            prop_assert!(open(&w.finish()).is_err());
         }
     }
 }
