@@ -9,15 +9,18 @@
 //!      Lemma 5.8 contract to its constants).
 //! A4 — uniform vs NI-strength sampling: sketch size and worst-case cut
 //!      error on graphs with skewed connectivity.
+//!
+//! A1–A3 run on the [`TrialEngine`] under the legacy seeding (shared
+//! stream for A2, per-rep reseeds for A3, fixed protocol seed for A1),
+//! so the tables are byte-identical to the retired hand-rolled loops.
 
-use dircut_bench::{print_header, print_row};
-use dircut_dist::{
-    distributed_min_cut, forall_only_min_cut, linear_fine_min_cut, symmetric_graph, ProtocolConfig,
-};
+use dircut_bench::reductions::{BoostingReduction, VerifyGuessReduction};
+use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
+use dircut_dist::{symmetric_graph, DistPath, DistReduction, ProtocolConfig};
 use dircut_graph::generators::{connected_gnp, random_balanced_digraph};
 use dircut_graph::mincut::{min_cut_unweighted, stoer_wagner};
 use dircut_graph::{DiGraph, NodeId, NodeSet};
-use dircut_localquery::{query_degrees, verify_guess, AdjOracle, VerifyGuessConfig};
+use dircut_localquery::{query_degrees, AdjOracle, VerifyGuessConfig};
 use dircut_sketch::{
     BalancedForEachSketcher, BoostedSketcher, CutOracle, CutSketch, CutSketcher, StrengthSketcher,
     UniformSketcher,
@@ -38,24 +41,32 @@ fn ablation_distributed() {
     }
     let g = symmetric_graph(n, &edges);
     let truth = stoer_wagner(&g).value / 2.0;
+    let engine = TrialEngine::with_default_threads();
     print_header(&["eps", "variant", "estimate", "rel err", "total bits"]);
     for eps in [0.2, 0.1] {
         let mut cfg = ProtocolConfig::new(eps);
         cfg.enumeration_trials = 80;
-        let two_tier = distributed_min_cut(&g, 4, cfg, 17);
-        let forall = forall_only_min_cut(&g, 4, cfg, 17);
-        let linear = linear_fine_min_cut(&g, 4, cfg, 17);
-        for (name, res) in [
-            ("two-tier for-each", &two_tier),
-            ("for-all only", &forall),
-            ("linear fine", &linear),
+        for (name, path) in [
+            ("two-tier for-each", DistPath::TwoTier),
+            ("for-all only", DistPath::ForAllOnly),
+            ("linear fine", DistPath::LinearFine),
         ] {
+            let rdx = DistReduction {
+                graph: &g,
+                servers: 4,
+                cfg,
+                path,
+                seed: Some(17),
+                truth,
+            };
+            let rep = engine.run(&rdx, 1, Seeding::Offset(0));
+            record_section(&format!("A1 {name} eps={eps}"), &rep);
             print_row(&[
                 format!("{eps}"),
                 name.into(),
-                format!("{:.2}", res.estimate),
-                format!("{:.3}", (res.estimate - truth).abs() / truth),
-                res.total_wire_bits.to_string(),
+                format!("{:.2}", rep.aux_sum("estimate")),
+                format!("{:.3}", rep.aux_sum("rel_err")),
+                rep.total_wire_bits().to_string(),
             ]);
         }
     }
@@ -77,22 +88,23 @@ fn ablation_boosting() {
         beta: 2.0,
         oversample: 0.2,
     };
+    let engine = TrialEngine::with_default_threads();
     print_header(&["replicas", "success", "size bits"]);
     for k in [1usize, 3, 5, 9] {
-        let sketcher = BoostedSketcher::new(base, k);
+        let rdx = BoostingReduction {
+            graph: &g,
+            sketcher: BoostedSketcher::new(base, k),
+            set: &s,
+            truth,
+            eps,
+        };
         let trials = 120;
-        let mut within = 0;
-        let mut bits = 0usize;
-        for _ in 0..trials {
-            let sk = sketcher.sketch(&g, &mut rng);
-            bits = sk.size_bits();
-            if (sk.cut_out_estimate(&s) - truth).abs() <= eps * truth {
-                within += 1;
-            }
-        }
+        let rep = engine.run(&rdx, trials, Seeding::Shared(&mut rng));
+        record_section(&format!("A2 replicas={k}"), &rep);
+        let bits = rep.records.last().map_or(0, |r| r.wire_bits);
         print_row(&[
             k.to_string(),
-            format!("{:.3}", within as f64 / trials as f64),
+            format!("{:.3}", rep.successes() as f64 / trials as f64),
             bits.to_string(),
         ]);
     }
@@ -106,6 +118,7 @@ fn ablation_accept_fraction() {
     let k = min_cut_unweighted(&g) as f64;
     let oracle = AdjOracle::new(&g);
     let degrees = query_degrees(&oracle);
+    let engine = TrialEngine::with_default_threads();
     print_header(&["accept_frac", "t*/k (accept boundary)"]);
     for frac in [0.25, 0.5, 0.75] {
         let cfg = VerifyGuessConfig {
@@ -115,20 +128,26 @@ fn ablation_accept_fraction() {
         // Binary-search the boundary guess where acceptance flips.
         let mut lo = k / 8.0;
         let mut hi = k * 16.0;
+        let mut last = None;
         for _ in 0..12 {
             let mid = (lo * hi).sqrt();
-            let mut accepts = 0;
-            for rep in 0..5u64 {
-                let mut rng = ChaCha8Rng::seed_from_u64(100 + rep);
-                if verify_guess(&oracle, &degrees, mid, 0.3, cfg, &mut rng).accepted {
-                    accepts += 1;
-                }
-            }
-            if accepts >= 3 {
+            let rdx = VerifyGuessReduction {
+                oracle: &oracle,
+                degrees: &degrees,
+                guess: mid,
+                eps: 0.3,
+                cfg,
+            };
+            let rep = engine.run(&rdx, 5, Seeding::Offset(100));
+            if rep.successes() >= 3 {
                 lo = mid;
             } else {
                 hi = mid;
             }
+            last = Some(rep);
+        }
+        if let Some(rep) = last {
+            record_section(&format!("A3 accept_frac={frac}"), &rep);
         }
         print_row(&[format!("{frac}"), format!("{:.2}", (lo * hi).sqrt() / k)]);
     }
@@ -220,4 +239,5 @@ fn main() {
     ablation_accept_fraction();
     ablation_sampling_family();
     ablation_distributed();
+    dircut_bench::write_reductions_json("exp_ablation");
 }

@@ -14,13 +14,16 @@
 //!    original algorithm searches at error ε, so κ = Θ(log n/ε²) and
 //!    the final call costs Θ̃(m/(ε⁴k)); the modified algorithm searches
 //!    at constant β₀, κ = Θ(log n), and pays Θ̃(m/(ε²k)).
+//!
+//! Repetitions run on the [`TrialEngine`] under `Seeding::Offset(100)`
+//! (the legacy loop's per-rep reseeding), so the tables are
+//! byte-identical to the retired loops at any `DIRCUT_THREADS`.
 
-use dircut_bench::{print_header, print_row};
+use dircut_bench::reductions::EpsScalingReduction;
+use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
 use dircut_graph::generators::connected_gnp;
 use dircut_graph::mincut::min_cut_unweighted;
-use dircut_localquery::{
-    global_min_cut_local, AdjOracle, GraphOracle, MultiAdjOracle, SearchVariant, VerifyGuessConfig,
-};
+use dircut_localquery::{AdjOracle, GraphOracle, MultiAdjOracle};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -33,7 +36,7 @@ fn fit_slope(xs: &[f64], ys: &[f64]) -> f64 {
     cov / var
 }
 
-fn sweep<O: GraphOracle>(
+fn sweep<O: GraphOracle + Sync>(
     oracle: &O,
     label: &str,
     eps_sweep: &[f64],
@@ -50,38 +53,27 @@ fn sweep<O: GraphOracle>(
         "est err",
     ]);
     let beta0 = 0.5;
+    let engine = TrialEngine::with_default_threads();
     let mut log_inv_eps = Vec::new();
     let mut log_orig = Vec::new();
     let mut log_modi = Vec::new();
     for &eps in eps_sweep {
-        let (mut ot, mut of, mut mt, mut mf) = (0u64, 0u64, 0u64, 0u64);
-        let mut worst_err: f64 = 0.0;
-        for rep in 0..reps {
-            let mut rng = ChaCha8Rng::seed_from_u64(100 + rep);
-            let orig = global_min_cut_local(
-                oracle,
-                eps,
-                SearchVariant::Original,
-                VerifyGuessConfig::default(),
-                &mut rng,
-            );
-            let mut rng = ChaCha8Rng::seed_from_u64(200 + rep);
-            let modi = global_min_cut_local(
-                oracle,
-                eps,
-                SearchVariant::Modified { beta0 },
-                VerifyGuessConfig::default(),
-                &mut rng,
-            );
-            ot += orig.total_queries;
-            of += orig.final_call_queries;
-            mt += modi.total_queries;
-            mf += modi.final_call_queries;
-            worst_err = worst_err
-                .max((orig.estimate - true_k).abs() / true_k)
-                .max((modi.estimate - true_k).abs() / true_k);
-        }
-        let (ot, of, mt, mf) = (ot / reps, of / reps, mt / reps, mf / reps);
+        let rdx = EpsScalingReduction {
+            oracle,
+            eps,
+            beta0,
+            true_k,
+            modified_seed_base: 200,
+        };
+        let rep = engine.run(&rdx, reps as usize, Seeding::Offset(100));
+        record_section(&format!("E4 {label} eps={eps}"), &rep);
+        let (ot, of, mt, mf) = (
+            rep.aux_sum_u64("orig_total") / reps,
+            rep.aux_sum_u64("orig_final") / reps,
+            rep.aux_sum_u64("mod_total") / reps,
+            rep.aux_sum_u64("mod_final") / reps,
+        );
+        let worst_err = rep.aux_max("worst_err").max(0.0);
         print_row(&[
             format!("{eps}"),
             ot.to_string(),
@@ -145,6 +137,7 @@ fn main() {
     println!("paper: original scales like ε⁻⁴ (slope → 4), modified like ε⁻² (slope → 2);");
     println!("past its window each variant caps at Θ(m) slots — the min{{m, ·}} of Theorem 1.3.");
 
+    dircut_bench::write_reductions_json("exp_eps_scaling");
     // Per-stage solve / cut-query counters, stderr-only behind DIRCUT_STATS.
     dircut_bench::maybe_print_stage_report();
 }

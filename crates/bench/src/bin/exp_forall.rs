@@ -6,15 +6,17 @@
 //! `ℓ_i ∈ Q`. We report success against exact and `(1 ± c₂ε)` noisy
 //! oracles, plus the measurable Lemma 4.3 / 4.4 events
 //! (`L_high`/`L_low` densities and argmax-subset recall).
+//!
+//! Every sweep runs on the [`TrialEngine`] under `Seeding::Shared`
+//! with the legacy per-sweep seeds, so the tables are byte-identical
+//! to the retired hand-rolled loops at any `DIRCUT_THREADS`.
 
-use dircut_bench::{print_header, print_row};
-use dircut_comm::gap_hamming::random_weighted_string;
-use dircut_core::forall::{high_low_split, ForAllDecoder, ForAllEncoding};
-use dircut_core::games::{plant_gap_target, run_forall_gap_hamming_game};
+use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
+use dircut_core::reduction::{
+    ForAllGapHammingReduction, ForAllHeadToHeadReduction, ForAllLemma43Reduction, OracleSpec,
+};
 use dircut_core::{ForAllParams, SubsetSearch};
-use dircut_sketch::adversarial::{NoiseModel, NoisyOracle};
-use dircut_sketch::EdgeListSketch;
-use rand::Rng;
+use dircut_sketch::adversarial::NoiseModel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -24,19 +26,23 @@ fn main() {
     print_header(&["n", "beta", "1/eps^2", "oracle", "success", "cut queries"]);
 
     let trials = 40;
+    let engine = TrialEngine::with_default_threads();
     for (beta, inv_eps_sq) in [(1, 8), (1, 16), (2, 8)] {
         let params = ForAllParams::new(beta, inv_eps_sq, 2);
         let eps = params.epsilon();
         let half_gap = ((0.4 / eps) / 2.0).ceil() as usize;
 
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let exact = run_forall_gap_hamming_game(
+        let rdx = ForAllGapHammingReduction {
             params,
             half_gap,
-            SubsetSearch::Exact,
-            trials,
-            |g, _| EdgeListSketch::from_graph(g),
-            &mut rng,
+            search: SubsetSearch::Exact,
+            oracle: OracleSpec::Exact,
+        };
+        let exact = engine.run(&rdx, trials, Seeding::Shared(&mut rng));
+        record_section(
+            &format!("E2 exact beta={beta} 1/eps^2={inv_eps_sq}"),
+            &exact,
         );
         print_row(&[
             params.num_nodes().to_string(),
@@ -44,19 +50,25 @@ fn main() {
             inv_eps_sq.to_string(),
             "exact".into(),
             format!("{:.3}", exact.success_rate()),
-            format!("{:.0}", exact.mean_queries),
+            format!("{:.0}", exact.mean_cut_queries()),
         ]);
 
         for c2 in [0.05, 0.2, 0.8] {
             let err = (c2 * eps).min(0.9);
             let mut rng = ChaCha8Rng::seed_from_u64(2);
-            let rep = run_forall_gap_hamming_game(
+            let rdx = ForAllGapHammingReduction {
                 params,
                 half_gap,
-                SubsetSearch::Exact,
-                trials,
-                |g, r| NoisyOracle::new(g.clone(), err, r.gen(), NoiseModel::UniformRelative),
-                &mut rng,
+                search: SubsetSearch::Exact,
+                oracle: OracleSpec::Noisy {
+                    err,
+                    model: NoiseModel::UniformRelative,
+                },
+            };
+            let rep = engine.run(&rdx, trials, Seeding::Shared(&mut rng));
+            record_section(
+                &format!("E2 noisy c2={c2} beta={beta} 1/eps^2={inv_eps_sq}"),
+                &rep,
             );
             print_row(&[
                 params.num_nodes().to_string(),
@@ -64,7 +76,7 @@ fn main() {
                 inv_eps_sq.to_string(),
                 format!("noisy(1±{err:.3})"),
                 format!("{:.3}", rep.success_rate()),
-                format!("{:.0}", rep.mean_queries),
+                format!("{:.0}", rep.mean_cut_queries()),
             ]);
         }
         println!();
@@ -72,42 +84,23 @@ fn main() {
 
     println!("--- single-cut baseline vs enumeration under (1±c₂ε) noise ---");
     {
-        use dircut_core::forall::ForAllEncoding;
         print_header(&["1/eps^2", "noise", "single cut", "enumeration"]);
         let params = ForAllParams::new(1, 16, 2);
         let noise = 0.8 * params.epsilon();
         let reps = 60;
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let (mut single_ok, mut enum_ok) = (0usize, 0usize);
-        for trial in 0..reps {
-            let l = params.inv_eps_sq;
-            let mut strings: Vec<Vec<bool>> = (0..params.num_strings())
-                .map(|_| random_weighted_string(l, l / 2, &mut rng))
-                .collect();
-            let q = (trial * 5) % params.num_strings();
-            let is_far = trial % 2 == 0;
-            let t = random_weighted_string(l, l / 2, &mut rng);
-            strings[q] = plant_gap_target(&t, 2, is_far, &mut rng);
-            let enc = ForAllEncoding::encode(params, &strings);
-            let dec = ForAllDecoder::new(params, SubsetSearch::Exact);
-            let noisy = NoisyOracle::new(
-                enc.graph().clone(),
-                noise,
-                rng.gen(),
-                NoiseModel::UniformRelative,
-            );
-            if dec.decide_single_cut(&noisy, q, &t) == is_far {
-                single_ok += 1;
-            }
-            if dec.decide(&noisy, q, &t, &mut rng).is_far == is_far {
-                enum_ok += 1;
-            }
-        }
+        let rdx = ForAllHeadToHeadReduction {
+            params,
+            half_gap: 2,
+            noise,
+        };
+        let rep = engine.run(&rdx, reps, Seeding::Shared(&mut rng));
+        record_section("E2 head-to-head 1/eps^2=16", &rep);
         print_row(&[
             "16".into(),
             format!("{noise:.3}"),
-            format!("{:.3}", single_ok as f64 / reps as f64),
-            format!("{:.3}", enum_ok as f64 / reps as f64),
+            format!("{:.3}", rep.aux_sum("single_ok") / reps as f64),
+            format!("{:.3}", rep.aux_sum("enum_ok") / reps as f64),
         ]);
         println!();
     }
@@ -124,14 +117,14 @@ fn main() {
         for factor in [64usize, 16, 4, 1] {
             let budget = lb * factor;
             let mut rng = ChaCha8Rng::seed_from_u64(5);
-            let rep = run_forall_gap_hamming_game(
+            let rdx = ForAllGapHammingReduction {
                 params,
-                2,
-                SubsetSearch::Exact,
-                trials,
-                |g, _| dircut_sketch::BudgetedSketch::new(g, budget),
-                &mut rng,
-            );
+                half_gap: 2,
+                search: SubsetSearch::Exact,
+                oracle: OracleSpec::Budgeted { bits: budget },
+            };
+            let rep = engine.run(&rdx, trials, Seeding::Shared(&mut rng));
+            record_section(&format!("E2 budget {factor}x"), &rep);
             print_row(&[
                 budget.to_string(),
                 format!("{factor}x"),
@@ -145,46 +138,26 @@ fn main() {
     print_header(&["1/eps^2", "|L|", "high frac", "low frac", "Q recall"]);
     for inv_eps_sq in [8usize, 16] {
         let params = ForAllParams::new(1, inv_eps_sq, 2);
-        let l = params.inv_eps_sq;
         let k = params.group_size();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let reps = 25;
-        let (mut high_frac, mut low_frac, mut recall) = (0.0, 0.0, 0.0);
-        let mut recall_samples = 0usize;
-        for _ in 0..reps {
-            let mut strings: Vec<Vec<bool>> = (0..params.num_strings())
-                .map(|_| random_weighted_string(l, l / 2, &mut rng))
-                .collect();
-            let q = rng.gen_range(0..params.num_strings());
-            let t = random_weighted_string(l, l / 2, &mut rng);
-            strings[q] = plant_gap_target(&t, 1, false, &mut rng);
-            let enc = ForAllEncoding::encode(params, &strings);
-            let split = high_low_split(&enc, q, &t, 0.1);
-            high_frac += split.high.len() as f64 / k as f64;
-            low_frac += split.low.len() as f64 / k as f64;
-            // Lemma 4.4: the argmax subset should capture most of L_high.
-            let decoder = ForAllDecoder::new(params, SubsetSearch::Exact);
-            let oracle = EdgeListSketch::from_graph(enc.graph());
-            let decision = decoder.decide(&oracle, q, &t, &mut rng);
-            if !split.high.is_empty() {
-                let captured = split
-                    .high
-                    .iter()
-                    .filter(|i| decision.q_subset.contains(i))
-                    .count();
-                recall += captured as f64 / split.high.len() as f64;
-                recall_samples += 1;
-            }
-        }
+        let rdx = ForAllLemma43Reduction { params, c: 0.1 };
+        let rep = engine.run(&rdx, reps, Seeding::Shared(&mut rng));
+        record_section(&format!("E2 lemma43 1/eps^2={inv_eps_sq}"), &rep);
+        let recall_samples = rep.aux_count_nonzero("recall_sampled");
         print_row(&[
             inv_eps_sq.to_string(),
             k.to_string(),
-            format!("{:.3}", high_frac / reps as f64),
-            format!("{:.3}", low_frac / reps as f64),
-            format!("{:.3}", recall / recall_samples.max(1) as f64),
+            format!("{:.3}", rep.aux_sum("high_frac") / reps as f64),
+            format!("{:.3}", rep.aux_sum("low_frac") / reps as f64),
+            format!(
+                "{:.3}",
+                rep.aux_sum("recall") / recall_samples.max(1) as f64
+            ),
         ]);
     }
 
+    dircut_bench::write_reductions_json("exp_forall");
     // Per-stage solve / cut-query counters, stderr-only behind DIRCUT_STATS.
     dircut_bench::maybe_print_stage_report();
 }

@@ -7,18 +7,22 @@
 //! and bit-budgeted sketches around the Ω̃(n√β/ε) line. The theorem
 //! predicts: success at/below the threshold error, collapse above it,
 //! and collapse once the budget sinks well below the lower bound.
+//!
+//! Every sweep runs on the [`TrialEngine`] under `Seeding::Shared`
+//! with the legacy per-sweep seeds, so the tables are byte-identical
+//! to the retired hand-rolled loops at any `DIRCUT_THREADS`.
 
-use dircut_bench::{print_header, print_row};
-use dircut_core::games::run_foreach_index_game;
+use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
+use dircut_core::naive::NaiveParams;
+use dircut_core::reduction::{ForEachIndexReduction, NaiveIndexReduction, OracleSpec};
 use dircut_core::ForEachParams;
-use dircut_sketch::adversarial::{BudgetedSketch, NoiseModel, NoisyOracle};
-use dircut_sketch::EdgeListSketch;
-use rand::Rng;
+use dircut_sketch::adversarial::NoiseModel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
     let trials = 120;
+    let engine = TrialEngine::with_default_threads();
     println!("=== E1: for-each cut sketch lower bound (Theorem 1.1) ===\n");
     println!("--- decoding success vs oracle error ---");
     print_header(&["n", "beta", "1/eps", "ell", "oracle", "success"]);
@@ -29,12 +33,12 @@ fn main() {
         let threshold = 0.25 * eps / (1.0 / eps).ln();
 
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let exact = run_foreach_index_game(
+        let rdx = ForEachIndexReduction {
             params,
-            trials,
-            |g, _| EdgeListSketch::from_graph(g),
-            &mut rng,
-        );
+            oracle: OracleSpec::Exact,
+        };
+        let exact = engine.run(&rdx, trials, Seeding::Shared(&mut rng));
+        record_section(&format!("E1 exact 1/eps={inv_eps} ell={ell}"), &exact);
         print_row(&[
             params.num_nodes().to_string(),
             format!("{}", params.beta()),
@@ -52,12 +56,15 @@ fn main() {
         ] {
             let err = err.min(0.9);
             let mut rng = ChaCha8Rng::seed_from_u64(2);
-            let rep = run_foreach_index_game(
+            let rdx = ForEachIndexReduction {
                 params,
-                trials,
-                |g, r| NoisyOracle::new(g.clone(), err, r.gen(), NoiseModel::SignedRelative),
-                &mut rng,
-            );
+                oracle: OracleSpec::Noisy {
+                    err,
+                    model: NoiseModel::SignedRelative,
+                },
+            };
+            let rep = engine.run(&rdx, trials, Seeding::Shared(&mut rng));
+            record_section(&format!("E1 {label} 1/eps={inv_eps} ell={ell}"), &rep);
             print_row(&[
                 params.num_nodes().to_string(),
                 format!("{}", params.beta()),
@@ -72,27 +79,31 @@ fn main() {
 
     println!("--- Section 1.2 head-to-head: Hadamard vs naive one-bit-per-edge ---");
     {
-        use dircut_core::naive::{run_naive_index_game, NaiveParams};
         print_header(&["1/eps", "sqrt_beta", "noise", "hadamard", "naive"]);
         for (inv_eps, sqrt_beta) in [(8usize, 1usize), (8, 2), (16, 2)] {
             let eps = 1.0 / inv_eps as f64;
             let noise = 0.25 * eps / (1.0 / eps).ln();
-            let hadamard = ForEachParams::new(inv_eps, sqrt_beta, 2);
+            let spec = OracleSpec::Noisy {
+                err: noise,
+                model: NoiseModel::SignedRelative,
+            };
+            let hadamard = ForEachIndexReduction {
+                params: ForEachParams::new(inv_eps, sqrt_beta, 2),
+                oracle: spec,
+            };
             let mut rng = ChaCha8Rng::seed_from_u64(7);
-            let good = run_foreach_index_game(
-                hadamard,
-                trials,
-                |g, r| NoisyOracle::new(g.clone(), noise, r.gen(), NoiseModel::SignedRelative),
-                &mut rng,
-            );
-            let naive = NaiveParams::new(sqrt_beta * inv_eps, (sqrt_beta * sqrt_beta) as f64);
+            let good = engine.run(&hadamard, trials, Seeding::Shared(&mut rng));
+            let naive = NaiveIndexReduction {
+                params: NaiveParams::new(sqrt_beta * inv_eps, (sqrt_beta * sqrt_beta) as f64),
+                oracle: spec,
+            };
             let mut rng = ChaCha8Rng::seed_from_u64(8);
-            let bad = run_naive_index_game(
-                naive,
-                trials,
-                |g, r| NoisyOracle::new(g.clone(), noise, r.gen(), NoiseModel::SignedRelative),
-                &mut rng,
+            let bad = engine.run(&naive, trials, Seeding::Shared(&mut rng));
+            record_section(
+                &format!("E1 hadamard 1/eps={inv_eps} sb={sqrt_beta}"),
+                &good,
             );
+            record_section(&format!("E1 naive 1/eps={inv_eps} sb={sqrt_beta}"), &bad);
             print_row(&[
                 inv_eps.to_string(),
                 sqrt_beta.to_string(),
@@ -118,12 +129,12 @@ fn main() {
     for factor in [256usize, 64, 16, 4, 1] {
         let budget = lb * factor;
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let rep = run_foreach_index_game(
+        let rdx = ForEachIndexReduction {
             params,
-            trials,
-            |g, _| BudgetedSketch::new(g, budget),
-            &mut rng,
-        );
+            oracle: OracleSpec::Budgeted { bits: budget },
+        };
+        let rep = engine.run(&rdx, trials, Seeding::Shared(&mut rng));
+        record_section(&format!("E1 budget {factor}x"), &rep);
         print_row(&[
             budget.to_string(),
             format!("{factor}x"),
@@ -131,6 +142,7 @@ fn main() {
         ]);
     }
 
+    dircut_bench::write_reductions_json("exp_foreach");
     // Per-stage solve / cut-query counters, stderr-only behind DIRCUT_STATS.
     dircut_bench::maybe_print_stage_report();
 }

@@ -5,13 +5,11 @@
 //! Lemma 5.5 with a real min-cut computation, run the (modified)
 //! BGMP21 algorithm through the bit-counting oracle, and report
 //! queries, simulated communication bits, and the reference curve.
+//! Each configuration is one [`TrialEngine`] trial under
+//! `Seeding::Offset(11)` — the legacy loop's fixed instance seed.
 
-use dircut_bench::{print_header, print_row};
-use dircut_comm::TwoSumInstance;
-use dircut_core::mincut_lb::{solve_twosum_via_mincut, GxyGraph};
-use dircut_localquery::{global_min_cut_local, SearchVariant, VerifyGuessConfig};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
+use dircut_core::reduction::TwoSumMinCutReduction;
 
 fn main() {
     println!("=== E3: local-query min-cut lower bound (Theorem 1.3) ===\n");
@@ -27,6 +25,7 @@ fn main() {
     ]);
 
     let eps = 0.2;
+    let engine = TrialEngine::with_default_threads();
     // (t, L, α, intersecting): t·L must be a perfect square and
     // √(tL) ≥ 3·INT.
     let configs: [(usize, usize, usize, usize); 4] = [
@@ -36,37 +35,29 @@ fn main() {
         (16, 1024, 8, 5), // N = 16384, ℓ = 128
     ];
     for (t, l, alpha, hits) in configs {
-        let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let inst = TwoSumInstance::sample(t, l, alpha, hits, &mut rng);
-        assert!(inst.promise_holds());
-        let (x, y) = inst.concatenated();
-        let g = GxyGraph::build(&x, &y);
-        let k = g.verify_lemma_5_5(); // also validates Lemma 5.5
-        let m = g.graph().num_edges();
-
-        let mut queries = 0u64;
-        let mut algo_rng = ChaCha8Rng::seed_from_u64(13);
-        let result = solve_twosum_via_mincut(&inst, |oracle| {
-            let res = global_min_cut_local(
-                oracle,
-                eps,
-                SearchVariant::Modified { beta0: 0.25 },
-                VerifyGuessConfig::default(),
-                &mut algo_rng,
-            );
-            queries = res.total_queries;
-            res.estimate
-        });
+        let rdx = TwoSumMinCutReduction {
+            t,
+            l,
+            alpha,
+            intersecting: hits,
+            eps,
+            beta0: 0.25,
+            algo_seed: 13,
+        };
+        let rep = engine.run(&rdx, 1, Seeding::Offset(11));
+        record_section(&format!("E3 t={t} L={l} alpha={alpha}"), &rep);
+        let m = rep.aux_sum_u64("m");
+        let k = rep.aux_sum_u64("k");
         let curve = m as f64 / (eps * eps * (k.max(1)) as f64);
         print_row(&[
             m.to_string(),
             k.to_string(),
             format!("{eps}"),
-            queries.to_string(),
-            result.bits_exchanged.to_string(),
+            rep.aux_sum_u64("queries").to_string(),
+            rep.aux_sum_u64("bits").to_string(),
             format!("{curve:.0}"),
-            format!("{:.2}", (result.disj_estimate - result.disj_truth).abs()),
-            inst.lower_bound_bits().to_string(),
+            format!("{:.2}", rep.aux_sum("twosum_err")),
+            rep.aux_sum_u64("lb_bits").to_string(),
         ]);
     }
     println!(
@@ -75,6 +66,7 @@ fn main() {
          and Theorem 5.4 says any correct protocol needs Ω(tL/α) bits."
     );
 
+    dircut_bench::write_reductions_json("exp_localquery");
     // Stage counters go to stderr behind DIRCUT_STATS: the localquery
     // stages now record on every run, and their wall-clock column must
     // not leak into the byte-stable stdout tables.

@@ -1,29 +1,29 @@
 //! Experiment E8: the reductions as *literal one-way protocols* with
 //! measured message bits.
 //!
-//! Alice's message is a serialized sketch; `dircut_comm::measure`
-//! counts every bit on the channel and every decoding success. The
-//! information-theoretic floors: any protocol winning the Index game
-//! needs Ω(#bits-encoded) bits (Lemma 3.1), and the encoding carries
-//! Ω(n√β/ε) bits (Theorem 1.1); likewise Ω(nβ/ε²) for the Gap-Hamming
-//! game (Lemma 4.1 / Theorem 1.2). Every correct row must sit above
-//! its floor — and does.
+//! Alice's message is a serialized sketch; every trial counts the
+//! exact bits on the channel. The information-theoretic floors: any
+//! protocol winning the Index game needs Ω(#bits-encoded) bits
+//! (Lemma 3.1), and the encoding carries Ω(n√β/ε) bits (Theorem 1.1);
+//! likewise Ω(nβ/ε²) for the Gap-Hamming game (Lemma 4.1 /
+//! Theorem 1.2). Every correct row must sit above its floor — and
+//! does.
+//!
+//! Each sweep runs on the [`TrialEngine`] under `Seeding::Shared` with
+//! the legacy per-sweep seeds, so the tables are byte-identical to the
+//! retired `measure` loops at any `DIRCUT_THREADS`.
 
-use dircut_bench::{print_header, print_row};
-use dircut_comm::protocol::measure;
-use dircut_comm::IndexInstance;
-use dircut_core::games::plant_gap_target;
-use dircut_core::protocol::{
-    ExactEdgeListSketcher, ForAllGapHammingProtocol, ForEachIndexProtocol,
-};
+use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
+use dircut_core::protocol::ExactEdgeListSketcher;
+use dircut_core::reduction::{ForAllProtocolReduction, ForEachProtocolReduction};
 use dircut_core::{ForAllParams, ForEachParams, SubsetSearch};
 use dircut_sketch::UniformSketcher;
-use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 fn main() {
     println!("=== E8: measured one-way protocols (serialized sketch messages) ===\n");
+    let engine = TrialEngine::with_default_threads();
 
     println!("--- Theorem 1.1 / Index game ---");
     print_header(&[
@@ -37,34 +37,39 @@ fn main() {
     ]);
     for (inv_eps, sqrt_beta) in [(4usize, 1usize), (8, 1), (8, 2)] {
         let params = ForEachParams::new(inv_eps, sqrt_beta, 2);
-        let sample = |rng: &mut ChaCha8Rng| {
-            let inst = IndexInstance::sample(params.total_bits(), rng);
-            let truth = inst.answer();
-            (inst.s, inst.i, truth)
-        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let exact = measure(
-            &ForEachIndexProtocol::new(params, ExactEdgeListSketcher),
+        let exact = engine.run(
+            &ForEachProtocolReduction {
+                params,
+                sketcher: ExactEdgeListSketcher,
+            },
             30,
-            &mut rng,
-            sample,
-            |a, b| a == b,
+            Seeding::Shared(&mut rng),
         );
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let sampled = measure(
-            &ForEachIndexProtocol::new(params, UniformSketcher::new(0.05)),
+        let sampled = engine.run(
+            &ForEachProtocolReduction {
+                params,
+                sketcher: UniformSketcher::new(0.05),
+            },
             30,
-            &mut rng,
-            sample,
-            |a, b| a == b,
+            Seeding::Shared(&mut rng),
         );
-        for (name, stats) in [("exact", &exact), ("uniform(0.05)", &sampled)] {
+        record_section(
+            &format!("E8 index exact 1/eps={inv_eps} sb={sqrt_beta}"),
+            &exact,
+        );
+        record_section(
+            &format!("E8 index uniform 1/eps={inv_eps} sb={sqrt_beta}"),
+            &sampled,
+        );
+        for (name, rep) in [("exact", &exact), ("uniform(0.05)", &sampled)] {
             print_row(&[
                 inv_eps.to_string(),
                 sqrt_beta.to_string(),
                 name.into(),
-                format!("{:.3}", stats.success_rate()),
-                format!("{:.0}", stats.mean_bits),
+                format!("{:.3}", rep.success_rate()),
+                format!("{:.0}", rep.mean_wire_bits()),
                 params.total_bits().to_string(),
                 params.lower_bound_bits().to_string(),
             ]);
@@ -75,30 +80,23 @@ fn main() {
     print_header(&["1/eps^2", "sketcher", "success", "mean bits", "Thm1.2 LB"]);
     for inv_eps_sq in [8usize, 16] {
         let params = ForAllParams::new(1, inv_eps_sq, 2);
-        let sample = |rng: &mut ChaCha8Rng| {
-            let l = params.inv_eps_sq;
-            let mut strings: Vec<Vec<bool>> = (0..params.num_strings())
-                .map(|_| dircut_comm::gap_hamming::random_weighted_string(l, l / 2, rng))
-                .collect();
-            let q = rng.gen_range(0..params.num_strings());
-            let is_far = rng.gen_bool(0.5);
-            let t = dircut_comm::gap_hamming::random_weighted_string(l, l / 2, rng);
-            strings[q] = plant_gap_target(&t, 2, is_far, rng);
-            (strings, (q, t), is_far)
-        };
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let stats = measure(
-            &ForAllGapHammingProtocol::new(params, SubsetSearch::Exact, ExactEdgeListSketcher),
+        let rep = engine.run(
+            &ForAllProtocolReduction {
+                params,
+                half_gap: 2,
+                search: SubsetSearch::Exact,
+                sketcher: ExactEdgeListSketcher,
+            },
             12,
-            &mut rng,
-            sample,
-            |a, b| a == b,
+            Seeding::Shared(&mut rng),
         );
+        record_section(&format!("E8 gap-hamming 1/eps^2={inv_eps_sq}"), &rep);
         print_row(&[
             inv_eps_sq.to_string(),
             "exact".into(),
-            format!("{:.3}", stats.success_rate()),
-            format!("{:.0}", stats.mean_bits),
+            format!("{:.3}", rep.success_rate()),
+            format!("{:.0}", rep.mean_wire_bits()),
             params.lower_bound_bits().to_string(),
         ]);
     }
@@ -106,4 +104,6 @@ fn main() {
         "\nReading: every succeeding protocol's message sits above its Ω(·)\n\
          column — the theorems say no encoding can dip below and still win."
     );
+
+    dircut_bench::write_reductions_json("exp_protocol");
 }

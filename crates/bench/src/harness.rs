@@ -1,0 +1,187 @@
+//! The trial engine: fans any [`Reduction`] over the PR-1
+//! deterministic worker pool and collects typed per-trial records.
+//!
+//! # Determinism contract
+//!
+//! Every seeding mode makes trial `t`'s work a pure function of
+//! `(reduction, seeding, t)`, so results are bit-identical across
+//! `DIRCUT_THREADS` values and scheduling orders —
+//! [`run_indexed`] reassembles records by trial index.
+//!
+//! * [`Seeding::Substream`] is the preferred discipline for new code:
+//!   trial `t` runs on `ChaCha8Rng::seed_from_u64(seed)` with
+//!   `set_stream(t)` — independent substreams, one seed.
+//! * [`Seeding::Offset`] reproduces legacy loops that reseeded per
+//!   repetition (`seed_from_u64(base + rep)`).
+//! * [`Seeding::Shared`] reproduces legacy loops that threaded one
+//!   shared RNG through all trials. The engine replays that byte
+//!   stream exactly by running every [`Reduction::sample`] call in
+//!   trial order on the caller's RNG before fanning out; this is
+//!   faithful because the retired loops drew *all* per-trial
+//!   randomness (instances and oracle seeds) before decoding, and the
+//!   shipped decoders under `SubsetSearch::Exact` consume none. A
+//!   decoder that does draw gets a constant-keyed per-trial substream:
+//!   still deterministic, but not byte-comparable against a
+//!   pre-refactor sequential run.
+
+use crate::record::{EngineReport, TrialRecord};
+use dircut_core::reduction::Reduction;
+use dircut_graph::parallel::{default_threads, run_indexed};
+use dircut_graph::stats;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// How per-trial randomness is derived.
+pub enum Seeding<'a> {
+    /// One caller-owned RNG threaded through all `sample` calls in
+    /// trial order (legacy shared-stream loops; state advances across
+    /// consecutive engine runs, which some experiments rely on).
+    Shared(&'a mut ChaCha8Rng),
+    /// Trial `t` runs on a fresh `seed_from_u64(base + t)` (legacy
+    /// reseed-per-rep loops).
+    Offset(u64),
+    /// Trial `t` runs on `seed_from_u64(seed)` + `set_stream(t)` — the
+    /// substream discipline for new experiments.
+    Substream(u64),
+}
+
+/// Runs a reduction's trials over the deterministic worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialEngine {
+    /// Worker threads; ≤ 1 runs serially on the calling thread.
+    pub threads: usize,
+}
+
+impl TrialEngine {
+    /// An engine with an explicit thread count.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// An engine sized by `DIRCUT_THREADS` (the same knob the flow
+    /// engine honors).
+    #[must_use]
+    pub fn with_default_threads() -> Self {
+        Self {
+            threads: default_threads(),
+        }
+    }
+
+    /// Runs `trials` trials of `rdx` under `seeding` and returns the
+    /// records in trial order.
+    pub fn run<Rdx>(&self, rdx: &Rdx, trials: usize, seeding: Seeding<'_>) -> EngineReport
+    where
+        Rdx: Reduction + Sync,
+        Rdx::Instance: Send + Sync,
+    {
+        let records = match seeding {
+            Seeding::Shared(rng) => {
+                // Phase 1 (caller thread): replay the legacy shared
+                // byte stream — every sample in trial order.
+                let instances: Vec<Rdx::Instance> =
+                    (0..trials).map(|t| rdx.sample(t, rng)).collect();
+                // Phase 2 (workers): encode → decode → verify per
+                // trial, each on a constant-keyed substream.
+                run_indexed(trials, self.threads, |t| {
+                    let mut decode_rng = ChaCha8Rng::seed_from_u64(0);
+                    decode_rng.set_stream(t as u64);
+                    run_one(rdx, t, &instances[t], &mut decode_rng)
+                })
+            }
+            Seeding::Offset(base) => run_indexed(trials, self.threads, |t| {
+                let mut rng = ChaCha8Rng::seed_from_u64(base.wrapping_add(t as u64));
+                let inst = rdx.sample(t, &mut rng);
+                run_one(rdx, t, &inst, &mut rng)
+            }),
+            Seeding::Substream(seed) => run_indexed(trials, self.threads, |t| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                rng.set_stream(t as u64);
+                let inst = rdx.sample(t, &mut rng);
+                run_one(rdx, t, &inst, &mut rng)
+            }),
+        };
+        EngineReport {
+            reduction: rdx.name().to_owned(),
+            records,
+        }
+    }
+}
+
+/// One trial's encode → decode → verify, wholly on the current thread,
+/// with `dircut_graph::stats` scoped so stage counters cannot bleed
+/// across concurrent trials.
+fn run_one<Rdx: Reduction>(
+    rdx: &Rdx,
+    trial: usize,
+    inst: &Rdx::Instance,
+    rng: &mut ChaCha8Rng,
+) -> TrialRecord {
+    let start = std::time::Instant::now();
+    let ((artifact, outcome), counts) = stats::scoped(|| {
+        let artifact = rdx.encode(inst);
+        let answer = rdx.decode(&artifact, rng);
+        let outcome = rdx.verify(inst, &answer);
+        (artifact, outcome)
+    });
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let resources = rdx.resources(&artifact);
+    TrialRecord {
+        trial,
+        success: outcome.success,
+        wire_bits: resources.wire_bits,
+        cut_queries: outcome.cut_queries,
+        flow_solves: resources.flow_solves,
+        measured_cut_queries: counts.cut_queries,
+        measured_solves: counts.solves,
+        wall_ns,
+        aux: outcome.aux,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_core::reduction::{ForEachIndexReduction, OracleSpec};
+    use dircut_core::ForEachParams;
+
+    fn reduction() -> ForEachIndexReduction {
+        ForEachIndexReduction {
+            params: ForEachParams::new(4, 1, 2),
+            oracle: OracleSpec::Exact,
+        }
+    }
+
+    #[test]
+    fn shared_seeding_matches_the_sequential_reference() {
+        // Engine in shared mode == run_reduction_game on the same
+        // seed, because the exact-oracle decoder consumes no RNG.
+        let rdx = reduction();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let reference = dircut_core::reduction::run_reduction_game(&rdx, 30, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let report = TrialEngine::new(4).run(&rdx, 30, Seeding::Shared(&mut rng));
+        assert_eq!(report.successes(), reference.successes);
+        assert_eq!(report.mean_cut_queries(), reference.mean_queries);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_records() {
+        let rdx = reduction();
+        let serial = TrialEngine::new(1).run(&rdx, 16, Seeding::Substream(7));
+        let parallel = TrialEngine::new(4).run(&rdx, 16, Seeding::Substream(7));
+        assert_eq!(serial.fingerprint(), parallel.fingerprint());
+    }
+
+    #[test]
+    fn trials_are_scoped_for_stats_attribution() {
+        let rdx = reduction();
+        let report = TrialEngine::new(2).run(&rdx, 8, Seeding::Substream(3));
+        // The 4-query decoder issues exactly 4 oracle reads per trial;
+        // the scoped counters must see each trial's own reads only.
+        for r in &report.records {
+            assert_eq!(r.measured_cut_queries, 0, "oracle reads bypass stats");
+            assert_eq!(r.cut_queries, 4);
+        }
+    }
+}

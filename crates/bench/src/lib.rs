@@ -1,53 +1,26 @@
-//! Experiment harness support for the `dircut` workspace: shared table
-//! printing used by the `exp_*` binaries and criterion benches.
+//! Experiment harness for the `dircut` workspace.
+//!
+//! * [`harness`] — the [`TrialEngine`](harness::TrialEngine): fans any
+//!   [`Reduction`](dircut_core::reduction::Reduction) over the
+//!   deterministic worker pool under one of three seeding disciplines,
+//! * [`record`] — typed per-trial [`TrialRecord`](record::TrialRecord)s
+//!   and their aggregation (success rates, Wilson 95% intervals,
+//!   wire-bit totals),
+//! * [`report`] — byte-stable stdout tables, the stderr stage report,
+//!   and the unified `BENCH_reductions.json` emitter,
+//! * [`reductions`] — bench-local reductions for measurement axes that
+//!   are not paper games (ε-scaling, boosting, VERIFY-GUESS boundary).
 
 #![forbid(unsafe_code)]
 
-/// Prints a table row of equal-width cells to stdout.
-pub fn print_row(cells: &[String]) {
-    let formatted: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
-    println!("{}", formatted.join(" | "));
-}
+pub mod harness;
+pub mod record;
+pub mod reductions;
+pub mod report;
 
-/// Prints a header row plus a separator.
-pub fn print_header(cells: &[&str]) {
-    print_row(&cells.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
-    println!("{}", "-".repeat(cells.len() * 17));
-}
-
-/// When `DIRCUT_STATS` is set, prints the per-stage solve / cut-query /
-/// wall-clock report to **stderr** (stdout is reserved for the
-/// experiment tables, which must stay byte-identical run to run).
-pub fn maybe_print_stage_report() {
-    if std::env::var_os("DIRCUT_STATS").is_none() {
-        return;
-    }
-    let report = dircut_graph::stats::stage_report();
-    eprintln!(
-        "\n[DIRCUT_STATS] total solves: {}, total cut queries: {}",
-        dircut_graph::stats::total_solves(),
-        dircut_graph::stats::total_cut_queries()
-    );
-    eprintln!(
-        "[DIRCUT_STATS] {:<32} {:>6} {:>10} {:>12} {:>12}",
-        "stage", "runs", "solves", "cut_queries", "wall_ms"
-    );
-    for (stage, stat) in &report {
-        eprintln!(
-            "[DIRCUT_STATS] {:<32} {:>6} {:>10} {:>12} {:>12.1}",
-            stage,
-            stat.runs,
-            stat.solves,
-            stat.cut_queries,
-            stat.wall.as_secs_f64() * 1e3
-        );
-    }
-    // Named metrics (link transcripts: bits sent/acked, retries,
-    // drops, latency buckets) ride the same registry; one indented
-    // line per metric keeps the table grep-friendly.
-    for (stage, stat) in &report {
-        for (name, value) in &stat.metrics {
-            eprintln!("[DIRCUT_STATS] {stage:<32}   .{name} = {value}");
-        }
-    }
-}
+pub use harness::{Seeding, TrialEngine};
+pub use record::{wilson95, EngineReport, TrialRecord};
+pub use report::{
+    maybe_print_stage_report, print_header, print_row, record_section, reductions_json,
+    write_reductions_json,
+};

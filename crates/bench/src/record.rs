@@ -1,0 +1,263 @@
+//! Typed per-trial observations and their aggregation.
+//!
+//! The [`TrialEngine`](crate::harness::TrialEngine) produces one
+//! [`TrialRecord`] per trial; an [`EngineReport`] holds them in trial
+//! order (regardless of which worker ran which trial) and derives the
+//! table-facing aggregates: success rate, Wilson 95% interval, mean
+//! query counts, wire-bit totals, and auxiliary sums. Everything except
+//! `wall_ns` is deterministic given the reduction and seeding, which is
+//! what [`TrialRecord::fingerprint`] captures for the determinism
+//! proptests.
+
+/// Everything observed about one trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// Trial index (also the substream key under per-trial seeding).
+    pub trial: usize,
+    /// Did the decoder answer correctly?
+    pub success: bool,
+    /// Wire bits of the artifact (serialized sketch / message size).
+    pub wire_bits: u64,
+    /// Cut queries by the reduction's own accounting.
+    pub cut_queries: u64,
+    /// Max-flow solves the artifact is statically billed for.
+    pub flow_solves: u64,
+    /// Cut queries actually counted by `dircut_graph::stats` inside
+    /// this trial's encode → decode → verify scope.
+    pub measured_cut_queries: u64,
+    /// Max-flow solves actually counted inside the trial scope.
+    pub measured_solves: u64,
+    /// Wall-clock of encode → decode → verify, in nanoseconds. The one
+    /// nondeterministic field; excluded from [`Self::fingerprint`].
+    pub wall_ns: u64,
+    /// Named per-trial measurements the reduction attached.
+    pub aux: Vec<(&'static str, f64)>,
+}
+
+impl TrialRecord {
+    /// A stable textual digest of every deterministic field — equal
+    /// across thread counts and scheduling orders by construction.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut out = format!(
+            "t{} s{} w{} q{} f{} mq{} ms{}",
+            self.trial,
+            u8::from(self.success),
+            self.wire_bits,
+            self.cut_queries,
+            self.flow_solves,
+            self.measured_cut_queries,
+            self.measured_solves,
+        );
+        for (name, value) in &self.aux {
+            out.push_str(&format!(" {name}={value:?}"));
+        }
+        out
+    }
+}
+
+/// The two-sided Wilson score interval at 95% confidence.
+///
+/// Unlike the normal approximation it stays inside `[0, 1]` and
+/// behaves at the success rates the lower-bound games actually produce
+/// (near 1.0 below threshold, near 0.5 at collapse).
+#[must_use]
+pub fn wilson95(successes: usize, trials: usize) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 0.0);
+    }
+    let z = 1.959_963_984_540_054_f64;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((center - half) / denom).max(0.0),
+        ((center + half) / denom).min(1.0),
+    )
+}
+
+/// All records of one engine run, in trial order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// [`Reduction::name`](dircut_core::reduction::Reduction::name) of
+    /// the reduction that ran.
+    pub reduction: String,
+    /// One record per trial, index `i` holds trial `i`.
+    pub records: Vec<TrialRecord>,
+}
+
+impl EngineReport {
+    /// Trials run.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Trials where the decoder answered correctly.
+    #[must_use]
+    pub fn successes(&self) -> usize {
+        self.records.iter().filter(|r| r.success).count()
+    }
+
+    /// Empirical success probability.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.successes() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Wilson 95% interval of the success probability.
+    #[must_use]
+    pub fn wilson95(&self) -> (f64, f64) {
+        wilson95(self.successes(), self.trials())
+    }
+
+    /// Mean reduction-accounted cut queries per trial.
+    #[must_use]
+    pub fn mean_cut_queries(&self) -> f64 {
+        let total: u64 = self.records.iter().map(|r| r.cut_queries).sum();
+        total as f64 / self.records.len().max(1) as f64
+    }
+
+    /// Sum of artifact wire bits across trials.
+    #[must_use]
+    pub fn total_wire_bits(&self) -> u64 {
+        self.records.iter().map(|r| r.wire_bits).sum()
+    }
+
+    /// Mean artifact wire bits per trial.
+    #[must_use]
+    pub fn mean_wire_bits(&self) -> f64 {
+        self.total_wire_bits() as f64 / self.records.len().max(1) as f64
+    }
+
+    /// The named auxiliary value of one record, if present.
+    #[must_use]
+    pub fn aux_of(record: &TrialRecord, name: &str) -> Option<f64> {
+        record.aux.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// Sum of a named auxiliary value, accumulated in trial order (so
+    /// floating-point totals reproduce the retired sequential loops
+    /// bit for bit).
+    #[must_use]
+    pub fn aux_sum(&self, name: &str) -> f64 {
+        let mut total = 0.0;
+        for r in &self.records {
+            if let Some(v) = Self::aux_of(r, name) {
+                total += v;
+            }
+        }
+        total
+    }
+
+    /// Sum of a named auxiliary value cast per-record to `u64` (for
+    /// legacy tables that accumulated integer counters).
+    #[must_use]
+    pub fn aux_sum_u64(&self, name: &str) -> u64 {
+        let mut total = 0u64;
+        for r in &self.records {
+            if let Some(v) = Self::aux_of(r, name) {
+                total += v as u64;
+            }
+        }
+        total
+    }
+
+    /// Maximum of a named auxiliary value across trials.
+    #[must_use]
+    pub fn aux_max(&self, name: &str) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        for r in &self.records {
+            if let Some(v) = Self::aux_of(r, name) {
+                best = best.max(v);
+            }
+        }
+        best
+    }
+
+    /// Number of records carrying the named auxiliary value with a
+    /// nonzero value (legacy "samples" counters).
+    #[must_use]
+    pub fn aux_count_nonzero(&self, name: &str) -> usize {
+        self.records
+            .iter()
+            .filter(|r| Self::aux_of(r, name).is_some_and(|v| v != 0.0))
+            .count()
+    }
+
+    /// Concatenated fingerprints of every record — one string equal
+    /// across thread counts and scheduling orders.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.fingerprint());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(trial: usize, success: bool) -> TrialRecord {
+        TrialRecord {
+            trial,
+            success,
+            wire_bits: 100,
+            cut_queries: 4,
+            flow_solves: 0,
+            measured_cut_queries: 4,
+            measured_solves: 0,
+            wall_ns: 1,
+            aux: vec![("err", 0.25)],
+        }
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_point_estimate() {
+        let (lo, hi) = wilson95(90, 100);
+        assert!(lo < 0.9 && 0.9 < hi);
+        assert!(lo > 0.8 && hi < 0.96);
+        assert_eq!(wilson95(0, 0), (0.0, 0.0));
+        let (lo, hi) = wilson95(10, 10);
+        assert!(hi <= 1.0 && lo < 1.0);
+        let (lo, hi) = wilson95(0, 10);
+        assert!(lo >= 0.0 && hi > 0.0);
+    }
+
+    #[test]
+    fn report_aggregates_match_hand_computation() {
+        let report = EngineReport {
+            reduction: "test".into(),
+            records: vec![record(0, true), record(1, false), record(2, true)],
+        };
+        assert_eq!(report.trials(), 3);
+        assert_eq!(report.successes(), 2);
+        assert_eq!(report.mean_cut_queries(), 4.0);
+        assert_eq!(report.total_wire_bits(), 300);
+        assert_eq!(report.aux_sum("err"), 0.75);
+        assert_eq!(report.aux_count_nonzero("err"), 3);
+        assert_eq!(report.aux_max("err"), 0.25);
+    }
+
+    #[test]
+    fn fingerprint_ignores_wall_clock_only() {
+        let a = record(0, true);
+        let mut b = a.clone();
+        b.wall_ns = 999_999;
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.measured_cut_queries = 5;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

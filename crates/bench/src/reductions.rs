@@ -1,0 +1,263 @@
+//! Bench-local [`Reduction`] implementations for experiment axes that
+//! are measurements rather than paper games: the ε-scaling comparison
+//! of the Section 5.4 modification, median-of-k boosting, and the
+//! VERIFY-GUESS acceptance boundary.
+
+use dircut_core::reduction::{Reduction, Resources, TrialOutcome};
+use dircut_graph::{DiGraph, NodeSet};
+use dircut_localquery::{
+    global_min_cut_local, verify_guess, GraphOracle, MinCutRunResult, SearchVariant,
+    VerifyGuessConfig,
+};
+use dircut_sketch::{CutOracle, CutSketch, CutSketcher};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One repetition of the E4 sweep: the original and the modified
+/// BGMP21 algorithm run on the same oracle at the same ε, each on its
+/// own seed family (the legacy loop reseeded `100 + rep` / `200 + rep`;
+/// under `Seeding::Offset(100)` the engine hands decode the first and
+/// this reduction derives the second from `modified_seed_base + trial`).
+#[derive(Debug, Clone, Copy)]
+pub struct EpsScalingReduction<'a, O> {
+    /// The local-query oracle (shared across trials).
+    pub oracle: &'a O,
+    /// Target accuracy.
+    pub eps: f64,
+    /// The modification's constant search error.
+    pub beta0: f64,
+    /// The known min-cut value, for error accounting.
+    pub true_k: f64,
+    /// Seed base of the modified variant's private randomness.
+    pub modified_seed_base: u64,
+}
+
+/// Both variants' run results for one repetition.
+#[derive(Debug, Clone)]
+pub struct EpsScalingAnswer {
+    /// The original (search error ε) run.
+    pub orig: MinCutRunResult,
+    /// The modified (search error β₀) run.
+    pub modi: MinCutRunResult,
+}
+
+impl<O: GraphOracle + Sync> Reduction for EpsScalingReduction<'_, O> {
+    type Instance = usize;
+    type Artifact = usize;
+    type Answer = EpsScalingAnswer;
+
+    fn name(&self) -> &'static str {
+        "eps-scaling"
+    }
+
+    fn sample<R: Rng>(&self, trial: usize, _rng: &mut R) -> Self::Instance {
+        trial
+    }
+
+    fn encode(&self, inst: &Self::Instance) -> Self::Artifact {
+        *inst
+    }
+
+    fn decode<R: Rng>(&self, artifact: &Self::Artifact, rng: &mut R) -> Self::Answer {
+        let orig = global_min_cut_local(
+            self.oracle,
+            self.eps,
+            SearchVariant::Original,
+            VerifyGuessConfig::default(),
+            rng,
+        );
+        let mut modi_rng = ChaCha8Rng::seed_from_u64(self.modified_seed_base + *artifact as u64);
+        let modi = global_min_cut_local(
+            self.oracle,
+            self.eps,
+            SearchVariant::Modified { beta0: self.beta0 },
+            VerifyGuessConfig::default(),
+            &mut modi_rng,
+        );
+        EpsScalingAnswer { orig, modi }
+    }
+
+    fn verify(&self, _inst: &Self::Instance, answer: &Self::Answer) -> TrialOutcome {
+        let orig_err = (answer.orig.estimate - self.true_k).abs() / self.true_k;
+        let modi_err = (answer.modi.estimate - self.true_k).abs() / self.true_k;
+        TrialOutcome::new(true, 0)
+            .with_aux("orig_total", answer.orig.total_queries as f64)
+            .with_aux("orig_final", answer.orig.final_call_queries as f64)
+            .with_aux("mod_total", answer.modi.total_queries as f64)
+            .with_aux("mod_final", answer.modi.final_call_queries as f64)
+            .with_aux("worst_err", orig_err.max(modi_err))
+    }
+}
+
+/// One repetition of the A2 boosting ablation: draw a (possibly
+/// boosted) sketch of a fixed graph, read one fixed cut, score against
+/// the `(1 ± ε)` band.
+#[derive(Debug, Clone, Copy)]
+pub struct BoostingReduction<'a, S> {
+    /// The fixed input graph.
+    pub graph: &'a DiGraph,
+    /// The (boosted) sketching algorithm.
+    pub sketcher: S,
+    /// The fixed cut the trial reads.
+    pub set: &'a NodeSet,
+    /// The cut's true value.
+    pub truth: f64,
+    /// The accuracy band.
+    pub eps: f64,
+}
+
+impl<S> Reduction for BoostingReduction<'_, S>
+where
+    S: CutSketcher,
+{
+    type Instance = S::Sketch;
+    type Artifact = (f64, u64);
+    type Answer = f64;
+
+    fn name(&self) -> &'static str {
+        "boosting"
+    }
+
+    fn sample<R: Rng>(&self, _trial: usize, rng: &mut R) -> Self::Instance {
+        self.sketcher.sketch(self.graph, rng)
+    }
+
+    fn encode(&self, inst: &Self::Instance) -> Self::Artifact {
+        (inst.cut_out_estimate(self.set), inst.size_bits() as u64)
+    }
+
+    fn decode<R: Rng>(&self, artifact: &Self::Artifact, _rng: &mut R) -> Self::Answer {
+        artifact.0
+    }
+
+    fn verify(&self, _inst: &Self::Instance, answer: &Self::Answer) -> TrialOutcome {
+        TrialOutcome::new((answer - self.truth).abs() <= self.eps * self.truth, 1)
+            .with_aux("estimate", *answer)
+    }
+
+    fn resources(&self, artifact: &Self::Artifact) -> Resources {
+        Resources {
+            wire_bits: artifact.1,
+            cut_queries: 1,
+            flow_solves: 0,
+        }
+    }
+}
+
+/// One repetition of the A3 acceptance-boundary ablation: a single
+/// VERIFY-GUESS call at a fixed guess; success = accepted.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyGuessReduction<'a, O> {
+    /// The local-query oracle.
+    pub oracle: &'a O,
+    /// Pre-queried degrees.
+    pub degrees: &'a [usize],
+    /// The guessed min-cut value.
+    pub guess: f64,
+    /// VERIFY-GUESS accuracy parameter.
+    pub eps: f64,
+    /// Oversampling / acceptance configuration.
+    pub cfg: VerifyGuessConfig,
+}
+
+impl<O: GraphOracle + Sync> Reduction for VerifyGuessReduction<'_, O> {
+    type Instance = ();
+    type Artifact = ();
+    type Answer = bool;
+
+    fn name(&self) -> &'static str {
+        "verify-guess-boundary"
+    }
+
+    fn sample<R: Rng>(&self, _trial: usize, _rng: &mut R) -> Self::Instance {}
+
+    fn encode(&self, _inst: &Self::Instance) -> Self::Artifact {}
+
+    fn decode<R: Rng>(&self, _artifact: &Self::Artifact, rng: &mut R) -> Self::Answer {
+        verify_guess(
+            self.oracle,
+            self.degrees,
+            self.guess,
+            self.eps,
+            self.cfg,
+            rng,
+        )
+        .accepted
+    }
+
+    fn verify(&self, _inst: &Self::Instance, answer: &Self::Answer) -> TrialOutcome {
+        TrialOutcome::new(*answer, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{Seeding, TrialEngine};
+    use dircut_graph::generators::connected_gnp;
+    use dircut_graph::mincut::min_cut_unweighted;
+    use dircut_localquery::{query_degrees, AdjOracle};
+
+    #[test]
+    fn eps_scaling_offset_seeding_replays_the_legacy_seed_family() {
+        let mut gen = ChaCha8Rng::seed_from_u64(0);
+        let g = connected_gnp(40, 0.4, &mut gen);
+        let k = min_cut_unweighted(&g) as f64;
+        let oracle = AdjOracle::new(&g);
+        let rdx = EpsScalingReduction {
+            oracle: &oracle,
+            eps: 0.4,
+            beta0: 0.5,
+            true_k: k,
+            modified_seed_base: 200,
+        };
+        // Reference: the retired loop's exact per-rep reseeding.
+        let mut ot = 0u64;
+        for rep in 0..3u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(100 + rep);
+            let orig = global_min_cut_local(
+                &oracle,
+                0.4,
+                SearchVariant::Original,
+                VerifyGuessConfig::default(),
+                &mut rng,
+            );
+            ot += orig.total_queries;
+        }
+        let report = TrialEngine::new(3).run(&rdx, 3, Seeding::Offset(100));
+        assert_eq!(report.aux_sum_u64("orig_total"), ot);
+    }
+
+    #[test]
+    fn verify_guess_reduction_accepts_below_and_rejects_far_above() {
+        let mut gen = ChaCha8Rng::seed_from_u64(1);
+        let g = connected_gnp(40, 0.5, &mut gen);
+        let k = min_cut_unweighted(&g) as f64;
+        let oracle = AdjOracle::new(&g);
+        let degrees = query_degrees(&oracle);
+        let cfg = VerifyGuessConfig {
+            oversample: 6.0,
+            accept_fraction: 0.5,
+        };
+        let low = VerifyGuessReduction {
+            oracle: &oracle,
+            degrees: &degrees,
+            guess: k / 8.0,
+            eps: 0.3,
+            cfg,
+        };
+        let high = VerifyGuessReduction {
+            oracle: &oracle,
+            degrees: &degrees,
+            guess: k * 64.0,
+            eps: 0.3,
+            cfg,
+        };
+        let engine = TrialEngine::new(2);
+        let low_accepts = engine.run(&low, 5, Seeding::Offset(100)).successes();
+        let high_accepts = engine.run(&high, 5, Seeding::Offset(100)).successes();
+        assert!(low_accepts > high_accepts);
+        assert!(low_accepts >= 3, "guess below k accepted {low_accepts}/5");
+    }
+}

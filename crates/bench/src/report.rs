@@ -1,0 +1,246 @@
+//! Table printing and the unified `BENCH_reductions.json` emitter.
+//!
+//! Stdout is reserved for the experiment tables, which must stay
+//! byte-identical run to run — the stage report goes to stderr and the
+//! JSON goes to a file. Sections are registered process-globally so a
+//! binary can run several engine sweeps and flush them in one document
+//! at exit.
+
+use crate::record::EngineReport;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+
+/// Prints a table row of equal-width cells to stdout.
+pub fn print_row(cells: &[String]) {
+    println!("{}", format_row(cells));
+}
+
+/// Prints a header row plus a separator sized to the actual formatted
+/// row (cells wider than the 14-column pad stretch the separator with
+/// them instead of drifting out of line).
+pub fn print_header(cells: &[&str]) {
+    let row = format_row(&cells.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
+    println!("{row}");
+    println!("{}", "-".repeat(row.chars().count()));
+}
+
+fn format_row(cells: &[String]) -> String {
+    let formatted: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    formatted.join(" | ")
+}
+
+/// When `DIRCUT_STATS` is set, prints the per-stage solve / cut-query /
+/// wall-clock report to **stderr** (stdout is reserved for the
+/// experiment tables, which must stay byte-identical run to run).
+pub fn maybe_print_stage_report() {
+    if std::env::var_os("DIRCUT_STATS").is_none() {
+        return;
+    }
+    let report = dircut_graph::stats::stage_report();
+    eprintln!(
+        "\n[DIRCUT_STATS] total solves: {}, total cut queries: {}",
+        dircut_graph::stats::total_solves(),
+        dircut_graph::stats::total_cut_queries()
+    );
+    eprintln!(
+        "[DIRCUT_STATS] {:<32} {:>6} {:>10} {:>12} {:>12}",
+        "stage", "runs", "solves", "cut_queries", "wall_ms"
+    );
+    // One pass per stage: its row, then its named metrics (link
+    // transcripts: bits sent/acked, retries, drops, latency buckets)
+    // indented directly beneath it, so a stage's numbers read as one
+    // block instead of being split across two sweeps of the registry.
+    for (stage, stat) in &report {
+        eprintln!(
+            "[DIRCUT_STATS] {:<32} {:>6} {:>10} {:>12} {:>12.1}",
+            stage,
+            stat.runs,
+            stat.solves,
+            stat.cut_queries,
+            stat.wall.as_secs_f64() * 1e3
+        );
+        for (name, value) in &stat.metrics {
+            eprintln!("[DIRCUT_STATS] {stage:<32}   .{name} = {value}");
+        }
+    }
+}
+
+fn sections() -> &'static Mutex<Vec<(String, EngineReport)>> {
+    static SECTIONS: OnceLock<Mutex<Vec<(String, EngineReport)>>> = OnceLock::new();
+    SECTIONS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers one engine run for the end-of-process JSON document.
+pub fn record_section(label: &str, report: &EngineReport) {
+    sections()
+        .lock()
+        .expect("sections registry poisoned")
+        .push((label.to_owned(), report.clone()));
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        // NaN/inf are not JSON; a degraded run's estimate becomes null.
+        "null".to_owned()
+    }
+}
+
+/// Renders every registered section as the `dircut-reductions-v1`
+/// document.
+#[must_use]
+pub fn reductions_json(bin: &str) -> String {
+    let sections = sections().lock().expect("sections registry poisoned");
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"dircut-reductions-v1\",");
+    let _ = writeln!(out, "  \"bin\": {},", json_str(bin));
+    out.push_str("  \"sections\": [\n");
+    for (si, (label, report)) in sections.iter().enumerate() {
+        let (lo, hi) = report.wilson95();
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"label\": {},", json_str(label));
+        let _ = writeln!(out, "      \"reduction\": {},", json_str(&report.reduction));
+        let _ = writeln!(out, "      \"trials\": {},", report.trials());
+        let _ = writeln!(out, "      \"successes\": {},", report.successes());
+        let _ = writeln!(
+            out,
+            "      \"success_rate\": {},",
+            json_f64(report.success_rate())
+        );
+        let _ = writeln!(
+            out,
+            "      \"wilson95\": [{}, {}],",
+            json_f64(lo),
+            json_f64(hi)
+        );
+        let _ = writeln!(
+            out,
+            "      \"total_wire_bits\": {},",
+            report.total_wire_bits()
+        );
+        let _ = writeln!(
+            out,
+            "      \"mean_cut_queries\": {},",
+            json_f64(report.mean_cut_queries())
+        );
+        out.push_str("      \"records\": [\n");
+        for (ri, r) in report.records.iter().enumerate() {
+            let mut aux = String::new();
+            for (ai, (name, value)) in r.aux.iter().enumerate() {
+                if ai > 0 {
+                    aux.push_str(", ");
+                }
+                let _ = write!(aux, "{}: {}", json_str(name), json_f64(*value));
+            }
+            let _ = write!(
+                out,
+                "        {{\"trial\": {}, \"success\": {}, \"wire_bits\": {}, \
+                 \"cut_queries\": {}, \"flow_solves\": {}, \"measured_cut_queries\": {}, \
+                 \"measured_solves\": {}, \"wall_ns\": {}, \"aux\": {{{}}}}}",
+                r.trial,
+                r.success,
+                r.wire_bits,
+                r.cut_queries,
+                r.flow_solves,
+                r.measured_cut_queries,
+                r.measured_solves,
+                r.wall_ns,
+                aux
+            );
+            out.push_str(if ri + 1 < report.records.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if si + 1 < sections.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the JSON document to `DIRCUT_BENCH_JSON` (path override) or
+/// `BENCH_reductions.json` in the working directory.
+///
+/// # Panics
+/// Panics if the file cannot be written — the experiment's record is
+/// part of its contract.
+pub fn write_reductions_json(bin: &str) {
+    let path =
+        std::env::var("DIRCUT_BENCH_JSON").unwrap_or_else(|_| "BENCH_reductions.json".to_owned());
+    std::fs::write(&path, reductions_json(bin)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TrialRecord;
+
+    #[test]
+    fn json_document_has_schema_sections_and_records() {
+        let report = EngineReport {
+            reduction: "foreach-index".into(),
+            records: vec![TrialRecord {
+                trial: 0,
+                success: true,
+                wire_bits: 64,
+                cut_queries: 4,
+                flow_solves: 0,
+                measured_cut_queries: 0,
+                measured_solves: 0,
+                wall_ns: 123,
+                aux: vec![("err", 0.5), ("nan_guard", f64::NAN)],
+            }],
+        };
+        record_section("unit-test-section", &report);
+        let doc = reductions_json("unit-test");
+        assert!(doc.contains("\"schema\": \"dircut-reductions-v1\""));
+        assert!(doc.contains("\"label\": \"unit-test-section\""));
+        assert!(doc.contains("\"reduction\": \"foreach-index\""));
+        assert!(doc.contains("\"wilson95\": ["));
+        assert!(doc.contains("\"err\": 0.5"));
+        // Non-finite aux values must not produce invalid JSON tokens.
+        assert!(doc.contains("\"nan_guard\": null"));
+        assert!(!doc.contains("NaN"));
+    }
+
+    #[test]
+    fn header_separator_tracks_actual_row_width() {
+        // The formatted row for k cells of width ≤ 14 is 14k + 3(k−1)
+        // characters; a wide cell stretches both the row and the rule.
+        let short = format_row(&["a".into(), "b".into()]);
+        assert_eq!(short.chars().count(), 14 * 2 + 3);
+        let wide = format_row(&["max rel err (sampled cuts)".into(), "b".into()]);
+        assert_eq!(wide.chars().count(), 26 + 3 + 14);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\u0009here\"");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the trial engine: every record is a pure
+//! function of `(reduction, seeding, trial)`, so whole-report
+//! fingerprints are bit-identical across worker-pool widths,
+//! scheduling orders, and repeated runs — for all three paper
+//! reductions and all three seeding disciplines.
+
+use dircut_bench::{Seeding, TrialEngine};
+use dircut_core::reduction::{
+    ForAllGapHammingReduction, ForEachIndexReduction, OracleSpec, TwoSumMinCutReduction,
+};
+use dircut_core::{ForAllParams, ForEachParams, SubsetSearch};
+use dircut_sketch::adversarial::NoiseModel;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn foreach_rdx(noisy: bool) -> ForEachIndexReduction {
+    ForEachIndexReduction {
+        params: ForEachParams::new(4, 1, 2),
+        oracle: if noisy {
+            OracleSpec::Noisy {
+                err: 0.1,
+                model: NoiseModel::SignedRelative,
+            }
+        } else {
+            OracleSpec::Exact
+        },
+    }
+}
+
+fn forall_rdx() -> ForAllGapHammingReduction {
+    ForAllGapHammingReduction {
+        params: ForAllParams::new(1, 8, 2),
+        half_gap: 2,
+        search: SubsetSearch::Exact,
+        oracle: OracleSpec::Exact,
+    }
+}
+
+fn twosum_rdx() -> TwoSumMinCutReduction {
+    TwoSumMinCutReduction {
+        t: 4,
+        l: 64,
+        alpha: 2,
+        intersecting: 2,
+        eps: 0.2,
+        beta0: 0.25,
+        algo_seed: 13,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For-each records are bit-identical across thread counts under
+    /// the substream discipline.
+    #[test]
+    fn foreach_substream_is_thread_invariant(
+        seed in 0u64..10_000,
+        trials in 1usize..24,
+        noisy in any::<bool>(),
+    ) {
+        let rdx = foreach_rdx(noisy);
+        let reference = TrialEngine::new(1).run(&rdx, trials, Seeding::Substream(seed));
+        for threads in [4usize, 8] {
+            let rep = TrialEngine::new(threads).run(&rdx, trials, Seeding::Substream(seed));
+            prop_assert_eq!(rep.fingerprint(), reference.fingerprint());
+        }
+    }
+
+    /// Same invariance under the legacy reseed-per-rep discipline.
+    #[test]
+    fn foreach_offset_is_thread_invariant(
+        base in 0u64..10_000,
+        trials in 1usize..24,
+    ) {
+        let rdx = foreach_rdx(true);
+        let reference = TrialEngine::new(1).run(&rdx, trials, Seeding::Offset(base));
+        for threads in [4usize, 8] {
+            let rep = TrialEngine::new(threads).run(&rdx, trials, Seeding::Offset(base));
+            prop_assert_eq!(rep.fingerprint(), reference.fingerprint());
+        }
+    }
+
+    /// Shared-stream runs re-create the caller RNG per run, so records
+    /// must match across thread counts AND across repeated runs.
+    #[test]
+    fn foreach_shared_is_thread_invariant(
+        seed in 0u64..10_000,
+        trials in 1usize..24,
+    ) {
+        let rdx = foreach_rdx(true);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let reference = TrialEngine::new(1).run(&rdx, trials, Seeding::Shared(&mut rng));
+        for threads in [4usize, 8] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let rep = TrialEngine::new(threads).run(&rdx, trials, Seeding::Shared(&mut rng));
+            prop_assert_eq!(rep.fingerprint(), reference.fingerprint());
+        }
+    }
+}
+
+proptest! {
+    // The for-all game enumerates C(8,4) subsets per trial and the
+    // 2-SUM game runs a real max-flow — keep the case counts low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For-all records are bit-identical across thread counts.
+    #[test]
+    fn forall_substream_is_thread_invariant(
+        seed in 0u64..1_000,
+        trials in 1usize..8,
+    ) {
+        let rdx = forall_rdx();
+        let reference = TrialEngine::new(1).run(&rdx, trials, Seeding::Substream(seed));
+        for threads in [4usize, 8] {
+            let rep = TrialEngine::new(threads).run(&rdx, trials, Seeding::Substream(seed));
+            prop_assert_eq!(rep.fingerprint(), reference.fingerprint());
+        }
+    }
+}
+
+/// The Theorem 1.3 pipeline (gadget build, Lemma 5.5 max-flow, local
+/// algorithm) is deterministic across thread counts and repeated runs.
+#[test]
+fn twosum_is_thread_invariant_and_repeatable() {
+    let rdx = twosum_rdx();
+    let reference = TrialEngine::new(1).run(&rdx, 3, Seeding::Offset(11));
+    for threads in [4usize, 8] {
+        let rep = TrialEngine::new(threads).run(&rdx, 3, Seeding::Offset(11));
+        assert_eq!(rep.fingerprint(), reference.fingerprint());
+    }
+    let again = TrialEngine::new(4).run(&rdx, 3, Seeding::Offset(11));
+    assert_eq!(again.fingerprint(), reference.fingerprint());
+}
+
+/// Repeated runs on the same engine are identical (no hidden state
+/// leaks between runs through the stats registry or the worker pool).
+#[test]
+fn repeated_runs_are_identical() {
+    let rdx = foreach_rdx(true);
+    let engine = TrialEngine::new(4);
+    let a = engine.run(&rdx, 20, Seeding::Substream(42));
+    let b = engine.run(&rdx, 20, Seeding::Substream(42));
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}

@@ -9,6 +9,7 @@
 //! dircut sketch --eps 0.25 --beta 4 --model foreach|forall [FILE]
 //! dircut dist --servers 4 --eps 0.25 [--drop P] [--kill LIST] [FILE]
 //! dircut dot [FILE]                   # Graphviz export
+//! dircut repro foreach|forall|localquery|all [--trials N] [--seed S] [--threads T]
 //! ```
 //!
 //! Exit codes are typed: `0` success, `2` bad usage, `3` I/O or input
@@ -135,6 +136,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("sketch") => cmd_sketch(&args[1..]),
         Some("dist") => cmd_dist(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
+        Some("repro") => cmd_repro(&args[1..]),
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -153,6 +155,8 @@ USAGE:
               [--corrupt P] [--delay P] [--timeout T] [--retries R]
               [--kill LIST] [FILE]
   dircut dot     [FILE]
+  dircut repro foreach|forall|localquery|all
+              [--trials N] [--seed S] [--threads T]
 
 Graphs are plain-text edge lists (`n <count>` / `e <u> <v> <w>`);
 FILE defaults to stdin, so commands pipe into each other.
@@ -361,6 +365,97 @@ fn cmd_sketch(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `dircut repro`: re-run the paper's lower-bound games on the trial
+/// engine under the substream seeding discipline (`seed_from_u64(S)` +
+/// `set_stream(trial)`), print one summary row per reduction with its
+/// Wilson 95% interval, and write the per-trial records to
+/// `BENCH_reductions.json` (path overridable via `DIRCUT_BENCH_JSON`).
+/// Results are bit-identical at any `--threads` / `DIRCUT_THREADS`.
+fn cmd_repro(args: &[String]) -> Result<(), CliError> {
+    use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
+    use dircut_core::reduction::{
+        ForAllGapHammingReduction, ForEachIndexReduction, OracleSpec, TwoSumMinCutReduction,
+    };
+    use dircut_core::{ForAllParams, ForEachParams, SubsetSearch};
+
+    let target = args.first().map(String::as_str).ok_or_else(|| {
+        CliError::Usage("repro needs a target (foreach|forall|localquery|all)".into())
+    })?;
+    let flags = Flags::parse(&args[1..])?;
+    let seed: u64 = flags.num("seed")?.unwrap_or(0);
+    let engine = match flags.num::<usize>("threads")? {
+        Some(t) => TrialEngine::new(t),
+        None => TrialEngine::with_default_threads(),
+    };
+    let run_foreach = |trials: usize| {
+        let rdx = ForEachIndexReduction {
+            params: ForEachParams::new(8, 2, 2),
+            oracle: OracleSpec::Exact,
+        };
+        engine.run(&rdx, trials, Seeding::Substream(seed))
+    };
+    let run_forall = |trials: usize| {
+        let rdx = ForAllGapHammingReduction {
+            params: ForAllParams::new(1, 16, 2),
+            half_gap: 2,
+            search: SubsetSearch::Exact,
+            oracle: OracleSpec::Exact,
+        };
+        engine.run(&rdx, trials, Seeding::Substream(seed))
+    };
+    let run_localquery = |trials: usize| {
+        let rdx = TwoSumMinCutReduction {
+            t: 4,
+            l: 64,
+            alpha: 2,
+            intersecting: 2,
+            eps: 0.2,
+            beta0: 0.25,
+            algo_seed: 13,
+        };
+        engine.run(&rdx, trials, Seeding::Substream(seed))
+    };
+    let trials: Option<usize> = flags.num("trials")?;
+    let reports = match target {
+        "foreach" => vec![run_foreach(trials.unwrap_or(40))],
+        "forall" => vec![run_forall(trials.unwrap_or(24))],
+        "localquery" => vec![run_localquery(trials.unwrap_or(8))],
+        "all" => vec![
+            run_foreach(trials.unwrap_or(40)),
+            run_forall(trials.unwrap_or(24)),
+            run_localquery(trials.unwrap_or(8)),
+        ],
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown repro target `{other}` (foreach|forall|localquery|all)"
+            )))
+        }
+    };
+    print_header(&[
+        "reduction",
+        "trials",
+        "success",
+        "wilson95 lo",
+        "wilson95 hi",
+        "mean queries",
+    ]);
+    for rep in &reports {
+        record_section(&format!("repro {}", rep.reduction), rep);
+        let (lo, hi) = rep.wilson95();
+        print_row(&[
+            rep.reduction.clone(),
+            rep.trials().to_string(),
+            format!("{:.3}", rep.success_rate()),
+            format!("{lo:.3}"),
+            format!("{hi:.3}"),
+            format!("{:.1}", rep.mean_cut_queries()),
+        ]);
+    }
+    dircut_bench::write_reductions_json("dircut-repro");
+    println!("\nper-trial records: BENCH_reductions.json (override with DIRCUT_BENCH_JSON)");
+    Ok(())
+}
+
 fn cmd_dot(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args)?;
     let g = read_graph(&flags)?;
@@ -466,6 +561,14 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert!(parse_side("9", 5).is_err());
         assert!(parse_side("x", 5).is_err());
+    }
+
+    #[test]
+    fn repro_rejects_unknown_targets() {
+        let err = run(&["repro".to_string(), "bogus".to_string()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = run(&["repro".to_string()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]

@@ -1,17 +1,15 @@
-//! End-to-end Alice → Bob games: the paper's reductions executed
-//! against arbitrary cut oracles.
+//! Shared vocabulary of the end-to-end Alice → Bob games.
 //!
-//! These are the measurement harnesses behind experiments E1 and E2:
-//! sample the hard distribution, encode it as a gadget graph, hand Bob
-//! an oracle (exact, honest sketch, noisy, or budgeted), and record how
-//! often he decodes correctly. The paper's theorems predict where the
-//! success rate collapses.
+//! The games themselves — sample the hard distribution, encode it as a
+//! gadget graph, hand Bob an oracle, record whether he decodes — live
+//! in [`crate::reduction`] as [`Reduction`](crate::reduction::Reduction)
+//! implementations, run either sequentially through
+//! [`run_reduction_game`](crate::reduction::run_reduction_game) or in
+//! parallel through the `dircut-bench` trial engine. This module keeps
+//! the pieces every game shares: the aggregate [`GameReport`] and the
+//! Gap-Hamming instance planter.
 
-use crate::forall::{ForAllDecoder, ForAllEncoding, ForAllParams, SubsetSearch};
-use crate::foreach::{ForEachDecoder, ForEachEncoding, ForEachParams};
-use dircut_comm::gap_hamming::{hamming_distance, random_weighted_string};
-use dircut_graph::DiGraph;
-use dircut_sketch::CutOracle;
+use dircut_comm::gap_hamming::hamming_distance;
 use rand::Rng;
 
 /// Outcome of a repeated decoding game.
@@ -34,41 +32,6 @@ impl GameReport {
         } else {
             self.successes as f64 / self.trials as f64
         }
-    }
-}
-
-/// Runs the Section 3 Index game: Alice encodes a random sign string,
-/// Bob decodes one random bit through the oracle `make_oracle`
-/// produces for the encoded graph.
-pub fn run_foreach_index_game<R, F, O>(
-    params: ForEachParams,
-    trials: usize,
-    mut make_oracle: F,
-    rng: &mut R,
-) -> GameReport
-where
-    R: Rng,
-    F: FnMut(&DiGraph, &mut R) -> O,
-    O: CutOracle,
-{
-    let decoder = ForEachDecoder::new(params);
-    let mut successes = 0usize;
-    for _ in 0..trials {
-        let s: Vec<i8> = (0..params.total_bits())
-            .map(|_| if rng.gen_bool(0.5) { 1 } else { -1 })
-            .collect();
-        let enc = ForEachEncoding::encode(params, &s);
-        let q = rng.gen_range(0..params.total_bits());
-        let oracle = make_oracle(enc.graph(), rng);
-        let got = decoder.decode_bit(&oracle, q);
-        if got.sign == s[q] {
-            successes += 1;
-        }
-    }
-    GameReport {
-        trials,
-        successes,
-        mean_queries: 4.0,
     }
 }
 
@@ -111,59 +74,10 @@ pub fn plant_gap_target<R: Rng>(s: &[bool], half_gap: usize, far: bool, rng: &mu
     t
 }
 
-/// Runs the Section 4 Gap-Hamming game: Alice encodes random
-/// weight-`L/2` strings; one of them gets a planted far/close partner
-/// `t` handed to Bob, who decides the case through the oracle.
-///
-/// `half_gap` is the planted distance offset in units of 2 (so the
-/// distance is `L/2 ± 2·half_gap`; the paper's `c/ε` gap corresponds
-/// to `half_gap ≈ c/(2ε)`).
-pub fn run_forall_gap_hamming_game<R, F, O>(
-    params: ForAllParams,
-    half_gap: usize,
-    search: SubsetSearch,
-    trials: usize,
-    mut make_oracle: F,
-    rng: &mut R,
-) -> GameReport
-where
-    R: Rng,
-    F: FnMut(&DiGraph, &mut R) -> O,
-    O: CutOracle,
-{
-    let decoder = ForAllDecoder::new(params, search);
-    let l = params.inv_eps_sq;
-    let mut successes = 0usize;
-    let mut total_queries = 0usize;
-    for _ in 0..trials {
-        let mut strings: Vec<Vec<bool>> = (0..params.num_strings())
-            .map(|_| random_weighted_string(l, l / 2, rng))
-            .collect();
-        let q = rng.gen_range(0..params.num_strings());
-        let is_far = rng.gen_bool(0.5);
-        // Draw s_q and t jointly: t is random of weight L/2, s_q is
-        // planted at the promised distance from it.
-        let t = random_weighted_string(l, l / 2, rng);
-        strings[q] = plant_gap_target(&t, half_gap, is_far, rng);
-        let enc = ForAllEncoding::encode(params, &strings);
-        let oracle = make_oracle(enc.graph(), rng);
-        let decision = decoder.decide(&oracle, q, &t, rng);
-        total_queries += decision.cut_queries;
-        if decision.is_far == is_far {
-            successes += 1;
-        }
-    }
-    GameReport {
-        trials,
-        successes,
-        mean_queries: total_queries as f64 / trials.max(1) as f64,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dircut_sketch::adversarial::{NoiseModel, NoisyOracle};
+    use dircut_comm::gap_hamming::random_weighted_string;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -177,54 +91,5 @@ mod tests {
         assert_eq!(hamming_distance(&s, &close), 16 - 6);
         assert_eq!(far.iter().filter(|&&b| b).count(), 16);
         assert_eq!(close.iter().filter(|&&b| b).count(), 16);
-    }
-
-    #[test]
-    fn foreach_game_succeeds_with_exact_oracle() {
-        let params = ForEachParams::new(4, 1, 2);
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let report = run_foreach_index_game(
-            params,
-            30,
-            |g, _| dircut_sketch::EdgeListSketch::from_graph(g),
-            &mut rng,
-        );
-        assert_eq!(report.success_rate(), 1.0);
-    }
-
-    #[test]
-    fn foreach_game_fails_with_excessive_noise() {
-        // Noise far above the c₂ε/ln(1/ε) threshold destroys decoding:
-        // success should fall toward a coin flip.
-        let params = ForEachParams::new(4, 1, 2);
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let report = run_foreach_index_game(
-            params,
-            200,
-            |g, r| NoisyOracle::new(g.clone(), 0.5, r.gen(), NoiseModel::SignedRelative),
-            &mut rng,
-        );
-        let rate = report.success_rate();
-        assert!(rate < 0.75, "noise ε = 0.5 still decodes at rate {rate}");
-    }
-
-    #[test]
-    fn forall_game_succeeds_with_exact_oracle() {
-        let params = ForAllParams::new(1, 8, 2);
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let report = run_forall_gap_hamming_game(
-            params,
-            2,
-            SubsetSearch::Exact,
-            20,
-            |g, _| dircut_sketch::EdgeListSketch::from_graph(g),
-            &mut rng,
-        );
-        assert!(
-            report.success_rate() >= 0.8,
-            "exact oracle succeeds only at {}",
-            report.success_rate()
-        );
-        assert_eq!(report.mean_queries, 70.0); // C(8,4)
     }
 }

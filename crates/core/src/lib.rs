@@ -10,8 +10,12 @@
 //! * [`mincut_lb`] — Section 5 / Theorem 1.3: the `G_{x,y}` gadget,
 //!   Lemma 5.5 verified by max-flow, the 2-bits-per-query oracle
 //!   simulation, and the 2-SUM reduction,
-//! * [`games`] — the reductions run end-to-end against arbitrary
-//!   oracles, reporting success rates and query counts,
+//! * [`reduction`] — all of the above behind one [`Reduction`] trait:
+//!   sample → encode → decode → verify, with a resource bill per
+//!   artifact; the `dircut-bench` trial engine fans any implementation
+//!   over the deterministic worker pool,
+//! * [`games`] — the aggregate report type and the Gap-Hamming
+//!   instance planter shared by every game,
 //! * [`protocol`] — the Theorem 1.1 game as a literal bit-counted
 //!   one-way protocol (Alice's message = a serialized sketch),
 //! * [`naive`] — the one-bit-per-edge encoding of Section 1.2 and its
@@ -26,10 +30,17 @@ pub mod games;
 pub mod mincut_lb;
 pub mod naive;
 pub mod protocol;
+pub mod reduction;
 
 pub use forall::{ForAllDecoder, ForAllEncoding, ForAllParams, SubsetSearch};
 pub use foreach::{ForEachDecoder, ForEachEncoding, ForEachParams};
-pub use games::{run_forall_gap_hamming_game, run_foreach_index_game, GameReport};
+pub use games::{plant_gap_target, GameReport};
 pub use mincut_lb::{solve_twosum_via_mincut, GxyGraph, GxyOracle, Region, TwoSumViaMinCut};
-pub use naive::{run_naive_index_game, NaiveDecoder, NaiveEncoding, NaiveParams};
+pub use naive::{NaiveDecoder, NaiveEncoding, NaiveParams};
 pub use protocol::{ExactEdgeListSketcher, ForAllGapHammingProtocol, ForEachIndexProtocol};
+pub use reduction::{
+    run_reduction_game, AnyOracle, ForAllGapHammingReduction, ForAllHeadToHeadReduction,
+    ForAllLemma43Reduction, ForAllProtocolReduction, ForAllSketchReduction, ForEachIndexReduction,
+    ForEachProtocolReduction, ForEachSketchReduction, NaiveIndexReduction, OracleSpec, Reduction,
+    Resources, TrialOutcome, TwoSumMinCutReduction,
+};

@@ -19,7 +19,6 @@
 
 use dircut_graph::{DiGraph, NodeId, NodeSet};
 use dircut_sketch::CutOracle;
-use rand::Rng;
 
 /// Parameters of the naive one-bit-per-edge gadget: a single `k×k`
 /// bipartite pair (`k = √β/ε` in the paper's regime).
@@ -149,48 +148,15 @@ impl NaiveDecoder {
     }
 }
 
-/// Runs the naive Index game (mirror of
-/// [`crate::games::run_foreach_index_game`]) and reports the success
-/// rate.
-pub fn run_naive_index_game<R, F, O>(
-    params: NaiveParams,
-    trials: usize,
-    mut make_oracle: F,
-    rng: &mut R,
-) -> crate::games::GameReport
-where
-    R: Rng,
-    F: FnMut(&DiGraph, &mut R) -> O,
-    O: CutOracle,
-{
-    let decoder = NaiveDecoder::new(params);
-    let mut successes = 0usize;
-    for _ in 0..trials {
-        let bits: Vec<bool> = (0..params.total_bits())
-            .map(|_| rng.gen_bool(0.5))
-            .collect();
-        let enc = NaiveEncoding::encode(params, &bits);
-        let q = rng.gen_range(0..params.total_bits());
-        let oracle = make_oracle(enc.graph(), rng);
-        if decoder.decode_bit(&oracle, q) == bits[q] {
-            successes += 1;
-        }
-    }
-    crate::games::GameReport {
-        trials,
-        successes,
-        mean_queries: 1.0,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::games::run_foreach_index_game;
+    use crate::reduction::{
+        run_reduction_game, ForEachIndexReduction, NaiveIndexReduction, OracleSpec,
+    };
     use crate::ForEachParams;
     use dircut_graph::balance::edgewise_balance_bound;
-    use dircut_sketch::adversarial::{NoiseModel, NoisyOracle};
-    use dircut_sketch::EdgeListSketch;
+    use dircut_sketch::adversarial::NoiseModel;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -198,9 +164,13 @@ mod tests {
     fn exact_oracle_decodes_naive_encoding() {
         let params = NaiveParams::new(8, 4.0);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let report =
-            run_naive_index_game(params, 40, |g, _| EdgeListSketch::from_graph(g), &mut rng);
+        let rdx = NaiveIndexReduction {
+            params,
+            oracle: OracleSpec::Exact,
+        };
+        let report = run_reduction_game(&rdx, 40, &mut rng);
         assert_eq!(report.success_rate(), 1.0);
+        assert_eq!(report.mean_queries, 1.0);
     }
 
     #[test]
@@ -241,23 +211,23 @@ mod tests {
         let noise = 0.25 * eps / (1.0 / eps).ln(); // the threshold level
         let trials = 200;
 
-        let hadamard = ForEachParams::new(inv_eps, sqrt_beta, 2);
+        let noisy = OracleSpec::Noisy {
+            err: noise,
+            model: NoiseModel::SignedRelative,
+        };
+        let hadamard = ForEachIndexReduction {
+            params: ForEachParams::new(inv_eps, sqrt_beta, 2),
+            oracle: noisy,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let good = run_foreach_index_game(
-            hadamard,
-            trials,
-            |g, r| NoisyOracle::new(g.clone(), noise, r.gen(), NoiseModel::SignedRelative),
-            &mut rng,
-        );
+        let good = run_reduction_game(&hadamard, trials, &mut rng);
 
-        let naive = NaiveParams::new(sqrt_beta * inv_eps, (sqrt_beta * sqrt_beta) as f64);
+        let naive = NaiveIndexReduction {
+            params: NaiveParams::new(sqrt_beta * inv_eps, (sqrt_beta * sqrt_beta) as f64),
+            oracle: noisy,
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let bad = run_naive_index_game(
-            naive,
-            trials,
-            |g, r| NoisyOracle::new(g.clone(), noise, r.gen(), NoiseModel::SignedRelative),
-            &mut rng,
-        );
+        let bad = run_reduction_game(&naive, trials, &mut rng);
 
         assert!(
             good.success_rate() >= 0.9,

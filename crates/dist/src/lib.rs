@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod link;
+pub mod reduction;
 pub mod runtime;
 
 use dircut_comm::{BitReader, BitWriter, WireEncode, WireError};
@@ -53,6 +54,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 pub use link::{FaultConfig, FaultyLink};
+pub use reduction::{DistArtifact, DistPath, DistReduction};
 pub use runtime::{fault_injected_min_cut, DistError, RuntimeConfig, RuntimeOutcome};
 
 /// Splits a graph's edges uniformly at random across `servers`

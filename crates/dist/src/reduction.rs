@@ -1,0 +1,255 @@
+//! The distributed runtime as a [`Reduction`]: one trial = one full
+//! protocol run (partition → server sketches → coordinator decode)
+//! scored against the known min cut.
+//!
+//! This is the fourth pipeline behind the unified trait — the three
+//! lower-bound games live in `dircut_core::reduction`; this one wraps
+//! the *upper bound* the paper's Theorem 1.4 matches, so the same
+//! `TrialEngine` tables and `BENCH_reductions.json` records cover both
+//! sides of the tight bound. The wire bits reported through
+//! [`Reduction::resources`] are the protocol's own serialized count,
+//! so a sweep's `total_wire_bits` column is exactly what the legacy
+//! bespoke loops printed.
+
+use crate::runtime::{fault_injected_min_cut, RuntimeConfig};
+use crate::{
+    distributed_min_cut, forall_only_min_cut, linear_fine_min_cut, DistributedMinCut,
+    ProtocolConfig,
+};
+use dircut_core::reduction::{Reduction, Resources, TrialOutcome};
+use dircut_graph::DiGraph;
+use rand::Rng;
+
+/// Which coordinator pipeline a trial exercises.
+#[derive(Debug, Clone)]
+pub enum DistPath {
+    /// The paper's two-tier protocol: coarse for-all + fine for-each.
+    TwoTier,
+    /// Ablation A1a: the fine tier is a second for-all sketch.
+    ForAllOnly,
+    /// Ablation A1b: the fine tier is a linear (ℓ₂) sketch.
+    LinearFine,
+    /// The message-passing runtime with fault injection; the embedded
+    /// [`RuntimeConfig`] carries its own protocol parameters and link
+    /// fault model.
+    FaultInjected(RuntimeConfig),
+}
+
+/// One distributed min-cut trial on a fixed graph.
+#[derive(Debug, Clone)]
+pub struct DistReduction<'a> {
+    /// The input graph (shared across trials).
+    pub graph: &'a DiGraph,
+    /// Number of servers the edges are partitioned over.
+    pub servers: usize,
+    /// Protocol parameters for the in-process paths (the
+    /// [`DistPath::FaultInjected`] path uses its own
+    /// [`RuntimeConfig::protocol`] instead).
+    pub cfg: ProtocolConfig,
+    /// Which pipeline to run.
+    pub path: DistPath,
+    /// `Some(s)` replays a legacy single-shot call on seed `s`;
+    /// `None` draws a fresh protocol seed from the trial RNG.
+    pub seed: Option<u64>,
+    /// The true min-cut value, for error accounting.
+    pub truth: f64,
+}
+
+/// What one protocol run produced (the "message" of this reduction —
+/// everything the coordinator knows).
+#[derive(Debug, Clone)]
+pub struct DistArtifact {
+    /// The coordinator's estimate (`NaN` when every server was lost).
+    pub estimate: f64,
+    /// Serialized bits shipped by the servers.
+    pub wire_bits: u64,
+    /// Whether the runtime fell back to degraded mode (lost servers).
+    pub degraded: bool,
+    /// Servers whose sketches reached the coordinator.
+    pub arrived: usize,
+}
+
+impl DistReduction<'_> {
+    fn epsilon(&self) -> f64 {
+        match &self.path {
+            DistPath::FaultInjected(rc) => rc.protocol.epsilon,
+            _ => self.cfg.epsilon,
+        }
+    }
+
+    fn clean(answer: &DistributedMinCut, servers: usize) -> DistArtifact {
+        DistArtifact {
+            estimate: answer.estimate,
+            wire_bits: answer.total_wire_bits as u64,
+            degraded: false,
+            arrived: servers,
+        }
+    }
+}
+
+impl Reduction for DistReduction<'_> {
+    type Instance = u64;
+    type Artifact = DistArtifact;
+    type Answer = DistArtifact;
+
+    fn name(&self) -> &'static str {
+        match self.path {
+            DistPath::TwoTier => "dist-two-tier",
+            DistPath::ForAllOnly => "dist-forall-only",
+            DistPath::LinearFine => "dist-linear-fine",
+            DistPath::FaultInjected(_) => "dist-fault-injected",
+        }
+    }
+
+    fn sample<R: Rng>(&self, _trial: usize, rng: &mut R) -> Self::Instance {
+        self.seed.unwrap_or_else(|| rng.gen())
+    }
+
+    fn encode(&self, inst: &Self::Instance) -> Self::Artifact {
+        match &self.path {
+            DistPath::TwoTier => Self::clean(
+                &distributed_min_cut(self.graph, self.servers, self.cfg, *inst),
+                self.servers,
+            ),
+            DistPath::ForAllOnly => Self::clean(
+                &forall_only_min_cut(self.graph, self.servers, self.cfg, *inst),
+                self.servers,
+            ),
+            DistPath::LinearFine => Self::clean(
+                &linear_fine_min_cut(self.graph, self.servers, self.cfg, *inst),
+                self.servers,
+            ),
+            DistPath::FaultInjected(rc) => {
+                match fault_injected_min_cut(self.graph, self.servers, rc, *inst) {
+                    Ok(out) => DistArtifact {
+                        estimate: out.answer.estimate,
+                        wire_bits: out.answer.total_wire_bits as u64,
+                        degraded: out.degraded,
+                        arrived: out.arrived,
+                    },
+                    // Total loss is an outcome, not a panic: the trial
+                    // records a null estimate and fails verification.
+                    Err(_) => DistArtifact {
+                        estimate: f64::NAN,
+                        wire_bits: 0,
+                        degraded: true,
+                        arrived: 0,
+                    },
+                }
+            }
+        }
+    }
+
+    fn decode<R: Rng>(&self, artifact: &Self::Artifact, _rng: &mut R) -> Self::Answer {
+        artifact.clone()
+    }
+
+    fn verify(&self, _inst: &Self::Instance, answer: &Self::Answer) -> TrialOutcome {
+        let rel_err = (answer.estimate - self.truth).abs() / self.truth;
+        let success = !answer.degraded && rel_err <= self.epsilon();
+        TrialOutcome::new(success, 0)
+            .with_aux("estimate", answer.estimate)
+            .with_aux("rel_err", rel_err)
+            .with_aux("arrived", answer.arrived as f64)
+    }
+
+    fn resources(&self, artifact: &Self::Artifact) -> Resources {
+        Resources {
+            wire_bits: artifact.wire_bits,
+            cut_queries: 0,
+            flow_solves: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::FaultConfig;
+    use dircut_core::reduction::run_reduction_game;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn test_graph(n: usize, seed: u64) -> DiGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(0.7) {
+                    edges.push((u, v, rng.gen_range(0.5..2.0)));
+                }
+            }
+            edges.push((u, (u + 1) % n, 1.0));
+        }
+        crate::symmetric_graph(n, &edges)
+    }
+
+    fn small_cfg(eps: f64) -> ProtocolConfig {
+        let mut cfg = ProtocolConfig::new(eps);
+        cfg.enumeration_trials = 40;
+        cfg
+    }
+
+    #[test]
+    fn fixed_seed_trial_replays_the_direct_call() {
+        let g = test_graph(16, 1);
+        let cfg = small_cfg(0.3);
+        let direct = distributed_min_cut(&g, 3, cfg, 9);
+        let rdx = DistReduction {
+            graph: &g,
+            servers: 3,
+            cfg,
+            path: DistPath::TwoTier,
+            seed: Some(9),
+            truth: dircut_graph::mincut::stoer_wagner(&g).value / 2.0,
+        };
+        let art = rdx.encode(&9);
+        assert_eq!(art.estimate.to_bits(), direct.estimate.to_bits());
+        assert_eq!(art.wire_bits, direct.total_wire_bits as u64);
+        assert!(!art.degraded);
+        assert_eq!(art.arrived, 3);
+    }
+
+    #[test]
+    fn fault_injected_path_reports_degraded_trials() {
+        let g = test_graph(16, 4);
+        let faults = FaultConfig {
+            dead: vec![1],
+            ..FaultConfig::clean()
+        };
+        let rc = RuntimeConfig::with_faults(small_cfg(0.25), faults);
+        let rdx = DistReduction {
+            graph: &g,
+            servers: 4,
+            cfg: rc.protocol,
+            path: DistPath::FaultInjected(rc),
+            seed: Some(5),
+            truth: dircut_graph::mincut::stoer_wagner(&g).value / 2.0,
+        };
+        let art = rdx.encode(&5);
+        assert!(art.degraded);
+        assert_eq!(art.arrived, 3);
+        assert!(art.estimate.is_finite());
+        assert!(art.wire_bits > 0);
+    }
+
+    #[test]
+    fn total_server_loss_is_a_failed_trial_not_a_panic() {
+        let g = test_graph(10, 5);
+        let faults = FaultConfig {
+            dead: vec![0, 1],
+            ..FaultConfig::clean()
+        };
+        let rc = RuntimeConfig::with_faults(small_cfg(0.3), faults);
+        let rdx = DistReduction {
+            graph: &g,
+            servers: 2,
+            cfg: rc.protocol,
+            path: DistPath::FaultInjected(rc),
+            seed: Some(3),
+            truth: dircut_graph::mincut::stoer_wagner(&g).value / 2.0,
+        };
+        let report = run_reduction_game(&rdx, 2, &mut ChaCha8Rng::seed_from_u64(0));
+        assert_eq!(report.successes, 0);
+    }
+}

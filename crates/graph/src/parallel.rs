@@ -74,20 +74,26 @@ where
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = Vec::with_capacity(tasks);
     slots.resize_with(tasks, || None);
-    let chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    let chunks: Vec<(Vec<(usize, T)>, crate::stats::ScopedCounts)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
-                    let mut state = init();
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= tasks {
-                            break;
+                    // Measure the worker's whole claim loop so its
+                    // stats can be credited to the spawning thread
+                    // below — `stats::scoped` counts then do not
+                    // depend on the thread count.
+                    crate::stats::scoped(|| {
+                        let mut state = init();
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= tasks {
+                                break;
+                            }
+                            local.push((i, f(&mut state, i)));
                         }
-                        local.push((i, f(&mut state, i)));
-                    }
-                    local
+                        local
+                    })
                 })
             })
             .collect();
@@ -96,7 +102,8 @@ where
             .map(|h| h.join().expect("engine worker panicked"))
             .collect()
     });
-    for chunk in chunks {
+    for (chunk, counts) in chunks {
+        crate::stats::add_scoped_counts(counts);
         for (i, v) in chunk {
             slots[i] = Some(v);
         }

@@ -7,6 +7,7 @@
 //! counters are cheap atomics plus one short mutex acquisition per
 //! stage, so leaving them on in production costs nothing measurable.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -19,6 +20,14 @@ static SOLVES: AtomicU64 = AtomicU64::new(0);
 /// Global count of cut queries (single and batched) since process
 /// start (or the last [`reset`]).
 static CUT_QUERIES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread mirror of [`SOLVES`], read by [`scoped`] to
+    /// attribute solves to one closure without racing other threads.
+    static SCOPED_SOLVES: Cell<u64> = Cell::new(0);
+    /// Per-thread mirror of [`CUT_QUERIES`] for [`scoped`].
+    static SCOPED_CUT_QUERIES: Cell<u64> = Cell::new(0);
+}
 
 /// Aggregated per-stage timings.
 #[derive(Debug, Clone, Default)]
@@ -46,6 +55,7 @@ fn registry() -> &'static Mutex<BTreeMap<String, StageStat>> {
 /// Records one `max_flow` solve. Called by the flow network itself.
 pub(crate) fn count_solve() {
     SOLVES.fetch_add(1, Ordering::Relaxed);
+    SCOPED_SOLVES.with(|c| c.set(c.get() + 1));
 }
 
 /// Records `k` cut queries. Called by the cut-query entry points
@@ -53,6 +63,51 @@ pub(crate) fn count_solve() {
 /// [`crate::cuteval`] batch kernels).
 pub(crate) fn count_cut_queries(k: u64) {
     CUT_QUERIES.fetch_add(k, Ordering::Relaxed);
+    SCOPED_CUT_QUERIES.with(|c| c.set(c.get() + k));
+}
+
+/// Counters attributed to one [`scoped`] closure on one thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScopedCounts {
+    /// `max_flow` solves issued inside the scope.
+    pub solves: u64,
+    /// Cut queries issued inside the scope.
+    pub cut_queries: u64,
+}
+
+/// Credits counts issued elsewhere to the current thread's scope
+/// mirrors (globals are untouched — the issuing threads already
+/// counted them). The worker pool calls this when a fan-out joins, so
+/// a [`scoped`] frame sees work it spawned through the pool.
+pub(crate) fn add_scoped_counts(counts: ScopedCounts) {
+    SCOPED_SOLVES.with(|c| c.set(c.get() + counts.solves));
+    SCOPED_CUT_QUERIES.with(|c| c.set(c.get() + counts.cut_queries));
+}
+
+/// Runs `f` and returns its result together with the solves and cut
+/// queries issued by the **current thread** while inside it —
+/// including work `f` fanned out through the
+/// [`crate::parallel`] pool, which credits its workers' counts back
+/// to the spawning thread when the fan-out joins. Counts are therefore
+/// independent of the pool's thread count.
+///
+/// The attribution is delta-based over thread-local mirrors of the
+/// global counters, so concurrent work on *unrelated* threads never
+/// bleeds in (and the global [`total_solves`] / [`total_cut_queries`]
+/// totals are untouched — `DIRCUT_STATS` reports keep working).
+/// Scopes nest: an inner scope's counts are included in the outer
+/// one's.
+pub fn scoped<T>(f: impl FnOnce() -> T) -> (T, ScopedCounts) {
+    let solves_before = SCOPED_SOLVES.with(Cell::get);
+    let queries_before = SCOPED_CUT_QUERIES.with(Cell::get);
+    let out = f();
+    let counts = ScopedCounts {
+        solves: SCOPED_SOLVES.with(Cell::get).saturating_sub(solves_before),
+        cut_queries: SCOPED_CUT_QUERIES
+            .with(Cell::get)
+            .saturating_sub(queries_before),
+    };
+    (out, counts)
 }
 
 /// Total `max_flow` solves recorded so far.
@@ -184,6 +239,68 @@ mod tests {
             .find(|(name, _)| name == stage)
             .expect("stage recorded");
         assert!(stat.cut_queries >= 3);
+    }
+
+    #[test]
+    fn scoped_attributes_only_this_threads_work() {
+        use crate::ids::{NodeId, NodeSet};
+        let ((), counts) = scoped(|| {
+            let mut g = crate::digraph::DiGraph::new(3);
+            g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+            let s = NodeSet::from_indices(3, [0]);
+            let _ = g.cut_out(&s);
+            let _ = g.cut_out(&s);
+        });
+        assert_eq!(counts.cut_queries, 2);
+        assert_eq!(counts.solves, 0);
+        // Work on a different thread is invisible to this scope.
+        let ((), outer) = scoped(|| {
+            std::thread::scope(|sc| {
+                sc.spawn(|| {
+                    let mut g = crate::digraph::DiGraph::new(2);
+                    g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+                    let s = NodeSet::from_indices(2, [0]);
+                    let _ = g.cut_out(&s);
+                });
+            });
+        });
+        assert_eq!(outer.cut_queries, 0);
+    }
+
+    #[test]
+    fn scoped_sees_work_fanned_through_the_pool() {
+        use crate::ids::{NodeId, NodeSet};
+        for threads in [1, 4] {
+            let ((), counts) = scoped(|| {
+                let _ = crate::parallel::run_indexed(8, threads, |i| {
+                    let mut g = crate::digraph::DiGraph::new(2);
+                    g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+                    let s = NodeSet::from_indices(2, [0]);
+                    let _ = g.cut_out(&s);
+                    i
+                });
+            });
+            assert_eq!(counts.cut_queries, 8, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_nests_and_leaves_globals_intact() {
+        use crate::ids::{NodeId, NodeSet};
+        let global_before = total_cut_queries();
+        let ((inner_counts,), outer_counts) = scoped(|| {
+            let mut g = crate::digraph::DiGraph::new(2);
+            g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+            let s = NodeSet::from_indices(2, [0]);
+            let _ = g.cut_out(&s);
+            let ((), inner) = scoped(|| {
+                let _ = g.cut_out(&s);
+            });
+            (inner,)
+        });
+        assert_eq!(inner_counts.cut_queries, 1);
+        assert_eq!(outer_counts.cut_queries, 2);
+        assert!(total_cut_queries() >= global_before + 2);
     }
 
     #[test]

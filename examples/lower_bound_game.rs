@@ -6,11 +6,9 @@
 //!
 //! Run with: `cargo run --release --example lower_bound_game`
 
-use dircut::core::games::run_foreach_index_game;
+use dircut::core::reduction::{run_reduction_game, ForEachIndexReduction, OracleSpec};
 use dircut::core::ForEachParams;
-use dircut::sketch::adversarial::{BudgetedSketch, NoiseModel, NoisyOracle};
-use dircut::sketch::EdgeListSketch;
-use rand::Rng;
+use dircut::sketch::adversarial::NoiseModel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -32,10 +30,12 @@ fn main() {
 
     println!("{:<34} {:>14}", "oracle", "success rate");
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let report = run_foreach_index_game(
-        params,
+    let report = run_reduction_game(
+        &ForEachIndexReduction {
+            params,
+            oracle: OracleSpec::Exact,
+        },
         trials,
-        |g, _| EdgeListSketch::from_graph(g),
         &mut rng,
     );
     println!("{:<34} {:>14.3}", "exact", report.success_rate());
@@ -44,10 +44,15 @@ fn main() {
     // bad. Below the threshold Bob still decodes; above it he cannot.
     for err in [0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4] {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let report = run_foreach_index_game(
-            params,
+        let report = run_reduction_game(
+            &ForEachIndexReduction {
+                params,
+                oracle: OracleSpec::Noisy {
+                    err,
+                    model: NoiseModel::SignedRelative,
+                },
+            },
             trials,
-            |g, r| NoisyOracle::new(g.clone(), err, r.gen(), NoiseModel::SignedRelative),
             &mut rng,
         );
         println!(
@@ -62,10 +67,12 @@ fn main() {
     println!();
     for budget in [1 << 18, 1 << 16, 1 << 14, 1 << 12, 1 << 10] {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let report = run_foreach_index_game(
-            params,
+        let report = run_reduction_game(
+            &ForEachIndexReduction {
+                params,
+                oracle: OracleSpec::Budgeted { bits: budget },
+            },
             trials,
-            |g, _| BudgetedSketch::new(g, budget),
             &mut rng,
         );
         println!(

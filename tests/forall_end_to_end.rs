@@ -1,11 +1,12 @@
 //! Integration: the Section 4 (Theorem 1.2) reduction run end-to-end —
 //! Gap-Hamming instances decided through real for-all sketches.
 
-use dircut::core::games::run_forall_gap_hamming_game;
+use dircut::core::reduction::{
+    run_reduction_game, ForAllGapHammingReduction, ForAllSketchReduction, OracleSpec,
+};
 use dircut::core::{ForAllParams, SubsetSearch};
 use dircut::graph::balance::edgewise_balance_bound;
-use dircut::sketch::adversarial::BudgetedSketch;
-use dircut::sketch::{CutSketcher, EdgeListSketch, UniformSketcher};
+use dircut::sketch::UniformSketcher;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -13,12 +14,14 @@ use rand_chacha::ChaCha8Rng;
 fn gap_hamming_decided_through_exact_sketch() {
     let params = ForAllParams::new(1, 8, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let report = run_forall_gap_hamming_game(
-        params,
-        2,
-        SubsetSearch::Exact,
+    let report = run_reduction_game(
+        &ForAllGapHammingReduction {
+            params,
+            half_gap: 2,
+            search: SubsetSearch::Exact,
+            oracle: OracleSpec::Exact,
+        },
         25,
-        |g, _| EdgeListSketch::from_graph(g),
         &mut rng,
     );
     assert!(
@@ -34,12 +37,14 @@ fn gap_hamming_decided_through_sampling_for_all_sketch() {
     // enumeration decoder of Lemma 4.4 must still find Q.
     let params = ForAllParams::new(1, 8, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let report = run_forall_gap_hamming_game(
-        params,
-        2,
-        SubsetSearch::Exact,
+    let report = run_reduction_game(
+        &ForAllSketchReduction {
+            params,
+            half_gap: 2,
+            search: SubsetSearch::Exact,
+            sketcher: UniformSketcher::new(0.05),
+        },
         25,
-        |g, r| UniformSketcher::new(0.05).sketch(g, r),
         &mut rng,
     );
     assert!(
@@ -53,21 +58,25 @@ fn gap_hamming_decided_through_sampling_for_all_sketch() {
 fn randomized_subset_search_approaches_exact() {
     let params = ForAllParams::new(1, 8, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(2);
-    let exact = run_forall_gap_hamming_game(
-        params,
-        2,
-        SubsetSearch::Exact,
+    let exact = run_reduction_game(
+        &ForAllGapHammingReduction {
+            params,
+            half_gap: 2,
+            search: SubsetSearch::Exact,
+            oracle: OracleSpec::Exact,
+        },
         25,
-        |g, _| EdgeListSketch::from_graph(g),
         &mut rng,
     );
     let mut rng = ChaCha8Rng::seed_from_u64(2);
-    let sampled = run_forall_gap_hamming_game(
-        params,
-        2,
-        SubsetSearch::Randomized { samples: 40 },
+    let sampled = run_reduction_game(
+        &ForAllGapHammingReduction {
+            params,
+            half_gap: 2,
+            search: SubsetSearch::Randomized { samples: 40 },
+            oracle: OracleSpec::Exact,
+        },
         25,
-        |g, _| EdgeListSketch::from_graph(g),
         &mut rng,
     );
     assert!(
@@ -84,12 +93,14 @@ fn sub_lower_bound_budgets_fail() {
     let params = ForAllParams::new(1, 16, 2);
     let lb = params.lower_bound_bits();
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let tiny = run_forall_gap_hamming_game(
-        params,
-        2,
-        SubsetSearch::Exact,
+    let tiny = run_reduction_game(
+        &ForAllGapHammingReduction {
+            params,
+            half_gap: 2,
+            search: SubsetSearch::Exact,
+            oracle: OracleSpec::Budgeted { bits: lb },
+        },
         30,
-        |g, _| BudgetedSketch::new(g, lb),
         &mut rng,
     );
     // At the lower-bound budget the straw-man sketch keeps almost no

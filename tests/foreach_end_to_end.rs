@@ -4,11 +4,13 @@
 
 use dircut::comm::IndexInstance;
 use dircut::core::foreach::{ForEachDecoder, ForEachEncoding};
-use dircut::core::games::run_foreach_index_game;
+use dircut::core::reduction::{
+    run_reduction_game, ForEachIndexReduction, ForEachSketchReduction, OracleSpec,
+};
 use dircut::core::ForEachParams;
 use dircut::graph::balance::{edgewise_balance_bound, exact_balance_factor};
-use dircut::sketch::adversarial::{BudgetedSketch, NoiseModel, NoisyOracle};
-use dircut::sketch::{CutSketcher, EdgeListSketch, UniformSketcher};
+use dircut::sketch::adversarial::NoiseModel;
+use dircut::sketch::{EdgeListSketch, UniformSketcher};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -58,24 +60,27 @@ fn decoding_collapses_above_the_noise_threshold() {
     let trials = 150;
 
     let mut rng = ChaCha8Rng::seed_from_u64(2);
-    let ok = run_foreach_index_game(
-        params,
+    let ok = run_reduction_game(
+        &ForEachIndexReduction {
+            params,
+            oracle: OracleSpec::Noisy {
+                err: threshold,
+                model: NoiseModel::SignedRelative,
+            },
+        },
         trials,
-        |g, r| NoisyOracle::new(g.clone(), threshold, r.gen(), NoiseModel::SignedRelative),
         &mut rng,
     );
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let bad = run_foreach_index_game(
-        params,
-        trials,
-        |g, r| {
-            NoisyOracle::new(
-                g.clone(),
-                40.0 * threshold,
-                r.gen(),
-                NoiseModel::SignedRelative,
-            )
+    let bad = run_reduction_game(
+        &ForEachIndexReduction {
+            params,
+            oracle: OracleSpec::Noisy {
+                err: 40.0 * threshold,
+                model: NoiseModel::SignedRelative,
+            },
         },
+        trials,
         &mut rng,
     );
     assert!(
@@ -96,17 +101,23 @@ fn tiny_budget_sketches_cannot_support_the_decoder() {
     let params = ForEachParams::new(8, 2, 2);
     let trials = 100;
     let mut rng = ChaCha8Rng::seed_from_u64(4);
-    let big = run_foreach_index_game(
-        params,
+    let big = run_reduction_game(
+        &ForEachIndexReduction {
+            params,
+            oracle: OracleSpec::Budgeted { bits: 1 << 20 },
+        },
         trials,
-        |g, _| BudgetedSketch::new(g, 1 << 20),
         &mut rng,
     );
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    let tiny = run_foreach_index_game(
-        params,
+    let tiny = run_reduction_game(
+        &ForEachIndexReduction {
+            params,
+            oracle: OracleSpec::Budgeted {
+                bits: params.lower_bound_bits() / 2,
+            },
+        },
         trials,
-        |g, _| BudgetedSketch::new(g, params.lower_bound_bits() / 2),
         &mut rng,
     );
     assert_eq!(big.success_rate(), 1.0);
@@ -124,10 +135,12 @@ fn honest_sampling_sketch_supports_decoding_when_it_keeps_enough() {
     // and decoding goes through a *real* sketch, not just oracles.
     let params = ForEachParams::new(4, 1, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    let report = run_foreach_index_game(
-        params,
+    let report = run_reduction_game(
+        &ForEachSketchReduction {
+            params,
+            sketcher: UniformSketcher::new(0.05),
+        },
         40,
-        |g, r| UniformSketcher::new(0.05).sketch(g, r),
         &mut rng,
     );
     assert!(
