@@ -1,0 +1,100 @@
+//! Criterion benches for the PR-5 query-result cache: repeated
+//! Gomory–Hu builds on one flow network and repeated batch cut
+//! queries, each measured with the cache disabled and enabled.
+//!
+//! The ISSUE acceptance target: cache-on must beat cache-off by ≥ 1.5×
+//! on the repeat-heavy workloads. The JSON-emitting companion binary
+//! (`bench_cutcache`) measures the same workloads (plus the BGMP
+//! local-query run) without criterion's harness for CI smoke runs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dircut_graph::cuteval::cut_out_batch_threaded;
+use dircut_graph::flow::symmetric_network_from_digraph;
+use dircut_graph::gomory_hu::GomoryHuTree;
+use dircut_graph::{cache, DiGraph, NodeId, NodeSet};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Dense symmetric weighted graph (same shape as `bench_cutcache`).
+fn gh_graph(n: usize) -> DiGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(0.3) {
+                let w = rng.gen_range(0.5..4.0);
+                g.add_edge(NodeId::new(u), NodeId::new(v), w);
+                g.add_edge(NodeId::new(v), NodeId::new(u), w);
+            }
+        }
+        g.add_edge(NodeId::new(u), NodeId::new((u + 1) % n), 1.0);
+        g.add_edge(NodeId::new((u + 1) % n), NodeId::new(u), 1.0);
+    }
+    g
+}
+
+/// Random query sets over `n` nodes for the batch-repeat workload.
+fn query_sets(n: usize, k: usize) -> Vec<NodeSet> {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    (0..k)
+        .map(|_| {
+            let mut s = NodeSet::empty(n);
+            for v in 0..n {
+                if rng.gen_bool(0.4) {
+                    s.insert(NodeId::new(v));
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+fn bench_cache_on_vs_off(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_cache");
+    group.sample_size(10);
+
+    let g = gh_graph(72);
+    for on in [false, true] {
+        let label = if on { "cache_on" } else { "cache_off" };
+        group.bench_with_input(
+            BenchmarkId::new("gomory_hu_rebuild", label),
+            &on,
+            |b, &on| {
+                cache::set_enabled(on);
+                // The network persists across iterations, so with the
+                // cache on every build after the first replays its solves.
+                let mut net = symmetric_network_from_digraph(&g);
+                b.iter(|| GomoryHuTree::build_with_network(black_box(&g), &mut net, 1));
+                cache::set_enabled(true);
+            },
+        );
+    }
+
+    let sets = query_sets(256, 64);
+    let gq = {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut g = DiGraph::new(256);
+        for _ in 0..4096 {
+            let u = rng.gen_range(0..256usize);
+            let v = rng.gen_range(0..256usize);
+            if u != v {
+                g.add_edge(NodeId::new(u), NodeId::new(v), rng.gen_range(0.5..2.0));
+            }
+        }
+        g
+    };
+    for on in [false, true] {
+        let label = if on { "cache_on" } else { "cache_off" };
+        group.bench_with_input(BenchmarkId::new("batch_repeat", label), &on, |b, &on| {
+            cache::set_enabled(on);
+            b.iter(|| cut_out_batch_threaded(black_box(&gq), &sets, 1));
+            cache::set_enabled(true);
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_on_vs_off);
+criterion_main!(benches);

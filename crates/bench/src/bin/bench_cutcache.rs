@@ -1,0 +1,183 @@
+//! Standalone cache benchmark: measures the PR-5 query-result cache
+//! and flow warm-starts on the two workloads the ISSUE acceptance gate
+//! reads — repeated Gomory–Hu builds on one flow network, and repeated
+//! same-seed BGMP local-query min-cut runs — and writes the numbers to
+//! `BENCH_cutcache.json`: ms/run cache-on vs cache-off, the speedups,
+//! and the hit/miss counters each workload produced.
+//!
+//! The bench also *checks* the two contracts the cache ships under:
+//! results are bit-identical with the cache on and off, and billed
+//! counts (flow solves, local queries) do not change — the cache is
+//! visible only through `cache_hits`/`cache_misses` and wall-clock.
+//!
+//! `--smoke` shrinks the graphs and repetition counts so CI can run
+//! the whole binary in seconds; the JSON shape is identical.
+
+use dircut_graph::flow::symmetric_network_from_digraph;
+use dircut_graph::generators::connected_gnp;
+use dircut_graph::gomory_hu::GomoryHuTree;
+use dircut_graph::{cache, stats, DiGraph, NodeId};
+use dircut_localquery::{global_min_cut_local, AdjOracle, SearchVariant, VerifyGuessConfig};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One workload timed cache-off then cache-on.
+struct Comparison {
+    label: String,
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Best-of-`reps` wall-clock of `f`, in milliseconds (after one
+/// warm-up call, which for the cache-on runs is also what populates
+/// the memo tables).
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+/// Times `f` with the cache disabled then enabled, checking that the
+/// run's fingerprint (whatever f64 the workload folds to) is
+/// bit-identical both ways, and reports the hit/miss counters the
+/// cache-on reps generated.
+fn compare(label: &str, reps: usize, mut f: impl FnMut() -> f64) -> Comparison {
+    cache::set_enabled(false);
+    let mut cold_fp = 0u64;
+    let cold_ms = best_ms(reps, || cold_fp = f().to_bits());
+    cache::set_enabled(true);
+    let (hits0, misses0) = (stats::total_cache_hits(), stats::total_cache_misses());
+    let mut warm_fp = 0u64;
+    let warm_ms = best_ms(reps, || warm_fp = f().to_bits());
+    assert_eq!(
+        cold_fp, warm_fp,
+        "{label}: cache-on result differs from cache-off"
+    );
+    Comparison {
+        label: label.to_owned(),
+        cold_ms,
+        warm_ms,
+        speedup: cold_ms / warm_ms,
+        cache_hits: stats::total_cache_hits() - hits0,
+        cache_misses: stats::total_cache_misses() - misses0,
+    }
+}
+
+/// Dense symmetric weighted graph for the Gomory–Hu workload.
+fn gh_graph(n: usize) -> DiGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(0.3) {
+                let w = rng.gen_range(0.5..4.0);
+                g.add_edge(NodeId::new(u), NodeId::new(v), w);
+                g.add_edge(NodeId::new(v), NodeId::new(u), w);
+            }
+        }
+        let w = 1.0;
+        g.add_edge(NodeId::new(u), NodeId::new((u + 1) % n), w);
+        g.add_edge(NodeId::new((u + 1) % n), NodeId::new(u), w);
+    }
+    g
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (gh_n, bgmp_n, reps) = if smoke { (28, 36, 3) } else { (72, 60, 6) };
+
+    // Workload 1: repeated Gomory–Hu builds sharing one flow network.
+    // Every build solves the same deterministic (sink, parent) pair
+    // sequence, so after the warm-up build each max-flow is a replay.
+    let g = gh_graph(gh_n);
+    let mut net = symmetric_network_from_digraph(&g);
+    let solves0 = stats::total_solves();
+    let gh = compare("gomory_hu_rebuild", reps, || {
+        GomoryHuTree::build_with_network(&g, &mut net, 1).global_min_cut()
+    });
+    let gh_solves = stats::total_solves() - solves0;
+
+    // Workload 2: repeated same-seed BGMP runs. Identical seeds replay
+    // identical edge samples, so every skeleton min-cut after the first
+    // run comes from the process-global skeleton memo.
+    let mut gen = ChaCha8Rng::seed_from_u64(7);
+    let ug = connected_gnp(bgmp_n, 0.4, &mut gen);
+    let oracle = AdjOracle::new(&ug);
+    let mut billed = Vec::new();
+    let bgmp = compare("bgmp_same_seed", reps, || {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let res = global_min_cut_local(
+            &oracle,
+            0.3,
+            SearchVariant::Modified { beta0: 0.25 },
+            VerifyGuessConfig::default(),
+            &mut rng,
+        );
+        billed.push(res.total_queries);
+        res.estimate
+    });
+    // Billing invariant: every run billed the same local-query count,
+    // cache or no cache.
+    assert!(
+        billed.windows(2).all(|w| w[0] == w[1]),
+        "billed query counts varied across cache modes: {billed:?}"
+    );
+    let billed_queries = billed[0];
+
+    for c in [&gh, &bgmp] {
+        eprintln!(
+            "{}: cold {:.2} ms, warm {:.2} ms, speedup {:.2}x ({} hits / {} misses)",
+            c.label, c.cold_ms, c.warm_ms, c.speedup, c.cache_hits, c.cache_misses
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"gh_nodes\": {gh_n},");
+    let _ = writeln!(json, "  \"gh_flow_solves\": {gh_solves},");
+    let _ = writeln!(json, "  \"bgmp_nodes\": {bgmp_n},");
+    let _ = writeln!(json, "  \"bgmp_billed_queries\": {billed_queries},");
+    let _ = writeln!(
+        json,
+        "  \"cache_hits\": {},",
+        gh.cache_hits + bgmp.cache_hits
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache_misses\": {},",
+        gh.cache_misses + bgmp.cache_misses
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, c) in [&gh, &bgmp].into_iter().enumerate() {
+        let comma = if i == 0 { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+            c.label, c.cold_ms, c.warm_ms, c.speedup, c.cache_hits, c.cache_misses, comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    print!("{json}");
+    // Fail soft like the reductions JSON: the numbers above are
+    // already on stdout, so a bad path only loses the file copy.
+    if let Err(e) = std::fs::write("BENCH_cutcache.json", &json) {
+        eprintln!("warning: writing BENCH_cutcache.json: {e}");
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}

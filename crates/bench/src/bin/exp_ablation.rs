@@ -233,11 +233,11 @@ fn ablation_sampling_family() {
     println!();
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("=== Ablations (DESIGN.md A1–A4) ===\n");
     ablation_boosting();
     ablation_accept_fraction();
     ablation_sampling_family();
     ablation_distributed();
-    dircut_bench::write_reductions_json("exp_ablation");
+    dircut_bench::finish_reductions_json("exp_ablation")
 }

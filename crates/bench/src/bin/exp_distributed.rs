@@ -18,26 +18,52 @@
 //! and reports the widened `effective ε = ε + (s−k)/s`. Lossy output
 //! is seed-deterministic but not covered by the checked-in golden
 //! (only the clean run is).
+//!
+//! Each ε is one [`DistReduction`] trial on the [`TrialEngine`]: the
+//! fixed protocol seed (17, the legacy single-shot call) makes the run
+//! a pure replay, the table prints straight from the trial record's
+//! aux values, and the per-trial records land in the unified
+//! `BENCH_reductions.json` alongside every other experiment.
 
-use dircut_bench::{print_header, print_row};
+use dircut_bench::{print_header, print_row, record_section, EngineReport, Seeding, TrialEngine};
+use dircut_dist::reduction::{DistPath, DistReduction};
 use dircut_dist::runtime::RuntimeConfig;
-use dircut_dist::{fault_injected_min_cut, symmetric_graph, FaultConfig, ProtocolConfig};
+use dircut_dist::{symmetric_graph, FaultConfig, ProtocolConfig};
 use dircut_graph::mincut::stoer_wagner;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
 
-fn flag(args: &[String], name: &str) -> Option<f64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {name} value")))
+fn flag(args: &[String], name: &str) -> Result<Option<f64>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("{name} requires a value")),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad {name} value `{v}`")),
+        },
+    }
 }
 
-fn main() {
+fn parse_args(args: &[String]) -> Result<(f64, u32), String> {
+    let drop = flag(args, "--drop")?.unwrap_or(0.0);
+    let retries = flag(args, "--retries")?.unwrap_or(3.0) as u32;
+    Ok((drop, retries))
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let drop = flag(&args, "--drop").unwrap_or(0.0);
-    let retries = flag(&args, "--retries").unwrap_or(3.0) as u32;
+    let (drop, retries) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: exp_distributed [--drop P] [--retries R]");
+            return ExitCode::from(2);
+        }
+    };
 
     println!("=== E6: distributed min-cut over sketches (Section 1) ===\n");
     // Dense and heavily connected so per-server subgraphs keep a large
@@ -64,11 +90,40 @@ fn main() {
         clean_sweep(&g, truth);
     }
 
+    let code = dircut_bench::finish_reductions_json("exp_distributed");
     // Stage counters and link-transcript metrics (bits sent/acked,
     // retries, latency buckets) go to stderr behind DIRCUT_STATS so
     // the stdout table stays byte-stable — the committed
     // results/exp_distributed.txt has no wall-clock lines.
     dircut_bench::maybe_print_stage_report();
+    code
+}
+
+/// Runs one fixed-seed trial of the fault-injected path at `eps` and
+/// returns its record.
+fn run_trial(
+    g: &dircut_graph::DiGraph,
+    truth: f64,
+    eps: f64,
+    cfg: RuntimeConfig,
+    label: &str,
+) -> dircut_bench::TrialRecord {
+    let rdx = DistReduction {
+        graph: g,
+        servers: 4,
+        cfg: cfg.protocol,
+        path: DistPath::FaultInjected(cfg),
+        seed: Some(17),
+        truth,
+    };
+    let rep = TrialEngine::with_default_threads().run(&rdx, 1, Seeding::Substream(0));
+    record_section(&format!("E6 {label} eps={eps}"), &rep);
+    rep.records.into_iter().next().expect("one trial")
+}
+
+/// Aux value of `record` as the u64 it was cast from.
+fn aux_u64(record: &dircut_bench::TrialRecord, name: &str) -> u64 {
+    EngineReport::aux_of(record, name).unwrap_or_else(|| panic!("missing aux `{name}`")) as u64
 }
 
 /// The golden-checked table: clean links, so the answers match the
@@ -87,16 +142,20 @@ fn clean_sweep(g: &dircut_graph::DiGraph, truth: f64) {
     for eps in [0.4, 0.2, 0.1, 0.05, 0.025] {
         let mut cfg = RuntimeConfig::new(ProtocolConfig::new(eps));
         cfg.protocol.enumeration_trials = 150;
-        let out = fault_injected_min_cut(g, 4, &cfg, 17).expect("clean run");
-        let a = &out.answer;
+        let r = run_trial(g, truth, eps, cfg, "clean");
+        let estimate = EngineReport::aux_of(&r, "estimate").expect("estimate aux");
+        assert!(estimate.is_finite(), "clean run");
         print_row(&[
             format!("{eps}"),
-            format!("{:.3}", a.estimate),
-            format!("{:.3}", (a.estimate - truth).abs() / truth),
-            a.coarse_bits.to_string(),
-            a.fine_bits.to_string(),
-            a.framing_bits.to_string(),
-            a.candidates.to_string(),
+            format!("{estimate:.3}"),
+            format!(
+                "{:.3}",
+                EngineReport::aux_of(&r, "rel_err").expect("rel_err")
+            ),
+            aux_u64(&r, "coarse_bits").to_string(),
+            aux_u64(&r, "fine_bits").to_string(),
+            aux_u64(&r, "framing_bits").to_string(),
+            aux_u64(&r, "candidates").to_string(),
         ]);
     }
     println!(
@@ -128,24 +187,31 @@ fn fault_sweep(g: &dircut_graph::DiGraph, truth: f64, drop: f64, retries: u32) {
         let mut cfg = RuntimeConfig::with_faults(ProtocolConfig::new(eps), faults);
         cfg.protocol.enumeration_trials = 150;
         cfg.max_retries = retries;
-        let out = fault_injected_min_cut(g, 4, &cfg, 17).expect("run lost every server");
-        let a = &out.answer;
-        let used: u32 = out.transcripts.iter().map(|t| t.retries).sum();
+        let r = run_trial(g, truth, eps, cfg, "lossy");
+        let (arrived, servers) = (aux_u64(&r, "arrived"), aux_u64(&r, "servers"));
+        assert!(arrived > 0, "run lost every server");
         print_row(&[
             format!("{eps}"),
-            format!("{:.3}", a.estimate),
-            format!("{:.3}", (a.estimate - truth).abs() / truth),
-            format!("{}/{}", out.arrived, out.servers),
-            used.to_string(),
-            a.total_wire_bits.to_string(),
-            format!("{:.3}", out.effective_epsilon),
+            format!(
+                "{:.3}",
+                EngineReport::aux_of(&r, "estimate").expect("estimate")
+            ),
+            format!(
+                "{:.3}",
+                EngineReport::aux_of(&r, "rel_err").expect("rel_err")
+            ),
+            format!("{arrived}/{servers}"),
+            aux_u64(&r, "retries").to_string(),
+            r.wire_bits.to_string(),
+            format!(
+                "{:.3}",
+                EngineReport::aux_of(&r, "effective_epsilon").expect("effective_epsilon")
+            ),
         ]);
-        if out.degraded {
+        if aux_u64(&r, "degraded") == 1 {
             println!(
-                "  -> degraded: solved from {}/{} slices rescaled by {:.3}",
-                out.arrived,
-                out.servers,
-                out.servers as f64 / out.arrived as f64
+                "  -> degraded: solved from {arrived}/{servers} slices rescaled by {:.3}",
+                servers as f64 / arrived as f64
             );
         }
     }

@@ -89,7 +89,7 @@ fn sweep<O: GraphOracle + Sync>(
     (log_inv_eps, log_orig, log_modi)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("=== E4: original vs modified BGMP21 query scaling in ε (Theorem 5.7) ===\n");
 
     // Regime 1: simple graph, everything caps at p = 1 (min{m, ·}).
@@ -137,7 +137,8 @@ fn main() {
     println!("paper: original scales like ε⁻⁴ (slope → 4), modified like ε⁻² (slope → 2);");
     println!("past its window each variant caps at Θ(m) slots — the min{{m, ·}} of Theorem 1.3.");
 
-    dircut_bench::write_reductions_json("exp_eps_scaling");
+    let code = dircut_bench::finish_reductions_json("exp_eps_scaling");
     // Per-stage solve / cut-query counters, stderr-only behind DIRCUT_STATS.
     dircut_bench::maybe_print_stage_report();
+    code
 }

@@ -20,7 +20,7 @@ use dircut_sketch::adversarial::NoiseModel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("=== E2: for-all cut sketch lower bound (Theorem 1.2) ===\n");
     println!("--- decoding success vs oracle error ---");
     print_header(&["n", "beta", "1/eps^2", "oracle", "success", "cut queries"]);
@@ -157,7 +157,8 @@ fn main() {
         ]);
     }
 
-    dircut_bench::write_reductions_json("exp_forall");
+    let code = dircut_bench::finish_reductions_json("exp_forall");
     // Per-stage solve / cut-query counters, stderr-only behind DIRCUT_STATS.
     dircut_bench::maybe_print_stage_report();
+    code
 }

@@ -20,7 +20,7 @@ use dircut_sketch::adversarial::NoiseModel;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let trials = 120;
     let engine = TrialEngine::with_default_threads();
     println!("=== E1: for-each cut sketch lower bound (Theorem 1.1) ===\n");
@@ -142,7 +142,8 @@ fn main() {
         ]);
     }
 
-    dircut_bench::write_reductions_json("exp_foreach");
+    let code = dircut_bench::finish_reductions_json("exp_foreach");
     // Per-stage solve / cut-query counters, stderr-only behind DIRCUT_STATS.
     dircut_bench::maybe_print_stage_report();
+    code
 }

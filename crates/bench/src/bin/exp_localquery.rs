@@ -11,7 +11,7 @@
 use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
 use dircut_core::reduction::TwoSumMinCutReduction;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("=== E3: local-query min-cut lower bound (Theorem 1.3) ===\n");
     print_header(&[
         "m",
@@ -66,9 +66,10 @@ fn main() {
          and Theorem 5.4 says any correct protocol needs Ω(tL/α) bits."
     );
 
-    dircut_bench::write_reductions_json("exp_localquery");
+    let code = dircut_bench::finish_reductions_json("exp_localquery");
     // Stage counters go to stderr behind DIRCUT_STATS: the localquery
     // stages now record on every run, and their wall-clock column must
     // not leak into the byte-stable stdout tables.
     dircut_bench::maybe_print_stage_report();
+    code
 }

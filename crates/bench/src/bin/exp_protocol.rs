@@ -21,7 +21,7 @@ use dircut_sketch::UniformSketcher;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("=== E8: measured one-way protocols (serialized sketch messages) ===\n");
     let engine = TrialEngine::with_default_threads();
 
@@ -105,5 +105,5 @@ fn main() {
          column — the theorems say no encoding can dip below and still win."
     );
 
-    dircut_bench::write_reductions_json("exp_protocol");
+    dircut_bench::finish_reductions_json("exp_protocol")
 }

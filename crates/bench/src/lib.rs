@@ -21,6 +21,6 @@ pub mod report;
 pub use harness::{Seeding, TrialEngine};
 pub use record::{wilson95, EngineReport, TrialRecord};
 pub use report::{
-    maybe_print_stage_report, print_header, print_row, record_section, reductions_json,
-    write_reductions_json,
+    finish_reductions_json, maybe_print_stage_report, print_header, print_row, record_section,
+    reductions_json, write_reductions_json,
 };

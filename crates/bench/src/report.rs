@@ -43,6 +43,11 @@ pub fn maybe_print_stage_report() {
         dircut_graph::stats::total_cut_queries()
     );
     eprintln!(
+        "[DIRCUT_STATS] cache hits: {}, cache misses: {} (billed counts above are cache-independent)",
+        dircut_graph::stats::total_cache_hits(),
+        dircut_graph::stats::total_cache_misses()
+    );
+    eprintln!(
         "[DIRCUT_STATS] {:<32} {:>6} {:>10} {:>12} {:>12}",
         "stage", "runs", "solves", "cut_queries", "wall_ms"
     );
@@ -186,13 +191,33 @@ pub fn reductions_json(bin: &str) -> String {
 /// Writes the JSON document to `DIRCUT_BENCH_JSON` (path override) or
 /// `BENCH_reductions.json` in the working directory.
 ///
-/// # Panics
-/// Panics if the file cannot be written — the experiment's record is
-/// part of its contract.
-pub fn write_reductions_json(bin: &str) {
+/// # Errors
+/// Returns the I/O error (annotated with the path) when the file
+/// cannot be written. An unwritable record must not abort the run and
+/// take the already-printed stdout tables with it — experiment
+/// binaries route through [`finish_reductions_json`], the CLI maps the
+/// error to its `Io` exit code.
+pub fn write_reductions_json(bin: &str) -> std::io::Result<()> {
     let path =
         std::env::var("DIRCUT_BENCH_JSON").unwrap_or_else(|_| "BENCH_reductions.json".to_owned());
-    std::fs::write(&path, reductions_json(bin)).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    std::fs::write(&path, reductions_json(bin))
+        .map_err(|e| std::io::Error::new(e.kind(), format!("writing {path}: {e}")))
+}
+
+/// End-of-process JSON flush for the experiment binaries: on failure
+/// the computed results (already on stdout) are preserved, a warning
+/// goes to stderr, and the returned exit code is 3 — the same code the
+/// CLI uses for I/O failures.
+#[must_use]
+pub fn finish_reductions_json(bin: &str) -> std::process::ExitCode {
+    match write_reductions_json(bin) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("warning: {e}");
+            eprintln!("warning: the tables above are complete; only the JSON record was lost");
+            std::process::ExitCode::from(3)
+        }
+    }
 }
 
 #[cfg(test)]

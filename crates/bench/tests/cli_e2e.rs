@@ -1,0 +1,108 @@
+//! End-to-end tests of the experiment binaries: real process spawns,
+//! exit codes, and the two failure contracts PR 5 pins down —
+//! usage errors exit 2 with a stderr message (no panic backtrace), and
+//! an unwritable `BENCH_reductions.json` path fails soft (exit 3,
+//! stdout tables preserved) instead of aborting the run.
+
+use std::process::Command;
+
+const EXP_DISTRIBUTED: &str = env!("CARGO_BIN_EXE_exp_distributed");
+const EXP_PROTOCOL: &str = env!("CARGO_BIN_EXE_exp_protocol");
+const BENCH_CUTCACHE: &str = env!("CARGO_BIN_EXE_bench_cutcache");
+
+fn run(bin: &str, args: &[&str], envs: &[(&str, &str)]) -> (String, String, i32) {
+    let mut cmd = Command::new(bin);
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("exit code"),
+    )
+}
+
+#[test]
+fn exp_distributed_bad_flag_value_is_a_usage_error() {
+    let (stdout, stderr, code) = run(EXP_DISTRIBUTED, &["--drop", "abc"], &[]);
+    assert_eq!(code, 2, "usage errors exit 2");
+    assert!(stdout.is_empty(), "nothing runs on a bad flag: {stdout}");
+    assert!(
+        stderr.contains("error: bad --drop value `abc`"),
+        "stderr: {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn exp_distributed_missing_flag_value_is_a_usage_error() {
+    let (stdout, stderr, code) = run(EXP_DISTRIBUTED, &["--retries"], &[]);
+    assert_eq!(code, 2);
+    assert!(stdout.is_empty());
+    assert!(
+        stderr.contains("error: --retries requires a value"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn unwritable_json_path_fails_soft_with_tables_preserved() {
+    let (stdout, stderr, code) = run(
+        EXP_PROTOCOL,
+        &[],
+        &[("DIRCUT_BENCH_JSON", "/nonexistent-dir-dircut-e2e/out.json")],
+    );
+    assert_eq!(code, 3, "I/O failures exit 3, matching the CLI");
+    // The experiment ran to completion: its tables are intact.
+    assert!(
+        stdout.contains("=== E8: measured one-way protocols"),
+        "stdout lost: {stdout}"
+    );
+    assert!(stdout.contains("Index game"), "stdout lost: {stdout}");
+    assert!(
+        stderr.contains("warning: writing /nonexistent-dir-dircut-e2e/out.json"),
+        "stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("only the JSON record was lost"),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn writable_json_path_succeeds_and_emits_records() {
+    let dir = std::env::temp_dir().join(format!("dircut-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("reductions.json");
+    let (_, _, code) = run(
+        EXP_PROTOCOL,
+        &[],
+        &[("DIRCUT_BENCH_JSON", path.to_str().unwrap())],
+    );
+    assert_eq!(code, 0);
+    let doc = std::fs::read_to_string(&path).expect("JSON written");
+    assert!(doc.contains("\"schema\": \"dircut-reductions-v1\""));
+    assert!(doc.contains("\"bin\": \"exp_protocol\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_cutcache_smoke_reports_cache_hits_and_speedups() {
+    let dir = std::env::temp_dir().join(format!("dircut-cutcache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let mut cmd = Command::new(BENCH_CUTCACHE);
+    cmd.arg("--smoke").current_dir(&dir);
+    let out = cmd.output().expect("spawn bench_cutcache");
+    assert_eq!(out.status.code(), Some(0));
+    let json = std::fs::read_to_string(dir.join("BENCH_cutcache.json")).expect("JSON written");
+    assert!(json.contains("\"cache_hits\""), "json: {json}");
+    assert!(json.contains("\"cache_misses\""), "json: {json}");
+    assert!(json.contains("\"speedup\""), "json: {json}");
+    // The stdout copy is the same document.
+    assert_eq!(String::from_utf8_lossy(&out.stdout), json);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -134,6 +134,30 @@ fn twosum_is_thread_invariant_and_repeatable() {
     assert_eq!(again.fingerprint(), reference.fingerprint());
 }
 
+/// The PR-5 billing invariant, end to end: `TrialRecord::fingerprint`
+/// covers every billed quantity (wire bits, cut queries, flow solves,
+/// measured counters, aux) and excludes wall time, so fingerprints must
+/// be bit-identical whether the cut/flow memo serves the queries or
+/// not — warm replays included. The toggle is process-global; that is
+/// fine here because toggle-invariance is exactly the property under
+/// test, so a concurrent flip cannot cause a spurious failure.
+#[test]
+fn records_are_invariant_under_the_cache_toggle() {
+    let rdx = twosum_rdx();
+    let run = |on: bool| {
+        dircut_graph::cache::set_enabled(on);
+        TrialEngine::new(2)
+            .run(&rdx, 6, Seeding::Substream(9))
+            .fingerprint()
+    };
+    let off = run(false);
+    let on_first = run(true);
+    let on_replay = run(true);
+    dircut_graph::cache::set_enabled(true);
+    assert_eq!(off, on_first, "cold cache must not change billed records");
+    assert_eq!(off, on_replay, "warm replay must not change billed records");
+}
+
 /// Repeated runs on the same engine are identical (no hidden state
 /// leaks between runs through the stats registry or the worker pool).
 #[test]

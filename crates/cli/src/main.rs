@@ -451,7 +451,7 @@ fn cmd_repro(args: &[String]) -> Result<(), CliError> {
             format!("{:.1}", rep.mean_cut_queries()),
         ]);
     }
-    dircut_bench::write_reductions_json("dircut-repro");
+    dircut_bench::write_reductions_json("dircut-repro").map_err(|e| CliError::Io(e.to_string()))?;
     println!("\nper-trial records: BENCH_reductions.json (override with DIRCUT_BENCH_JSON)");
     Ok(())
 }

@@ -88,6 +88,15 @@ impl TrialOutcome {
 
 /// Static resource bill of one artifact: what the reduction *pays*,
 /// independent of whether the decode succeeds.
+///
+/// The bill is **logical**: the query-result cache and flow
+/// warm-starts in `dircut_graph::cache` never change these numbers (or
+/// the measured `stats` counters they are checked against) — a solve
+/// or cut query served from a memo bills exactly like a cold one. The
+/// lower-bound games charge for information *requested*, not work
+/// performed, so a cache hit is still a query against the oracle;
+/// caching is observable only through
+/// `dircut_graph::stats::total_cache_hits` and wall-clock time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Resources {
     /// Bits that cross the channel (serialized sketch / message size;

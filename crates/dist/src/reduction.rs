@@ -67,6 +67,22 @@ pub struct DistArtifact {
     pub degraded: bool,
     /// Servers whose sketches reached the coordinator.
     pub arrived: usize,
+    /// Servers that participated in the run.
+    pub servers: usize,
+    /// Bits spent on coarse (for-all) sketch payloads.
+    pub coarse_bits: u64,
+    /// Bits spent on fine (for-each) sketch payloads.
+    pub fine_bits: u64,
+    /// Framing overhead: headers, server ids, retransmitted frames.
+    pub framing_bits: u64,
+    /// Candidate cuts re-queried through the fine sketches.
+    pub candidates: u64,
+    /// Retransmissions burned across all server links (0 on the
+    /// in-process paths, which have no link layer).
+    pub retries: u64,
+    /// The accuracy actually delivered: the configured ε, widened by
+    /// `(s − k)/s` on a degraded run (`NaN` on total loss).
+    pub effective_epsilon: f64,
 }
 
 impl DistReduction<'_> {
@@ -77,12 +93,19 @@ impl DistReduction<'_> {
         }
     }
 
-    fn clean(answer: &DistributedMinCut, servers: usize) -> DistArtifact {
+    fn clean(&self, answer: &DistributedMinCut) -> DistArtifact {
         DistArtifact {
             estimate: answer.estimate,
             wire_bits: answer.total_wire_bits as u64,
             degraded: false,
-            arrived: servers,
+            arrived: self.servers,
+            servers: self.servers,
+            coarse_bits: answer.coarse_bits as u64,
+            fine_bits: answer.fine_bits as u64,
+            framing_bits: answer.framing_bits as u64,
+            candidates: answer.candidates as u64,
+            retries: 0,
+            effective_epsilon: self.epsilon(),
         }
     }
 }
@@ -107,18 +130,24 @@ impl Reduction for DistReduction<'_> {
 
     fn encode(&self, inst: &Self::Instance) -> Self::Artifact {
         match &self.path {
-            DistPath::TwoTier => Self::clean(
-                &distributed_min_cut(self.graph, self.servers, self.cfg, *inst),
+            DistPath::TwoTier => self.clean(&distributed_min_cut(
+                self.graph,
                 self.servers,
-            ),
-            DistPath::ForAllOnly => Self::clean(
-                &forall_only_min_cut(self.graph, self.servers, self.cfg, *inst),
+                self.cfg,
+                *inst,
+            )),
+            DistPath::ForAllOnly => self.clean(&forall_only_min_cut(
+                self.graph,
                 self.servers,
-            ),
-            DistPath::LinearFine => Self::clean(
-                &linear_fine_min_cut(self.graph, self.servers, self.cfg, *inst),
+                self.cfg,
+                *inst,
+            )),
+            DistPath::LinearFine => self.clean(&linear_fine_min_cut(
+                self.graph,
                 self.servers,
-            ),
+                self.cfg,
+                *inst,
+            )),
             DistPath::FaultInjected(rc) => {
                 match fault_injected_min_cut(self.graph, self.servers, rc, *inst) {
                     Ok(out) => DistArtifact {
@@ -126,6 +155,13 @@ impl Reduction for DistReduction<'_> {
                         wire_bits: out.answer.total_wire_bits as u64,
                         degraded: out.degraded,
                         arrived: out.arrived,
+                        servers: out.servers,
+                        coarse_bits: out.answer.coarse_bits as u64,
+                        fine_bits: out.answer.fine_bits as u64,
+                        framing_bits: out.answer.framing_bits as u64,
+                        candidates: out.answer.candidates as u64,
+                        retries: out.transcripts.iter().map(|t| u64::from(t.retries)).sum(),
+                        effective_epsilon: out.effective_epsilon,
                     },
                     // Total loss is an outcome, not a panic: the trial
                     // records a null estimate and fails verification.
@@ -134,6 +170,13 @@ impl Reduction for DistReduction<'_> {
                         wire_bits: 0,
                         degraded: true,
                         arrived: 0,
+                        servers: self.servers,
+                        coarse_bits: 0,
+                        fine_bits: 0,
+                        framing_bits: 0,
+                        candidates: 0,
+                        retries: 0,
+                        effective_epsilon: f64::NAN,
                     },
                 }
             }
@@ -147,10 +190,21 @@ impl Reduction for DistReduction<'_> {
     fn verify(&self, _inst: &Self::Instance, answer: &Self::Answer) -> TrialOutcome {
         let rel_err = (answer.estimate - self.truth).abs() / self.truth;
         let success = !answer.degraded && rel_err <= self.epsilon();
+        // The full bit breakdown rides along as aux so table printers
+        // (exp_distributed) can render the legacy columns straight from
+        // the record. All counts are exact in f64 (≪ 2⁵³).
         TrialOutcome::new(success, 0)
             .with_aux("estimate", answer.estimate)
             .with_aux("rel_err", rel_err)
             .with_aux("arrived", answer.arrived as f64)
+            .with_aux("servers", answer.servers as f64)
+            .with_aux("degraded", f64::from(u8::from(answer.degraded)))
+            .with_aux("coarse_bits", answer.coarse_bits as f64)
+            .with_aux("fine_bits", answer.fine_bits as f64)
+            .with_aux("framing_bits", answer.framing_bits as f64)
+            .with_aux("candidates", answer.candidates as f64)
+            .with_aux("retries", answer.retries as f64)
+            .with_aux("effective_epsilon", answer.effective_epsilon)
     }
 
     fn resources(&self, artifact: &Self::Artifact) -> Resources {
@@ -208,6 +262,13 @@ mod tests {
         assert_eq!(art.wire_bits, direct.total_wire_bits as u64);
         assert!(!art.degraded);
         assert_eq!(art.arrived, 3);
+        assert_eq!(art.servers, 3);
+        assert_eq!(art.coarse_bits, direct.coarse_bits as u64);
+        assert_eq!(art.fine_bits, direct.fine_bits as u64);
+        assert_eq!(art.framing_bits, direct.framing_bits as u64);
+        assert_eq!(art.candidates, direct.candidates as u64);
+        assert_eq!(art.retries, 0);
+        assert_eq!(art.effective_epsilon, 0.3);
     }
 
     #[test]

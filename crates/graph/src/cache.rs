@@ -1,0 +1,243 @@
+//! Process-wide toggle and memo tables for the PR-5 query-result cache.
+//!
+//! Two memo layers live behind this module:
+//!
+//! * [`CutMemo`] — an epoch-keyed table on [`crate::DiGraph`] mapping a
+//!   source-set bit mask to its directed cut values. The epoch is the
+//!   same counter the CSR view uses, so any mutation invalidates both
+//!   caches for free.
+//! * [`FlowMemo`] — a solve-replay table shared by the flow backends.
+//!   Instead of warm-starting the augmenting search incrementally
+//!   (which would change the order residual capacity is consumed in and
+//!   therefore the bits of the f64 flow value and the min-cut side), a
+//!   hit replays the *post-solve residual state* recorded the first
+//!   time the same `(source, sink)` pair was solved on a pristine
+//!   snapshot. The replayed state is bit-for-bit the state the cold
+//!   solve would have produced, so `min_cut_side` and every downstream
+//!   fold stay byte-identical.
+//!
+//! The **billing invariant** is enforced by the call sites, not here:
+//! `stats::count_cut_queries` / `stats::count_solve` fire for every
+//! *logical* query or solve before the cache is consulted, so
+//! `Reduction::resources()` totals and the Budgeted `OracleSpec` are
+//! unchanged whether the cache served the result or not. The cache is
+//! observable only through [`crate::stats::total_cache_hits`] /
+//! [`crate::stats::total_cache_misses`] and wall-clock time.
+//!
+//! The toggle reads `DIRCUT_CACHE` once (any value other than `0`
+//! enables; unset enables) and can be overridden at runtime with
+//! [`set_enabled`] — benchmark binaries need to compare cache-on and
+//! cache-off timings inside one process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// 0 = not yet read from the environment, 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the query-result cache and flow warm-starts are active.
+///
+/// Controlled by the `DIRCUT_CACHE` environment variable (`0` disables,
+/// anything else — including unset — enables) or by [`set_enabled`].
+#[must_use]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var("DIRCUT_CACHE").map_or(true, |v| v != "0");
+            ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the `DIRCUT_CACHE` toggle for the rest of the process (or
+/// until the next call). Used by `bench_cutcache` to time cache-on and
+/// cache-off runs in one process, and by tests that must not race on
+/// environment variables.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Upper bound on distinct source-set masks memoized per graph. At 64
+/// bytes a key (1024-node universe) this caps the table near 2 MiB.
+const CUT_MEMO_CAP: usize = 1 << 15;
+
+/// Upper bound on `(source, sink)` entries memoized per flow network.
+/// Each entry stores a full residual-capacity snapshot (O(m)), so the
+/// cap is deliberately small; Gomory–Hu needs at most n − 1 live pairs.
+const FLOW_MEMO_CAP: usize = 1 << 10;
+
+/// Cached directed cut values for one source-set mask. Out- and
+/// in-cuts are filled independently (a `cut_out` miss must not evict a
+/// previously cached `cut_in` for the same mask).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CutEntry {
+    pub(crate) out: Option<f64>,
+    pub(crate) into: Option<f64>,
+}
+
+/// Epoch-keyed memo of source-set mask → cut values for one `DiGraph`.
+///
+/// Lives behind a `Mutex` on the graph; every access goes through
+/// [`CutMemo::at_epoch`] first, which lazily clears the table when the
+/// graph's mutation epoch has moved past the one the entries were
+/// computed at.
+#[derive(Debug, Default)]
+pub(crate) struct CutMemo {
+    epoch: u64,
+    map: HashMap<Box<[u64]>, CutEntry>,
+}
+
+impl CutMemo {
+    /// Drops every entry recorded at an older epoch and stamps the
+    /// table with `epoch`. Cheap when the epoch is unchanged.
+    pub(crate) fn at_epoch(&mut self, epoch: u64) -> &mut Self {
+        if self.epoch != epoch {
+            self.map.clear();
+            self.epoch = epoch;
+        }
+        self
+    }
+
+    /// Clears the table unconditionally (graph mutation path).
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    pub(crate) fn get(&self, words: &[u64]) -> Option<CutEntry> {
+        self.map.get(words).copied()
+    }
+
+    /// Merges `entry` into the table under `words`, respecting the
+    /// entry cap (existing keys always update; new keys are dropped
+    /// once the table is full).
+    pub(crate) fn store(&mut self, words: &[u64], entry: CutEntry) {
+        if let Some(slot) = self.map.get_mut(words) {
+            if entry.out.is_some() {
+                slot.out = entry.out;
+            }
+            if entry.into.is_some() {
+                slot.into = entry.into;
+            }
+        } else if self.map.len() < CUT_MEMO_CAP {
+            self.map.insert(words.into(), entry);
+        }
+    }
+}
+
+/// One memoized max-flow solve: the flow value plus the residual
+/// capacities of every arc after the solve finished.
+#[derive(Debug, Clone)]
+pub(crate) struct FlowEntry<C> {
+    pub(crate) value: C,
+    pub(crate) caps: Vec<C>,
+}
+
+/// Solve-replay memo of `(source, sink)` → post-solve residual state
+/// for one flow network snapshot. Only valid while the network's base
+/// capacities are untouched — `add_arc`/`add_undirected` clear it.
+#[derive(Debug, Clone)]
+pub(crate) struct FlowMemo<C> {
+    map: HashMap<(u32, u32), FlowEntry<C>>,
+}
+
+impl<C> Default for FlowMemo<C> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+        }
+    }
+}
+
+impl<C: Clone> FlowMemo<C> {
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    pub(crate) fn get(&self, s: u32, t: u32) -> Option<&FlowEntry<C>> {
+        self.map.get(&(s, t))
+    }
+
+    pub(crate) fn store(&mut self, s: u32, t: u32, value: C, caps: Vec<C>) {
+        if self.map.len() < FLOW_MEMO_CAP || self.map.contains_key(&(s, t)) {
+            self.map.insert((s, t), FlowEntry { value, caps });
+        }
+    }
+}
+
+/// Serializes tests that flip [`set_enabled`] or assert on the global
+/// hit/miss counters — the toggle is process-wide and the test harness
+/// runs in parallel threads. Holders must leave the cache enabled
+/// (the default) on exit.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cut_memo_clears_on_epoch_change() {
+        let mut memo = CutMemo::default();
+        let key = [0b1010u64];
+        memo.at_epoch(0).store(
+            &key,
+            CutEntry {
+                out: Some(3.0),
+                into: None,
+            },
+        );
+        assert_eq!(memo.at_epoch(0).get(&key).unwrap().out, Some(3.0));
+        assert!(memo.at_epoch(1).get(&key).is_none());
+    }
+
+    #[test]
+    fn cut_memo_merges_out_and_in_independently() {
+        let mut memo = CutMemo::default();
+        let key = [7u64];
+        memo.at_epoch(0).store(
+            &key,
+            CutEntry {
+                out: Some(1.0),
+                into: None,
+            },
+        );
+        memo.at_epoch(0).store(
+            &key,
+            CutEntry {
+                out: None,
+                into: Some(2.0),
+            },
+        );
+        let entry = memo.at_epoch(0).get(&key).unwrap();
+        assert_eq!(entry.out, Some(1.0));
+        assert_eq!(entry.into, Some(2.0));
+    }
+
+    #[test]
+    fn flow_memo_round_trips_residual_caps() {
+        let mut memo = FlowMemo::default();
+        memo.store(0, 3, 5.0f64, vec![1.0, 0.0, 4.0]);
+        let entry = memo.get(0, 3).unwrap();
+        assert_eq!(entry.value, 5.0);
+        assert_eq!(entry.caps, vec![1.0, 0.0, 4.0]);
+        assert!(memo.get(3, 0).is_none());
+        memo.clear();
+        assert!(memo.get(0, 3).is_none());
+    }
+
+    #[test]
+    fn toggle_override_wins() {
+        let _guard = test_lock();
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

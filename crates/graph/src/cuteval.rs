@@ -143,9 +143,18 @@ fn check_universes(g: &DiGraph, sets: &[NodeSet]) -> Result<(), UniverseMismatch
     Ok(())
 }
 
-/// Core batch evaluator: routes each set to the fast path or the
-/// word-parallel kernel and fans the work across `threads` workers.
+/// Core batch evaluator: consults the graph's cut memo, routes each
+/// remaining set to the fast path or the word-parallel kernel, and
+/// fans the work across `threads` workers.
+///
+/// Evaluating only the memo-missed subset is sound because per-set
+/// accumulation is independent in every kernel: a set's fold visits
+/// the same crossing edges in the same ascending-edge-id order whether
+/// its chunk holds 1 set or 64, so filtering the batch cannot change
+/// any bit of any result.
 fn eval_batch(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> {
+    // Billing first, unconditionally: every logical query counts, no
+    // matter how many the memo serves.
     crate::stats::count_cut_queries(sets.len() as u64);
     if sets.is_empty() {
         return Vec::new();
@@ -153,35 +162,42 @@ fn eval_batch(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> 
     // Build the CSR once, up front, so worker threads share it
     // read-only instead of racing to initialize it.
     let _ = g.csr();
-    let m = g.num_edges();
-    let mut small: Vec<usize> = Vec::new();
-    let mut large: Vec<usize> = Vec::new();
-    for (i, s) in sets.iter().enumerate() {
-        if incident_degree(g, s) * FAST_PATH_FACTOR < m {
-            small.push(i);
-        } else {
-            large.push(i);
+    let mut out_vals = vec![0.0f64; sets.len()];
+    let mut in_vals = vec![0.0f64; sets.len()];
+    let todo = g.memo_lookup_batch(sets, Some(&mut out_vals), Some(&mut in_vals));
+    if !todo.is_empty() {
+        let m = g.num_edges();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for &i in &todo {
+            if incident_degree(g, &sets[i]) * FAST_PATH_FACTOR < m {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
         }
-    }
-    let mut results = vec![(0.0f64, 0.0f64); sets.len()];
-    // Large sets: chunks of ≤ 64 share one edge pass each.
-    let chunks: Vec<&[usize]> = large.chunks(CHUNK).collect();
-    let chunk_out = parallel::run_indexed(chunks.len(), threads, |c| {
-        let members: Vec<&NodeSet> = chunks[c].iter().map(|&i| &sets[i]).collect();
-        eval_chunk(g, &members)
-    });
-    for (chunk, vals) in chunks.iter().zip(chunk_out) {
-        for (&i, v) in chunk.iter().zip(vals) {
-            results[i] = v;
+        // Large sets: chunks of ≤ 64 share one edge pass each.
+        let chunks: Vec<&[usize]> = large.chunks(CHUNK).collect();
+        let chunk_out = parallel::run_indexed(chunks.len(), threads, |c| {
+            let members: Vec<&NodeSet> = chunks[c].iter().map(|&i| &sets[i]).collect();
+            eval_chunk(g, &members)
+        });
+        for (chunk, vals) in chunks.iter().zip(chunk_out) {
+            for (&i, (out, into)) in chunk.iter().zip(vals) {
+                out_vals[i] = out;
+                in_vals[i] = into;
+            }
         }
+        // Small sets: independent incident scans.
+        let small_out =
+            parallel::run_indexed(small.len(), threads, |k| eval_incident(g, &sets[small[k]]));
+        for (&i, (out, into)) in small.iter().zip(small_out) {
+            out_vals[i] = out;
+            in_vals[i] = into;
+        }
+        g.memo_store_batch(sets, &todo, Some(&out_vals), Some(&in_vals));
     }
-    // Small sets: independent incident scans.
-    let small_out =
-        parallel::run_indexed(small.len(), threads, |k| eval_incident(g, &sets[small[k]]));
-    for (&i, v) in small.iter().zip(small_out) {
-        results[i] = v;
-    }
-    results
+    out_vals.into_iter().zip(in_vals).collect()
 }
 
 /// Batched [`DiGraph::cut_both`]: `(w(Sᵢ,V∖Sᵢ), w(V∖Sᵢ,Sᵢ))` for every
@@ -448,6 +464,30 @@ mod tests {
                 let (no, ni) = g.cut_both(s);
                 assert_eq!((o.to_bits(), i.to_bits()), (no.to_bits(), ni.to_bits()));
             }
+        }
+    }
+
+    #[test]
+    fn cached_and_uncached_batches_are_bit_identical_and_billed_alike() {
+        let _guard = crate::cache::test_lock();
+        let g = random_graph(40, 300, 11);
+        let sets = random_sets(40, 100, 12);
+        crate::cache::set_enabled(false);
+        let (cold, cold_counts) = crate::stats::scoped(|| cut_both_batch_threaded(&g, &sets, 2));
+        crate::cache::set_enabled(true);
+        let (warm1, warm_counts) = crate::stats::scoped(|| cut_both_batch_threaded(&g, &sets, 2));
+        // Second warm pass is served entirely from the memo…
+        let hits_before = crate::stats::total_cache_hits();
+        let (warm2, repeat_counts) = crate::stats::scoped(|| cut_both_batch_threaded(&g, &sets, 2));
+        assert!(crate::stats::total_cache_hits() >= hits_before + sets.len() as u64);
+        // …but billed exactly like the cold pass.
+        assert_eq!(cold_counts, warm_counts);
+        assert_eq!(cold_counts, repeat_counts);
+        for ((a, b), c) in cold.iter().zip(&warm1).zip(&warm2) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+            assert_eq!(b.0.to_bits(), c.0.to_bits());
+            assert_eq!(b.1.to_bits(), c.1.to_bits());
         }
     }
 

@@ -24,8 +24,9 @@
 //! sharing a `&DiGraph` across the worker pool race only on who builds
 //! the view first, never on its contents.
 
+use crate::cache::{CutEntry, CutMemo};
 use crate::ids::{EdgeId, NodeId, NodeSet};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// A weighted directed edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -207,17 +208,36 @@ impl Csr {
 /// assert_eq!(g.cut_out(&s), 2.0); // edges leaving {0}
 /// assert_eq!(g.cut_in(&s), 5.0);  // edges entering {0}
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DiGraph {
     n: usize,
     edges: Vec<Edge>,
     epoch: u64,
     csr: OnceLock<Csr>,
+    /// Epoch-keyed cut-query memo (see [`crate::cache`]). Like the CSR
+    /// view this is pure cache state: ignored by `PartialEq`, not
+    /// carried across `Clone`, and invalidated by every mutation.
+    memo: Mutex<CutMemo>,
 }
 
 impl PartialEq for DiGraph {
     fn eq(&self, other: &Self) -> bool {
         self.n == other.n && self.edges == other.edges
+    }
+}
+
+impl Clone for DiGraph {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            edges: self.edges.clone(),
+            epoch: self.epoch,
+            csr: self.csr.clone(),
+            // A clone starts with a cold memo: entries are epoch-local
+            // cache state, and sharing them would need an Arc the hot
+            // paths should not pay for.
+            memo: Mutex::new(CutMemo::default()),
+        }
     }
 }
 
@@ -230,6 +250,7 @@ impl DiGraph {
             edges: Vec::new(),
             epoch: 0,
             csr: OnceLock::new(),
+            memo: Mutex::new(CutMemo::default()),
         }
     }
 
@@ -279,6 +300,12 @@ impl DiGraph {
     fn invalidate(&mut self) {
         self.epoch += 1;
         self.csr.take();
+        // The epoch stamp would catch stale entries lazily; clearing
+        // here just frees the memory right away.
+        self.memo
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 
     /// Adds a directed edge and returns its id.
@@ -427,6 +454,160 @@ impl DiGraph {
         (out, into)
     }
 
+    fn memo(&self) -> std::sync::MutexGuard<'_, CutMemo> {
+        self.memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    // Memo-backed single-query paths. Billing (`count_cut_queries`)
+    // already happened at the public entry point, so a hit changes only
+    // wall-clock and the cache_hits/cache_misses observability
+    // counters — never the resource accounting. Cached values are the
+    // exact f64s the edge-order fold produced, so served and computed
+    // answers are bit-identical.
+    fn cut_out_cached(&self, s: &NodeSet) -> f64 {
+        if !crate::cache::enabled() {
+            return self.cut_out_unchecked(s);
+        }
+        if let Some(v) = self
+            .memo()
+            .at_epoch(self.epoch)
+            .get(s.words())
+            .and_then(|e| e.out)
+        {
+            crate::stats::count_cache_hits(1);
+            return v;
+        }
+        crate::stats::count_cache_misses(1);
+        let v = self.cut_out_unchecked(s);
+        self.memo().at_epoch(self.epoch).store(
+            s.words(),
+            CutEntry {
+                out: Some(v),
+                into: None,
+            },
+        );
+        v
+    }
+
+    fn cut_in_cached(&self, s: &NodeSet) -> f64 {
+        if !crate::cache::enabled() {
+            return self.cut_in_unchecked(s);
+        }
+        if let Some(v) = self
+            .memo()
+            .at_epoch(self.epoch)
+            .get(s.words())
+            .and_then(|e| e.into)
+        {
+            crate::stats::count_cache_hits(1);
+            return v;
+        }
+        crate::stats::count_cache_misses(1);
+        let v = self.cut_in_unchecked(s);
+        self.memo().at_epoch(self.epoch).store(
+            s.words(),
+            CutEntry {
+                out: None,
+                into: Some(v),
+            },
+        );
+        v
+    }
+
+    fn cut_both_cached(&self, s: &NodeSet) -> (f64, f64) {
+        if !crate::cache::enabled() {
+            return self.cut_both_unchecked(s);
+        }
+        if let Some(entry) = self.memo().at_epoch(self.epoch).get(s.words()) {
+            if let (Some(out), Some(into)) = (entry.out, entry.into) {
+                crate::stats::count_cache_hits(1);
+                return (out, into);
+            }
+        }
+        crate::stats::count_cache_misses(1);
+        let (out, into) = self.cut_both_unchecked(s);
+        self.memo().at_epoch(self.epoch).store(
+            s.words(),
+            CutEntry {
+                out: Some(out),
+                into: Some(into),
+            },
+        );
+        (out, into)
+    }
+
+    /// Batch memo lookup for the [`crate::cuteval`] kernels: fills the
+    /// result slots for sets already memoized and returns the indices
+    /// that still need computing. One lock acquisition for the whole
+    /// batch. When the cache is disabled, every index is returned and
+    /// no counters move. `into` is `None` for out-only batches,
+    /// `out` is `None` for in-only batches.
+    pub(crate) fn memo_lookup_batch(
+        &self,
+        sets: &[NodeSet],
+        out: Option<&mut [f64]>,
+        into: Option<&mut [f64]>,
+    ) -> Vec<usize> {
+        if !crate::cache::enabled() {
+            return (0..sets.len()).collect();
+        }
+        let mut todo = Vec::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let mut out = out;
+        let mut into = into;
+        let mut memo = self.memo();
+        let memo = memo.at_epoch(self.epoch);
+        for (i, s) in sets.iter().enumerate() {
+            let entry = memo.get(s.words()).unwrap_or_default();
+            let got_out = entry.out.filter(|_| out.is_some());
+            let got_in = entry.into.filter(|_| into.is_some());
+            let served =
+                (out.is_none() || got_out.is_some()) && (into.is_none() || got_in.is_some());
+            if served {
+                if let (Some(slots), Some(v)) = (out.as_deref_mut(), got_out) {
+                    slots[i] = v;
+                }
+                if let (Some(slots), Some(v)) = (into.as_deref_mut(), got_in) {
+                    slots[i] = v;
+                }
+                hits += 1;
+            } else {
+                todo.push(i);
+                misses += 1;
+            }
+        }
+        crate::stats::count_cache_hits(hits);
+        crate::stats::count_cache_misses(misses);
+        todo
+    }
+
+    /// Batch memo store matching [`DiGraph::memo_lookup_batch`]: writes
+    /// the freshly computed values for `indices` back under one lock.
+    pub(crate) fn memo_store_batch(
+        &self,
+        sets: &[NodeSet],
+        indices: &[usize],
+        out: Option<&[f64]>,
+        into: Option<&[f64]>,
+    ) {
+        if !crate::cache::enabled() || indices.is_empty() {
+            return;
+        }
+        let mut memo = self.memo();
+        let memo = memo.at_epoch(self.epoch);
+        for &i in indices {
+            memo.store(
+                sets[i].words(),
+                CutEntry {
+                    out: out.map(|v| v[i]),
+                    into: into.map(|v| v[i]),
+                },
+            );
+        }
+    }
+
     /// The directed cut value `w(S, V∖S)`: total weight of edges from
     /// `S` to its complement. `O(m)`.
     ///
@@ -438,7 +619,7 @@ impl DiGraph {
     pub fn cut_out(&self, s: &NodeSet) -> f64 {
         debug_assert_eq!(s.universe(), self.n, "node-set universe mismatch");
         crate::stats::count_cut_queries(1);
-        self.cut_out_unchecked(s)
+        self.cut_out_cached(s)
     }
 
     /// The reverse cut value `w(V∖S, S)`. See [`DiGraph::cut_out`] for
@@ -447,7 +628,7 @@ impl DiGraph {
     pub fn cut_in(&self, s: &NodeSet) -> f64 {
         debug_assert_eq!(s.universe(), self.n, "node-set universe mismatch");
         crate::stats::count_cut_queries(1);
-        self.cut_in_unchecked(s)
+        self.cut_in_cached(s)
     }
 
     /// Both directions of the cut in one scan: `(w(S,V∖S), w(V∖S,S))`.
@@ -456,7 +637,7 @@ impl DiGraph {
     pub fn cut_both(&self, s: &NodeSet) -> (f64, f64) {
         debug_assert_eq!(s.universe(), self.n, "node-set universe mismatch");
         crate::stats::count_cut_queries(1);
-        self.cut_both_unchecked(s)
+        self.cut_both_cached(s)
     }
 
     /// Checked [`DiGraph::cut_out`]: returns a typed error instead of
@@ -467,7 +648,7 @@ impl DiGraph {
     pub fn try_cut_out(&self, s: &NodeSet) -> Result<f64, UniverseMismatch> {
         self.check_universe(s)?;
         crate::stats::count_cut_queries(1);
-        Ok(self.cut_out_unchecked(s))
+        Ok(self.cut_out_cached(s))
     }
 
     /// Checked [`DiGraph::cut_in`].
@@ -477,7 +658,7 @@ impl DiGraph {
     pub fn try_cut_in(&self, s: &NodeSet) -> Result<f64, UniverseMismatch> {
         self.check_universe(s)?;
         crate::stats::count_cut_queries(1);
-        Ok(self.cut_in_unchecked(s))
+        Ok(self.cut_in_cached(s))
     }
 
     /// Checked [`DiGraph::cut_both`].
@@ -487,7 +668,7 @@ impl DiGraph {
     pub fn try_cut_both(&self, s: &NodeSet) -> Result<(f64, f64), UniverseMismatch> {
         self.check_universe(s)?;
         crate::stats::count_cut_queries(1);
-        Ok(self.cut_both_unchecked(s))
+        Ok(self.cut_both_cached(s))
     }
 
     /// The total weight of edges from set `a` to set `b`
@@ -681,6 +862,54 @@ mod tests {
         assert_eq!(g.csr().built_at_epoch(), g.mutation_epoch());
         g.scale_weights(2.0);
         assert_eq!(g.weighted_out_degree(NodeId::new(0)), 6.0);
+    }
+
+    #[test]
+    fn cut_memo_serves_repeats_bills_them_and_invalidates_on_mutation() {
+        let _guard = crate::cache::test_lock();
+        crate::cache::set_enabled(true);
+        let mut g = triangle();
+        let s = NodeSet::from_indices(3, [0]);
+        let queries_before = crate::stats::total_cut_queries();
+        let hits_before = crate::stats::total_cache_hits();
+        let first = g.cut_out(&s);
+        let again = g.cut_out(&s);
+        assert_eq!(first.to_bits(), again.to_bits());
+        // The repeat was served from the memo but still billed.
+        assert_eq!(crate::stats::total_cut_queries(), queries_before + 2);
+        assert_eq!(crate::stats::total_cache_hits(), hits_before + 1);
+        // cut_both fills both slots; a later cut_in hits without computing.
+        let (_, into) = g.cut_both(&s);
+        assert_eq!(g.cut_in(&s).to_bits(), into.to_bits());
+        // Mutation drops the memo: the new answer reflects the new edge.
+        g.add_edge(NodeId::new(0), NodeId::new(2), 7.0);
+        assert_eq!(g.cut_out(&s), 9.0);
+    }
+
+    #[test]
+    fn batch_memo_round_trip_serves_cached_indices() {
+        let _guard = crate::cache::test_lock();
+        crate::cache::set_enabled(true);
+        let g = triangle();
+        let sets = [
+            NodeSet::from_indices(3, [0]),
+            NodeSet::from_indices(3, [0, 1]),
+        ];
+        let mut out = vec![0.0; 2];
+        let todo = g.memo_lookup_batch(&sets, Some(&mut out), None);
+        for &i in &todo {
+            out[i] = g.cut_out_unchecked(&sets[i]);
+        }
+        g.memo_store_batch(&sets, &todo, Some(&out), None);
+        let mut out2 = vec![0.0; 2];
+        let todo2 = g.memo_lookup_batch(&sets, Some(&mut out2), None);
+        assert!(todo2.is_empty());
+        assert_eq!(out, out2);
+        // An in-cut batch over the same sets is still all misses: the
+        // memo tracks the two directions independently.
+        let mut into = vec![0.0; 2];
+        let todo3 = g.memo_lookup_batch(&sets, None, Some(&mut into));
+        assert_eq!(todo3, vec![0, 1]);
     }
 
     #[test]

@@ -92,20 +92,39 @@ impl GomoryHuTree {
     /// Panics if the graph has fewer than 2 nodes.
     #[must_use]
     pub fn build_threaded(g: &DiGraph, threads: usize) -> Self {
+        let mut net = symmetric_network_from_digraph(g);
+        Self::build_with_network(g, &mut net, threads)
+    }
+
+    /// [`GomoryHuTree::build_threaded`] on a caller-supplied network,
+    /// which must be the symmetric network of `g` (as built by
+    /// [`symmetric_network_from_digraph`]; residual state is reset as
+    /// needed). The point of supplying the network is warm-start reuse:
+    /// its solve-replay memo survives between builds, so repeated
+    /// builds over the same graph replay their `(sink, parent)` solves
+    /// instead of recomputing them. The tree is bit-identical to
+    /// [`GomoryHuTree::build`] either way.
+    ///
+    /// # Panics
+    /// Panics if the graph has fewer than 2 nodes or the network's node
+    /// count differs from the graph's.
+    #[must_use]
+    pub fn build_with_network(g: &DiGraph, base: &mut FlowNetwork<f64>, threads: usize) -> Self {
         let n = g.num_nodes();
         assert!(n >= 2, "Gomory–Hu needs ≥ 2 nodes");
+        assert_eq!(base.num_nodes(), n, "network/graph node count mismatch");
         crate::stats::timed_stage("gomory_hu/build", || {
             let mut parent = vec![0usize; n];
             let mut flow = vec![0.0f64; n];
-            let base = symmetric_network_from_digraph(g);
             if threads <= 1 {
                 // Serial Gusfield on one snapshot-reset network — no
-                // speculation, exactly n − 1 solves.
-                let mut net = base.clone();
+                // speculation, exactly n − 1 solves. The sequence of
+                // (sink, parent) pairs is deterministic, so a repeated
+                // build over the same network is all warm replays.
                 for i in 1..n {
-                    net.reset();
-                    let f = net.max_flow(NodeId::new(i), NodeId::new(parent[i]));
-                    let side = net.min_cut_side(NodeId::new(i));
+                    base.reset();
+                    let f = base.max_flow(NodeId::new(i), NodeId::new(parent[i]));
+                    let side = base.min_cut_side(NodeId::new(i));
                     commit(&mut parent, &mut flow, i, f, &side);
                 }
                 return Self { parent, flow };
@@ -131,10 +150,16 @@ impl GomoryHuTree {
                     .collect();
                 let guesses: Vec<usize> = todo.iter().map(|&i| parent[i]).collect();
                 issued += todo.len();
+                // Workers clone the caller's network, so they start from
+                // whatever warm entries it already holds; entries they
+                // discover themselves drop with the clones (sharing them
+                // back would cost a merge the speculative path does not
+                // need for determinism).
+                let base_ref: &FlowNetwork<f64> = base;
                 let results = parallel::run_indexed_with(
                     todo.len(),
                     threads,
-                    || base.clone(),
+                    || base_ref.clone(),
                     |net: &mut FlowNetwork<f64>, idx| {
                         net.reset();
                         let f = net.max_flow(NodeId::new(todo[idx]), NodeId::new(guesses[idx]));
@@ -170,16 +195,16 @@ impl GomoryHuTree {
                 bail = committed * 8 < before || issued >= 4 * (n - 1);
             }
             // Serial finish for whatever speculation left behind, still
-            // reusing one network and any cached solve whose guess held.
+            // reusing the caller's network and any cached solve whose
+            // guess held.
             if !unresolved.is_empty() {
-                let mut net = base.clone();
                 for &i in &unresolved {
                     let (f, side) = match &cache[i] {
                         Some((g, f, side)) if *g == parent[i] => (*f, side.clone()),
                         _ => {
-                            net.reset();
-                            let f = net.max_flow(NodeId::new(i), NodeId::new(parent[i]));
-                            (f, net.min_cut_side(NodeId::new(i)))
+                            base.reset();
+                            let f = base.max_flow(NodeId::new(i), NodeId::new(parent[i]));
+                            (f, base.min_cut_side(NodeId::new(i)))
                         }
                     };
                     commit(&mut parent, &mut flow, i, f, &side);
@@ -352,6 +377,30 @@ mod tests {
         for (_, _, cap) in tree.edges() {
             assert!(cap > 0.0);
         }
+    }
+
+    #[test]
+    fn repeated_builds_on_one_network_replay_warm_and_stay_billed() {
+        let _guard = crate::cache::test_lock();
+        crate::cache::set_enabled(true);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let g = random_balanced_digraph(12, 0.5, 2.0, &mut rng);
+        let mut net = crate::flow::symmetric_network_from_digraph(&g);
+        let first = GomoryHuTree::build_with_network(&g, &mut net, 1);
+        let hits_before = crate::stats::total_cache_hits();
+        let solves_before = crate::stats::total_solves();
+        let second = GomoryHuTree::build_with_network(&g, &mut net, 1);
+        assert_eq!(first.parent, second.parent);
+        let bits: Vec<u64> = first.flow.iter().map(|f| f.to_bits()).collect();
+        let again: Vec<u64> = second.flow.iter().map(|f| f.to_bits()).collect();
+        assert_eq!(bits, again);
+        // Every one of the n − 1 repeat solves was a warm replay, yet
+        // all of them were billed as solves.
+        assert_eq!(crate::stats::total_cache_hits(), hits_before + 11);
+        assert_eq!(crate::stats::total_solves(), solves_before + 11);
+        // The threaded path on the same warm network agrees too.
+        let threaded = GomoryHuTree::build_with_network(&g, &mut net, 4);
+        assert_eq!(threaded.parent, first.parent);
     }
 
     #[test]

@@ -100,6 +100,13 @@ impl NodeSet {
         self.universe
     }
 
+    /// The raw bitset words (little-endian bit order). Used as the memo
+    /// key for cached cut queries — two sets over the same universe are
+    /// equal iff their words are.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Inserts a node; returns whether it was newly inserted.
     pub fn insert(&mut self, v: NodeId) -> bool {
         let i = v.index();

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod balance;
+pub mod cache;
 pub mod connectivity;
 pub mod cuteval;
 pub mod digraph;

@@ -174,23 +174,59 @@ pub fn edge_connectivity(g: &UnGraph) -> Option<(u64, NodeSet)> {
 /// identical for every `threads ≥ 1`.
 #[must_use]
 pub fn edge_connectivity_threaded(g: &UnGraph, threads: usize) -> Option<(u64, NodeSet)> {
+    if g.num_nodes() < 2 {
+        return None;
+    }
+    let mut base = unit_network_from_ungraph(g);
+    edge_connectivity_with_network(g, &mut base, threads)
+}
+
+/// [`edge_connectivity_threaded`] on a caller-supplied unit network
+/// (as built by [`unit_network_from_ungraph`]); residual state is
+/// reset as needed. Supplying the network lets its solve-replay memo
+/// survive between calls, so repeated connectivity checks of the same
+/// graph (the Lemma 5.5 verification flows) replay their per-sink
+/// solves instead of recomputing. The answer is bit-identical either
+/// way.
+///
+/// # Panics
+/// Panics if the network's node count differs from the graph's.
+#[must_use]
+pub fn edge_connectivity_with_network(
+    g: &UnGraph,
+    base: &mut FlowNetwork<u64>,
+    threads: usize,
+) -> Option<(u64, NodeSet)> {
     let n = g.num_nodes();
     if n < 2 {
         return None;
     }
+    assert_eq!(base.num_nodes(), n, "network/graph node count mismatch");
     Some(crate::stats::timed_stage("edge_connectivity", || {
         let zero = NodeId::new(0);
-        let base = unit_network_from_ungraph(g);
-        let solves: Vec<(u64, NodeSet)> = parallel::run_indexed_with(
-            n - 1,
-            threads,
-            || base.clone(),
-            |net: &mut FlowNetwork<u64>, task| {
-                net.reset();
-                let f = net.max_flow(zero, NodeId::new(task + 1));
-                (f, net.min_cut_side(zero))
-            },
-        );
+        let solves: Vec<(u64, NodeSet)> = if threads <= 1 {
+            // Serial path on the caller's network itself, so warm
+            // entries discovered here persist for the next call.
+            (0..n - 1)
+                .map(|task| {
+                    base.reset();
+                    let f = base.max_flow(zero, NodeId::new(task + 1));
+                    (f, base.min_cut_side(zero))
+                })
+                .collect()
+        } else {
+            let base_ref: &FlowNetwork<u64> = base;
+            parallel::run_indexed_with(
+                n - 1,
+                threads,
+                || base_ref.clone(),
+                |net: &mut FlowNetwork<u64>, task| {
+                    net.reset();
+                    let f = net.max_flow(zero, NodeId::new(task + 1));
+                    (f, net.min_cut_side(zero))
+                },
+            )
+        };
         // Fold in sink order with strict improvement — same winner as
         // the serial loop (and its `f == 0` early break).
         let mut best: Option<(u64, NodeSet)> = None;
@@ -416,6 +452,26 @@ mod tests {
             assert_eq!(l1, lk, "threads={threads}");
             assert_eq!(s1, sk, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn edge_connectivity_with_network_replays_warm_and_matches() {
+        let _guard = crate::cache::test_lock();
+        crate::cache::set_enabled(true);
+        let mut g = UnGraph::new(7);
+        for i in 0..7 {
+            g.add_edge(NodeId::new(i), NodeId::new((i + 1) % 7));
+        }
+        let mut net = unit_network_from_ungraph(&g);
+        let first = edge_connectivity_with_network(&g, &mut net, 1).unwrap();
+        let hits_before = crate::stats::total_cache_hits();
+        let solves_before = crate::stats::total_solves();
+        let second = edge_connectivity_with_network(&g, &mut net, 1).unwrap();
+        // All six repeat solves replayed warm, and all were billed.
+        assert_eq!(crate::stats::total_cache_hits(), hits_before + 6);
+        assert_eq!(crate::stats::total_solves(), solves_before + 6);
+        assert_eq!(first, second);
+        assert_eq!(first, edge_connectivity_threaded(&g, 1).unwrap());
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct PushRelabel<C> {
     adj: OnceLock<FlatAdj>,
     /// Residual-noise threshold, tracking the largest arc capacity.
     eps: C,
+    /// Whether residual capacities equal the as-built snapshot (see
+    /// [`crate::flow::FlowNetwork`]; same warm-replay contract).
+    pristine: bool,
+    /// Solve-replay memo, cleared on every `add_arc`.
+    warm: crate::cache::FlowMemo<C>,
 }
 
 impl<C: Capacity> PushRelabel<C> {
@@ -54,6 +59,8 @@ impl<C: Capacity> PushRelabel<C> {
             base: Vec::new(),
             adj: OnceLock::new(),
             eps: C::ZERO,
+            pristine: true,
+            warm: crate::cache::FlowMemo::default(),
         }
     }
 
@@ -85,6 +92,7 @@ impl<C: Capacity> PushRelabel<C> {
             "arc endpoint out of range"
         );
         self.adj.take();
+        self.warm.clear();
         self.arcs.push(Arc { to: v.0, cap });
         self.arcs.push(Arc {
             to: u.0,
@@ -102,6 +110,7 @@ impl<C: Capacity> PushRelabel<C> {
         for (arc, &cap) in self.arcs.iter_mut().zip(self.base.iter()) {
             arc.cap = cap;
         }
+        self.pristine = true;
     }
 
     /// The residual-noise threshold this network classifies positive
@@ -118,6 +127,24 @@ impl<C: Capacity> PushRelabel<C> {
     /// Panics if `s == t`.
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> C {
         assert!(s != t, "max_flow requires s ≠ t");
+        // Warm replay from the pristine snapshot: restore the residual
+        // state the cold solve left behind (bit-identical, including
+        // `min_cut_side`). Billed as a solve either way.
+        let warm_ok = self.pristine && crate::cache::enabled();
+        if warm_ok {
+            if let Some(entry) = self.warm.get(s.0, t.0) {
+                let value = entry.value;
+                debug_assert_eq!(entry.caps.len(), self.arcs.len());
+                for (arc, &cap) in self.arcs.iter_mut().zip(&entry.caps) {
+                    arc.cap = cap;
+                }
+                self.pristine = false;
+                crate::stats::count_solve();
+                crate::stats::count_cache_hits(1);
+                return value;
+            }
+        }
+        let (src, dst) = (s, t);
         let (s, t) = (s.index(), t.index());
         let _ = self.adj(); // build once, outside the discharge loops
         let n = self.n;
@@ -220,6 +247,16 @@ impl<C: Capacity> PushRelabel<C> {
             }
         }
         crate::stats::count_solve();
+        if warm_ok {
+            crate::stats::count_cache_misses(1);
+            self.warm.store(
+                src.0,
+                dst.0,
+                excess[t],
+                self.arcs.iter().map(|a| a.cap).collect(),
+            );
+        }
+        self.pristine = false;
         excess[t]
     }
 
@@ -346,6 +383,21 @@ mod tests {
         let reused = net.max_flow(NodeId::new(0), NodeId::new(5));
         let fresh = PushRelabel::from_digraph(&g).max_flow(NodeId::new(0), NodeId::new(5));
         assert_eq!(reused.to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    fn warm_replay_matches_cold_solve() {
+        let _guard = crate::cache::test_lock();
+        crate::cache::set_enabled(true);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = random_balanced_digraph(10, 0.6, 2.0, &mut rng);
+        let mut net = PushRelabel::from_digraph(&g);
+        let cold = net.max_flow(NodeId::new(0), NodeId::new(9));
+        let cold_side = net.min_cut_side(NodeId::new(0));
+        net.reset();
+        let warm = net.max_flow(NodeId::new(0), NodeId::new(9));
+        assert_eq!(cold.to_bits(), warm.to_bits());
+        assert_eq!(cold_side, net.min_cut_side(NodeId::new(0)));
     }
 
     #[test]

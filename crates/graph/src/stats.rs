@@ -21,6 +21,16 @@ static SOLVES: AtomicU64 = AtomicU64::new(0);
 /// start (or the last [`reset`]).
 static CUT_QUERIES: AtomicU64 = AtomicU64::new(0);
 
+/// Logical queries/solves answered from the PR-5 result cache (cut
+/// memo hits, flow warm-start replays, skeleton memo hits). These are
+/// *observability only*: every hit was still billed through
+/// [`count_cut_queries`] / [`count_solve`], so resource accounting is
+/// invariant under `DIRCUT_CACHE`.
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Logical queries/solves that consulted the cache and had to compute.
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
 thread_local! {
     /// Per-thread mirror of [`SOLVES`], read by [`scoped`] to
     /// attribute solves to one closure without racing other threads.
@@ -64,6 +74,19 @@ pub(crate) fn count_solve() {
 pub(crate) fn count_cut_queries(k: u64) {
     CUT_QUERIES.fetch_add(k, Ordering::Relaxed);
     SCOPED_CUT_QUERIES.with(|c| c.set(c.get() + k));
+}
+
+/// Records `k` cache hits. Called by the memo lookup paths only —
+/// never affects the billed query/solve counters above. Public so
+/// cache layers in downstream crates (e.g. the local-query skeleton
+/// memo) report into the same process-wide tally.
+pub fn count_cache_hits(k: u64) {
+    CACHE_HITS.fetch_add(k, Ordering::Relaxed);
+}
+
+/// Records `k` cache misses (lookups that went on to compute).
+pub fn count_cache_misses(k: u64) {
+    CACHE_MISSES.fetch_add(k, Ordering::Relaxed);
 }
 
 /// Counters attributed to one [`scoped`] closure on one thread.
@@ -122,6 +145,18 @@ pub fn total_cut_queries() -> u64 {
     CUT_QUERIES.load(Ordering::Relaxed)
 }
 
+/// Total cache hits recorded so far (see [`crate::cache`]).
+#[must_use]
+pub fn total_cache_hits() -> u64 {
+    CACHE_HITS.load(Ordering::Relaxed)
+}
+
+/// Total cache misses recorded so far (see [`crate::cache`]).
+#[must_use]
+pub fn total_cache_misses() -> u64 {
+    CACHE_MISSES.load(Ordering::Relaxed)
+}
+
 /// Adds one run of `stage` with the given solve count and wall-clock.
 pub fn record_stage(stage: &str, solves: u64, wall: Duration) {
     record_stage_counts(stage, solves, 0, wall);
@@ -163,6 +198,8 @@ pub fn stage_report() -> Vec<(String, StageStat)> {
 pub fn reset() {
     SOLVES.store(0, Ordering::Relaxed);
     CUT_QUERIES.store(0, Ordering::Relaxed);
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
     registry().lock().expect("stats registry poisoned").clear();
 }
 

@@ -250,6 +250,80 @@ mod structure_props {
     }
 }
 
+mod cache_props {
+    use super::*;
+    use dircut_graph::cache;
+    use dircut_graph::cuteval::cut_both_batch_threaded;
+    use dircut_graph::flow::symmetric_network_from_digraph;
+    use dircut_graph::gomory_hu::GomoryHuTree;
+    use dircut_graph::stats;
+
+    // These properties are deliberately race-tolerant: the cache toggle
+    // is process-global and sibling tests run concurrently, but the
+    // contract under test is exactly that the toggle never changes
+    // result bits or billed counts — so a mid-run flip by a sibling
+    // cannot produce a spurious failure, only exercise the contract
+    // harder. Counter (hit/miss) assertions live in the serialised
+    // unit tests instead.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Batch cut evaluation: cached and uncached runs, at 1 and 8
+        /// threads, repeated so the second pass replays the memo, all
+        /// produce the same bits and bill the same cut-query count.
+        #[test]
+        fn cached_and_uncached_batches_bit_identical_and_billed_alike(
+            g in arb_digraph(),
+            masks in proptest::collection::vec(1u64..u64::MAX, 1..12)
+        ) {
+            let n = g.num_nodes();
+            let sets: Vec<NodeSet> = masks.iter().map(|&m| subset_of(n, m)).collect();
+            cache::set_enabled(false);
+            let (cold, cold_counts) =
+                stats::scoped(|| cut_both_batch_threaded(&g, &sets, 1));
+            cache::set_enabled(true);
+            for threads in [1usize, 8] {
+                for _pass in 0..2 {
+                    let (vals, counts) =
+                        stats::scoped(|| cut_both_batch_threaded(&g, &sets, threads));
+                    prop_assert_eq!(counts.cut_queries, cold_counts.cut_queries);
+                    for (a, b) in vals.iter().zip(&cold) {
+                        prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+                        prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                    }
+                }
+            }
+        }
+
+        /// Gomory–Hu on one shared network: the cold build, two warm
+        /// serial rebuilds (full replay), and a warm 8-thread rebuild
+        /// all produce bit-identical trees; serial rebuilds bill the
+        /// same solve count whether the solves were replayed or not.
+        #[test]
+        fn warm_and_cold_gomory_hu_builds_are_bit_identical(g in arb_digraph()) {
+            let tree_bits = |t: &GomoryHuTree| -> Vec<(usize, usize, u64)> {
+                t.edges().map(|(u, v, w)| (u.index(), v.index(), w.to_bits())).collect()
+            };
+            cache::set_enabled(false);
+            let mut cold_net = symmetric_network_from_digraph(&g);
+            let (cold, cold_counts) =
+                stats::scoped(|| GomoryHuTree::build_with_network(&g, &mut cold_net, 1));
+            cache::set_enabled(true);
+            let mut warm_net = symmetric_network_from_digraph(&g);
+            for _pass in 0..2 {
+                let (tree, counts) =
+                    stats::scoped(|| GomoryHuTree::build_with_network(&g, &mut warm_net, 1));
+                prop_assert_eq!(counts.solves, cold_counts.solves);
+                prop_assert_eq!(tree_bits(&tree), tree_bits(&cold));
+            }
+            // The speculative path may re-solve mispredicted parents, so
+            // only the tree bits are compared at 8 threads.
+            let threaded = GomoryHuTree::build_with_network(&g, &mut warm_net, 8);
+            prop_assert_eq!(tree_bits(&threaded), tree_bits(&cold));
+        }
+    }
+}
+
 mod flow_cross_validation {
     use super::*;
     use dircut_graph::push_relabel::max_flow_push_relabel;
