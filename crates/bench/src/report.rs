@@ -8,7 +8,7 @@
 
 use crate::record::EngineReport;
 use std::fmt::Write as _;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Prints a table row of equal-width cells to stdout.
 pub fn print_row(cells: &[String]) {
@@ -79,7 +79,7 @@ fn sections() -> &'static Mutex<Vec<(String, EngineReport)>> {
 pub fn record_section(label: &str, report: &EngineReport) {
     sections()
         .lock()
-        .expect("sections registry poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .push((label.to_owned(), report.clone()));
 }
 
@@ -113,7 +113,7 @@ fn json_f64(v: f64) -> String {
 /// document.
 #[must_use]
 pub fn reductions_json(bin: &str) -> String {
-    let sections = sections().lock().expect("sections registry poisoned");
+    let sections = sections().lock().unwrap_or_else(PoisonError::into_inner);
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"schema\": \"dircut-reductions-v1\",");

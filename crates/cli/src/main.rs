@@ -8,6 +8,8 @@
 //! dircut cut --side 0,1,2 [FILE]      # one directed cut value
 //! dircut sketch --eps 0.25 --beta 4 --model foreach|forall [FILE]
 //! dircut dist --servers 4 --eps 0.25 [--drop P] [--kill LIST] [FILE]
+//! dircut serve --listen unix:/tmp/d.sock [--batch 64] [FILE]  # cut-query server
+//! dircut loadgen --connect unix:/tmp/d.sock [--smoke] [--verify] [--shutdown] [FILE]
 //! dircut dot [FILE]                   # Graphviz export
 //! dircut repro foreach|forall|localquery|all [--trials N] [--seed S] [--threads T]
 //! ```
@@ -33,13 +35,14 @@ use dircut_graph::generators::random_balanced_digraph;
 use dircut_graph::io::{from_edge_list, to_dot, to_edge_list};
 use dircut_graph::mincut::{global_min_cut_directed, stoer_wagner};
 use dircut_graph::{DiGraph, NodeSet};
+use dircut_serve::{Endpoint, LoadgenConfig, ServerConfig};
 use dircut_sketch::{
     BalancedForAllSketcher, BalancedForEachSketcher, CutOracle, CutSketch, CutSketcher,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
-use std::io::Read;
+use std::io::{Read, Write as _};
 use std::process::ExitCode;
 
 /// Everything that can go wrong at the CLI boundary, typed so each
@@ -135,6 +138,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("cut") => cmd_cut(&args[1..]),
         Some("sketch") => cmd_sketch(&args[1..]),
         Some("dist") => cmd_dist(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("repro") => cmd_repro(&args[1..]),
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -154,6 +159,11 @@ USAGE:
   dircut dist --servers K --eps E [--seed S] [--drop P] [--dup P]
               [--corrupt P] [--delay P] [--timeout T] [--retries R]
               [--kill LIST] [FILE]
+  dircut serve --listen unix:PATH|HOST:PORT [--batch N] [--threads T]
+              [FILE]
+  dircut loadgen --connect unix:PATH|HOST:PORT [--conns C]
+              [--requests R] [--pool K] [--zipf S] [--seed S]
+              [--out PATH] [--smoke] [--verify] [--shutdown] [FILE]
   dircut dot     [FILE]
   dircut repro foreach|forall|localquery|all
               [--trials N] [--seed S] [--threads T]
@@ -175,12 +185,24 @@ struct Flags<'a> {
 
 impl<'a> Flags<'a> {
     fn parse(args: &'a [String]) -> Result<Self, String> {
+        Self::parse_with_bools(args, &[])
+    }
+
+    /// Like [`Flags::parse`], but flags named in `bools` take no
+    /// value — their presence is the whole signal (query with
+    /// [`Flags::has`]).
+    fn parse_with_bools(args: &'a [String], bools: &[&str]) -> Result<Self, String> {
         let mut pairs = Vec::new();
         let mut positional = Vec::new();
         let mut i = 0;
         while i < args.len() {
             let a = args[i].as_str();
             if let Some(name) = a.strip_prefix("--") {
+                if bools.contains(&name) {
+                    pairs.push((name, ""));
+                    i += 1;
+                    continue;
+                }
                 let v = args
                     .get(i + 1)
                     .ok_or_else(|| format!("--{name} needs a value"))?;
@@ -192,6 +214,10 @@ impl<'a> Flags<'a> {
             }
         }
         Ok(Self { pairs, positional })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| *n == name)
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -456,6 +482,119 @@ fn cmd_repro(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `dircut serve`: load a graph, bind a socket, and answer cut
+/// queries until a client sends a shutdown request. One line goes to
+/// stdout as soon as the socket is live (`DIRCUT_SERVE listening=…`)
+/// so scripts and tests know when to connect; a coalescing summary
+/// follows after shutdown.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse(args)?;
+    let listen = flags
+        .get("listen")
+        .ok_or_else(|| CliError::Usage("missing required --listen".into()))?;
+    let endpoint = Endpoint::parse(listen).map_err(CliError::Usage)?;
+    let cfg = ServerConfig {
+        batch_max: flags.num::<usize>("batch")?.unwrap_or(64),
+        threads: flags.num::<usize>("threads")?.unwrap_or(0),
+    };
+    let g = read_graph(&flags)?;
+    let handle = dircut_serve::serve(&g, &endpoint, &cfg)
+        .map_err(|e| CliError::Io(format!("bind {endpoint}: {e}")))?;
+    let stats = handle.batch_stats();
+    println!(
+        "DIRCUT_SERVE listening={} nodes={} edges={} batch={}",
+        handle.endpoint(),
+        g.num_nodes(),
+        g.num_edges(),
+        cfg.batch_max
+    );
+    // The readiness line must be visible to a parent process now, not
+    // when the (possibly hours-later) shutdown flushes the pipe.
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    handle.join();
+    let (batches, jobs) = (stats.batches(), stats.jobs());
+    let coalesce = if batches == 0 {
+        1.0
+    } else {
+        jobs as f64 / batches as f64
+    };
+    // The parent may have closed the pipe long ago (it only needed
+    // the readiness line); a dead stdout must not turn a clean
+    // shutdown into a panic.
+    let _ = writeln!(
+        std::io::stdout(),
+        "served {jobs} cut queries in {batches} batches ({coalesce:.2} per dispatch)"
+    );
+    Ok(())
+}
+
+/// `dircut loadgen`: drive a running server with Zipf-distributed cut
+/// queries and write the latency/QPS document to `BENCH_serve.json`.
+/// `--verify` re-evaluates every pool set on a local copy of the
+/// served graph (FILE/stdin) and fails unless the bits match.
+fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse_with_bools(args, &["smoke", "verify", "shutdown"])?;
+    let connect = flags
+        .get("connect")
+        .ok_or_else(|| CliError::Usage("missing required --connect".into()))?;
+    let endpoint = Endpoint::parse(connect).map_err(CliError::Usage)?;
+    let seed = flags.num::<u64>("seed")?.unwrap_or(0);
+    let mut cfg = if flags.has("smoke") {
+        LoadgenConfig::smoke(seed)
+    } else {
+        LoadgenConfig {
+            connections: 4,
+            requests_per_conn: 500,
+            pool: 64,
+            zipf_s: 1.1,
+            seed,
+            verify: false,
+            shutdown: false,
+        }
+    };
+    if let Some(c) = flags.num::<usize>("conns")? {
+        cfg.connections = c;
+    }
+    if let Some(r) = flags.num::<usize>("requests")? {
+        cfg.requests_per_conn = r;
+    }
+    if let Some(p) = flags.num::<usize>("pool")? {
+        cfg.pool = p;
+    }
+    if let Some(s) = flags.num::<f64>("zipf")? {
+        cfg.zipf_s = s;
+    }
+    cfg.verify = flags.has("verify");
+    cfg.shutdown = flags.has("shutdown");
+    let verify_graph = if cfg.verify {
+        Some(read_graph(&flags)?)
+    } else {
+        None
+    };
+    let report = dircut_serve::run_loadgen(&endpoint, &cfg, verify_graph.as_ref())
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    let json = dircut_serve::report_json(&endpoint, &cfg, &report);
+    let out_path = flags.get("out").unwrap_or("BENCH_serve.json");
+    std::fs::write(out_path, &json).map_err(|e| CliError::Io(format!("{out_path}: {e}")))?;
+    println!(
+        "{} ok, {} errors; p50 {:.1} µs, p99 {:.1} µs, {:.0} QPS{}",
+        report.completed,
+        report.errors,
+        report.p50_us,
+        report.p99_us,
+        report.qps,
+        if cfg.verify {
+            format!(" ({} answers verified bit-identical)", report.verified)
+        } else {
+            String::new()
+        }
+    );
+    println!("report: {out_path}");
+    Ok(())
+}
+
 fn cmd_dot(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args)?;
     let g = read_graph(&flags)?;
@@ -528,6 +667,9 @@ fn cmd_dist(args: &[String]) -> Result<(), CliError> {
             servers,
             effective_epsilon: eps + 1.0,
         }),
+        // A sketch that cannot even be framed never reached the link;
+        // treat it like any other unusable input.
+        Err(e @ DistError::Encode(_)) => Err(CliError::Io(e.to_string())),
     }
 }
 

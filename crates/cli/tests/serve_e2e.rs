@@ -1,0 +1,214 @@
+//! End-to-end tests of `dircut serve` + `dircut loadgen`: real server
+//! process on a Unix socket, real client connections, corrupt frames,
+//! clean shutdown.
+
+use dircut_graph::io::from_edge_list;
+use dircut_graph::NodeSet;
+use dircut_serve::{Client, Endpoint, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_dircut");
+
+/// A deterministic 24-node test graph as an edge list.
+fn graph_text() -> String {
+    let n = 24;
+    let mut text = format!("n {n}\n");
+    for u in 0..n {
+        text.push_str(&format!(
+            "e {} {} {}\n",
+            u,
+            (u + 1) % n,
+            1.0 + u as f64 * 0.5
+        ));
+        text.push_str(&format!("e {} {} {}\n", (u + 5) % n, u, 0.25 + u as f64));
+    }
+    text
+}
+
+/// Spawns `dircut serve` on a fresh Unix socket, feeds it the graph
+/// on stdin, and blocks until the readiness line appears.
+struct ServerProc {
+    child: Child,
+    sock: PathBuf,
+}
+
+impl ServerProc {
+    fn spawn(tag: &str) -> Self {
+        let sock = std::env::temp_dir().join(format!(
+            "dircut-serve-e2e-{}-{tag}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&sock);
+        let mut child = Command::new(BIN)
+            .args([
+                "serve",
+                "--listen",
+                &format!("unix:{}", sock.display()),
+                "--batch",
+                "16",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn dircut serve");
+        child
+            .stdin
+            .take()
+            .unwrap()
+            .write_all(graph_text().as_bytes())
+            .unwrap();
+        // Wait for the readiness line; the socket exists once printed.
+        let stdout = child.stdout.take().unwrap();
+        let mut lines = BufReader::new(stdout).lines();
+        let ready = lines
+            .next()
+            .expect("server exited before readiness")
+            .expect("read server stdout");
+        assert!(ready.contains("DIRCUT_SERVE listening="), "{ready}");
+        assert!(ready.contains("nodes=24"), "{ready}");
+        Self { child, sock }
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        Endpoint::Unix(self.sock.clone())
+    }
+
+    /// Waits (bounded) for the server to exit and returns its status.
+    fn wait(mut self) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                let _ = std::fs::remove_file(&self.sock);
+                return status;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server did not exit after shutdown"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = std::fs::remove_file(&self.sock);
+    }
+}
+
+#[test]
+fn serve_answers_bit_identically_and_shuts_down_cleanly() {
+    let server = ServerProc::spawn("roundtrip");
+    let g = from_edge_list(&graph_text()).unwrap();
+    let mut client = Client::connect(&server.endpoint()).unwrap();
+
+    let info = client.info().unwrap();
+    assert_eq!(info.nodes as usize, g.num_nodes());
+    assert_eq!(info.edges as usize, g.num_edges());
+
+    for i in 0..10usize {
+        let set = NodeSet::from_indices(24, (0..24).filter(|v| (v + i) % 4 == 0));
+        let served = client.cut(&set).unwrap();
+        let (out, into) = g.try_cut_both(&set).unwrap();
+        assert_eq!(served.out.to_bits(), out.to_bits(), "set {i}");
+        assert_eq!(served.into.to_bits(), into.to_bits(), "set {i}");
+    }
+
+    client.shutdown().unwrap();
+    let status = server.wait();
+    assert!(status.success(), "server exited {status:?}");
+}
+
+#[test]
+fn corrupt_frames_are_rejected_without_killing_the_connection() {
+    let server = ServerProc::spawn("corrupt");
+    let mut client = Client::connect(&server.endpoint()).unwrap();
+
+    // Garbage bytes under a plausible prefix: the CRC/magic layer
+    // must reject them with an error response, not a hangup or crash.
+    client.send_raw(96, &[0xAB; 12]).unwrap();
+    match client.recv_response().unwrap() {
+        Response::Error { message } => assert!(message.contains("bad frame"), "{message}"),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+
+    // Same connection still serves real queries afterwards.
+    let g = from_edge_list(&graph_text()).unwrap();
+    let set = NodeSet::from_indices(24, [0, 3, 7]);
+    let served = client.cut(&set).unwrap();
+    assert_eq!(
+        served.out.to_bits(),
+        g.try_cut_both(&set).unwrap().0.to_bits()
+    );
+
+    // An oversized length prefix cannot be resynchronized: the server
+    // answers with an error and hangs up, but stays alive for others.
+    let mut rogue = Client::connect(&server.endpoint()).unwrap();
+    rogue.send_raw(u32::MAX, &[]).unwrap();
+    match rogue.recv_response() {
+        Ok(Response::Error { .. }) | Err(_) => {}
+        Ok(other) => panic!("expected rejection, got {other:?}"),
+    }
+    assert!(rogue.cut(&set).is_err(), "rogue connection must be dead");
+
+    client.shutdown().unwrap();
+    assert!(server.wait().success());
+}
+
+#[test]
+fn loadgen_smoke_verifies_and_writes_the_bench_document() {
+    let server = ServerProc::spawn("loadgen");
+    let graph_file = std::env::temp_dir().join(format!(
+        "dircut-serve-e2e-{}-loadgen.edges",
+        std::process::id()
+    ));
+    let bench_file = std::env::temp_dir().join(format!(
+        "dircut-serve-e2e-{}-BENCH_serve.json",
+        std::process::id()
+    ));
+    std::fs::write(&graph_file, graph_text()).unwrap();
+
+    let out = Command::new(BIN)
+        .args([
+            "loadgen",
+            "--connect",
+            &format!("unix:{}", server.sock.display()),
+            "--smoke",
+            "--verify",
+            "--shutdown",
+            "--seed",
+            "42",
+            "--out",
+            bench_file.to_str().unwrap(),
+            graph_file.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run loadgen");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "loadgen failed: {stdout} {stderr}");
+    assert!(stdout.contains("verified bit-identical"), "{stdout}");
+
+    let json = std::fs::read_to_string(&bench_file).unwrap();
+    for field in [
+        "\"schema\": \"dircut-serve-bench-v1\"",
+        "\"p50_us\":",
+        "\"p99_us\":",
+        "\"qps\":",
+        "\"completed\": 100",
+        "\"errors\": 0",
+        "\"verified\": 100",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+
+    // --shutdown asked the server to exit after the run.
+    assert!(server.wait().success());
+    let _ = std::fs::remove_file(&graph_file);
+    let _ = std::fs::remove_file(&bench_file);
+}

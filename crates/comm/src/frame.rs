@@ -45,11 +45,18 @@ pub fn checksum(payload: &Message) -> u32 {
 
 /// Wraps a payload in a checked frame.
 ///
-/// # Panics
-/// Panics if the payload exceeds `u32::MAX` bits.
-#[must_use]
-pub fn seal(payload: &Message) -> Message {
-    let bits = u32::try_from(payload.bit_len()).expect("payload longer than 2^32 bits");
+/// # Errors
+/// [`WireError::Oversized`] if the payload does not fit the header's
+/// 32-bit length field. An earlier revision panicked here via
+/// `expect`, which is exactly wrong for anything server-shaped: the
+/// size of the thing being framed is ultimately chosen by a peer.
+pub fn seal(payload: &Message) -> Result<Message, WireError> {
+    let Ok(bits) = u32::try_from(payload.bit_len()) else {
+        return Err(WireError::Oversized {
+            bits: payload.bit_len(),
+            limit: u32::MAX as usize,
+        });
+    };
     let mut w = BitWriter::new();
     w.write_bits(u64::from(MAGIC), 16);
     w.write_bits(u64::from(bits), 32);
@@ -58,7 +65,7 @@ pub fn seal(payload: &Message) -> Message {
     for _ in 0..payload.bit_len() {
         w.write_bit(r.read_bit());
     }
-    w.finish()
+    Ok(w.finish())
 }
 
 /// Validates a received frame and extracts the payload.
@@ -115,7 +122,7 @@ mod tests {
     #[test]
     fn seal_open_roundtrips() {
         let payload = sample_payload();
-        let framed = seal(&payload);
+        let framed = seal(&payload).unwrap();
         assert_eq!(framed.bit_len(), FRAME_HEADER_BITS + payload.bit_len());
         assert_eq!(open(&framed).unwrap(), payload);
     }
@@ -123,7 +130,7 @@ mod tests {
     #[test]
     fn every_single_bit_flip_is_detected() {
         let payload = sample_payload();
-        let framed = seal(&payload);
+        let framed = seal(&payload).unwrap();
         for bit in 0..framed.bit_len() {
             let mut bytes = framed.as_bytes().to_vec();
             bytes[bit / 8] ^= 1 << (bit % 8);
@@ -142,14 +149,14 @@ mod tests {
     #[test]
     fn empty_payload_frames_fine() {
         let payload = BitWriter::new().finish();
-        let framed = seal(&payload);
+        let framed = seal(&payload).unwrap();
         assert_eq!(framed.bit_len(), FRAME_HEADER_BITS);
         assert_eq!(open(&framed).unwrap().bit_len(), 0);
     }
 
     #[test]
     fn truncated_frame_is_unexpected_end() {
-        let framed = seal(&sample_payload());
+        let framed = seal(&sample_payload()).unwrap();
         let mut w = BitWriter::new();
         let mut r = framed.reader();
         for _ in 0..framed.bit_len() - 20 {

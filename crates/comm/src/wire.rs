@@ -46,6 +46,16 @@ pub enum WireError {
     /// A structurally well-formed field carried an impossible value
     /// (e.g. a node id ≥ the declared node count).
     Invalid(String),
+    /// A payload too large for the frame header's 32-bit length field
+    /// (or beyond a receiver's declared size cap). Returned as a typed
+    /// error rather than panicking: a server must survive whatever size
+    /// a peer — or an attacker — asks it to frame or accept.
+    Oversized {
+        /// The offending size in bits.
+        bits: usize,
+        /// The largest size the frame format (or receiver) accepts.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -65,6 +75,9 @@ impl fmt::Display for WireError {
                 write!(f, "{bits} trailing bits after a complete value")
             }
             Self::Invalid(what) => write!(f, "invalid field: {what}"),
+            Self::Oversized { bits, limit } => {
+                write!(f, "payload of {bits} bits exceeds the {limit}-bit limit")
+            }
         }
     }
 }

@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn clean_link_delivers_exactly_once_within_base_latency() {
         let link = FaultyLink::new(7, 0, FaultConfig::clean());
-        let frame = seal(&payload());
+        let frame = seal(&payload()).unwrap();
         for attempt in 0..20 {
             let t = link.transmit(&frame, attempt);
             assert_eq!(t.deliveries.len(), 1);
@@ -242,7 +242,7 @@ mod tests {
             corrupt: 0.3,
             dead: Vec::new(),
         };
-        let frame = seal(&payload());
+        let frame = seal(&payload()).unwrap();
         let a = FaultyLink::new(11, 2, faults.clone());
         let b = FaultyLink::new(11, 2, faults);
         for attempt in 0..50 {
@@ -263,7 +263,7 @@ mod tests {
             ..FaultConfig::clean()
         };
         let link = FaultyLink::new(3, 1, faults);
-        let frame = seal(&payload());
+        let frame = seal(&payload()).unwrap();
         for attempt in 0..30 {
             let t = link.transmit(&frame, attempt);
             assert!(t.corrupted);
@@ -286,7 +286,7 @@ mod tests {
             duplicate: 1.0,
             ..base.clone()
         };
-        let frame = seal(&payload());
+        let frame = seal(&payload()).unwrap();
         let plain = FaultyLink::new(19, 0, base);
         let noisy = FaultyLink::new(19, 0, dup);
         for attempt in 0..60 {
@@ -316,7 +316,7 @@ mod tests {
             dead: vec![2],
             ..FaultConfig::clean()
         };
-        let frame = seal(&payload());
+        let frame = seal(&payload()).unwrap();
         let dead = FaultyLink::new(5, 2, faults.clone());
         let alive = FaultyLink::new(5, 1, faults);
         for attempt in 0..10 {
@@ -332,7 +332,7 @@ mod tests {
             ..FaultConfig::clean()
         };
         let link = FaultyLink::new(13, 0, faults);
-        let frame = seal(&payload());
+        let frame = seal(&payload()).unwrap();
         let t = link.transmit(&frame, 0);
         assert!(t.delayed);
         assert!(t.deliveries[0].latency >= DELAY_TICKS);

@@ -37,7 +37,7 @@ use crate::{
     ServerMessage,
 };
 use dircut_comm::frame::{open, seal};
-use dircut_comm::{from_message, to_message, WireEncode};
+use dircut_comm::{from_message, to_message, WireEncode, WireError};
 use dircut_graph::{parallel, stats, DiGraph};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -92,6 +92,10 @@ pub enum DistError {
         /// How many servers were supposed to report.
         servers: usize,
     },
+    /// A server's sketch could not be framed for transmission —
+    /// in practice [`WireError::Oversized`], a payload too big for
+    /// the frame header's length field.
+    Encode(WireError),
 }
 
 impl fmt::Display for DistError {
@@ -100,6 +104,7 @@ impl fmt::Display for DistError {
             Self::AllServersLost { servers } => {
                 write!(f, "all {servers} servers lost after retries")
             }
+            Self::Encode(e) => write!(f, "failed to frame a server message: {e}"),
         }
     }
 }
@@ -195,16 +200,19 @@ pub fn fault_injected_min_cut(
     // into a frame. Results come back in server order, so the bytes
     // on the wire are thread-count independent.
     let protocol = cfg.protocol;
-    let framed: Vec<(dircut_comm::Message, usize, usize)> =
-        stats::timed_stage("dist/server_sketch", || {
-            parallel::run_indexed(parts.len(), threads, |id| {
-                let mut srng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1 + id as u64));
-                let msg = server_sketch(id, &parts[id], protocol, &mut srng);
-                let coarse_bits = msg.coarse.wire_bits();
-                let fine_bits = msg.fine.wire_bits();
-                (seal(&to_message(&msg)), coarse_bits, fine_bits)
-            })
-        });
+    let framed = stats::timed_stage("dist/server_sketch", || {
+        parallel::run_indexed(parts.len(), threads, |id| {
+            let mut srng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1 + id as u64));
+            let msg = server_sketch(id, &parts[id], protocol, &mut srng);
+            let coarse_bits = msg.coarse.wire_bits();
+            let fine_bits = msg.fine.wire_bits();
+            seal(&to_message(&msg)).map(|frame| (frame, coarse_bits, fine_bits))
+        })
+    });
+    let framed: Vec<(dircut_comm::Message, usize, usize)> = framed
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .map_err(DistError::Encode)?;
 
     // Deliver every frame through its faulty link, with retries. The
     // loop is sequential and every draw is seed-derived, so the

@@ -2,10 +2,11 @@
 //!
 //! Two memo layers live behind this module:
 //!
-//! * [`CutMemo`] — an epoch-keyed table on [`crate::DiGraph`] mapping a
-//!   source-set bit mask to its directed cut values. The epoch is the
-//!   same counter the CSR view uses, so any mutation invalidates both
-//!   caches for free.
+//! * [`CutMemo`] — a table mapping a source-set bit mask to its
+//!   directed cut values. It lives on the immutable per-epoch
+//!   [`CsrSnapshot`](crate::snapshot::CsrSnapshot), so entries can
+//!   never go stale: a graph mutation drops the whole snapshot (memo
+//!   included) rather than re-keying anything.
 //! * [`FlowMemo`] — a solve-replay table shared by the flow backends.
 //!   Instead of warm-starting the augmenting search incrementally
 //!   (which would change the order residual capacity is consumed in and
@@ -78,34 +79,18 @@ pub(crate) struct CutEntry {
     pub(crate) into: Option<f64>,
 }
 
-/// Epoch-keyed memo of source-set mask → cut values for one `DiGraph`.
+/// Memo of source-set mask → cut values for one
+/// [`CsrSnapshot`](crate::snapshot::CsrSnapshot).
 ///
-/// Lives behind a `Mutex` on the graph; every access goes through
-/// [`CutMemo::at_epoch`] first, which lazily clears the table when the
-/// graph's mutation epoch has moved past the one the entries were
-/// computed at.
+/// Lives behind a `Mutex` on the snapshot. Snapshots are immutable, so
+/// the table needs no epoch keying or invalidation hook: it is valid
+/// for exactly as long as the snapshot is alive.
 #[derive(Debug, Default)]
 pub(crate) struct CutMemo {
-    epoch: u64,
     map: HashMap<Box<[u64]>, CutEntry>,
 }
 
 impl CutMemo {
-    /// Drops every entry recorded at an older epoch and stamps the
-    /// table with `epoch`. Cheap when the epoch is unchanged.
-    pub(crate) fn at_epoch(&mut self, epoch: u64) -> &mut Self {
-        if self.epoch != epoch {
-            self.map.clear();
-            self.epoch = epoch;
-        }
-        self
-    }
-
-    /// Clears the table unconditionally (graph mutation path).
-    pub(crate) fn clear(&mut self) {
-        self.map.clear();
-    }
-
     pub(crate) fn get(&self, words: &[u64]) -> Option<CutEntry> {
         self.map.get(words).copied()
     }
@@ -183,39 +168,39 @@ mod tests {
     use super::*;
 
     #[test]
-    fn cut_memo_clears_on_epoch_change() {
+    fn cut_memo_round_trips_entries() {
         let mut memo = CutMemo::default();
         let key = [0b1010u64];
-        memo.at_epoch(0).store(
+        memo.store(
             &key,
             CutEntry {
                 out: Some(3.0),
                 into: None,
             },
         );
-        assert_eq!(memo.at_epoch(0).get(&key).unwrap().out, Some(3.0));
-        assert!(memo.at_epoch(1).get(&key).is_none());
+        assert_eq!(memo.get(&key).unwrap().out, Some(3.0));
+        assert!(memo.get(&[0b0101u64]).is_none());
     }
 
     #[test]
     fn cut_memo_merges_out_and_in_independently() {
         let mut memo = CutMemo::default();
         let key = [7u64];
-        memo.at_epoch(0).store(
+        memo.store(
             &key,
             CutEntry {
                 out: Some(1.0),
                 into: None,
             },
         );
-        memo.at_epoch(0).store(
+        memo.store(
             &key,
             CutEntry {
                 out: None,
                 into: Some(2.0),
             },
         );
-        let entry = memo.at_epoch(0).get(&key).unwrap();
+        let entry = memo.get(&key).unwrap();
         assert_eq!(entry.out, Some(1.0));
         assert_eq!(entry.into, Some(2.0));
     }

@@ -37,6 +37,7 @@
 use crate::digraph::{DiGraph, UniverseMismatch};
 use crate::ids::NodeSet;
 use crate::parallel;
+use crate::snapshot::CsrSnapshot;
 
 /// A set is routed to the incident-scan fast path when the total
 /// incident degree of its members, times this factor, is below the
@@ -49,8 +50,8 @@ const FAST_PATH_FACTOR: usize = 16;
 /// One chunk of the word-parallel kernel: at most 64 sets.
 const CHUNK: usize = 64;
 
-fn incident_degree(g: &DiGraph, s: &NodeSet) -> usize {
-    let csr = g.csr();
+fn incident_degree(snap: &CsrSnapshot, s: &NodeSet) -> usize {
+    let csr = snap.csr();
     s.iter()
         .map(|v| csr.out_targets(v).len() + csr.in_sources(v).len())
         .sum()
@@ -59,8 +60,8 @@ fn incident_degree(g: &DiGraph, s: &NodeSet) -> usize {
 /// Answers one small set by scanning only its members' incident edges.
 /// Gathered crossing edges are sorted by edge id and summed in that
 /// order, so the result is bit-identical to the whole-edge scan.
-fn eval_incident(g: &DiGraph, s: &NodeSet) -> (f64, f64) {
-    let csr = g.csr();
+fn eval_incident(snap: &CsrSnapshot, s: &NodeSet) -> (f64, f64) {
+    let csr = snap.csr();
     let mut fwd: Vec<(u32, f64)> = Vec::new();
     let mut rev: Vec<(u32, f64)> = Vec::new();
     for v in s.iter() {
@@ -100,9 +101,9 @@ fn eval_incident(g: &DiGraph, s: &NodeSet) -> (f64, f64) {
 }
 
 /// Answers one chunk of ≤ 64 sets with a single edge pass.
-fn eval_chunk(g: &DiGraph, sets: &[&NodeSet]) -> Vec<(f64, f64)> {
+fn eval_chunk(snap: &CsrSnapshot, sets: &[&NodeSet]) -> Vec<(f64, f64)> {
     debug_assert!(sets.len() <= CHUNK);
-    let n = g.num_nodes();
+    let n = snap.num_nodes();
     let mut mask = vec![0u64; n];
     for (j, s) in sets.iter().enumerate() {
         let bit = 1u64 << j;
@@ -111,7 +112,7 @@ fn eval_chunk(g: &DiGraph, sets: &[&NodeSet]) -> Vec<(f64, f64)> {
         }
     }
     let mut acc = vec![(0.0f64, 0.0f64); sets.len()];
-    for e in g.edges() {
+    for e in snap.edges() {
         let mu = mask[e.from.index()];
         let mv = mask[e.to.index()];
         let mut f = mu & !mv;
@@ -143,34 +144,30 @@ fn check_universes(g: &DiGraph, sets: &[NodeSet]) -> Result<(), UniverseMismatch
     Ok(())
 }
 
-/// Core batch evaluator: consults the graph's cut memo, routes each
-/// remaining set to the fast path or the word-parallel kernel, and
-/// fans the work across `threads` workers.
+/// Core batch evaluator over one snapshot: consults the snapshot's cut
+/// memo, routes each remaining set to the fast path or the
+/// word-parallel kernel, and fans the work across `threads` workers.
+/// Billing is the caller's job (the public entry points below and the
+/// serve scheduler bill at their own boundaries).
 ///
 /// Evaluating only the memo-missed subset is sound because per-set
 /// accumulation is independent in every kernel: a set's fold visits
 /// the same crossing edges in the same ascending-edge-id order whether
 /// its chunk holds 1 set or 64, so filtering the batch cannot change
 /// any bit of any result.
-fn eval_batch(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> {
-    // Billing first, unconditionally: every logical query counts, no
-    // matter how many the memo serves.
-    crate::stats::count_cut_queries(sets.len() as u64);
+fn eval_batch_on(snap: &CsrSnapshot, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> {
     if sets.is_empty() {
         return Vec::new();
     }
-    // Build the CSR once, up front, so worker threads share it
-    // read-only instead of racing to initialize it.
-    let _ = g.csr();
     let mut out_vals = vec![0.0f64; sets.len()];
     let mut in_vals = vec![0.0f64; sets.len()];
-    let todo = g.memo_lookup_batch(sets, Some(&mut out_vals), Some(&mut in_vals));
+    let todo = snap.memo_lookup_batch(sets, Some(&mut out_vals), Some(&mut in_vals));
     if !todo.is_empty() {
-        let m = g.num_edges();
+        let m = snap.num_edges();
         let mut small: Vec<usize> = Vec::new();
         let mut large: Vec<usize> = Vec::new();
         for &i in &todo {
-            if incident_degree(g, &sets[i]) * FAST_PATH_FACTOR < m {
+            if incident_degree(snap, &sets[i]) * FAST_PATH_FACTOR < m {
                 small.push(i);
             } else {
                 large.push(i);
@@ -180,7 +177,7 @@ fn eval_batch(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> 
         let chunks: Vec<&[usize]> = large.chunks(CHUNK).collect();
         let chunk_out = parallel::run_indexed(chunks.len(), threads, |c| {
             let members: Vec<&NodeSet> = chunks[c].iter().map(|&i| &sets[i]).collect();
-            eval_chunk(g, &members)
+            eval_chunk(snap, &members)
         });
         for (chunk, vals) in chunks.iter().zip(chunk_out) {
             for (&i, (out, into)) in chunk.iter().zip(vals) {
@@ -189,15 +186,30 @@ fn eval_batch(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> 
             }
         }
         // Small sets: independent incident scans.
-        let small_out =
-            parallel::run_indexed(small.len(), threads, |k| eval_incident(g, &sets[small[k]]));
+        let small_out = parallel::run_indexed(small.len(), threads, |k| {
+            eval_incident(snap, &sets[small[k]])
+        });
         for (&i, (out, into)) in small.iter().zip(small_out) {
             out_vals[i] = out;
             in_vals[i] = into;
         }
-        g.memo_store_batch(sets, &todo, Some(&out_vals), Some(&in_vals));
+        snap.memo_store_batch(sets, &todo, Some(&out_vals), Some(&in_vals));
     }
     out_vals.into_iter().zip(in_vals).collect()
+}
+
+/// Graph-level batch evaluator: bills every logical query, then runs
+/// the batch on the graph's current snapshot (building it on first
+/// use, so worker threads share it read-only instead of racing to
+/// initialize it).
+fn eval_batch(g: &DiGraph, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> {
+    // Billing first, unconditionally: every logical query counts, no
+    // matter how many the memo serves.
+    crate::stats::count_cut_queries(sets.len() as u64);
+    if sets.is_empty() {
+        return Vec::new();
+    }
+    eval_batch_on(g.snapshot_ref(), sets, threads)
 }
 
 /// Batched [`DiGraph::cut_both`]: `(w(Sᵢ,V∖Sᵢ), w(V∖Sᵢ,Sᵢ))` for every
@@ -272,6 +284,28 @@ pub fn try_cut_both_batch(
 ) -> Result<Vec<(f64, f64)>, UniverseMismatch> {
     check_universes(g, sets)?;
     Ok(eval_batch(g, sets, parallel::default_threads()))
+}
+
+/// Batched [`CsrSnapshot::try_cut_both`]: both directed cut values for
+/// every query set, answered against one immutable snapshot — this is
+/// the kernel the serve scheduler drives. Billed per logical query and
+/// bit-identical to [`cut_both_batch_threaded`] on the owning graph at
+/// the same epoch (and to per-set `cut_both` calls).
+///
+/// # Errors
+/// [`UniverseMismatch`] if any set's universe differs from the
+/// snapshot's node count.
+pub fn try_cut_both_batch_snapshot(
+    snap: &CsrSnapshot,
+    sets: &[NodeSet],
+    threads: usize,
+) -> Result<Vec<(f64, f64)>, UniverseMismatch> {
+    let n = snap.num_nodes();
+    for s in sets {
+        crate::error::check_universe(n, s.universe())?;
+    }
+    crate::stats::count_cut_queries(sets.len() as u64);
+    Ok(eval_batch_on(snap, sets, threads))
 }
 
 /// Word-parallel batch kernel over a raw weighted edge list (the
@@ -489,6 +523,36 @@ mod tests {
             assert_eq!(b.0.to_bits(), c.0.to_bits());
             assert_eq!(b.1.to_bits(), c.1.to_bits());
         }
+    }
+
+    #[test]
+    fn snapshot_batch_matches_graph_batch_bitwise() {
+        let mut g = random_graph(40, 300, 21);
+        let sets = random_sets(40, 90, 22);
+        let snap = g.snapshot();
+        let direct = cut_both_batch_threaded(&g, &sets, 2);
+        for threads in [1, 4] {
+            let via_snap = try_cut_both_batch_snapshot(&snap, &sets, threads).unwrap();
+            for (a, b) in direct.iter().zip(&via_snap) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits(), "threads={threads}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "threads={threads}");
+            }
+        }
+        // The snapshot keeps answering at its own epoch after mutation…
+        g.scale_weights(2.0);
+        let again = try_cut_both_batch_snapshot(&snap, &sets, 2).unwrap();
+        for (a, b) in direct.iter().zip(&again) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        // …and rejects mismatched universes with a typed error.
+        assert_eq!(
+            try_cut_both_batch_snapshot(&snap, &[NodeSet::empty(41)], 1),
+            Err(UniverseMismatch {
+                expected: 40,
+                got: 41
+            })
+        );
     }
 
     #[test]

@@ -20,13 +20,16 @@
 //! ([`DiGraph::add_edge`], [`DiGraph::scale_weights`]) bumps the
 //! [`DiGraph::mutation_epoch`] counter and drops the cache, so a stale
 //! view can never be observed; the next read rebuilds in `O(n + m)`.
-//! Because the cache sits behind a [`OnceLock`], concurrent readers
-//! sharing a `&DiGraph` across the worker pool race only on who builds
-//! the view first, never on its contents.
+//! The cache is an [`Arc`] of an immutable
+//! [`CsrSnapshot`](crate::snapshot::CsrSnapshot) behind a [`OnceLock`]:
+//! concurrent readers sharing a `&DiGraph` across the worker pool race
+//! only on who builds the snapshot first, never on its contents, and
+//! [`DiGraph::snapshot`] hands the same capture to code that must
+//! outlive the borrow (the snapshot store, the serve scheduler).
 
-use crate::cache::{CutEntry, CutMemo};
 use crate::ids::{EdgeId, NodeId, NodeSet};
-use std::sync::{Mutex, OnceLock};
+use crate::snapshot::CsrSnapshot;
+use std::sync::{Arc, OnceLock};
 
 /// A weighted directed edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,7 +65,7 @@ pub struct Csr {
 }
 
 impl Csr {
-    fn build(n: usize, edges: &[Edge], epoch: u64) -> Self {
+    pub(crate) fn build(n: usize, edges: &[Edge], epoch: u64) -> Self {
         let m = edges.len();
         let mut out_offsets = vec![0u32; n + 1];
         let mut in_offsets = vec![0u32; n + 1];
@@ -213,11 +216,11 @@ pub struct DiGraph {
     n: usize,
     edges: Vec<Edge>,
     epoch: u64,
-    csr: OnceLock<Csr>,
-    /// Epoch-keyed cut-query memo (see [`crate::cache`]). Like the CSR
-    /// view this is pure cache state: ignored by `PartialEq`, not
-    /// carried across `Clone`, and invalidated by every mutation.
-    memo: Mutex<CutMemo>,
+    /// Lazily built immutable capture of the graph at `epoch`: CSR
+    /// view plus the per-snapshot cut memo. Pure cache state — ignored
+    /// by `PartialEq`, not carried across `Clone`, invalidated by
+    /// every mutation.
+    snap: OnceLock<Arc<CsrSnapshot>>,
 }
 
 impl PartialEq for DiGraph {
@@ -232,11 +235,13 @@ impl Clone for DiGraph {
             n: self.n,
             edges: self.edges.clone(),
             epoch: self.epoch,
-            csr: self.csr.clone(),
-            // A clone starts with a cold memo: entries are epoch-local
-            // cache state, and sharing them would need an Arc the hot
-            // paths should not pay for.
-            memo: Mutex::new(CutMemo::default()),
+            // A clone starts with a cold snapshot cache, exactly like
+            // the memo: the capture is rebuildable in O(n + m), so
+            // deep-copying it on every clone (as an earlier revision
+            // did) pays an O(n + m) memcpy for state the clone may
+            // never read — and the trial engines clone graphs far more
+            // often than they query all of them.
+            snap: OnceLock::new(),
         }
     }
 }
@@ -249,8 +254,7 @@ impl DiGraph {
             n,
             edges: Vec::new(),
             epoch: 0,
-            csr: OnceLock::new(),
-            memo: Mutex::new(CutMemo::default()),
+            snap: OnceLock::new(),
         }
     }
 
@@ -287,25 +291,41 @@ impl DiGraph {
         self.epoch
     }
 
+    /// The immutable capture of this graph at its current epoch,
+    /// building it on first use after any mutation. `O(n + m)` to
+    /// build, `O(1)` afterwards. Used internally by every CSR and
+    /// memo-backed path.
+    pub(crate) fn snapshot_ref(&self) -> &Arc<CsrSnapshot> {
+        self.snap
+            .get_or_init(|| Arc::new(CsrSnapshot::build(self.n, &self.edges, self.epoch)))
+    }
+
+    /// A shareable immutable capture of the graph at its current
+    /// epoch. The `Arc` stays valid (and keeps answering at its own
+    /// epoch) across later mutations of `self` — this is what a
+    /// [`crate::snapshot::SnapshotStore`] publishes to concurrent
+    /// readers. Repeated calls between mutations return the same
+    /// capture.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<CsrSnapshot> {
+        Arc::clone(self.snapshot_ref())
+    }
+
     /// The compressed-sparse-row adjacency view, building it on first
     /// use after any mutation. `O(n + m)` to build, `O(1)` afterwards.
     #[must_use]
     pub fn csr(&self) -> &Csr {
-        self.csr
-            .get_or_init(|| Csr::build(self.n, &self.edges, self.epoch))
+        self.snapshot_ref().csr()
     }
 
-    /// Drops the cached CSR view and bumps the epoch. Every `&mut self`
-    /// method that changes the node/edge structure must call this.
+    /// Drops the cached snapshot (CSR view + cut memo) and bumps the
+    /// epoch. Every `&mut self` method that changes the node/edge
+    /// structure must call this. A snapshot previously handed out via
+    /// [`DiGraph::snapshot`] lives on unchanged — only this graph's
+    /// own cache is reset.
     fn invalidate(&mut self) {
         self.epoch += 1;
-        self.csr.take();
-        // The epoch stamp would catch stale entries lazily; clearing
-        // here just frees the memory right away.
-        self.memo
-            .get_mut()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clear();
+        self.snap.take();
     }
 
     /// Adds a directed edge and returns its id.
@@ -454,158 +474,32 @@ impl DiGraph {
         (out, into)
     }
 
-    fn memo(&self) -> std::sync::MutexGuard<'_, CutMemo> {
-        self.memo
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
     // Memo-backed single-query paths. Billing (`count_cut_queries`)
     // already happened at the public entry point, so a hit changes only
     // wall-clock and the cache_hits/cache_misses observability
-    // counters — never the resource accounting. Cached values are the
-    // exact f64s the edge-order fold produced, so served and computed
-    // answers are bit-identical.
+    // counters — never the resource accounting. The memo lives on the
+    // per-epoch snapshot (see [`crate::snapshot`]); with the cache
+    // disabled the scan runs directly over this graph's edge list and
+    // no snapshot is built.
     fn cut_out_cached(&self, s: &NodeSet) -> f64 {
         if !crate::cache::enabled() {
             return self.cut_out_unchecked(s);
         }
-        if let Some(v) = self
-            .memo()
-            .at_epoch(self.epoch)
-            .get(s.words())
-            .and_then(|e| e.out)
-        {
-            crate::stats::count_cache_hits(1);
-            return v;
-        }
-        crate::stats::count_cache_misses(1);
-        let v = self.cut_out_unchecked(s);
-        self.memo().at_epoch(self.epoch).store(
-            s.words(),
-            CutEntry {
-                out: Some(v),
-                into: None,
-            },
-        );
-        v
+        self.snapshot_ref().cut_out_memo(s)
     }
 
     fn cut_in_cached(&self, s: &NodeSet) -> f64 {
         if !crate::cache::enabled() {
             return self.cut_in_unchecked(s);
         }
-        if let Some(v) = self
-            .memo()
-            .at_epoch(self.epoch)
-            .get(s.words())
-            .and_then(|e| e.into)
-        {
-            crate::stats::count_cache_hits(1);
-            return v;
-        }
-        crate::stats::count_cache_misses(1);
-        let v = self.cut_in_unchecked(s);
-        self.memo().at_epoch(self.epoch).store(
-            s.words(),
-            CutEntry {
-                out: None,
-                into: Some(v),
-            },
-        );
-        v
+        self.snapshot_ref().cut_in_memo(s)
     }
 
     fn cut_both_cached(&self, s: &NodeSet) -> (f64, f64) {
         if !crate::cache::enabled() {
             return self.cut_both_unchecked(s);
         }
-        if let Some(entry) = self.memo().at_epoch(self.epoch).get(s.words()) {
-            if let (Some(out), Some(into)) = (entry.out, entry.into) {
-                crate::stats::count_cache_hits(1);
-                return (out, into);
-            }
-        }
-        crate::stats::count_cache_misses(1);
-        let (out, into) = self.cut_both_unchecked(s);
-        self.memo().at_epoch(self.epoch).store(
-            s.words(),
-            CutEntry {
-                out: Some(out),
-                into: Some(into),
-            },
-        );
-        (out, into)
-    }
-
-    /// Batch memo lookup for the [`crate::cuteval`] kernels: fills the
-    /// result slots for sets already memoized and returns the indices
-    /// that still need computing. One lock acquisition for the whole
-    /// batch. When the cache is disabled, every index is returned and
-    /// no counters move. `into` is `None` for out-only batches,
-    /// `out` is `None` for in-only batches.
-    pub(crate) fn memo_lookup_batch(
-        &self,
-        sets: &[NodeSet],
-        out: Option<&mut [f64]>,
-        into: Option<&mut [f64]>,
-    ) -> Vec<usize> {
-        if !crate::cache::enabled() {
-            return (0..sets.len()).collect();
-        }
-        let mut todo = Vec::new();
-        let (mut hits, mut misses) = (0u64, 0u64);
-        let mut out = out;
-        let mut into = into;
-        let mut memo = self.memo();
-        let memo = memo.at_epoch(self.epoch);
-        for (i, s) in sets.iter().enumerate() {
-            let entry = memo.get(s.words()).unwrap_or_default();
-            let got_out = entry.out.filter(|_| out.is_some());
-            let got_in = entry.into.filter(|_| into.is_some());
-            let served =
-                (out.is_none() || got_out.is_some()) && (into.is_none() || got_in.is_some());
-            if served {
-                if let (Some(slots), Some(v)) = (out.as_deref_mut(), got_out) {
-                    slots[i] = v;
-                }
-                if let (Some(slots), Some(v)) = (into.as_deref_mut(), got_in) {
-                    slots[i] = v;
-                }
-                hits += 1;
-            } else {
-                todo.push(i);
-                misses += 1;
-            }
-        }
-        crate::stats::count_cache_hits(hits);
-        crate::stats::count_cache_misses(misses);
-        todo
-    }
-
-    /// Batch memo store matching [`DiGraph::memo_lookup_batch`]: writes
-    /// the freshly computed values for `indices` back under one lock.
-    pub(crate) fn memo_store_batch(
-        &self,
-        sets: &[NodeSet],
-        indices: &[usize],
-        out: Option<&[f64]>,
-        into: Option<&[f64]>,
-    ) {
-        if !crate::cache::enabled() || indices.is_empty() {
-            return;
-        }
-        let mut memo = self.memo();
-        let memo = memo.at_epoch(self.epoch);
-        for &i in indices {
-            memo.store(
-                sets[i].words(),
-                CutEntry {
-                    out: out.map(|v| v[i]),
-                    into: into.map(|v| v[i]),
-                },
-            );
-        }
+        self.snapshot_ref().cut_both_memo(s)
     }
 
     /// The directed cut value `w(S, V∖S)`: total weight of edges from
@@ -891,24 +785,25 @@ mod tests {
         let _guard = crate::cache::test_lock();
         crate::cache::set_enabled(true);
         let g = triangle();
+        let snap = g.snapshot();
         let sets = [
             NodeSet::from_indices(3, [0]),
             NodeSet::from_indices(3, [0, 1]),
         ];
         let mut out = vec![0.0; 2];
-        let todo = g.memo_lookup_batch(&sets, Some(&mut out), None);
+        let todo = snap.memo_lookup_batch(&sets, Some(&mut out), None);
         for &i in &todo {
             out[i] = g.cut_out_unchecked(&sets[i]);
         }
-        g.memo_store_batch(&sets, &todo, Some(&out), None);
+        snap.memo_store_batch(&sets, &todo, Some(&out), None);
         let mut out2 = vec![0.0; 2];
-        let todo2 = g.memo_lookup_batch(&sets, Some(&mut out2), None);
+        let todo2 = snap.memo_lookup_batch(&sets, Some(&mut out2), None);
         assert!(todo2.is_empty());
         assert_eq!(out, out2);
         // An in-cut batch over the same sets is still all misses: the
         // memo tracks the two directions independently.
         let mut into = vec![0.0; 2];
-        let todo3 = g.memo_lookup_batch(&sets, None, Some(&mut into));
+        let todo3 = snap.memo_lookup_batch(&sets, None, Some(&mut into));
         assert_eq!(todo3, vec![0, 1]);
     }
 
@@ -926,5 +821,37 @@ mod tests {
         assert_eq!(a, c);
         a.add_edge(NodeId::new(0), NodeId::new(2), 1.0);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clone_starts_cold_and_never_sees_a_stale_view() {
+        // Pin for the Clone bug: an earlier revision deep-copied the
+        // cached CSR on clone, paying O(n + m) for rebuildable state.
+        // Clones now start cold, and a clone taken after mutate+query
+        // answers from its own (fresh) capture, never a stale one.
+        let mut g = triangle();
+        let s = NodeSet::from_indices(3, [0]);
+        let _ = g.cut_out(&s); // build the cache…
+        g.add_edge(NodeId::new(0), NodeId::new(2), 7.0); // …mutate…
+        assert_eq!(g.cut_out(&s), 9.0); // …rebuild and query.
+        let c = g.clone();
+        // The clone has no capture yet (cold cache)…
+        assert!(c.snap.get().is_none());
+        // …and on first query builds its own, observing the mutation.
+        assert_eq!(c.cut_out(&s), 9.0);
+        assert_eq!(c.out_degree(NodeId::new(0)), 2);
+        assert_eq!(c.snapshot().epoch(), c.mutation_epoch());
+    }
+
+    #[test]
+    fn snapshot_is_shared_until_invalidated() {
+        let mut g = triangle();
+        let a = g.snapshot();
+        let b = g.snapshot();
+        assert!(Arc::ptr_eq(&a, &b));
+        g.scale_weights(3.0);
+        let c = g.snapshot();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(c.epoch() > a.epoch());
     }
 }

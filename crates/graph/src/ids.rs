@@ -100,11 +100,31 @@ impl NodeSet {
         self.universe
     }
 
-    /// The raw bitset words (little-endian bit order). Used as the memo
-    /// key for cached cut queries — two sets over the same universe are
-    /// equal iff their words are.
-    pub(crate) fn words(&self) -> &[u64] {
+    /// The raw bitset words (little-endian bit order,
+    /// `universe.div_ceil(64)` of them). Used as the memo key for
+    /// cached cut queries — two sets over the same universe are equal
+    /// iff their words are — and as the wire representation of a query
+    /// set. Round-trips through [`NodeSet::from_words`].
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// Rebuilds a set from its raw bitset words over a universe of `n`
+    /// nodes (the wire-decode path of the serve protocol). Returns
+    /// `None` when the word count is not exactly `n.div_ceil(64)` or
+    /// any bit at index ≥ `n` is set, so an adversarial payload can
+    /// never produce a set that violates the `NodeSet` invariants.
+    #[must_use]
+    pub fn from_words(n: usize, words: Vec<u64>) -> Option<Self> {
+        if words.len() != n.div_ceil(64) {
+            return None;
+        }
+        let spare = words.len() * 64 - n;
+        if spare > 0 && words[words.len() - 1] & !(u64::MAX >> spare) != 0 {
+            return None;
+        }
+        Some(Self { words, universe: n })
     }
 
     /// Inserts a node; returns whether it was newly inserted.
@@ -285,6 +305,19 @@ mod tests {
         let c = s.complement();
         assert_eq!(s.canonical_cut_side(), c.canonical_cut_side());
         assert!(!s.canonical_cut_side().contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn words_round_trip_through_from_words() {
+        let s = NodeSet::from_indices(70, [0, 63, 64, 69]);
+        let back = NodeSet::from_words(70, s.words().to_vec()).unwrap();
+        assert_eq!(back, s);
+        // Wrong word count and spare-bit garbage are both rejected.
+        assert!(NodeSet::from_words(70, vec![0; 1]).is_none());
+        assert!(NodeSet::from_words(70, vec![0; 3]).is_none());
+        assert!(NodeSet::from_words(70, vec![0, 1 << 6]).is_none());
+        assert!(NodeSet::from_words(70, vec![0, 1 << 5]).is_some());
+        assert!(NodeSet::from_words(0, Vec::new()).is_some());
     }
 
     #[test]

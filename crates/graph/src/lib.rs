@@ -30,10 +30,12 @@ pub mod mincut;
 pub mod nagamochi;
 pub mod parallel;
 pub mod push_relabel;
+pub mod snapshot;
 pub mod stats;
 pub mod ungraph;
 
 pub use digraph::{Csr, DiGraph, Edge, UniverseMismatch};
 pub use flow::MaxFlow;
 pub use ids::{EdgeId, NodeId, NodeSet};
+pub use snapshot::{CsrSnapshot, SnapshotReader, SnapshotStore};
 pub use ungraph::UnGraph;

@@ -1,0 +1,553 @@
+//! Immutable CSR snapshots and the multi-reader snapshot store.
+//!
+//! [`crate::DiGraph`] is a single-owner structure: mutation methods
+//! take `&mut self`, and its lazy caches (CSR view, cut memo) hang off
+//! that ownership. A long-running query service has the opposite
+//! shape — many reader threads answering cut queries against a graph
+//! that an admin path occasionally replaces — and bolting interior
+//! mutability onto `DiGraph` for that case is exactly the wrong fix.
+//!
+//! Instead, the unit of sharing is a [`CsrSnapshot`]: one immutable
+//! capture of a graph at a mutation epoch, holding the edge list, the
+//! CSR adjacency view, and its *own* cut-query memo. Because a
+//! snapshot never changes, the memo needs no epoch re-keying — entries
+//! are valid for the snapshot's whole lifetime, and invalidation is
+//! just dropping the `Arc`. `DiGraph` itself now caches an
+//! `Arc<CsrSnapshot>` internally, so the single-owner and the
+//! multi-reader worlds run the very same kernels on the very same
+//! arrays: a cut value served off a snapshot is bit-identical to the
+//! one the owning `DiGraph` would return at the same epoch.
+//!
+//! [`SnapshotStore`] is the publication point between the two worlds.
+//! A writer builds the next snapshot *outside* any critical section
+//! (`O(n + m)`, no reader waits on it) and [`SnapshotStore::publish`]
+//! swaps it in. Readers hold a [`SnapshotReader`]: its
+//! [`load`](SnapshotReader::load) is one atomic version check on the
+//! steady-state path — no lock, no allocation — and only the *first*
+//! load after a publish takes the store's mutex, for the two reference
+//! count bumps it takes to re-clone the current `Arc`. Readers
+//! therefore never block on snapshot construction, never block each
+//! other, and always observe a fully built snapshot or the previous
+//! one — never a torn state.
+
+use crate::cache::{CutEntry, CutMemo};
+use crate::digraph::{Csr, DiGraph, Edge, UniverseMismatch};
+use crate::ids::NodeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// One immutable capture of a [`DiGraph`] at a mutation epoch: the
+/// edge list (in insertion order), the CSR adjacency view, and a
+/// per-snapshot cut-query memo.
+///
+/// All query entry points produce **the same f64 bits** as the
+/// corresponding `DiGraph` query at the same epoch: the edge scan is
+/// the same `+0.0`-seeded fold over the same edge order, and the memo
+/// only ever stores values that fold produced.
+#[derive(Debug)]
+pub struct CsrSnapshot {
+    n: usize,
+    edges: Box<[Edge]>,
+    csr: Csr,
+    epoch: u64,
+    /// Per-snapshot memo (see [`crate::cache`]). Snapshots are
+    /// immutable, so entries never go stale; the lock is held only for
+    /// table lookups/stores, never while computing.
+    memo: Mutex<CutMemo>,
+}
+
+impl CsrSnapshot {
+    /// Captures `edges` over `n` nodes at `epoch`. `O(n + m)`.
+    pub(crate) fn build(n: usize, edges: &[Edge], epoch: u64) -> Self {
+        Self {
+            n,
+            edges: edges.into(),
+            csr: Csr::build(n, edges, epoch),
+            epoch,
+            memo: Mutex::new(CutMemo::default()),
+        }
+    }
+
+    /// Number of nodes in the captured graph.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (counting parallels).
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The captured edge list, in the graph's insertion order.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The CSR adjacency view.
+    #[must_use]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The [`DiGraph::mutation_epoch`] this snapshot was captured at.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    // The three raw cut scans mirror `DiGraph`'s exactly: explicit
+    // `+0.0`-seeded folds in edge order, so snapshot-served answers
+    // carry the same bits as the owning graph's (including the sign of
+    // an exactly-zero cut).
+    fn cut_out_raw(&self, s: &NodeSet) -> f64 {
+        let mut out = 0.0;
+        for e in self.edges.iter() {
+            if s.contains(e.from) && !s.contains(e.to) {
+                out += e.weight;
+            }
+        }
+        out
+    }
+
+    fn cut_in_raw(&self, s: &NodeSet) -> f64 {
+        let mut into = 0.0;
+        for e in self.edges.iter() {
+            if !s.contains(e.from) && s.contains(e.to) {
+                into += e.weight;
+            }
+        }
+        into
+    }
+
+    fn cut_both_raw(&self, s: &NodeSet) -> (f64, f64) {
+        let (mut out, mut into) = (0.0, 0.0);
+        for e in self.edges.iter() {
+            match (s.contains(e.from), s.contains(e.to)) {
+                (true, false) => out += e.weight,
+                (false, true) => into += e.weight,
+                _ => {}
+            }
+        }
+        (out, into)
+    }
+
+    fn memo(&self) -> MutexGuard<'_, CutMemo> {
+        // Poison recovery: the memo holds plain data that is never
+        // left half-written (entries are inserted whole), so a reader
+        // that panicked elsewhere must not wedge every later query.
+        self.memo.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    // Memo-backed single-query paths. Billing happened at the public
+    // entry point; a hit moves only the cache_hits/cache_misses
+    // observability counters. Only called with the cache enabled.
+    pub(crate) fn cut_out_memo(&self, s: &NodeSet) -> f64 {
+        if let Some(v) = self.memo().get(s.words()).and_then(|e| e.out) {
+            crate::stats::count_cache_hits(1);
+            return v;
+        }
+        crate::stats::count_cache_misses(1);
+        let v = self.cut_out_raw(s);
+        self.memo().store(
+            s.words(),
+            CutEntry {
+                out: Some(v),
+                into: None,
+            },
+        );
+        v
+    }
+
+    pub(crate) fn cut_in_memo(&self, s: &NodeSet) -> f64 {
+        if let Some(v) = self.memo().get(s.words()).and_then(|e| e.into) {
+            crate::stats::count_cache_hits(1);
+            return v;
+        }
+        crate::stats::count_cache_misses(1);
+        let v = self.cut_in_raw(s);
+        self.memo().store(
+            s.words(),
+            CutEntry {
+                out: None,
+                into: Some(v),
+            },
+        );
+        v
+    }
+
+    pub(crate) fn cut_both_memo(&self, s: &NodeSet) -> (f64, f64) {
+        if let Some(entry) = self.memo().get(s.words()) {
+            if let (Some(out), Some(into)) = (entry.out, entry.into) {
+                crate::stats::count_cache_hits(1);
+                return (out, into);
+            }
+        }
+        crate::stats::count_cache_misses(1);
+        let (out, into) = self.cut_both_raw(s);
+        self.memo().store(
+            s.words(),
+            CutEntry {
+                out: Some(out),
+                into: Some(into),
+            },
+        );
+        (out, into)
+    }
+
+    /// Batch memo lookup for the [`crate::cuteval`] kernels: fills the
+    /// result slots for sets already memoized and returns the indices
+    /// that still need computing. One lock acquisition for the whole
+    /// batch. When the cache is disabled, every index is returned and
+    /// no counters move.
+    pub(crate) fn memo_lookup_batch(
+        &self,
+        sets: &[NodeSet],
+        out: Option<&mut [f64]>,
+        into: Option<&mut [f64]>,
+    ) -> Vec<usize> {
+        if !crate::cache::enabled() {
+            return (0..sets.len()).collect();
+        }
+        let mut todo = Vec::new();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        let mut out = out;
+        let mut into = into;
+        let memo = self.memo();
+        for (i, s) in sets.iter().enumerate() {
+            let entry = memo.get(s.words()).unwrap_or_default();
+            let got_out = entry.out.filter(|_| out.is_some());
+            let got_in = entry.into.filter(|_| into.is_some());
+            let served =
+                (out.is_none() || got_out.is_some()) && (into.is_none() || got_in.is_some());
+            if served {
+                if let (Some(slots), Some(v)) = (out.as_deref_mut(), got_out) {
+                    slots[i] = v;
+                }
+                if let (Some(slots), Some(v)) = (into.as_deref_mut(), got_in) {
+                    slots[i] = v;
+                }
+                hits += 1;
+            } else {
+                todo.push(i);
+                misses += 1;
+            }
+        }
+        drop(memo);
+        crate::stats::count_cache_hits(hits);
+        crate::stats::count_cache_misses(misses);
+        todo
+    }
+
+    /// Batch memo store matching [`CsrSnapshot::memo_lookup_batch`]:
+    /// writes the freshly computed values for `indices` back under one
+    /// lock.
+    pub(crate) fn memo_store_batch(
+        &self,
+        sets: &[NodeSet],
+        indices: &[usize],
+        out: Option<&[f64]>,
+        into: Option<&[f64]>,
+    ) {
+        if !crate::cache::enabled() || indices.is_empty() {
+            return;
+        }
+        let mut memo = self.memo();
+        for &i in indices {
+            memo.store(
+                sets[i].words(),
+                CutEntry {
+                    out: out.map(|v| v[i]),
+                    into: into.map(|v| v[i]),
+                },
+            );
+        }
+    }
+
+    // Unbilled dispatch shared by the public entry points below and
+    // `DiGraph`'s delegating query paths (which bill at their own
+    // boundary).
+    pub(crate) fn cut_out_cached(&self, s: &NodeSet) -> f64 {
+        if crate::cache::enabled() {
+            self.cut_out_memo(s)
+        } else {
+            self.cut_out_raw(s)
+        }
+    }
+
+    pub(crate) fn cut_in_cached(&self, s: &NodeSet) -> f64 {
+        if crate::cache::enabled() {
+            self.cut_in_memo(s)
+        } else {
+            self.cut_in_raw(s)
+        }
+    }
+
+    pub(crate) fn cut_both_cached(&self, s: &NodeSet) -> (f64, f64) {
+        if crate::cache::enabled() {
+            self.cut_both_memo(s)
+        } else {
+            self.cut_both_raw(s)
+        }
+    }
+
+    fn check_universe(&self, s: &NodeSet) -> Result<(), UniverseMismatch> {
+        crate::error::check_universe(self.n, s.universe())
+    }
+
+    /// The directed cut value `w(S, V∖S)` at this snapshot. Billed and
+    /// bit-identical to [`DiGraph::cut_out`] at the same epoch.
+    ///
+    /// # Errors
+    /// [`UniverseMismatch`] if `s.universe() != self.num_nodes()`.
+    pub fn try_cut_out(&self, s: &NodeSet) -> Result<f64, UniverseMismatch> {
+        self.check_universe(s)?;
+        crate::stats::count_cut_queries(1);
+        Ok(self.cut_out_cached(s))
+    }
+
+    /// The reverse cut value `w(V∖S, S)` at this snapshot.
+    ///
+    /// # Errors
+    /// [`UniverseMismatch`] if `s.universe() != self.num_nodes()`.
+    pub fn try_cut_in(&self, s: &NodeSet) -> Result<f64, UniverseMismatch> {
+        self.check_universe(s)?;
+        crate::stats::count_cut_queries(1);
+        Ok(self.cut_in_cached(s))
+    }
+
+    /// Both directions of the cut in one scan.
+    ///
+    /// # Errors
+    /// [`UniverseMismatch`] if `s.universe() != self.num_nodes()`.
+    pub fn try_cut_both(&self, s: &NodeSet) -> Result<(f64, f64), UniverseMismatch> {
+        self.check_universe(s)?;
+        crate::stats::count_cut_queries(1);
+        Ok(self.cut_both_cached(s))
+    }
+}
+
+/// A published sequence of [`CsrSnapshot`]s that many threads query
+/// while a writer occasionally swaps in a new epoch.
+///
+/// The store itself holds one `Arc<CsrSnapshot>` behind a mutex plus
+/// an atomic version counter. The mutex is held only for `Arc`
+/// clone/assign — a handful of instructions — and **never** while a
+/// snapshot is being built; writers prepare the next snapshot outside
+/// and then [`publish`](SnapshotStore::publish) it. Hot reader loops
+/// should mint a [`SnapshotReader`] with
+/// [`reader`](SnapshotStore::reader): its steady-state `load` is one
+/// atomic compare and no lock at all.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    /// Monotone publication counter, bumped on every publish. Readers
+    /// compare against it to detect a new snapshot without locking.
+    version: AtomicU64,
+    current: Mutex<Arc<CsrSnapshot>>,
+}
+
+impl SnapshotStore {
+    /// A store serving `snapshot` as its first published state.
+    #[must_use]
+    pub fn new(snapshot: Arc<CsrSnapshot>) -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            current: Mutex::new(snapshot),
+        }
+    }
+
+    /// Captures `g` at its current epoch and serves that.
+    #[must_use]
+    pub fn from_graph(g: &DiGraph) -> Self {
+        Self::new(g.snapshot())
+    }
+
+    fn slot(&self) -> MutexGuard<'_, Arc<CsrSnapshot>> {
+        // A panic between lock and unlock cannot leave a torn Arc, so
+        // poison is recovered — one crashed worker must not take the
+        // whole serve loop down with it.
+        self.current.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The current publication count (0 for a freshly built store,
+    /// +1 per [`publish`](SnapshotStore::publish)).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Clones the currently published snapshot. Takes the store mutex
+    /// for the duration of one `Arc` clone; hot loops should prefer a
+    /// [`SnapshotReader`].
+    #[must_use]
+    pub fn load(&self) -> Arc<CsrSnapshot> {
+        Arc::clone(&self.slot())
+    }
+
+    /// Publishes `snapshot` as the new current state and returns the
+    /// new publication version. Readers loading afterwards see the new
+    /// snapshot; readers mid-query keep the `Arc` they already hold —
+    /// a query batch is always answered against one coherent epoch.
+    pub fn publish(&self, snapshot: Arc<CsrSnapshot>) -> u64 {
+        let mut slot = self.slot();
+        *slot = snapshot;
+        // Release-publish while still holding the lock so a reader
+        // that observes the new version is guaranteed to find the new
+        // snapshot in the slot.
+        let v = self.version.load(Ordering::Relaxed) + 1;
+        self.version.store(v, Ordering::Release);
+        v
+    }
+
+    /// Captures `g` at its current epoch and publishes the capture.
+    /// The `O(n + m)` build happens before the store is touched.
+    pub fn publish_graph(&self, g: &DiGraph) -> u64 {
+        self.publish(g.snapshot())
+    }
+
+    /// Mints a reader handle whose steady-state
+    /// [`load`](SnapshotReader::load) never locks.
+    #[must_use]
+    pub fn reader(self: &Arc<Self>) -> SnapshotReader {
+        SnapshotReader {
+            cached_version: self.version(),
+            cached: self.load(),
+            store: Arc::clone(self),
+        }
+    }
+}
+
+/// A per-thread handle onto a [`SnapshotStore`].
+///
+/// `load` compares the store's atomic version counter against the
+/// version this handle last saw: when they match (the steady state —
+/// publishes are rare) the cached `Arc` is returned with **no lock and
+/// no reference-count traffic**. Only the first load after a publish
+/// re-clones the current snapshot under the store's brief mutex.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    store: Arc<SnapshotStore>,
+    cached_version: u64,
+    cached: Arc<CsrSnapshot>,
+}
+
+impl SnapshotReader {
+    /// The current snapshot, refreshing the cached handle iff the
+    /// store has published a newer one.
+    pub fn load(&mut self) -> &Arc<CsrSnapshot> {
+        let v = self.store.version();
+        if v != self.cached_version {
+            self.cached = self.store.load();
+            // Re-read: the slot content is at least as new as `v`, so
+            // record the version we *observed*, not the one that
+            // triggered the refresh.
+            self.cached_version = self.store.version();
+        }
+        &self.cached
+    }
+
+    /// The store this reader is attached to.
+    #[must_use]
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn triangle() -> DiGraph {
+        let mut g = DiGraph::new(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+        g.add_edge(NodeId::new(1), NodeId::new(2), 3.0);
+        g.add_edge(NodeId::new(2), NodeId::new(0), 5.0);
+        g
+    }
+
+    #[test]
+    fn snapshot_queries_match_graph_queries_bitwise() {
+        let g = triangle();
+        let snap = g.snapshot();
+        assert_eq!(snap.num_nodes(), 3);
+        assert_eq!(snap.num_edges(), 3);
+        assert_eq!(snap.epoch(), g.mutation_epoch());
+        for s in [
+            NodeSet::from_indices(3, [0]),
+            NodeSet::from_indices(3, [0, 1]),
+            NodeSet::empty(3),
+            NodeSet::full(3),
+        ] {
+            let (out, into) = g.cut_both(&s);
+            assert_eq!(snap.try_cut_out(&s).unwrap().to_bits(), out.to_bits());
+            assert_eq!(snap.try_cut_in(&s).unwrap().to_bits(), into.to_bits());
+            let (o2, i2) = snap.try_cut_both(&s).unwrap();
+            assert_eq!(
+                (o2.to_bits(), i2.to_bits()),
+                (out.to_bits(), into.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_universe() {
+        let snap = triangle().snapshot();
+        let bad = NodeSet::from_indices(4, [0]);
+        let err = UniverseMismatch {
+            expected: 3,
+            got: 4,
+        };
+        assert_eq!(snap.try_cut_out(&bad), Err(err));
+        assert_eq!(snap.try_cut_in(&bad), Err(err));
+        assert_eq!(snap.try_cut_both(&bad), Err(err));
+    }
+
+    #[test]
+    fn snapshot_outlives_graph_mutation() {
+        let mut g = triangle();
+        let snap = g.snapshot();
+        let s = NodeSet::from_indices(3, [0]);
+        g.add_edge(NodeId::new(0), NodeId::new(2), 7.0);
+        // The old snapshot still answers at the old epoch…
+        assert_eq!(snap.try_cut_out(&s).unwrap(), 2.0);
+        // …while the graph (and a fresh snapshot) see the new edge.
+        assert_eq!(g.cut_out(&s), 9.0);
+        assert_eq!(g.snapshot().try_cut_out(&s).unwrap(), 9.0);
+        assert!(g.snapshot().epoch() > snap.epoch());
+    }
+
+    #[test]
+    fn store_publish_bumps_version_and_swaps_snapshot() {
+        let mut g = triangle();
+        let store = Arc::new(SnapshotStore::from_graph(&g));
+        assert_eq!(store.version(), 0);
+        let mut reader = store.reader();
+        let s = NodeSet::from_indices(3, [0]);
+        assert_eq!(reader.load().try_cut_out(&s).unwrap(), 2.0);
+        g.add_edge(NodeId::new(0), NodeId::new(2), 7.0);
+        let v = store.publish_graph(&g);
+        assert_eq!(v, 1);
+        assert_eq!(store.version(), 1);
+        assert_eq!(reader.load().try_cut_out(&s).unwrap(), 9.0);
+        // Steady state: repeated loads return the same Arc.
+        let a = Arc::as_ptr(reader.load());
+        let b = Arc::as_ptr(reader.load());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn old_readers_keep_their_epoch_until_they_reload() {
+        let mut g = triangle();
+        let store = Arc::new(SnapshotStore::from_graph(&g));
+        let held = store.load();
+        g.scale_weights(2.0);
+        store.publish_graph(&g);
+        let s = NodeSet::from_indices(3, [0]);
+        // The held Arc still answers at its own epoch.
+        assert_eq!(held.try_cut_out(&s).unwrap(), 2.0);
+        assert_eq!(store.load().try_cut_out(&s).unwrap(), 4.0);
+    }
+}

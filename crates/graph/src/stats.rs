@@ -10,7 +10,7 @@
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// Global count of individual `max_flow` solves since process start
@@ -165,7 +165,7 @@ pub fn record_stage(stage: &str, solves: u64, wall: Duration) {
 /// Adds one run of `stage` with solve, cut-query, and wall-clock
 /// attribution.
 pub fn record_stage_counts(stage: &str, solves: u64, cut_queries: u64, wall: Duration) {
-    let mut map = registry().lock().expect("stats registry poisoned");
+    let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
     let entry = map.entry(stage.to_owned()).or_default();
     entry.runs += 1;
     entry.solves += solves;
@@ -179,7 +179,7 @@ pub fn record_stage_counts(stage: &str, solves: u64, cut_queries: u64, wall: Dur
 /// logical run per invocation should pair this with
 /// [`record_stage_counts`] (or [`timed_stage`]).
 pub fn record_stage_metrics(stage: &str, metrics: &[(&str, u64)]) {
-    let mut map = registry().lock().expect("stats registry poisoned");
+    let mut map = registry().lock().unwrap_or_else(PoisonError::into_inner);
     let entry = map.entry(stage.to_owned()).or_default();
     for (name, value) in metrics {
         *entry.metrics.entry((*name).to_owned()).or_insert(0) += value;
@@ -189,7 +189,7 @@ pub fn record_stage_metrics(stage: &str, metrics: &[(&str, u64)]) {
 /// Snapshot of every stage recorded so far, sorted by stage name.
 #[must_use]
 pub fn stage_report() -> Vec<(String, StageStat)> {
-    let map = registry().lock().expect("stats registry poisoned");
+    let map = registry().lock().unwrap_or_else(PoisonError::into_inner);
     map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
 }
 
@@ -200,7 +200,10 @@ pub fn reset() {
     CUT_QUERIES.store(0, Ordering::Relaxed);
     CACHE_HITS.store(0, Ordering::Relaxed);
     CACHE_MISSES.store(0, Ordering::Relaxed);
-    registry().lock().expect("stats registry poisoned").clear();
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
 }
 
 /// Runs `f`, recording it as one run of `stage` with the number of

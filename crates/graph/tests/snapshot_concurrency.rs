@@ -1,0 +1,172 @@
+//! The lock-free snapshot store under fire: many reader threads
+//! querying while a writer publishes new epochs.
+//!
+//! The contract being pinned: a reader holding an
+//! [`Arc<CsrSnapshot>`] sees exactly one coherent graph — whatever
+//! epoch it loaded — and every cut value it computes is
+//! **bit-identical** to a fresh, single-threaded [`DiGraph`] replayed
+//! to that same epoch. Publishes must never tear a batch, stall a
+//! reader, or leak one epoch's weights into another's answers. Both
+//! cache modes are exercised: the per-snapshot memo must be
+//! unobservable.
+
+use dircut_graph::cache;
+use dircut_graph::{DiGraph, NodeId, NodeSet, SnapshotStore};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Serializes the tests that flip the global cache switch.
+static CACHE_SWITCH: Mutex<()> = Mutex::new(());
+
+const NODES: usize = 80;
+const EPOCHS: usize = 6;
+const READERS: usize = 4;
+
+fn base_graph() -> DiGraph {
+    let mut g = DiGraph::new(NODES);
+    for u in 0..NODES {
+        g.add_edge(
+            NodeId::new(u),
+            NodeId::new((u + 1) % NODES),
+            1.0 + u as f64 * 0.25,
+        );
+        g.add_edge(
+            NodeId::new((u * 7 + 3) % NODES),
+            NodeId::new(u),
+            0.125 + u as f64,
+        );
+    }
+    g
+}
+
+fn query_sets() -> Vec<NodeSet> {
+    (0..12)
+        .map(|i| NodeSet::from_indices(NODES, (0..NODES).filter(move |v| (v * 5 + i) % 3 == 0)))
+        .collect()
+}
+
+/// Replays the writer's mutation schedule on a fresh graph and
+/// records, per mutation epoch, the exact bits of every query answer.
+fn golden_answers(sets: &[NodeSet]) -> HashMap<u64, Vec<(u64, u64)>> {
+    let mut g = base_graph();
+    let mut golden = HashMap::new();
+    for _ in 0..=EPOCHS {
+        let answers: Vec<(u64, u64)> = sets
+            .iter()
+            .map(|s| {
+                let (out, into) = g.try_cut_both(s).unwrap();
+                (out.to_bits(), into.to_bits())
+            })
+            .collect();
+        golden.insert(g.mutation_epoch(), answers);
+        g.scale_weights(1.5);
+    }
+    golden
+}
+
+fn readers_vs_publisher() {
+    let sets = Arc::new(query_sets());
+    let golden = Arc::new(golden_answers(&sets));
+
+    let mut g = base_graph();
+    let store = Arc::new(SnapshotStore::from_graph(&g));
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(READERS + 1));
+
+    let mut readers = Vec::new();
+    for _ in 0..READERS {
+        let store = Arc::clone(&store);
+        let sets = Arc::clone(&sets);
+        let golden = Arc::clone(&golden);
+        let done = Arc::clone(&done);
+        let start = Arc::clone(&start);
+        readers.push(std::thread::spawn(move || -> u64 {
+            let mut reader = store.reader();
+            start.wait();
+            let mut checked = 0u64;
+            loop {
+                let finished = done.load(Ordering::Acquire);
+                let snap = Arc::clone(reader.load());
+                let expected = &golden[&snap.epoch()];
+                for (s, &(out_bits, into_bits)) in sets.iter().zip(expected) {
+                    let (out, into) = snap.try_cut_both(s).unwrap();
+                    assert_eq!(
+                        (out.to_bits(), into.to_bits()),
+                        (out_bits, into_bits),
+                        "epoch {} answered with foreign bits",
+                        snap.epoch()
+                    );
+                    checked += 1;
+                }
+                if finished {
+                    return checked;
+                }
+            }
+        }));
+    }
+
+    start.wait();
+    for _ in 0..EPOCHS {
+        g.scale_weights(1.5);
+        store.publish_graph(&g);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    done.store(true, Ordering::Release);
+
+    let checked: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(checked > 0, "readers never ran");
+
+    // After the last publish every fresh load sees the final epoch.
+    assert_eq!(store.load().epoch(), g.mutation_epoch());
+    let final_expected = &golden[&g.mutation_epoch()];
+    let snap = store.load();
+    for (s, &(out_bits, _)) in sets.iter().zip(final_expected) {
+        assert_eq!(snap.try_cut_both(s).unwrap().0.to_bits(), out_bits);
+    }
+}
+
+#[test]
+fn concurrent_readers_see_coherent_epochs_with_cache_on() {
+    let _guard = CACHE_SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    cache::set_enabled(true);
+    readers_vs_publisher();
+}
+
+#[test]
+fn concurrent_readers_see_coherent_epochs_with_cache_off() {
+    let _guard = CACHE_SWITCH.lock().unwrap_or_else(|e| e.into_inner());
+    cache::set_enabled(false);
+    let restore = scopeguard(|| cache::set_enabled(true));
+    readers_vs_publisher();
+    drop(restore);
+}
+
+/// Minimal drop-guard so a failing assertion cannot leave the global
+/// cache switch off for other test binaries' processes (each binary
+/// is its own process, but keep the switch tidy within this one).
+fn scopeguard<F: FnMut()>(f: F) -> impl Drop {
+    struct Guard<F: FnMut()>(F);
+    impl<F: FnMut()> Drop for Guard<F> {
+        fn drop(&mut self) {
+            (self.0)();
+        }
+    }
+    Guard(f)
+}
+
+#[test]
+fn steady_state_reads_reuse_the_cached_arc() {
+    let g = base_graph();
+    let store = Arc::new(SnapshotStore::from_graph(&g));
+    let mut reader = store.reader();
+    let first = Arc::clone(reader.load());
+    // No publish in between: the reader must hand back the same
+    // snapshot without touching the store's slot lock.
+    assert!(Arc::ptr_eq(&first, reader.load()));
+    let mut g2 = base_graph();
+    g2.scale_weights(2.0);
+    store.publish_graph(&g2);
+    assert!(!Arc::ptr_eq(&first, reader.load()));
+    assert_eq!(reader.load().epoch(), g2.mutation_epoch());
+}

@@ -1,0 +1,140 @@
+//! Blocking client for the cut-query service.
+
+use crate::protocol::{Request, Response};
+use crate::transport::{Conn, Endpoint, TransportError};
+use dircut_graph::NodeSet;
+use std::fmt;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or framing failure.
+    Transport(TransportError),
+    /// The server answered with [`Response::Error`].
+    Rejected(String),
+    /// The server answered with the wrong response variant.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Transport(e) => write!(f, "{e}"),
+            Self::Rejected(msg) => write!(f, "server rejected the request: {msg}"),
+            Self::Unexpected(wanted) => write!(f, "server sent something other than {wanted}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        Self::Transport(e)
+    }
+}
+
+/// A served cut answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutAnswer {
+    /// Epoch of the snapshot that produced the values.
+    pub epoch: u64,
+    /// `w(S → V∖S)`.
+    pub out: f64,
+    /// `w(V∖S → S)`.
+    pub into: f64,
+}
+
+/// Shape of the served graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedInfo {
+    /// Current snapshot epoch.
+    pub epoch: u64,
+    /// Node count — the universe cut queries must be built over.
+    pub nodes: u32,
+    /// Edge count.
+    pub edges: u64,
+}
+
+/// One connection to a cut-query server.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    /// Any connect failure from the OS.
+    pub fn connect(endpoint: &Endpoint) -> std::io::Result<Self> {
+        Ok(Self {
+            conn: Conn::connect(endpoint)?,
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.conn.send(req)?;
+        Ok(self.conn.recv::<Response>()?)
+    }
+
+    /// Asks for the served graph's shape.
+    ///
+    /// # Errors
+    /// Transport failure or an unexpected reply.
+    pub fn info(&mut self) -> Result<ServedInfo, ClientError> {
+        match self.call(&Request::Info)? {
+            Response::Info {
+                epoch,
+                nodes,
+                edges,
+            } => Ok(ServedInfo {
+                epoch,
+                nodes,
+                edges,
+            }),
+            Response::Error { message } => Err(ClientError::Rejected(message)),
+            _ => Err(ClientError::Unexpected("an info response")),
+        }
+    }
+
+    /// Evaluates both directed cut values of `set` on the server.
+    ///
+    /// # Errors
+    /// Transport failure, a server-side rejection (e.g. universe
+    /// mismatch), or an unexpected reply.
+    pub fn cut(&mut self, set: &NodeSet) -> Result<CutAnswer, ClientError> {
+        match self.call(&Request::Cut { set: set.clone() })? {
+            Response::Cut { epoch, out, into } => Ok(CutAnswer { epoch, out, into }),
+            Response::Error { message } => Err(ClientError::Rejected(message)),
+            _ => Err(ClientError::Unexpected("a cut response")),
+        }
+    }
+
+    /// Asks the server to shut down; resolves once it acknowledges.
+    ///
+    /// # Errors
+    /// Transport failure or an unexpected reply.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { message } => Err(ClientError::Rejected(message)),
+            _ => Err(ClientError::Unexpected("a shutdown acknowledgement")),
+        }
+    }
+
+    /// Test hook: raw frame injection (for corrupt-frame tests).
+    ///
+    /// # Errors
+    /// Any socket failure.
+    pub fn send_raw(&mut self, bits: u32, bytes: &[u8]) -> std::io::Result<()> {
+        self.conn.send_raw(bits, bytes)
+    }
+
+    /// Test hook: reads one raw [`Response`] after [`Client::send_raw`].
+    ///
+    /// # Errors
+    /// Transport failure.
+    pub fn recv_response(&mut self) -> Result<Response, ClientError> {
+        Ok(self.conn.recv::<Response>()?)
+    }
+}

@@ -1,0 +1,42 @@
+//! `dircut-serve`: the cut-query service built on the lock-free
+//! snapshot store.
+//!
+//! The graph crate's [`SnapshotStore`](dircut_graph::SnapshotStore)
+//! lets any number of threads query an immutable
+//! [`CsrSnapshot`](dircut_graph::CsrSnapshot) without blocking a
+//! writer; this crate puts a network in front of it:
+//!
+//! - [`protocol`] — request/response types on the workspace's
+//!   [`WireEncode`](dircut_comm::WireEncode) + CRC-framed format,
+//!   with hard size caps so no peer-chosen length reaches an
+//!   allocator or a panic.
+//! - [`transport`] — length-prefixed sealed frames over TCP or Unix
+//!   sockets, one code path for both.
+//! - [`scheduler`] — the batching layer: concurrent single-cut
+//!   requests coalesce (≤ `batch_max` at a time) into one
+//!   word-parallel mask-kernel dispatch per snapshot load.
+//! - [`server`] / [`client`] — the blocking service and its client.
+//! - [`loadgen`] — a Zipf load generator emitting the
+//!   `BENCH_serve.json` latency/QPS document.
+//!
+//! The contract that makes the service trustworthy: a served answer
+//! is **bit-identical** to evaluating the same set on the same-epoch
+//! graph in-process, because every layer (memo, batch kernel, f64
+//! wire encoding) preserves exact IEEE bits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod transport;
+
+pub use client::{Client, ClientError, CutAnswer, ServedInfo};
+pub use loadgen::{report_json, run_loadgen, LoadReport, LoadgenConfig};
+pub use protocol::{Request, Response, MAX_FRAME_BITS, MAX_UNIVERSE};
+pub use scheduler::{BatchStats, CutJob, CutReply, Scheduler};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use transport::{Conn, Endpoint, Listener, TransportError};

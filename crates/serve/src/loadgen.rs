@@ -1,0 +1,357 @@
+//! Zipf load generator for the cut-query service.
+//!
+//! Spawns `connections` client threads, each firing queries whose
+//! target sets are drawn from a shared pool with Zipf(s) popularity —
+//! rank 1 is hottest, matching the skewed access pattern the memo
+//! layer is built for. Latency is measured per request end-to-end
+//! (encode → socket → batch → socket → decode) and aggregated into
+//! p50/p99 and sustained QPS, emitted as the `BENCH_serve.json`
+//! document.
+//!
+//! The generator is self-contained and deterministic: a splitmix64
+//! stream per thread (no external RNG crates), a pool derived from
+//! one seed, and — with [`LoadgenConfig::verify`] — every served
+//! answer is checked bit-for-bit against a local [`DiGraph`]
+//! evaluation of the same set.
+
+use crate::client::{Client, ClientError};
+use crate::transport::Endpoint;
+use dircut_graph::{DiGraph, NodeSet};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests each connection fires.
+    pub requests_per_conn: usize,
+    /// Distinct query sets in the shared pool.
+    pub pool: usize,
+    /// Zipf exponent `s` (0 = uniform; larger = more skew).
+    pub zipf_s: f64,
+    /// Seed for pool construction and per-thread draws.
+    pub seed: u64,
+    /// Check every served answer bit-for-bit against a local graph.
+    pub verify: bool,
+    /// Send a shutdown request after the run.
+    pub shutdown: bool,
+}
+
+impl LoadgenConfig {
+    /// CI-sized smoke defaults: small, fast, deterministic.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            connections: 2,
+            requests_per_conn: 50,
+            pool: 16,
+            zipf_s: 1.1,
+            seed,
+            verify: false,
+            shutdown: false,
+        }
+    }
+}
+
+/// Aggregated results of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests that completed with a cut answer.
+    pub completed: u64,
+    /// Requests that failed (transport or rejection).
+    pub errors: u64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_us: f64,
+    /// Sustained queries per second over the whole run.
+    pub qps: f64,
+    /// Wall-clock of the measurement window, milliseconds.
+    pub wall_ms: f64,
+    /// Served answers checked bit-identical against a local graph
+    /// (0 when verification is off).
+    pub verified: u64,
+}
+
+/// splitmix64: the only randomness the load generator needs.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf(s) over ranks `1..=pool`: precomputed CDF, one binary search
+/// per draw.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(pool: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(pool);
+        let mut total = 0.0;
+        for rank in 1..=pool {
+            total += (rank as f64).powf(-s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    fn draw(&self, rng: &mut SplitMix) -> usize {
+        let u = rng.unit();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Builds the query pool: `pool` pseudorandom sets over `n` nodes,
+/// each node included with probability 1/2 (canonical worst case for
+/// the mask kernel — dense words, no fast path).
+fn build_pool(n: usize, pool: usize, seed: u64) -> Vec<NodeSet> {
+    let mut rng = SplitMix(seed ^ 0x9001_c0de);
+    (0..pool)
+        .map(|_| {
+            let mut words = vec![0u64; n.div_ceil(64)];
+            for w in &mut words {
+                *w = rng.next();
+            }
+            if n % 64 != 0 {
+                let last = words.len() - 1;
+                words[last] &= u64::MAX >> (64 - n % 64);
+            }
+            NodeSet::from_words(n, words).expect("masked words fit the universe")
+        })
+        .collect()
+}
+
+/// Runs the load against a server and aggregates latencies.
+///
+/// `verify_graph` must be the same graph the server loaded when
+/// [`LoadgenConfig::verify`] is set; served answers are then compared
+/// bit-for-bit.
+///
+/// # Errors
+/// Connection failure, or — in verify mode — a served answer whose
+/// bits differ from the local evaluation (reported as a rejection).
+pub fn run_loadgen(
+    endpoint: &Endpoint,
+    cfg: &LoadgenConfig,
+    verify_graph: Option<&DiGraph>,
+) -> Result<LoadReport, ClientError> {
+    // Handshake on a scout connection: learn the universe.
+    let mut scout = Client::connect(endpoint).map_err(wrap_io)?;
+    let info = scout.info()?;
+    let n = info.nodes as usize;
+    let pool = Arc::new(build_pool(n, cfg.pool.max(1), cfg.seed));
+    let zipf = Arc::new(Zipf::new(pool.len(), cfg.zipf_s));
+
+    // Local answers for verification, computed once per pool entry.
+    let local: Arc<Vec<Option<(f64, f64)>>> = Arc::new(match verify_graph {
+        Some(g) if cfg.verify => pool.iter().map(|s| g.try_cut_both(s).ok()).collect(),
+        _ => vec![None; pool.len()],
+    });
+
+    let errors = Arc::new(AtomicU64::new(0));
+    let verified = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for conn_id in 0..cfg.connections.max(1) {
+        let endpoint = endpoint.clone();
+        let pool = Arc::clone(&pool);
+        let zipf = Arc::clone(&zipf);
+        let local = Arc::clone(&local);
+        let errors = Arc::clone(&errors);
+        let verified = Arc::clone(&verified);
+        let requests = cfg.requests_per_conn;
+        let check = cfg.verify;
+        let seed = cfg.seed;
+        workers.push(std::thread::spawn(move || -> Vec<u64> {
+            let Ok(mut client) = Client::connect(&endpoint) else {
+                errors.fetch_add(requests as u64, Ordering::Relaxed);
+                return Vec::new();
+            };
+            let mut rng = SplitMix(seed.wrapping_add(0x5eed).wrapping_mul(conn_id as u64 + 1));
+            let mut latencies = Vec::with_capacity(requests);
+            for _ in 0..requests {
+                let idx = zipf.draw(&mut rng);
+                let t0 = Instant::now();
+                match client.cut(&pool[idx]) {
+                    Ok(answer) => {
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                        if check {
+                            match local[idx] {
+                                Some((out, into))
+                                    if out.to_bits() == answer.out.to_bits()
+                                        && into.to_bits() == answer.into.to_bits() =>
+                                {
+                                    verified.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            latencies
+        }));
+    }
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in workers {
+        if let Ok(mut l) = w.join() {
+            latencies.append(&mut l);
+        }
+    }
+    let wall = started.elapsed();
+
+    if cfg.shutdown {
+        scout.shutdown()?;
+    }
+
+    latencies.sort_unstable();
+    let completed = latencies.len() as u64;
+    let errs = errors.load(Ordering::Relaxed);
+    let ver = verified.load(Ordering::Relaxed);
+    if cfg.verify && ver < completed {
+        return Err(ClientError::Rejected(format!(
+            "verification failed: only {ver} of {completed} served answers matched the local graph"
+        )));
+    }
+    Ok(LoadReport {
+        completed,
+        errors: errs,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        qps: if wall.as_secs_f64() > 0.0 {
+            completed as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        wall_ms: wall.as_secs_f64() * 1e3,
+        verified: ver,
+    })
+}
+
+fn wrap_io(e: std::io::Error) -> ClientError {
+    ClientError::Transport(crate::transport::TransportError::Io(e))
+}
+
+/// Nearest-rank percentile over sorted nanosecond latencies, in µs.
+fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64 / 1e3
+}
+
+/// Renders the run as the `dircut-serve-bench-v1` JSON document
+/// (the contents of `BENCH_serve.json`).
+#[must_use]
+pub fn report_json(endpoint: &Endpoint, cfg: &LoadgenConfig, report: &LoadReport) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:?}")
+        } else {
+            "null".to_owned()
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"dircut-serve-bench-v1\",");
+    let _ = writeln!(out, "  \"endpoint\": \"{endpoint}\",");
+    let _ = writeln!(out, "  \"connections\": {},", cfg.connections.max(1));
+    let _ = writeln!(out, "  \"requests_per_conn\": {},", cfg.requests_per_conn);
+    let _ = writeln!(out, "  \"pool\": {},", cfg.pool.max(1));
+    let _ = writeln!(out, "  \"zipf_s\": {},", num(cfg.zipf_s));
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"completed\": {},", report.completed);
+    let _ = writeln!(out, "  \"errors\": {},", report.errors);
+    let _ = writeln!(out, "  \"verified\": {},", report.verified);
+    let _ = writeln!(out, "  \"p50_us\": {},", num(report.p50_us));
+    let _ = writeln!(out, "  \"p99_us\": {},", num(report.p99_us));
+    let _ = writeln!(out, "  \"qps\": {},", num(report.qps));
+    let _ = writeln!(out, "  \"wall_ms\": {}", num(report.wall_ms));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = SplitMix(7);
+        let mut counts = [0u64; 100];
+        for _ in 0..20_000 {
+            counts[zipf.draw(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 1 should beat rank 11");
+        assert!(counts[0] > counts[99] * 5, "head should dominate tail");
+        assert!(counts.iter().sum::<u64>() == 20_000);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).map(|v| v * 1_000).collect();
+        assert_eq!(percentile_us(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_us(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_us(&[], 0.99), 0.0);
+    }
+
+    #[test]
+    fn pool_sets_respect_their_universe() {
+        for n in [1usize, 63, 64, 65, 130] {
+            for set in build_pool(n, 8, 42) {
+                assert_eq!(set.universe(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_has_the_contract_fields() {
+        let cfg = LoadgenConfig::smoke(1);
+        let report = LoadReport {
+            completed: 100,
+            errors: 0,
+            p50_us: 12.5,
+            p99_us: 80.0,
+            qps: 1234.5,
+            wall_ms: 81.0,
+            verified: 0,
+        };
+        let json = report_json(&Endpoint::Tcp("127.0.0.1:1".into()), &cfg, &report);
+        for field in [
+            "\"schema\": \"dircut-serve-bench-v1\"",
+            "\"p50_us\":",
+            "\"p99_us\":",
+            "\"qps\":",
+            "\"completed\":",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Request/response types for the cut-query service, on the same
+//! [`WireEncode`] + sealed-frame format the distributed runtime uses.
+//!
+//! Every decoder here is fed bytes that crossed a socket, so the rule
+//! is absolute: malformed input is a [`WireError`], never a panic.
+//! Sizes chosen by the peer — a declared universe, an error-string
+//! length — are checked against hard caps *before* any allocation
+//! sized by them.
+
+use dircut_comm::{BitReader, BitWriter, WireEncode, WireError};
+use dircut_graph::NodeSet;
+
+/// Largest node universe a server will accept in a cut request.
+///
+/// A [`NodeSet`] over `n` nodes is `n/64` wire words; this cap keeps a
+/// hostile request from asking the server to allocate gigabytes. It is
+/// far above any graph the toolkit generates.
+pub const MAX_UNIVERSE: usize = 1 << 21;
+
+/// Largest sealed frame (in bits) either side of the protocol will
+/// read from a socket. Sized to fit a [`Request::Cut`] at
+/// [`MAX_UNIVERSE`] with room to spare.
+pub const MAX_FRAME_BITS: usize = 1 << 22;
+
+/// Longest error string a [`Response::Error`] carries (bytes).
+pub const MAX_ERROR_LEN: usize = 1 << 10;
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Evaluate both directed cut values of a node set.
+    Cut {
+        /// The query side `S`, over the server graph's universe.
+        set: NodeSet,
+    },
+    /// Ask for the served graph's shape (universe, edges, epoch) —
+    /// the handshake a load generator uses to build valid queries.
+    Info,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+const REQ_CUT: u64 = 0;
+const REQ_INFO: u64 = 1;
+const REQ_SHUTDOWN: u64 = 2;
+
+impl WireEncode for Request {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            Self::Cut { set } => {
+                w.write_bits(REQ_CUT, 8);
+                w.write_bits(set.universe() as u64, 32);
+                for &word in set.words() {
+                    w.write_bits(word, 64);
+                }
+            }
+            Self::Info => w.write_bits(REQ_INFO, 8),
+            Self::Shutdown => w.write_bits(REQ_SHUTDOWN, 8),
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        match r.try_read_bits(8)? {
+            REQ_CUT => {
+                let n = r.try_read_bits(32)? as usize;
+                if n > MAX_UNIVERSE {
+                    return Err(WireError::Oversized {
+                        bits: n,
+                        limit: MAX_UNIVERSE,
+                    });
+                }
+                let mut words = Vec::with_capacity(n.div_ceil(64));
+                for _ in 0..n.div_ceil(64) {
+                    words.push(r.try_read_bits(64)?);
+                }
+                let set = NodeSet::from_words(n, words).ok_or_else(|| {
+                    WireError::Invalid("cut request sets bits beyond its universe".into())
+                })?;
+                Ok(Self::Cut { set })
+            }
+            REQ_INFO => Ok(Self::Info),
+            REQ_SHUTDOWN => Ok(Self::Shutdown),
+            tag => Err(WireError::Invalid(format!("unknown request tag {tag}"))),
+        }
+    }
+}
+
+/// One server reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Both directed cut values, stamped with the snapshot epoch that
+    /// produced them. The `f64`s travel bit-exactly ([`BitWriter`]
+    /// writes the IEEE bits), so equality with a local evaluation is
+    /// meaningful down to the last ulp.
+    Cut {
+        /// Mutation epoch of the snapshot that answered.
+        epoch: u64,
+        /// Weight leaving the set: `w(S → V∖S)`.
+        out: f64,
+        /// Weight entering the set: `w(V∖S → S)`.
+        into: f64,
+    },
+    /// Shape of the served graph.
+    Info {
+        /// Mutation epoch of the current snapshot.
+        epoch: u64,
+        /// Node count (the universe cut requests must use).
+        nodes: u32,
+        /// Edge count.
+        edges: u64,
+    },
+    /// Acknowledgement of a [`Request::Shutdown`].
+    ShuttingDown,
+    /// The request was rejected; the connection stays usable.
+    Error {
+        /// Human-readable reason, at most [`MAX_ERROR_LEN`] bytes.
+        message: String,
+    },
+}
+
+const RESP_CUT: u64 = 0;
+const RESP_INFO: u64 = 1;
+const RESP_SHUTDOWN: u64 = 2;
+const RESP_ERROR: u64 = 3;
+
+impl WireEncode for Response {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            Self::Cut { epoch, out, into } => {
+                w.write_bits(RESP_CUT, 8);
+                w.write_bits(*epoch, 64);
+                w.write_f64(*out);
+                w.write_f64(*into);
+            }
+            Self::Info {
+                epoch,
+                nodes,
+                edges,
+            } => {
+                w.write_bits(RESP_INFO, 8);
+                w.write_bits(*epoch, 64);
+                w.write_bits(u64::from(*nodes), 32);
+                w.write_bits(*edges, 64);
+            }
+            Self::ShuttingDown => w.write_bits(RESP_SHUTDOWN, 8),
+            Self::Error { message } => {
+                w.write_bits(RESP_ERROR, 8);
+                let bytes = message.as_bytes();
+                let len = bytes.len().min(MAX_ERROR_LEN);
+                w.write_bits(len as u64, 16);
+                w.write_bytes(&bytes[..len]);
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        match r.try_read_bits(8)? {
+            RESP_CUT => Ok(Self::Cut {
+                epoch: r.try_read_bits(64)?,
+                out: r.try_read_f64()?,
+                into: r.try_read_f64()?,
+            }),
+            RESP_INFO => Ok(Self::Info {
+                epoch: r.try_read_bits(64)?,
+                nodes: r.try_read_bits(32)? as u32,
+                edges: r.try_read_bits(64)?,
+            }),
+            RESP_SHUTDOWN => Ok(Self::ShuttingDown),
+            RESP_ERROR => {
+                let len = r.try_read_bits(16)? as usize;
+                if len > MAX_ERROR_LEN {
+                    return Err(WireError::Oversized {
+                        bits: len,
+                        limit: MAX_ERROR_LEN,
+                    });
+                }
+                let mut bytes = Vec::with_capacity(len);
+                for _ in 0..len {
+                    bytes.push(r.try_read_bits(8)? as u8);
+                }
+                let message = String::from_utf8(bytes)
+                    .map_err(|_| WireError::Invalid("error message is not UTF-8".into()))?;
+                Ok(Self::Error { message })
+            }
+            tag => Err(WireError::Invalid(format!("unknown response tag {tag}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_comm::{from_message, to_message};
+
+    #[test]
+    fn requests_round_trip() {
+        let set = NodeSet::from_indices(130, [0, 64, 129]);
+        for req in [Request::Cut { set }, Request::Info, Request::Shutdown] {
+            let msg = to_message(&req);
+            assert_eq!(from_message::<Request>(&msg).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Cut {
+                epoch: 7,
+                out: 1.5,
+                into: -0.0,
+            },
+            Response::Info {
+                epoch: 3,
+                nodes: 100,
+                edges: 250,
+            },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "no".into(),
+            },
+        ] {
+            let msg = to_message(&resp);
+            assert_eq!(from_message::<Response>(&msg).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn negative_zero_survives_the_wire() {
+        let msg = to_message(&Response::Cut {
+            epoch: 0,
+            out: -0.0,
+            into: 0.0,
+        });
+        let Response::Cut { out, into, .. } = from_message::<Response>(&msg).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(out.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(into.to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn oversized_universe_is_rejected_before_allocation() {
+        let mut w = BitWriter::new();
+        w.write_bits(REQ_CUT, 8);
+        w.write_bits((MAX_UNIVERSE + 1) as u64, 32);
+        let msg = w.finish();
+        assert!(matches!(
+            from_message::<Request>(&msg),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn spare_bits_in_a_cut_request_are_invalid() {
+        // Universe 10 needs one word; set a bit past index 9.
+        let mut w = BitWriter::new();
+        w.write_bits(REQ_CUT, 8);
+        w.write_bits(10, 32);
+        w.write_bits(1 << 12, 64);
+        let msg = w.finish();
+        assert!(matches!(
+            from_message::<Request>(&msg),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_are_invalid_not_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(200, 8);
+        assert!(from_message::<Request>(&w.finish()).is_err());
+        let mut w = BitWriter::new();
+        w.write_bits(200, 8);
+        assert!(from_message::<Response>(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn long_error_messages_are_truncated_on_encode() {
+        let resp = Response::Error {
+            message: "x".repeat(MAX_ERROR_LEN + 100),
+        };
+        let msg = to_message(&resp);
+        let Response::Error { message } = from_message::<Response>(&msg).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(message.len(), MAX_ERROR_LEN);
+    }
+}

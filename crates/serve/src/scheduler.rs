@@ -1,0 +1,288 @@
+//! The batching scheduler: many concurrent single-cut requests, one
+//! kernel invocation.
+//!
+//! Connection threads drop [`CutJob`]s into an MPSC queue; a single
+//! scheduler thread drains it, coalescing whatever is waiting (up to
+//! `batch_max` jobs) into one slice for
+//! [`try_cut_both_batch_snapshot`], which routes a full batch through
+//! the 64-set word-parallel mask kernel. Batching changes *when* work
+//! happens, never *what* is computed: every answer in a batch is
+//! bit-identical to the same query evaluated alone, because the batch
+//! kernel itself carries that guarantee.
+//!
+//! Two invariants are inherited rather than re-implemented:
+//!
+//! - **Billing.** `try_cut_both_batch_snapshot` bills one logical cut
+//!   query per set *before* consulting the memo, exactly like the
+//!   single-query paths — so `stats::total_cut_queries` counts served
+//!   queries correctly no matter how they were coalesced. Jobs
+//!   rejected for a universe mismatch are never billed, matching
+//!   [`DiGraph::try_cut_both`](dircut_graph::DiGraph::try_cut_both).
+//! - **Snapshot coherence.** A batch is answered by *one*
+//!   [`CsrSnapshot`] loaded at dispatch time; the epoch stamped on
+//!   each reply is the epoch of exactly the graph that produced it.
+
+use dircut_graph::cuteval::try_cut_both_batch_snapshot;
+use dircut_graph::snapshot::SnapshotStore;
+use dircut_graph::NodeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Result of one scheduled cut query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CutReply {
+    /// Both directed cut values, stamped with the answering snapshot's
+    /// epoch.
+    Ok {
+        /// Epoch of the snapshot that evaluated the batch.
+        epoch: u64,
+        /// `w(S → V∖S)`.
+        out: f64,
+        /// `w(V∖S → S)`.
+        into: f64,
+    },
+    /// The query's universe does not match the served graph.
+    UniverseMismatch {
+        /// Node count of the served graph.
+        expected: usize,
+        /// Universe the query was built over.
+        got: usize,
+    },
+}
+
+/// One enqueued query: a set plus the channel to answer on.
+pub struct CutJob {
+    /// The query side.
+    pub set: NodeSet,
+    /// Where the scheduler sends the reply.
+    pub reply: Sender<CutReply>,
+}
+
+/// Coalescing counters, readable while the scheduler runs.
+#[derive(Debug, Default)]
+pub struct BatchStats {
+    batches: AtomicU64,
+    jobs: AtomicU64,
+}
+
+impl BatchStats {
+    /// Kernel dispatches so far.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Jobs answered so far (excluding universe rejections).
+    #[must_use]
+    pub fn jobs(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a running scheduler thread.
+pub struct Scheduler {
+    tx: Sender<CutJob>,
+    stats: Arc<BatchStats>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawns the scheduler thread over `store`'s snapshots.
+    ///
+    /// `batch_max` caps how many waiting jobs one dispatch coalesces
+    /// (clamped to at least 1); `threads` is handed to the batch
+    /// kernel (0 means single-threaded evaluation).
+    #[must_use]
+    pub fn spawn(store: Arc<SnapshotStore>, batch_max: usize, threads: usize) -> Self {
+        let (tx, rx) = channel::<CutJob>();
+        let stats = Arc::new(BatchStats::default());
+        let thread_stats = Arc::clone(&stats);
+        let join = std::thread::spawn(move || {
+            run_scheduler(&store, &rx, batch_max.max(1), threads.max(1), &thread_stats);
+        });
+        Self {
+            tx,
+            stats,
+            join: Some(join),
+        }
+    }
+
+    /// A handle connection threads use to enqueue jobs.
+    #[must_use]
+    pub fn submitter(&self) -> Sender<CutJob> {
+        self.tx.clone()
+    }
+
+    /// Live coalescing counters.
+    #[must_use]
+    pub fn stats(&self) -> Arc<BatchStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        // Dropping our sender (after any clones die) ends the thread's
+        // recv loop; detached submitters keep it alive until they go.
+        drop(std::mem::replace(&mut self.tx, channel().0));
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn run_scheduler(
+    store: &SnapshotStore,
+    rx: &Receiver<CutJob>,
+    batch_max: usize,
+    threads: usize,
+    stats: &BatchStats,
+) {
+    let mut batch: Vec<CutJob> = Vec::with_capacity(batch_max);
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        // One snapshot answers the whole batch: coalesced jobs are
+        // coherent even if a publish lands mid-dispatch.
+        let snap = store.load();
+        let n = snap.num_nodes();
+        batch.retain(|job| {
+            let got = job.set.universe();
+            if got == n {
+                true
+            } else {
+                let _ = job
+                    .reply
+                    .send(CutReply::UniverseMismatch { expected: n, got });
+                false
+            }
+        });
+        if batch.is_empty() {
+            continue;
+        }
+        let sets: Vec<NodeSet> = batch.iter().map(|j| j.set.clone()).collect();
+        // Cannot fail: every retained universe equals `n`.
+        if let Ok(values) = try_cut_both_batch_snapshot(&snap, &sets, threads) {
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            stats.jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            for (job, (out, into)) in batch.drain(..).zip(values) {
+                let _ = job.reply.send(CutReply::Ok {
+                    epoch: snap.epoch(),
+                    out,
+                    into,
+                });
+            }
+        }
+        batch.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_graph::{DiGraph, NodeId};
+
+    fn diamond() -> DiGraph {
+        let mut g = DiGraph::new(4);
+        for (u, v, w) in [
+            (0, 1, 1.0),
+            (0, 2, 2.0),
+            (1, 3, 4.0),
+            (2, 3, 8.0),
+            (3, 0, 16.0),
+        ] {
+            g.add_edge(NodeId::new(u), NodeId::new(v), w);
+        }
+        g
+    }
+
+    #[test]
+    fn scheduled_answers_are_bit_identical_to_direct_queries() {
+        let g = diamond();
+        let store = Arc::new(SnapshotStore::from_graph(&g));
+        let sched = Scheduler::spawn(Arc::clone(&store), 64, 1);
+        let submit = sched.submitter();
+        let sets: Vec<NodeSet> = (0..16)
+            .map(|i| NodeSet::from_indices(4, (0..4).filter(|v| i >> v & 1 == 1)))
+            .collect();
+        let mut rxs = Vec::new();
+        for set in &sets {
+            let (tx, rx) = channel();
+            submit
+                .send(CutJob {
+                    set: set.clone(),
+                    reply: tx,
+                })
+                .unwrap();
+            rxs.push(rx);
+        }
+        for (set, rx) in sets.iter().zip(rxs) {
+            let reply = rx.recv().unwrap();
+            let (out, into) = g.try_cut_both(set).unwrap();
+            assert_eq!(
+                reply,
+                CutReply::Ok {
+                    epoch: g.mutation_epoch(),
+                    out,
+                    into
+                },
+                "mismatch for {set:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn universe_mismatch_is_rejected_per_job() {
+        let g = diamond();
+        let store = Arc::new(SnapshotStore::from_graph(&g));
+        let sched = Scheduler::spawn(store, 8, 1);
+        let submit = sched.submitter();
+        let (tx, rx) = channel();
+        submit
+            .send(CutJob {
+                set: NodeSet::from_indices(9, [1]),
+                reply: tx,
+            })
+            .unwrap();
+        assert_eq!(
+            rx.recv().unwrap(),
+            CutReply::UniverseMismatch {
+                expected: 4,
+                got: 9
+            }
+        );
+    }
+
+    #[test]
+    fn batches_answer_at_the_epoch_of_their_snapshot() {
+        let mut g = diamond();
+        let store = Arc::new(SnapshotStore::from_graph(&g));
+        let sched = Scheduler::spawn(Arc::clone(&store), 8, 1);
+        let submit = sched.submitter();
+        g.scale_weights(3.0);
+        store.publish_graph(&g);
+        let (tx, rx) = channel();
+        submit
+            .send(CutJob {
+                set: NodeSet::from_indices(4, [0]),
+                reply: tx,
+            })
+            .unwrap();
+        let (out, into) = g.try_cut_both(&NodeSet::from_indices(4, [0])).unwrap();
+        assert_eq!(
+            rx.recv().unwrap(),
+            CutReply::Ok {
+                epoch: g.mutation_epoch(),
+                out,
+                into
+            }
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! The cut-query server: accept loop, per-connection threads, and the
+//! shared shutdown protocol.
+//!
+//! A [`Server`] owns an [`Arc<SnapshotStore>`] and a [`Scheduler`].
+//! Each accepted connection gets a thread that decodes [`Request`]s,
+//! enqueues cut jobs, and writes back [`Response`]s; all cut work
+//! funnels through the scheduler so concurrent clients coalesce into
+//! mask batches. Shutdown is cooperative: a [`Request::Shutdown`]
+//! (or [`ServerHandle::shutdown`]) raises one flag that the accept
+//! loop and every connection thread poll between blocking waits.
+//!
+//! Nothing a peer sends can panic this process: frames are opened and
+//! decoded through fallible paths only, oversized prefixes are
+//! rejected before allocation, and a connection that turns to garbage
+//! is answered with [`Response::Error`] or dropped.
+
+use crate::protocol::{Request, Response};
+use crate::scheduler::{BatchStats, CutJob, CutReply, Scheduler};
+use crate::transport::{Conn, Endpoint, Listener, TransportError};
+use dircut_graph::snapshot::SnapshotStore;
+use dircut_graph::DiGraph;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked waits (accept, per-connection reads) re-check
+/// the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Most jobs one scheduler dispatch coalesces (≥ 1).
+    pub batch_max: usize,
+    /// Threads for the batch kernel (0 = single-threaded).
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            batch_max: 64,
+            threads: 0,
+        }
+    }
+}
+
+/// A running server; dropping the handle shuts it down and joins it.
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<BatchStats>,
+    accept_join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The endpoint the server actually bound (resolves TCP port 0).
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Live batching counters from the scheduler. The `Arc` stays
+    /// readable after [`ServerHandle::join`] consumes the handle.
+    #[must_use]
+    pub fn batch_stats(&self) -> Arc<BatchStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Raises the shutdown flag without waiting.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the accept loop and every connection thread exit.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.join_inner();
+    }
+}
+
+/// Binds `endpoint` and serves cut queries over `graph` until asked
+/// to shut down. Returns as soon as the socket is bound and accepting.
+///
+/// # Errors
+/// Any bind failure from the OS.
+pub fn serve(graph: &DiGraph, endpoint: &Endpoint, cfg: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = Listener::bind(endpoint)?;
+    let bound = listener.local_endpoint()?;
+    listener.set_nonblocking(true)?;
+
+    let store = Arc::new(SnapshotStore::from_graph(graph));
+    let scheduler = Scheduler::spawn(Arc::clone(&store), cfg.batch_max, cfg.threads);
+    let stats = scheduler.stats();
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept_store = Arc::clone(&store);
+    let accept_join = std::thread::spawn(move || {
+        accept_loop(&listener, &accept_store, &scheduler, &accept_shutdown);
+    });
+
+    Ok(ServerHandle {
+        endpoint: bound,
+        shutdown,
+        stats,
+        accept_join: Some(accept_join),
+    })
+}
+
+fn accept_loop(
+    listener: &Listener,
+    store: &Arc<SnapshotStore>,
+    scheduler: &Scheduler,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let conn_joins: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok(conn) => {
+                let store = Arc::clone(store);
+                let submit = scheduler.submitter();
+                let flag = Arc::clone(shutdown);
+                let join = std::thread::spawn(move || {
+                    serve_connection(conn, &store, &submit, &flag);
+                });
+                conn_joins
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(join);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            // Transient accept errors (e.g. a peer that vanished
+            // between SYN and accept) should not kill the server.
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    for join in conn_joins
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        let _ = join.join();
+    }
+    // The scheduler (and with it the last snapshot Arc it pinned)
+    // drops here, after every connection thread has exited.
+}
+
+fn serve_connection(
+    mut conn: Conn,
+    store: &Arc<SnapshotStore>,
+    submit: &Sender<CutJob>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let request = match conn.recv::<Request>() {
+            Ok(req) => req,
+            Err(e) if e.is_timeout() => continue,
+            Err(TransportError::Io(_)) => return, // peer went away
+            Err(TransportError::Wire(wire)) => {
+                // A corrupt frame leaves the stream aligned (the
+                // declared bytes were consumed), so report and keep
+                // serving; an oversized prefix does not, so report
+                // and hang up.
+                let fatal = matches!(wire, dircut_comm::WireError::Oversized { .. });
+                let _ = conn.send(&Response::Error {
+                    message: format!("bad frame: {wire}"),
+                });
+                if fatal {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Cut { set } => {
+                let (tx, rx) = channel::<CutReply>();
+                if submit.send(CutJob { set, reply: tx }).is_err() {
+                    return; // scheduler gone: the server is tearing down
+                }
+                match rx.recv() {
+                    Ok(CutReply::Ok { epoch, out, into }) => Response::Cut { epoch, out, into },
+                    Ok(CutReply::UniverseMismatch { expected, got }) => Response::Error {
+                        message: format!(
+                            "universe mismatch: graph has {expected} nodes, query uses {got}"
+                        ),
+                    },
+                    Err(_) => return,
+                }
+            }
+            Request::Info => {
+                let snap = store.load();
+                Response::Info {
+                    epoch: snap.epoch(),
+                    nodes: snap.num_nodes() as u32,
+                    edges: snap.num_edges() as u64,
+                }
+            }
+            Request::Shutdown => {
+                let _ = conn.send(&Response::ShuttingDown);
+                shutdown.store(true, Ordering::Release);
+                return;
+            }
+        };
+        if conn.send(&response).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use dircut_graph::{NodeId, NodeSet};
+
+    fn grid(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for u in 0..n {
+            g.add_edge(NodeId::new(u), NodeId::new((u + 1) % n), 1.0 + u as f64);
+            g.add_edge(NodeId::new((u + 2) % n), NodeId::new(u), 0.5 * u as f64);
+        }
+        g
+    }
+
+    #[test]
+    fn served_answers_match_direct_queries_bitwise() {
+        let g = grid(50);
+        let handle = serve(
+            &g,
+            &Endpoint::Tcp("127.0.0.1:0".into()),
+            &ServerConfig::default(),
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        let info = client.info().unwrap();
+        assert_eq!(info.nodes, 50);
+        assert_eq!(info.epoch, g.mutation_epoch());
+        for i in 0..20usize {
+            let set = NodeSet::from_indices(50, (0..50).filter(|v| (v * 7 + i) % 3 == 0));
+            let served = client.cut(&set).unwrap();
+            let (out, into) = g.try_cut_both(&set).unwrap();
+            assert_eq!(served.out.to_bits(), out.to_bits());
+            assert_eq!(served.into.to_bits(), into.to_bits());
+            assert_eq!(served.epoch, g.mutation_epoch());
+        }
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn universe_mismatch_is_an_error_response_not_a_hangup() {
+        let g = grid(8);
+        let handle = serve(
+            &g,
+            &Endpoint::Tcp("127.0.0.1:0".into()),
+            &ServerConfig::default(),
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        let err = client.cut(&NodeSet::from_indices(9, [0])).unwrap_err();
+        assert!(err.to_string().contains("universe mismatch"), "{err}");
+        // Connection survives the rejection.
+        let ok = client.cut(&NodeSet::from_indices(8, [0, 3])).unwrap();
+        let (out, _) = g.try_cut_both(&NodeSet::from_indices(8, [0, 3])).unwrap();
+        assert_eq!(ok.out.to_bits(), out.to_bits());
+        client.shutdown().unwrap();
+        handle.join();
+    }
+}

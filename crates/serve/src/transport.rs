@@ -1,0 +1,382 @@
+//! Stream transport for sealed frames: TCP or Unix sockets, one code
+//! path.
+//!
+//! On the wire each unit is a 4-byte little-endian *bit* count
+//! followed by the sealed frame's bytes (`ceil(bits/8)` of them). The
+//! bit count is the only thing read before validation, and it is
+//! checked against [`MAX_FRAME_BITS`] before any allocation — a peer
+//! cannot make the receiver reserve more than the cap. Everything
+//! inside the length prefix is protected by the frame layer's magic,
+//! length, and CRC ([`dircut_comm::frame`]), so a flipped bit anywhere
+//! surfaces as a typed [`WireError`], never a panic or a garbage
+//! answer.
+
+use crate::protocol::MAX_FRAME_BITS;
+use dircut_comm::frame::{open, seal};
+use dircut_comm::{from_message, to_message, BitWriter, Message, WireEncode, WireError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Anything that can go wrong moving one value across a socket.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The socket failed (closed, reset, timed out).
+    Io(io::Error),
+    /// The bytes arrived but do not parse as a sealed frame holding
+    /// one value — corruption, truncation, or an oversized prefix.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport I/O: {e}"),
+            Self::Wire(e) => write!(f, "transport framing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl TransportError {
+    /// Whether this is a read timeout (the poll tick of a blocking
+    /// reader with a deadline, not a real failure).
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            Self::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Where a server listens or a client connects: `unix:/path/to.sock`
+/// or a TCP `host:port`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP address, e.g. `127.0.0.1:7171`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `unix:PATH` or `HOST:PORT`.
+    ///
+    /// # Errors
+    /// A plain string describing what is wrong with the spec (for CLI
+    /// usage errors).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix endpoint needs a path after `unix:`".into());
+            }
+            return Ok(Self::Unix(PathBuf::from(path)));
+        }
+        if spec
+            .rsplit_once(':')
+            .is_some_and(|(h, p)| !h.is_empty() && p.parse::<u16>().is_ok())
+        {
+            return Ok(Self::Tcp(spec.to_owned()));
+        }
+        Err(format!(
+            "cannot parse endpoint `{spec}` (want `unix:PATH` or `HOST:PORT`)"
+        ))
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tcp(addr) => write!(f, "{addr}"),
+            Self::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A bound listening socket (either family).
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds the endpoint. For TCP, port 0 picks a free port — the
+    /// bound address is recoverable via [`Listener::local_endpoint`].
+    ///
+    /// # Errors
+    /// Any bind failure from the OS.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(Self::Tcp(TcpListener::bind(addr.as_str())?)),
+            Endpoint::Unix(path) => {
+                // A stale socket file from a previous run would make
+                // bind fail; remove only if it is a socket.
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                Ok(Self::Unix(UnixListener::bind(path)?))
+            }
+        }
+    }
+
+    /// The endpoint actually bound (resolves TCP port 0).
+    ///
+    /// # Errors
+    /// If the OS cannot report the local address.
+    pub fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Self::Tcp(l) => {
+                let addr: SocketAddr = l.local_addr()?;
+                Ok(Endpoint::Tcp(addr.to_string()))
+            }
+            Self::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path: &Path = addr
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::other("unnamed unix socket"))?;
+                Ok(Endpoint::Unix(path.to_owned()))
+            }
+        }
+    }
+
+    /// Switches the listener to non-blocking accepts (so an accept
+    /// loop can poll a shutdown flag).
+    ///
+    /// # Errors
+    /// Any socket-option failure from the OS.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Self::Tcp(l) => l.set_nonblocking(nonblocking),
+            Self::Unix(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accepts one connection, returned already in blocking mode.
+    ///
+    /// # Errors
+    /// `WouldBlock` when non-blocking and idle; other errors as from
+    /// the OS.
+    pub fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Self::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true)?;
+                Ok(Conn::Tcp(s))
+            }
+            Self::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Conn::Unix(s))
+            }
+        }
+    }
+}
+
+/// One established connection (either family).
+pub enum Conn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Connects to a server endpoint.
+    ///
+    /// # Errors
+    /// Any connect failure from the OS.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                s.set_nodelay(true)?;
+                Ok(Self::Tcp(s))
+            }
+            Endpoint::Unix(path) => Ok(Self::Unix(UnixStream::connect(path)?)),
+        }
+    }
+
+    /// Bounds how long a read blocks, so a server thread can notice a
+    /// shutdown flag between frames. `None` blocks forever.
+    ///
+    /// # Errors
+    /// Any socket-option failure from the OS.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(dur),
+            Self::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    fn reader(&mut self) -> &mut dyn Read {
+        match self {
+            Self::Tcp(s) => s,
+            Self::Unix(s) => s,
+        }
+    }
+
+    fn writer(&mut self) -> &mut dyn Write {
+        match self {
+            Self::Tcp(s) => s,
+            Self::Unix(s) => s,
+        }
+    }
+
+    /// Seals `value` into a frame and writes it, length-prefixed.
+    ///
+    /// # Errors
+    /// [`TransportError::Wire`] if the value cannot be framed (it is
+    /// oversized), [`TransportError::Io`] if the socket fails.
+    pub fn send<T: WireEncode>(&mut self, value: &T) -> Result<(), TransportError> {
+        let framed = seal(&to_message(value))?;
+        if framed.bit_len() > MAX_FRAME_BITS {
+            return Err(WireError::Oversized {
+                bits: framed.bit_len(),
+                limit: MAX_FRAME_BITS,
+            }
+            .into());
+        }
+        let bits = framed.bit_len() as u32;
+        let w = self.writer();
+        w.write_all(&bits.to_le_bytes())?;
+        w.write_all(framed.as_bytes())?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads one length-prefixed frame, opens it, and decodes one `T`.
+    ///
+    /// # Errors
+    /// [`TransportError::Io`] on socket failure or timeout;
+    /// [`TransportError::Wire`] on an oversized prefix, a corrupt
+    /// frame, or a payload that does not decode as exactly one `T`.
+    /// After a `Wire` error of the corrupt-frame kind the stream is
+    /// still aligned (the declared bytes were consumed); after an
+    /// oversized prefix it is not, and the connection should be
+    /// dropped.
+    pub fn recv<T: WireEncode>(&mut self) -> Result<T, TransportError> {
+        let r = self.reader();
+        let mut prefix = [0u8; 4];
+        r.read_exact(&mut prefix)?;
+        let bits = u32::from_le_bytes(prefix) as usize;
+        if bits > MAX_FRAME_BITS {
+            return Err(WireError::Oversized {
+                bits,
+                limit: MAX_FRAME_BITS,
+            }
+            .into());
+        }
+        let mut bytes = vec![0u8; bits.div_ceil(8)];
+        r.read_exact(&mut bytes)?;
+        let mut w = BitWriter::new();
+        for i in 0..bits {
+            w.write_bit(bytes[i / 8] >> (i % 8) & 1 == 1);
+        }
+        let framed: Message = w.finish();
+        let payload = open(&framed)?;
+        Ok(from_message::<T>(&payload)?)
+    }
+
+    /// Writes raw pre-framed bytes with a chosen bit-count prefix —
+    /// test hook for exercising the server's corrupt-frame handling.
+    ///
+    /// # Errors
+    /// Any socket failure.
+    pub fn send_raw(&mut self, bits: u32, bytes: &[u8]) -> io::Result<()> {
+        let w = self.writer();
+        w.write_all(&bits.to_le_bytes())?;
+        w.write_all(bytes)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Request, Response};
+    use dircut_graph::NodeSet;
+
+    #[test]
+    fn endpoint_parsing() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7171").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7171".into())
+        );
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("no-port").is_err());
+        assert!(Endpoint::parse("host:99999").is_err());
+    }
+
+    #[test]
+    fn frames_cross_a_unix_socketpair() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut tx = Conn::Unix(a);
+        let mut rx = Conn::Unix(b);
+        let req = Request::Cut {
+            set: NodeSet::from_indices(70, [1, 69]),
+        };
+        tx.send(&req).unwrap();
+        assert_eq!(rx.recv::<Request>().unwrap(), req);
+        let resp = Response::Cut {
+            epoch: 1,
+            out: 2.25,
+            into: 0.5,
+        };
+        tx.send(&resp).unwrap();
+        assert_eq!(rx.recv::<Response>().unwrap(), resp);
+    }
+
+    #[test]
+    fn corrupt_bytes_surface_as_wire_errors() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut tx = Conn::Unix(a);
+        let mut rx = Conn::Unix(b);
+        let framed = seal(&to_message(&Request::Info)).unwrap();
+        let mut bytes = framed.as_bytes().to_vec();
+        bytes[3] ^= 0x40;
+        tx.send_raw(framed.bit_len() as u32, &bytes).unwrap();
+        match rx.recv::<Request>() {
+            Err(TransportError::Wire(_)) => {}
+            other => panic!("expected wire error, got {other:?}"),
+        }
+        // The stream stayed aligned: a good frame still goes through.
+        tx.send(&Request::Info).unwrap();
+        assert_eq!(rx.recv::<Request>().unwrap(), Request::Info);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut tx = Conn::Unix(a);
+        let mut rx = Conn::Unix(b);
+        tx.send_raw(u32::MAX, &[]).unwrap();
+        match rx.recv::<Request>() {
+            Err(TransportError::Wire(WireError::Oversized { .. })) => {}
+            other => panic!("expected oversized, got {other:?}"),
+        }
+    }
+}

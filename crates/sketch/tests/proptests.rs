@@ -168,7 +168,7 @@ mod wire_props {
             flip in any::<proptest::sample::Index>(),
         ) {
             let sk = EdgeListSketch::from_graph(&g);
-            let framed = seal(&to_message(&sk));
+            let framed = seal(&to_message(&sk)).unwrap();
             let payload = open(&framed).expect("clean frame opens");
             let back: EdgeListSketch = from_message(&payload).expect("decodes");
             prop_assert_eq!(back, sk);
