@@ -9,8 +9,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dircut_core::foreach::{ForEachDecoder, ForEachEncoding, ForEachParams};
-use dircut_graph::cuteval::{cut_both_batch_threaded, cut_out_batch_threaded};
-use dircut_graph::{DiGraph, NodeSet};
+use dircut_graph::cuteval::{
+    cut_both_batch_threaded, cut_out_batch_threaded, set_lanes, MAX_LANES,
+};
+use dircut_graph::{cache, DiGraph, NodeId, NodeSet};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -87,5 +89,48 @@ fn bench_small_set_fast_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batch_vs_naive, bench_small_set_fast_path);
+fn bench_lane_sweep(c: &mut Criterion) {
+    // The lane-unrolled edge pass on a workload where edge streaming
+    // dominates: one dense cluster per query, > 64 sets so lane count
+    // changes the number of mask passes. Cache off — the memo would
+    // flatten criterion's repeat iterations.
+    let mut group = c.benchmark_group("cut_kernels_lane_sweep");
+    group.sample_size(10);
+    let n = 4_096usize;
+    let per = n / 16;
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut g = DiGraph::with_edge_capacity(n, 120_000);
+    for _ in 0..120_000 {
+        let lo = rng.gen_range(0..16) * per;
+        let u = lo + rng.gen_range(0..per);
+        let mut v = lo + rng.gen_range(0..per);
+        if u == v {
+            v = lo + (v - lo + 1) % per;
+        }
+        g.add_edge(NodeId::new(u), NodeId::new(v), rng.gen_range(0.1..4.0));
+    }
+    let sets: Vec<NodeSet> = (0..192)
+        .map(|j| {
+            let c = j % 16;
+            NodeSet::from_indices(n, (c * per..(c + 1) * per).chain([(j / 16) % n]))
+        })
+        .collect();
+    cache::set_enabled(false);
+    for lanes in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("batch_1t", lanes), &lanes, |b, &l| {
+            set_lanes(l);
+            b.iter(|| cut_both_batch_threaded(black_box(&g), &sets, 1));
+        });
+    }
+    set_lanes(MAX_LANES);
+    cache::set_enabled(true);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_vs_naive,
+    bench_small_set_fast_path,
+    bench_lane_sweep
+);
 criterion_main!(benches);

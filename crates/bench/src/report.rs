@@ -43,8 +43,10 @@ pub fn maybe_print_stage_report() {
         dircut_graph::stats::total_cut_queries()
     );
     eprintln!(
-        "[DIRCUT_STATS] cache hits: {}, cache misses: {} (billed counts above are cache-independent)",
+        "[DIRCUT_STATS] cache hits: {} (delta-retained: {}, fresh: {}), cache misses: {} (billed counts above are cache-independent)",
         dircut_graph::stats::total_cache_hits(),
+        dircut_graph::stats::total_cache_hits_retained(),
+        dircut_graph::stats::total_cache_hits_fresh(),
         dircut_graph::stats::total_cache_misses()
     );
     eprintln!(

@@ -8,7 +8,7 @@
 //! dircut cut --side 0,1,2 [FILE]      # one directed cut value
 //! dircut sketch --eps 0.25 --beta 4 --model foreach|forall [FILE]
 //! dircut dist --servers 4 --eps 0.25 [--drop P] [--kill LIST] [FILE]
-//! dircut serve --listen unix:/tmp/d.sock [--batch 64] [FILE]  # cut-query server
+//! dircut serve --listen unix:/tmp/d.sock [--batch N] [FILE]   # cut-query server
 //! dircut loadgen --connect unix:/tmp/d.sock [--smoke] [--verify] [--shutdown] [FILE]
 //! dircut dot [FILE]                   # Graphviz export
 //! dircut repro foreach|forall|localquery|all [--trials N] [--seed S] [--threads T]
@@ -494,7 +494,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("missing required --listen".into()))?;
     let endpoint = Endpoint::parse(listen).map_err(CliError::Usage)?;
     let cfg = ServerConfig {
-        batch_max: flags.num::<usize>("batch")?.unwrap_or(64),
+        batch_max: flags
+            .num::<usize>("batch")?
+            .unwrap_or_else(dircut_graph::cuteval::chunk_capacity),
         threads: flags.num::<usize>("threads")?.unwrap_or(0),
     };
     let g = read_graph(&flags)?;

@@ -77,15 +77,24 @@ const FLOW_MEMO_CAP: usize = 1 << 10;
 pub(crate) struct CutEntry {
     pub(crate) out: Option<f64>,
     pub(crate) into: Option<f64>,
+    /// `true` iff this entry was carried across at least one mutation
+    /// epoch by [`CutMemo::retain_disjoint`] rather than computed on
+    /// the current snapshot. Hits on retained entries are counted via
+    /// [`crate::stats::count_cache_hits_retained`] so the DIRCUT_STATS
+    /// line shows what delta-epoch invalidation actually saved.
+    pub(crate) retained: bool,
 }
 
 /// Memo of source-set mask → cut values for one
 /// [`CsrSnapshot`](crate::snapshot::CsrSnapshot).
 ///
 /// Lives behind a `Mutex` on the snapshot. Snapshots are immutable, so
-/// the table needs no epoch keying or invalidation hook: it is valid
-/// for exactly as long as the snapshot is alive.
-#[derive(Debug, Default)]
+/// the table needs no epoch keying or re-hashing: within one snapshot
+/// it is valid for the snapshot's whole lifetime. Across a *vertex-
+/// local* mutation (`DiGraph::add_edge`), the table migrates to the
+/// next snapshot through [`CutMemo::retain_disjoint`], which drops
+/// exactly the entries whose masks touch a mutated endpoint.
+#[derive(Debug, Default, Clone)]
 pub(crate) struct CutMemo {
     map: HashMap<Box<[u64]>, CutEntry>,
 }
@@ -97,7 +106,14 @@ impl CutMemo {
 
     /// Merges `entry` into the table under `words`, respecting the
     /// entry cap (existing keys always update; new keys are dropped
-    /// once the table is full).
+    /// once the table is full). The merge never resurrects a
+    /// `retained` flag: writing fresh values into a carried slot keeps
+    /// the slot marked retained only for the directions it still
+    /// carries, which is approximated conservatively by leaving the
+    /// flag untouched — retained entries only ever gain values that
+    /// were computed on the *current* snapshot, and both kinds of hit
+    /// return bit-identical numbers, so the flag is purely an
+    /// observability label.
     pub(crate) fn store(&mut self, words: &[u64], entry: CutEntry) {
         if let Some(slot) = self.map.get_mut(words) {
             if entry.out.is_some() {
@@ -109,6 +125,41 @@ impl CutMemo {
         } else if self.map.len() < CUT_MEMO_CAP {
             self.map.insert(words.into(), entry);
         }
+    }
+
+    /// Number of live entries (observability/tests only).
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Delta-epoch migration: keeps exactly the entries whose masks are
+    /// disjoint from the touched-vertex delta, and marks the survivors
+    /// `retained`.
+    ///
+    /// `delta` is a sparse list of `(word_index, bits)` pairs over the
+    /// same u64-word layout as the memo keys ([`crate::ids::NodeSet`]
+    /// words). An entry survives iff none of its key words intersects
+    /// the delta bits for that word index. Keys shorter than a delta
+    /// word index (possible only if universes disagreed, which the
+    /// call sites rule out) are treated as zero there, i.e. disjoint.
+    ///
+    /// **Soundness.** `cut_out(S)`/`cut_in(S)` only read edges with an
+    /// endpoint inside `S`: an appended edge `(u, v)` with `u ∉ S` and
+    /// `v ∉ S` is skipped by the defining fold in both directions, and
+    /// appended edges land *after* every pre-existing edge, so the
+    /// surviving entry's value is the same `+0.0`-seeded fold over the
+    /// same addition sequence the new snapshot would produce — bit
+    /// identity included, not just numeric equality.
+    pub(crate) fn retain_disjoint(&mut self, delta: &[(usize, u64)]) {
+        self.map.retain(|words, entry| {
+            let keep = delta
+                .iter()
+                .all(|&(w, bits)| words.get(w).is_none_or(|&kw| kw & bits == 0));
+            if keep {
+                entry.retained = true;
+            }
+            keep
+        });
     }
 }
 
@@ -176,6 +227,7 @@ mod tests {
             CutEntry {
                 out: Some(3.0),
                 into: None,
+                retained: false,
             },
         );
         assert_eq!(memo.get(&key).unwrap().out, Some(3.0));
@@ -191,6 +243,7 @@ mod tests {
             CutEntry {
                 out: Some(1.0),
                 into: None,
+                retained: false,
             },
         );
         memo.store(
@@ -198,11 +251,51 @@ mod tests {
             CutEntry {
                 out: None,
                 into: Some(2.0),
+                retained: false,
             },
         );
         let entry = memo.get(&key).unwrap();
         assert_eq!(entry.out, Some(1.0));
         assert_eq!(entry.into, Some(2.0));
+    }
+
+    #[test]
+    fn retain_disjoint_drops_touched_and_marks_survivors() {
+        let mut memo = CutMemo::default();
+        // Key words over a 128-node universe: word 0 = nodes 0..64,
+        // word 1 = nodes 64..128.
+        memo.store(
+            &[0b0001, 0],
+            CutEntry {
+                out: Some(1.0),
+                into: None,
+                retained: false,
+            },
+        );
+        memo.store(
+            &[0b0100, 0],
+            CutEntry {
+                out: Some(2.0),
+                into: None,
+                retained: false,
+            },
+        );
+        memo.store(
+            &[0, 0b1000],
+            CutEntry {
+                out: Some(3.0),
+                into: None,
+                retained: false,
+            },
+        );
+        // Touch node 2 (word 0, bit 2): only the second entry dies.
+        memo.retain_disjoint(&[(0, 0b0100)]);
+        assert_eq!(memo.len(), 2);
+        assert!(memo.get(&[0b0100, 0]).is_none());
+        let a = memo.get(&[0b0001, 0]).unwrap();
+        let b = memo.get(&[0, 0b1000]).unwrap();
+        assert!(a.retained && b.retained);
+        assert_eq!((a.out, b.out), (Some(1.0), Some(3.0)));
     }
 
     #[test]

@@ -1,43 +1,63 @@
 //! Batched cut-query evaluation: `k` directed cut queries answered in
-//! `O(m · k/64)` word-parallel work instead of `k` independent `O(m)`
-//! scans.
+//! `O(m · k/(64·L))` word-parallel work instead of `k` independent
+//! `O(m)` scans, where `L` is the configured lane count.
 //!
 //! The decoders of Theorems 1.1–1.3 measure a sketch or oracle by
 //! firing thousands of cut queries at it, and the exact-truth side of
 //! every experiment answers each one with a whole-edge scan. This
 //! module batches those scans:
 //!
-//! * **Word-parallel kernel** — queries are grouped into chunks of up
-//!   to 64 sets. A chunk builds one `u64` membership mask per node
-//!   (bit `j` set ⇔ node in set `j`) and then makes a *single* pass
-//!   over the edge list. For an edge `u → v` the crossing sets in the
-//!   forward direction are `mask[u] & !mask[v]` and in the reverse
-//!   direction `!mask[u] & mask[v]` — two AND-NOTs answer the edge for
-//!   all 64 queries at once, and the fused forward/reverse accumulation
-//!   mirrors [`DiGraph::cut_both`].
+//! * **Lane-unrolled word-parallel kernel** — queries are grouped into
+//!   chunks of up to `64·L` sets (`L` ∈ {1, 2, 4} u64 mask lanes,
+//!   default 4 → 256 sets a chunk, `DIRCUT_LANES` / [`set_lanes`]).
+//!   A chunk builds `L` interleaved `u64` membership words per node
+//!   (lane `l`, bit `j` set ⇔ node in set `64·l + j`) and then makes a
+//!   *single* pass over the edge list. For an edge `u → v` the
+//!   crossing sets in the forward direction are `mask[u] & !mask[v]`
+//!   and in the reverse direction `!mask[u] & mask[v]`, per lane — the
+//!   lane loop is a `const`-generic unroll, so one 16-byte edge record
+//!   read from memory answers the edge for up to 256 queries at once.
+//!   On the 10⁷–10⁸-edge graphs the kernel is built for, streaming
+//!   those records *is* the cost, which is why amortizing it across
+//!   more lanes pays almost linearly.
+//! * **LLC tile blocking** — when one worker evaluates several chunks,
+//!   the edge list is walked in [`TILE_EDGES`]-record tiles with the
+//!   chunk loop *inside* the tile loop, so a tile streamed from DRAM
+//!   once is reused from cache by every chunk instead of being
+//!   re-fetched per chunk. Per-set accumulation still visits edges in
+//!   ascending edge-id order, so tiling never changes a bit.
+//! * **Optional degree-ordered relabeling** — with `DIRCUT_RELABEL`
+//!   (or [`set_relabel`]) on, snapshot scans use the snapshot's lazily
+//!   built [`Relabeling`](crate::snapshot::Relabeling): an
+//!   endpoint-renamed edge copy in the same order plus the permutation
+//!   applied while building masks, packing the hottest nodes' mask
+//!   words onto shared cache lines. External node ids never leak: the
+//!   rename exists only between mask build and accumulation.
 //! * **Incident-scan fast path** — when a set is small
 //!   (`Σ_{v∈S} deg(v) ≪ m`) it is cheaper to walk the members'
 //!   incident [`Csr`](crate::digraph::Csr) slices than to touch every
 //!   edge. Crossing edges are gathered, sorted by edge id, and summed
 //!   in that order, which reproduces the edge-scan's f64 addition
 //!   sequence exactly.
-//! * **Deterministic fan-out** — chunks and fast-path sets are
+//! * **Deterministic fan-out** — chunk groups and fast-path sets are
 //!   independent tasks dispatched on [`crate::parallel::run_indexed`],
 //!   so results are reassembled in query order and are bit-identical
 //!   for any thread count.
 //!
 //! Every entry point returns, for every query, **the same f64 bits**
 //! as the corresponding naive scan ([`DiGraph::cut_out`],
-//! [`DiGraph::cut_in`], [`DiGraph::cut_both`]): per set, weights are
-//! accumulated in ascending edge-id order, which is the edge-list
+//! [`DiGraph::cut_in`], [`DiGraph::cut_both`]) at every lane count,
+//! thread count, tile size, and relabeling setting: per set, weights
+//! are accumulated in ascending edge-id order, which is the edge-list
 //! order the naive scans use. That property is what lets the
 //! experiment tables stay reproducible while the hot path changes
 //! underneath them.
 
-use crate::digraph::{DiGraph, UniverseMismatch};
+use crate::digraph::{DiGraph, Edge, UniverseMismatch};
 use crate::ids::NodeSet;
 use crate::parallel;
 use crate::snapshot::CsrSnapshot;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// A set is routed to the incident-scan fast path when the total
 /// incident degree of its members, times this factor, is below the
@@ -47,8 +67,96 @@ use crate::snapshot::CsrSnapshot;
 /// `O(m)` pass entirely.
 const FAST_PATH_FACTOR: usize = 16;
 
-/// One chunk of the word-parallel kernel: at most 64 sets.
-const CHUNK: usize = 64;
+/// Maximum (and default) number of u64 mask lanes per chunk.
+pub const MAX_LANES: usize = 4;
+
+/// Edge records per cache tile. At 16 bytes an [`Edge`] this is 2 MiB
+/// of edge stream per tile — small enough to sit in a shared LLC slice
+/// next to the mask arrays it is scanned against, large enough that
+/// the per-tile loop overhead vanishes. See DESIGN.md for the sizing
+/// argument.
+const TILE_EDGES: usize = 1 << 17;
+
+/// Cap on chunks evaluated by one worker group. Bounds the mask
+/// memory a group holds live (`≤ MAX_GROUP_CHUNKS · L · 8n` bytes) and
+/// keeps the tile loop's working set cache-resident.
+const MAX_GROUP_CHUNKS: usize = 8;
+
+/// 0 = not yet read from the environment; otherwise the lane count.
+static LANES: AtomicU8 = AtomicU8::new(0);
+
+/// 0 = not yet read from the environment, 1 = on, 2 = off.
+static RELABEL: AtomicU8 = AtomicU8::new(0);
+
+fn clamp_lanes(l: usize) -> usize {
+    if l >= 4 {
+        4
+    } else if l >= 2 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Number of u64 mask lanes per kernel chunk: 1, 2, or 4.
+///
+/// Controlled by `DIRCUT_LANES` (values are rounded down to the
+/// nearest of 1/2/4; unset or unparsable means [`MAX_LANES`]) or by
+/// [`set_lanes`]. Lane count is a pure throughput knob: results are
+/// bit-identical at every setting.
+#[must_use]
+pub fn lanes() -> usize {
+    match LANES.load(Ordering::Relaxed) {
+        0 => {
+            let l = std::env::var("DIRCUT_LANES")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map_or(MAX_LANES, clamp_lanes);
+            LANES.store(l as u8, Ordering::Relaxed);
+            l
+        }
+        l => l as usize,
+    }
+}
+
+/// Overrides the `DIRCUT_LANES` lane count for the rest of the process
+/// (rounded down to 1, 2, or 4). Used by `bench_cutkernels` to sweep
+/// lane counts in one process and by the bit-identity tests.
+pub fn set_lanes(l: usize) {
+    LANES.store(clamp_lanes(l) as u8, Ordering::Relaxed);
+}
+
+/// Sets a kernel chunk holds at the current lane count (`64 · lanes()`).
+/// The serve scheduler uses this as its default coalescing width so a
+/// full batch fills exactly one kernel chunk.
+#[must_use]
+pub fn chunk_capacity() -> usize {
+    64 * lanes()
+}
+
+/// Whether snapshot kernels apply the degree-ordered vertex
+/// relabeling. Controlled by `DIRCUT_RELABEL` (`0` or unset disables)
+/// or [`set_relabel`]. Off by default: the renamed edge copy costs
+/// `O(m)` memory per snapshot and only pays off when the degree
+/// distribution is skewed enough that hot mask words collide in cache.
+/// Results are bit-identical either way.
+#[must_use]
+pub fn relabel_enabled() -> bool {
+    match RELABEL.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var("DIRCUT_RELABEL").is_ok_and(|v| v != "0");
+            RELABEL.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the `DIRCUT_RELABEL` toggle for the rest of the process.
+pub fn set_relabel(on: bool) {
+    RELABEL.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
 
 fn incident_degree(snap: &CsrSnapshot, s: &NodeSet) -> usize {
     let csr = snap.csr();
@@ -100,35 +208,110 @@ fn eval_incident(snap: &CsrSnapshot, s: &NodeSet) -> (f64, f64) {
     (out, into)
 }
 
-/// Answers one chunk of ≤ 64 sets with a single edge pass.
-fn eval_chunk(snap: &CsrSnapshot, sets: &[&NodeSet]) -> Vec<(f64, f64)> {
-    debug_assert!(sets.len() <= CHUNK);
-    let n = snap.num_nodes();
-    let mut mask = vec![0u64; n];
+/// Builds the interleaved membership masks for one chunk of up to
+/// `64·L` sets: `mask[node·L + lane]` holds bit `j` ⇔ node ∈ set
+/// `64·lane + j`. With `perm` set, nodes are renamed through the
+/// relabeling permutation while the bits are planted, so the scan side
+/// never consults external ids.
+fn build_masks<const L: usize>(n: usize, sets: &[&NodeSet], perm: Option<&[u32]>) -> Vec<u64> {
+    debug_assert!(sets.len() <= 64 * L);
+    let mut mask = vec![0u64; n * L];
     for (j, s) in sets.iter().enumerate() {
-        let bit = 1u64 << j;
-        for v in s.iter() {
-            mask[v.index()] |= bit;
+        let lane = j / 64;
+        let bit = 1u64 << (j % 64);
+        match perm {
+            Some(p) => {
+                for v in s.iter() {
+                    mask[p[v.index()] as usize * L + lane] |= bit;
+                }
+            }
+            None => {
+                for v in s.iter() {
+                    mask[v.index() * L + lane] |= bit;
+                }
+            }
         }
     }
-    let mut acc = vec![(0.0f64, 0.0f64); sets.len()];
-    for e in snap.edges() {
-        let mu = mask[e.from.index()];
-        let mv = mask[e.to.index()];
-        let mut f = mu & !mv;
-        while f != 0 {
-            let j = f.trailing_zeros() as usize;
-            acc[j].0 += e.weight;
-            f &= f - 1;
-        }
-        let mut r = !mu & mv;
-        while r != 0 {
-            let j = r.trailing_zeros() as usize;
-            acc[j].1 += e.weight;
-            r &= r - 1;
+    mask
+}
+
+/// The lane-unrolled inner loop: accumulates one edge tile into one
+/// chunk's accumulators. `get` projects an edge record to
+/// `(tail, head, weight)` in whatever id space `mask` was built in.
+/// The `L` lane loop is a compile-time unroll; `acc[64·l + j]`
+/// accumulates set `64·l + j` in ascending edge order, so any tiling
+/// of the edge list produces the same bits.
+#[inline]
+fn scan_tile<const L: usize, E: Copy>(
+    tile: &[E],
+    get: impl Fn(E) -> (usize, usize, f64),
+    mask: &[u64],
+    acc: &mut [(f64, f64)],
+) {
+    for &e in tile {
+        let (u, v, w) = get(e);
+        let (ub, vb) = (u * L, v * L);
+        for l in 0..L {
+            let mu = mask[ub + l];
+            let mv = mask[vb + l];
+            let mut f = mu & !mv;
+            while f != 0 {
+                acc[(l << 6) + f.trailing_zeros() as usize].0 += w;
+                f &= f - 1;
+            }
+            let mut r = !mu & mv;
+            while r != 0 {
+                acc[(l << 6) + r.trailing_zeros() as usize].1 += w;
+                r &= r - 1;
+            }
         }
     }
-    acc
+}
+
+/// Evaluates one worker group of chunks against a snapshot with the
+/// tile-blocked, lane-unrolled kernel: masks for every chunk are built
+/// up front, then the edge list streams through in [`TILE_EDGES`]
+/// tiles with the chunk loop innermost, so each tile is fetched from
+/// DRAM once and served to every chunk from cache.
+fn eval_group<const L: usize>(
+    snap: &CsrSnapshot,
+    sets: &[NodeSet],
+    group: &[&[usize]],
+) -> Vec<Vec<(f64, f64)>> {
+    let n = snap.num_nodes();
+    let relab = if relabel_enabled() {
+        Some(snap.relabeling())
+    } else {
+        None
+    };
+    let edges: &[Edge] = relab.map_or_else(|| snap.edges(), |r| &r.edges);
+    let perm: Option<&[u32]> = relab.map(|r| &*r.perm);
+    let mut masks: Vec<Vec<u64>> = Vec::with_capacity(group.len());
+    let mut accs: Vec<Vec<(f64, f64)>> = Vec::with_capacity(group.len());
+    for chunk in group {
+        let members: Vec<&NodeSet> = chunk.iter().map(|&i| &sets[i]).collect();
+        masks.push(build_masks::<L>(n, &members, perm));
+        accs.push(vec![(0.0f64, 0.0f64); chunk.len()]);
+    }
+    for tile in edges.chunks(TILE_EDGES) {
+        for (mask, acc) in masks.iter().zip(accs.iter_mut()) {
+            scan_tile::<L, Edge>(
+                tile,
+                |e| (e.from.index(), e.to.index(), e.weight),
+                mask,
+                acc,
+            );
+        }
+    }
+    accs
+}
+
+/// Splits `chunks` into contiguous worker groups: enough groups to
+/// feed every thread, but no group wider than [`MAX_GROUP_CHUNKS`].
+fn group_size(num_chunks: usize, threads: usize) -> usize {
+    num_chunks
+        .div_ceil(threads.max(1))
+        .clamp(1, MAX_GROUP_CHUNKS)
 }
 
 fn check_universes(g: &DiGraph, sets: &[NodeSet]) -> Result<(), UniverseMismatch> {
@@ -153,7 +336,7 @@ fn check_universes(g: &DiGraph, sets: &[NodeSet]) -> Result<(), UniverseMismatch
 /// Evaluating only the memo-missed subset is sound because per-set
 /// accumulation is independent in every kernel: a set's fold visits
 /// the same crossing edges in the same ascending-edge-id order whether
-/// its chunk holds 1 set or 64, so filtering the batch cannot change
+/// its chunk holds 1 set or 256, so filtering the batch cannot change
 /// any bit of any result.
 fn eval_batch_on(snap: &CsrSnapshot, sets: &[NodeSet], threads: usize) -> Vec<(f64, f64)> {
     if sets.is_empty() {
@@ -173,16 +356,24 @@ fn eval_batch_on(snap: &CsrSnapshot, sets: &[NodeSet], threads: usize) -> Vec<(f
                 large.push(i);
             }
         }
-        // Large sets: chunks of ≤ 64 share one edge pass each.
-        let chunks: Vec<&[usize]> = large.chunks(CHUNK).collect();
-        let chunk_out = parallel::run_indexed(chunks.len(), threads, |c| {
-            let members: Vec<&NodeSet> = chunks[c].iter().map(|&i| &sets[i]).collect();
-            eval_chunk(snap, &members)
+        // Large sets: chunks of ≤ 64·L share one edge pass each, and
+        // groups of chunks share each edge *tile*. The lane count is
+        // latched once per batch so a concurrent `set_lanes` cannot
+        // split one batch across layouts.
+        let lane_count = lanes();
+        let chunks: Vec<&[usize]> = large.chunks(64 * lane_count).collect();
+        let groups: Vec<&[&[usize]]> = chunks.chunks(group_size(chunks.len(), threads)).collect();
+        let group_out = parallel::run_indexed(groups.len(), threads, |gi| match lane_count {
+            1 => eval_group::<1>(snap, sets, groups[gi]),
+            2 => eval_group::<2>(snap, sets, groups[gi]),
+            _ => eval_group::<4>(snap, sets, groups[gi]),
         });
-        for (chunk, vals) in chunks.iter().zip(chunk_out) {
-            for (&i, (out, into)) in chunk.iter().zip(vals) {
-                out_vals[i] = out;
-                in_vals[i] = into;
+        for (group, vals) in groups.iter().zip(group_out) {
+            for (chunk, cvals) in group.iter().zip(vals) {
+                for (&i, (out, into)) in chunk.iter().zip(cvals) {
+                    out_vals[i] = out;
+                    in_vals[i] = into;
+                }
             }
         }
         // Small sets: independent incident scans.
@@ -308,11 +499,40 @@ pub fn try_cut_both_batch_snapshot(
     Ok(eval_batch_on(snap, sets, threads))
 }
 
+/// Evaluates one worker group of chunks against a raw edge list; the
+/// tuple-edge twin of [`eval_group`] (no memo, no relabeling — sketch
+/// edge lists are tiny and queried once).
+fn eval_group_edges<const L: usize>(
+    n: usize,
+    edges: &[(u32, u32, f64)],
+    group: &[&[NodeSet]],
+) -> Vec<Vec<(f64, f64)>> {
+    let mut masks: Vec<Vec<u64>> = Vec::with_capacity(group.len());
+    let mut accs: Vec<Vec<(f64, f64)>> = Vec::with_capacity(group.len());
+    for chunk in group {
+        let members: Vec<&NodeSet> = chunk.iter().collect();
+        masks.push(build_masks::<L>(n, &members, None));
+        accs.push(vec![(0.0f64, 0.0f64); chunk.len()]);
+    }
+    for tile in edges.chunks(TILE_EDGES) {
+        for (mask, acc) in masks.iter().zip(accs.iter_mut()) {
+            scan_tile::<L, (u32, u32, f64)>(
+                tile,
+                |(u, v, w)| (u as usize, v as usize, w),
+                mask,
+                acc,
+            );
+        }
+    }
+    accs
+}
+
 /// Word-parallel batch kernel over a raw weighted edge list (the
 /// storage format of edge-list sketches): for every query set, both
 /// directed cut values, accumulated in edge order — bit-identical to a
-/// per-set filtered scan of the same list. Sets whose universe is not
-/// `n` yield garbage (membership tests simply fail); callers validate.
+/// per-set filtered scan of the same list at every lane and thread
+/// count. Sets whose universe is not `n` yield garbage (membership
+/// tests simply fail); callers validate.
 #[must_use]
 pub fn cut_both_batch_edges(
     n: usize,
@@ -324,36 +544,15 @@ pub fn cut_both_batch_edges(
     if sets.is_empty() {
         return Vec::new();
     }
-    let chunks: Vec<&[NodeSet]> = sets.chunks(CHUNK).collect();
-    let per_chunk = parallel::run_indexed(chunks.len(), threads, |c| {
-        let group = chunks[c];
-        let mut mask = vec![0u64; n];
-        for (j, s) in group.iter().enumerate() {
-            let bit = 1u64 << j;
-            for v in s.iter() {
-                mask[v.index()] |= bit;
-            }
-        }
-        let mut acc = vec![(0.0f64, 0.0f64); group.len()];
-        for &(u, v, w) in edges {
-            let mu = mask[u as usize];
-            let mv = mask[v as usize];
-            let mut f = mu & !mv;
-            while f != 0 {
-                let j = f.trailing_zeros() as usize;
-                acc[j].0 += w;
-                f &= f - 1;
-            }
-            let mut r = !mu & mv;
-            while r != 0 {
-                let j = r.trailing_zeros() as usize;
-                acc[j].1 += w;
-                r &= r - 1;
-            }
-        }
-        acc
+    let lane_count = lanes();
+    let chunks: Vec<&[NodeSet]> = sets.chunks(64 * lane_count).collect();
+    let groups: Vec<&[&[NodeSet]]> = chunks.chunks(group_size(chunks.len(), threads)).collect();
+    let per_group = parallel::run_indexed(groups.len(), threads, |gi| match lane_count {
+        1 => eval_group_edges::<1>(n, edges, groups[gi]),
+        2 => eval_group_edges::<2>(n, edges, groups[gi]),
+        _ => eval_group_edges::<4>(n, edges, groups[gi]),
     });
-    per_chunk.into_iter().flatten().collect()
+    per_group.into_iter().flatten().flatten().collect()
 }
 
 #[cfg(test)]
@@ -425,6 +624,84 @@ mod tests {
                 assert_eq!(i.to_bits(), g.cut_in(s).to_bits());
             }
         }
+    }
+
+    #[test]
+    fn every_lane_count_matches_naive_bitwise() {
+        // Lane count is process-global; races with concurrently
+        // running tests are benign because every lane count produces
+        // identical bits — which is exactly what this test pins.
+        let g = random_graph(60, 500, 31);
+        // > 64 large sets so lane 1 needs several chunks while lane 4
+        // packs them into one, plus relabeling on/off.
+        let sets = random_sets(60, 150, 32);
+        let naive: Vec<(f64, f64)> = sets.iter().map(|s| g.cut_both(s)).collect();
+        for lane_count in [1, 2, 4] {
+            set_lanes(lane_count);
+            assert_eq!(lanes(), lane_count);
+            assert_eq!(chunk_capacity(), 64 * lane_count);
+            for relab in [false, true] {
+                set_relabel(relab);
+                for threads in [1, 8] {
+                    let got = cut_both_batch_threaded(&g, &sets, threads);
+                    for ((s, a), b) in sets.iter().zip(&naive).zip(&got) {
+                        assert_eq!(
+                            (a.0.to_bits(), a.1.to_bits()),
+                            (b.0.to_bits(), b.1.to_bits()),
+                            "lanes={lane_count} relabel={relab} threads={threads} set={s:?}"
+                        );
+                    }
+                }
+            }
+        }
+        set_relabel(false);
+        set_lanes(MAX_LANES);
+    }
+
+    #[test]
+    fn tile_blocking_covers_multi_tile_edge_lists() {
+        // More edges than one TILE_EDGES tile, so the tile loop
+        // actually splits the scan; with > 64 sets at lane 1 the
+        // group also holds several chunks.
+        let n = 64;
+        let m = TILE_EDGES + TILE_EDGES / 3;
+        let mut rng = Mix(77);
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let u = rng.below(n as u64) as u32;
+            let mut v = rng.below(n as u64) as u32;
+            if v == u {
+                v = (v + 1) % n as u32;
+            }
+            edges.push((u, v, (rng.below(100) as f64) / 3.0));
+        }
+        let sets = random_sets(n, 70, 78);
+        let naive: Vec<(f64, f64)> = sets
+            .iter()
+            .map(|s| {
+                let (mut out, mut into) = (0.0f64, 0.0f64);
+                for &(u, v, w) in &edges {
+                    match (s.contains(NodeId(u)), s.contains(NodeId(v))) {
+                        (true, false) => out += w,
+                        (false, true) => into += w,
+                        _ => {}
+                    }
+                }
+                (out, into)
+            })
+            .collect();
+        for lane_count in [1, 4] {
+            set_lanes(lane_count);
+            let got = cut_both_batch_edges(n, &edges, &sets, 2);
+            for (a, b) in naive.iter().zip(&got) {
+                assert_eq!(
+                    (a.0.to_bits(), a.1.to_bits()),
+                    (b.0.to_bits(), b.1.to_bits()),
+                    "lanes={lane_count}"
+                );
+            }
+        }
+        set_lanes(MAX_LANES);
     }
 
     #[test]

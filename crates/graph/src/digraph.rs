@@ -27,9 +27,23 @@
 //! [`DiGraph::snapshot`] hands the same capture to code that must
 //! outlive the borrow (the snapshot store, the serve scheduler).
 
+use crate::cache::CutMemo;
 use crate::ids::{EdgeId, NodeId, NodeSet};
 use crate::snapshot::CsrSnapshot;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+/// Memo state carried across vertex-local mutations (delta epochs):
+/// the dropped snapshot's cut memo plus a bitset of every vertex
+/// touched since that snapshot was built. When the next snapshot is
+/// built, entries whose masks avoid all touched vertices are retained
+/// (see [`CutMemo::retain_disjoint`]) instead of cold-starting the
+/// whole cache.
+#[derive(Debug)]
+struct CarriedMemo {
+    memo: CutMemo,
+    /// One bit per node, [`NodeSet`] word layout.
+    delta: Vec<u64>,
+}
 
 /// A weighted directed edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -221,6 +235,12 @@ pub struct DiGraph {
     /// by `PartialEq`, not carried across `Clone`, invalidated by
     /// every mutation.
     snap: OnceLock<Arc<CsrSnapshot>>,
+    /// Memo awaiting delta-epoch migration into the next snapshot
+    /// (vertex-local mutations only; see [`CarriedMemo`]). Behind a
+    /// mutex because `snapshot_ref` consumes it from `&self`. Pure
+    /// cache state like `snap`: ignored by `PartialEq`, cold after
+    /// `Clone`.
+    pending: Mutex<Option<CarriedMemo>>,
 }
 
 impl PartialEq for DiGraph {
@@ -242,6 +262,7 @@ impl Clone for DiGraph {
             // never read — and the trial engines clone graphs far more
             // often than they query all of them.
             snap: OnceLock::new(),
+            pending: Mutex::new(None),
         }
     }
 }
@@ -255,6 +276,7 @@ impl DiGraph {
             edges: Vec::new(),
             epoch: 0,
             snap: OnceLock::new(),
+            pending: Mutex::new(None),
         }
     }
 
@@ -296,8 +318,24 @@ impl DiGraph {
     /// build, `O(1)` afterwards. Used internally by every CSR and
     /// memo-backed path.
     pub(crate) fn snapshot_ref(&self) -> &Arc<CsrSnapshot> {
-        self.snap
-            .get_or_init(|| Arc::new(CsrSnapshot::build(self.n, &self.edges, self.epoch)))
+        self.snap.get_or_init(|| {
+            let carried = self
+                .pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take();
+            Arc::new(match carried {
+                // Delta-epoch migration: seed the new snapshot's memo
+                // with the carried entries whose masks avoid every
+                // touched vertex. The toggle is re-checked here so a
+                // cache disabled after the mutation doesn't smuggle
+                // old entries in.
+                Some(c) if crate::cache::enabled() => {
+                    CsrSnapshot::build_migrated(self.n, &self.edges, self.epoch, c.memo, &c.delta)
+                }
+                _ => CsrSnapshot::build(self.n, &self.edges, self.epoch),
+            })
+        })
     }
 
     /// A shareable immutable capture of the graph at its current
@@ -319,13 +357,60 @@ impl DiGraph {
     }
 
     /// Drops the cached snapshot (CSR view + cut memo) and bumps the
-    /// epoch. Every `&mut self` method that changes the node/edge
-    /// structure must call this. A snapshot previously handed out via
-    /// [`DiGraph::snapshot`] lives on unchanged — only this graph's
-    /// own cache is reset.
-    fn invalidate(&mut self) {
+    /// epoch, discarding any pending carried memo. For mutations that
+    /// touch every edge (`scale_weights`): nothing cached survives. A
+    /// snapshot previously handed out via [`DiGraph::snapshot`] lives
+    /// on unchanged — only this graph's own cache is reset.
+    fn invalidate_full(&mut self) {
         self.epoch += 1;
         self.snap.take();
+        *self
+            .pending
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Delta-epoch invalidation for a mutation touching exactly the
+    /// vertices `a` and `b` (`add_edge`): bumps the epoch and drops
+    /// the snapshot like [`DiGraph::invalidate_full`], but parks the
+    /// snapshot's cut memo together with a touched-vertex bitset so
+    /// the *next* snapshot build can retain every entry whose mask is
+    /// disjoint from all vertices touched since (see
+    /// [`CsrSnapshot::build_migrated`]). Consecutive mutations between
+    /// two snapshot builds accumulate into one delta.
+    fn invalidate_touched(&mut self, a: NodeId, b: NodeId) {
+        self.epoch += 1;
+        let pending = self
+            .pending
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !crate::cache::enabled() {
+            self.snap.take();
+            *pending = None;
+            return;
+        }
+        let mark = |delta: &mut [u64], v: NodeId| {
+            delta[v.index() / 64] |= 1u64 << (v.index() % 64);
+        };
+        if let Some(snap) = self.snap.take() {
+            let memo = match Arc::try_unwrap(snap) {
+                Ok(owned) => owned.into_memo(),
+                // The capture is still shared (a store/reader holds
+                // it): leave that Arc untouched and carry a copy.
+                Err(shared) => shared.clone_memo(),
+            };
+            if memo.len() == 0 {
+                *pending = None;
+                return;
+            }
+            let mut delta = vec![0u64; self.n.div_ceil(64)];
+            mark(&mut delta, a);
+            mark(&mut delta, b);
+            *pending = Some(CarriedMemo { memo, delta });
+        } else if let Some(c) = pending.as_mut() {
+            mark(&mut c.delta, a);
+            mark(&mut c.delta, b);
+        }
     }
 
     /// Adds a directed edge and returns its id.
@@ -342,7 +427,7 @@ impl DiGraph {
             weight.is_finite() && weight >= 0.0,
             "weight must be finite and ≥ 0, got {weight}"
         );
-        self.invalidate();
+        self.invalidate_touched(from, to);
         let id = EdgeId::new(self.edges.len());
         self.edges.push(Edge { from, to, weight });
         id
@@ -417,7 +502,7 @@ impl DiGraph {
     /// Multiplies every edge weight by `scale` (used by sketches).
     pub fn scale_weights(&mut self, scale: f64) {
         assert!(scale.is_finite() && scale >= 0.0);
-        self.invalidate();
+        self.invalidate_full();
         for e in &mut self.edges {
             e.weight *= scale;
         }

@@ -32,9 +32,43 @@
 
 use crate::cache::{CutEntry, CutMemo};
 use crate::digraph::{Csr, DiGraph, Edge, UniverseMismatch};
-use crate::ids::NodeSet;
+use crate::ids::{NodeId, NodeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Routes a memo hit to the right observability counter: entries
+/// carried across a mutation by delta-epoch retention are counted
+/// separately from entries computed on the current snapshot.
+fn count_hit(retained: bool) {
+    if retained {
+        crate::stats::count_cache_hits_retained(1);
+    } else {
+        crate::stats::count_cache_hits(1);
+    }
+}
+
+/// Degree-ordered vertex relabeling for the batch kernels, built
+/// lazily per snapshot and only consulted when
+/// [`crate::cuteval::relabel_enabled`] says so.
+///
+/// `perm` maps external node ids to internal ranks (total degree
+/// descending, id ascending on ties — deterministic for a fixed edge
+/// list), and `edges` is the snapshot's edge list with endpoints
+/// renamed to internal ids **in the same order** as
+/// [`CsrSnapshot::edges`]. The kernels fold edge weights in list
+/// order and node names never enter the arithmetic, so scanning the
+/// renamed copy against internally-renamed query masks produces
+/// bit-identical cut values; the permutation's sole effect is packing
+/// the hottest mask words next to each other. Public APIs always
+/// speak external ids — the rename is applied when masks are built
+/// and never escapes the kernel.
+#[derive(Debug)]
+pub(crate) struct Relabeling {
+    /// External node id → internal (degree-ranked) id.
+    pub(crate) perm: Box<[u32]>,
+    /// Endpoint-renamed copy of the edge list, insertion order.
+    pub(crate) edges: Box<[Edge]>,
+}
 
 /// One immutable capture of a [`DiGraph`] at a mutation epoch: the
 /// edge list (in insertion order), the CSR adjacency view, and a
@@ -54,6 +88,10 @@ pub struct CsrSnapshot {
     /// immutable, so entries never go stale; the lock is held only for
     /// table lookups/stores, never while computing.
     memo: Mutex<CutMemo>,
+    /// Lazily built degree-ordered relabeling (see [`Relabeling`]).
+    /// Only materialized if a kernel asks for it, so graphs that never
+    /// enable `DIRCUT_RELABEL` pay nothing.
+    relabel: OnceLock<Relabeling>,
 }
 
 impl CsrSnapshot {
@@ -65,7 +103,84 @@ impl CsrSnapshot {
             csr: Csr::build(n, edges, epoch),
             epoch,
             memo: Mutex::new(CutMemo::default()),
+            relabel: OnceLock::new(),
         }
+    }
+
+    /// Like [`CsrSnapshot::build`], but seeds the memo with the
+    /// previous snapshot's table filtered through
+    /// [`CutMemo::retain_disjoint`]: `delta` is one bit per node
+    /// ([`NodeSet`] word layout) marking every vertex touched by
+    /// mutations since `carried` was recorded. Surviving entries are
+    /// marked retained; see `retain_disjoint` for the bit-identity
+    /// argument.
+    pub(crate) fn build_migrated(
+        n: usize,
+        edges: &[Edge],
+        epoch: u64,
+        mut carried: CutMemo,
+        delta: &[u64],
+    ) -> Self {
+        let sparse: Vec<(usize, u64)> = delta
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w != 0)
+            .map(|(i, &w)| (i, w))
+            .collect();
+        carried.retain_disjoint(&sparse);
+        Self {
+            n,
+            edges: edges.into(),
+            csr: Csr::build(n, edges, epoch),
+            epoch,
+            memo: Mutex::new(carried),
+            relabel: OnceLock::new(),
+        }
+    }
+
+    /// Takes the memo out of a snapshot the caller uniquely owns
+    /// (delta-epoch migration path).
+    pub(crate) fn into_memo(self) -> CutMemo {
+        self.memo
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Clones the memo of a still-shared snapshot (delta-epoch
+    /// migration when an `Arc` handed out via [`DiGraph::snapshot`] is
+    /// alive elsewhere).
+    pub(crate) fn clone_memo(&self) -> CutMemo {
+        self.memo().clone()
+    }
+
+    /// The degree-ordered relabeling, built on first use. See
+    /// [`Relabeling`] for the contract.
+    pub(crate) fn relabeling(&self) -> &Relabeling {
+        self.relabel.get_or_init(|| {
+            let degree = |v: u32| {
+                let v = NodeId::new(v as usize);
+                self.csr.out_edge_ids(v).len() + self.csr.in_edge_ids(v).len()
+            };
+            let mut order: Vec<u32> = (0..u32::try_from(self.n).expect("n fits u32")).collect();
+            order.sort_by_key(|&v| (std::cmp::Reverse(degree(v)), v));
+            let mut perm = vec![0u32; self.n];
+            for (rank, &v) in order.iter().enumerate() {
+                perm[v as usize] = u32::try_from(rank).expect("rank fits u32");
+            }
+            let edges = self
+                .edges
+                .iter()
+                .map(|e| Edge {
+                    from: NodeId::new(perm[e.from.index()] as usize),
+                    to: NodeId::new(perm[e.to.index()] as usize),
+                    weight: e.weight,
+                })
+                .collect();
+            Relabeling {
+                perm: perm.into_boxed_slice(),
+                edges,
+            }
+        })
     }
 
     /// Number of nodes in the captured graph.
@@ -145,9 +260,11 @@ impl CsrSnapshot {
     // entry point; a hit moves only the cache_hits/cache_misses
     // observability counters. Only called with the cache enabled.
     pub(crate) fn cut_out_memo(&self, s: &NodeSet) -> f64 {
-        if let Some(v) = self.memo().get(s.words()).and_then(|e| e.out) {
-            crate::stats::count_cache_hits(1);
-            return v;
+        if let Some(e) = self.memo().get(s.words()) {
+            if let Some(v) = e.out {
+                count_hit(e.retained);
+                return v;
+            }
         }
         crate::stats::count_cache_misses(1);
         let v = self.cut_out_raw(s);
@@ -156,15 +273,18 @@ impl CsrSnapshot {
             CutEntry {
                 out: Some(v),
                 into: None,
+                retained: false,
             },
         );
         v
     }
 
     pub(crate) fn cut_in_memo(&self, s: &NodeSet) -> f64 {
-        if let Some(v) = self.memo().get(s.words()).and_then(|e| e.into) {
-            crate::stats::count_cache_hits(1);
-            return v;
+        if let Some(e) = self.memo().get(s.words()) {
+            if let Some(v) = e.into {
+                count_hit(e.retained);
+                return v;
+            }
         }
         crate::stats::count_cache_misses(1);
         let v = self.cut_in_raw(s);
@@ -173,6 +293,7 @@ impl CsrSnapshot {
             CutEntry {
                 out: None,
                 into: Some(v),
+                retained: false,
             },
         );
         v
@@ -181,7 +302,7 @@ impl CsrSnapshot {
     pub(crate) fn cut_both_memo(&self, s: &NodeSet) -> (f64, f64) {
         if let Some(entry) = self.memo().get(s.words()) {
             if let (Some(out), Some(into)) = (entry.out, entry.into) {
-                crate::stats::count_cache_hits(1);
+                count_hit(entry.retained);
                 return (out, into);
             }
         }
@@ -192,6 +313,7 @@ impl CsrSnapshot {
             CutEntry {
                 out: Some(out),
                 into: Some(into),
+                retained: false,
             },
         );
         (out, into)
@@ -212,7 +334,7 @@ impl CsrSnapshot {
             return (0..sets.len()).collect();
         }
         let mut todo = Vec::new();
-        let (mut hits, mut misses) = (0u64, 0u64);
+        let (mut fresh, mut retained, mut misses) = (0u64, 0u64, 0u64);
         let mut out = out;
         let mut into = into;
         let memo = self.memo();
@@ -229,14 +351,19 @@ impl CsrSnapshot {
                 if let (Some(slots), Some(v)) = (into.as_deref_mut(), got_in) {
                     slots[i] = v;
                 }
-                hits += 1;
+                if entry.retained {
+                    retained += 1;
+                } else {
+                    fresh += 1;
+                }
             } else {
                 todo.push(i);
                 misses += 1;
             }
         }
         drop(memo);
-        crate::stats::count_cache_hits(hits);
+        crate::stats::count_cache_hits(fresh);
+        crate::stats::count_cache_hits_retained(retained);
         crate::stats::count_cache_misses(misses);
         todo
     }
@@ -261,6 +388,7 @@ impl CsrSnapshot {
                 CutEntry {
                     out: out.map(|v| v[i]),
                     into: into.map(|v| v[i]),
+                    retained: false,
                 },
             );
         }

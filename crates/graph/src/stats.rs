@@ -22,11 +22,19 @@ static SOLVES: AtomicU64 = AtomicU64::new(0);
 static CUT_QUERIES: AtomicU64 = AtomicU64::new(0);
 
 /// Logical queries/solves answered from the PR-5 result cache (cut
-/// memo hits, flow warm-start replays, skeleton memo hits). These are
-/// *observability only*: every hit was still billed through
-/// [`count_cut_queries`] / [`count_solve`], so resource accounting is
-/// invariant under `DIRCUT_CACHE`.
-static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// memo hits, flow warm-start replays, skeleton memo hits) whose entry
+/// was computed at the current epoch. These are *observability only*:
+/// every hit was still billed through [`count_cut_queries`] /
+/// [`count_solve`], so resource accounting is invariant under
+/// `DIRCUT_CACHE`.
+static CACHE_HITS_FRESH: AtomicU64 = AtomicU64::new(0);
+
+/// Cache hits served by a memo entry that survived a delta-epoch
+/// migration (see [`crate::cache`]): the entry was computed before a
+/// mutation and retained because its mask avoided every touched
+/// vertex. Split out from the fresh hits so the `DIRCUT_STATS` line
+/// and the bench JSON can show what delta invalidation saves.
+static CACHE_HITS_RETAINED: AtomicU64 = AtomicU64::new(0);
 
 /// Logical queries/solves that consulted the cache and had to compute.
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
@@ -76,12 +84,21 @@ pub(crate) fn count_cut_queries(k: u64) {
     SCOPED_CUT_QUERIES.with(|c| c.set(c.get() + k));
 }
 
-/// Records `k` cache hits. Called by the memo lookup paths only —
-/// never affects the billed query/solve counters above. Public so
-/// cache layers in downstream crates (e.g. the local-query skeleton
-/// memo) report into the same process-wide tally.
+/// Records `k` cache hits on entries computed at the current epoch.
+/// Called by the memo lookup paths only — never affects the billed
+/// query/solve counters above. Public so cache layers in downstream
+/// crates (e.g. the local-query skeleton memo) report into the same
+/// process-wide tally.
 pub fn count_cache_hits(k: u64) {
-    CACHE_HITS.fetch_add(k, Ordering::Relaxed);
+    CACHE_HITS_FRESH.fetch_add(k, Ordering::Relaxed);
+}
+
+/// Records `k` cache hits on delta-retained entries: memo values that
+/// survived a mutation because their masks avoided every touched
+/// vertex. Counted separately from [`count_cache_hits`];
+/// [`total_cache_hits`] sums both.
+pub fn count_cache_hits_retained(k: u64) {
+    CACHE_HITS_RETAINED.fetch_add(k, Ordering::Relaxed);
 }
 
 /// Records `k` cache misses (lookups that went on to compute).
@@ -145,10 +162,23 @@ pub fn total_cut_queries() -> u64 {
     CUT_QUERIES.load(Ordering::Relaxed)
 }
 
-/// Total cache hits recorded so far (see [`crate::cache`]).
+/// Total cache hits recorded so far (see [`crate::cache`]): fresh
+/// hits plus delta-retained hits.
 #[must_use]
 pub fn total_cache_hits() -> u64 {
-    CACHE_HITS.load(Ordering::Relaxed)
+    total_cache_hits_fresh() + total_cache_hits_retained()
+}
+
+/// Cache hits on entries computed at the current epoch.
+#[must_use]
+pub fn total_cache_hits_fresh() -> u64 {
+    CACHE_HITS_FRESH.load(Ordering::Relaxed)
+}
+
+/// Cache hits on entries that survived a delta-epoch migration.
+#[must_use]
+pub fn total_cache_hits_retained() -> u64 {
+    CACHE_HITS_RETAINED.load(Ordering::Relaxed)
 }
 
 /// Total cache misses recorded so far (see [`crate::cache`]).
@@ -198,7 +228,8 @@ pub fn stage_report() -> Vec<(String, StageStat)> {
 pub fn reset() {
     SOLVES.store(0, Ordering::Relaxed);
     CUT_QUERIES.store(0, Ordering::Relaxed);
-    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_HITS_FRESH.store(0, Ordering::Relaxed);
+    CACHE_HITS_RETAINED.store(0, Ordering::Relaxed);
     CACHE_MISSES.store(0, Ordering::Relaxed);
     registry()
         .lock()

@@ -6,7 +6,7 @@
 
 use dircut_graph::cuteval::{
     cut_both_batch_edges, cut_both_batch_threaded, cut_in_batch_threaded, cut_out_batch_threaded,
-    try_cut_both_batch,
+    set_lanes, try_cut_both_batch, MAX_LANES,
 };
 use dircut_graph::{DiGraph, NodeId, NodeSet};
 use proptest::prelude::*;
@@ -15,6 +15,13 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 const THREAD_COUNTS: [usize; 2] = [1, 8];
+const LANE_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Serializes the tests that sweep the process-global lane toggle, so
+/// one sweep's `set_lanes` cannot interleave with another's. (Races
+/// against non-sweeping tests are benign — every lane count produces
+/// identical bits, which is the property under test.)
+static LANE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// A random weighted multigraph: up to `n` nodes (some isolated), edges
 /// drawn with replacement so parallel edges and self-avoiding repeats
@@ -104,6 +111,85 @@ proptest! {
             for (i, (a, b)) in from_list.iter().enumerate() {
                 prop_assert_eq!(a.to_bits(), reference[i].0.to_bits(), "set {}", i);
                 prop_assert_eq!(b.to_bits(), reference[i].1.to_bits(), "set {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn every_lane_and_thread_count_matches_naive_and_bills_alike(
+        (g, edges) in arb_multigraph(),
+        count in 1usize..90,
+        seed in 0u64..1_000,
+    ) {
+        let _guard = LANE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let n = g.num_nodes();
+        let sets = query_sets(n, count, seed);
+        let naive: Vec<(f64, f64)> = sets.iter().map(|s| g.cut_both(s)).collect();
+        for lane_count in LANE_COUNTS {
+            set_lanes(lane_count);
+            for threads in THREAD_COUNTS {
+                // Values: bit-identical to the naive scans at every
+                // lane/thread combination, from both the snapshot
+                // kernel and the raw edge-list kernel.
+                let (both, billed) = dircut_graph::stats::scoped(
+                    || cut_both_batch_threaded(&g, &sets, threads));
+                let from_list = cut_both_batch_edges(n, &edges, &sets, threads);
+                for (i, nv) in naive.iter().enumerate() {
+                    prop_assert_eq!(
+                        (both[i].0.to_bits(), both[i].1.to_bits()),
+                        (nv.0.to_bits(), nv.1.to_bits()),
+                        "graph kernel, set {} lanes {} threads {}", i, lane_count, threads
+                    );
+                    prop_assert_eq!(
+                        (from_list[i].0.to_bits(), from_list[i].1.to_bits()),
+                        (nv.0.to_bits(), nv.1.to_bits()),
+                        "edge-list kernel, set {} lanes {} threads {}", i, lane_count, threads
+                    );
+                }
+                // Billing: one logical query per set, cache or not,
+                // at every lane/thread combination.
+                prop_assert_eq!(
+                    billed.cut_queries, sets.len() as u64,
+                    "billing at lanes {} threads {}", lane_count, threads
+                );
+            }
+        }
+        set_lanes(MAX_LANES);
+    }
+
+    #[test]
+    fn delta_epoch_sequence_stays_bit_identical_to_cold_recompute(
+        (g0, _) in arb_multigraph(),
+        count in 1usize..40,
+        seed in 0u64..1_000,
+        edits in 1usize..4,
+    ) {
+        // mutate → query → every answer bit-equal to a cold recompute
+        // (a clone starts with a cold cache, so its answers carry
+        // exactly the cache-off bits). Entries the delta spared serve
+        // from the carried memo; dropped ones recompute — neither may
+        // change a single bit.
+        dircut_graph::cache::set_enabled(true);
+        let mut g = g0.clone();
+        let n = g.num_nodes();
+        let sets = query_sets(n, count, seed);
+        let _warm = cut_both_batch_threaded(&g, &sets, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xdeca_f000);
+        for edit in 0..edits {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n);
+            if u == v {
+                v = (v + 1) % n;
+            }
+            g.add_edge(NodeId::new(u), NodeId::new(v), rng.gen_range(0.001..5.0));
+            let warm = cut_both_batch_threaded(&g, &sets, 2);
+            let cold = cut_both_batch_threaded(&g.clone(), &sets, 1);
+            for i in 0..sets.len() {
+                prop_assert_eq!(
+                    (warm[i].0.to_bits(), warm[i].1.to_bits()),
+                    (cold[i].0.to_bits(), cold[i].1.to_bits()),
+                    "set {} after edit {}", i, edit
+                );
             }
         }
     }

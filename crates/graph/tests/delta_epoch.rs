@@ -1,0 +1,225 @@
+//! Delta-epoch memo invalidation: a vertex-local mutation
+//! (`add_edge`) migrates the cut memo to the next snapshot, keeping
+//! exactly the entries whose masks avoid the touched vertices. These
+//! tests pin the acceptance contract: retained entries answer with
+//! the *same bits* a cold (cache-off) recompute would produce, the
+//! delta-retained hit counter actually moves, and whole-graph
+//! mutations (`scale_weights`) still drop everything.
+//!
+//! std-only on purpose (no proptest/rand): the companion proptest
+//! lives in `cuteval_equiv.rs`; this file must run in environments
+//! without the external dev-dependencies.
+
+use dircut_graph::cuteval::cut_both_batch_threaded;
+use dircut_graph::{cache, stats, DiGraph, NodeId, NodeSet};
+use std::sync::Mutex;
+
+/// Serializes this binary's tests: they flip the process-global cache
+/// toggle and assert on the global hit counters.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Deterministic splitmix64, as used by the in-crate kernel tests.
+struct Mix(u64);
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn assert_bits_eq(a: &[(f64, f64)], b: &[(f64, f64)], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            (x.0.to_bits(), x.1.to_bits()),
+            (y.0.to_bits(), y.1.to_bits()),
+            "{what}: set {i}"
+        );
+    }
+}
+
+/// Cache-off reference answers; restores the cache-on state it found.
+fn cache_off_reference(g: &DiGraph, sets: &[NodeSet]) -> Vec<(f64, f64)> {
+    cache::set_enabled(false);
+    let cold = cut_both_batch_threaded(g, sets, 1);
+    cache::set_enabled(true);
+    cold
+}
+
+/// The headline acceptance test: a 1-edge mutation on a 10⁶-node
+/// graph retains every memo entry whose mask avoids the touched
+/// vertices — the re-query is served as delta-retained hits, and the
+/// answers carry exactly the cache-off bits.
+#[test]
+fn one_edge_mutation_on_a_million_node_graph_retains_disjoint_entries() {
+    let _guard = lock();
+    cache::set_enabled(true);
+    let n = 1_000_000usize;
+    let m = 2_000_000usize;
+    // Edges live strictly above node 1, so the mutated edge 0 → 1
+    // touches no queried mask.
+    let mut rng = Mix(0x5eed);
+    let mut g = DiGraph::with_edge_capacity(n, m);
+    for _ in 0..m {
+        let u = 2 + rng.below((n - 2) as u64) as usize;
+        let mut v = 2 + rng.below((n - 2) as u64) as usize;
+        if u == v {
+            v = if v + 1 < n { v + 1 } else { 2 };
+        }
+        g.add_edge(
+            NodeId::new(u),
+            NodeId::new(v),
+            (rng.below(1000) as f64) / 7.0,
+        );
+    }
+    // A handful of large query sets over nodes ≥ 2 (dense enough to
+    // take the edge-pass kernel, never touching the mutated pair).
+    let sets: Vec<NodeSet> = (0..6)
+        .map(|k| {
+            let mut rng = Mix(0xbead ^ k);
+            NodeSet::from_indices(n, (2..n).filter(|_| rng.next() & 1 == 0))
+        })
+        .collect();
+    let warm0 = cut_both_batch_threaded(&g, &sets, 2);
+
+    g.add_edge(NodeId::new(0), NodeId::new(1), 3.25);
+
+    let retained_before = stats::total_cache_hits_retained();
+    let warm1 = cut_both_batch_threaded(&g, &sets, 2);
+    assert_eq!(
+        stats::total_cache_hits_retained(),
+        retained_before + sets.len() as u64,
+        "every disjoint-mask entry must survive the 1-edge delta"
+    );
+    // The new edge crosses none of the sets, and retained entries are
+    // the old folds verbatim: answers are bit-identical to both the
+    // pre-mutation warm pass and a cache-off recompute.
+    assert_bits_eq(&warm1, &warm0, "warm vs pre-mutation");
+    let cold = cache_off_reference(&g, &sets);
+    assert_bits_eq(&warm1, &cold, "warm vs cache-off");
+}
+
+#[test]
+fn touched_entries_recompute_while_disjoint_ones_are_served_retained() {
+    let _guard = lock();
+    cache::set_enabled(true);
+    let n = 100usize;
+    let mut rng = Mix(42);
+    let mut g = DiGraph::with_edge_capacity(n, 600);
+    for _ in 0..600 {
+        let u = rng.below(n as u64) as usize;
+        let mut v = rng.below(n as u64) as usize;
+        if u == v {
+            v = (v + 1) % n;
+        }
+        g.add_edge(
+            NodeId::new(u),
+            NodeId::new(v),
+            (rng.below(100) as f64) / 3.0,
+        );
+    }
+    // Set A straddles the mutation endpoints; set B avoids them.
+    let a = NodeSet::from_indices(n, 0..20);
+    let b = NodeSet::from_indices(n, 50..70);
+    let sets = vec![a, b];
+    let _ = cut_both_batch_threaded(&g, &sets, 1);
+
+    // Mutation touches vertices 0 and 5 — both inside A, neither in B.
+    g.add_edge(NodeId::new(0), NodeId::new(5), 2.5);
+
+    let retained_before = stats::total_cache_hits_retained();
+    let warm = cut_both_batch_threaded(&g, &sets, 1);
+    // Exactly B survived as a delta-retained entry; A was dropped and
+    // recomputed on the new snapshot.
+    assert_eq!(stats::total_cache_hits_retained(), retained_before + 1);
+    let cold = cache_off_reference(&g, &sets);
+    assert_bits_eq(&warm, &cold, "after touched mutation");
+
+    // A second query serves both sets from the memo: B still counts
+    // as retained, A as a fresh hit.
+    let retained_mid = stats::total_cache_hits_retained();
+    let fresh_mid = stats::total_cache_hits_fresh();
+    let again = cut_both_batch_threaded(&g, &sets, 1);
+    assert_eq!(stats::total_cache_hits_retained(), retained_mid + 1);
+    assert_eq!(stats::total_cache_hits_fresh(), fresh_mid + 1);
+    assert_bits_eq(&again, &cold, "second warm query");
+}
+
+#[test]
+fn consecutive_mutations_accumulate_into_one_delta() {
+    let _guard = lock();
+    cache::set_enabled(true);
+    let n = 64usize;
+    let mut g = DiGraph::new(n);
+    for v in 1..n {
+        g.add_edge(NodeId::new(v - 1), NodeId::new(v), v as f64);
+    }
+    let far = NodeSet::from_indices(n, 40..50);
+    let near = NodeSet::from_indices(n, 10..20);
+    let sets = vec![far, near];
+    let _ = cut_both_batch_threaded(&g, &sets, 1);
+    // Two mutations before the next query: their touched sets union.
+    g.add_edge(NodeId::new(0), NodeId::new(2), 1.0);
+    g.add_edge(NodeId::new(12), NodeId::new(30), 1.0); // touches `near`
+    let retained_before = stats::total_cache_hits_retained();
+    let warm = cut_both_batch_threaded(&g, &sets, 1);
+    // Only `far` (disjoint from {0,2,12,30}) survived both deltas.
+    assert_eq!(stats::total_cache_hits_retained(), retained_before + 1);
+    let cold = cache_off_reference(&g, &sets);
+    assert_bits_eq(&warm, &cold, "after accumulated deltas");
+}
+
+#[test]
+fn scale_weights_still_invalidates_everything() {
+    let _guard = lock();
+    cache::set_enabled(true);
+    let n = 32usize;
+    let mut g = DiGraph::new(n);
+    for v in 1..n {
+        g.add_edge(NodeId::new(v - 1), NodeId::new(v), v as f64);
+    }
+    let sets = vec![
+        NodeSet::from_indices(n, 0..8),
+        NodeSet::from_indices(n, 20..30),
+    ];
+    let _ = cut_both_batch_threaded(&g, &sets, 1);
+    g.scale_weights(2.0);
+    // A whole-graph mutation invalidates every entry: no retained (or
+    // fresh) hit may serve stale pre-scaling values.
+    let retained_before = stats::total_cache_hits_retained();
+    let warm = cut_both_batch_threaded(&g, &sets, 1);
+    assert_eq!(stats::total_cache_hits_retained(), retained_before);
+    let cold = cache_off_reference(&g, &sets);
+    assert_bits_eq(&warm, &cold, "after scale_weights");
+}
+
+#[test]
+fn delta_migration_is_inert_with_the_cache_disabled() {
+    let _guard = lock();
+    cache::set_enabled(false);
+    let n = 16usize;
+    let mut g = DiGraph::new(n);
+    for v in 1..n {
+        g.add_edge(NodeId::new(v - 1), NodeId::new(v), v as f64);
+    }
+    let sets = vec![NodeSet::from_indices(n, 8..12)];
+    let before = cut_both_batch_threaded(&g, &sets, 1);
+    g.add_edge(NodeId::new(0), NodeId::new(2), 9.0);
+    let hits_before = stats::total_cache_hits();
+    let after = cut_both_batch_threaded(&g, &sets, 1);
+    assert_eq!(stats::total_cache_hits(), hits_before);
+    // The mutated edge does not cross the set; values unchanged.
+    assert_bits_eq(&after, &before, "cache-off sequence");
+    cache::set_enabled(true);
+}

@@ -33,7 +33,10 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Most jobs one scheduler dispatch coalesces (≥ 1).
+    /// Most jobs one scheduler dispatch coalesces (≥ 1). Defaults to
+    /// [`cuteval::chunk_capacity`](dircut_graph::cuteval::chunk_capacity)
+    /// so one full dispatch fills exactly one lane-unrolled kernel
+    /// chunk (256 sets at the default 4 lanes).
     pub batch_max: usize,
     /// Threads for the batch kernel (0 = single-threaded).
     pub threads: usize,
@@ -42,7 +45,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            batch_max: 64,
+            batch_max: dircut_graph::cuteval::chunk_capacity(),
             threads: 0,
         }
     }
