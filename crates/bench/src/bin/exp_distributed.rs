@@ -4,20 +4,29 @@
 //! Servers ship a coarse `(1±0.2)` for-all sketch plus a fine `(1±ε)`
 //! for-each sketch; the coordinator enumerates candidate cuts from the
 //! coarse union and re-queries them through the fine sketches. Every
-//! message here actually crosses the fault-injected runtime as sealed
-//! frame bytes, so the bit columns are *counted serialized bits* —
-//! payload plus framing — not analytic size formulas. The coarse bits
-//! are ε-independent; the fine bits grow like 1/ε — the linear
-//! dependence the paper proves optimal (a for-all-only protocol pays
-//! 1/ε²); framing is a constant `servers × 112` bits on clean links.
+//! message here actually crosses the socket-backed runtime as sealed
+//! frame bytes over a real connection (`--topology loopback|tcp|unix`),
+//! so the bit columns are *counted serialized bits* — payload plus
+//! framing — and the byte columns are *measured socket bytes* read by
+//! the coordinator. The coarse bits are ε-independent; the fine bits
+//! grow like 1/ε — the linear dependence the paper proves optimal (a
+//! for-all-only protocol pays 1/ε²); framing is a constant
+//! `servers × 112` bits on clean links. The runtime is bit-identical
+//! across topologies, so one golden covers every wire.
+//!
+//! `--scale` runs a separate section (not covered by the golden, since
+//! measured byte totals depend on per-server payload splits) that fans
+//! the same graph across 4 → 128 servers and prints counted wire bits
+//! next to measured socket bytes; the rows also land in
+//! `BENCH_dist.json` so CI archives the counted-vs-measured pairs.
 //!
 //! With `--drop P` (and optionally `--retries R`) the same protocol
-//! runs over lossy links: dropped frames burn retransmissions, and
-//! servers lost past the retry budget degrade the run — the
-//! coordinator solves from the `k` arrived slices rescaled by `s/k`
-//! and reports the widened `effective ε = ε + (s−k)/s`. Lossy output
-//! is seed-deterministic but not covered by the checked-in golden
-//! (only the clean run is).
+//! runs over lossy links: dropped frames burn real read deadlines and
+//! retransmissions, and servers lost past the retry budget degrade the
+//! run — the coordinator solves from the `k` arrived slices rescaled
+//! by `s/k` and reports the widened `effective ε = ε + (s−k)/s`. Lossy
+//! output is seed-deterministic but not covered by the checked-in
+//! golden (only the clean run is).
 //!
 //! Each ε is one [`DistReduction`] trial on the [`TrialEngine`]: the
 //! fixed protocol seed (17, the legacy single-shot call) makes the run
@@ -28,11 +37,12 @@
 use dircut_bench::{print_header, print_row, record_section, EngineReport, Seeding, TrialEngine};
 use dircut_dist::reduction::{DistPath, DistReduction};
 use dircut_dist::runtime::RuntimeConfig;
-use dircut_dist::{symmetric_graph, FaultConfig, ProtocolConfig};
+use dircut_dist::{run_min_cut, symmetric_graph, FaultPlan, ProtocolConfig, Topology};
 use dircut_graph::mincut::stoer_wagner;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn flag(args: &[String], name: &str) -> Result<Option<f64>, String> {
@@ -48,19 +58,30 @@ fn flag(args: &[String], name: &str) -> Result<Option<f64>, String> {
     }
 }
 
-fn parse_args(args: &[String]) -> Result<(f64, u32), String> {
+fn parse_args(args: &[String]) -> Result<(f64, u32, Topology, bool), String> {
     let drop = flag(args, "--drop")?.unwrap_or(0.0);
     let retries = flag(args, "--retries")?.unwrap_or(3.0) as u32;
-    Ok((drop, retries))
+    let topology = match args.iter().position(|a| a == "--topology") {
+        None => Topology::Loopback,
+        Some(i) => match args.get(i + 1) {
+            None => return Err("--topology requires a value".into()),
+            Some(v) => Topology::parse(v)?,
+        },
+    };
+    let scale = args.iter().any(|a| a == "--scale");
+    Ok((drop, retries, topology, scale))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (drop, retries) = match parse_args(&args) {
+    let (drop, retries, topology, scale) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: exp_distributed [--drop P] [--retries R]");
+            eprintln!(
+                "usage: exp_distributed [--drop P] [--retries R] \
+                 [--topology loopback|tcp|unix] [--scale]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -84,10 +105,19 @@ fn main() -> ExitCode {
         g.num_edges()
     );
 
+    if scale {
+        // The scale section bypasses the TrialEngine (it calls the
+        // runtime directly), so there are no reduction records to
+        // flush — returning here keeps BENCH_reductions.json untouched
+        // for the golden-checked runs.
+        scale_sweep(&g, topology);
+        dircut_bench::maybe_print_stage_report();
+        return ExitCode::SUCCESS;
+    }
     if drop > 0.0 {
-        fault_sweep(&g, truth, drop, retries);
+        fault_sweep(&g, truth, drop, retries, topology);
     } else {
-        clean_sweep(&g, truth);
+        clean_sweep(&g, truth, topology);
     }
 
     let code = dircut_bench::finish_reductions_json("exp_distributed");
@@ -99,7 +129,7 @@ fn main() -> ExitCode {
     code
 }
 
-/// Runs one fixed-seed trial of the fault-injected path at `eps` and
+/// Runs one fixed-seed trial of the socket-backed path at `eps` and
 /// returns its record.
 fn run_trial(
     g: &dircut_graph::DiGraph,
@@ -129,7 +159,11 @@ fn aux_u64(record: &dircut_bench::TrialRecord, name: &str) -> u64 {
 /// The golden-checked table: clean links, so the answers match the
 /// in-process coordinator bit for bit and framing is exactly
 /// `servers × (frame header + server id)` — pure, constant overhead.
-fn clean_sweep(g: &dircut_graph::DiGraph, truth: f64) {
+/// The runtime is answer- and bill-identical across topologies, so the
+/// same golden covers loopback, TCP, and Unix-socket runs; measured
+/// byte columns live in the `--scale` and `--drop` sections, which the
+/// golden does not pin.
+fn clean_sweep(g: &dircut_graph::DiGraph, truth: f64, topology: Topology) {
     print_header(&[
         "eps",
         "estimate",
@@ -140,8 +174,9 @@ fn clean_sweep(g: &dircut_graph::DiGraph, truth: f64) {
         "candidates",
     ]);
     for eps in [0.4, 0.2, 0.1, 0.05, 0.025] {
-        let mut cfg = RuntimeConfig::new(ProtocolConfig::new(eps));
-        cfg.protocol.enumeration_trials = 150;
+        let mut protocol = ProtocolConfig::new(eps);
+        protocol.enumeration_trials = 150;
+        let cfg = RuntimeConfig::builder(protocol).topology(topology).build();
         let r = run_trial(g, truth, eps, cfg, "clean");
         let estimate = EngineReport::aux_of(&r, "estimate").expect("estimate aux");
         assert!(estimate.is_finite(), "clean run");
@@ -165,10 +200,72 @@ fn clean_sweep(g: &dircut_graph::DiGraph, truth: f64) {
     );
 }
 
+/// The scale section: the same graph fanned across 4 → 128 servers at
+/// ε = 0.2, counted wire bits next to measured socket bytes. Rows land
+/// in `BENCH_dist.json` so CI archives the counted-vs-measured pairs.
+fn scale_sweep(g: &dircut_graph::DiGraph, topology: Topology) {
+    println!("--- scale: counted bits vs measured socket bytes (eps = 0.2) ---\n");
+    print_header(&[
+        "servers",
+        "wire bits",
+        "framing",
+        "wire bytes",
+        "ctl bytes",
+        "estimate",
+    ]);
+    let mut protocol = ProtocolConfig::new(0.2);
+    protocol.enumeration_trials = 150;
+    let mut rows = String::new();
+    for (i, servers) in [4usize, 32, 128].into_iter().enumerate() {
+        let cfg = RuntimeConfig::builder(protocol)
+            .topology(topology)
+            .seed(17)
+            .build();
+        let out = run_min_cut(g, servers, &cfg).expect("clean scale run");
+        assert!(!out.degraded, "clean scale run degraded");
+        let wire_bytes = out.wire_bytes();
+        let ctl_bytes: u64 = out.transcripts.iter().map(|t| t.ctl_bytes).sum();
+        print_row(&[
+            servers.to_string(),
+            out.answer.total_wire_bits.to_string(),
+            out.answer.framing_bits.to_string(),
+            wire_bytes.to_string(),
+            ctl_bytes.to_string(),
+            format!("{:.3}", out.answer.estimate),
+        ]);
+        let comma = if i < 2 { "," } else { "" };
+        let _ = writeln!(
+            rows,
+            "    {{\"servers\": {servers}, \"wire_bits\": {}, \"framing_bits\": {}, \
+             \"wire_bytes\": {wire_bytes}, \"ctl_bytes\": {ctl_bytes}, \
+             \"arrived\": {}, \"estimate\": {:.3}}}{comma}",
+            out.answer.total_wire_bits, out.answer.framing_bits, out.arrived, out.answer.estimate,
+        );
+    }
+    println!(
+        "\nReading: every server pays the constant 112-bit frame overhead plus\n\
+         its sketch payload, so counted bits grow with the fan-out while the\n\
+         measured bytes track them exactly: bytes = Σ per-server frame units\n\
+         (8-byte prefix + ⌈bits/8⌉) + one 19-byte done marker per delivery."
+    );
+    let mut json = String::from("{\n  \"schema\": \"dircut-dist-bench-v1\",\n");
+    let _ = writeln!(json, "  \"eps\": 0.2,");
+    let _ = writeln!(json, "  \"seed\": 17,");
+    json.push_str("  \"rows\": [\n");
+    json.push_str(&rows);
+    json.push_str("  ]\n}\n");
+    // Fail soft like the reductions JSON: the numbers above are
+    // already on stdout, so a bad path only loses the file copy.
+    if let Err(e) = std::fs::write("BENCH_dist.json", &json) {
+        eprintln!("warning: writing BENCH_dist.json: {e}");
+    }
+}
+
 /// The lossy sweep: one run per ε at the requested drop rate. Exit is
-/// by completion, not accuracy — CI smokes `--drop 0.2` to check that
-/// retries and degradation keep the protocol live under heavy loss.
-fn fault_sweep(g: &dircut_graph::DiGraph, truth: f64, drop: f64, retries: u32) {
+/// by completion, not accuracy — CI smokes `--drop 0.2` over TCP to
+/// check that real-deadline retries and degradation keep the protocol
+/// live under heavy loss.
+fn fault_sweep(g: &dircut_graph::DiGraph, truth: f64, drop: f64, retries: u32, topology: Topology) {
     println!("fault model: drop = {drop}, retries = {retries}\n");
     print_header(&[
         "eps",
@@ -177,16 +274,17 @@ fn fault_sweep(g: &dircut_graph::DiGraph, truth: f64, drop: f64, retries: u32) {
         "arrived",
         "retries",
         "total bits",
+        "wire bytes",
         "eff eps",
     ]);
     for eps in [0.4, 0.2, 0.1] {
-        let faults = FaultConfig {
-            drop,
-            ..FaultConfig::clean()
-        };
-        let mut cfg = RuntimeConfig::with_faults(ProtocolConfig::new(eps), faults);
-        cfg.protocol.enumeration_trials = 150;
-        cfg.max_retries = retries;
+        let mut protocol = ProtocolConfig::new(eps);
+        protocol.enumeration_trials = 150;
+        let cfg = RuntimeConfig::builder(protocol)
+            .faults(FaultPlan::new().drop(drop).build())
+            .retries(retries)
+            .topology(topology)
+            .build();
         let r = run_trial(g, truth, eps, cfg, "lossy");
         let (arrived, servers) = (aux_u64(&r, "arrived"), aux_u64(&r, "servers"));
         assert!(arrived > 0, "run lost every server");
@@ -203,6 +301,7 @@ fn fault_sweep(g: &dircut_graph::DiGraph, truth: f64, drop: f64, retries: u32) {
             format!("{arrived}/{servers}"),
             aux_u64(&r, "retries").to_string(),
             r.wire_bits.to_string(),
+            aux_u64(&r, "wire_bytes").to_string(),
             format!(
                 "{:.3}",
                 EngineReport::aux_of(&r, "effective_epsilon").expect("effective_epsilon")
@@ -217,7 +316,8 @@ fn fault_sweep(g: &dircut_graph::DiGraph, truth: f64, drop: f64, retries: u32) {
     }
     println!(
         "\nReading: every retransmission bills the full frame again, so total\n\
-         bits grow with the drop rate; lost stragglers widen the guarantee\n\
+         bits grow with the drop rate while measured bytes only count what\n\
+         actually crossed the socket; lost stragglers widen the guarantee\n\
          instead of killing the run."
     );
 }

@@ -28,7 +28,7 @@
 //! ```
 
 use dircut_dist::runtime::RuntimeConfig;
-use dircut_dist::{fault_injected_min_cut, DistError, FaultConfig, ProtocolConfig};
+use dircut_dist::{run_min_cut, DistError, FaultPlan, ProtocolConfig, Topology};
 use dircut_graph::balance::{edgewise_balance_bound, exact_balance_factor, is_eulerian};
 use dircut_graph::connectivity::is_strongly_connected;
 use dircut_graph::generators::random_balanced_digraph;
@@ -158,7 +158,8 @@ USAGE:
   dircut sketch --eps E --beta B [--model foreach|forall] [--side LIST] [FILE]
   dircut dist --servers K --eps E [--seed S] [--drop P] [--dup P]
               [--corrupt P] [--delay P] [--timeout T] [--retries R]
-              [--kill LIST] [FILE]
+              [--kill LIST] [--topology loopback|tcp|unix]
+              [--listen unix:PATH|HOST:PORT] [FILE]
   dircut serve --listen unix:PATH|HOST:PORT [--batch N] [--threads T]
               [FILE]
   dircut loadgen --connect unix:PATH|HOST:PORT [--conns C]
@@ -604,10 +605,14 @@ fn cmd_dot(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `dircut dist`: run the fault-injected distributed min-cut protocol
-/// and report the answer plus the full communication bill. A degraded
-/// run (straggler servers lost past the retry budget) still prints its
-/// answer but exits 4 through [`CliError::Degraded`].
+/// `dircut dist`: run the socket-backed distributed min-cut protocol
+/// and report the answer plus the full communication bill — counted
+/// wire bits and the bytes measured at the coordinator's sockets. The
+/// wire is picked with `--topology` (in-process loopback by default;
+/// `tcp` and `unix` cross real OS sockets) and `--listen` pins the
+/// coordinator's address. A degraded run (straggler servers lost past
+/// the retry budget) still prints its answer but exits 4 through
+/// [`CliError::Degraded`].
 fn cmd_dist(args: &[String]) -> Result<(), CliError> {
     let flags = Flags::parse(args)?;
     let g = read_graph(&flags)?;
@@ -617,27 +622,36 @@ fn cmd_dist(args: &[String]) -> Result<(), CliError> {
     }
     let eps: f64 = flags.num("eps")?.unwrap_or(0.25);
     let seed: u64 = flags.num("seed")?.unwrap_or(42);
-    let faults = FaultConfig {
-        drop: flags.num("drop")?.unwrap_or(0.0),
-        delay: flags.num("delay")?.unwrap_or(0.0),
-        duplicate: flags.num("dup")?.unwrap_or(0.0),
-        corrupt: flags.num("corrupt")?.unwrap_or(0.0),
-        dead: match flags.get("kill") {
+    let faults = FaultPlan::new()
+        .drop(flags.num("drop")?.unwrap_or(0.0))
+        .delay(flags.num("delay")?.unwrap_or(0.0))
+        .duplicate(flags.num("dup")?.unwrap_or(0.0))
+        .corrupt(flags.num("corrupt")?.unwrap_or(0.0))
+        .kill(match flags.get("kill") {
             Some(spec) => parse_side(spec, servers)?
                 .iter()
                 .map(|v| v.index())
                 .collect(),
             None => Vec::new(),
-        },
-    };
-    let mut cfg = RuntimeConfig::with_faults(ProtocolConfig::new(eps), faults);
+        })
+        .build();
+    let mut builder = RuntimeConfig::builder(ProtocolConfig::new(eps))
+        .faults(faults)
+        .seed(seed);
     if let Some(t) = flags.num("timeout")? {
-        cfg.timeout_ticks = t;
+        builder = builder.timeout_ticks(t);
     }
     if let Some(r) = flags.num("retries")? {
-        cfg.max_retries = r;
+        builder = builder.retries(r);
     }
-    match fault_injected_min_cut(&g, servers, &cfg, seed) {
+    if let Some(spec) = flags.get("topology") {
+        builder = builder.topology(Topology::parse(spec).map_err(CliError::Usage)?);
+    }
+    if let Some(spec) = flags.get("listen") {
+        builder = builder.listen(Endpoint::parse(spec).map_err(CliError::Usage)?);
+    }
+    let cfg = builder.build();
+    match run_min_cut(&g, servers, &cfg) {
         Ok(out) => {
             let a = &out.answer;
             println!("servers: {} (arrived: {})", out.servers, out.arrived);
@@ -645,6 +659,11 @@ fn cmd_dist(args: &[String]) -> Result<(), CliError> {
             println!(
                 "wire bits: {} (coarse {}, fine {}, framing {})",
                 a.total_wire_bits, a.coarse_bits, a.fine_bits, a.framing_bits
+            );
+            let ctl_bytes: u64 = out.transcripts.iter().map(|t| t.ctl_bytes).sum();
+            println!(
+                "wire bytes: {} observed at the coordinator (+{ctl_bytes} control)",
+                out.wire_bytes()
             );
             let retries: u32 = out.transcripts.iter().map(|t| t.retries).sum();
             println!("retries: {retries}");
@@ -671,7 +690,9 @@ fn cmd_dist(args: &[String]) -> Result<(), CliError> {
         }),
         // A sketch that cannot even be framed never reached the link;
         // treat it like any other unusable input.
-        Err(e @ DistError::Encode(_)) => Err(CliError::Io(e.to_string())),
+        Err(e @ (DistError::Encode(_) | DistError::Transport(_))) => {
+            Err(CliError::Io(e.to_string()))
+        }
     }
 }
 

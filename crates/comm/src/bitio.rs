@@ -31,6 +31,25 @@ impl Message {
     pub fn reader(&self) -> BitReader<'_> {
         BitReader { msg: self, pos: 0 }
     }
+
+    /// Rebuilds a message from raw bytes read off a socket.
+    ///
+    /// Returns `None` unless `bytes.len()` is exactly
+    /// `bit_len.div_ceil(8)`. Spare bits in the last byte are masked
+    /// off so equality with a [`BitWriter`]-built message of the same
+    /// bits holds structurally.
+    #[must_use]
+    pub fn from_bytes(mut bytes: Vec<u8>, bit_len: usize) -> Option<Self> {
+        if bytes.len() != bit_len.div_ceil(8) {
+            return None;
+        }
+        if !bit_len.is_multiple_of(8) {
+            if let Some(last) = bytes.last_mut() {
+                *last &= u8::MAX >> (8 - bit_len % 8);
+            }
+        }
+        Some(Self { bytes, bit_len })
+    }
 }
 
 /// Writes bits into a growing buffer.
@@ -219,6 +238,20 @@ mod tests {
         assert_eq!(r.read_bits(8), 0xad);
         assert_eq!(r.read_bits(8), 0xbe);
         assert_eq!(r.read_bits(8), 0xef);
+    }
+
+    #[test]
+    fn from_bytes_masks_spare_bits_and_checks_length() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let built = w.finish();
+        // Same three bits with garbage in the spare positions.
+        let rebuilt = Message::from_bytes(vec![0b1111_1101], 3).unwrap();
+        assert_eq!(rebuilt, built);
+        assert_eq!(Message::from_bytes(vec![0xFF], 9), None);
+        assert_eq!(Message::from_bytes(vec![], 0).unwrap().bit_len(), 0);
+        let aligned = Message::from_bytes(vec![0xAB, 0xCD], 16).unwrap();
+        assert_eq!(aligned.as_bytes(), &[0xAB, 0xCD]);
     }
 
     #[test]

@@ -114,7 +114,7 @@ mod tests {
 
     fn sample_payload() -> Message {
         let mut w = BitWriter::new();
-        w.write_bits(0b1011_0010_110, 11);
+        w.write_bits(0b101_1001_0110, 11);
         w.write_f64(std::f64::consts::E);
         w.finish()
     }

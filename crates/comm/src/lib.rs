@@ -17,7 +17,11 @@
 //! * [`twosum`] — 2-SUM(t, L, α) with the 0-or-α promise
 //!   (Definitions 5.1/5.2, Theorem 5.4),
 //! * [`transcript`] — interactive multi-round transcripts with
-//!   per-round bit accounting (the Lemma 5.6 simulation shape).
+//!   per-round bit accounting (the Lemma 5.6 simulation shape),
+//! * [`transport`] — the shared stream transport: the
+//!   [`Transport`]/[`Connection`] trait pair moving sealed frames
+//!   over TCP, Unix sockets, or in-process loopback channels, with
+//!   per-connection byte counters and hard size caps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +32,7 @@ pub mod gap_hamming;
 pub mod index;
 pub mod protocol;
 pub mod transcript;
+pub mod transport;
 pub mod twosum;
 pub mod wire;
 
@@ -36,5 +41,9 @@ pub use gap_hamming::{GapHammingInstance, GapHammingParams};
 pub use index::IndexInstance;
 pub use protocol::{measure, OneWayProtocol, ProtocolStats};
 pub use transcript::{Round, Speaker, Transcript};
+pub use transport::{
+    Accept, Conn, Connection, Endpoint, Listener, LoopbackTransport, SocketTransport, Transport,
+    TransportError, MAX_FRAME_BITS, MAX_UNIVERSE,
+};
 pub use twosum::TwoSumInstance;
 pub use wire::{from_message, to_message, WireEncode, WireError};

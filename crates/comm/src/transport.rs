@@ -1,0 +1,991 @@
+//! The shared stream transport: sealed frames over TCP, Unix sockets,
+//! or an in-process loopback — one code path, one error contract.
+//!
+//! On the wire each unit is an 8-byte prefix — a 4-byte little-endian
+//! *bit* count, then a 4-byte little-endian `meta` word — followed by
+//! the sealed frame's bytes (`ceil(bits/8)` of them). `meta` is an
+//! opaque caller tag travelling outside the CRC: ordinary traffic
+//! sends 0, while the distributed runtime stamps link metadata there
+//! so corrupting the sealed frame can never destroy its attribution.
+//! The bit count is the only thing read before validation, and it is
+//! checked against [`MAX_FRAME_BITS`] before any allocation — a peer
+//! cannot make the receiver reserve more than the cap. Everything
+//! inside the prefix is protected by the frame layer's magic, length,
+//! and CRC ([`crate::frame`]), so a flipped bit anywhere surfaces as a
+//! typed [`WireError`], never a panic or a garbage answer.
+//!
+//! Reads are short-read- and `EINTR`-safe: [`read_frame`] loops on
+//! [`io::ErrorKind::Interrupted`] and partial reads. A read deadline
+//! (`WouldBlock`/`TimedOut`) only surfaces as a timeout while *no*
+//! byte of the next frame has arrived — once the prefix has started,
+//! the reader is committed and keeps retrying, so a poll tick can
+//! never desynchronize the stream mid-frame.
+//!
+//! The abstract surface is the [`Transport`]/[`Connection`] trait
+//! pair (with [`Accept`] for listeners); [`SocketTransport`] covers
+//! both socket families and [`LoopbackTransport`] is the in-process
+//! hub. Every [`Conn`] counts the bytes it sends and receives —
+//! prefixes included — so counted `wire_bits` can be checked against
+//! observed bytes.
+
+use crate::bitio::Message;
+use crate::frame::{open, seal};
+use crate::wire::{from_message, to_message, WireEncode, WireError};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Largest node universe a server will accept in a request.
+///
+/// A bitset over `n` nodes is `n/64` wire words; this cap keeps a
+/// hostile request from asking a server to allocate gigabytes. It is
+/// far above any graph the toolkit generates.
+pub const MAX_UNIVERSE: usize = 1 << 21;
+
+/// Largest sealed frame (in bits) any receiver will read from a
+/// stream. Sized to fit a cut request at [`MAX_UNIVERSE`] with room
+/// to spare.
+pub const MAX_FRAME_BITS: usize = 1 << 22;
+
+/// Bytes of prefix ahead of every frame: 4 for the bit count, 4 for
+/// the `meta` word.
+pub const PREFIX_BYTES: usize = 8;
+
+/// Anything that can go wrong moving one value across a stream.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The stream failed (closed, reset, timed out).
+    Io(io::Error),
+    /// The bytes arrived but do not parse as a sealed frame holding
+    /// one value — corruption, truncation, or an oversized prefix.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport I/O: {e}"),
+            Self::Wire(e) => write!(f, "transport framing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl TransportError {
+    /// Whether this is a read timeout (the poll tick of a blocking
+    /// reader with a deadline, not a real failure).
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            Self::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Whether the connection can keep serving after this error.
+    ///
+    /// The shared convention every server inherits: a corrupt frame
+    /// leaves the stream aligned (the declared bytes were consumed),
+    /// so report it with an error response and keep reading; an
+    /// oversized prefix cannot be resynchronized, and a socket-level
+    /// failure means the peer is gone — both are fatal. Check
+    /// [`is_timeout`](Self::is_timeout) first: a timeout is an `Io`
+    /// error but just means "no frame yet".
+    #[must_use]
+    pub fn is_connection_fatal(&self) -> bool {
+        match self {
+            Self::Io(_) => true,
+            Self::Wire(wire) => matches!(wire, WireError::Oversized { .. }),
+        }
+    }
+}
+
+/// Where a server listens or a client connects: `unix:/path/to.sock`,
+/// a TCP `host:port`, or an in-process loopback channel id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// TCP address, e.g. `127.0.0.1:7171`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// In-process loopback channel, addressed by id within one
+    /// [`LoopbackTransport`] hub.
+    Loopback(u64),
+}
+
+impl Endpoint {
+    /// Parses `unix:PATH`, `loopback[:ID]`, or `HOST:PORT`.
+    ///
+    /// # Errors
+    /// A plain string describing what is wrong with the spec (for CLI
+    /// usage errors).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix endpoint needs a path after `unix:`".into());
+            }
+            return Ok(Self::Unix(PathBuf::from(path)));
+        }
+        if spec == "loopback" {
+            return Ok(Self::Loopback(0));
+        }
+        if let Some(id) = spec.strip_prefix("loopback:") {
+            return id
+                .parse::<u64>()
+                .map(Self::Loopback)
+                .map_err(|_| format!("cannot parse loopback id `{id}`"));
+        }
+        if spec
+            .rsplit_once(':')
+            .is_some_and(|(h, p)| !h.is_empty() && p.parse::<u16>().is_ok())
+        {
+            return Ok(Self::Tcp(spec.to_owned()));
+        }
+        Err(format!(
+            "cannot parse endpoint `{spec}` (want `unix:PATH`, `loopback[:ID]`, or `HOST:PORT`)"
+        ))
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Tcp(addr) => write!(f, "{addr}"),
+            Self::Unix(path) => write!(f, "unix:{}", path.display()),
+            Self::Loopback(id) => write!(f, "loopback:{id}"),
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, looping over `Interrupted` and
+/// partial reads. `committed` says whether earlier bytes of the same
+/// frame were already consumed: a read deadline (`WouldBlock` /
+/// `TimedOut`) before the first byte is a clean timeout and surfaces
+/// as such, but once any byte is in, the stream position is committed
+/// and the deadline is ignored until the frame completes.
+fn read_full<R: Read + ?Sized>(
+    r: &mut R,
+    buf: &mut [u8],
+    mut committed: bool,
+) -> Result<(), TransportError> {
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        match r.read(&mut buf[pos..]) {
+            Ok(0) => {
+                return Err(TransportError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                )))
+            }
+            Ok(n) => {
+                pos += n;
+                committed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if !committed
+                    && (e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut) =>
+            {
+                return Err(TransportError::Io(e));
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one prefixed frame: bit count, `meta`, frame bytes. Returns
+/// the total bytes written (prefix included).
+///
+/// # Errors
+/// [`TransportError::Wire`] with [`WireError::Oversized`] if the
+/// frame's bit length does not fit the 4-byte prefix;
+/// [`TransportError::Io`] if the stream fails.
+pub fn write_frame<W: Write + ?Sized>(
+    w: &mut W,
+    frame: &Message,
+    meta: u32,
+) -> Result<u64, TransportError> {
+    let Ok(bits) = u32::try_from(frame.bit_len()) else {
+        return Err(WireError::Oversized {
+            bits: frame.bit_len(),
+            limit: u32::MAX as usize,
+        }
+        .into());
+    };
+    w.write_all(&bits.to_le_bytes())?;
+    w.write_all(&meta.to_le_bytes())?;
+    w.write_all(frame.as_bytes())?;
+    w.flush()?;
+    Ok((PREFIX_BYTES + frame.as_bytes().len()) as u64)
+}
+
+/// Reads one prefixed frame back: the raw (still sealed) frame and its
+/// `meta` word. Safe against short reads and `EINTR`; see the module
+/// docs for the timeout semantics.
+///
+/// # Errors
+/// [`TransportError::Io`] on stream failure or an idle timeout;
+/// [`TransportError::Wire`] with [`WireError::Oversized`] when the
+/// declared bit count exceeds `max_bits` — checked before any
+/// allocation, and fatal for the connection since the stream cannot be
+/// resynchronized past an untrusted length.
+pub fn read_frame<R: Read + ?Sized>(
+    r: &mut R,
+    max_bits: usize,
+) -> Result<(Message, u32), TransportError> {
+    let mut prefix = [0u8; PREFIX_BYTES];
+    read_full(r, &mut prefix, false)?;
+    let bits = u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]) as usize;
+    let meta = u32::from_le_bytes([prefix[4], prefix[5], prefix[6], prefix[7]]);
+    if bits > max_bits {
+        return Err(WireError::Oversized {
+            bits,
+            limit: max_bits,
+        }
+        .into());
+    }
+    let mut bytes = vec![0u8; bits.div_ceil(8)];
+    read_full(r, &mut bytes, true)?;
+    let frame = Message::from_bytes(bytes, bits).expect("buffer sized from bit count");
+    Ok((frame, meta))
+}
+
+/// One established bidirectional frame stream.
+///
+/// The object-safe core moves raw sealed frames with their `meta`
+/// word; the sized conveniences ([`send`](Connection::send) /
+/// [`recv`](Connection::recv)) add sealing, size caps, opening, and
+/// decoding so most callers never touch a frame. Implementations
+/// count every byte they move — prefixes included — through
+/// [`bytes_sent`](Connection::bytes_sent) and
+/// [`bytes_received`](Connection::bytes_received).
+pub trait Connection: Send {
+    /// Writes one already-sealed frame with its `meta` word.
+    ///
+    /// # Errors
+    /// [`TransportError::Io`] if the stream fails, [`TransportError::Wire`]
+    /// if the frame cannot be prefixed.
+    fn send_frame(&mut self, frame: &Message, meta: u32) -> Result<(), TransportError>;
+
+    /// Reads one raw (still sealed) frame and its `meta` word.
+    ///
+    /// # Errors
+    /// As for [`read_frame`].
+    fn recv_frame(&mut self) -> Result<(Message, u32), TransportError>;
+
+    /// Bounds how long a read blocks, so a serving thread can notice a
+    /// shutdown flag (or a lost peer) between frames. `None` blocks
+    /// forever.
+    ///
+    /// # Errors
+    /// Any socket-option failure from the OS.
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()>;
+
+    /// Total bytes written to the stream so far, prefixes included.
+    fn bytes_sent(&self) -> u64;
+
+    /// Total bytes read from the stream so far, prefixes included.
+    fn bytes_received(&self) -> u64;
+
+    /// Seals `value` into a frame and writes it with `meta = 0`.
+    ///
+    /// # Errors
+    /// As for [`send_meta`](Connection::send_meta).
+    fn send<T: WireEncode>(&mut self, value: &T) -> Result<(), TransportError>
+    where
+        Self: Sized,
+    {
+        self.send_meta(value, 0)
+    }
+
+    /// Seals `value` into a frame and writes it with a caller `meta`.
+    ///
+    /// # Errors
+    /// [`TransportError::Wire`] if the value cannot be framed or the
+    /// sealed frame exceeds [`MAX_FRAME_BITS`], [`TransportError::Io`]
+    /// if the stream fails.
+    fn send_meta<T: WireEncode>(&mut self, value: &T, meta: u32) -> Result<(), TransportError>
+    where
+        Self: Sized,
+    {
+        let framed = seal(&to_message(value))?;
+        if framed.bit_len() > MAX_FRAME_BITS {
+            return Err(WireError::Oversized {
+                bits: framed.bit_len(),
+                limit: MAX_FRAME_BITS,
+            }
+            .into());
+        }
+        self.send_frame(&framed, meta)
+    }
+
+    /// Reads one frame, opens it, and decodes one `T`.
+    ///
+    /// # Errors
+    /// As for [`recv_meta`](Connection::recv_meta).
+    fn recv<T: WireEncode>(&mut self) -> Result<T, TransportError>
+    where
+        Self: Sized,
+    {
+        Ok(self.recv_meta::<T>()?.0)
+    }
+
+    /// Reads one frame, opens it, and decodes one `T`, returning the
+    /// `meta` word alongside.
+    ///
+    /// # Errors
+    /// [`TransportError::Io`] on stream failure or timeout;
+    /// [`TransportError::Wire`] on an oversized prefix, a corrupt
+    /// frame, or a payload that does not decode as exactly one `T`.
+    /// Use [`TransportError::is_connection_fatal`] to decide whether
+    /// the stream is still usable.
+    fn recv_meta<T: WireEncode>(&mut self) -> Result<(T, u32), TransportError>
+    where
+        Self: Sized,
+    {
+        let (framed, meta) = self.recv_frame()?;
+        let payload = open(&framed)?;
+        Ok((from_message::<T>(&payload)?, meta))
+    }
+}
+
+/// One side of an in-process loopback stream: a byte channel with the
+/// same blocking/timeout surface as a socket.
+#[derive(Debug)]
+pub struct LoopbackStream {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    buf: VecDeque<u8>,
+    timeout: Option<Duration>,
+}
+
+/// Creates a connected pair of loopback streams.
+#[must_use]
+fn loopback_streams() -> (LoopbackStream, LoopbackStream) {
+    let (atx, arx) = channel();
+    let (btx, brx) = channel();
+    let mk = |tx, rx| LoopbackStream {
+        tx,
+        rx,
+        buf: VecDeque::new(),
+        timeout: None,
+    };
+    (mk(atx, brx), mk(btx, arx))
+}
+
+impl Read for LoopbackStream {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        while self.buf.is_empty() {
+            let chunk = match self.timeout {
+                Some(dur) => self.rx.recv_timeout(dur).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => {
+                        io::Error::new(io::ErrorKind::WouldBlock, "loopback read timed out")
+                    }
+                    RecvTimeoutError::Disconnected => io::ErrorKind::UnexpectedEof.into(),
+                })?,
+                None => self
+                    .rx
+                    .recv()
+                    .map_err(|_| io::Error::from(io::ErrorKind::UnexpectedEof))?,
+            };
+            self.buf.extend(chunk);
+        }
+        let n = out.len().min(self.buf.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = self.buf.pop_front().expect("checked non-empty");
+        }
+        Ok(n)
+    }
+}
+
+impl Write for LoopbackStream {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(data.to_vec())
+            .map_err(|_| io::Error::from(io::ErrorKind::BrokenPipe))?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The underlying byte stream of a [`Conn`].
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+    Loopback(LoopbackStream),
+}
+
+/// One established connection over any supported stream family, with
+/// byte counters.
+pub struct Conn {
+    stream: Stream,
+    sent: u64,
+    received: u64,
+}
+
+impl Conn {
+    fn from_stream(stream: Stream) -> Self {
+        Self {
+            stream,
+            sent: 0,
+            received: 0,
+        }
+    }
+
+    /// Connects to a socket endpoint. Loopback endpoints live inside a
+    /// [`LoopbackTransport`] hub and cannot be dialled directly.
+    ///
+    /// # Errors
+    /// Any connect failure from the OS.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                s.set_nodelay(true)?;
+                Ok(Self::from_stream(Stream::Tcp(s)))
+            }
+            Endpoint::Unix(path) => Ok(Self::from_stream(Stream::Unix(UnixStream::connect(path)?))),
+            Endpoint::Loopback(_) => Err(io::Error::other(
+                "loopback endpoints are dialled through a LoopbackTransport hub",
+            )),
+        }
+    }
+
+    /// Creates a connected in-process pair — the loopback equivalent
+    /// of `UnixStream::pair`.
+    #[must_use]
+    pub fn loopback_pair() -> (Self, Self) {
+        let (a, b) = loopback_streams();
+        (
+            Self::from_stream(Stream::Loopback(a)),
+            Self::from_stream(Stream::Loopback(b)),
+        )
+    }
+
+    fn reader(&mut self) -> &mut dyn Read {
+        match &mut self.stream {
+            Stream::Tcp(s) => s,
+            Stream::Unix(s) => s,
+            Stream::Loopback(s) => s,
+        }
+    }
+
+    fn writer(&mut self) -> &mut dyn Write {
+        match &mut self.stream {
+            Stream::Tcp(s) => s,
+            Stream::Unix(s) => s,
+            Stream::Loopback(s) => s,
+        }
+    }
+
+    /// Writes raw bytes under a chosen bit-count prefix (and `meta`
+    /// 0) — test hook for exercising corrupt-frame handling.
+    ///
+    /// # Errors
+    /// Any stream failure.
+    pub fn send_raw(&mut self, bits: u32, bytes: &[u8]) -> io::Result<()> {
+        let w = self.writer();
+        w.write_all(&bits.to_le_bytes())?;
+        w.write_all(&0u32.to_le_bytes())?;
+        w.write_all(bytes)?;
+        w.flush()?;
+        self.sent += (PREFIX_BYTES + bytes.len()) as u64;
+        Ok(())
+    }
+}
+
+impl Connection for Conn {
+    fn send_frame(&mut self, frame: &Message, meta: u32) -> Result<(), TransportError> {
+        let written = write_frame(self.writer(), frame, meta)?;
+        self.sent += written;
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<(Message, u32), TransportError> {
+        let (frame, meta) = read_frame(self.reader(), MAX_FRAME_BITS)?;
+        self.received += (PREFIX_BYTES + frame.as_bytes().len()) as u64;
+        Ok((frame, meta))
+    }
+
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        match &mut self.stream {
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Loopback(s) => {
+                s.timeout = dur;
+                Ok(())
+            }
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.received
+    }
+}
+
+/// A bound listener producing [`Connection`]s.
+pub trait Accept: Send {
+    /// The connection type accepted.
+    type Conn: Connection;
+
+    /// Accepts one connection, returned already in blocking mode.
+    ///
+    /// # Errors
+    /// `WouldBlock` when non-blocking and idle; other errors as from
+    /// the OS.
+    fn accept(&self) -> io::Result<Self::Conn>;
+
+    /// Switches to non-blocking accepts (so an accept loop can poll a
+    /// shutdown flag).
+    ///
+    /// # Errors
+    /// Any socket-option failure from the OS.
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
+
+    /// The endpoint actually bound (resolves TCP port 0).
+    ///
+    /// # Errors
+    /// If the OS cannot report the local address.
+    fn local_endpoint(&self) -> io::Result<Endpoint>;
+}
+
+/// A bound listening socket (any family).
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    Unix(UnixListener),
+    /// In-process loopback listener fed by a [`LoopbackTransport`].
+    Loopback {
+        /// The hub channel id this listener serves.
+        id: u64,
+        /// Queue of connections pushed by the hub's `connect`.
+        pending: Mutex<Receiver<Conn>>,
+        /// Whether `accept` polls instead of blocking.
+        nonblocking: AtomicBool,
+    },
+}
+
+impl Listener {
+    /// Binds the endpoint. For TCP, port 0 picks a free port — the
+    /// bound address is recoverable via [`Accept::local_endpoint`].
+    /// Loopback endpoints bind through a [`LoopbackTransport`] hub.
+    ///
+    /// # Errors
+    /// Any bind failure from the OS.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => Ok(Self::Tcp(TcpListener::bind(addr.as_str())?)),
+            Endpoint::Unix(path) => {
+                // A stale socket file from a previous run would make
+                // bind fail; remove only if it is a socket.
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                Ok(Self::Unix(UnixListener::bind(path)?))
+            }
+            Endpoint::Loopback(_) => Err(io::Error::other(
+                "loopback endpoints are bound through a LoopbackTransport hub",
+            )),
+        }
+    }
+}
+
+impl Accept for Listener {
+    type Conn = Conn;
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Self::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true)?;
+                Ok(Conn::from_stream(Stream::Tcp(s)))
+            }
+            Self::Unix(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Conn::from_stream(Stream::Unix(s)))
+            }
+            Self::Loopback {
+                pending,
+                nonblocking,
+                ..
+            } => {
+                let rx = pending.lock().unwrap_or_else(PoisonError::into_inner);
+                if nonblocking.load(Ordering::Acquire) {
+                    rx.try_recv().map_err(|e| match e {
+                        TryRecvError::Empty => io::ErrorKind::WouldBlock.into(),
+                        TryRecvError::Disconnected => {
+                            io::Error::other("loopback hub dropped the listener channel")
+                        }
+                    })
+                } else {
+                    rx.recv()
+                        .map_err(|_| io::Error::other("loopback hub dropped the listener channel"))
+                }
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Self::Tcp(l) => l.set_nonblocking(nonblocking),
+            Self::Unix(l) => l.set_nonblocking(nonblocking),
+            Self::Loopback {
+                nonblocking: nb, ..
+            } => {
+                nb.store(nonblocking, Ordering::Release);
+                Ok(())
+            }
+        }
+    }
+
+    fn local_endpoint(&self) -> io::Result<Endpoint> {
+        match self {
+            Self::Tcp(l) => {
+                let addr: SocketAddr = l.local_addr()?;
+                Ok(Endpoint::Tcp(addr.to_string()))
+            }
+            Self::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path: &Path = addr
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::other("unnamed unix socket"))?;
+                Ok(Endpoint::Unix(path.to_owned()))
+            }
+            Self::Loopback { id, .. } => Ok(Endpoint::Loopback(*id)),
+        }
+    }
+}
+
+/// A way of binding listeners and dialling connections: the seam the
+/// distributed runtime is generic over, so the same coordinator code
+/// runs over TCP, Unix sockets, or in-process loopback channels.
+pub trait Transport: Send + Sync {
+    /// Connection type produced by this transport.
+    type Conn: Connection;
+    /// Listener type produced by this transport.
+    type Listener: Accept<Conn = Self::Conn>;
+
+    /// Binds a listener at `endpoint`.
+    ///
+    /// # Errors
+    /// Any bind failure.
+    fn listen(&self, endpoint: &Endpoint) -> io::Result<Self::Listener>;
+
+    /// Dials a connection to `endpoint`.
+    ///
+    /// # Errors
+    /// Any connect failure.
+    fn connect(&self, endpoint: &Endpoint) -> io::Result<Self::Conn>;
+}
+
+/// The OS-socket transport: TCP and Unix-domain endpoints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SocketTransport;
+
+impl Transport for SocketTransport {
+    type Conn = Conn;
+    type Listener = Listener;
+
+    fn listen(&self, endpoint: &Endpoint) -> io::Result<Listener> {
+        Listener::bind(endpoint)
+    }
+
+    fn connect(&self, endpoint: &Endpoint) -> io::Result<Conn> {
+        Conn::connect(endpoint)
+    }
+}
+
+/// An in-process transport hub: [`Endpoint::Loopback`] ids map to
+/// registered listeners, and `connect` splices a fresh stream pair
+/// straight into the matching accept queue. No OS descriptors are
+/// involved, so it is the fastest topology and works where sockets
+/// are unavailable — while exercising the exact same framing path.
+#[derive(Debug, Clone, Default)]
+pub struct LoopbackTransport {
+    registry: Arc<Mutex<HashMap<u64, Sender<Conn>>>>,
+}
+
+impl LoopbackTransport {
+    /// A fresh hub with no listeners.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for LoopbackTransport {
+    type Conn = Conn;
+    type Listener = Listener;
+
+    fn listen(&self, endpoint: &Endpoint) -> io::Result<Listener> {
+        let Endpoint::Loopback(id) = endpoint else {
+            return Err(io::Error::other(
+                "a LoopbackTransport binds only loopback endpoints",
+            ));
+        };
+        let (tx, rx) = channel();
+        self.registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(*id, tx);
+        Ok(Listener::Loopback {
+            id: *id,
+            pending: Mutex::new(rx),
+            nonblocking: AtomicBool::new(false),
+        })
+    }
+
+    fn connect(&self, endpoint: &Endpoint) -> io::Result<Conn> {
+        let Endpoint::Loopback(id) = endpoint else {
+            return Err(io::Error::other(
+                "a LoopbackTransport dials only loopback endpoints",
+            ));
+        };
+        let tx = self
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(id)
+            .cloned()
+            .ok_or_else(|| io::Error::from(io::ErrorKind::ConnectionRefused))?;
+        let (ours, theirs) = Conn::loopback_pair();
+        tx.send(theirs)
+            .map_err(|_| io::Error::from(io::ErrorKind::ConnectionRefused))?;
+        Ok(ours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+
+    /// A toy payload type for round-trip tests.
+    #[derive(Debug, PartialEq)]
+    struct Probe {
+        a: u32,
+        b: f64,
+    }
+
+    impl WireEncode for Probe {
+        fn encode(&self, w: &mut BitWriter) {
+            w.write_bits(u64::from(self.a), 32);
+            w.write_f64(self.b);
+        }
+
+        fn decode(r: &mut crate::bitio::BitReader<'_>) -> Result<Self, WireError> {
+            Ok(Self {
+                a: r.try_read_bits(32)? as u32,
+                b: r.try_read_f64()?,
+            })
+        }
+    }
+
+    #[test]
+    fn endpoint_parsing() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/x.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7171").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7171".into())
+        );
+        assert_eq!(Endpoint::parse("loopback").unwrap(), Endpoint::Loopback(0));
+        assert_eq!(
+            Endpoint::parse("loopback:7").unwrap(),
+            Endpoint::Loopback(7)
+        );
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("no-port").is_err());
+        assert!(Endpoint::parse("host:99999").is_err());
+        assert!(Endpoint::parse("loopback:x").is_err());
+    }
+
+    #[test]
+    fn frames_cross_a_unix_socketpair() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut tx = Conn::from_stream(Stream::Unix(a));
+        let mut rx = Conn::from_stream(Stream::Unix(b));
+        let probe = Probe { a: 77, b: -2.5 };
+        tx.send(&probe).unwrap();
+        assert_eq!(rx.recv::<Probe>().unwrap(), probe);
+    }
+
+    #[test]
+    fn frames_cross_a_loopback_pair_with_meta() {
+        let (mut tx, mut rx) = Conn::loopback_pair();
+        let probe = Probe { a: 1, b: 0.5 };
+        tx.send_meta(&probe, 0xDEAD_BEEF).unwrap();
+        let (got, meta) = rx.recv_meta::<Probe>().unwrap();
+        assert_eq!(got, probe);
+        assert_eq!(meta, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn byte_counters_match_on_both_ends_and_include_prefixes() {
+        let (mut tx, mut rx) = Conn::loopback_pair();
+        let probe = Probe { a: 9, b: 1.25 };
+        let framed = seal(&to_message(&probe)).unwrap();
+        let expect = (PREFIX_BYTES + framed.bit_len().div_ceil(8)) as u64;
+        tx.send(&probe).unwrap();
+        rx.recv::<Probe>().unwrap();
+        assert_eq!(tx.bytes_sent(), expect);
+        assert_eq!(rx.bytes_received(), expect);
+        assert_eq!(tx.bytes_received(), 0);
+        assert_eq!(rx.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn corrupt_bytes_surface_as_wire_errors_and_leave_the_stream_aligned() {
+        let (mut tx, mut rx) = Conn::loopback_pair();
+        let framed = seal(&to_message(&Probe { a: 3, b: 0.0 })).unwrap();
+        let mut bytes = framed.as_bytes().to_vec();
+        bytes[3] ^= 0x40;
+        tx.send_raw(framed.bit_len() as u32, &bytes).unwrap();
+        match rx.recv::<Probe>() {
+            Err(e @ TransportError::Wire(_)) => assert!(!e.is_connection_fatal()),
+            other => panic!("expected wire error, got {other:?}"),
+        }
+        // The stream stayed aligned: a good frame still goes through.
+        let probe = Probe { a: 4, b: 8.0 };
+        tx.send(&probe).unwrap();
+        assert_eq!(rx.recv::<Probe>().unwrap(), probe);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation_and_is_fatal() {
+        let (mut tx, mut rx) = Conn::loopback_pair();
+        tx.send_raw(u32::MAX, &[]).unwrap();
+        match rx.recv::<Probe>() {
+            Err(e @ TransportError::Wire(WireError::Oversized { .. })) => {
+                assert!(e.is_connection_fatal());
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+    }
+
+    /// A stream that hands out one byte per `read` and interleaves
+    /// `Interrupted` and mid-frame `WouldBlock` errors between them —
+    /// the worst legal behaviour of a socket under signals and tight
+    /// deadlines.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        step: usize,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            self.step += 1;
+            match self.step % 3 {
+                1 => Err(io::ErrorKind::Interrupted.into()),
+                2 if self.pos > 0 => Err(io::ErrorKind::WouldBlock.into()),
+                _ => {
+                    if self.pos >= self.data.len() {
+                        return Ok(0);
+                    }
+                    out[0] = self.data[self.pos];
+                    self.pos += 1;
+                    Ok(1)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_frame_survives_a_dribbling_interrupted_stream() {
+        let probe = Probe {
+            a: 12345,
+            b: std::f64::consts::PI,
+        };
+        let framed = seal(&to_message(&probe)).unwrap();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &framed, 42).unwrap();
+        let mut dribble = Dribble {
+            data: wire,
+            pos: 0,
+            step: 0,
+        };
+        let (got, meta) = read_frame(&mut dribble, MAX_FRAME_BITS).unwrap();
+        assert_eq!(meta, 42);
+        let payload = open(&got).unwrap();
+        assert_eq!(from_message::<Probe>(&payload).unwrap(), probe);
+    }
+
+    #[test]
+    fn idle_timeout_before_any_byte_is_a_timeout_not_a_desync() {
+        struct AlwaysBlocked;
+        impl Read for AlwaysBlocked {
+            fn read(&mut self, _out: &mut [u8]) -> io::Result<usize> {
+                Err(io::ErrorKind::WouldBlock.into())
+            }
+        }
+        match read_frame(&mut AlwaysBlocked, MAX_FRAME_BITS) {
+            Err(e) => assert!(e.is_timeout()),
+            Ok(_) => panic!("expected a timeout"),
+        }
+    }
+
+    #[test]
+    fn loopback_transport_routes_connects_to_listeners() {
+        let hub = LoopbackTransport::new();
+        let listener = hub.listen(&Endpoint::Loopback(5)).unwrap();
+        assert_eq!(listener.local_endpoint().unwrap(), Endpoint::Loopback(5));
+        let mut client = hub.connect(&Endpoint::Loopback(5)).unwrap();
+        let mut served = listener.accept().unwrap();
+        let probe = Probe { a: 5, b: 5.0 };
+        client.send(&probe).unwrap();
+        assert_eq!(served.recv::<Probe>().unwrap(), probe);
+        assert!(hub.connect(&Endpoint::Loopback(6)).is_err());
+    }
+
+    #[test]
+    fn loopback_read_timeout_fires_when_idle() {
+        let (mut _tx, mut rx) = Conn::loopback_pair();
+        rx.set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        match rx.recv::<Probe>() {
+            Err(e) => assert!(e.is_timeout()),
+            Ok(_) => panic!("expected timeout"),
+        }
+    }
+}

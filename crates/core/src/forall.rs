@@ -360,7 +360,7 @@ impl ForAllDecoder {
         const BLOCK: usize = 256;
         let mut best: Option<(f64, Vec<usize>)> = None;
         let mut queries = 0usize;
-        let mut consider_block = |subsets: Vec<Vec<usize>>,
+        let consider_block = |subsets: Vec<Vec<usize>>,
                                   best: &mut Option<(f64, Vec<usize>)>,
                                   queries: &mut usize| {
             let sets: Vec<NodeSet> = subsets

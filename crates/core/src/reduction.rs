@@ -594,7 +594,7 @@ impl Reduction for ForAllHeadToHeadReduction {
         };
         let strings = inner.random_strings(rng);
         let q = (trial * 5) % self.params.num_strings();
-        let is_far = trial % 2 == 0;
+        let is_far = trial.is_multiple_of(2);
         inner.sample_instance(q, is_far, strings, rng)
     }
 

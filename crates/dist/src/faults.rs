@@ -1,0 +1,515 @@
+//! Fault injection at the socket boundary: a [`FaultyTransport`]
+//! decorates any [`Connection`] and decides, per transmit attempt,
+//! what the wire does to the frame.
+//!
+//! Each *transmit attempt* draws its fate from a [`ChaCha8Rng`] seeded
+//! purely by `(link seed, server, attempt)`, so a run's delivery
+//! schedule is a deterministic function of the seed and the fault
+//! configuration — never of thread interleaving or wall-clock. The
+//! draw order within an attempt is fixed (drop, latency, delay,
+//! duplicate, corrupt, corrupt position) and every draw is consumed
+//! whether or not the fault fires, so changing one fault's probability
+//! never shifts the randomness feeding the others. That is what makes
+//! the runtime's answer provably invariant under duplicate-delivery
+//! faults: the duplicate decision reads its own dedicated draw.
+//!
+//! Faults compose the way real links fail:
+//!
+//! * **drop** — nothing is written to the socket; the coordinator's
+//!   *real* read deadline fires and it retries.
+//! * **delay** — the frame crosses the socket, but stamped
+//!   [`DELAY_TICKS`] late in its [`DeliveryTag`]; past the
+//!   coordinator's tick deadline it is as good as dropped (the bits
+//!   still crossed the wire and are still counted).
+//! * **duplicate** — the link writes a second copy of the same frame.
+//!   The copy is a link-level artifact: the server transmitted once,
+//!   so accounting counts the attempt once.
+//! * **corrupt** — one bit of the sealed frame flips in flight. The
+//!   CRC-32 frame check ([`dircut_comm::frame::open`]) catches every
+//!   single-bit flip, so corruption surfaces as a rejected frame and a
+//!   retry, never as silently wrong data. The [`DeliveryTag`] rides in
+//!   the prefix `meta` word *outside* the CRC, so a corrupted frame
+//!   never loses its attribution.
+//! * **dead servers** — listed links never write anything, regardless
+//!   of probabilities: the deterministic way to exercise the
+//!   coordinator's degraded mode.
+//!
+//! Control traffic (anything sent with `meta ==` [`META_CTL`]) passes
+//! through untouched in both directions: faults model the data link
+//! from server to coordinator, not the dialogue that schedules it.
+
+use dircut_comm::bitio::{BitWriter, Message};
+use dircut_comm::transport::{Connection, TransportError};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::io;
+use std::time::Duration;
+
+/// Latency added to a delayed frame, in coordinator ticks. Far above
+/// any sane [`timeout`](crate::runtime::RuntimeConfig::timeout_ticks),
+/// so "delayed" deterministically means "missed the deadline".
+pub const DELAY_TICKS: u32 = 64;
+
+/// Base in-flight latency range of an undelayed frame: `0..4` ticks.
+pub const BASE_LATENCY_TICKS: u32 = 4;
+
+/// The `meta` word marking a control frame: fault injection passes it
+/// through untouched. Never collides with a packed [`DeliveryTag`],
+/// whose bits 9–23 are always zero.
+pub const META_CTL: u32 = u32::MAX;
+
+/// Fault probabilities for one run's links. All probabilities are per
+/// transmit attempt and independent.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Probability an attempt is dropped outright.
+    pub drop: f64,
+    /// Probability an attempt is delayed by [`DELAY_TICKS`].
+    pub delay: f64,
+    /// Probability the link delivers a duplicate copy.
+    pub duplicate: f64,
+    /// Probability exactly one bit of the frame flips in flight.
+    pub corrupt: f64,
+    /// Servers whose link never delivers (deterministic total loss).
+    pub dead: Vec<usize>,
+}
+
+impl FaultConfig {
+    /// A perfectly clean link.
+    #[must_use]
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// True when every probability is zero and no server is dead.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.drop == 0.0
+            && self.delay == 0.0
+            && self.duplicate == 0.0
+            && self.corrupt == 0.0
+            && self.dead.is_empty()
+    }
+}
+
+/// Builder for a [`FaultConfig`]: name the faults you want, leave the
+/// rest clean.
+///
+/// ```
+/// use dircut_dist::FaultPlan;
+/// let faults = FaultPlan::new().drop(0.2).corrupt(0.1).kill([3]).build();
+/// assert_eq!(faults.drop, 0.2);
+/// assert!(faults.dead.contains(&3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// A plan with every fault off.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-attempt drop probability.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn drop(mut self, p: f64) -> Self {
+        self.cfg.drop = p;
+        self
+    }
+
+    /// Sets the per-attempt delay probability.
+    #[must_use]
+    pub fn delay(mut self, p: f64) -> Self {
+        self.cfg.delay = p;
+        self
+    }
+
+    /// Sets the per-attempt duplicate probability.
+    #[must_use]
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.cfg.duplicate = p;
+        self
+    }
+
+    /// Sets the per-attempt single-bit-corruption probability.
+    #[must_use]
+    pub fn corrupt(mut self, p: f64) -> Self {
+        self.cfg.corrupt = p;
+        self
+    }
+
+    /// Marks servers whose link never delivers anything.
+    #[must_use]
+    pub fn kill(mut self, servers: impl IntoIterator<Item = usize>) -> Self {
+        self.cfg.dead.extend(servers);
+        self
+    }
+
+    /// Finishes the plan.
+    #[must_use]
+    pub fn build(self) -> FaultConfig {
+        self.cfg
+    }
+}
+
+impl From<FaultPlan> for FaultConfig {
+    fn from(plan: FaultPlan) -> Self {
+        plan.build()
+    }
+}
+
+/// Link metadata stamped into the prefix `meta` word of every faulted
+/// data frame. It travels outside the CRC, so the coordinator can
+/// attribute even a corrupted delivery to its attempt and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryTag {
+    /// Simulated ticks after the transmit at which the copy arrived.
+    pub latency: u32,
+    /// Whether this copy is a link-injected duplicate.
+    pub duplicate: bool,
+    /// The transmit attempt (mod 256) that produced it.
+    pub attempt: u32,
+}
+
+impl DeliveryTag {
+    /// Packs the tag into a `meta` word: latency in bits 0–7, the
+    /// duplicate flag in bit 8, the attempt (mod 256) in bits 24–31.
+    /// Bits 9–23 stay zero, so a packed tag never equals [`META_CTL`].
+    #[must_use]
+    pub fn pack(&self) -> u32 {
+        (self.latency & 0xFF) | (u32::from(self.duplicate) << 8) | ((self.attempt & 0xFF) << 24)
+    }
+
+    /// Recovers a tag from a `meta` word.
+    #[must_use]
+    pub fn unpack(meta: u32) -> Self {
+        Self {
+            latency: meta & 0xFF,
+            duplicate: meta & (1 << 8) != 0,
+            attempt: meta >> 24,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates structured `(seed, server,
+/// attempt)` triples into independent-looking RNG seeds.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic lossy channel decorating one [`Connection`] from a
+/// server to the coordinator.
+///
+/// [`send_frame`](Connection::send_frame) interprets `meta` as the
+/// attempt number (unless it is [`META_CTL`]) and plays the drawn fate
+/// out on the real socket: drops write nothing, corruption flips one
+/// bit of the sealed frame, duplicates write a second copy, and the
+/// simulated latency crosses the wire in the [`DeliveryTag`]. Receives
+/// and control sends pass straight through.
+pub struct FaultyTransport<C: Connection> {
+    inner: C,
+    seed: u64,
+    server: usize,
+    faults: FaultConfig,
+    last_dropped: bool,
+}
+
+impl<C: Connection> FaultyTransport<C> {
+    /// Decorates `inner` as the link of `server` under `faults`,
+    /// deriving all randomness from `seed`.
+    #[must_use]
+    pub fn new(inner: C, seed: u64, server: usize, faults: FaultConfig) -> Self {
+        Self {
+            inner,
+            seed,
+            server,
+            faults,
+            last_dropped: false,
+        }
+    }
+
+    /// Whether the most recent data-frame send was dropped (nothing
+    /// crossed the socket). The worker checks this to decide whether
+    /// an attempt-done marker would be a lie.
+    #[must_use]
+    pub fn last_dropped(&self) -> bool {
+        self.last_dropped
+    }
+
+    /// The RNG seed of one `(server, attempt)` transmit.
+    fn attempt_seed(&self, attempt: u32) -> u64 {
+        mix(self
+            .seed
+            .wrapping_add(mix(self.server as u64 + 1))
+            .wrapping_add(mix(u64::from(attempt) + 0x9E37_79B9)))
+    }
+}
+
+impl<C: Connection> Connection for FaultyTransport<C> {
+    fn send_frame(&mut self, frame: &Message, meta: u32) -> Result<(), TransportError> {
+        if meta == META_CTL {
+            return self.inner.send_frame(frame, meta);
+        }
+        let attempt = meta;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.attempt_seed(attempt));
+        // Fixed draw order; every draw consumed regardless of outcome.
+        let dropped = rng.gen_bool(self.faults.drop.clamp(0.0, 1.0));
+        let base_latency = rng.gen_range(0..BASE_LATENCY_TICKS);
+        let delayed = rng.gen_bool(self.faults.delay.clamp(0.0, 1.0));
+        let duplicate = rng.gen_bool(self.faults.duplicate.clamp(0.0, 1.0));
+        let corrupted = rng.gen_bool(self.faults.corrupt.clamp(0.0, 1.0)) && frame.bit_len() > 0;
+        let flip_pos = if frame.bit_len() > 0 {
+            rng.gen_range(0..frame.bit_len())
+        } else {
+            0
+        };
+
+        self.last_dropped = dropped || self.faults.dead.contains(&self.server);
+        if self.last_dropped {
+            return Ok(());
+        }
+
+        let received = if corrupted {
+            flip_bit(frame, flip_pos)
+        } else {
+            frame.clone()
+        };
+        let latency = base_latency + if delayed { DELAY_TICKS } else { 0 };
+        let tag = DeliveryTag {
+            latency,
+            duplicate: false,
+            attempt,
+        };
+        self.inner.send_frame(&received, tag.pack())?;
+        if duplicate {
+            // The copy shares the original's fate (same bits, one tick
+            // later): duplication can never rescue a corrupted or
+            // delayed attempt, only echo it.
+            let dup_tag = DeliveryTag {
+                latency: latency + 1,
+                duplicate: true,
+                attempt,
+            };
+            self.inner.send_frame(&received, dup_tag.pack())?;
+        }
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> Result<(Message, u32), TransportError> {
+        self.inner.recv_frame()
+    }
+
+    fn set_read_timeout(&mut self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent()
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.inner.bytes_received()
+    }
+}
+
+/// Returns `frame` with bit `pos` flipped.
+#[must_use]
+fn flip_bit(frame: &Message, pos: usize) -> Message {
+    let mut w = BitWriter::new();
+    let mut r = frame.reader();
+    for i in 0..frame.bit_len() {
+        let bit = r.read_bit();
+        w.write_bit(if i == pos { !bit } else { bit });
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_comm::frame::{open, seal};
+    use dircut_comm::transport::Conn;
+
+    fn payload() -> Message {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32);
+        w.write_f64(1.25);
+        w.finish()
+    }
+
+    /// Runs one faulted transmit attempt over a loopback pair and
+    /// collects everything that crossed the socket, in order.
+    fn transmit(
+        ft: &mut FaultyTransport<Conn>,
+        rx: &mut Conn,
+        frame: &Message,
+        attempt: u32,
+    ) -> Vec<(Message, DeliveryTag)> {
+        ft.send_frame(frame, attempt).unwrap();
+        // A sentinel marks the end of the attempt's deliveries.
+        ft.send_frame(&seal(&payload()).unwrap(), META_CTL).unwrap();
+        let mut out = Vec::new();
+        loop {
+            let (msg, meta) = rx.recv_frame().unwrap();
+            if meta == META_CTL {
+                return out;
+            }
+            out.push((msg, DeliveryTag::unpack(meta)));
+        }
+    }
+
+    fn pair(seed: u64, server: usize, faults: FaultConfig) -> (FaultyTransport<Conn>, Conn) {
+        let (tx, rx) = Conn::loopback_pair();
+        (FaultyTransport::new(tx, seed, server, faults), rx)
+    }
+
+    #[test]
+    fn tags_round_trip_and_never_collide_with_ctl() {
+        for (latency, duplicate, attempt) in [(0, false, 0), (68, true, 9), (255, true, 255)] {
+            let tag = DeliveryTag {
+                latency,
+                duplicate,
+                attempt,
+            };
+            assert_eq!(DeliveryTag::unpack(tag.pack()), tag);
+            assert_ne!(tag.pack(), META_CTL);
+        }
+    }
+
+    #[test]
+    fn clean_link_delivers_exactly_once_within_base_latency() {
+        let (mut ft, mut rx) = pair(7, 0, FaultConfig::clean());
+        let frame = seal(&payload()).unwrap();
+        for attempt in 0..20 {
+            let got = transmit(&mut ft, &mut rx, &frame, attempt);
+            assert!(!ft.last_dropped());
+            assert_eq!(got.len(), 1);
+            let (msg, tag) = &got[0];
+            assert!(tag.latency < BASE_LATENCY_TICKS);
+            assert!(!tag.duplicate);
+            assert_eq!(tag.attempt, attempt);
+            assert_eq!(open(msg).unwrap(), payload());
+        }
+    }
+
+    #[test]
+    fn transmits_are_deterministic_per_seed_and_attempt() {
+        let faults = FaultConfig {
+            drop: 0.3,
+            delay: 0.2,
+            duplicate: 0.4,
+            corrupt: 0.3,
+            dead: Vec::new(),
+        };
+        let frame = seal(&payload()).unwrap();
+        let (mut a, mut arx) = pair(11, 2, faults.clone());
+        let (mut b, mut brx) = pair(11, 2, faults);
+        for attempt in 0..50 {
+            let ta = transmit(&mut a, &mut arx, &frame, attempt);
+            let tb = transmit(&mut b, &mut brx, &frame, attempt);
+            assert_eq!(ta, tb, "attempt {attempt}");
+            assert_eq!(a.last_dropped(), b.last_dropped());
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected_by_the_frame_check() {
+        let faults = FaultConfig {
+            corrupt: 1.0,
+            ..FaultConfig::clean()
+        };
+        let (mut ft, mut rx) = pair(3, 1, faults);
+        let frame = seal(&payload()).unwrap();
+        for attempt in 0..30 {
+            for (msg, _) in transmit(&mut ft, &mut rx, &frame, attempt) {
+                assert!(open(&msg).is_err(), "attempt {attempt} slipped through");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_probability_does_not_disturb_other_faults() {
+        let base = FaultConfig {
+            drop: 0.4,
+            delay: 0.3,
+            duplicate: 0.0,
+            corrupt: 0.3,
+            dead: Vec::new(),
+        };
+        let dup = FaultConfig {
+            duplicate: 1.0,
+            ..base.clone()
+        };
+        let frame = seal(&payload()).unwrap();
+        let (mut plain, mut prx) = pair(19, 0, base);
+        let (mut noisy, mut nrx) = pair(19, 0, dup);
+        for attempt in 0..60 {
+            let tp = transmit(&mut plain, &mut prx, &frame, attempt);
+            let tn = transmit(&mut noisy, &mut nrx, &frame, attempt);
+            assert_eq!(
+                plain.last_dropped(),
+                noisy.last_dropped(),
+                "attempt {attempt}"
+            );
+            // Identical primary delivery; duplication only appends.
+            assert_eq!(tp.first(), tn.first(), "attempt {attempt}");
+            if !noisy.last_dropped() {
+                assert_eq!(tn.len(), 2);
+                assert!(tn[1].1.duplicate);
+                assert_eq!(tn[0].0, tn[1].0);
+                assert_eq!(tn[1].1.latency, tn[0].1.latency + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_servers_never_deliver() {
+        let faults = FaultConfig {
+            dead: vec![2],
+            ..FaultConfig::clean()
+        };
+        let frame = seal(&payload()).unwrap();
+        let (mut dead, mut drx) = pair(5, 2, faults.clone());
+        let (mut alive, mut arx) = pair(5, 1, faults);
+        for attempt in 0..10 {
+            assert!(transmit(&mut dead, &mut drx, &frame, attempt).is_empty());
+            assert!(dead.last_dropped());
+            assert_eq!(transmit(&mut alive, &mut arx, &frame, attempt).len(), 1);
+        }
+    }
+
+    #[test]
+    fn delayed_frames_arrive_past_any_deadline() {
+        let faults = FaultConfig {
+            delay: 1.0,
+            ..FaultConfig::clean()
+        };
+        let (mut ft, mut rx) = pair(13, 0, faults);
+        let frame = seal(&payload()).unwrap();
+        let got = transmit(&mut ft, &mut rx, &frame, 0);
+        assert!(got[0].1.latency >= DELAY_TICKS);
+    }
+
+    #[test]
+    fn control_frames_pass_through_unfaulted() {
+        let faults = FaultConfig {
+            drop: 1.0,
+            ..FaultConfig::clean()
+        };
+        let (mut ft, mut rx) = pair(1, 0, faults);
+        let frame = seal(&payload()).unwrap();
+        ft.send_frame(&frame, META_CTL).unwrap();
+        let (msg, meta) = rx.recv_frame().unwrap();
+        assert_eq!(meta, META_CTL);
+        assert_eq!(open(&msg).unwrap(), payload());
+    }
+}

@@ -29,16 +29,21 @@
 //! * [`distributed_min_cut`] — the in-process path: messages are Rust
 //!   values, the wire is perfect, and the bit counts come from sizing
 //!   the messages through [`WireEncode`].
-//! * [`runtime::fault_injected_min_cut`] — the message-passing path:
-//!   every [`ServerMessage`] is serialized to frame bytes, crosses an
-//!   injectable lossy [`link`], and the coordinator copes with
-//!   timeouts, retries, and stragglers. On a clean link it returns the
-//!   in-process answer bit for bit.
+//! * [`runtime::run_min_cut`] — the socket-backed path: every
+//!   [`ServerMessage`] crosses a real connection (TCP, Unix socket,
+//!   or in-process loopback, chosen by [`Topology`]) from the shared
+//!   transport layer ([`dircut_comm::transport`]), with [`faults`]
+//!   injected at the socket boundary by a
+//!   [`FaultyTransport`](faults::FaultyTransport) decorator; the
+//!   coordinator copes with timeouts, retries, and stragglers, and
+//!   its transcripts carry measured socket bytes next to the counted
+//!   wire bits. On a clean link it returns the in-process answer bit
+//!   for bit, on every topology.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod link;
+pub mod faults;
 pub mod reduction;
 pub mod runtime;
 
@@ -53,9 +58,14 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-pub use link::{FaultConfig, FaultyLink};
+pub use faults::{DeliveryTag, FaultConfig, FaultPlan, FaultyTransport};
 pub use reduction::{DistArtifact, DistPath, DistReduction};
-pub use runtime::{fault_injected_min_cut, DistError, RuntimeConfig, RuntimeOutcome};
+#[allow(deprecated)]
+pub use runtime::fault_injected_min_cut;
+pub use runtime::{
+    run_min_cut, DistError, RuntimeConfig, RuntimeConfigBuilder, RuntimeOutcome, ServerTranscript,
+    Topology,
+};
 
 /// Splits a graph's edges uniformly at random across `servers`
 /// subgraphs on the same vertex set.

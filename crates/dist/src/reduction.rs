@@ -11,7 +11,7 @@
 //! so a sweep's `total_wire_bits` column is exactly what the legacy
 //! bespoke loops printed.
 
-use crate::runtime::{fault_injected_min_cut, RuntimeConfig};
+use crate::runtime::{run_min_cut, RuntimeConfig};
 use crate::{
     distributed_min_cut, forall_only_min_cut, linear_fine_min_cut, DistributedMinCut,
     ProtocolConfig,
@@ -80,6 +80,10 @@ pub struct DistArtifact {
     /// Retransmissions burned across all server links (0 on the
     /// in-process paths, which have no link layer).
     pub retries: u64,
+    /// Bytes actually observed crossing the server sockets, length
+    /// prefixes included (0 on the in-process paths, which have no
+    /// sockets) — the measured counterpart of the counted `wire_bits`.
+    pub wire_bytes: u64,
     /// The accuracy actually delivered: the configured ε, widened by
     /// `(s − k)/s` on a degraded run (`NaN` on total loss).
     pub effective_epsilon: f64,
@@ -105,6 +109,7 @@ impl DistReduction<'_> {
             framing_bits: answer.framing_bits as u64,
             candidates: answer.candidates as u64,
             retries: 0,
+            wire_bytes: 0,
             effective_epsilon: self.epsilon(),
         }
     }
@@ -149,7 +154,11 @@ impl Reduction for DistReduction<'_> {
                 *inst,
             )),
             DistPath::FaultInjected(rc) => {
-                match fault_injected_min_cut(self.graph, self.servers, rc, *inst) {
+                // The trial seed becomes the run's master seed; all
+                // other knobs come from the embedded config.
+                let mut rc = rc.clone();
+                rc.seed = *inst;
+                match run_min_cut(self.graph, self.servers, &rc) {
                     Ok(out) => DistArtifact {
                         estimate: out.answer.estimate,
                         wire_bits: out.answer.total_wire_bits as u64,
@@ -161,6 +170,7 @@ impl Reduction for DistReduction<'_> {
                         framing_bits: out.answer.framing_bits as u64,
                         candidates: out.answer.candidates as u64,
                         retries: out.transcripts.iter().map(|t| u64::from(t.retries)).sum(),
+                        wire_bytes: out.wire_bytes(),
                         effective_epsilon: out.effective_epsilon,
                     },
                     // Total loss is an outcome, not a panic: the trial
@@ -176,6 +186,7 @@ impl Reduction for DistReduction<'_> {
                         framing_bits: 0,
                         candidates: 0,
                         retries: 0,
+                        wire_bytes: 0,
                         effective_epsilon: f64::NAN,
                     },
                 }
@@ -204,6 +215,7 @@ impl Reduction for DistReduction<'_> {
             .with_aux("framing_bits", answer.framing_bits as f64)
             .with_aux("candidates", answer.candidates as f64)
             .with_aux("retries", answer.retries as f64)
+            .with_aux("wire_bytes", answer.wire_bytes as f64)
             .with_aux("effective_epsilon", answer.effective_epsilon)
     }
 
@@ -219,7 +231,7 @@ impl Reduction for DistReduction<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::link::FaultConfig;
+    use crate::faults::FaultConfig;
     use dircut_core::reduction::run_reduction_game;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

@@ -1,17 +1,22 @@
-//! The fault-injected distributed runtime: servers on the worker
-//! pool, real serialized frames, an injectable lossy link, and a
-//! coordinator with timeouts, bounded retries, and straggler
-//! degradation.
+//! The socket-backed distributed runtime: one worker thread per
+//! server, real frames over a real [`Transport`], fault injection at
+//! the socket boundary, and a coordinator with real read deadlines,
+//! bounded retries, and straggler degradation.
 //!
-//! [`fault_injected_min_cut`] runs the same protocol as
+//! [`run_min_cut`] runs the same protocol as
 //! [`distributed_min_cut`](crate::distributed_min_cut), but every
-//! [`ServerMessage`] actually crosses a [`FaultyLink`] as sealed
-//! frame bytes (magic + length + CRC-32 around the
-//! [`WireEncode`](dircut_comm::WireEncode) payload). The coordinator
-//! accepts a frame only if it arrives within
-//! [`timeout_ticks`](RuntimeConfig::timeout_ticks), passes the frame
-//! check, and decodes; otherwise it retries, up to
-//! [`max_retries`](RuntimeConfig::max_retries) retransmissions.
+//! [`ServerMessage`] actually crosses a socket (TCP, Unix, or
+//! in-process loopback, per [`RuntimeConfig::topology`]) as a sealed,
+//! length-prefixed frame. Each server's dialogue is a short control
+//! protocol ([`LinkCtl`]): the coordinator polls for an attempt, the
+//! server's [`FaultyTransport`] plays the drawn fate out on the wire
+//! (drops write nothing, so the coordinator's real
+//! [`io_timeout`](RuntimeConfig::io_timeout) deadline fires), and an
+//! attempt-done marker closes each round. A frame is accepted only if
+//! its simulated latency is within
+//! [`timeout_ticks`](RuntimeConfig::timeout_ticks), it passes the
+//! frame check, and it decodes; otherwise the coordinator retries, up
+//! to [`max_retries`](RuntimeConfig::max_retries) retransmissions.
 //!
 //! **Degradation.** If after all retries only `k` of `s` servers
 //! answered (`1 ≤ k < s`), the coordinator still solves: the arrived
@@ -25,43 +30,113 @@
 //!
 //! **Determinism.** Sketch randomness is per-server
 //! (`seed + 1 + id`), link randomness is per `(seed, server,
-//! attempt)`, and the coordinator consumes the master stream exactly
-//! as the in-process path does — so for any fault configuration the
-//! full outcome (answer, transcripts, every bit count) is a pure
-//! function of `(graph, servers, config, seed)` and is bit-identical
-//! across thread counts.
+//! attempt)`, servers are driven sequentially in id order, and the
+//! coordinator consumes the master stream exactly as the in-process
+//! path does — so for any fault configuration the full outcome
+//! (answer, transcripts, every bit count, every *byte* counter) is a
+//! pure function of `(graph, servers, config)` and is bit-identical
+//! across thread counts **and across topologies**: simulated latency
+//! crosses the wire inside each frame's
+//! [`DeliveryTag`](crate::faults::DeliveryTag) meta word, so
+//! wall-clock never leaks into the transcript.
+//!
+//! [`FaultyTransport`]: crate::faults::FaultyTransport
 
-use crate::link::{FaultConfig, FaultyLink, BASE_LATENCY_TICKS, DELAY_TICKS};
+use crate::faults::{
+    DeliveryTag, FaultConfig, FaultyTransport, BASE_LATENCY_TICKS, DELAY_TICKS, META_CTL,
+};
 use crate::{
     coordinate_scaled, partition_edges, server_sketch, DistributedMinCut, ProtocolConfig,
     ServerMessage,
 };
 use dircut_comm::frame::{open, seal};
-use dircut_comm::{from_message, to_message, WireEncode, WireError};
+use dircut_comm::transport::{
+    Accept, Conn, Connection, Endpoint, Listener, LoopbackTransport, SocketTransport, Transport,
+};
+use dircut_comm::{from_message, to_message, BitReader, BitWriter, Message, WireEncode, WireError};
 use dircut_graph::{parallel, stats, DiGraph};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// Configuration of one fault-injected run.
+/// Which wire the runtime's frames cross.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Topology {
+    /// In-process loopback channels: the fastest wire, no OS sockets.
+    #[default]
+    Loopback,
+    /// Localhost TCP sockets (default `127.0.0.1:0`).
+    Tcp,
+    /// Unix-domain sockets under the system temp directory.
+    Unix,
+}
+
+impl Topology {
+    /// Parses `loopback`, `tcp`, or `unix` (for CLI flags).
+    ///
+    /// # Errors
+    /// A plain usage string naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "loopback" => Ok(Self::Loopback),
+            "tcp" => Ok(Self::Tcp),
+            "unix" => Ok(Self::Unix),
+            other => Err(format!(
+                "unknown topology `{other}` (want loopback, tcp, or unix)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Loopback => "loopback",
+            Self::Tcp => "tcp",
+            Self::Unix => "unix",
+        })
+    }
+}
+
+/// Configuration of one socket-backed run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
     /// The protocol parameters (accuracy, enumeration effort).
     pub protocol: ProtocolConfig,
     /// The link fault model.
     pub faults: FaultConfig,
-    /// Deadline in ticks: a frame arriving later is treated as lost.
-    /// Must exceed [`BASE_LATENCY_TICKS`] or even clean links time out.
+    /// Simulated deadline in ticks: a frame whose
+    /// [`DeliveryTag`](crate::faults::DeliveryTag) latency exceeds
+    /// this is treated as lost. Must exceed [`BASE_LATENCY_TICKS`] or
+    /// even clean links time out.
     pub timeout_ticks: u32,
     /// Retransmissions allowed per server after the first attempt.
     pub max_retries: u32,
     /// Worker threads for the sketching fan-out (0 = the pool default,
     /// which honours `DIRCUT_THREADS`).
     pub threads: usize,
+    /// Which wire the frames cross.
+    pub topology: Topology,
+    /// Where the coordinator listens. `None` picks the topology's
+    /// default (loopback id 0, `127.0.0.1:0`, or a fresh temp-dir
+    /// socket path); `Some` overrides the address outright.
+    pub listen: Option<Endpoint>,
+    /// Master seed: drives the partition, every sketch, and every
+    /// link-fault draw.
+    pub seed: u64,
+    /// Real read deadline the coordinator arms while waiting for a
+    /// server's frames. Only dropped (or dead) attempts burn it —
+    /// every other round is concluded by an attempt-done marker.
+    pub io_timeout: Duration,
 }
 
 impl RuntimeConfig {
-    /// Clean-link defaults: timeout 8 ticks, 3 retries.
+    /// Clean-link defaults: timeout 8 ticks, 3 retries, loopback
+    /// topology, seed 0, 400 ms socket deadline.
     #[must_use]
     pub fn new(protocol: ProtocolConfig) -> Self {
         Self {
@@ -70,6 +145,10 @@ impl RuntimeConfig {
             timeout_ticks: 2 * BASE_LATENCY_TICKS,
             max_retries: 3,
             threads: 0,
+            topology: Topology::Loopback,
+            listen: None,
+            seed: 0,
+            io_timeout: Duration::from_millis(400),
         }
     }
 
@@ -81,9 +160,146 @@ impl RuntimeConfig {
             ..Self::new(protocol)
         }
     }
+
+    /// Starts a builder from the clean-link defaults.
+    #[must_use]
+    pub fn builder(protocol: ProtocolConfig) -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder {
+            cfg: Self::new(protocol),
+        }
+    }
 }
 
-/// Why a fault-injected run produced no answer at all.
+/// Builder for a [`RuntimeConfig`]: name the knobs you change, leave
+/// the rest at the clean-link defaults.
+///
+/// ```
+/// use dircut_dist::{FaultPlan, ProtocolConfig, RuntimeConfig, Topology};
+/// let cfg = RuntimeConfig::builder(ProtocolConfig::new(0.2))
+///     .faults(FaultPlan::new().drop(0.1).build())
+///     .retries(5)
+///     .topology(Topology::Tcp)
+///     .seed(42)
+///     .build();
+/// assert_eq!(cfg.max_retries, 5);
+/// assert_eq!(cfg.seed, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Sets the link fault model (a [`FaultConfig`], or a
+    /// [`FaultPlan`](crate::faults::FaultPlan) directly).
+    #[must_use]
+    pub fn faults(mut self, faults: impl Into<FaultConfig>) -> Self {
+        self.cfg.faults = faults.into();
+        self
+    }
+
+    /// Sets the simulated tick deadline.
+    #[must_use]
+    pub fn timeout_ticks(mut self, ticks: u32) -> Self {
+        self.cfg.timeout_ticks = ticks;
+        self
+    }
+
+    /// Sets the retransmission budget per server.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.cfg.max_retries = retries;
+        self
+    }
+
+    /// Sets the sketching worker-thread count (0 = pool default).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Sets the wire the frames cross.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Overrides the coordinator's listen address.
+    #[must_use]
+    pub fn listen(mut self, endpoint: Endpoint) -> Self {
+        self.cfg.listen = Some(endpoint);
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the coordinator's real per-read socket deadline.
+    #[must_use]
+    pub fn io_timeout(mut self, dur: Duration) -> Self {
+        self.cfg.io_timeout = dur;
+        self
+    }
+
+    /// Finishes the configuration.
+    #[must_use]
+    pub fn build(self) -> RuntimeConfig {
+        self.cfg
+    }
+}
+
+/// The control dialogue framing one server's transmit attempts. Sent
+/// with `meta =` [`META_CTL`] so fault injection passes it through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkCtl {
+    /// Coordinator → server: transmit attempt number `attempt`.
+    Poll {
+        /// The attempt to transmit (0 = first try).
+        attempt: u32,
+    },
+    /// Server → coordinator: everything this attempt put on the wire
+    /// has been written. Never sent for dropped attempts — the
+    /// coordinator's real deadline is what detects those.
+    AttemptDone,
+    /// Coordinator → server: dialogue over, hang up.
+    Close,
+}
+
+const CTL_POLL: u64 = 0;
+const CTL_DONE: u64 = 1;
+const CTL_CLOSE: u64 = 2;
+
+impl WireEncode for LinkCtl {
+    fn encode(&self, w: &mut BitWriter) {
+        match self {
+            Self::Poll { attempt } => {
+                w.write_bits(CTL_POLL, 8);
+                w.write_bits(u64::from(*attempt), 32);
+            }
+            Self::AttemptDone => w.write_bits(CTL_DONE, 8),
+            Self::Close => w.write_bits(CTL_CLOSE, 8),
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        match r.try_read_bits(8)? {
+            CTL_POLL => Ok(Self::Poll {
+                attempt: r.try_read_bits(32)? as u32,
+            }),
+            CTL_DONE => Ok(Self::AttemptDone),
+            CTL_CLOSE => Ok(Self::Close),
+            tag => Err(WireError::Invalid(format!("unknown link-ctl tag {tag}"))),
+        }
+    }
+}
+
+/// Why a socket-backed run produced no answer at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DistError {
     /// Every server's frames were lost after all retries; there is
@@ -96,6 +312,9 @@ pub enum DistError {
     /// in practice [`WireError::Oversized`], a payload too big for
     /// the frame header's length field.
     Encode(WireError),
+    /// The coordinator could not bind its listener or accept a
+    /// server's connection.
+    Transport(String),
 }
 
 impl fmt::Display for DistError {
@@ -105,6 +324,7 @@ impl fmt::Display for DistError {
                 write!(f, "all {servers} servers lost after retries")
             }
             Self::Encode(e) => write!(f, "failed to frame a server message: {e}"),
+            Self::Transport(e) => write!(f, "transport setup failed: {e}"),
         }
     }
 }
@@ -126,7 +346,8 @@ pub struct ServerTranscript {
     pub bits_sent: usize,
     /// Bits of the one accepted frame (0 if none was accepted).
     pub bits_acked: usize,
-    /// Attempts dropped by the link.
+    /// Attempts dropped by the link (each burned one real
+    /// [`io_timeout`](RuntimeConfig::io_timeout) at the coordinator).
     pub drops: u32,
     /// Attempts whose frame was bit-corrupted (and CRC-rejected).
     pub corrupted: u32,
@@ -142,6 +363,15 @@ pub struct ServerTranscript {
     pub lat_stale: u32,
     /// Latency of the accepted frame, if one was accepted.
     pub accepted_latency: Option<u32>,
+    /// Bytes the coordinator actually read from this server's socket,
+    /// length prefixes included: delivered data frames, duplicate
+    /// copies, and attempt-done markers. Dropped attempts contribute
+    /// nothing. This is the *measured* counterpart of `bits_sent`'s
+    /// counted bill, and it is identical across topologies.
+    pub wire_bytes: u64,
+    /// Bytes the coordinator wrote to this server's socket (the
+    /// [`LinkCtl`] dialogue: polls plus the final close).
+    pub ctl_bytes: u64,
 }
 
 impl ServerTranscript {
@@ -152,8 +382,8 @@ impl ServerTranscript {
     }
 }
 
-/// The outcome of a fault-injected run: the answer plus everything
-/// the coordinator observed while obtaining it.
+/// The outcome of a socket-backed run: the answer plus everything the
+/// coordinator observed while obtaining it.
 #[derive(Debug, Clone)]
 pub struct RuntimeOutcome {
     /// The min-cut answer, with full bit accounting (including
@@ -172,22 +402,218 @@ pub struct RuntimeOutcome {
     pub transcripts: Vec<ServerTranscript>,
 }
 
-/// Runs the distributed protocol over fault-injected links.
+impl RuntimeOutcome {
+    /// Bytes observed across every server socket (prefixes included) —
+    /// the measured column next to the counted `total_wire_bits`.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        self.transcripts.iter().map(|t| t.wire_bytes).sum()
+    }
+}
+
+/// Distinguishes unix socket files of concurrent runs in one process.
+static SOCKET_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_socket_path() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dircut-dist-{}-{}.sock",
+        std::process::id(),
+        SOCKET_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// How a worker thread reaches the coordinator's listener.
+#[derive(Clone)]
+enum Dialer {
+    Loopback(LoopbackTransport, Endpoint),
+    Socket(Endpoint),
+}
+
+impl Dialer {
+    fn dial(&self) -> std::io::Result<Conn> {
+        match self {
+            Self::Loopback(hub, ep) => hub.connect(ep),
+            Self::Socket(ep) => SocketTransport.connect(ep),
+        }
+    }
+}
+
+/// Binds the coordinator's listener for the configured topology;
+/// returns it with the dialer workers use and any socket file to
+/// remove afterwards.
+fn bind_topology(cfg: &RuntimeConfig) -> Result<(Listener, Dialer, Option<PathBuf>), DistError> {
+    let wrap = |ep: &Endpoint, e: std::io::Error| DistError::Transport(format!("bind {ep}: {e}"));
+    match cfg.topology {
+        Topology::Loopback => {
+            let hub = LoopbackTransport::new();
+            let ep = cfg.listen.clone().unwrap_or(Endpoint::Loopback(0));
+            let listener = hub.listen(&ep).map_err(|e| wrap(&ep, e))?;
+            Ok((listener, Dialer::Loopback(hub, ep), None))
+        }
+        Topology::Tcp => {
+            let ep = cfg
+                .listen
+                .clone()
+                .unwrap_or_else(|| Endpoint::Tcp("127.0.0.1:0".into()));
+            let listener = SocketTransport.listen(&ep).map_err(|e| wrap(&ep, e))?;
+            // Port 0 resolves at bind time; dial what was bound.
+            let bound = listener.local_endpoint().map_err(|e| wrap(&ep, e))?;
+            Ok((listener, Dialer::Socket(bound), None))
+        }
+        Topology::Unix => {
+            let ep = cfg
+                .listen
+                .clone()
+                .unwrap_or_else(|| Endpoint::Unix(temp_socket_path()));
+            let listener = SocketTransport.listen(&ep).map_err(|e| wrap(&ep, e))?;
+            let file = match &ep {
+                Endpoint::Unix(path) => Some(path.clone()),
+                _ => None,
+            };
+            Ok((listener, Dialer::Socket(ep), file))
+        }
+    }
+}
+
+/// One server's side of the dialogue: connect, answer polls through
+/// the fault decorator, hang up on close (or a vanished coordinator).
+fn spawn_worker(
+    dialer: &Dialer,
+    frame: &Message,
+    seed: u64,
+    id: usize,
+    faults: FaultConfig,
+) -> JoinHandle<()> {
+    let dialer = dialer.clone();
+    let frame = frame.clone();
+    std::thread::spawn(move || {
+        let Ok(conn) = dialer.dial() else { return };
+        let mut link = FaultyTransport::new(conn, seed, id, faults);
+        loop {
+            match link.recv_meta::<LinkCtl>() {
+                Ok((LinkCtl::Poll { attempt }, _)) => {
+                    if link.send_frame(&frame, attempt).is_err() {
+                        return;
+                    }
+                    // A dropped attempt writes nothing — not even the
+                    // marker. The coordinator's deadline finds out.
+                    if !link.last_dropped()
+                        && link.send_meta(&LinkCtl::AttemptDone, META_CTL).is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok((LinkCtl::Close | LinkCtl::AttemptDone, _)) | Err(_) => return,
+            }
+        }
+    })
+}
+
+/// The coordinator's side of one server's dialogue: poll, read
+/// deliveries until the marker or the real deadline, retry within the
+/// budget, close. Returns the reconstructed transcript and the
+/// accepted message, if any.
+fn drive_server(
+    mut conn: Conn,
+    id: usize,
+    frame: &Message,
+    cfg: &RuntimeConfig,
+) -> (ServerTranscript, Option<ServerMessage>) {
+    let mut t = ServerTranscript {
+        server_id: id,
+        ..ServerTranscript::default()
+    };
+    let mut accepted: Option<ServerMessage> = None;
+    if conn.set_read_timeout(Some(cfg.io_timeout)).is_err() {
+        return (t, None);
+    }
+    for attempt in 0..=cfg.max_retries {
+        t.attempts += 1;
+        t.retries = t.attempts - 1;
+        t.bits_sent += frame.bit_len();
+        if conn
+            .send_meta(&LinkCtl::Poll { attempt }, META_CTL)
+            .is_err()
+        {
+            t.drops += 1;
+            break;
+        }
+        let mut attempt_corrupted = false;
+        let mut attempt_delayed = false;
+        let mut link_lost = false;
+        loop {
+            match conn.recv_frame() {
+                // The attempt-done marker: everything this attempt
+                // put on the wire has been read.
+                Ok((_, meta)) if meta == META_CTL => break,
+                Ok((delivery, meta)) => {
+                    let tag = DeliveryTag::unpack(meta);
+                    t.duplicates += u32::from(tag.duplicate);
+                    if tag.latency < BASE_LATENCY_TICKS {
+                        t.lat_fast += 1;
+                    } else if tag.latency < DELAY_TICKS {
+                        t.lat_slow += 1;
+                    } else {
+                        t.lat_stale += 1;
+                    }
+                    attempt_delayed |= tag.latency >= DELAY_TICKS;
+                    match open(&delivery) {
+                        Ok(payload) => {
+                            if accepted.is_none() && tag.latency <= cfg.timeout_ticks {
+                                if let Ok(msg) = from_message::<ServerMessage>(&payload) {
+                                    t.bits_acked = frame.bit_len();
+                                    t.accepted_latency = Some(tag.latency);
+                                    accepted = Some(msg);
+                                }
+                            }
+                        }
+                        Err(_) => attempt_corrupted = true,
+                    }
+                }
+                // Nothing arrived before the real deadline: the
+                // attempt was dropped (or the server is dead).
+                Err(e) if e.is_timeout() => {
+                    t.drops += 1;
+                    break;
+                }
+                // The socket died mid-dialogue; no more attempts.
+                Err(_) => {
+                    t.drops += 1;
+                    link_lost = true;
+                    break;
+                }
+            }
+        }
+        t.corrupted += u32::from(attempt_corrupted);
+        t.delayed += u32::from(attempt_delayed);
+        if accepted.is_some() || link_lost {
+            break;
+        }
+    }
+    let _ = conn.send_meta(&LinkCtl::Close, META_CTL);
+    t.wire_bytes = conn.bytes_received();
+    t.ctl_bytes = conn.bytes_sent();
+    (t, accepted)
+}
+
+/// Runs the distributed protocol over the configured socket topology.
 ///
 /// # Errors
 /// [`DistError::AllServersLost`] if no server message survives the
-/// link within the retry budget.
+/// link within the retry budget; [`DistError::Encode`] if a sketch
+/// cannot be framed; [`DistError::Transport`] if the listener cannot
+/// be bound or a server's connection cannot be accepted.
 ///
 /// # Panics
 /// Panics if `servers == 0` or the coarse union yields no candidate
 /// cut (fewer than 2 nodes).
-pub fn fault_injected_min_cut(
+pub fn run_min_cut(
     g: &DiGraph,
     servers: usize,
     cfg: &RuntimeConfig,
-    seed: u64,
 ) -> Result<RuntimeOutcome, DistError> {
     assert!(servers >= 1, "need at least one server");
+    let seed = cfg.seed;
     let mut master = ChaCha8Rng::seed_from_u64(seed);
     let parts = partition_edges(g, servers, &mut master);
     let threads = if cfg.threads == 0 {
@@ -209,65 +635,42 @@ pub fn fault_injected_min_cut(
             seal(&to_message(&msg)).map(|frame| (frame, coarse_bits, fine_bits))
         })
     });
-    let framed: Vec<(dircut_comm::Message, usize, usize)> = framed
+    let framed: Vec<(Message, usize, usize)> = framed
         .into_iter()
         .collect::<Result<_, _>>()
         .map_err(DistError::Encode)?;
 
-    // Deliver every frame through its faulty link, with retries. The
-    // loop is sequential and every draw is seed-derived, so the
+    let (listener, dialer, socket_file) = bind_topology(cfg)?;
+
+    // Deliver every frame over its own connection, one server at a
+    // time in id order: each worker thread spawns at dialogue start,
+    // so there is exactly one pending connect per accept and the
     // delivery schedule is part of the deterministic transcript.
     let mut arrived_msgs: Vec<ServerMessage> = Vec::new();
     let mut transcripts: Vec<ServerTranscript> = Vec::with_capacity(servers);
     let mut coarse_bits = 0usize;
     let mut fine_bits = 0usize;
-    stats::timed_stage("dist/deliver", || {
+    let delivered = stats::timed_stage("dist/deliver", || -> Result<(), DistError> {
         for (id, (frame, cb, fb)) in framed.iter().enumerate() {
             coarse_bits += cb;
             fine_bits += fb;
-            let link = FaultyLink::new(seed, id, cfg.faults.clone());
-            let mut t = ServerTranscript {
-                server_id: id,
-                ..ServerTranscript::default()
-            };
-            let mut accepted: Option<ServerMessage> = None;
-            for attempt in 0..=cfg.max_retries {
-                t.attempts += 1;
-                t.retries = t.attempts - 1;
-                t.bits_sent += frame.bit_len();
-                let tx = link.transmit(frame, attempt);
-                t.drops += u32::from(tx.dropped);
-                t.corrupted += u32::from(tx.corrupted);
-                t.delayed += u32::from(tx.delayed);
-                for d in &tx.deliveries {
-                    t.duplicates += u32::from(d.duplicate);
-                    if d.latency < BASE_LATENCY_TICKS {
-                        t.lat_fast += 1;
-                    } else if d.latency < DELAY_TICKS {
-                        t.lat_slow += 1;
-                    } else {
-                        t.lat_stale += 1;
-                    }
-                    if accepted.is_none() && d.latency <= cfg.timeout_ticks {
-                        if let Ok(payload) = open(&d.frame) {
-                            if let Ok(msg) = from_message::<ServerMessage>(&payload) {
-                                t.bits_acked = frame.bit_len();
-                                t.accepted_latency = Some(d.latency);
-                                accepted = Some(msg);
-                            }
-                        }
-                    }
-                }
-                if accepted.is_some() {
-                    break;
-                }
-            }
+            let worker = spawn_worker(&dialer, frame, seed, id, cfg.faults.clone());
+            let conn = listener
+                .accept()
+                .map_err(|e| DistError::Transport(format!("accept server {id}: {e}")))?;
+            let (t, accepted) = drive_server(conn, id, frame, cfg);
+            let _ = worker.join();
             if let Some(msg) = accepted {
                 arrived_msgs.push(msg);
             }
             transcripts.push(t);
         }
+        Ok(())
     });
+    if let Some(path) = socket_file {
+        let _ = std::fs::remove_file(path);
+    }
+    delivered?;
     record_link_stats(&transcripts);
 
     let arrived = arrived_msgs.len();
@@ -301,6 +704,23 @@ pub fn fault_injected_min_cut(
         effective_epsilon,
         transcripts,
     })
+}
+
+/// Runs the distributed protocol over fault-injected links.
+///
+/// # Errors
+/// As for [`run_min_cut`].
+#[deprecated(note = "build the seed into the config — \
+    `RuntimeConfig::builder(protocol).seed(seed).build()` — and call `run_min_cut`")]
+pub fn fault_injected_min_cut(
+    g: &DiGraph,
+    servers: usize,
+    cfg: &RuntimeConfig,
+    seed: u64,
+) -> Result<RuntimeOutcome, DistError> {
+    let mut cfg = cfg.clone();
+    cfg.seed = seed;
+    run_min_cut(g, servers, &cfg)
 }
 
 /// Surfaces the transcripts through the process-global stage
@@ -345,6 +765,7 @@ fn record_link_stats(transcripts: &[ServerTranscript]) {
 mod tests {
     use super::*;
     use crate::symmetric_graph;
+    use dircut_comm::transport::PREFIX_BYTES;
     use rand::Rng;
 
     fn test_graph(n: usize, seed: u64) -> DiGraph {
@@ -367,11 +788,51 @@ mod tests {
         cfg
     }
 
+    /// Bytes one sealed value occupies on the wire, prefix included.
+    fn unit_bytes<T: WireEncode>(value: &T) -> u64 {
+        let framed = seal(&to_message(value)).unwrap();
+        (PREFIX_BYTES + framed.bit_len().div_ceil(8)) as u64
+    }
+
+    #[test]
+    fn link_ctl_round_trips() {
+        for ctl in [
+            LinkCtl::Poll { attempt: 7 },
+            LinkCtl::AttemptDone,
+            LinkCtl::Close,
+        ] {
+            let msg = to_message(&ctl);
+            assert_eq!(from_message::<LinkCtl>(&msg).unwrap(), ctl);
+        }
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let cfg = RuntimeConfig::builder(small_cfg(0.3))
+            .faults(crate::FaultPlan::new().drop(0.5).build())
+            .timeout_ticks(16)
+            .retries(7)
+            .threads(2)
+            .topology(Topology::Unix)
+            .listen(Endpoint::Loopback(9))
+            .seed(99)
+            .io_timeout(Duration::from_millis(50))
+            .build();
+        assert_eq!(cfg.faults.drop, 0.5);
+        assert_eq!(cfg.timeout_ticks, 16);
+        assert_eq!(cfg.max_retries, 7);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.topology, Topology::Unix);
+        assert_eq!(cfg.listen, Some(Endpoint::Loopback(9)));
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.io_timeout, Duration::from_millis(50));
+    }
+
     #[test]
     fn clean_run_matches_the_in_process_path_bit_for_bit() {
         let g = test_graph(16, 1);
-        let cfg = RuntimeConfig::new(small_cfg(0.3));
-        let out = fault_injected_min_cut(&g, 3, &cfg, 9).expect("clean run");
+        let cfg = RuntimeConfig::builder(small_cfg(0.3)).seed(9).build();
+        let out = run_min_cut(&g, 3, &cfg).expect("clean run");
         let legacy = crate::distributed_min_cut(&g, 3, cfg.protocol, 9);
         assert_eq!(out.answer.estimate.to_bits(), legacy.estimate.to_bits());
         assert_eq!(out.answer.side, legacy.side);
@@ -382,10 +843,10 @@ mod tests {
     }
 
     #[test]
-    fn clean_run_accounts_framing_and_payload_exactly() {
+    fn clean_run_accounts_framing_payload_and_observed_bytes_exactly() {
         let g = test_graph(14, 2);
-        let cfg = RuntimeConfig::new(small_cfg(0.3));
-        let out = fault_injected_min_cut(&g, 3, &cfg, 11).expect("clean run");
+        let cfg = RuntimeConfig::builder(small_cfg(0.3)).seed(11).build();
+        let out = run_min_cut(&g, 3, &cfg).expect("clean run");
         let a = &out.answer;
         assert_eq!(
             a.total_wire_bits,
@@ -394,11 +855,23 @@ mod tests {
         // One frame per server, no retries: framing = s × (header + id).
         let per_server = dircut_comm::frame::FRAME_HEADER_BITS + 32;
         assert_eq!(a.framing_bits, 3 * per_server);
+        let done = unit_bytes(&LinkCtl::AttemptDone);
+        let poll = unit_bytes(&LinkCtl::Poll { attempt: 0 });
+        let close = unit_bytes(&LinkCtl::Close);
         for t in &out.transcripts {
             assert_eq!(t.attempts, 1);
             assert!(t.delivered());
             assert_eq!(t.bits_sent, t.bits_acked);
+            // Observed bytes: the data frame plus the done marker in,
+            // one poll plus the close out.
+            let frame_unit = PREFIX_BYTES as u64 + t.bits_sent.div_ceil(8) as u64;
+            assert_eq!(t.wire_bytes, frame_unit + done);
+            assert_eq!(t.ctl_bytes, poll + close);
         }
+        assert_eq!(
+            out.wire_bytes(),
+            out.transcripts.iter().map(|t| t.wire_bytes).sum::<u64>()
+        );
     }
 
     #[test]
@@ -413,9 +886,12 @@ mod tests {
         };
         let mut outs = Vec::new();
         for threads in [1usize, 4, 8] {
-            let mut cfg = RuntimeConfig::with_faults(small_cfg(0.3), faults.clone());
-            cfg.threads = threads;
-            outs.push(fault_injected_min_cut(&g, 4, &cfg, 17).expect("run"));
+            let cfg = RuntimeConfig::builder(small_cfg(0.3))
+                .faults(faults.clone())
+                .threads(threads)
+                .seed(17)
+                .build();
+            outs.push(run_min_cut(&g, 4, &cfg).expect("run"));
         }
         for o in &outs[1..] {
             assert_eq!(
@@ -429,14 +905,45 @@ mod tests {
     }
 
     #[test]
+    fn outcomes_are_identical_across_topologies() {
+        let g = test_graph(14, 8);
+        let faults = FaultConfig {
+            drop: 0.2,
+            corrupt: 0.2,
+            duplicate: 0.4,
+            delay: 0.1,
+            dead: Vec::new(),
+        };
+        let mut outs = Vec::new();
+        for topology in [Topology::Loopback, Topology::Tcp, Topology::Unix] {
+            let cfg = RuntimeConfig::builder(small_cfg(0.3))
+                .faults(faults.clone())
+                .topology(topology)
+                .seed(29)
+                .build();
+            outs.push(run_min_cut(&g, 3, &cfg).expect("run"));
+        }
+        for o in &outs[1..] {
+            assert_eq!(
+                o.answer.estimate.to_bits(),
+                outs[0].answer.estimate.to_bits()
+            );
+            assert_eq!(o.answer.side, outs[0].answer.side);
+            assert_eq!(o.answer.total_wire_bits, outs[0].answer.total_wire_bits);
+            // Byte counters included: the wire bill does not depend
+            // on which wire carried it.
+            assert_eq!(o.transcripts, outs[0].transcripts);
+        }
+    }
+
+    #[test]
     fn dead_server_triggers_degraded_mode_with_widened_epsilon() {
         let g = test_graph(16, 4);
-        let faults = FaultConfig {
-            dead: vec![1],
-            ..FaultConfig::clean()
-        };
-        let cfg = RuntimeConfig::with_faults(small_cfg(0.25), faults);
-        let out = fault_injected_min_cut(&g, 4, &cfg, 5).expect("degraded run");
+        let cfg = RuntimeConfig::builder(small_cfg(0.25))
+            .faults(crate::FaultPlan::new().kill([1]).build())
+            .seed(5)
+            .build();
+        let out = run_min_cut(&g, 4, &cfg).expect("degraded run");
         assert!(out.degraded);
         assert_eq!(out.arrived, 3);
         assert!((out.effective_epsilon - (0.25 + 0.25)).abs() < 1e-12);
@@ -444,9 +951,11 @@ mod tests {
         assert!(!t.delivered());
         assert_eq!(t.attempts, cfg.max_retries + 1);
         assert_eq!(t.drops, cfg.max_retries + 1);
-        // The lost server's bits still crossed the wire and are still
-        // counted against the protocol.
+        // The lost server's bits are still counted against the
+        // protocol, but nothing of them ever reached the socket.
         assert!(t.bits_sent > 0);
+        assert_eq!(t.wire_bytes, 0);
+        assert!(out.transcripts[0].wire_bytes > unit_bytes(&LinkCtl::AttemptDone));
         // The scaled estimate should still be in the right ballpark of
         // the true min cut (the rescaling is unbiased); keep the band
         // generous — this checks the plumbing, not concentration.
@@ -462,12 +971,11 @@ mod tests {
     #[test]
     fn all_servers_dead_is_an_error_not_a_panic() {
         let g = test_graph(10, 5);
-        let faults = FaultConfig {
-            dead: vec![0, 1],
-            ..FaultConfig::clean()
-        };
-        let cfg = RuntimeConfig::with_faults(small_cfg(0.3), faults);
-        let err = fault_injected_min_cut(&g, 2, &cfg, 3).unwrap_err();
+        let cfg = RuntimeConfig::builder(small_cfg(0.3))
+            .faults(crate::FaultPlan::new().kill([0, 1]).build())
+            .seed(3)
+            .build();
+        let err = run_min_cut(&g, 2, &cfg).unwrap_err();
         assert_eq!(err, DistError::AllServersLost { servers: 2 });
         assert!(err.to_string().contains("all 2 servers"));
     }
@@ -475,19 +983,33 @@ mod tests {
     #[test]
     fn corruption_is_survived_by_retrying() {
         let g = test_graph(12, 6);
-        let faults = FaultConfig {
-            corrupt: 0.3,
-            ..FaultConfig::clean()
-        };
-        let mut cfg = RuntimeConfig::with_faults(small_cfg(0.3), faults);
         // 10 attempts at corrupt=0.3: per-server loss probability
         // 0.3¹⁰ ≈ 6·10⁻⁶ — no seed dependence worth worrying about.
-        cfg.max_retries = 9;
-        let out = fault_injected_min_cut(&g, 3, &cfg, 2).expect("run");
+        let cfg = RuntimeConfig::builder(small_cfg(0.3))
+            .faults(crate::FaultPlan::new().corrupt(0.3).build())
+            .retries(9)
+            .seed(2)
+            .build();
+        let out = run_min_cut(&g, 3, &cfg).expect("run");
         assert!(!out.degraded);
         let retried: u32 = out.transcripts.iter().map(|t| t.retries).sum();
         let corrupted: u32 = out.transcripts.iter().map(|t| t.corrupted).sum();
         assert_eq!(out.answer.framing_bits > 3 * 112, retried > 0);
         assert!(corrupted == retried, "every retry here is a CRC reject");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_the_seeded_config() {
+        let g = test_graph(12, 7);
+        let cfg = RuntimeConfig::new(small_cfg(0.3));
+        let via_shim = fault_injected_min_cut(&g, 3, &cfg, 21).expect("shim run");
+        let seeded = RuntimeConfig::builder(small_cfg(0.3)).seed(21).build();
+        let direct = run_min_cut(&g, 3, &seeded).expect("direct run");
+        assert_eq!(
+            via_shim.answer.estimate.to_bits(),
+            direct.answer.estimate.to_bits()
+        );
+        assert_eq!(via_shim.transcripts, direct.transcripts);
     }
 }

@@ -1,10 +1,18 @@
-//! Property-based tests for the fault-injected runtime: the full
-//! outcome (answer, wire-bit totals, transcripts) is a pure function
-//! of `(graph, servers, config, seed)` — invariant under thread count
-//! and under duplicate-delivery faults.
+//! Property-based tests for the socket-backed runtime: the full
+//! outcome (answer, wire-bit totals, transcripts, observed byte
+//! counters) is a pure function of `(graph, servers, config)` —
+//! invariant under thread count, duplicate-delivery faults, and the
+//! topology that carries the frames; and the transport's byte
+//! counters agree exactly with the counted wire bits plus framing.
 
+use dircut_comm::frame::FRAME_HEADER_BITS;
+use dircut_comm::transport::{Conn, Connection, PREFIX_BYTES};
+use dircut_comm::WireEncode;
 use dircut_dist::runtime::RuntimeConfig;
-use dircut_dist::{fault_injected_min_cut, symmetric_graph, FaultConfig, ProtocolConfig};
+use dircut_dist::{
+    distributed_min_cut, run_min_cut, server_sketch, symmetric_graph, FaultConfig, ProtocolConfig,
+    ServerMessage, Topology,
+};
 use dircut_graph::DiGraph;
 use proptest::prelude::*;
 use rand::Rng;
@@ -48,8 +56,9 @@ fn small_protocol() -> ProtocolConfig {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Answers, wire-bit totals, and whole transcripts are
-    /// bit-identical across worker-pool widths, for any fault mix.
+    /// Answers, wire-bit totals, and whole transcripts (byte counters
+    /// included) are bit-identical across worker-pool widths, for any
+    /// fault mix.
     #[test]
     fn runtime_is_bit_identical_across_thread_counts(
         gseed in 0u64..500,
@@ -59,10 +68,13 @@ proptest! {
         let g = dense_graph(12, gseed);
         let mut outs = Vec::new();
         for threads in [1usize, 4, 8] {
-            let mut cfg = RuntimeConfig::with_faults(small_protocol(), faults.clone());
-            cfg.max_retries = 4;
-            cfg.threads = threads;
-            outs.push(fault_injected_min_cut(&g, 3, &cfg, seed));
+            let cfg = RuntimeConfig::builder(small_protocol())
+                .faults(faults.clone())
+                .retries(4)
+                .threads(threads)
+                .seed(seed)
+                .build();
+            outs.push(run_min_cut(&g, 3, &cfg));
         }
         match (&outs[0], &outs[1], &outs[2]) {
             (Ok(a), Ok(b), Ok(c)) => {
@@ -91,7 +103,8 @@ proptest! {
 
     /// Duplicate-delivery faults are answer-invariant: the link's own
     /// draw feeds the duplicate decision, so cranking the probability
-    /// from 0 to anything changes only the duplicate counters.
+    /// from 0 to anything changes only the duplicate counters (and the
+    /// observed bytes of the extra copies).
     #[test]
     fn duplicates_never_change_the_answer_or_the_bill(
         gseed in 0u64..500,
@@ -103,12 +116,18 @@ proptest! {
         let g = dense_graph(12, gseed);
         let base = FaultConfig { drop, delay: 0.1, duplicate: 0.0, corrupt, dead: Vec::new() };
         let noisy = FaultConfig { duplicate: dup, ..base.clone() };
-        let mut cfg_a = RuntimeConfig::with_faults(small_protocol(), base);
-        cfg_a.max_retries = 4;
-        let mut cfg_b = RuntimeConfig::with_faults(small_protocol(), noisy);
-        cfg_b.max_retries = 4;
-        let a = fault_injected_min_cut(&g, 3, &cfg_a, seed);
-        let b = fault_injected_min_cut(&g, 3, &cfg_b, seed);
+        let cfg_a = RuntimeConfig::builder(small_protocol())
+            .faults(base)
+            .retries(4)
+            .seed(seed)
+            .build();
+        let cfg_b = RuntimeConfig::builder(small_protocol())
+            .faults(noisy)
+            .retries(4)
+            .seed(seed)
+            .build();
+        let a = run_min_cut(&g, 3, &cfg_a);
+        let b = run_min_cut(&g, 3, &cfg_b);
         match (&a, &b) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(
@@ -129,6 +148,9 @@ proptest! {
                     prop_assert_eq!(tb.drops, ta.drops);
                     prop_assert_eq!(tb.corrupted, ta.corrupted);
                     prop_assert_eq!(tb.accepted_latency, ta.accepted_latency);
+                    // Extra copies can only add observed bytes.
+                    prop_assert!(tb.wire_bytes >= ta.wire_bytes);
+                    prop_assert_eq!(tb.ctl_bytes, ta.ctl_bytes);
                 }
             }
             (Err(a), Err(b)) => prop_assert_eq!(b, a),
@@ -136,21 +158,66 @@ proptest! {
         }
     }
 
-    /// Clean-link runs reproduce the in-process coordinator exactly,
-    /// whatever the seed: framing is pure overhead, not answer input.
+    /// The transport's byte counters are exact: for any batch of real
+    /// `ServerMessage`s, the bytes observed at both ends of a
+    /// connection equal the counted wire bits plus framing overhead
+    /// (header + length prefix), rounded to bytes per frame.
     #[test]
-    fn clean_runs_match_the_in_process_path(
+    fn counted_wire_bits_plus_framing_match_observed_bytes(
+        gseed in 0u64..500,
+        seed in 0u64..10_000,
+        batch in 1usize..6,
+    ) {
+        let (mut tx, mut rx) = Conn::loopback_pair();
+        let mut expected = 0u64;
+        for i in 0..batch {
+            let g = dense_graph(10, gseed.wrapping_add(i as u64));
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(i as u64));
+            let msg = server_sketch(i, &g, small_protocol(), &mut rng);
+            let framed_bits = msg.wire_bits() + FRAME_HEADER_BITS;
+            expected += (PREFIX_BYTES + framed_bits.div_ceil(8)) as u64;
+            tx.send(&msg).unwrap();
+            let back = rx.recv::<ServerMessage>().unwrap();
+            prop_assert_eq!(&back, &msg);
+        }
+        prop_assert_eq!(tx.bytes_sent(), expected);
+        prop_assert_eq!(rx.bytes_received(), expected);
+    }
+
+    /// Clean socket runs reproduce the in-process coordinator exactly,
+    /// whatever the seed, thread count, or wire: framing is pure
+    /// overhead, not answer input — and the observed bytes follow the
+    /// clean-run closed form (one data frame + one done marker per
+    /// server).
+    #[test]
+    fn clean_socket_runs_match_the_in_process_path(
         gseed in 0u64..500,
         seed in 0u64..10_000,
     ) {
         let g = dense_graph(12, gseed);
-        let cfg = RuntimeConfig::new(small_protocol());
-        let out = fault_injected_min_cut(&g, 3, &cfg, seed).expect("clean run");
-        let legacy = dircut_dist::distributed_min_cut(&g, 3, cfg.protocol, seed);
-        prop_assert_eq!(out.answer.estimate.to_bits(), legacy.estimate.to_bits());
-        prop_assert_eq!(out.answer.side, legacy.side);
-        prop_assert_eq!(out.answer.coarse_bits, legacy.coarse_bits);
-        prop_assert_eq!(out.answer.fine_bits, legacy.fine_bits);
-        prop_assert!(!out.degraded);
+        for topology in [Topology::Loopback, Topology::Tcp] {
+            for threads in [1usize, 8] {
+                let cfg = RuntimeConfig::builder(small_protocol())
+                    .topology(topology)
+                    .threads(threads)
+                    .seed(seed)
+                    .build();
+                let out = run_min_cut(&g, 3, &cfg).expect("clean run");
+                let legacy = distributed_min_cut(&g, 3, cfg.protocol, seed);
+                prop_assert_eq!(out.answer.estimate.to_bits(), legacy.estimate.to_bits());
+                prop_assert_eq!(&out.answer.side, &legacy.side);
+                prop_assert_eq!(out.answer.coarse_bits, legacy.coarse_bits);
+                prop_assert_eq!(out.answer.fine_bits, legacy.fine_bits);
+                prop_assert!(!out.degraded);
+                for t in &out.transcripts {
+                    // Clean link: the only payload crossing the socket
+                    // is the one data frame (prefix included) plus the
+                    // sealed attempt-done marker (88 bits → 11 bytes).
+                    let frame_unit = (PREFIX_BYTES + t.bits_sent.div_ceil(8)) as u64;
+                    let done_unit = (PREFIX_BYTES + 88usize.div_ceil(8)) as u64;
+                    prop_assert_eq!(t.wire_bytes, frame_unit + done_unit);
+                }
+            }
+        }
     }
 }

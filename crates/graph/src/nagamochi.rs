@@ -121,7 +121,7 @@ mod tests {
         // Each label class is a forest: |F_i| ≤ n − 1 and acyclic.
         for l in 1..=max_label {
             let count = labels.iter().filter(|&&x| x == l).count();
-            assert!(count <= g.num_nodes() - 1, "forest {l} has {count} edges");
+            assert!(count < g.num_nodes(), "forest {l} has {count} edges");
             let mut dsu = Dsu::new(g.num_nodes());
             for ((u, v), &x) in g.edges().zip(labels.iter()) {
                 if x == l {

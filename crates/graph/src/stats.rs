@@ -42,9 +42,9 @@ static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 thread_local! {
     /// Per-thread mirror of [`SOLVES`], read by [`scoped`] to
     /// attribute solves to one closure without racing other threads.
-    static SCOPED_SOLVES: Cell<u64> = Cell::new(0);
+    static SCOPED_SOLVES: Cell<u64> = const { Cell::new(0) };
     /// Per-thread mirror of [`CUT_QUERIES`] for [`scoped`].
-    static SCOPED_CUT_QUERIES: Cell<u64> = Cell::new(0);
+    static SCOPED_CUT_QUERIES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Aggregated per-stage timings.

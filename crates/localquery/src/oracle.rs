@@ -135,6 +135,28 @@ impl<O: GraphOracle> GraphOracle for CountingOracle<O> {
     }
 }
 
+/// Reconstructs the entire unknown graph by exhaustively spending
+/// `n` degree queries plus one neighbor query per edge slot — the
+/// trivial `Θ(m)` upper bound every lower bound is measured against.
+#[must_use]
+pub fn read_entire_graph<O: GraphOracle>(oracle: &O) -> UnGraph {
+    dircut_graph::stats::timed_stage("localquery/read_entire_graph", || {
+        let n = oracle.num_nodes();
+        let mut g = UnGraph::new(n);
+        for u in 0..n {
+            let u_id = NodeId::new(u);
+            let deg = oracle.degree(u_id);
+            for i in 0..deg {
+                let v = oracle
+                    .ith_neighbor(u_id, i)
+                    .expect("degree/neighbor inconsistency");
+                g.add_edge(u_id, v);
+            }
+        }
+        g
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,26 +216,4 @@ mod tests {
         let _ = o.num_nodes();
         assert_eq!(o.counts().total(), 0);
     }
-}
-
-/// Reconstructs the entire unknown graph by exhaustively spending
-/// `n` degree queries plus one neighbor query per edge slot — the
-/// trivial `Θ(m)` upper bound every lower bound is measured against.
-#[must_use]
-pub fn read_entire_graph<O: GraphOracle>(oracle: &O) -> UnGraph {
-    dircut_graph::stats::timed_stage("localquery/read_entire_graph", || {
-        let n = oracle.num_nodes();
-        let mut g = UnGraph::new(n);
-        for u in 0..n {
-            let u_id = NodeId::new(u);
-            let deg = oracle.degree(u_id);
-            for i in 0..deg {
-                let v = oracle
-                    .ith_neighbor(u_id, i)
-                    .expect("degree/neighbor inconsistency");
-                g.add_edge(u_id, v);
-            }
-        }
-        g
-    })
 }

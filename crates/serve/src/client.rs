@@ -1,7 +1,7 @@
 //! Blocking client for the cut-query service.
 
 use crate::protocol::{Request, Response};
-use crate::transport::{Conn, Endpoint, TransportError};
+use dircut_comm::transport::{Conn, Connection, Endpoint, TransportError};
 use dircut_graph::NodeSet;
 use std::fmt;
 

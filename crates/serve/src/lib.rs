@@ -10,8 +10,10 @@
 //!   [`WireEncode`](dircut_comm::WireEncode) + CRC-framed format,
 //!   with hard size caps so no peer-chosen length reaches an
 //!   allocator or a panic.
-//! - [`transport`] — length-prefixed sealed frames over TCP or Unix
-//!   sockets, one code path for both.
+//! - transport — the shared
+//!   [`dircut_comm::transport`] layer: length-prefixed sealed frames
+//!   over TCP, Unix sockets, or in-process loopback, one code path
+//!   for every consumer (this service and the distributed runtime).
 //! - [`scheduler`] — the batching layer: concurrent single-cut
 //!   requests coalesce (≤ `batch_max` at a time) into one
 //!   word-parallel mask-kernel dispatch per snapshot load.
@@ -32,11 +34,10 @@ pub mod loadgen;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
-pub mod transport;
 
 pub use client::{Client, ClientError, CutAnswer, ServedInfo};
+pub use dircut_comm::transport::{Accept, Conn, Connection, Endpoint, Listener, TransportError};
 pub use loadgen::{report_json, run_loadgen, LoadReport, LoadgenConfig};
 pub use protocol::{Request, Response, MAX_FRAME_BITS, MAX_UNIVERSE};
 pub use scheduler::{BatchStats, CutJob, CutReply, Scheduler};
 pub use server::{serve, ServerConfig, ServerHandle};
-pub use transport::{Conn, Endpoint, Listener, TransportError};

@@ -15,7 +15,7 @@
 //! evaluation of the same set.
 
 use crate::client::{Client, ClientError};
-use crate::transport::Endpoint;
+use dircut_comm::transport::Endpoint;
 use dircut_graph::{DiGraph, NodeSet};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,7 +131,7 @@ fn build_pool(n: usize, pool: usize, seed: u64) -> Vec<NodeSet> {
             for w in &mut words {
                 *w = rng.next();
             }
-            if n % 64 != 0 {
+            if !n.is_multiple_of(64) {
                 let last = words.len() - 1;
                 words[last] &= u64::MAX >> (64 - n % 64);
             }
@@ -254,7 +254,7 @@ pub fn run_loadgen(
 }
 
 fn wrap_io(e: std::io::Error) -> ClientError {
-    ClientError::Transport(crate::transport::TransportError::Io(e))
+    ClientError::Transport(dircut_comm::transport::TransportError::Io(e))
 }
 
 /// Nearest-rank percentile over sorted nanosecond latencies, in µs.

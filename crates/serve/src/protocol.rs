@@ -10,17 +10,10 @@
 use dircut_comm::{BitReader, BitWriter, WireEncode, WireError};
 use dircut_graph::NodeSet;
 
-/// Largest node universe a server will accept in a cut request.
-///
-/// A [`NodeSet`] over `n` nodes is `n/64` wire words; this cap keeps a
-/// hostile request from asking the server to allocate gigabytes. It is
-/// far above any graph the toolkit generates.
-pub const MAX_UNIVERSE: usize = 1 << 21;
-
-/// Largest sealed frame (in bits) either side of the protocol will
-/// read from a socket. Sized to fit a [`Request::Cut`] at
-/// [`MAX_UNIVERSE`] with room to spare.
-pub const MAX_FRAME_BITS: usize = 1 << 22;
+// The preallocation caps moved into the shared transport layer (so
+// the distributed runtime inherits the same no-panic-on-hostile-bytes
+// contract); re-exported here to keep the `serve::MAX_*` paths.
+pub use dircut_comm::transport::{MAX_FRAME_BITS, MAX_UNIVERSE};
 
 /// Longest error string a [`Response::Error`] carries (bytes).
 pub const MAX_ERROR_LEN: usize = 1 << 10;

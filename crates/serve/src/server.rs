@@ -16,7 +16,7 @@
 
 use crate::protocol::{Request, Response};
 use crate::scheduler::{BatchStats, CutJob, CutReply, Scheduler};
-use crate::transport::{Conn, Endpoint, Listener, TransportError};
+use dircut_comm::transport::{Accept, Conn, Connection, Endpoint, Listener, TransportError};
 use dircut_graph::snapshot::SnapshotStore;
 use dircut_graph::DiGraph;
 use std::io;
@@ -182,12 +182,15 @@ fn serve_connection(
             Ok(req) => req,
             Err(e) if e.is_timeout() => continue,
             Err(TransportError::Io(_)) => return, // peer went away
-            Err(TransportError::Wire(wire)) => {
-                // A corrupt frame leaves the stream aligned (the
-                // declared bytes were consumed), so report and keep
+            Err(e @ TransportError::Wire(_)) => {
+                // The shared transport convention: a corrupt frame
+                // leaves the stream aligned, so report and keep
                 // serving; an oversized prefix does not, so report
                 // and hang up.
-                let fatal = matches!(wire, dircut_comm::WireError::Oversized { .. });
+                let fatal = e.is_connection_fatal();
+                let TransportError::Wire(wire) = e else {
+                    return;
+                };
                 let _ = conn.send(&Response::Error {
                     message: format!("bad frame: {wire}"),
                 });
