@@ -7,13 +7,16 @@
 //! curves (constant 1). Theorems 1.1/1.2 say no sketch can beat the
 //! curves by more than log factors; the measured sizes should track
 //! them from above.
+//!
+//! The sweep runs on the [`TrialEngine`] (one trial per cell, sketches
+//! drawn through the [`SparsifierSpec`] registry entries) under
+//! `Seeding::Shared` on the legacy seed, so the table is byte-identical
+//! to the retired hand-rolled loop at any `DIRCUT_THREADS`.
+//!
+//! [`SparsifierSpec`]: dircut_sketch::SparsifierSpec
 
-use dircut_bench::{print_header, print_row};
-use dircut_graph::generators::random_balanced_digraph;
-use dircut_sketch::{
-    BalancedForAllSketcher, BalancedForEachSketcher, CutSketch, CutSketcher,
-    DecomposedForEachSketcher, EdgeListSketch,
-};
+use dircut_bench::reductions::{SketchSizeCell, SketchSizeCellReduction};
+use dircut_bench::{print_header, print_row, EngineReport, Seeding, TrialEngine};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -30,30 +33,35 @@ fn main() {
         "2-level bits",
         "LB n√B/e",
     ]);
-    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let mut cells = Vec::new();
     for n in [32usize, 64, 128] {
         for beta in [1.0f64, 4.0] {
             for eps in [0.5f64, 0.25] {
-                let g = random_balanced_digraph(n, 1.0, beta, &mut rng);
-                let exact = EdgeListSketch::from_graph(&g);
-                let fa = BalancedForAllSketcher::new(eps, beta).sketch(&g, &mut rng);
-                let fe = BalancedForEachSketcher::new(eps, beta).sketch(&g, &mut rng);
-                let two_level = DecomposedForEachSketcher::new(eps, beta).sketch(&g, &mut rng);
-                let lb_forall = (n as f64 * beta / (eps * eps)) as usize;
-                let lb_foreach = (n as f64 * beta.sqrt() / eps) as usize;
-                print_row(&[
-                    n.to_string(),
-                    format!("{beta}"),
-                    format!("{eps}"),
-                    exact.size_bits().to_string(),
-                    fa.size_bits().to_string(),
-                    lb_forall.to_string(),
-                    fe.size_bits().to_string(),
-                    two_level.size_bits().to_string(),
-                    lb_foreach.to_string(),
-                ]);
+                cells.push(SketchSizeCell { n, beta, eps });
             }
         }
+    }
+    let rdx = SketchSizeCellReduction {
+        cells: cells.clone(),
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let report =
+        TrialEngine::with_default_threads().run(&rdx, cells.len(), Seeding::Shared(&mut rng));
+    for (cell, rec) in cells.iter().zip(&report.records) {
+        let bits = |name| EngineReport::aux_of(rec, name).expect("cell aux") as usize;
+        let lb_forall = (cell.n as f64 * cell.beta / (cell.eps * cell.eps)) as usize;
+        let lb_foreach = (cell.n as f64 * cell.beta.sqrt() / cell.eps) as usize;
+        print_row(&[
+            cell.n.to_string(),
+            format!("{}", cell.beta),
+            format!("{}", cell.eps),
+            bits("exact_bits").to_string(),
+            bits("forall_bits").to_string(),
+            lb_forall.to_string(),
+            bits("foreach_bits").to_string(),
+            bits("two_level_bits").to_string(),
+            lb_foreach.to_string(),
+        ]);
     }
     println!(
         "\nReading: measured sizes sit above their lower-bound columns and the\n\

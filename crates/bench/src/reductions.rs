@@ -1,15 +1,20 @@
 //! Bench-local [`Reduction`] implementations for experiment axes that
 //! are measurements rather than paper games: the ε-scaling comparison
-//! of the Section 5.4 modification, median-of-k boosting, and the
-//! VERIFY-GUESS acceptance boundary.
+//! of the Section 5.4 modification, median-of-k boosting, the
+//! VERIFY-GUESS acceptance boundary, and the sparsifier-zoo cells that
+//! fan every [`SparsifierSpec`] through the trial engine.
 
 use dircut_core::reduction::{Reduction, Resources, TrialOutcome};
+use dircut_graph::generators::random_balanced_digraph;
 use dircut_graph::{DiGraph, NodeSet};
 use dircut_localquery::{
     global_min_cut_local, verify_guess, GraphOracle, MinCutRunResult, SearchVariant,
     VerifyGuessConfig,
 };
-use dircut_sketch::{CutOracle, CutSketch, CutSketcher};
+use dircut_sketch::{
+    max_relative_cut_error, AnySketch, CutOracle, CutSketch, CutSketcher, EdgeListSketch,
+    Sparsified, Sparsifier, SparsifierSpec,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -191,6 +196,169 @@ impl<O: GraphOracle + Sync> Reduction for VerifyGuessReduction<'_, O> {
     }
 }
 
+/// One sparsifier-zoo cell: draw a sketch of a fixed graph through a
+/// registry [`SparsifierSpec`] and (optionally) measure its exhaustive
+/// `max_relative_cut_error`. Success means the measured error stays
+/// inside the acceptance band ε — the for-all guarantee made a
+/// per-trial observable.
+#[derive(Debug, Clone, Copy)]
+pub struct SparsifierCellReduction<'a> {
+    /// The fixed input graph of this cell.
+    pub graph: &'a DiGraph,
+    /// The registry entry under test.
+    pub spec: SparsifierSpec,
+    /// Acceptance band ε for the measured error.
+    pub band: f64,
+    /// Measure the exhaustive cut error (needs `2 ≤ n ≤ 20`)? Size-only
+    /// sweeps on large graphs turn this off and always succeed.
+    pub measure_error: bool,
+}
+
+impl Reduction for SparsifierCellReduction<'_> {
+    type Instance = AnySketch;
+    type Artifact = AnySketch;
+    type Answer = f64;
+
+    fn name(&self) -> &'static str {
+        "sparsifier-cell"
+    }
+
+    fn sample<R: Rng>(&self, _trial: usize, rng: &mut R) -> Self::Instance {
+        self.spec.construct(self.graph, rng)
+    }
+
+    fn encode(&self, inst: &Self::Instance) -> Self::Artifact {
+        inst.clone()
+    }
+
+    fn decode<R: Rng>(&self, artifact: &Self::Artifact, _rng: &mut R) -> Self::Answer {
+        if self.measure_error {
+            max_relative_cut_error(self.graph, artifact)
+        } else {
+            f64::NAN
+        }
+    }
+
+    fn verify(&self, inst: &Self::Instance, answer: &Self::Answer) -> TrialOutcome {
+        let (success, queries) = if self.measure_error {
+            let n = self.graph.num_nodes();
+            (*answer <= self.band, (1u64 << (n - 1)) - 1)
+        } else {
+            (true, 0)
+        };
+        let mut outcome =
+            TrialOutcome::new(success, queries).with_aux("retained", inst.retained_edges() as f64);
+        if self.measure_error {
+            outcome = outcome.with_aux("err", *answer);
+        }
+        outcome
+    }
+
+    fn resources(&self, artifact: &Self::Artifact) -> Resources {
+        Resources {
+            wire_bits: artifact.wire_bits() as u64,
+            cut_queries: 0,
+            flow_solves: 0,
+        }
+    }
+}
+
+/// One `(n, β, ε)` cell of the E5 sketch-size sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchSizeCell {
+    /// Node count of the dense balanced digraph.
+    pub n: usize,
+    /// Balance factor of the generator.
+    pub beta: f64,
+    /// Target accuracy of the sketches.
+    pub eps: f64,
+}
+
+/// Measured serialized sizes of one E5 cell's four sketches.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchSizeRow {
+    /// Exact edge-list bits.
+    pub exact_bits: usize,
+    /// `balanced-forall` sketch bits.
+    pub forall_bits: usize,
+    /// `balanced-foreach` sketch bits.
+    pub foreach_bits: usize,
+    /// `two-level` sketch bits.
+    pub two_level_bits: usize,
+}
+
+/// The E5 sweep as a reduction: trial `t` is cell `t`, and *all* of a
+/// cell's randomness (the graph and its three sampled sketches, drawn
+/// through the [`SparsifierSpec`] registry entries) is consumed during
+/// sampling. Under `Seeding::Shared` on `seed_from_u64(4)` the engine
+/// replays the retired sequential loop's byte stream exactly, so the
+/// E5 table survives the migration bit for bit at any thread count.
+#[derive(Debug, Clone)]
+pub struct SketchSizeCellReduction {
+    /// The sweep cells in trial order.
+    pub cells: Vec<SketchSizeCell>,
+}
+
+impl Reduction for SketchSizeCellReduction {
+    type Instance = SketchSizeRow;
+    type Artifact = SketchSizeRow;
+    type Answer = ();
+
+    fn name(&self) -> &'static str {
+        "sketch-size-cell"
+    }
+
+    fn sample<R: Rng>(&self, trial: usize, rng: &mut R) -> Self::Instance {
+        let cell = &self.cells[trial];
+        let g = random_balanced_digraph(cell.n, 1.0, cell.beta, rng);
+        let exact = EdgeListSketch::from_graph(&g);
+        let fa = SparsifierSpec::BalancedForAll {
+            epsilon: cell.eps,
+            beta: cell.beta,
+        }
+        .construct(&g, rng);
+        let fe = SparsifierSpec::BalancedForEach {
+            epsilon: cell.eps,
+            beta: cell.beta,
+        }
+        .construct(&g, rng);
+        let two_level = SparsifierSpec::TwoLevel {
+            epsilon: cell.eps,
+            beta: cell.beta,
+        }
+        .construct(&g, rng);
+        SketchSizeRow {
+            exact_bits: exact.size_bits(),
+            forall_bits: fa.size_bits(),
+            foreach_bits: fe.size_bits(),
+            two_level_bits: two_level.size_bits(),
+        }
+    }
+
+    fn encode(&self, inst: &Self::Instance) -> Self::Artifact {
+        *inst
+    }
+
+    fn decode<R: Rng>(&self, _artifact: &Self::Artifact, _rng: &mut R) -> Self::Answer {}
+
+    fn verify(&self, inst: &Self::Instance, _answer: &Self::Answer) -> TrialOutcome {
+        TrialOutcome::new(true, 0)
+            .with_aux("exact_bits", inst.exact_bits as f64)
+            .with_aux("forall_bits", inst.forall_bits as f64)
+            .with_aux("foreach_bits", inst.foreach_bits as f64)
+            .with_aux("two_level_bits", inst.two_level_bits as f64)
+    }
+
+    fn resources(&self, artifact: &Self::Artifact) -> Resources {
+        Resources {
+            wire_bits: (artifact.forall_bits + artifact.foreach_bits + artifact.two_level_bits)
+                as u64,
+            cut_queries: 0,
+            flow_solves: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +427,71 @@ mod tests {
         let high_accepts = engine.run(&high, 5, Seeding::Offset(100)).successes();
         assert!(low_accepts > high_accepts);
         assert!(low_accepts >= 3, "guess below k accepted {low_accepts}/5");
+    }
+
+    #[test]
+    fn sparsifier_cell_measures_zero_error_for_the_exact_spec() {
+        let mut gen = ChaCha8Rng::seed_from_u64(2);
+        let g = random_balanced_digraph(10, 0.7, 2.0, &mut gen);
+        let rdx = SparsifierCellReduction {
+            graph: &g,
+            spec: SparsifierSpec::Exact,
+            band: 0.25,
+            measure_error: true,
+        };
+        let report = TrialEngine::new(2).run(&rdx, 3, Seeding::Substream(5));
+        assert_eq!(report.successes(), 3);
+        assert_eq!(report.aux_max("err"), 0.0);
+        for r in &report.records {
+            assert!(r.wire_bits > 0, "exact sketch must bill its wire bits");
+            assert_eq!(r.cut_queries, (1 << 9) - 1);
+            assert_eq!(
+                crate::record::EngineReport::aux_of(r, "retained"),
+                Some(g.num_edges() as f64)
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_size_cells_replay_the_legacy_sequential_loop() {
+        use dircut_sketch::{BalancedForAllSketcher, BalancedForEachSketcher};
+        let cells = vec![
+            SketchSizeCell {
+                n: 16,
+                beta: 1.0,
+                eps: 0.5,
+            },
+            SketchSizeCell {
+                n: 16,
+                beta: 4.0,
+                eps: 0.25,
+            },
+        ];
+        // Reference: the retired loop's exact draw order on one rng.
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut reference = Vec::new();
+        for cell in &cells {
+            let g = random_balanced_digraph(cell.n, 1.0, cell.beta, &mut rng);
+            let fa = BalancedForAllSketcher::new(cell.eps, cell.beta).sketch(&g, &mut rng);
+            let fe = BalancedForEachSketcher::new(cell.eps, cell.beta).sketch(&g, &mut rng);
+            reference.push((fa.size_bits(), fe.size_bits()));
+            let _ = dircut_sketch::DecomposedForEachSketcher::new(cell.eps, cell.beta)
+                .sketch(&g, &mut rng);
+        }
+        let rdx = SketchSizeCellReduction {
+            cells: cells.clone(),
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let report = TrialEngine::new(2).run(&rdx, cells.len(), Seeding::Shared(&mut rng));
+        for (rec, (fa_bits, fe_bits)) in report.records.iter().zip(&reference) {
+            assert_eq!(
+                crate::record::EngineReport::aux_of(rec, "forall_bits"),
+                Some(*fa_bits as f64)
+            );
+            assert_eq!(
+                crate::record::EngineReport::aux_of(rec, "foreach_bits"),
+                Some(*fe_bits as f64)
+            );
+        }
     }
 }

@@ -7,6 +7,8 @@
 //! dircut mincut [FILE]                # global min cuts (directed + symmetrized)
 //! dircut cut --side 0,1,2 [FILE]      # one directed cut value
 //! dircut sketch --eps 0.25 --beta 4 --model foreach|forall [FILE]
+//! dircut sparsify --name cut-balance [--eps E] [--beta B] [--measure] [FILE]
+//! dircut sparsify --list              # the registry, one name per line
 //! dircut dist --servers 4 --eps 0.25 [--drop P] [--kill LIST] [FILE]
 //! dircut serve --listen unix:/tmp/d.sock [--batch N] [FILE]   # cut-query server
 //! dircut loadgen --connect unix:/tmp/d.sock [--smoke] [--verify] [--shutdown] [FILE]
@@ -37,7 +39,8 @@ use dircut_graph::mincut::{global_min_cut_directed, stoer_wagner};
 use dircut_graph::{DiGraph, NodeSet};
 use dircut_serve::{Endpoint, LoadgenConfig, ServerConfig};
 use dircut_sketch::{
-    BalancedForAllSketcher, BalancedForEachSketcher, CutOracle, CutSketch, CutSketcher,
+    max_relative_cut_error, registry, BalancedForAllSketcher, BalancedForEachSketcher, CutOracle,
+    CutSketch, CutSketcher, Sparsified, Sparsifier, SparsifierSpec,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -137,6 +140,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("mincut") => cmd_mincut(&args[1..]),
         Some("cut") => cmd_cut(&args[1..]),
         Some("sketch") => cmd_sketch(&args[1..]),
+        Some("sparsify") => cmd_sparsify(&args[1..]),
         Some("dist") => cmd_dist(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
@@ -156,6 +160,9 @@ USAGE:
   dircut mincut  [FILE]
   dircut cut --side 0,1,2 [FILE]
   dircut sketch --eps E --beta B [--model foreach|forall] [--side LIST] [FILE]
+  dircut sparsify --name NAME [--eps E] [--beta B] [--seed S]
+              [--side LIST] [--measure] [FILE]
+  dircut sparsify --list
   dircut dist --servers K --eps E [--seed S] [--drop P] [--dup P]
               [--corrupt P] [--delay P] [--timeout T] [--retries R]
               [--kill LIST] [--topology loopback|tcp|unix]
@@ -387,6 +394,66 @@ fn cmd_sketch(args: &[String]) -> Result<(), CliError> {
     if let Some(side) = flags.get("side") {
         let s = parse_side(side, g.num_nodes())?;
         println!("estimate w(S, V∖S) = {:.6}", answer(&s));
+        println!("exact    w(S, V∖S) = {:.6}", g.cut_out(&s));
+    }
+    Ok(())
+}
+
+/// `dircut sparsify`: run one registry [`SparsifierSpec`] over the
+/// input graph and report its billed wire bits and retained edges.
+/// `--list` prints the registry instead; `--measure` adds the
+/// exhaustive `max_relative_cut_error` (small graphs only, since it
+/// enumerates every directed cut).
+fn cmd_sparsify(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags::parse_with_bools(args, &["list", "measure"])?;
+    let eps: f64 = flags.num("eps")?.unwrap_or(0.25);
+    let beta: f64 = flags.num("beta")?.unwrap_or(1.0);
+    if flags.has("list") {
+        for spec in registry(eps, beta) {
+            let kind = match Sparsifier::kind(&spec) {
+                dircut_sketch::SketchKind::ForEach => "foreach",
+                dircut_sketch::SketchKind::ForAll => "forall",
+            };
+            println!("{:<16} {kind}", spec.name());
+        }
+        return Ok(());
+    }
+    let name = flags
+        .get("name")
+        .ok_or_else(|| CliError::Usage("sparsify needs --name (or --list)".into()))?;
+    let spec = SparsifierSpec::by_name(name, eps, beta)
+        .ok_or_else(|| CliError::Usage(format!("unknown sparsifier `{name}` (try --list)")))?;
+    let g = read_graph(&flags)?;
+    let seed: u64 = flags.num("seed")?.unwrap_or(42);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let sk = spec.construct(&g, &mut rng);
+    println!(
+        "sparsifier: {} ({:?})",
+        spec.name(),
+        Sparsifier::kind(&spec)
+    );
+    println!("input: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    println!(
+        "retained edges: {} ({:.1}%)",
+        sk.retained_edges(),
+        100.0 * sk.retained_edges() as f64 / g.num_edges().max(1) as f64
+    );
+    println!("wire bits: {}", sk.wire_bits());
+    if flags.has("measure") {
+        let n = g.num_nodes();
+        if !(2..=20).contains(&n) {
+            return Err(CliError::Usage(
+                "--measure enumerates all cuts and needs 2 ≤ n ≤ 20".into(),
+            ));
+        }
+        println!(
+            "max relative cut error: {:.6}",
+            max_relative_cut_error(&g, &sk)
+        );
+    }
+    if let Some(side) = flags.get("side") {
+        let s = parse_side(side, g.num_nodes())?;
+        println!("estimate w(S, V∖S) = {:.6}", sk.cut_out_estimate(&s));
         println!("exact    w(S, V∖S) = {:.6}", g.cut_out(&s));
     }
     Ok(())
@@ -734,6 +801,24 @@ mod tests {
         assert!(matches!(err, CliError::Usage(_)));
         let err = run(&["repro".to_string()]).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn sparsify_rejects_missing_and_unknown_names_before_reading_input() {
+        let err = run(&["sparsify".to_string()]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let err = run(&[
+            "sparsify".to_string(),
+            "--name".to_string(),
+            "bogus".to_string(),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn sparsify_list_prints_the_registry() {
+        assert!(run(&["sparsify".to_string(), "--list".to_string()]).is_ok());
     }
 
     #[test]

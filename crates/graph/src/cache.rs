@@ -192,6 +192,13 @@ impl<C: Clone> FlowMemo<C> {
         self.map.clear();
     }
 
+    /// Live `(source, sink)` entries — lets callers observe that a
+    /// rebuilt or mutated network really starts cold (the memo is
+    /// dropped, never migrated).
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
     pub(crate) fn get(&self, s: u32, t: u32) -> Option<&FlowEntry<C>> {
         self.map.get(&(s, t))
     }

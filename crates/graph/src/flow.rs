@@ -199,6 +199,26 @@ impl<C: Capacity> FlowNetwork<C> {
         self.n
     }
 
+    /// Number of arc slots: every [`FlowNetwork::add_arc`] or
+    /// [`FlowNetwork::add_undirected`] call contributes an xor-paired
+    /// slot pair, so a network built one edge at a time holds exactly
+    /// `2 · m` slots. Entry points that accept a caller-supplied
+    /// network assert on this to reject networks that went stale
+    /// against a mutated graph.
+    #[must_use]
+    pub fn num_arc_slots(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Live entries in the solve-replay memo. The memo is dropped —
+    /// never migrated — on any mutation (`add_arc`/`add_undirected`
+    /// clear it, and a network rebuilt for a mutated graph starts
+    /// cold), so after any migration this is observably `0`.
+    #[must_use]
+    pub fn warm_len(&self) -> usize {
+        self.warm.len()
+    }
+
     fn adj(&self) -> &FlatAdj {
         self.adj
             .get_or_init(|| FlatAdj::build(self.n, self.arcs.len(), |i| self.arcs[i ^ 1].to))

@@ -105,14 +105,29 @@ impl GomoryHuTree {
     /// instead of recomputing them. The tree is bit-identical to
     /// [`GomoryHuTree::build`] either way.
     ///
+    /// The memo is only sound for the exact graph the network was
+    /// built from: it is dropped (never migrated) on any mutation, so
+    /// a network held across a graph change must be rebuilt. This
+    /// entry point asserts the network still matches `g` structurally
+    /// rather than silently answering for a stale graph.
+    ///
     /// # Panics
-    /// Panics if the graph has fewer than 2 nodes or the network's node
-    /// count differs from the graph's.
+    /// Panics if the graph has fewer than 2 nodes, the network's node
+    /// count differs from the graph's, or its arc-slot count does not
+    /// match `2 · m` — the signature of a network that went stale
+    /// against a mutated graph.
     #[must_use]
     pub fn build_with_network(g: &DiGraph, base: &mut FlowNetwork<f64>, threads: usize) -> Self {
         let n = g.num_nodes();
         assert!(n >= 2, "Gomory–Hu needs ≥ 2 nodes");
         assert_eq!(base.num_nodes(), n, "network/graph node count mismatch");
+        assert_eq!(
+            base.num_arc_slots(),
+            2 * g.num_edges(),
+            "stale flow network: arc slots disagree with the graph's edges — \
+             rebuild the symmetric network after any graph mutation (FlowMemo \
+             is dropped, never migrated)"
+        );
         crate::stats::timed_stage("gomory_hu/build", || {
             let mut parent = vec![0usize; n];
             let mut flow = vec![0.0f64; n];

@@ -189,8 +189,16 @@ pub fn edge_connectivity_threaded(g: &UnGraph, threads: usize) -> Option<(u64, N
 /// solves instead of recomputing. The answer is bit-identical either
 /// way.
 ///
+/// The memo is only sound for the exact graph the network was built
+/// from: it is dropped (never migrated) on any mutation, so a network
+/// held across a graph change must be rebuilt. This entry point
+/// asserts the network still matches `g` structurally rather than
+/// silently answering for a stale graph.
+///
 /// # Panics
-/// Panics if the network's node count differs from the graph's.
+/// Panics if the network's node count differs from the graph's, or if
+/// its arc-slot count does not match `2 · m` — the signature of a
+/// network that went stale against a mutated graph.
 #[must_use]
 pub fn edge_connectivity_with_network(
     g: &UnGraph,
@@ -202,6 +210,13 @@ pub fn edge_connectivity_with_network(
         return None;
     }
     assert_eq!(base.num_nodes(), n, "network/graph node count mismatch");
+    assert_eq!(
+        base.num_arc_slots(),
+        2 * g.num_edges(),
+        "stale flow network: arc slots disagree with the graph's edges — \
+         rebuild the unit network after any graph mutation (FlowMemo is \
+         dropped, never migrated)"
+    );
     Some(crate::stats::timed_stage("edge_connectivity", || {
         let zero = NodeId::new(0);
         let solves: Vec<(u64, NodeSet)> = if threads <= 1 {

@@ -7,6 +7,7 @@
 //! algorithms reason about connectivity on a graph with `O(kn)` edges
 //! instead of `m`.
 
+use crate::digraph::DiGraph;
 use crate::ids::NodeId;
 use crate::ungraph::UnGraph;
 
@@ -100,6 +101,61 @@ pub fn sparse_certificate(g: &UnGraph, k: u32) -> UnGraph {
         }
     }
     out
+}
+
+/// Nagamochi–Ibaraki strength labels for the edges of a *digraph*, in
+/// `g.edges()` order: each directed edge gets the forest index of the
+/// corresponding unordered pair in the unweighted undirected skeleton.
+/// The label `k_e` lower-bounds the skeleton's local edge connectivity
+/// between the endpoints, which makes it a sound (conservative)
+/// sampling score in Benczúr–Karger-style sparsifiers.
+///
+/// Antiparallel edges map to the same unordered pair; when the skeleton
+/// holds parallel copies the pair's label is the copy inserted last,
+/// matching the historical `StrengthSketcher` behaviour bit for bit.
+#[must_use]
+pub fn skeleton_strength_labels(g: &DiGraph) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut skeleton = UnGraph::new(n);
+    for e in g.edges() {
+        skeleton.add_edge(e.from, e.to);
+    }
+    let labels = forest_labels(&skeleton);
+    let mut label_of = std::collections::HashMap::new();
+    for ((u, v), &l) in skeleton.edges().zip(labels.iter()) {
+        label_of.insert((u.0.min(v.0), u.0.max(v.0)), l);
+    }
+    g.edges()
+        .iter()
+        .map(|e| {
+            let key = (e.from.0.min(e.to.0), e.from.0.max(e.to.0));
+            *label_of.get(&key).expect("edge missing from skeleton")
+        })
+        .collect()
+}
+
+/// Directed local-edge-connectivity lower bounds for a `β`-balanced
+/// digraph, in `g.edges()` order.
+///
+/// For every cut `S` of a β-balanced graph the directed value satisfies
+/// `w(S, V∖S) ≥ (w(S, V∖S) + w(V∖S, S)) / (1+β)`, so the symmetrized
+/// local connectivity — itself lower-bounded by the unweighted-skeleton
+/// Nagamochi–Ibaraki label of [`skeleton_strength_labels`] — yields
+/// `λ(u→v) ≥ k_e / (1+β)` for unit-weight-scale graphs. Underestimating
+/// strength only *raises* a strength-driven sampling rate, so the
+/// estimate is always safe to sample with (cf. arXiv 2006.01975, where
+/// the sampling rate for edge `e` is `ρ/λ_e` with `λ_e` the directed
+/// local connectivity).
+///
+/// # Panics
+/// Panics if `beta < 1` (balance factors are ≥ 1 by definition).
+#[must_use]
+pub fn directed_strength_estimates(g: &DiGraph, beta: f64) -> Vec<f64> {
+    assert!(beta >= 1.0, "balance factor must be ≥ 1");
+    skeleton_strength_labels(g)
+        .into_iter()
+        .map(|l| f64::from(l) / (1.0 + beta))
+        .collect()
 }
 
 #[cfg(test)]
@@ -251,5 +307,62 @@ mod tests {
         let cert = sparse_certificate(&g, 1);
         assert!(cert.is_connected());
         assert_eq!(cert.num_edges(), g.num_nodes() - 1);
+    }
+
+    #[test]
+    fn skeleton_labels_match_undirected_forest_labels_on_symmetric_graphs() {
+        use crate::digraph::DiGraph;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let und = connected_gnp(12, 0.4, &mut rng);
+        let mut d = DiGraph::new(12);
+        for (u, v) in und.edges() {
+            d.add_edge(u, v, 1.0);
+        }
+        let from_digraph = skeleton_strength_labels(&d);
+        let direct = forest_labels(&und);
+        assert_eq!(from_digraph, direct);
+    }
+
+    #[test]
+    fn directed_estimates_lower_bound_directed_local_connectivity() {
+        use crate::digraph::DiGraph;
+        use crate::flow::max_flow_digraph;
+        // Symmetric unit graphs are 1-balanced; the estimate k_e/2 must
+        // sit below the true directed max-flow between the endpoints.
+        for seed in 0..4u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let und = connected_gnp(9, 0.5, &mut rng);
+            let mut d = DiGraph::new(9);
+            for (u, v) in und.edges() {
+                d.add_edge(u, v, 1.0);
+                d.add_edge(v, u, 1.0);
+            }
+            let est = directed_strength_estimates(&d, 1.0);
+            for (e, &lam_hat) in d.edges().iter().zip(est.iter()) {
+                let flow = max_flow_digraph(&d, e.from, e.to);
+                assert!(
+                    lam_hat <= flow + 1e-9,
+                    "edge {:?}→{:?}: estimate {lam_hat} exceeds flow {flow}",
+                    e.from,
+                    e.to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn larger_beta_shrinks_the_estimate() {
+        use crate::digraph::DiGraph;
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let und = connected_gnp(8, 0.6, &mut rng);
+        let mut d = DiGraph::new(8);
+        for (u, v) in und.edges() {
+            d.add_edge(u, v, 1.0);
+        }
+        let tight = directed_strength_estimates(&d, 1.0);
+        let loose = directed_strength_estimates(&d, 4.0);
+        for (a, b) in tight.iter().zip(loose.iter()) {
+            assert!(b < a, "β=4 estimate {b} not below β=1 estimate {a}");
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! Regression tests for the `FlowMemo` drop-never-migrate contract.
+//!
+//! The solve-replay memo on a [`FlowNetwork`] records post-solve
+//! residual state keyed by `(source, sink)`. A max-flow value depends
+//! on *global* connectivity — a new arc between vertices disjoint from
+//! both terminals can still open an augmenting path — so, unlike the
+//! `CutMemo`, terminal-disjointness is not a sound retention test and
+//! the memo is **dropped, never migrated** across any mutation. These
+//! tests pin the observable consequences of that contract:
+//!
+//! * a mutation (`add_undirected`) clears the memo in place,
+//! * a network rebuilt after a graph mutation starts cold and still
+//!   produces the reference answers,
+//! * the `*_with_network` entry points reject stale networks loudly
+//!   instead of answering for a graph that no longer exists.
+
+use dircut_graph::cache;
+use dircut_graph::flow::{symmetric_network_from_digraph, unit_network_from_ungraph};
+use dircut_graph::gomory_hu::GomoryHuTree;
+use dircut_graph::mincut::{edge_connectivity, edge_connectivity_with_network};
+use dircut_graph::{DiGraph, NodeId, UnGraph};
+
+/// Two triangles joined by a single bridge — the min cut (1) is the
+/// bridge, and per-pair cuts differ enough that a stale answer would
+/// be visible.
+fn bridged_ungraph() -> UnGraph {
+    let mut g = UnGraph::new(6);
+    for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+        g.add_edge(NodeId::new(u), NodeId::new(v));
+    }
+    g
+}
+
+/// Weighted digraph with asymmetric weights so the symmetrized
+/// Gomory–Hu cuts are all distinct.
+fn weighted_digraph() -> DiGraph {
+    let mut g = DiGraph::new(5);
+    for &(u, v, w) in &[
+        (0, 1, 3.0),
+        (1, 2, 1.0),
+        (2, 0, 2.0),
+        (2, 3, 0.5),
+        (3, 4, 4.0),
+        (4, 2, 1.5),
+    ] {
+        g.add_edge(NodeId::new(u), NodeId::new(v), w);
+    }
+    g
+}
+
+#[test]
+fn mutation_clears_the_warm_memo_in_place() {
+    cache::set_enabled(true);
+    let g = bridged_ungraph();
+    let mut net = unit_network_from_ungraph(&g);
+    assert_eq!(net.warm_len(), 0, "fresh network must start cold");
+
+    let flow = net.max_flow(NodeId::new(0), NodeId::new(5));
+    assert_eq!(flow, 1);
+    assert_eq!(net.warm_len(), 1, "pristine cold solve must memoize");
+
+    // Any mutation drops the memo wholesale — no entry survives, even
+    // ones whose terminals are disjoint from the new arc's endpoints.
+    net.add_undirected(NodeId::new(1), NodeId::new(4), 1);
+    assert_eq!(net.warm_len(), 0, "memo must be dropped on mutation");
+}
+
+#[test]
+fn rebuilt_network_starts_cold_and_matches_reference() {
+    cache::set_enabled(true);
+    let mut g = weighted_digraph();
+    let mut net = symmetric_network_from_digraph(&g);
+    let before = GomoryHuTree::build_with_network(&g, &mut net, 1);
+    assert!(
+        net.warm_len() > 0,
+        "Gomory–Hu on a pristine network must fill the memo"
+    );
+    assert_eq!(
+        before.global_min_cut(),
+        GomoryHuTree::build_reference(&g).global_min_cut()
+    );
+
+    // Mutate the graph: the old network is now stale. The supported
+    // path is a rebuild, and the rebuilt network must be observably
+    // cold — no memo entry migrates across the mutation.
+    g.add_edge(NodeId::new(0), NodeId::new(4), 2.0);
+    let mut rebuilt = symmetric_network_from_digraph(&g);
+    assert_eq!(rebuilt.warm_len(), 0, "rebuilt network must start cold");
+    let after = GomoryHuTree::build_with_network(&g, &mut rebuilt, 1);
+    let reference = GomoryHuTree::build_reference(&g);
+    for u in 0..5usize {
+        for v in (u + 1)..5usize {
+            let (u, v) = (NodeId::new(u), NodeId::new(v));
+            assert_eq!(
+                after.min_cut(u, v).to_bits(),
+                reference.min_cut(u, v).to_bits(),
+                "cold rebuild must reproduce the reference cut for ({u}, {v})"
+            );
+        }
+    }
+}
+
+#[test]
+fn rebuilt_unit_network_matches_edge_connectivity() {
+    cache::set_enabled(true);
+    let mut g = bridged_ungraph();
+    let mut net = unit_network_from_ungraph(&g);
+    let (k, _) = edge_connectivity_with_network(&g, &mut net, 1).unwrap();
+    assert_eq!(k, 1);
+
+    g.add_edge(NodeId::new(0), NodeId::new(5));
+    let mut rebuilt = unit_network_from_ungraph(&g);
+    assert_eq!(rebuilt.warm_len(), 0, "rebuilt network must start cold");
+    let (k2, side) = edge_connectivity_with_network(&g, &mut rebuilt, 1).unwrap();
+    let (k_ref, _) = edge_connectivity(&g).unwrap();
+    assert_eq!(k2, k_ref);
+    assert_eq!(k2, 2, "second bridge raises the connectivity");
+    assert!(!side.is_empty());
+}
+
+#[test]
+#[should_panic(expected = "stale flow network")]
+fn edge_connectivity_rejects_a_stale_network() {
+    let mut g = bridged_ungraph();
+    let mut net = unit_network_from_ungraph(&g);
+    g.add_edge(NodeId::new(0), NodeId::new(4));
+    // The network predates the mutation: reusing it must panic, not
+    // silently answer for the old graph.
+    let _ = edge_connectivity_with_network(&g, &mut net, 1);
+}
+
+#[test]
+#[should_panic(expected = "stale flow network")]
+fn gomory_hu_rejects_a_stale_network() {
+    let mut g = weighted_digraph();
+    let mut net = symmetric_network_from_digraph(&g);
+    g.add_edge(NodeId::new(1), NodeId::new(3), 1.0);
+    let _ = GomoryHuTree::build_with_network(&g, &mut net, 1);
+}

@@ -1,8 +1,11 @@
 //! Property-based tests for the graph substrate: cut identities,
 //! flow/min-cut duality, balance certificates, sparse certificates.
 
-use dircut_graph::balance::{edgewise_balance_bound, exact_balance_factor};
+use dircut_graph::balance::{
+    edgewise_balance_bound, exact_balance_factor, is_eulerian, sampled_balance_lower_bound,
+};
 use dircut_graph::flow::{edge_disjoint_paths, max_flow_digraph, network_from_digraph};
+use dircut_graph::generators::random_eulerian_digraph;
 use dircut_graph::karger::karger_stein_once;
 use dircut_graph::mincut::{min_cut_unweighted, stoer_wagner};
 use dircut_graph::nagamochi::sparse_certificate;
@@ -148,6 +151,46 @@ proptest! {
             let exact = exact_balance_factor(&g);
             prop_assert!(exact <= cert + 1e-9, "exact {exact} > cert {cert}");
         }
+    }
+
+    /// The sampled balance estimate maximises the directed cut ratio
+    /// over a *subset* of the sides the exact enumeration sweeps, so
+    /// it can never exceed the exact balance factor. This is the
+    /// soundness contract the cut-balance sparsifier's ρ oversampling
+    /// rate leans on.
+    #[test]
+    fn sampled_balance_never_exceeds_exact(
+        g in arb_digraph(),
+        trials in 1usize..64,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sampled = sampled_balance_lower_bound(&g, trials, &mut rng);
+        let exact = exact_balance_factor(&g);
+        // Both sides may be INFINITY on non-strongly-connected draws;
+        // `<=` handles that ordering correctly.
+        prop_assert!(
+            sampled <= exact + 1e-9,
+            "sampled {sampled} > exact {exact}"
+        );
+    }
+
+    /// Eulerian graphs are exactly the 1-balanced graphs, and every
+    /// sampled side of an Eulerian graph has cut ratio exactly 1, so
+    /// the estimator and the exact sweep must both answer 1.
+    #[test]
+    fn balance_estimates_agree_on_eulerian_graphs(
+        n in 4usize..10,
+        cycles in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = random_eulerian_digraph(n, cycles, &mut rng);
+        prop_assume!(is_eulerian(&g));
+        let exact = exact_balance_factor(&g);
+        let sampled = sampled_balance_lower_bound(&g, 16, &mut rng);
+        prop_assert!((exact - 1.0).abs() < 1e-9, "Eulerian exact β = {exact}");
+        prop_assert!((sampled - 1.0).abs() < 1e-9, "Eulerian sampled β = {sampled}");
     }
 
     #[test]

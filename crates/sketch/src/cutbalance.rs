@@ -1,0 +1,179 @@
+//! The cut-balance-aware sampler of Cen–Cheng–Panigrahi–Sun,
+//! "Sparsification of Directed Graphs via Cut Balance"
+//! (arXiv 2006.01975), in measured form.
+//!
+//! The paper shows a β-balanced digraph admits a for-all cut
+//! sparsifier with `Õ(n·β/ε²)` edges by sampling edge `e` with
+//! probability `p_e = min(1, ρ/λ_e)` where `λ_e` is the directed local
+//! edge connectivity from `e`'s tail to its head and the rate
+//!
+//! ```text
+//! ρ = c · γ · ln n / ε²,    γ = (1 + β)(3 + log₂ n)
+//! ```
+//!
+//! scales with the balance certificate `β` (obtained here from
+//! `dircut_graph::balance` — [`exact_balance_factor`] on small graphs,
+//! [`edgewise_balance_bound`] as the cheap sound certificate).
+//! Surviving edges are reweighted by `1/p_e`.
+//!
+//! This implementation estimates `λ_e` with the shared
+//! [`directed_strength_estimates`] lower bound (Nagamochi–Ibaraki
+//! skeleton labels scaled by `1/(1+β)`); underestimating `λ_e` only
+//! raises `p_e`, so the guarantee direction is preserved and the
+//! measured `max_relative_cut_error` stays honest. At the graph sizes
+//! the repo sweeps the faithful constants usually drive `p_e` to 1 —
+//! the zoo chart shows exactly where the asymptotic rate starts to
+//! pay, rather than assuming it.
+//!
+//! [`exact_balance_factor`]: dircut_graph::balance::exact_balance_factor
+//! [`edgewise_balance_bound`]: dircut_graph::balance::edgewise_balance_bound
+//! [`directed_strength_estimates`]: dircut_graph::nagamochi::directed_strength_estimates
+
+use crate::edgelist::EdgeListSketch;
+use crate::traits::{CutSketcher, SketchKind};
+use dircut_graph::nagamochi::directed_strength_estimates;
+use dircut_graph::DiGraph;
+use rand::Rng;
+
+/// Cut-balance-scaled strength sampler (arXiv 2006.01975).
+#[derive(Debug, Clone, Copy)]
+pub struct CutBalanceSketcher {
+    /// Target relative error ε.
+    pub epsilon: f64,
+    /// Balance certificate β ≥ 1 for the input graphs.
+    pub beta: f64,
+    /// Oversampling constant `c` in `ρ = c·γ·ln n/ε²`.
+    pub oversample: f64,
+}
+
+impl CutBalanceSketcher {
+    /// Creates a sampler with the default oversampling constant (1).
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1` and `β ≥ 1`.
+    #[must_use]
+    pub fn new(epsilon: f64, beta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "ε must be in (0,1)");
+        assert!(beta >= 1.0, "β must be ≥ 1");
+        Self {
+            epsilon,
+            beta,
+            oversample: 1.0,
+        }
+    }
+
+    /// The β-scaled sampling rate `ρ = c·(1+β)(3+log₂ n)·ln n/ε²`.
+    #[must_use]
+    pub fn sampling_rate(&self, n: usize) -> f64 {
+        let n = (n as f64).max(2.0);
+        let gamma = (1.0 + self.beta) * (3.0 + n.log2());
+        self.oversample * gamma * n.ln() / (self.epsilon * self.epsilon)
+    }
+}
+
+impl CutSketcher for CutBalanceSketcher {
+    type Sketch = EdgeListSketch;
+
+    fn kind(&self) -> SketchKind {
+        SketchKind::ForAll
+    }
+
+    fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> EdgeListSketch {
+        let rho = self.sampling_rate(g.num_nodes());
+        let strengths = directed_strength_estimates(g, self.beta);
+        let mut kept = Vec::new();
+        for (e, &lambda_e) in g.edges().iter().zip(strengths.iter()) {
+            let p = if lambda_e > 0.0 {
+                (rho / lambda_e).min(1.0)
+            } else {
+                1.0
+            };
+            if p >= 1.0 || rng.gen_bool(p) {
+                kept.push((e.from.0, e.to.0, e.weight / p));
+            }
+        }
+        EdgeListSketch::new(g.num_nodes(), kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::max_relative_cut_error;
+    use crate::traits::CutSketch;
+    use dircut_graph::balance::edgewise_balance_bound;
+    use dircut_graph::generators::random_balanced_digraph;
+    use dircut_graph::NodeId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn small_graphs_are_kept_exact_by_the_faithful_rate() {
+        // ρ dominates every strength estimate at n = 12, so the sketch
+        // is the graph itself and the measured error is exactly 0.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = random_balanced_digraph(12, 0.8, 4.0, &mut rng);
+        let sk = CutBalanceSketcher::new(0.25, 4.0).sketch(&g, &mut rng);
+        assert_eq!(sk.num_edges(), g.num_edges());
+        assert_eq!(max_relative_cut_error(&g, &sk), 0.0);
+    }
+
+    #[test]
+    fn forced_subsampling_still_concentrates() {
+        // Dropping the oversampling constant far below the proof's
+        // requirement forces p < 1; the estimate stays unbiased so the
+        // measured error remains moderate on a dense graph.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = random_balanced_digraph(14, 1.0, 1.0, &mut rng);
+        let sketcher = CutBalanceSketcher {
+            epsilon: 0.9,
+            beta: 1.0,
+            oversample: 0.01,
+        };
+        let sk = sketcher.sketch(&g, &mut rng);
+        assert!(
+            sk.num_edges() < g.num_edges(),
+            "kept all {} edges",
+            g.num_edges()
+        );
+        let err = max_relative_cut_error(&g, &sk);
+        assert!(err < 2.0, "max relative error {err}");
+    }
+
+    #[test]
+    fn rate_scales_with_beta() {
+        let a = CutBalanceSketcher::new(0.5, 1.0).sampling_rate(64);
+        let b = CutBalanceSketcher::new(0.5, 4.0).sampling_rate(64);
+        assert!((b / a - 5.0 / 2.0).abs() < 1e-9, "γ must scale by (1+β)");
+    }
+
+    #[test]
+    fn works_with_the_edgewise_balance_certificate() {
+        // The cheap certificate from balance.rs is a sound β for the
+        // sampler: p only grows with β, so exactness is preserved.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random_balanced_digraph(10, 0.9, 2.0, &mut rng);
+        let beta = edgewise_balance_bound(&g).expect("balanced generator pairs edges");
+        assert!(beta >= 1.0);
+        let sk = CutBalanceSketcher::new(0.5, beta).sketch(&g, &mut rng);
+        let err = max_relative_cut_error(&g, &sk);
+        assert!(err <= 0.5, "max relative error {err}");
+    }
+
+    #[test]
+    fn reports_for_all_kind_and_bills_wire_bits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut g = DiGraph::new(4);
+        for u in 0..4 {
+            for v in 0..4 {
+                if u != v {
+                    g.add_edge(NodeId::new(u), NodeId::new(v), 1.0);
+                }
+            }
+        }
+        let sketcher = CutBalanceSketcher::new(0.5, 1.0);
+        assert_eq!(sketcher.kind(), SketchKind::ForAll);
+        let sk = sketcher.sketch(&g, &mut rng);
+        assert!(sk.size_bits() > 0);
+    }
+}

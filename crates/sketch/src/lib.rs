@@ -6,11 +6,18 @@
 //! and **for-all** (Definition 2.2) models.
 //!
 //! * [`traits`] — [`CutOracle`] / [`CutSketch`] / [`CutSketcher`],
+//! * [`sparsifier`] — the unified [`Sparsifier`] pipeline:
+//!   [`SparsifierSpec`] value types, the closed [`AnySketch`] enum and
+//!   the name-keyed [`registry`] every experiment sweeps,
 //! * [`edgelist`] — sparsifier-shaped sketches,
 //! * [`sampling`] — Karger uniform and Benczúr–Karger/NI strength
 //!   sampling (undirected-style for-all),
 //! * [`balanced`] — the β-balanced digraph sketches the paper's lower
 //!   bounds are matched against (Õ(nβ/ε²) for-all, Õ(n√β/ε) for-each),
+//! * [`cutbalance`] — the cut-balance-scaled directed sampler of
+//!   arXiv 2006.01975,
+//! * [`partial`] — partial sparsification (exact below a strength
+//!   threshold) per arXiv 2111.08959,
 //! * [`decomposed`] — the two-level strength-decomposition for-each
 //!   sketch (one recursion level of the real \[ACK+16\] construction),
 //! * [`linear`] — mergeable linear (Rademacher/JL) sketches of the cut
@@ -29,20 +36,26 @@
 pub mod adversarial;
 pub mod balanced;
 pub mod boost;
+pub mod cutbalance;
 pub mod decomposed;
 pub mod edgelist;
 pub mod linear;
+pub mod partial;
 pub mod sampling;
 pub mod serialize;
+pub mod sparsifier;
 pub mod streaming;
 pub mod traits;
 
 pub use adversarial::{BudgetedSketch, NoiseModel, NoisyOracle};
 pub use balanced::{BalancedForAllSketcher, BalancedForEachSketcher, DegreeSampleSketch};
 pub use boost::{BoostedSketch, BoostedSketcher};
+pub use cutbalance::CutBalanceSketcher;
 pub use decomposed::{DecomposedForEachSketcher, DecomposedSketch};
 pub use edgelist::EdgeListSketch;
 pub use linear::{LinearCutSketch, LinearSketcher};
-pub use sampling::{StrengthSketcher, UniformSketcher};
+pub use partial::PartialSparsifier;
+pub use sampling::{max_relative_cut_error, StrengthSketcher, UniformSketcher};
+pub use sparsifier::{registry, AnySketch, Sparsified, Sparsifier, SparsifierSpec};
 pub use streaming::{StreamingSparsifier, TurnstileLinearSketch};
 pub use traits::{CutOracle, CutSketch, CutSketcher, ExactOracle, SketchKind};

@@ -14,8 +14,8 @@
 use crate::edgelist::EdgeListSketch;
 use crate::traits::{CutSketcher, SketchKind};
 use dircut_graph::mincut::stoer_wagner;
-use dircut_graph::nagamochi::forest_labels;
-use dircut_graph::{DiGraph, UnGraph};
+use dircut_graph::nagamochi::skeleton_strength_labels;
+use dircut_graph::DiGraph;
 use rand::Rng;
 
 /// Karger uniform-rate sparsifier.
@@ -111,23 +111,11 @@ impl CutSketcher for StrengthSketcher {
 
     fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> EdgeListSketch {
         let n = g.num_nodes();
-        // Unweighted undirected skeleton for NI labels.
-        let mut skeleton = UnGraph::new(n);
-        for e in g.edges() {
-            skeleton.add_edge(e.from, e.to);
-        }
-        let labels = forest_labels(&skeleton);
-        // Map each skeleton edge (unordered pair) to its label.
-        let mut label_of = std::collections::HashMap::new();
-        for ((u, v), &l) in skeleton.edges().zip(labels.iter()) {
-            label_of.insert((u.0.min(v.0), u.0.max(v.0)), l);
-        }
+        let labels = skeleton_strength_labels(g);
         let c = self.oversample * (n as f64).max(2.0).ln() / (self.epsilon * self.epsilon);
         let mut kept = Vec::new();
-        for e in g.edges() {
-            let key = (e.from.0.min(e.to.0), e.from.0.max(e.to.0));
-            let k_e = f64::from(*label_of.get(&key).expect("edge missing from skeleton"));
-            let p = (c / k_e).min(1.0);
+        for (e, &label) in g.edges().iter().zip(labels.iter()) {
+            let p = (c / f64::from(label)).min(1.0);
             if p >= 1.0 || rng.gen_bool(p) {
                 kept.push((e.from.0, e.to.0, e.weight / p));
             }

@@ -1,0 +1,554 @@
+//! The unified sparsifier pipeline: one trait, one closed sketch
+//! enum, one name-keyed registry.
+//!
+//! Historically every sketcher carried its own size/error plumbing and
+//! the experiments enumerated them by hand. This module makes the
+//! construction step first-class:
+//!
+//! * [`Sparsified`] — what a constructed sketch owes the pipeline on
+//!   top of [`CutSketch`]: a billed [`wire_bits`](Sparsified::wire_bits)
+//!   and a retained-edge count.
+//! * [`Sparsifier`] — construct a [`Sparsified`] sketch from a graph.
+//!   Every [`CutSketcher`] whose sketch is [`Sparsified`] gets the impl
+//!   for free via a blanket delegation, so `construct` is *the same
+//!   call* as `sketch` — pre-existing sketchers are bit-identical
+//!   through the new trait by construction.
+//! * [`SparsifierSpec`] — a `Copy` value type naming a sparsifier with
+//!   its parameters, mirroring `OracleSpec` in `dircut-core`: specs
+//!   travel through reductions, registries, CLIs and JSON rows where a
+//!   generic `S: CutSketcher` cannot. A spec *is* a [`CutSketcher`]
+//!   producing the closed [`AnySketch`] enum, so the Thm 1.1/1.2 game
+//!   reductions run against every registry entry unchanged.
+//! * [`registry`] / [`SparsifierSpec::by_name`] — the zoo: every
+//!   shipped sparsifier at given `(ε, β)`, addressable by stable name.
+
+use crate::balanced::{BalancedForAllSketcher, BalancedForEachSketcher, DegreeSampleSketch};
+use crate::cutbalance::CutBalanceSketcher;
+use crate::decomposed::{DecomposedForEachSketcher, DecomposedSketch};
+use crate::edgelist::EdgeListSketch;
+use crate::linear::{LinearCutSketch, LinearSketcher};
+use crate::partial::PartialSparsifier;
+use crate::sampling::{StrengthSketcher, UniformSketcher};
+use crate::streaming::StreamingSparsifier;
+use crate::traits::{CutOracle, CutSketch, CutSketcher, SketchKind};
+use dircut_graph::{DiGraph, NodeSet};
+use rand::Rng;
+
+/// What a constructed sparsifier owes the pipeline beyond answering
+/// cut queries: honest size accounting.
+pub trait Sparsified: CutSketch {
+    /// The billed wire size in bits — what a one-round protocol ships.
+    /// Defaults to [`CutSketch::size_bits`], which every sketch in this
+    /// crate already equates with its serialized length.
+    fn wire_bits(&self) -> usize {
+        self.size_bits()
+    }
+
+    /// Number of retained (stored) edges. Sketches that store a dense
+    /// transform instead of edges report their stored-entry count.
+    fn retained_edges(&self) -> usize;
+}
+
+impl Sparsified for EdgeListSketch {
+    fn retained_edges(&self) -> usize {
+        self.num_edges()
+    }
+}
+
+impl Sparsified for DegreeSampleSketch {
+    fn retained_edges(&self) -> usize {
+        self.num_sampled_edges()
+    }
+}
+
+impl Sparsified for DecomposedSketch {
+    fn retained_edges(&self) -> usize {
+        self.num_cross_edges() + self.num_sampled_edges()
+    }
+}
+
+impl Sparsified for LinearCutSketch {
+    /// A linear sketch stores no edges; its `k×n` matrix entries are
+    /// the retained quantity.
+    fn retained_edges(&self) -> usize {
+        self.rows() * self.num_nodes()
+    }
+}
+
+/// Constructs a [`Sparsified`] cut sketch from a graph.
+///
+/// This is the pipeline-facing face of [`CutSketcher`]; the blanket
+/// impl below delegates `construct` to `sketch`, so the two entry
+/// points are bit-identical for every existing sketcher.
+pub trait Sparsifier {
+    /// The constructed sketch type.
+    type Output: Sparsified;
+
+    /// Which guarantee the construction targets.
+    fn kind(&self) -> SketchKind;
+
+    /// Builds the sparsifier for `g`, drawing randomness from `rng`.
+    fn construct<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> Self::Output;
+}
+
+impl<S> Sparsifier for S
+where
+    S: CutSketcher,
+    S::Sketch: Sparsified,
+{
+    type Output = S::Sketch;
+
+    fn kind(&self) -> SketchKind {
+        CutSketcher::kind(self)
+    }
+
+    fn construct<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> Self::Output {
+        self.sketch(g, rng)
+    }
+}
+
+/// A closed enum over every sketch shape the registry produces, so
+/// heterogeneous sweeps (and reduction artifacts) stay `Send + Clone`
+/// without boxing.
+#[derive(Debug, Clone)]
+pub enum AnySketch {
+    /// Reweighted edge list (exact, sampling, streaming snapshots).
+    EdgeList(EdgeListSketch),
+    /// Exact out-degrees plus a `1/ε`-rate edge sample.
+    DegreeSample(DegreeSampleSketch),
+    /// Two-level strength decomposition.
+    Decomposed(DecomposedSketch),
+    /// Dense `ΠB` linear sketch.
+    Linear(LinearCutSketch),
+}
+
+impl CutOracle for AnySketch {
+    fn universe(&self) -> usize {
+        match self {
+            Self::EdgeList(sk) => sk.universe(),
+            Self::DegreeSample(sk) => sk.universe(),
+            Self::Decomposed(sk) => sk.universe(),
+            Self::Linear(sk) => sk.universe(),
+        }
+    }
+
+    fn cut_out_estimate(&self, s: &NodeSet) -> f64 {
+        match self {
+            Self::EdgeList(sk) => sk.cut_out_estimate(s),
+            Self::DegreeSample(sk) => sk.cut_out_estimate(s),
+            Self::Decomposed(sk) => sk.cut_out_estimate(s),
+            Self::Linear(sk) => sk.cut_out_estimate(s),
+        }
+    }
+
+    fn cut_out_estimates(&self, sets: &[NodeSet]) -> Vec<f64> {
+        // Delegate so variants with a batched override (the edge-list
+        // kernels) keep their bit-identical fast path.
+        match self {
+            Self::EdgeList(sk) => sk.cut_out_estimates(sets),
+            Self::DegreeSample(sk) => sk.cut_out_estimates(sets),
+            Self::Decomposed(sk) => sk.cut_out_estimates(sets),
+            Self::Linear(sk) => sk.cut_out_estimates(sets),
+        }
+    }
+}
+
+impl CutSketch for AnySketch {
+    fn size_bits(&self) -> usize {
+        match self {
+            Self::EdgeList(sk) => sk.size_bits(),
+            Self::DegreeSample(sk) => sk.size_bits(),
+            Self::Decomposed(sk) => sk.size_bits(),
+            Self::Linear(sk) => sk.size_bits(),
+        }
+    }
+}
+
+impl Sparsified for AnySketch {
+    fn retained_edges(&self) -> usize {
+        match self {
+            Self::EdgeList(sk) => sk.retained_edges(),
+            Self::DegreeSample(sk) => sk.retained_edges(),
+            Self::Decomposed(sk) => sk.retained_edges(),
+            Self::Linear(sk) => sk.retained_edges(),
+        }
+    }
+}
+
+/// Default edge budget for the registry's streaming entry.
+pub const DEFAULT_STREAM_BUDGET: usize = 256;
+
+/// A value-typed sparsifier description — the `OracleSpec` of the
+/// upper-bound side. Constructing through a spec delegates to the
+/// concrete sketcher with the same parameters, drawing the same
+/// randomness in the same order, so spec-built sketches are
+/// bit-identical to direct construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SparsifierSpec {
+    /// The whole graph as an edge list (the baseline every curve is
+    /// normalized against).
+    Exact,
+    /// Karger uniform sampling at the global min-cut rate.
+    Uniform {
+        /// Target relative error ε.
+        epsilon: f64,
+    },
+    /// Benczúr–Karger sampling by Nagamochi–Ibaraki strength labels.
+    Strength {
+        /// Target relative error ε.
+        epsilon: f64,
+    },
+    /// β-balanced for-all sampling at the symmetrized min-cut rate.
+    BalancedForAll {
+        /// Target relative error ε.
+        epsilon: f64,
+        /// Balance bound β.
+        beta: f64,
+    },
+    /// β-balanced for-each degree-plus-sample sketch (`1/ε` rate).
+    BalancedForEach {
+        /// Target relative error ε.
+        epsilon: f64,
+        /// Balance bound β.
+        beta: f64,
+    },
+    /// Two-level strength-decomposition for-each sketch.
+    TwoLevel {
+        /// Target relative error ε.
+        epsilon: f64,
+        /// Balance bound β.
+        beta: f64,
+    },
+    /// Dense Rademacher linear sketch (`⌈8/ε²⌉` rows).
+    Linear {
+        /// Target relative error ε.
+        epsilon: f64,
+    },
+    /// Insert-only streaming sparsifier snapshot (rate-halving store).
+    Streaming {
+        /// Maximum stored edges.
+        budget: usize,
+    },
+    /// Cut-balance-scaled strength sampling (arXiv 2006.01975).
+    CutBalance {
+        /// Target relative error ε.
+        epsilon: f64,
+        /// Balance bound β.
+        beta: f64,
+    },
+    /// Partial sparsification: exact below a strength threshold,
+    /// sampled above (arXiv 2111.08959).
+    Partial {
+        /// Target relative error ε for the sampled part.
+        epsilon: f64,
+    },
+}
+
+impl SparsifierSpec {
+    /// The spec's stable registry name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Exact => "exact",
+            Self::Uniform { .. } => "uniform",
+            Self::Strength { .. } => "strength",
+            Self::BalancedForAll { .. } => "balanced-forall",
+            Self::BalancedForEach { .. } => "balanced-foreach",
+            Self::TwoLevel { .. } => "two-level",
+            Self::Linear { .. } => "linear",
+            Self::Streaming { .. } => "streaming",
+            Self::CutBalance { .. } => "cut-balance",
+            Self::Partial { .. } => "partial",
+        }
+    }
+
+    /// The target relative error, where the construction has one.
+    /// `Exact` and `Streaming` (whose rate is budget-driven) report
+    /// `None`.
+    #[must_use]
+    pub fn epsilon(&self) -> Option<f64> {
+        match *self {
+            Self::Exact | Self::Streaming { .. } => None,
+            Self::Uniform { epsilon }
+            | Self::Strength { epsilon }
+            | Self::BalancedForAll { epsilon, .. }
+            | Self::BalancedForEach { epsilon, .. }
+            | Self::TwoLevel { epsilon, .. }
+            | Self::Linear { epsilon }
+            | Self::CutBalance { epsilon, .. }
+            | Self::Partial { epsilon } => Some(epsilon),
+        }
+    }
+
+    /// Resolves a registry name to a spec at the given parameters.
+    /// Returns `None` for unknown names.
+    #[must_use]
+    pub fn by_name(name: &str, epsilon: f64, beta: f64) -> Option<Self> {
+        registry(epsilon, beta)
+            .into_iter()
+            .find(|spec| spec.name() == name)
+    }
+}
+
+impl CutSketcher for SparsifierSpec {
+    type Sketch = AnySketch;
+
+    fn kind(&self) -> SketchKind {
+        match self {
+            Self::BalancedForEach { .. } | Self::TwoLevel { .. } | Self::Linear { .. } => {
+                SketchKind::ForEach
+            }
+            Self::Exact
+            | Self::Uniform { .. }
+            | Self::Strength { .. }
+            | Self::BalancedForAll { .. }
+            | Self::Streaming { .. }
+            | Self::CutBalance { .. }
+            | Self::Partial { .. } => SketchKind::ForAll,
+        }
+    }
+
+    fn sketch<R: Rng>(&self, g: &DiGraph, rng: &mut R) -> AnySketch {
+        match *self {
+            Self::Exact => AnySketch::EdgeList(EdgeListSketch::from_graph(g)),
+            Self::Uniform { epsilon } => {
+                AnySketch::EdgeList(UniformSketcher::new(epsilon).sketch(g, rng))
+            }
+            Self::Strength { epsilon } => {
+                AnySketch::EdgeList(StrengthSketcher::new(epsilon).sketch(g, rng))
+            }
+            Self::BalancedForAll { epsilon, beta } => {
+                AnySketch::EdgeList(BalancedForAllSketcher::new(epsilon, beta).sketch(g, rng))
+            }
+            Self::BalancedForEach { epsilon, beta } => {
+                AnySketch::DegreeSample(BalancedForEachSketcher::new(epsilon, beta).sketch(g, rng))
+            }
+            Self::TwoLevel { epsilon, beta } => {
+                AnySketch::Decomposed(DecomposedForEachSketcher::new(epsilon, beta).sketch(g, rng))
+            }
+            Self::Linear { epsilon } => {
+                AnySketch::Linear(LinearSketcher::new(epsilon).sketch(g, rng))
+            }
+            Self::Streaming { budget } => {
+                // The stream's internal RNG is seeded from the sample
+                // stream, in draw-seed position — the `OracleSpec`
+                // discipline for constructions that own their RNG.
+                let seed: u64 = rng.gen();
+                let mut stream = StreamingSparsifier::new(g.num_nodes(), budget, seed);
+                for e in g.edges() {
+                    stream.insert(e.from, e.to, e.weight);
+                }
+                AnySketch::EdgeList(stream.snapshot())
+            }
+            Self::CutBalance { epsilon, beta } => {
+                AnySketch::EdgeList(CutBalanceSketcher::new(epsilon, beta).sketch(g, rng))
+            }
+            Self::Partial { epsilon } => {
+                AnySketch::EdgeList(PartialSparsifier::new(epsilon).sketch(g, rng))
+            }
+        }
+    }
+}
+
+/// Every shipped sparsifier at the given `(ε, β)`, in fixed zoo order.
+#[must_use]
+pub fn registry(epsilon: f64, beta: f64) -> Vec<SparsifierSpec> {
+    vec![
+        SparsifierSpec::Exact,
+        SparsifierSpec::Uniform { epsilon },
+        SparsifierSpec::Strength { epsilon },
+        SparsifierSpec::BalancedForAll { epsilon, beta },
+        SparsifierSpec::BalancedForEach { epsilon, beta },
+        SparsifierSpec::TwoLevel { epsilon, beta },
+        SparsifierSpec::Linear { epsilon },
+        SparsifierSpec::Streaming {
+            budget: DEFAULT_STREAM_BUDGET,
+        },
+        SparsifierSpec::CutBalance { epsilon, beta },
+        SparsifierSpec::Partial { epsilon },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircut_graph::generators::random_balanced_digraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn graph(seed: u64) -> DiGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        random_balanced_digraph(12, 0.7, 2.0, &mut rng)
+    }
+
+    fn estimate_bits(sk: &AnySketch, n: usize) -> Vec<u64> {
+        (1u32..(1 << (n - 1)))
+            .step_by(7)
+            .map(|mask| {
+                let s = NodeSet::from_indices(
+                    n,
+                    (0..n - 1).filter(|i| mask >> i & 1 == 1).map(|i| i + 1),
+                );
+                sk.cut_out_estimate(&s).to_bits()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construct_is_bit_identical_to_sketch_for_every_legacy_sketcher() {
+        // The blanket impl must route through the same code path: same
+        // seed ⇒ same sketch bits, billed size, and retained count.
+        let g = graph(0);
+        let sketcher = BalancedForEachSketcher::new(0.3, 2.0);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(7);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(7);
+        let via_sketch = sketcher.sketch(&g, &mut rng_a);
+        let via_construct = Sparsifier::construct(&sketcher, &g, &mut rng_b);
+        assert_eq!(via_sketch, via_construct);
+        assert_eq!(via_sketch.size_bits(), via_construct.wire_bits());
+        assert_eq!(
+            via_sketch.num_sampled_edges(),
+            via_construct.retained_edges()
+        );
+    }
+
+    #[test]
+    fn specs_are_bit_identical_to_their_concrete_sketchers() {
+        let g = graph(1);
+        let n = g.num_nodes();
+        let cases: Vec<(SparsifierSpec, Box<dyn Fn(&mut ChaCha8Rng) -> AnySketch>)> = vec![
+            (
+                SparsifierSpec::Uniform { epsilon: 0.4 },
+                Box::new(|r| AnySketch::EdgeList(UniformSketcher::new(0.4).sketch(&graph(1), r))),
+            ),
+            (
+                SparsifierSpec::Strength { epsilon: 0.4 },
+                Box::new(|r| AnySketch::EdgeList(StrengthSketcher::new(0.4).sketch(&graph(1), r))),
+            ),
+            (
+                SparsifierSpec::BalancedForAll {
+                    epsilon: 0.4,
+                    beta: 2.0,
+                },
+                Box::new(|r| {
+                    AnySketch::EdgeList(BalancedForAllSketcher::new(0.4, 2.0).sketch(&graph(1), r))
+                }),
+            ),
+            (
+                SparsifierSpec::BalancedForEach {
+                    epsilon: 0.4,
+                    beta: 2.0,
+                },
+                Box::new(|r| {
+                    AnySketch::DegreeSample(
+                        BalancedForEachSketcher::new(0.4, 2.0).sketch(&graph(1), r),
+                    )
+                }),
+            ),
+            (
+                SparsifierSpec::TwoLevel {
+                    epsilon: 0.4,
+                    beta: 2.0,
+                },
+                Box::new(|r| {
+                    AnySketch::Decomposed(
+                        DecomposedForEachSketcher::new(0.4, 2.0).sketch(&graph(1), r),
+                    )
+                }),
+            ),
+            (
+                SparsifierSpec::Linear { epsilon: 0.4 },
+                Box::new(|r| AnySketch::Linear(LinearSketcher::new(0.4).sketch(&graph(1), r))),
+            ),
+        ];
+        for (spec, direct) in cases {
+            let mut rng_a = ChaCha8Rng::seed_from_u64(11);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(11);
+            let via_spec = spec.sketch(&g, &mut rng_a);
+            let via_direct = direct(&mut rng_b);
+            assert_eq!(
+                estimate_bits(&via_spec, n),
+                estimate_bits(&via_direct, n),
+                "{}: spec and concrete sketcher disagree",
+                spec.name()
+            );
+            assert_eq!(
+                via_spec.size_bits(),
+                via_direct.size_bits(),
+                "{}",
+                spec.name()
+            );
+            assert_eq!(
+                via_spec.retained_edges(),
+                via_direct.retained_edges(),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_spec_matches_manual_stream_replay() {
+        let g = graph(2);
+        let spec = SparsifierSpec::Streaming { budget: 16 };
+        let mut rng_a = ChaCha8Rng::seed_from_u64(3);
+        let via_spec = spec.sketch(&g, &mut rng_a);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(3);
+        let seed: u64 = rand::Rng::gen(&mut rng_b);
+        let mut stream = StreamingSparsifier::new(g.num_nodes(), 16, seed);
+        for e in g.edges() {
+            stream.insert(e.from, e.to, e.weight);
+        }
+        let manual = AnySketch::EdgeList(stream.snapshot());
+        assert_eq!(
+            estimate_bits(&via_spec, g.num_nodes()),
+            estimate_bits(&manual, g.num_nodes())
+        );
+        assert!(via_spec.retained_edges() <= 16);
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let specs = registry(0.5, 2.0);
+        assert_eq!(specs.len(), 10);
+        let mut names: Vec<&str> = specs.iter().map(SparsifierSpec::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), specs.len(), "duplicate registry names");
+        for spec in &specs {
+            assert_eq!(SparsifierSpec::by_name(spec.name(), 0.5, 2.0), Some(*spec));
+        }
+        assert_eq!(SparsifierSpec::by_name("no-such", 0.5, 2.0), None);
+    }
+
+    #[test]
+    fn kinds_partition_the_registry() {
+        let foreach: Vec<&str> = registry(0.5, 2.0)
+            .iter()
+            .filter(|s| CutSketcher::kind(*s) == SketchKind::ForEach)
+            .map(SparsifierSpec::name)
+            .collect();
+        assert_eq!(foreach, ["balanced-foreach", "two-level", "linear"]);
+    }
+
+    #[test]
+    fn every_registry_entry_constructs_and_bills() {
+        let g = graph(4);
+        for spec in registry(0.5, 2.0) {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let sk = Sparsifier::construct(&spec, &g, &mut rng);
+            assert!(sk.wire_bits() > 0, "{}", spec.name());
+            assert_eq!(sk.universe(), g.num_nodes(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn exact_spec_reproduces_every_cut() {
+        let g = graph(6);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let sk = SparsifierSpec::Exact.sketch(&g, &mut rng);
+        assert_eq!(sk.retained_edges(), g.num_edges());
+        let err = crate::sampling::max_relative_cut_error(&g, &sk);
+        assert_eq!(err, 0.0);
+    }
+}

@@ -186,6 +186,60 @@ mod wire_props {
     }
 }
 
+mod sparsifier_props {
+    use super::*;
+    use dircut_graph::cache;
+    use dircut_sketch::{max_relative_cut_error, registry, Sparsified, Sparsifier};
+
+    /// The registry contract under randomness: the cache toggle must
+    /// be unobservable in the constructed sketch — same billed bits,
+    /// same retained edges, same exhaustive error bits, same batch
+    /// estimates. (Races with sibling tests flipping the process-global
+    /// toggle only exercise the contract harder; the serialized
+    /// deterministic sweeps — including the 1-vs-8-worker one — live in
+    /// `sparsifier_equiv.rs`.)
+    fn fingerprint(
+        spec: &dircut_sketch::SparsifierSpec,
+        g: &DiGraph,
+        seed: u64,
+    ) -> (usize, usize, u64, Vec<u64>) {
+        let n = g.num_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sk = spec.construct(g, &mut rng);
+        let sets: Vec<NodeSet> = (1u64..16).map(|m| subset_of(n, m)).collect();
+        (
+            sk.wire_bits(),
+            sk.retained_edges(),
+            max_relative_cut_error(g, &sk).to_bits(),
+            sk.cut_out_estimates(&sets)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn registry_constructions_are_cache_invariant(
+            g in arb_digraph(),
+            seed in any::<u64>(),
+        ) {
+            for spec in registry(0.4, 2.0) {
+                cache::set_enabled(false);
+                let cold = fingerprint(&spec, &g, seed);
+                cache::set_enabled(true);
+                let warm = fingerprint(&spec, &g, seed);
+                let replay = fingerprint(&spec, &g, seed);
+                prop_assert_eq!(&cold, &warm, "cache on/off: {}", spec.name());
+                prop_assert_eq!(&cold, &replay, "warm replay: {}", spec.name());
+                prop_assert!(cold.0 > 0, "{} bills zero bits", spec.name());
+            }
+        }
+    }
+}
+
 mod streaming_props {
     use super::*;
     use dircut_sketch::streaming::{StreamingSparsifier, TurnstileLinearSketch};
