@@ -11,12 +11,15 @@
 //! with the legacy per-sweep seeds, so the tables are byte-identical
 //! to the retired hand-rolled loops at any `DIRCUT_THREADS`.
 
+use dircut_bench::reductions::{FamilyCutReduction, FamilyGame};
 use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
 use dircut_core::reduction::{
     ForAllGapHammingReduction, ForAllHeadToHeadReduction, ForAllLemma43Reduction, OracleSpec,
 };
 use dircut_core::{ForAllParams, SubsetSearch};
+use dircut_graph::FamilySpec;
 use dircut_sketch::adversarial::NoiseModel;
+use dircut_sketch::{registry, CutSketcher, SketchKind};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -155,6 +158,42 @@ fn main() -> std::process::ExitCode {
                 rep.aux_sum("recall") / recall_samples.max(1) as f64
             ),
         ]);
+    }
+
+    println!("\n--- adversarial families: prefix-deck for-all estimation ---");
+    println!("every for-all registry sketcher must band-bound a nested deck of");
+    println!("prefix cuts on the adversarial instances (eps = 0.3, deck = 6)");
+    print_header(&["family", "n", "beta", "sparsifier", "success", "max err"]);
+    let family_eps = 0.3;
+    let family_trials = 24;
+    for family in FamilySpec::adversarial_zoo() {
+        let beta = family
+            .beta_bound()
+            .expect("adversarial zoo families carry a certificate");
+        for spec in registry(family_eps, beta) {
+            if spec.kind() != SketchKind::ForAll {
+                continue;
+            }
+            let rdx = FamilyCutReduction {
+                family,
+                spec,
+                eps: family_eps,
+                game: FamilyGame::PrefixDeck(6),
+            };
+            let rep = engine.run(&rdx, family_trials, Seeding::Substream(0xfa42));
+            record_section(
+                &format!("E2 family {} {}", family.name(), spec.name()),
+                &rep,
+            );
+            print_row(&[
+                family.name().into(),
+                family.num_nodes().to_string(),
+                format!("{beta}"),
+                spec.name().into(),
+                format!("{:.3}", rep.success_rate()),
+                format!("{:.4}", rep.aux_max("err")),
+            ]);
+        }
     }
 
     let code = dircut_bench::finish_reductions_json("exp_forall");

@@ -12,11 +12,14 @@
 //! with the legacy per-sweep seeds, so the tables are byte-identical
 //! to the retired hand-rolled loops at any `DIRCUT_THREADS`.
 
+use dircut_bench::reductions::{FamilyCutReduction, FamilyGame};
 use dircut_bench::{print_header, print_row, record_section, Seeding, TrialEngine};
 use dircut_core::naive::NaiveParams;
 use dircut_core::reduction::{ForEachIndexReduction, NaiveIndexReduction, OracleSpec};
 use dircut_core::ForEachParams;
+use dircut_graph::FamilySpec;
 use dircut_sketch::adversarial::NoiseModel;
+use dircut_sketch::{registry, CutSketcher, SketchKind};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -140,6 +143,51 @@ fn main() -> std::process::ExitCode {
             format!("{factor}x"),
             format!("{:.3}", rep.success_rate()),
         ]);
+    }
+
+    println!("\n--- adversarial families: known-min-cut for-each estimation ---");
+    println!("every for-each registry sketcher vs the closed-form min cut of");
+    println!("the bit-gadget / scale-free / beta-extreme instances (eps = 0.25)");
+    print_header(&["family", "n", "beta", "sparsifier", "success", "max err"]);
+    let family_eps = 0.25;
+    let family_trials = 24;
+    for family in FamilySpec::adversarial_zoo() {
+        let beta = family
+            .beta_bound()
+            .expect("adversarial zoo families carry a certificate");
+        for spec in registry(family_eps, beta) {
+            if spec.kind() != SketchKind::ForEach {
+                continue;
+            }
+            // The for-each observable is one designated cut: the
+            // closed-form min-cut side where the family has one, a
+            // single prefix cut otherwise (scale-free has no closed
+            // form).
+            let game = if family.known_min_cut_side().is_some() {
+                FamilyGame::KnownMinCut
+            } else {
+                FamilyGame::PrefixDeck(1)
+            };
+            let rdx = FamilyCutReduction {
+                family,
+                spec,
+                eps: family_eps,
+                game,
+            };
+            let rep = engine.run(&rdx, family_trials, Seeding::Substream(0xfa41));
+            record_section(
+                &format!("E1 family {} {}", family.name(), spec.name()),
+                &rep,
+            );
+            print_row(&[
+                family.name().into(),
+                family.num_nodes().to_string(),
+                format!("{beta}"),
+                spec.name().into(),
+                format!("{:.3}", rep.success_rate()),
+                format!("{:.4}", rep.aux_max("err")),
+            ]);
+        }
     }
 
     let code = dircut_bench::finish_reductions_json("exp_foreach");

@@ -29,8 +29,9 @@ use dircut_bench::reductions::SparsifierCellReduction;
 use dircut_bench::{print_header, print_row, EngineReport, Seeding, TrialEngine};
 use dircut_core::reduction::{ForAllSketchReduction, ForEachSketchReduction};
 use dircut_core::{ForAllParams, ForEachParams, SubsetSearch};
+use dircut_graph::families::clustered_graph;
 use dircut_graph::generators::{random_balanced_digraph, random_eulerian_digraph};
-use dircut_graph::{DiGraph, NodeId};
+use dircut_graph::{DiGraph, FamilySpec};
 use dircut_sketch::{registry, CutSketcher, SketchKind};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -67,30 +68,6 @@ fn kind_str(kind: SketchKind) -> &'static str {
         SketchKind::ForEach => "foreach",
         SketchKind::ForAll => "forall",
     }
-}
-
-/// Two dense 7-node blocks with a thin 2-balanced bridge — the family
-/// where strength-aware samplers shine (intra-block edges are strong,
-/// the bridge is not).
-fn clustered_graph(n: usize) -> DiGraph {
-    assert!(n >= 4 && n % 2 == 0);
-    let half = n / 2;
-    let mut g = DiGraph::new(n);
-    for block in [0..half, half..n] {
-        for u in block.clone() {
-            for v in block.clone() {
-                if u < v {
-                    g.add_edge(NodeId::new(u), NodeId::new(v), 1.0);
-                    g.add_edge(NodeId::new(v), NodeId::new(u), 0.5);
-                }
-            }
-        }
-    }
-    for (u, v) in [(0, half), (half / 2, half + half / 2)] {
-        g.add_edge(NodeId::new(u), NodeId::new(v), 1.0);
-        g.add_edge(NodeId::new(v), NodeId::new(u), 0.5);
-    }
-    g
 }
 
 /// The paper's reference curves at constant 1, in bits.
@@ -162,6 +139,24 @@ fn main() -> ExitCode {
         ),
         ("clustered", clustered_graph(SMALL_N), 2.0),
     ];
+    // Adversarial axis: the lower-bound witness families, at the same
+    // exhaustive-enumeration scale (n ≤ 14). Each carries its exact
+    // certificate as the sweep's β.
+    let families: Vec<(&'static str, DiGraph, f64)> = families
+        .into_iter()
+        .chain(
+            FamilySpec::adversarial_zoo()
+                .into_iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let beta = spec
+                        .beta_bound()
+                        .expect("adversarial zoo families carry a certificate");
+                    let g = spec.generate(&mut ChaCha8Rng::seed_from_u64(42 + i as u64));
+                    (spec.name(), g, beta)
+                }),
+        )
+        .collect();
     for (family_idx, (family, g, beta)) in families.iter().enumerate() {
         println!(
             "\nfamily: {family} (n = {}, m = {}, beta = {beta})",

@@ -1,0 +1,37 @@
+//! Soak harness entry point. See [`dircut_bench::soak`] for the
+//! workload and the invariants it asserts.
+//!
+//! ```text
+//! soak [--smoke] [--seconds N] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs a fixed round count (deterministic digest, for CI
+//! back-to-back diffing); otherwise the workload loops until the
+//! `--seconds` budget (default 60) is spent. Exit is nonzero iff any
+//! invariant was violated.
+
+use dircut_bench::soak::{soak_main, SoakConfig};
+use std::process::ExitCode;
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SoakConfig::default();
+    cfg.smoke = args.iter().any(|a| a == "--smoke");
+    if let Some(s) = parse_flag(&args, "--seconds") {
+        cfg.seconds = s;
+    }
+    if let Some(s) = parse_flag(&args, "--seed") {
+        cfg.seed = s;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        cfg.out = args.get(i + 1).cloned();
+    }
+    soak_main(&cfg)
+}

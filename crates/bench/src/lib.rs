@@ -9,7 +9,10 @@
 //! * [`report`] — byte-stable stdout tables, the stderr stage report,
 //!   and the unified `BENCH_reductions.json` emitter,
 //! * [`reductions`] — bench-local reductions for measurement axes that
-//!   are not paper games (ε-scaling, boosting, VERIFY-GUESS boundary).
+//!   are not paper games (ε-scaling, boosting, VERIFY-GUESS boundary),
+//! * [`soak`] — the long-running mutation/query/rebuild interleave
+//!   that continuously asserts billing, cache-coherence, and
+//!   determinism invariants over the adversarial family roster.
 
 #![forbid(unsafe_code)]
 
@@ -17,8 +20,10 @@ pub mod harness;
 pub mod record;
 pub mod reductions;
 pub mod report;
+pub mod soak;
 
 pub use harness::{Seeding, TrialEngine};
+pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use record::{wilson95, EngineReport, TrialRecord};
 pub use report::{
     finish_reductions_json, maybe_print_stage_report, print_header, print_row, record_section,

@@ -6,7 +6,7 @@
 
 use dircut_core::reduction::{Reduction, Resources, TrialOutcome};
 use dircut_graph::generators::random_balanced_digraph;
-use dircut_graph::{DiGraph, NodeSet};
+use dircut_graph::{DiGraph, FamilySpec, NodeSet};
 use dircut_localquery::{
     global_min_cut_local, verify_guess, GraphOracle, MinCutRunResult, SearchVariant,
     VerifyGuessConfig,
@@ -252,6 +252,112 @@ impl Reduction for SparsifierCellReduction<'_> {
             outcome = outcome.with_aux("err", *answer);
         }
         outcome
+    }
+
+    fn resources(&self, artifact: &Self::Artifact) -> Resources {
+        Resources {
+            wire_bits: artifact.wire_bits() as u64,
+            cut_queries: 0,
+            flow_solves: 0,
+        }
+    }
+}
+
+/// How a family-axis trial scores its sketch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FamilyGame {
+    /// Estimate the family's closed-form min-cut side — the for-each
+    /// observable: one designated (and adversarially small) cut.
+    KnownMinCut,
+    /// Estimate a deck of `k` nested prefix sets and require *every*
+    /// answer inside the band — the for-all observable on a bounded
+    /// deck (exhaustive enumeration stays in the zoo bin).
+    PrefixDeck(usize),
+}
+
+/// One adversarial-family cell: generate a [`FamilySpec`] instance,
+/// sketch it through a registry [`SparsifierSpec`], and score the
+/// sketch against ground truth per the chosen [`FamilyGame`]. This is
+/// the axis that runs the paper's lower-bound witnesses (bit gadget,
+/// β-extreme bipartite, scale-free) through the same engine as the
+/// friendly families.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyCutReduction {
+    /// The graph family under test.
+    pub family: FamilySpec,
+    /// The registry sketcher.
+    pub spec: SparsifierSpec,
+    /// Acceptance band ε.
+    pub eps: f64,
+    /// The scoring game.
+    pub game: FamilyGame,
+}
+
+impl FamilyCutReduction {
+    /// The query deck of this cell on an `n`-node instance.
+    fn deck(&self, n: usize) -> Vec<NodeSet> {
+        match self.game {
+            FamilyGame::KnownMinCut => {
+                let side = self
+                    .family
+                    .known_min_cut_side()
+                    .expect("KnownMinCut needs a family with a closed-form side");
+                vec![side]
+            }
+            FamilyGame::PrefixDeck(k) => (1..=k)
+                .map(|i| {
+                    // Nested prefixes, clamped to proper cuts.
+                    let take = (i * n / (k + 1)).clamp(1, n - 1);
+                    NodeSet::from_indices(n, 0..take)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Reduction for FamilyCutReduction {
+    type Instance = (DiGraph, AnySketch);
+    type Artifact = AnySketch;
+    type Answer = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "family-cut"
+    }
+
+    fn sample<R: Rng>(&self, _trial: usize, rng: &mut R) -> Self::Instance {
+        let g = self.family.generate(rng);
+        let sketch = self.spec.construct(&g, rng);
+        (g, sketch)
+    }
+
+    fn encode(&self, inst: &Self::Instance) -> Self::Artifact {
+        inst.1.clone()
+    }
+
+    fn decode<R: Rng>(&self, artifact: &Self::Artifact, _rng: &mut R) -> Self::Answer {
+        let n = artifact.universe();
+        self.deck(n)
+            .iter()
+            .map(|s| artifact.cut_out_estimate(s))
+            .collect()
+    }
+
+    fn verify(&self, inst: &Self::Instance, answer: &Self::Answer) -> TrialOutcome {
+        let (g, sketch) = inst;
+        let deck = self.deck(g.num_nodes());
+        let mut worst = 0.0f64;
+        for (set, est) in deck.iter().zip(answer) {
+            let truth = g.cut_out(set);
+            let err = if truth > 0.0 {
+                (est - truth).abs() / truth
+            } else {
+                est.abs()
+            };
+            worst = worst.max(err);
+        }
+        TrialOutcome::new(worst <= self.eps, deck.len() as u64)
+            .with_aux("err", worst)
+            .with_aux("retained", sketch.retained_edges() as f64)
     }
 
     fn resources(&self, artifact: &Self::Artifact) -> Resources {

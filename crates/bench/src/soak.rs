@@ -1,0 +1,493 @@
+//! Long-running soak harness: every mutation/query/rebuild path the
+//! workspace ships, interleaved over the adversarial family roster,
+//! with the workspace's cross-cutting invariants asserted continuously.
+//!
+//! One soak *round* visits one [`FamilySpec`] from
+//! [`FamilySpec::soak_roster`] and runs, in order:
+//!
+//! 1. an edge-mutation batch (advances the graph's mutation epoch, so
+//!    the delta-epoch cut cache must retire or revalidate entries);
+//! 2. a batch of random proper cut queries answered with the cache
+//!    enabled, then again with the cache disabled — the two answer
+//!    vectors must be **bit-equal** (delta-epoch coherence: a retained
+//!    cache entry is only legal if it equals a cold recompute) and each
+//!    pass must bill exactly one cut query per set regardless of hit
+//!    rate (the billing invariant);
+//! 3. the same batch through the word-parallel kernel at 1 lane, at
+//!    4 lanes, and threaded — all bit-equal (lane/thread determinism);
+//! 4. every 4th round, a Gomory–Hu rebuild, serial vs threaded, whose
+//!    global min cuts must be bit-equal;
+//! 5. a snapshot publish plus reader queries that must match the live
+//!    graph bit-for-bit;
+//! 6. every 8th round, a fault-injected distributed min-cut run
+//!    executed twice on one seed — the two outcomes must agree bit-
+//!    for-bit (end-to-end runtime determinism under drops/retries).
+//!
+//! Every answer bit is folded into an FNV-1a digest. `--smoke` runs a
+//! fixed round count so the digest itself is deterministic and CI can
+//! diff two back-to-back runs; the timed mode runs rounds until the
+//! wall-clock budget is spent (the acceptance mode: ≥ 60 s, zero
+//! violations).
+
+use dircut_dist::{run_min_cut, FaultPlan, ProtocolConfig, RuntimeConfig};
+use dircut_graph::gomory_hu::GomoryHuTree;
+use dircut_graph::{cache, cuteval, stats};
+use dircut_graph::{DiGraph, FamilySpec, NodeId, NodeSet, SnapshotStore};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Edges added per mutation batch.
+const MUTATIONS_PER_ROUND: usize = 4;
+/// Random cut queries per round.
+const QUERIES_PER_ROUND: usize = 16;
+/// Rounds between Gomory–Hu rebuild checks.
+const GH_EVERY: u64 = 4;
+/// Rounds between fault-injected distributed rounds.
+const DIST_EVERY: u64 = 8;
+/// Servers per distributed round.
+const DIST_SERVERS: usize = 3;
+
+/// Soak run parameters.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Wall-clock budget for the timed mode, in seconds.
+    pub seconds: u64,
+    /// Fixed-round smoke mode (two passes over the roster); the digest
+    /// is deterministic, so CI diffs two runs.
+    pub smoke: bool,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// JSON report path (`None` writes `BENCH_soak.json`).
+    pub out: Option<String>,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        Self {
+            seconds: 60,
+            smoke: false,
+            seed: 0x50a4,
+            out: None,
+        }
+    }
+}
+
+/// What a soak run did and what it found.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Rounds completed.
+    pub rounds: u64,
+    /// Cut queries issued (cache-on pass only; the billing check
+    /// doubles this internally).
+    pub queries: u64,
+    /// Edges added across all mutation batches.
+    pub mutations: u64,
+    /// Serial-vs-threaded Gomory–Hu rebuild comparisons.
+    pub gh_rebuilds: u64,
+    /// Snapshot publishes verified against the live graph.
+    pub snapshots: u64,
+    /// Fault-injected distributed determinism checks.
+    pub dist_rounds: u64,
+    /// Every invariant violation observed, in order (empty on a
+    /// healthy run).
+    pub violations: Vec<String>,
+    /// FNV-1a fold of every answer bit the run produced.
+    pub digest: u64,
+    /// Wall-clock time spent.
+    pub elapsed_secs: f64,
+}
+
+impl SoakReport {
+    /// True iff no invariant was violated.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv_fold(h: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// A random proper nonempty node subset.
+fn random_cut_set<R: Rng>(n: usize, rng: &mut R) -> NodeSet {
+    loop {
+        let picked: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.5)).collect();
+        if !picked.is_empty() && picked.len() < n {
+            return NodeSet::from_indices(n, picked);
+        }
+    }
+}
+
+/// One family's persistent soak state: the live graph it mutates and
+/// the snapshot store whose version history it grows.
+struct FamilyState {
+    spec: FamilySpec,
+    graph: DiGraph,
+    store: Arc<SnapshotStore>,
+}
+
+/// Runs the soak workload and returns the report. Never panics on an
+/// invariant violation — violations are collected so a long run
+/// reports everything it saw.
+pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    let start = Instant::now();
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut states: Vec<FamilyState> = FamilySpec::soak_roster()
+        .into_iter()
+        .map(|spec| {
+            let graph = spec.generate(&mut rng);
+            let store = Arc::new(SnapshotStore::from_graph(&graph));
+            FamilyState { spec, graph, store }
+        })
+        .collect();
+    let roster_len = states.len() as u64;
+    let smoke_rounds = 2 * roster_len;
+
+    let cache_was = cache::enabled();
+    let lanes_was = cuteval::lanes();
+
+    let mut report = SoakReport {
+        rounds: 0,
+        queries: 0,
+        mutations: 0,
+        gh_rebuilds: 0,
+        snapshots: 0,
+        dist_rounds: 0,
+        violations: Vec::new(),
+        digest: FNV_OFFSET,
+        elapsed_secs: 0.0,
+    };
+
+    let mut round: u64 = 0;
+    loop {
+        let done = if cfg.smoke {
+            round >= smoke_rounds
+        } else {
+            start.elapsed().as_secs() >= cfg.seconds
+        };
+        if done {
+            break;
+        }
+        let state = &mut states[(round % roster_len) as usize];
+        soak_round(state, round, &mut rng, &mut report);
+        round += 1;
+        report.rounds = round;
+    }
+
+    cache::set_enabled(cache_was);
+    cuteval::set_lanes(lanes_was);
+    report.elapsed_secs = start.elapsed().as_secs_f64();
+    report
+}
+
+/// One full round on one family. Appends to `report`.
+fn soak_round(state: &mut FamilyState, round: u64, rng: &mut ChaCha8Rng, report: &mut SoakReport) {
+    let name = state.spec.name();
+    let fail = |report: &mut SoakReport, msg: String| {
+        report
+            .violations
+            .push(format!("round {round} [{name}]: {msg}"));
+    };
+
+    // 1. Mutation batch: random extra edges, advancing the epoch.
+    let n = state.graph.num_nodes();
+    for _ in 0..MUTATIONS_PER_ROUND {
+        let u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        if v == u {
+            v = (v + 1) % n;
+        }
+        let w = rng.gen_range(0.5..2.0);
+        state.graph.add_edge(NodeId::new(u), NodeId::new(v), w);
+    }
+    report.mutations += MUTATIONS_PER_ROUND as u64;
+
+    let sets: Vec<NodeSet> = (0..QUERIES_PER_ROUND)
+        .map(|_| random_cut_set(n, rng))
+        .collect();
+
+    // 2. Billing invariant + delta-epoch cache coherence. The cache-on
+    // pass runs first so it both populates and (after the mutation
+    // above) revalidates entries retained from earlier rounds.
+    cache::set_enabled(true);
+    let before_on = stats::total_cut_queries();
+    let warm: Vec<(f64, f64)> = sets.iter().map(|s| state.graph.cut_both(s)).collect();
+    let billed_on = stats::total_cut_queries() - before_on;
+    cache::set_enabled(false);
+    let before_off = stats::total_cut_queries();
+    let cold: Vec<(f64, f64)> = sets.iter().map(|s| state.graph.cut_both(s)).collect();
+    let billed_off = stats::total_cut_queries() - before_off;
+    cache::set_enabled(true);
+    report.queries += QUERIES_PER_ROUND as u64;
+    if billed_on != QUERIES_PER_ROUND as u64 || billed_off != QUERIES_PER_ROUND as u64 {
+        fail(
+            report,
+            format!(
+                "billing: {billed_on} (cache on) / {billed_off} (cache off) \
+                 queries billed for {QUERIES_PER_ROUND} sets"
+            ),
+        );
+    }
+    for (i, (w, c)) in warm.iter().zip(&cold).enumerate() {
+        if w.0.to_bits() != c.0.to_bits() || w.1.to_bits() != c.1.to_bits() {
+            fail(
+                report,
+                format!("cache coherence: set {i} warm {w:?} != cold {c:?}"),
+            );
+        }
+    }
+
+    // 3. Lane and thread determinism of the batched kernel.
+    cuteval::set_lanes(1);
+    let lane1 = cuteval::cut_both_batch_threaded(&state.graph, &sets, 1);
+    cuteval::set_lanes(4);
+    let lane4 = cuteval::cut_both_batch_threaded(&state.graph, &sets, 1);
+    let threaded = cuteval::cut_both_batch_threaded(&state.graph, &sets, 4);
+    for (i, ((a, b), c)) in lane1.iter().zip(&lane4).zip(&threaded).enumerate() {
+        let agree = a.0.to_bits() == b.0.to_bits()
+            && a.1.to_bits() == b.1.to_bits()
+            && a.0.to_bits() == c.0.to_bits()
+            && a.1.to_bits() == c.1.to_bits();
+        if !agree {
+            fail(
+                report,
+                format!("lane/thread determinism: set {i} 1-lane {a:?} 4-lane {b:?} threaded {c:?}"),
+            );
+        }
+        if a.0.to_bits() != cold[i].0.to_bits() || a.1.to_bits() != cold[i].1.to_bits() {
+            fail(
+                report,
+                format!("kernel vs scalar: set {i} batch {a:?} != direct {:?}", cold[i]),
+            );
+        }
+    }
+    for (o, i) in &cold {
+        fnv_fold(&mut report.digest, o.to_bits());
+        fnv_fold(&mut report.digest, i.to_bits());
+    }
+
+    // 4. Gomory–Hu rebuild: serial vs threaded must agree.
+    if round % GH_EVERY == GH_EVERY - 1 {
+        let serial = GomoryHuTree::build(&state.graph);
+        let threaded = GomoryHuTree::build_threaded(&state.graph, 4);
+        let (a, b) = (serial.global_min_cut(), threaded.global_min_cut());
+        if a.to_bits() != b.to_bits() {
+            fail(report, format!("gomory-hu: serial {a} != threaded {b}"));
+        }
+        fnv_fold(&mut report.digest, a.to_bits());
+        report.gh_rebuilds += 1;
+    }
+
+    // 5. Snapshot publish + reader coherence against the live graph.
+    let version = state.store.publish_graph(&state.graph);
+    if state.store.version() != version {
+        fail(
+            report,
+            format!(
+                "snapshot: store version {} != returned {version}",
+                state.store.version()
+            ),
+        );
+    }
+    let mut reader = state.store.reader();
+    let snap = reader.load().clone();
+    if snap.epoch() != state.graph.mutation_epoch() {
+        fail(
+            report,
+            format!(
+                "snapshot: captured epoch {} != live epoch {}",
+                snap.epoch(),
+                state.graph.mutation_epoch()
+            ),
+        );
+    }
+    for (i, s) in sets.iter().take(4).enumerate() {
+        match snap.try_cut_both(s) {
+            Ok(pair) => {
+                if pair.0.to_bits() != cold[i].0.to_bits() || pair.1.to_bits() != cold[i].1.to_bits()
+                {
+                    fail(
+                        report,
+                        format!("snapshot: set {i} snapshot {pair:?} != live {:?}", cold[i]),
+                    );
+                }
+            }
+            Err(e) => fail(report, format!("snapshot: set {i} universe error: {e}")),
+        }
+    }
+    report.snapshots += 1;
+
+    // 6. Fault-injected distributed round, twice on one seed.
+    if round % DIST_EVERY == DIST_EVERY - 1 {
+        let mut protocol = ProtocolConfig::new(0.3);
+        protocol.enumeration_trials = 40;
+        let dist_seed = 0xd157_0000 + round;
+        let build = || {
+            RuntimeConfig::builder(protocol)
+                .faults(FaultPlan::new().drop(0.1).build())
+                .retries(4)
+                .seed(dist_seed)
+                .build()
+        };
+        let g = state.graph.coalesced();
+        match (
+            run_min_cut(&g, DIST_SERVERS, &build()),
+            run_min_cut(&g, DIST_SERVERS, &build()),
+        ) {
+            (Ok(x), Ok(y)) => {
+                let same = x.answer.estimate.to_bits() == y.answer.estimate.to_bits()
+                    && x.answer.side == y.answer.side
+                    && x.answer.total_wire_bits == y.answer.total_wire_bits
+                    && x.arrived == y.arrived;
+                if !same {
+                    fail(
+                        report,
+                        format!(
+                            "dist determinism: seed {dist_seed} gave ({}, {} bits, {} arrived) \
+                             then ({}, {} bits, {} arrived)",
+                            x.answer.estimate,
+                            x.answer.total_wire_bits,
+                            x.arrived,
+                            y.answer.estimate,
+                            y.answer.total_wire_bits,
+                            y.arrived
+                        ),
+                    );
+                }
+                fnv_fold(&mut report.digest, x.answer.estimate.to_bits());
+                fnv_fold(&mut report.digest, x.answer.total_wire_bits as u64);
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                fail(report, format!("dist round failed outright: {e}"));
+            }
+        }
+        report.dist_rounds += 1;
+    }
+}
+
+/// Renders the report as the `dircut-soak-v1` JSON document.
+#[must_use]
+pub fn soak_json(cfg: &SoakConfig, report: &SoakReport) -> String {
+    let mut out = String::from("{\n  \"schema\": \"dircut-soak-v1\",\n  \"bin\": \"soak\",\n");
+    let _ = writeln!(out, "  \"smoke\": {},", cfg.smoke);
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"seconds_budget\": {},", cfg.seconds);
+    let _ = writeln!(out, "  \"rounds\": {},", report.rounds);
+    let _ = writeln!(out, "  \"queries\": {},", report.queries);
+    let _ = writeln!(out, "  \"mutations\": {},", report.mutations);
+    let _ = writeln!(out, "  \"gh_rebuilds\": {},", report.gh_rebuilds);
+    let _ = writeln!(out, "  \"snapshots\": {},", report.snapshots);
+    let _ = writeln!(out, "  \"dist_rounds\": {},", report.dist_rounds);
+    let _ = writeln!(out, "  \"digest\": \"{:016x}\",", report.digest);
+    let _ = writeln!(out, "  \"elapsed_secs\": {:.3},", report.elapsed_secs);
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in report.violations.iter().enumerate() {
+        let comma = if i + 1 < report.violations.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{}\"{comma}", v.replace('"', "'"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints the human summary, writes the JSON document, and returns
+/// whether the run was clean. Shared by the `soak` bin and the
+/// `dircut soak` subcommand.
+pub fn soak_emit(cfg: &SoakConfig, report: &SoakReport) -> bool {
+    println!(
+        "rounds = {}, queries = {}, mutations = {}, gh rebuilds = {}, \
+         snapshots = {}, dist rounds = {}",
+        report.rounds,
+        report.queries,
+        report.mutations,
+        report.gh_rebuilds,
+        report.snapshots,
+        report.dist_rounds
+    );
+    println!("digest = {:016x}", report.digest);
+    println!("elapsed = {:.1} s", report.elapsed_secs);
+    for v in &report.violations {
+        eprintln!("VIOLATION: {v}");
+    }
+    let path = cfg.out.clone().unwrap_or_else(|| "BENCH_soak.json".into());
+    if let Err(e) = std::fs::write(&path, soak_json(cfg, report)) {
+        eprintln!("warning: writing {path}: {e}");
+    } else {
+        println!("report: {path}");
+    }
+    if report.clean() {
+        println!("OK: zero violations");
+    } else {
+        eprintln!("FAILED: {} violation(s)", report.violations.len());
+    }
+    report.clean()
+}
+
+/// Runs the soak end to end and returns the process exit code
+/// (failure iff any violation).
+pub fn soak_main(cfg: &SoakConfig) -> std::process::ExitCode {
+    println!(
+        "=== soak: mutation/query/rebuild interleave over {} families ===",
+        FamilySpec::soak_roster().len()
+    );
+    if cfg.smoke {
+        println!(
+            "mode: smoke (fixed rounds, deterministic digest), seed = {}",
+            cfg.seed
+        );
+    } else {
+        println!("mode: timed, budget = {} s, seed = {}", cfg.seconds, cfg.seed);
+    }
+    let report = run_soak(cfg);
+    if soak_emit(cfg, &report) {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg(seed: u64) -> SoakConfig {
+        SoakConfig {
+            seconds: 0,
+            smoke: true,
+            seed,
+            out: None,
+        }
+    }
+
+    #[test]
+    fn smoke_run_is_clean_and_deterministic() {
+        let a = run_soak(&smoke_cfg(7));
+        assert!(a.clean(), "violations: {:?}", a.violations);
+        assert_eq!(a.rounds, 2 * FamilySpec::soak_roster().len() as u64);
+        assert!(a.dist_rounds >= 1, "smoke must cover a distributed round");
+        let b = run_soak(&smoke_cfg(7));
+        assert_eq!(a.digest, b.digest, "same seed must replay bit-identically");
+        let c = run_soak(&smoke_cfg(8));
+        assert_ne!(a.digest, c.digest, "digest must depend on the seed");
+    }
+
+    #[test]
+    fn json_document_carries_the_schema_and_digest() {
+        let cfg = smoke_cfg(3);
+        let report = run_soak(&cfg);
+        let json = soak_json(&cfg, &report);
+        assert!(json.contains("\"schema\": \"dircut-soak-v1\""));
+        assert!(json.contains(&format!("{:016x}", report.digest)));
+        assert!(json.contains("\"violations\": [\n  ]"));
+    }
+}

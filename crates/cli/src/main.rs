@@ -14,6 +14,7 @@
 //! dircut loadgen --connect unix:/tmp/d.sock [--smoke] [--verify] [--shutdown] [FILE]
 //! dircut dot [FILE]                   # Graphviz export
 //! dircut repro foreach|forall|localquery|all [--trials N] [--seed S] [--threads T]
+//! dircut soak [--smoke] [--seconds N] [--seed S] [--out PATH]   # invariant soak
 //! ```
 //!
 //! Exit codes are typed: `0` success, `2` bad usage, `3` I/O or input
@@ -146,6 +147,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("repro") => cmd_repro(&args[1..]),
+        Some("soak") => cmd_soak(&args[1..]),
         Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -175,6 +177,7 @@ USAGE:
   dircut dot     [FILE]
   dircut repro foreach|forall|localquery|all
               [--trials N] [--seed S] [--threads T]
+  dircut soak [--smoke] [--seconds N] [--seed S] [--out PATH]
 
 Graphs are plain-text edge lists (`n <count>` / `e <u> <v> <w>`);
 FILE defaults to stdin, so commands pipe into each other.
@@ -548,6 +551,35 @@ fn cmd_repro(args: &[String]) -> Result<(), CliError> {
     dircut_bench::write_reductions_json("dircut-repro").map_err(|e| CliError::Io(e.to_string()))?;
     println!("\nper-trial records: BENCH_reductions.json (override with DIRCUT_BENCH_JSON)");
     Ok(())
+}
+
+/// `dircut soak`: the long-running mutation/query/rebuild interleave
+/// from `dircut_bench::soak`. `--smoke` runs a fixed round count with
+/// a deterministic digest; otherwise the workload loops for
+/// `--seconds` (default 60). Any invariant violation is an I/O-class
+/// failure (exit 3) after the full report has been printed.
+fn cmd_soak(args: &[String]) -> Result<(), CliError> {
+    use dircut_bench::soak::{run_soak, soak_emit, SoakConfig};
+
+    let flags = Flags::parse_with_bools(args, &["smoke"])?;
+    let mut cfg = SoakConfig::default();
+    cfg.smoke = flags.has("smoke");
+    if let Some(s) = flags.num("seconds")? {
+        cfg.seconds = s;
+    }
+    if let Some(s) = flags.num("seed")? {
+        cfg.seed = s;
+    }
+    cfg.out = flags.get("out").map(str::to_owned);
+    let report = run_soak(&cfg);
+    if soak_emit(&cfg, &report) {
+        Ok(())
+    } else {
+        Err(CliError::Io(format!(
+            "soak: {} invariant violation(s)",
+            report.violations.len()
+        )))
+    }
 }
 
 /// `dircut serve`: load a graph, bind a socket, and answer cut

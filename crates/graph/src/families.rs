@@ -1,0 +1,307 @@
+//! Named graph-family specifications: one value that says how to
+//! build an instance *and* what is provably true of it.
+//!
+//! Every experiment bin used to carry its own ad-hoc
+//! `(name, generator, β)` triples; the soak harness and the
+//! adversarial sweeps need the same axis plus the closed-form
+//! structural facts (known min cut, exact balance certificate), so
+//! [`FamilySpec`] centralises all of it. Deterministic families
+//! (the bit gadget, the β-extreme bipartite) ignore the RNG handed to
+//! [`FamilySpec::generate`]; randomized ones consume it.
+
+use crate::digraph::DiGraph;
+use crate::generators::{
+    beta_extreme_bipartite, beta_extreme_min_cut, bit_gadget, bit_gadget_balanced,
+    bit_gadget_balanced_min_cut, bit_gadget_min_cut, bit_gadget_nodes, random_balanced_digraph,
+    random_eulerian_digraph, scale_free_digraph,
+};
+use crate::ids::{NodeId, NodeSet};
+use rand::Rng;
+
+/// Two dense blocks with a thin 2-balanced bridge — the family where
+/// strength-aware samplers shine (intra-block edges are strong, the
+/// bridge is not). Moved here from `exp_sparsifier_zoo` so every bin
+/// and the soak harness build the identical instance.
+#[must_use]
+pub fn clustered_graph(n: usize) -> DiGraph {
+    assert!(n >= 4 && n % 2 == 0);
+    let half = n / 2;
+    let mut g = DiGraph::new(n);
+    for block in [0..half, half..n] {
+        for u in block.clone() {
+            for v in block.clone() {
+                if u < v {
+                    g.add_edge(NodeId::new(u), NodeId::new(v), 1.0);
+                    g.add_edge(NodeId::new(v), NodeId::new(u), 0.5);
+                }
+            }
+        }
+    }
+    for (u, v) in [(0, half), (half / 2, half + half / 2)] {
+        g.add_edge(NodeId::new(u), NodeId::new(v), 1.0);
+        g.add_edge(NodeId::new(v), NodeId::new(u), 0.5);
+    }
+    g
+}
+
+/// A named graph family with its structural guarantees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FamilySpec {
+    /// [`random_balanced_digraph`]`(n, p, beta)`.
+    Balanced {
+        /// Node count.
+        n: usize,
+        /// Per-pair edge probability.
+        p: f64,
+        /// Exact edgewise balance certificate.
+        beta: f64,
+    },
+    /// [`random_eulerian_digraph`]`(n, cycles)` — 1-balanced.
+    Eulerian {
+        /// Node count.
+        n: usize,
+        /// Number of superimposed random cycles.
+        cycles: usize,
+    },
+    /// [`clustered_graph`]`(n)` — two dense blocks, thin bridge.
+    Clustered {
+        /// Node count (even, ≥ 4).
+        n: usize,
+    },
+    /// [`bit_gadget`]`(bits)` — the pure arXiv 1901.01630 adversarial
+    /// instance; no finite balance certificate.
+    BitGadget {
+        /// Word width; `2^bits` words per side.
+        bits: usize,
+    },
+    /// [`bit_gadget_balanced`]`(bits, beta)` — the β-certified gadget
+    /// variant the balance-aware sparsifier sweeps need.
+    BitGadgetBalanced {
+        /// Word width; `2^bits` words per side.
+        bits: usize,
+        /// Mirror-edge certificate; must exceed `8·bits`.
+        beta: f64,
+    },
+    /// [`scale_free_digraph`]`(n, out_degree, beta)` — preferential
+    /// attachment with a β-balanced mirror.
+    ScaleFree {
+        /// Node count.
+        n: usize,
+        /// Attachments per new node.
+        out_degree: usize,
+        /// Balance-certificate upper bound.
+        beta: f64,
+    },
+    /// [`beta_extreme_bipartite`]`(half, beta)` — the widest
+    /// directed/undirected sparsification gap.
+    BetaExtreme {
+        /// Nodes per side.
+        half: usize,
+        /// Exact edgewise balance certificate.
+        beta: f64,
+    },
+}
+
+impl FamilySpec {
+    /// Stable family name, used as the axis key in experiment output.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Balanced { .. } => "balanced",
+            Self::Eulerian { .. } => "eulerian",
+            Self::Clustered { .. } => "clustered",
+            Self::BitGadget { .. } => "bitgadget",
+            Self::BitGadgetBalanced { .. } => "bitgadget-balanced",
+            Self::ScaleFree { .. } => "scalefree",
+            Self::BetaExtreme { .. } => "betaextreme",
+        }
+    }
+
+    /// Node count of the generated instance.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            Self::Balanced { n, .. }
+            | Self::Eulerian { n, .. }
+            | Self::Clustered { n }
+            | Self::ScaleFree { n, .. } => n,
+            Self::BitGadget { bits } | Self::BitGadgetBalanced { bits, .. } => {
+                bit_gadget_nodes(bits)
+            }
+            Self::BetaExtreme { half, .. } => 2 * half,
+        }
+    }
+
+    /// The β upper bound a balance-aware sparsifier may assume, or
+    /// `None` when no finite edgewise certificate exists (the pure bit
+    /// gadget has edges with no reverse).
+    #[must_use]
+    pub fn beta_bound(&self) -> Option<f64> {
+        match *self {
+            Self::Balanced { beta, .. }
+            | Self::BitGadgetBalanced { beta, .. }
+            | Self::ScaleFree { beta, .. }
+            | Self::BetaExtreme { beta, .. } => Some(beta),
+            Self::Eulerian { .. } => Some(1.0),
+            Self::Clustered { .. } => Some(2.0),
+            Self::BitGadget { .. } => None,
+        }
+    }
+
+    /// Whether [`generate`](Self::generate) consumes the RNG at all.
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        matches!(
+            self,
+            Self::Clustered { .. }
+                | Self::BitGadget { .. }
+                | Self::BitGadgetBalanced { .. }
+                | Self::BetaExtreme { .. }
+        )
+    }
+
+    /// Builds one instance. Deterministic families ignore `rng`.
+    #[must_use]
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> DiGraph {
+        match *self {
+            Self::Balanced { n, p, beta } => random_balanced_digraph(n, p, beta, rng),
+            Self::Eulerian { n, cycles } => random_eulerian_digraph(n, cycles, rng),
+            Self::Clustered { n } => clustered_graph(n),
+            Self::BitGadget { bits } => bit_gadget(bits),
+            Self::BitGadgetBalanced { bits, beta } => bit_gadget_balanced(bits, beta),
+            Self::ScaleFree {
+                n,
+                out_degree,
+                beta,
+            } => scale_free_digraph(n, out_degree, beta, rng),
+            Self::BetaExtreme { half, beta } => beta_extreme_bipartite(half, beta),
+        }
+    }
+
+    /// The closed-form global directed min-cut value, when the family
+    /// carries one (deterministic adversarial families only).
+    #[must_use]
+    pub fn known_min_cut(&self) -> Option<f64> {
+        match *self {
+            Self::BitGadget { bits } => Some(bit_gadget_min_cut(bits)),
+            Self::BitGadgetBalanced { bits, beta } => Some(bit_gadget_balanced_min_cut(bits, beta)),
+            Self::BetaExtreme { half, beta } => Some(beta_extreme_min_cut(half, beta)),
+            _ => None,
+        }
+    }
+
+    /// A side attaining [`known_min_cut`](Self::known_min_cut): `{ℓ_0}`
+    /// for the gadgets, a single right node for the β-extreme family.
+    #[must_use]
+    pub fn known_min_cut_side(&self) -> Option<NodeSet> {
+        let n = self.num_nodes();
+        match *self {
+            Self::BitGadget { .. } | Self::BitGadgetBalanced { .. } => {
+                Some(NodeSet::from_indices(n, [0]))
+            }
+            Self::BetaExtreme { half, .. } => Some(NodeSet::from_indices(n, [half])),
+            _ => None,
+        }
+    }
+
+    /// The three adversarial families (all β-certified) the experiment
+    /// bins sweep alongside the legacy trio, sized for exhaustive cut
+    /// enumeration (`n ≤ 14`).
+    #[must_use]
+    pub fn adversarial_zoo() -> Vec<FamilySpec> {
+        vec![
+            FamilySpec::BitGadgetBalanced {
+                bits: 2,
+                beta: 32.0,
+            },
+            FamilySpec::ScaleFree {
+                n: 14,
+                out_degree: 2,
+                beta: 4.0,
+            },
+            FamilySpec::BetaExtreme { half: 7, beta: 8.0 },
+        ]
+    }
+
+    /// The soak roster: every family the long-running harness rotates
+    /// through, adversarial gadgets first.
+    #[must_use]
+    pub fn soak_roster() -> Vec<FamilySpec> {
+        vec![
+            FamilySpec::BitGadget { bits: 3 },
+            FamilySpec::BitGadgetBalanced {
+                bits: 2,
+                beta: 32.0,
+            },
+            FamilySpec::BetaExtreme {
+                half: 12,
+                beta: 8.0,
+            },
+            FamilySpec::ScaleFree {
+                n: 48,
+                out_degree: 3,
+                beta: 4.0,
+            },
+            FamilySpec::Balanced {
+                n: 32,
+                p: 0.3,
+                beta: 4.0,
+            },
+            FamilySpec::Eulerian { n: 24, cycles: 12 },
+            FamilySpec::Clustered { n: 16 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_strongly_connected;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn known_min_cut_matches_generated_instance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for spec in FamilySpec::adversarial_zoo() {
+            let g = spec.generate(&mut rng);
+            assert_eq!(g.num_nodes(), spec.num_nodes(), "{}", spec.name());
+            if let (Some(value), Some(side)) = (spec.known_min_cut(), spec.known_min_cut_side()) {
+                let measured = g.cut_out(&side);
+                assert!(
+                    (measured - value).abs() < 1e-9,
+                    "{}: side cut {measured} vs closed form {value}",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_roster_family_is_strongly_connected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for spec in FamilySpec::soak_roster() {
+            let g = spec.generate(&mut rng);
+            assert!(is_strongly_connected(&g), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_families_ignore_the_rng() {
+        for spec in FamilySpec::soak_roster() {
+            if !spec.is_deterministic() {
+                continue;
+            }
+            let a = spec.generate(&mut ChaCha8Rng::seed_from_u64(2));
+            let b = spec.generate(&mut ChaCha8Rng::seed_from_u64(99));
+            assert_eq!(a.num_edges(), b.num_edges(), "{}", spec.name());
+            let full = NodeSet::from_indices(a.num_nodes(), 0..a.num_nodes() / 2);
+            assert_eq!(
+                a.cut_both(&full),
+                b.cut_both(&full),
+                "{} must not consume randomness",
+                spec.name()
+            );
+        }
+    }
+}

@@ -33,9 +33,10 @@ pub fn connected_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> UnGraph {
 }
 
 /// A random β-balanced digraph: each unordered pair gets, with
-/// probability `p`, a forward edge of weight in `[1, 2]` and a backward
-/// edge of `forward / β`, plus a balanced Hamiltonian bicycle so the
-/// result is strongly connected.
+/// probability `p`, a forward edge of weight drawn uniformly from the
+/// half-open interval `[1, 2)` and a backward edge of `forward / β`,
+/// plus a balanced Hamiltonian bicycle so the result is strongly
+/// connected.
 ///
 /// The edgewise certificate of the result is exactly `β`
 /// (see [`crate::balance::edgewise_balance_bound`]).
@@ -63,7 +64,8 @@ pub fn random_balanced_digraph<R: Rng>(n: usize, p: f64, beta: f64, rng: &mut R)
 }
 
 /// A random Eulerian (1-balanced) circulation: the sum of `cycles`
-/// random directed cycles, each with a common random weight.
+/// random directed cycles, each with a common random weight drawn
+/// uniformly from the half-open interval `[0.5, 2)`.
 #[must_use]
 pub fn random_eulerian_digraph<R: Rng>(n: usize, cycles: usize, rng: &mut R) -> DiGraph {
     assert!(n >= 3, "cycles need ≥ 3 nodes");
@@ -116,11 +118,23 @@ pub fn add_complete_bipartite(
 /// A random `d`-regular-ish undirected graph via the pairing model
 /// (retrying collisions); degrees may be slightly less than `d` when a
 /// perfect pairing fails, but the graph is simple.
+///
+/// Guarantee: every degree is at most `d`. When `n·d` is odd a perfect
+/// pairing cannot exist, so the stub multiset is rounded down to an
+/// even size up front (vertex `n − 1` loses one stub) instead of a
+/// dangling stub silently surviving every pairing round; the total
+/// degree is therefore at most `n·d − (n·d mod 2)` and always even.
 #[must_use]
 pub fn random_near_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> UnGraph {
     assert!(d < n, "degree must be < n");
     let mut g = UnGraph::new(n);
     let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    if stubs.len() % 2 == 1 {
+        // Odd n·d: `chunks(2)` would end on a singleton chunk that the
+        // `[u, v]` pattern silently skips. Round down to an even stub
+        // budget so every pairing round consumes its whole list.
+        stubs.pop();
+    }
     for _ in 0..20 {
         stubs.shuffle(rng);
         let mut leftover = Vec::new();
@@ -139,6 +153,259 @@ pub fn random_near_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> UnGraph {
         }
         stubs = leftover;
     }
+    g
+}
+
+/// A complete directed bipartite shell between two *explicit* node
+/// lists — the non-contiguous generalisation of
+/// [`add_complete_bipartite`] the bit-gadget construction streams its
+/// layers through. Every `left[i] → right[j]` edge gets weight `fwd`
+/// and every `right[j] → left[i]` edge gets weight `bwd`; zero weights
+/// are skipped so purely one-directional shells stay sparse.
+pub fn add_complete_bipartite_sets(
+    g: &mut DiGraph,
+    left: &[usize],
+    right: &[usize],
+    fwd: f64,
+    bwd: f64,
+) {
+    for &u in left {
+        for &v in right {
+            assert_ne!(u, v, "bipartite sides must be disjoint");
+            if fwd > 0.0 {
+                g.add_edge(NodeId::new(u), NodeId::new(v), fwd);
+            }
+            if bwd > 0.0 {
+                g.add_edge(NodeId::new(v), NodeId::new(u), bwd);
+            }
+        }
+    }
+}
+
+/// Number of nodes of [`bit_gadget`]`(bits)`: `2^bits` left words,
+/// `2^bits` right words, and `2·bits` bit nodes.
+#[must_use]
+pub fn bit_gadget_nodes(bits: usize) -> usize {
+    2 * (1usize << bits) + 2 * bits
+}
+
+/// Weight of one light `ℓ_0 → bit` edge of [`bit_gadget`]`(bits)`.
+#[must_use]
+pub fn bit_gadget_light(bits: usize) -> f64 {
+    0.5 / bits as f64
+}
+
+/// Weight of one heavy return/spine edge of [`bit_gadget`]`(bits)`.
+#[must_use]
+pub fn bit_gadget_heavy(bits: usize) -> f64 {
+    2.0 * bits as f64
+}
+
+/// Closed-form global directed min cut of [`bit_gadget`]`(bits)`:
+/// the out-cut of the singleton side `{ℓ_0}`, i.e. `bits` light edges
+/// of weight `0.5/bits` — exactly `1/2` up to float rounding. For
+/// `bits ≥ 2` every other directed cut has value ≥ 1 (see the
+/// [`bit_gadget`] docs), so the minimiser is unique.
+///
+/// Computed as the same repeated f64 addition a kernel edge scan
+/// performs, so comparisons against measured cut values need only a
+/// tiny tolerance.
+#[must_use]
+pub fn bit_gadget_min_cut(bits: usize) -> f64 {
+    (0..bits).fold(0.0, |acc, _| acc + bit_gadget_light(bits))
+}
+
+/// Closed-form global directed min cut of
+/// [`bit_gadget_balanced`]`(bits, beta)`: the `{ℓ_0}` side gains the
+/// mirrored copies of its two heavy in-edges, `2 · heavy/β` on top of
+/// [`bit_gadget_min_cut`].
+#[must_use]
+pub fn bit_gadget_balanced_min_cut(bits: usize, beta: f64) -> f64 {
+    bit_gadget_min_cut(bits) + 2.0 * (bit_gadget_heavy(bits) / beta)
+}
+
+fn build_bit_gadget(bits: usize, mirror_beta: Option<f64>) -> DiGraph {
+    assert!(bits >= 1, "the gadget needs at least one bit");
+    assert!(bits < 20, "2^bits words must stay addressable");
+    let k = 1usize << bits;
+    let light = bit_gadget_light(bits);
+    let heavy = bit_gadget_heavy(bits);
+    // Layout: left words ℓ_j at j, right words r_j at k + j, bit nodes
+    // bit[i][c] at 2k + 2i + c.
+    let ell = |j: usize| j;
+    let r = |j: usize| k + j;
+    let bit_node = |i: usize, c: usize| 2 * k + 2 * i + c;
+    let mut g = DiGraph::new(bit_gadget_nodes(bits));
+    let add = |g: &mut DiGraph, u: usize, v: usize, w: f64| {
+        g.add_edge(NodeId::new(u), NodeId::new(v), w);
+        if let Some(beta) = mirror_beta {
+            g.add_edge(NodeId::new(v), NodeId::new(u), w / beta);
+        }
+    };
+    // Encoding layer: ℓ_j streams its index's bit pattern, one shell
+    // per (bit, value) class. ℓ_0's fan-out is light — its out-cut is
+    // the designed global minimum.
+    for i in 0..bits {
+        for c in 0..2 {
+            let lefts: Vec<usize> = (0..k).filter(|j| (j >> i) & 1 == c).map(ell).collect();
+            for &u in &lefts {
+                add(&mut g, u, bit_node(i, c), if u == ell(0) { light } else { 1.0 });
+            }
+            // Decoding layer: bit[i][c] fans out to every right word
+            // whose index agrees on bit i — a complete bipartite shell.
+            let rights: Vec<usize> = (0..k).filter(|j| (j >> i) & 1 == c).map(r).collect();
+            let hub = [bit_node(i, c)];
+            let (fwd, bwd) = (1.0, mirror_beta.map_or(0.0, |b| 1.0 / b));
+            add_complete_bipartite_sets(&mut g, &hub, &rights, fwd, bwd);
+        }
+    }
+    // Heavy return + spine edges: r_j closes its own word's cycle and
+    // hands off to the next word, making the gadget strongly connected
+    // without creating any cut cheaper than a light fan-out.
+    for j in 0..k {
+        add(&mut g, r(j), ell(j), heavy);
+        add(&mut g, r(j), ell((j + 1) % k), heavy);
+    }
+    g
+}
+
+/// The bit-gadget digraph of Abboud–Censor-Hillel–Khoury–Paz
+/// (arXiv 1901.01630): the maximally adversarial small-cut instance
+/// for sketch/communication algorithms, built from complete-bipartite
+/// shells between word nodes and bit nodes.
+///
+/// With `k = 2^bits` the graph has `k` left words `ℓ_j`, `k` right
+/// words `r_j`, and `2·bits` bit nodes `bit[i][c]`:
+///
+/// * `ℓ_j → bit[i][j_i]` (weight 1; `ℓ_0`'s fan-out is `0.5/bits`),
+/// * `bit[i][c] → r_j` for every `j` with `j_i = c` (weight 1),
+/// * heavy return `r_j → ℓ_j` and spine `r_j → ℓ_{j+1 mod k}` edges of
+///   weight `2·bits`.
+///
+/// The construction is deterministic. Verified structural properties
+/// (pinned by tests against the closed forms):
+///
+/// * strongly connected for every `bits ≥ 1`;
+/// * the global directed min cut value is
+///   [`bit_gadget_min_cut`]`(bits)` (= `1/2` up to rounding), attained
+///   by the out-cut of `{ℓ_0}`. For `bits ≥ 2` that minimiser is
+///   unique and every other directed cut is ≥ 1: any side without
+///   `ℓ_0` cuts only weight-≥1 edges, and a side with `ℓ_0` that pays
+///   less than 1 can violate no ≥1-weight constraint (a heavy edge
+///   leaving `S`, a bit node missing a matching right word, a word
+///   missing a bit node), whose closure forces `S = {ℓ_0}` or the
+///   whole vertex set. At `bits = 1` the complement of `bit[0][0]`
+///   ties the same value (its only in-edge is `ℓ_0`'s light edge).
+///
+/// There is deliberately no reverse direction on the gadget edges, so
+/// the graph has no finite edgewise β certificate — the for-all
+/// sparsifier bound `(1+β)` degenerates. [`bit_gadget_balanced`] is
+/// the β-certified variant the balance-aware sweeps use.
+#[must_use]
+pub fn bit_gadget(bits: usize) -> DiGraph {
+    build_bit_gadget(bits, None)
+}
+
+/// [`bit_gadget`] with every edge mirrored at `weight/β`, giving the
+/// gadget an exact edgewise balance certificate of `β` while keeping
+/// `{ℓ_0}` the unique global min cut. Requires `β > 8·bits` so the
+/// mirrored heavy in-edges of `ℓ_0` (worth `2·heavy/β = 4·bits/β`)
+/// keep its out-cut below the ≥ 1 floor of every other cut; value is
+/// [`bit_gadget_balanced_min_cut`]`(bits, beta)`.
+#[must_use]
+pub fn bit_gadget_balanced(bits: usize, beta: f64) -> DiGraph {
+    assert!(
+        beta > 8.0 * bits as f64,
+        "β must exceed 8·bits to keep {{ℓ_0}} the unique min cut"
+    );
+    build_bit_gadget(bits, Some(beta))
+}
+
+/// A preferential-attachment (scale-free) β-balanced digraph: node `t`
+/// attaches to up to `out_degree` distinct earlier nodes sampled with
+/// probability proportional to attachment count + 1, each attachment a
+/// forward `old → new` edge of weight in `[1, 2)` with a `weight/β`
+/// reverse, plus the same balanced Hamiltonian bicycle as
+/// [`random_balanced_digraph`] so the result is strongly connected.
+///
+/// The edgewise balance certificate is at most `β` (every mirrored
+/// pair has ratio exactly `β`; pairs where an attachment overlaps a
+/// bicycle edge in the opposite orientation only get closer to 1).
+#[must_use]
+pub fn scale_free_digraph<R: Rng>(n: usize, out_degree: usize, beta: f64, rng: &mut R) -> DiGraph {
+    assert!(n >= 3, "the bicycle needs ≥ 3 nodes");
+    assert!(out_degree >= 1, "each new node must attach somewhere");
+    assert!(beta >= 1.0, "β must be ≥ 1");
+    let mut g = DiGraph::new(n);
+    // attach[v] = 1 + number of attachments v has received: the
+    // "rich get richer" sampling mass.
+    let mut attach = vec![1.0f64; n];
+    for t in 1..n {
+        let mut chosen = vec![false; t];
+        for _ in 0..out_degree.min(t) {
+            let total: f64 = attach[..t].iter().sum();
+            let mut x = rng.gen_range(0.0..total);
+            let mut u = t - 1;
+            for (i, &a) in attach[..t].iter().enumerate() {
+                if x < a {
+                    u = i;
+                    break;
+                }
+                x -= a;
+            }
+            if chosen[u] {
+                // A duplicate draw spends its slot: hubs saturate
+                // instead of forcing ever-denser early rows.
+                continue;
+            }
+            chosen[u] = true;
+            let w = rng.gen_range(1.0..2.0);
+            g.add_edge(NodeId::new(u), NodeId::new(t), w);
+            g.add_edge(NodeId::new(t), NodeId::new(u), w / beta);
+            attach[u] += 1.0;
+        }
+    }
+    for i in 0..n {
+        let (u, v) = (NodeId::new(i), NodeId::new((i + 1) % n));
+        let w = rng.gen_range(1.0..2.0);
+        g.add_edge(u, v, w);
+        g.add_edge(v, u, w / beta);
+    }
+    g
+}
+
+/// Closed-form global directed min cut of
+/// [`beta_extreme_bipartite`]`(half, beta)`: the out-cut of a single
+/// right node — `half` edges of weight `1/β` — computed as the same
+/// repeated f64 addition a kernel edge scan performs.
+#[must_use]
+pub fn beta_extreme_min_cut(half: usize, beta: f64) -> f64 {
+    (0..half).fold(0.0, |acc, _| acc + 1.0 / beta)
+}
+
+/// The near-bipartite β-extreme digraph: a complete bipartite shell
+/// `left → right` at weight 1 with the reverse direction at `1/β` —
+/// the instance family where the directed/undirected sparsification
+/// gap is widest (every backward cut is a factor β cheaper than its
+/// forward twin).
+///
+/// Deterministic. Verified structural properties (pinned by tests):
+///
+/// * strongly connected for every `half ≥ 1`;
+/// * the edgewise balance certificate is exactly `β` (every pair has
+///   ratio `1 / (1/β)`);
+/// * for `half ≥ 2` and `β > 1` the global directed min cut has value
+///   [`beta_extreme_min_cut`]`(half, beta)` — the bilinear out-cut
+///   form `p(h−q) + q(h−p)/β` over `(p, q)` left/right side counts is
+///   minimised on the boundary at `(0, 1)` (a single right node) and
+///   `(h−1, h)` (the complement of a single left node), and nowhere
+///   else.
+#[must_use]
+pub fn beta_extreme_bipartite(half: usize, beta: f64) -> DiGraph {
+    assert!(half >= 1, "each side needs at least one node");
+    assert!(beta >= 1.0, "β must be ≥ 1");
+    let mut g = DiGraph::new(2 * half);
+    add_complete_bipartite(&mut g, 0..half, half..2 * half, 1.0, 1.0 / beta);
     g
 }
 
@@ -218,6 +485,131 @@ mod tests {
         for v in g.nodes() {
             assert!(g.degree(v) <= 6);
             assert!(g.degree(v) >= 4, "degree {} too low", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn near_regular_odd_stub_budget_rounds_down() {
+        // n·d = 27 is odd: the guarantee is an even total degree of at
+        // most n·d − 1, with every degree ≤ d — no dangling stub may
+        // silently vanish mid-pairing.
+        for seed in 0..4 {
+            let mut rng = ChaCha8Rng::seed_from_u64(100 + seed);
+            let g = random_near_regular(9, 3, &mut rng);
+            let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+            assert!(total % 2 == 0, "handshake parity violated: {total}");
+            assert!(total <= 26, "total degree {total} exceeds the odd budget");
+            for v in g.nodes() {
+                assert!(g.degree(v) <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_gadget_min_cut_matches_closed_form() {
+        use crate::mincut::global_min_cut_directed;
+        for bits in 1..=3 {
+            let g = bit_gadget(bits);
+            assert_eq!(g.num_nodes(), bit_gadget_nodes(bits));
+            assert!(is_strongly_connected(&g), "bits = {bits}");
+            let cut = global_min_cut_directed(&g);
+            let want = bit_gadget_min_cut(bits);
+            assert!(
+                (cut.value - want).abs() < 1e-9,
+                "bits = {bits}: solver {} vs closed form {want}",
+                cut.value
+            );
+            if bits >= 2 {
+                // The minimiser is unique: the light fan-out side
+                // {ℓ_0}. (bits = 1 ties with a bit-node complement.)
+                assert_eq!(cut.side.len(), 1, "bits = {bits}: side {:?}", cut.side);
+                assert!(cut.side.contains(NodeId::new(0)), "bits = {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_gadget_has_no_finite_balance_certificate() {
+        assert_eq!(edgewise_balance_bound(&bit_gadget(2)), None);
+    }
+
+    #[test]
+    fn bit_gadget_balanced_certificate_and_min_cut() {
+        use crate::mincut::global_min_cut_directed;
+        let (bits, beta) = (2, 32.0);
+        let g = bit_gadget_balanced(bits, beta);
+        assert!(is_strongly_connected(&g));
+        let cert = edgewise_balance_bound(&g).unwrap();
+        assert!((cert - beta).abs() < 1e-9, "certificate {cert}");
+        let cut = global_min_cut_directed(&g);
+        let want = bit_gadget_balanced_min_cut(bits, beta);
+        assert!(
+            (cut.value - want).abs() < 1e-9,
+            "solver {} vs closed form {want}",
+            cut.value
+        );
+        assert_eq!(cut.side.len(), 1, "side {:?}", cut.side);
+        assert!(cut.side.contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn scale_free_is_strongly_connected_and_beta_bounded() {
+        for seed in 0..4 {
+            let mut rng = ChaCha8Rng::seed_from_u64(200 + seed);
+            let g = scale_free_digraph(40, 2, 4.0, &mut rng);
+            assert!(is_strongly_connected(&g), "seed {seed}");
+            let cert = edgewise_balance_bound(&g).expect("every edge is mirrored");
+            assert!(cert <= 4.0 + 1e-9, "seed {seed}: certificate {cert}");
+        }
+    }
+
+    #[test]
+    fn scale_free_grows_hubs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = scale_free_digraph(200, 2, 4.0, &mut rng);
+        // Preferential attachment concentrates: some early node must
+        // collect far more than the per-node attachment budget.
+        let max_out = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
+        assert!(max_out >= 8, "max out-degree {max_out} is not hub-like");
+    }
+
+    #[test]
+    fn beta_extreme_certificate_and_min_cut() {
+        use crate::mincut::global_min_cut_directed;
+        let (half, beta) = (7, 8.0);
+        let g = beta_extreme_bipartite(half, beta);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(edgewise_balance_bound(&g), Some(beta));
+        let cut = global_min_cut_directed(&g);
+        let want = beta_extreme_min_cut(half, beta);
+        assert!(
+            (cut.value - want).abs() < 1e-9,
+            "solver {} vs closed form {want}",
+            cut.value
+        );
+        // The minimisers are exactly the single right nodes and the
+        // complements of single left nodes (all tie at half/β).
+        let n = g.num_nodes();
+        let singleton_right = cut.side.len() == 1 && cut.side.iter().all(|v| v.index() >= half);
+        let left_complement = cut.side.len() == n - 1
+            && cut.side.complement().iter().all(|v| v.index() < half);
+        assert!(
+            singleton_right || left_complement,
+            "side {:?} is not a known minimiser",
+            cut.side
+        );
+    }
+
+    #[test]
+    fn bipartite_sets_shell_matches_range_shell() {
+        let mut a = DiGraph::new(6);
+        add_complete_bipartite(&mut a, 0..3, 3..6, 2.0, 0.5);
+        let mut b = DiGraph::new(6);
+        add_complete_bipartite_sets(&mut b, &[0, 1, 2], &[3, 4, 5], 2.0, 0.5);
+        for u in a.nodes() {
+            for v in a.nodes() {
+                assert_eq!(a.pair_weight(u, v), b.pair_weight(u, v));
+            }
         }
     }
 }

@@ -20,6 +20,7 @@ pub mod connectivity;
 pub mod cuteval;
 pub mod digraph;
 pub mod error;
+pub mod families;
 pub mod flow;
 pub mod generators;
 pub mod gomory_hu;
@@ -35,6 +36,7 @@ pub mod stats;
 pub mod ungraph;
 
 pub use digraph::{Csr, DiGraph, Edge, UniverseMismatch};
+pub use families::FamilySpec;
 pub use flow::MaxFlow;
 pub use ids::{EdgeId, NodeId, NodeSet};
 pub use snapshot::{CsrSnapshot, SnapshotReader, SnapshotStore};

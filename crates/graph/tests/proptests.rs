@@ -385,3 +385,81 @@ mod flow_cross_validation {
         }
     }
 }
+
+mod adversarial_families {
+    use super::*;
+    use dircut_graph::connectivity::is_strongly_connected;
+    use dircut_graph::generators::{
+        beta_extreme_bipartite, beta_extreme_min_cut, bit_gadget, bit_gadget_min_cut,
+        scale_free_digraph,
+    };
+    use dircut_graph::mincut::global_min_cut_directed;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The gadget's global directed min cut equals the closed form
+        /// at every word width, and for `bits ≥ 2` the minimiser is
+        /// the light fan-out side `{ℓ_0}`.
+        #[test]
+        fn bit_gadget_min_cut_is_the_closed_form(bits in 1usize..4) {
+            let g = bit_gadget(bits);
+            prop_assert!(is_strongly_connected(&g));
+            let cut = global_min_cut_directed(&g);
+            let want = bit_gadget_min_cut(bits);
+            prop_assert!((cut.value - want).abs() < 1e-9, "solver {} vs {}", cut.value, want);
+            if bits >= 2 {
+                prop_assert_eq!(cut.side.len(), 1);
+                prop_assert!(cut.side.contains(NodeId::new(0)));
+            }
+        }
+
+        /// The β-extreme certificate is exactly the constructed β
+        /// (power-of-two βs make the f64 round trip exact), and the
+        /// min cut matches the bilinear closed form.
+        #[test]
+        fn beta_extreme_certificate_is_exact(half in 2usize..8, beta_pow in 1u32..6) {
+            let beta = f64::from(1u32 << beta_pow);
+            let g = beta_extreme_bipartite(half, beta);
+            prop_assert!(is_strongly_connected(&g));
+            prop_assert_eq!(edgewise_balance_bound(&g), Some(beta));
+            let cut = global_min_cut_directed(&g);
+            let want = beta_extreme_min_cut(half, beta);
+            prop_assert!((cut.value - want).abs() < 1e-9, "solver {} vs {}", cut.value, want);
+        }
+
+        /// Preferential attachment stays strongly connected and inside
+        /// its β certificate across seeds and shapes.
+        #[test]
+        fn scale_free_is_strongly_connected(
+            n in 3usize..40,
+            out_degree in 1usize..4,
+            seed in 0u64..10_000,
+        ) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = scale_free_digraph(n, out_degree, 4.0, &mut rng);
+            prop_assert!(is_strongly_connected(&g));
+            let cert = edgewise_balance_bound(&g).expect("every edge is mirrored");
+            prop_assert!(cert <= 4.0 + 1e-9, "certificate {}", cert);
+        }
+
+        /// The odd-stub rounding guarantee of `random_near_regular`:
+        /// even total degree, per-node cap, budget respected.
+        #[test]
+        fn near_regular_respects_the_rounded_stub_budget(
+            n in 2usize..16,
+            d in 1usize..6,
+            seed in 0u64..10_000,
+        ) {
+            prop_assume!(d < n);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = dircut_graph::generators::random_near_regular(n, d, &mut rng);
+            let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+            prop_assert_eq!(total % 2, 0);
+            prop_assert!(total <= n * d - (n * d) % 2);
+            for v in g.nodes() {
+                prop_assert!(g.degree(v) <= d);
+            }
+        }
+    }
+}

@@ -94,6 +94,28 @@ impl SplitMix {
     }
 }
 
+/// splitmix64 finalizer: a bijective avalanche mix.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-connection RNG state: `conn_id` is mixed through the finalizer
+/// so distinct connections land on distinct streams for *every* seed.
+///
+/// The retired expression
+/// `seed.wrapping_add(0x5eed).wrapping_mul(conn_id + 1)` collapsed all
+/// connections onto the all-zero stream whenever `seed + 0x5eed`
+/// wrapped to 0 — multiplying a shared factor cannot separate streams
+/// the factor already destroyed. Mixing after combining is immune:
+/// `mix64` is a bijection, so two connections collide only if their
+/// pre-mix inputs collide, which `seed ⊕ f(conn_id)` never does for
+/// distinct `conn_id` under the odd-constant multiply.
+fn worker_stream(seed: u64, conn_id: u64) -> u64 {
+    mix64(seed ^ conn_id.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
 /// Zipf(s) over ranks `1..=pool`: precomputed CDF, one binary search
 /// per draw.
 struct Zipf {
@@ -186,7 +208,7 @@ pub fn run_loadgen(
                 errors.fetch_add(requests as u64, Ordering::Relaxed);
                 return Vec::new();
             };
-            let mut rng = SplitMix(seed.wrapping_add(0x5eed).wrapping_mul(conn_id as u64 + 1));
+            let mut rng = SplitMix(worker_stream(seed, conn_id as u64));
             let mut latencies = Vec::with_capacity(requests);
             for _ in 0..requests {
                 let idx = zipf.draw(&mut rng);
@@ -312,6 +334,36 @@ mod tests {
         assert!(counts[0] > counts[10], "rank 1 should beat rank 11");
         assert!(counts[0] > counts[99] * 5, "head should dominate tail");
         assert!(counts.iter().sum::<u64>() == 20_000);
+    }
+
+    #[test]
+    fn worker_streams_stay_distinct_under_the_wrapping_seed() {
+        // The pathological seed of the retired seeding expression:
+        // seed + 0x5eed wraps to 0, which used to zero every stream.
+        let seed = 0u64.wrapping_sub(0x5eed);
+        let zipf = Zipf::new(64, 1.1);
+        let mut draws: Vec<Vec<usize>> = Vec::new();
+        for conn_id in 0..8u64 {
+            let mut rng = SplitMix(worker_stream(seed, conn_id));
+            draws.push((0..32).map(|_| zipf.draw(&mut rng)).collect());
+        }
+        for a in 0..draws.len() {
+            for b in (a + 1)..draws.len() {
+                assert_ne!(
+                    draws[a], draws[b],
+                    "connections {a} and {b} drew identical Zipf streams"
+                );
+            }
+        }
+        // And the states themselves are pairwise distinct for a spread
+        // of ordinary seeds too.
+        for s in [0u64, 1, 0x5eed, u64::MAX] {
+            let states: Vec<u64> = (0..64).map(|c| worker_stream(s, c)).collect();
+            let mut dedup = states.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), states.len(), "state collision at seed {s}");
+        }
     }
 
     #[test]
